@@ -1,0 +1,68 @@
+"""Figure 9: the weighted automaton for the MAC poll assertion.
+
+Not a performance figure: it regenerates the paper's weighted state graph
+for ``TESLA_SYSCALL_PREVIOUSLY(mac_socket_check_poll(ANY(ptr), so) == 0)``
+from a poll-heavy run, with "transitions weighted according to their
+occurrence at run time", and times the introspection pass itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.instrument.module import Instrumenter
+from repro.introspect.weights import to_dot, weighted_graph
+from repro.kernel import KernelSystem, assertion_sets, oltp_workload
+from repro.kernel.net.socket import AF_INET, POLLIN, SOCK_STREAM
+from repro.runtime.manager import TeslaRuntime
+
+from conftest import emit
+
+ASSERTION = "MS.sopoll.prior-check"
+
+
+def drive_poll_workload(kernel, td, polls=25):
+    fds = []
+    for port in range(4):
+        error, fd = kernel.syscall(td, "socket", (AF_INET, SOCK_STREAM))
+        assert error == 0
+        kernel.syscall(td, "bind", (fd, ("10.0.0.1", 8000 + port)))
+        kernel.syscall(td, "listen", (fd,))
+        fds.append(fd)
+    for _ in range(polls):
+        error, _ = kernel.syscall(td, "poll", (fds, POLLIN))
+        assert error == 0
+    server, client = kernel.spawn(comm="srv"), kernel.spawn(comm="cli")
+    oltp_workload(kernel, client, server, 10)
+
+
+def test_fig09_weighted_graph(benchmark, results_dir):
+    poll_assertion = next(
+        a for a in assertion_sets()["MS"] if a.name == ASSERTION
+    )
+    runtime = TeslaRuntime()
+    session = Instrumenter(runtime)
+    session.instrument([poll_assertion])
+    kernel = KernelSystem()
+    td = kernel.boot()
+    try:
+        drive_poll_workload(kernel, td)
+        graph = benchmark(lambda: weighted_graph(runtime, ASSERTION))
+    finally:
+        session.uninstrument()
+
+    emit(
+        results_dir,
+        "fig09_weighted_automaton",
+        graph.describe() + "\n\n" + to_dot(graph),
+    )
+
+    # Shape: the paper's chain — init, check, site, cleanup — with the
+    # per-poll transitions hotter than the per-syscall bound transitions
+    # (several descriptors are polled per syscall).
+    assert graph.coverage_ratio() == 1.0
+    weights = {edge.kind: edge.weight for edge in graph.edges}
+    assert weights["event"] > weights["init"]
+    assert weights["assertion-site"] == weights["event"]
+    assert weights["init"] == weights["cleanup"]
+    assert graph.n_states == 5

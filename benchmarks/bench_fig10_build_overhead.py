@@ -1,0 +1,140 @@
+"""Figure 10: TESLA's impact on the OpenSSL build process.
+
+"Build times can increase by as much as 2.5×"; "the real cost of the TESLA
+workflow, however, is in incremental rebuilds" — modifying one assertion
+re-instruments *every* unit (~500× over a near-instant default incremental
+rebuild in the paper; the factor here depends on unit count, but the shape
+is the same: TESLA's incremental rebuild costs a large fraction of its
+clean build, while the default incremental rebuild is a tiny fraction of
+its own).
+
+The built tree is the real :mod:`repro.sslx` source plus the client, with
+the figure 6 assertion declared in the client unit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.sslx.asn1
+import repro.sslx.crypto
+import repro.sslx.fetch
+import repro.sslx.libssl
+import repro.sslx.server
+from repro.bench import Series, format_series_table, median_time
+from repro.instrument.build import BuildSystem, CompileUnit
+from repro.sslx.fetch import fetch_assertion
+
+from conftest import emit
+
+
+def make_tree() -> list:
+    modules = [
+        repro.sslx.asn1,
+        repro.sslx.crypto,
+        repro.sslx.libssl,
+        repro.sslx.server,
+        repro.sslx.fetch,
+    ]
+    units = [CompileUnit.from_module(module) for module in modules]
+    client = CompileUnit(
+        name="client_main",
+        source=(
+            "def main(url):\n"
+            "    document = fetch_url(url)\n"
+            "    return len(document)\n"
+        ),
+        assertions=[fetch_assertion()],
+    )
+    units.append(client)
+    return units
+
+
+@pytest.fixture
+def build_system(tmp_path):
+    return BuildSystem(make_tree(), tmp_path)
+
+
+def test_fig10_clean_default(benchmark, tmp_path):
+    system = BuildSystem(make_tree(), tmp_path)
+    benchmark(lambda: system.clean_build(tesla=False))
+
+
+def test_fig10_clean_tesla(benchmark, tmp_path):
+    system = BuildSystem(make_tree(), tmp_path)
+    benchmark(lambda: system.clean_build(tesla=True))
+
+
+def test_fig10_incremental_default(benchmark, tmp_path):
+    system = BuildSystem(make_tree(), tmp_path)
+    system.clean_build(tesla=False)
+    benchmark(lambda: system.incremental_build("repro.sslx.libssl", tesla=False))
+
+
+def test_fig10_incremental_tesla(benchmark, tmp_path):
+    system = BuildSystem(make_tree(), tmp_path)
+    system.clean_build(tesla=True)
+    benchmark(
+        lambda: system.incremental_build(
+            "client_main", tesla=True, assertion_changed=True
+        )
+    )
+
+
+def test_fig10_shape(benchmark, tmp_path, results_dir):
+    """The full figure: four bars plus the paper's two shape claims."""
+
+    def measure():
+        system = BuildSystem(make_tree(), tmp_path / "shape")
+        series = Series("figure 10: build time")
+        series.add(
+            "Default (clean)",
+            median_time(lambda: system.clean_build(tesla=False), repeats=3),
+        )
+        series.add(
+            "TESLA (clean)",
+            median_time(lambda: system.clean_build(tesla=True), repeats=3),
+        )
+        system.clean_build(tesla=False)
+        series.add(
+            "Default (incremental)",
+            median_time(
+                lambda: system.incremental_build("client_main", tesla=False),
+                repeats=3,
+            ),
+        )
+        system.clean_build(tesla=True)
+        series.add(
+            "TESLA (incremental)",
+            median_time(
+                lambda: system.incremental_build(
+                    "client_main", tesla=True, assertion_changed=True
+                ),
+                repeats=3,
+            ),
+        )
+        return series
+
+    series = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "fig10_build_overhead",
+        format_series_table(series, unit="ms", scale=1e3, title="Figure 10: build times"),
+    )
+    clean_ratio = series.get("TESLA (clean)").seconds / series.get("Default (clean)").seconds
+    incr_ratio = (
+        series.get("TESLA (incremental)").seconds
+        / series.get("Default (incremental)").seconds
+    )
+    # Shape: the TESLA clean build is slower (paper: up to 2.5x).
+    assert clean_ratio > 1.3, clean_ratio
+    # Shape: incremental rebuilds are where TESLA really hurts — a far
+    # bigger factor than the clean-build slowdown (paper: ~500x vs 2.5x).
+    assert incr_ratio > clean_ratio, (incr_ratio, clean_ratio)
+    # Shape: TESLA incremental enjoys only modest savings over TESLA clean
+    # (the kernel build's "30% savings vs a clean build").
+    tesla_incr_vs_clean = (
+        series.get("TESLA (incremental)").seconds
+        / series.get("TESLA (clean)").seconds
+    )
+    assert tesla_incr_vs_clean > 0.5, tesla_incr_vs_clean

@@ -1,0 +1,139 @@
+"""Figure 11a: the lmbench ``open close`` microbenchmark.
+
+"A system-call–intensive microbenchmark … is measurably slowed by TESLA."
+The x-axis configurations are kernel builds: Release, Debug (the
+WITNESS/INVARIANTS-style debug kernel), the bare TESLA instrumentation
+framework, each Table-1 assertion set, all of them, and all of them on top
+of the debug kernel.
+
+The "Debug" kernel is simulated by attaching a cheap counting check to
+every kernel hook point — pervasive low-cost checking, which is exactly
+what INVARIANTS does.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Series, format_series_table, median_time
+from repro.instrument.hooks import hook_registry
+from repro.instrument.module import Instrumenter
+from repro.kernel import KernelSystem, assertion_sets, lmbench_open_close
+from repro.runtime.manager import TeslaRuntime
+
+from conftest import emit
+
+ITERATIONS = 150
+
+#: Figure 11a's x-axis, with the assertion sets each configuration enables.
+CONFIGS = [
+    ("Release", None, False),
+    ("Debug", None, True),
+    ("Infrastructure", "Infrastructure", False),
+    ("MP", "MP", False),
+    ("MS", "MS", False),
+    ("MF", "MF", False),
+    ("M", "M", False),
+    ("All", "All", False),
+    ("All (Debug)", "All", True),
+]
+
+
+class _DebugKernelChecks:
+    """The INVARIANTS analogue: a cheap check at every hook point."""
+
+    def __init__(self) -> None:
+        self.checks = 0
+
+    def __call__(self, event) -> None:
+        self.checks += 1
+        assert event.name  # the "invariant": events are well-formed
+
+    def attach_everywhere(self):
+        for name in hook_registry.names():
+            hook_registry.require(name).attach(self)
+
+    def detach_everywhere(self):
+        for name in hook_registry.names():
+            hook_registry.require(name).detach(self)
+
+
+def run_configuration(set_name, debug, iterations=ITERATIONS):
+    sets = assertion_sets()
+    session = None
+    debug_checks = None
+    if set_name is not None:
+        runtime = TeslaRuntime()
+        session = Instrumenter(runtime)
+        session.instrument(sets[set_name])
+    if debug:
+        debug_checks = _DebugKernelChecks()
+        debug_checks.attach_everywhere()
+    kernel = KernelSystem()
+    td = kernel.boot()
+    try:
+        return median_time(
+            lambda: lmbench_open_close(kernel, td, iterations), repeats=5
+        )
+    finally:
+        if debug_checks is not None:
+            debug_checks.detach_everywhere()
+        if session is not None:
+            session.uninstrument()
+
+
+@pytest.mark.parametrize("label,set_name,debug", CONFIGS, ids=[c[0] for c in CONFIGS])
+def test_fig11a_config(benchmark, label, set_name, debug):
+    sets = assertion_sets()
+    session = None
+    debug_checks = None
+    if set_name is not None:
+        runtime = TeslaRuntime()
+        session = Instrumenter(runtime)
+        session.instrument(sets[set_name])
+    if debug:
+        debug_checks = _DebugKernelChecks()
+        debug_checks.attach_everywhere()
+    kernel = KernelSystem()
+    td = kernel.boot()
+    try:
+        benchmark(lambda: lmbench_open_close(kernel, td, 50))
+    finally:
+        if debug_checks is not None:
+            debug_checks.detach_everywhere()
+        if session is not None:
+            session.uninstrument()
+
+
+def test_fig11a_shape(benchmark, results_dir):
+    def measure():
+        series = Series("figure 11a: lmbench open/close")
+        for label, set_name, debug in CONFIGS:
+            series.add(label, run_configuration(set_name, debug))
+        return series
+
+    series = benchmark.pedantic(measure, rounds=1, iterations=1)
+    per_op = {
+        r.label: r.seconds / (2 * ITERATIONS) * 1e6 for r in series.results
+    }
+    lines = [
+        "Figure 11a: lmbench open/close microbenchmark",
+        "---------------------------------------------",
+        f"{'configuration':<16}{'us/syscall':>12}{'vs Release':>12}",
+    ]
+    release = per_op["Release"]
+    for label, value in per_op.items():
+        lines.append(f"{label:<16}{value:>12.2f}{value / release:>11.2f}x")
+    emit(results_dir, "fig11a_lmbench", "\n".join(lines))
+
+    # Shape claims.  The P set never fires on this filesystem-bound loop,
+    # so All and M are equal up to measurement noise (0.75 margin); the
+    # orderings that carry the figure's story are strict.
+    assert per_op["All"] > per_op["Release"], "TESLA must cost something"
+    assert per_op["All"] >= per_op["M"] * 0.75, "more assertions, more cost"
+    assert per_op["M"] > per_op["Infrastructure"], "assertions cost beyond hooks"
+    # The open/close loop is filesystem-bound: MF dominates MP and MS.
+    assert per_op["MF"] > per_op["MP"]
+    assert per_op["MF"] > per_op["MS"]
+    # All (Debug) is the most expensive configuration.
+    assert per_op["All (Debug)"] >= per_op["All"] * 0.95

@@ -1,0 +1,148 @@
+"""Figure 13: the lazy-initialisation optimisation (section 5.2.2).
+
+The first, naive implementation did "work on every system-call–related
+automaton" at every syscall entry: ~2× slower Clang builds and 10× slower
+OLTP, with microbenchmarks near 100× overhead.  Keeping a per-context
+record of common bounds and materialising instances lazily brought the
+microbenchmarks under 7× and builds under 10% overhead.
+
+Here "Pre" is the eager runtime (``lazy=False``) and "Post" the optimised
+one (``lazy=True``), measured over the MAC and PROC assertion sets
+(figure 13a's microbenchmark columns) and the OLTP and build
+macrobenchmarks under the full set (figure 13b).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Series, median_time
+from repro.instrument.module import Instrumenter
+from repro.kernel import (
+    KernelSystem,
+    assertion_sets,
+    build_workload,
+    lmbench_open_close,
+    oltp_workload,
+)
+from repro.runtime.manager import TeslaRuntime
+
+from conftest import emit
+
+MICRO_ITERS = 100
+
+
+def run_micro(set_name, lazy):
+    sets = assertion_sets()
+    session = Instrumenter(TeslaRuntime(lazy=lazy))
+    session.instrument(sets[set_name])
+    kernel = KernelSystem()
+    td = kernel.boot()
+    try:
+        return median_time(
+            lambda: lmbench_open_close(kernel, td, MICRO_ITERS), repeats=3
+        )
+    finally:
+        session.uninstrument()
+
+
+def run_macro(workload_name, lazy):
+    sets = assertion_sets()
+    session = Instrumenter(TeslaRuntime(lazy=lazy))
+    session.instrument(sets["All"])
+    kernel = KernelSystem()
+    td = kernel.boot()
+    try:
+        if workload_name == "oltp":
+            server, client = kernel.spawn(comm="srv"), kernel.spawn(comm="cli")
+            return median_time(
+                lambda: oltp_workload(kernel, client, server, 25), repeats=3
+            )
+        return median_time(
+            lambda: build_workload(kernel, td, n_sources=10), repeats=3
+        )
+    finally:
+        session.uninstrument()
+
+
+def run_baseline_micro():
+    kernel = KernelSystem()
+    td = kernel.boot()
+    return median_time(lambda: lmbench_open_close(kernel, td, MICRO_ITERS), repeats=3)
+
+
+@pytest.mark.parametrize("set_name", ["M", "P"])
+@pytest.mark.parametrize("lazy", [False, True], ids=["pre", "post"])
+def test_fig13a_micro(benchmark, set_name, lazy):
+    sets = assertion_sets()
+    session = Instrumenter(TeslaRuntime(lazy=lazy))
+    session.instrument(sets[set_name])
+    kernel = KernelSystem()
+    td = kernel.boot()
+    try:
+        benchmark(lambda: lmbench_open_close(kernel, td, 50))
+    finally:
+        session.uninstrument()
+
+
+@pytest.mark.parametrize("workload", ["oltp", "build"])
+@pytest.mark.parametrize("lazy", [False, True], ids=["pre", "post"])
+def test_fig13b_macro(benchmark, workload, lazy):
+    sets = assertion_sets()
+    session = Instrumenter(TeslaRuntime(lazy=lazy))
+    session.instrument(sets["All"])
+    kernel = KernelSystem()
+    td = kernel.boot()
+    try:
+        if workload == "oltp":
+            server, client = kernel.spawn(comm="srv"), kernel.spawn(comm="cli")
+            benchmark(lambda: oltp_workload(kernel, client, server, 8))
+        else:
+            benchmark(lambda: build_workload(kernel, td, n_sources=4))
+    finally:
+        session.uninstrument()
+
+
+def test_fig13_shape(benchmark, results_dir):
+    def run():
+        baseline = run_baseline_micro()
+        rows = {
+            "MAC micro (pre)": run_micro("M", lazy=False),
+            "MAC micro (post)": run_micro("M", lazy=True),
+            "PROC micro (pre)": run_micro("P", lazy=False),
+            "PROC micro (post)": run_micro("P", lazy=True),
+            "OLTP (pre)": run_macro("oltp", lazy=False),
+            "OLTP (post)": run_macro("oltp", lazy=True),
+            "Build (pre)": run_macro("build", lazy=False),
+            "Build (post)": run_macro("build", lazy=True),
+        }
+        return baseline, rows
+
+    baseline, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Figure 13: performance improvements with the lazy optimisation",
+        "--------------------------------------------------------------",
+        f"{'configuration':<20}{'seconds':>10}{'improvement':>13}",
+    ]
+    for prefix in ("MAC micro", "PROC micro", "OLTP", "Build"):
+        pre = rows[f"{prefix} (pre)"]
+        post = rows[f"{prefix} (post)"]
+        lines.append(f"{prefix + ' (pre)':<20}{pre:>10.4f}")
+        lines.append(
+            f"{prefix + ' (post)':<20}{post:>10.4f}{pre / post:>12.2f}x"
+        )
+    lines.append(f"{'(uninstrumented micro':<20}{baseline:>10.4f})")
+    emit(results_dir, "fig13_optimisation", "\n".join(lines))
+
+    # Shape: the optimisation helps everywhere...
+    for prefix in ("MAC micro", "PROC micro", "OLTP", "Build"):
+        assert rows[f"{prefix} (post)"] < rows[f"{prefix} (pre)"], prefix
+    # ...and helps the P-set microbenchmark dramatically: its 37 automata
+    # share the syscall bound but are never touched by open/close, exactly
+    # the common case the per-context bound record optimises away.
+    proc_gain = rows["PROC micro (pre)"] / rows["PROC micro (post)"]
+    assert proc_gain > 3, proc_gain
+    # Post-optimisation, the PROC microbenchmark is within a small factor
+    # of the uninstrumented kernel (the paper's "<10% overhead" analogue,
+    # allowing for Python's dispatch costs).
+    assert rows["PROC micro (post)"] < baseline * 8

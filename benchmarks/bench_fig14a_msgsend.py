@@ -1,0 +1,108 @@
+"""Figure 14a: TESLA's impact on Objective-C message sends.
+
+A tight message-sending loop in four runtime modes:
+
+1. *Release* — the runtime built without tracing support (no table
+   consult at all);
+2. *Tracing* — tracing support compiled in, no hooks installed;
+3. *Interposition* — a trivial interposition function on every send;
+4. *TESLA* — full automaton processing of the figure 8 assertion
+   (paper: "up to 16× longer").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Series, format_series_table, median_time
+from repro.gui import (
+    NSMakeRect,
+    NSTextField,
+    all_selectors,
+    msg_send,
+    set_tracing_supported,
+    tracing_assertion,
+)
+from repro.instrument.interpose import interposition_table, trivial_hook
+from repro.instrument.module import Instrumenter
+from repro.runtime.manager import TeslaRuntime
+
+from conftest import emit
+
+SENDS = 3000
+
+
+def send_loop(n=SENDS):
+    field = NSTextField(NSMakeRect(0, 0, 10, 10), value="x")
+    for _ in range(n):
+        msg_send(field, "stringValue")
+
+
+MODES = ["Release", "Tracing", "Interposition", "TESLA"]
+
+
+def setup_mode(mode):
+    """Configure the runtime; returns a teardown callable."""
+    if mode == "Release":
+        set_tracing_supported(False)
+        return lambda: set_tracing_supported(True)
+    if mode == "Tracing":
+        set_tracing_supported(True)
+        return lambda: None
+    if mode == "Interposition":
+        set_tracing_supported(True)
+        interposition_table.install_wildcard(trivial_hook)
+        return interposition_table.clear
+    set_tracing_supported(True)
+    session = Instrumenter(
+        TeslaRuntime(), objc_selectors=set(all_selectors())
+    )
+    session.instrument([tracing_assertion(f"f14a.{id(session)}")])
+    return session.uninstrument
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_fig14a_mode(benchmark, mode):
+    teardown = setup_mode(mode)
+    try:
+        benchmark(lambda: send_loop(500))
+    finally:
+        teardown()
+
+
+def test_fig14a_shape(benchmark, results_dir):
+    def run():
+        series = Series("figure 14a: message-send microbenchmark")
+        for mode in MODES:
+            teardown = setup_mode(mode)
+            try:
+                series.add(mode, median_time(send_loop, repeats=9, warmup=2))
+            finally:
+                teardown()
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    per_send = {
+        r.label: r.seconds / SENDS * 1e9 for r in series.results
+    }
+    release = per_send["Release"]
+    lines = [
+        f"Figure 14a: time per message send ({SENDS} sends/run)",
+        "------------------------------------------------------",
+        f"{'mode':<16}{'ns/send':>10}{'vs Release':>12}",
+    ]
+    for mode in MODES:
+        lines.append(
+            f"{mode:<16}{per_send[mode]:>10.0f}{per_send[mode] / release:>11.2f}x"
+        )
+    emit(results_dir, "fig14a_msgsend", "\n".join(lines))
+
+    # Shape: each mode costs at least as much as the previous one (the
+    # Tracing/Interposition gap is a few hundred ns, so a 0.8 noise margin
+    # applies to the cheap tiers), with TESLA's automaton processing far
+    # and away the most expensive — the paper's 16× worst case.
+    assert per_send["Tracing"] >= per_send["Release"] * 0.8
+    assert per_send["Interposition"] >= per_send["Tracing"] * 0.8
+    assert per_send["Interposition"] >= per_send["Release"] * 1.05
+    assert per_send["TESLA"] > per_send["Interposition"] * 2
+    assert per_send["TESLA"] > per_send["Release"] * 4

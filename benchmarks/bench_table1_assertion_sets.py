@@ -1,0 +1,63 @@
+"""Table 1: the kernel assertion sets and their sizes.
+
+Regenerates the table (symbol, description, assertion count) from the
+shipped assertion sets, checks every size against the paper, and measures
+what Table 1's sets cost to *compile*: analysing and translating all 96
+assertions into automata — the analyser-side work a kernel build performs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.translate import translate_all
+from repro.kernel.assertions import TABLE1_SIZES, assertion_sets
+
+from conftest import emit
+
+DESCRIPTIONS = {
+    "MF": "MAC (filesystem)",
+    "MS": "MAC (sockets)",
+    "MP": "MAC (processes)",
+    "M": "All MAC assertions",
+    "P": "Process lifetimes",
+    "All": "All TESLA assertions",
+}
+
+
+def render_table() -> str:
+    sets = assertion_sets()
+    lines = [
+        "Table 1: assertion sets (paper sizes in parentheses)",
+        "----------------------------------------------------",
+        f"{'Symbol':<8}{'Description':<24}{'Assertions':>10}",
+    ]
+    for symbol in ("MF", "MS", "MP", "M", "P", "All"):
+        count = len(sets[symbol])
+        expected = TABLE1_SIZES[symbol]
+        lines.append(
+            f"{symbol:<8}{DESCRIPTIONS[symbol]:<24}{count:>6} ({expected})"
+        )
+    return "\n".join(lines)
+
+
+def test_table1_sizes(benchmark, results_dir):
+    sets = assertion_sets()
+
+    def compile_all():
+        return translate_all(sets["All"])
+
+    automata = benchmark(compile_all)
+    assert len(automata) == 96
+    table = render_table()
+    emit(results_dir, "table1", table)
+    for symbol, expected in TABLE1_SIZES.items():
+        assert len(sets[symbol]) == expected, symbol
+
+
+@pytest.mark.parametrize("symbol", ["MF", "MS", "MP", "P"])
+def test_table1_subset_compilation(benchmark, symbol):
+    """Per-set analyser cost, proportional to assertion count."""
+    subset = assertion_sets()[symbol]
+    automata = benchmark(lambda: translate_all(subset))
+    assert len(automata) == TABLE1_SIZES[symbol]

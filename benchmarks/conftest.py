@@ -1,0 +1,70 @@
+"""Shared benchmark fixtures.
+
+Each ``bench_*`` module reproduces one of the paper's tables or figures:
+it measures the figure's configurations, prints the paper-style rows
+(visible with ``-s``; always written to ``benchmarks/results/``), and
+asserts the *shape* claims recorded in EXPERIMENTS.md.  Absolute numbers
+differ from the paper (Python vs C/LLVM on different hardware); orderings
+and rough factors are what these benches check.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.gui.cursor import NSCursor
+from repro.instrument.fields import field_registry
+from repro.instrument.hooks import hook_registry, site_registry
+from repro.instrument.interpose import interposition_table
+from repro.kernel.bugs import bugs
+from repro.kernel.mac.framework import mac_framework
+from repro.kernel.procfs import procfs_unmount
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(autouse=True)
+def clean_global_state():
+    yield
+    hook_registry.detach_all()
+    site_registry.detach_all()
+    field_registry.detach_all()
+    interposition_table.clear()
+    bugs.disable_all()
+    mac_framework.unregister_all()
+    procfs_unmount()
+    NSCursor.reset_stack()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a figure's table and persist it for EXPERIMENTS.md.
+
+    Alongside the human-readable table, any ``label  <number>[ unit]``
+    rows are also captured into ``<name>.json`` so downstream plotting can
+    consume the figures without re-parsing the text.
+    """
+    import json
+    import re
+
+    print("\n" + text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    rows = {}
+    for line in text.splitlines():
+        match = re.match(
+            r"^(?P<label>[A-Za-z(][\w ()+/.-]*?)\s{2,}(?P<value>-?\d+(?:\.\d+)?)",
+            line,
+        )
+        if match:
+            rows[match.group("label").strip()] = float(match.group("value"))
+    if rows:
+        (results_dir / f"{name}.json").write_text(
+            json.dumps(rows, indent=1, sort_keys=True) + "\n"
+        )

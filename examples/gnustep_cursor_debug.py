@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""The GNUstep use case (section 3.5.3): stateful-API exploration.
+
+Two investigations, both driven by the figure 8 tracing assertion (an
+``ATLEAST(0, …)`` over every AppKit-ish selector, bounded by the run-loop
+iteration) and a custom trace handler:
+
+1. *Cursor push/pop*: replaying the same hover script under correct and
+   buggy event orderings, the traces show duplicated pushes never matched
+   by pops — "the same cursors were pushed onto the cursor stack multiple
+   times", leaving the UI in the wrong state.
+2. *Graphics-state corruption*: rendering an identical scene on the old
+   and new back-ends, the drawing signatures diverge; the traces show the
+   non-LIFO restore sequence the new back-end cannot handle.
+
+A sequence histogram over the trace also surfaces the optimisation
+opportunity the paper noticed: redundant save/restore pairs where only
+colour and position change in between.
+
+Run:  python examples/gnustep_cursor_debug.py
+"""
+
+from repro import Instrumenter, TeslaRuntime
+from repro.gui import (
+    NewBackend,
+    NSCursor,
+    OldBackend,
+    XneeReplayer,
+    all_selectors,
+    build_demo_window,
+    cursor_bug_scenario,
+    msg_send,
+    tracing_assertion,
+)
+from repro.instrument.interpose import interposition_table
+from repro.introspect import TraceRecorder, sequence_histogram
+
+
+def main():
+    assertion = tracing_assertion()
+    print(f"Figure 8 assertion instruments {len(all_selectors())} selectors "
+          f"via objc_msgSend interposition")
+
+    runtime = TeslaRuntime()
+    recorder = TraceRecorder(capture_stacks=True, stack_depth=6)
+    with Instrumenter(runtime, objc_selectors=set(all_selectors())) as session:
+        session.instrument([assertion])
+        interposition_table.install_wildcard(recorder.interposition_hook)
+        try:
+            print("\n1. Cursor push/pop pairing")
+            window = build_demo_window(OldBackend(), buggy_event_order=False)
+            depth = cursor_bug_scenario(window)
+            good = recorder.pairing_imbalance("push", "pop")
+            print(f"   correct ordering: stack depth {depth}, "
+                  f"push/pop imbalance {good}")
+
+            recorder.clear()
+            window = build_demo_window(OldBackend(), buggy_event_order=True)
+            depth = cursor_bug_scenario(window)
+            bad = recorder.pairing_imbalance("push", "pop")
+            print(f"   buggy ordering:   stack depth {depth}, "
+                  f"push/pop imbalance {bad}")
+            unmatched = recorder.first_unmatched("push", "pop")
+            if unmatched is not None:
+                stack = " <- ".join(reversed(unmatched.stack[-4:]))
+                print(f"   first unmatched push: #{unmatched.index} "
+                      f"(stack: {stack})")
+
+            print("\n2. Back-end graphics-state corruption")
+            recorder.clear()
+            old_ctx = msg_send(build_demo_window(OldBackend()), "display")
+            new_window = build_demo_window(NewBackend())
+            new_ctx = msg_send(new_window, "display")
+            same = old_ctx.render_signature() == new_ctx.render_signature()
+            print(f"   render signatures identical: {same}")
+            print(f"   new back-end mis-restores:   "
+                  f"{new_window.backend.misrestores} (silent corruptions)")
+            diffs = [
+                index
+                for index, (a, b) in enumerate(
+                    zip(old_ctx.render_signature(), new_ctx.render_signature())
+                )
+                if a != b
+            ]
+            print(f"   first differing draw commands: {diffs[:5]}")
+
+            print("\n3. Profiling: common call sequences (save/restore churn)")
+            recorder.clear()
+            NSCursor.reset_stack()
+            XneeReplayer(build_demo_window(OldBackend())).replay(2)
+            histogram = sequence_histogram(recorder.records, window=2)
+            top = sorted(histogram.items(), key=lambda kv: -kv[1])[:5]
+            for sequence, count in top:
+                print(f"   {count:4d}x  {' -> '.join(sequence)}")
+            saves = recorder.count("saveGraphicsState:", "send")
+            print(f"   graphics-state saves this replay: {saves} — the "
+                  f"traces make the redundant save/restore pattern visible")
+        finally:
+            interposition_table.clear()
+
+
+if __name__ == "__main__":
+    main()

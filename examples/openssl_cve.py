@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The OpenSSL use case (section 3.5.1): detecting CVE-2008-5077 with one
+temporal assertion in libfetch.
+
+Scenario: the day after the CVE was announced, the author of an HTTPS
+client wants to know whether their client is vulnerable — without
+inspecting every call into libcrypto.  They write the figure 6 assertion
+("within fetch_url, EVP_VerifyFinal previously returned 1"), recompile,
+and point the client at a malicious server that forges an ASN.1 BIT STRING
+tag inside the key-exchange signature.
+
+libcrypto cannot be "recompiled" here (it is not built instrumentable), so
+the instrumenter weaves the EVP_VerifyFinal hook *caller-side* into libssl
+— demonstrating instrumentation on either side of a library API.
+
+Run:  python examples/openssl_cve.py
+"""
+
+import repro.sslx.libssl as libssl
+from repro import Instrumenter, TemporalAssertionError, TeslaRuntime
+from repro.sslx import SServer, SslError, fetch_assertion, fetch_url
+
+
+def main():
+    assertion = fetch_assertion()
+    print("The figure 6 assertion:")
+    print(" ", assertion.describe())
+
+    print("\n1. Without TESLA — the CVE in action:")
+    honest, malicious = SServer(), SServer(malicious=True)
+    body = fetch_url(honest, strict_verify=False)
+    print(f"   honest server:    fetched {len(body)} bytes")
+    body = fetch_url(malicious, strict_verify=False)
+    print(
+        f"   malicious server: fetched {len(body)} bytes — the forged "
+        f"signature was accepted (EVP_VerifyFinal returned -1, conflated "
+        f"with success)"
+    )
+
+    print("\n2. The fixed client rejects it at the SSL layer:")
+    try:
+        fetch_url(malicious, strict_verify=True)
+    except SslError as exc:
+        print(f"   SslError: {exc}")
+
+    print("\n3. With TESLA instrumented (caller-side on EVP_VerifyFinal):")
+    runtime = TeslaRuntime()
+    with Instrumenter(runtime, caller_modules=[libssl]) as session:
+        session.instrument([assertion])
+        body = fetch_url(SServer(), strict_verify=False)
+        print(f"   honest server:    fetched {len(body)} bytes, assertion held")
+        try:
+            fetch_url(SServer(malicious=True), strict_verify=False)
+            print("   malicious server: NOT DETECTED (unexpected!)")
+        except TemporalAssertionError as exc:
+            print(f"   malicious server: {exc}")
+    print(
+        "\nThe vulnerable client itself raised no error — only the temporal "
+        "assertion noticed that no successful verification ever happened."
+    )
+
+
+if __name__ == "__main__":
+    main()

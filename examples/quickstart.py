@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Quickstart: the figure 1 assertion on a toy program.
+
+Within the execution of ``enclosing_fn``, a previous call to
+``security_check`` with arguments (any pointer, o, op) should have
+returned 0.  We run the well-behaved program (the assertion holds), then a
+buggy variant that skips the check (TESLA fail-stops), then re-run the
+buggy variant with a log-and-continue policy and inspect the violations.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ANY,
+    Instrumenter,
+    LogAndContinue,
+    TemporalAssertionError,
+    TeslaRuntime,
+    fn,
+    instrumentable,
+    previously,
+    tesla_site,
+    tesla_within,
+    translate,
+    var,
+)
+
+# --- the program under test -------------------------------------------------
+
+
+@instrumentable()
+def security_check(subject, obj, op):
+    """The access-control check higher layers are supposed to call."""
+    print(f"  security_check({subject!r}, {obj!r}, {op!r})")
+    return 0
+
+
+def do_operation(obj, op):
+    """Deep in the object implementation: *expects* a prior check."""
+    tesla_site("figure1", o=obj, op=op)
+    print(f"  do_operation({obj!r}, {op!r})")
+
+
+@instrumentable()
+def enclosing_fn(obj, op, *, check_first=True):
+    if check_first:
+        security_check("caller", obj, op)
+    do_operation(obj, op)
+
+
+# --- the temporal assertion (figure 1) ----------------------------------------
+
+assertion = tesla_within(
+    "enclosing_fn",
+    previously(fn("security_check", ANY("ptr"), var("o"), var("op")) == 0),
+    name="figure1",
+)
+
+
+def main():
+    print("The assertion:")
+    print(" ", assertion.describe())
+    print("\nIts automaton (what the analyser emits):")
+    print(translate(assertion).describe())
+
+    runtime = TeslaRuntime()
+    with Instrumenter(runtime) as session:
+        session.instrument([assertion])
+
+        print("\nWell-behaved run (check happens first):")
+        enclosing_fn("inode#7", "read")
+        print("  -> no violation")
+
+        print("\nBuggy run (check skipped) under the default fail-stop policy:")
+        try:
+            enclosing_fn("inode#7", "read", check_first=False)
+        except TemporalAssertionError as exc:
+            print(f"  -> {exc}")
+
+    # Same bug, but logged instead of fail-stopped (the deployable config).
+    policy = LogAndContinue()
+    runtime = TeslaRuntime(policy=policy)
+    with Instrumenter(runtime) as session:
+        session.instrument([assertion])
+        print("\nBuggy run under log-and-continue:")
+        enclosing_fn("inode#7", "read", check_first=False)
+        print(f"  -> program survived; {len(policy.violations)} violation(s) logged:")
+        for violation in policy.violations:
+            print("    ", violation.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``bdist_wheel`` under
+PEP 517; offline boxes without ``wheel`` can fall back to the legacy
+develop install this file enables (``pip install -e . --no-use-pep517``).
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

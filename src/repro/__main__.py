@@ -1,0 +1,7 @@
+"""``python -m repro`` — the TESLA reproduction's command-line interface."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

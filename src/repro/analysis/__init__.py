@@ -1,0 +1,19 @@
+"""Static analysis extensions (the paper's section 7 future work)."""
+
+from .static import (
+    ElisionReport,
+    MustCheckAnalysis,
+    StaticModel,
+    apply_static_elision,
+    must_check_before_site,
+    never_satisfiable,
+)
+
+__all__ = [
+    "ElisionReport",
+    "MustCheckAnalysis",
+    "StaticModel",
+    "apply_static_elision",
+    "must_check_before_site",
+    "never_satisfiable",
+]

@@ -1,0 +1,394 @@
+"""Static discharge of temporal assertions (paper section 7).
+
+"A natural next direction would be to explore cases where static analysis
+could be used to both improve accuracy and performance.  Where
+inter-procedural analysis is reliable … it might be that otherwise
+expensive sequences of checks and state transitions could be entirely
+elided.  A further advantage would be compile-time reporting of potential
+failures."
+
+This module implements that direction for ``previously``-style assertions:
+
+* :class:`StaticModel` builds a call-ordered model of Python source —
+  which functions call which, where the ``tesla_site`` markers are, and
+  whether a call is *unconditional* (straight-line) or *conditional*
+  (under ``if``/``for``/``while``/``try``).
+* :func:`must_check_before_site` answers "on every modelled path from the
+  temporal bound to the assertion site, is one of the checking functions
+  called first?"  — the condition under which the run-time automaton can
+  never fire and its instrumentation can be elided.
+* :func:`apply_static_elision` partitions a batch of assertions into
+  *discharged* (provably satisfied — skip instrumentation), *doomed*
+  (provably unsatisfiable: the site is statically reachable but no
+  referenced event ever happens — report at "compile time"), and
+  *monitored* (everything the analysis cannot decide, left to libtesla).
+
+Soundness posture: a conditional call neither discharges an obligation
+(it may not run) nor is ignored as a threat (it may run and reach the
+site); calls through unknown callees (function pointers, method tables —
+the kernel's VOP/pr_usrreqs indirection) make the caller *opaque*, and
+anything reachable through opaque code is conservatively left monitored.
+Exactly as the paper anticipates, the dynamic indirection that motivates
+TESLA also bounds how much this static pass can discharge.
+"""
+
+from __future__ import annotations
+
+import ast
+import types
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from ..core.ast import (
+    AssertionSite,
+    Expression,
+    FunctionCall,
+    FunctionReturn,
+    Sequence as SeqExpr,
+    TemporalAssertion,
+    walk,
+)
+
+# ---------------------------------------------------------------------------
+# source model
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CallStep:
+    """One modelled step inside a function body, in statement order."""
+
+    kind: str  # "call" | "site" | "opaque"
+    name: str
+    #: True when the step executes on every path through the body
+    #: (not nested under a branch, loop, or exception handler).
+    unconditional: bool
+
+
+@dataclass
+class FunctionModel:
+    name: str
+    steps: List[CallStep] = field(default_factory=list)
+
+    @property
+    def opaque(self) -> bool:
+        return any(step.kind == "opaque" for step in self.steps)
+
+
+class _BodyVisitor(ast.NodeVisitor):
+    """Collects :class:`CallStep` entries from one function body."""
+
+    CONDITIONAL_NODES = (
+        ast.If,
+        ast.For,
+        ast.While,
+        ast.Try,
+        ast.With,  # bodies may be skipped via __enter__ raising
+        ast.IfExp,
+        ast.BoolOp,
+    )
+
+    def __init__(self) -> None:
+        self.steps: List[CallStep] = []
+        self._depth = 0
+
+    def visit_Call(self, node: ast.Call) -> None:
+        unconditional = self._depth == 0
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "tesla_site" and node.args:
+                site = node.args[0]
+                if isinstance(site, ast.Constant) and isinstance(site.value, str):
+                    self.steps.append(CallStep("site", site.value, unconditional))
+                else:
+                    # Computed site names (procfs) are modelled opaquely.
+                    self.steps.append(CallStep("opaque", "<dynamic-site>", unconditional))
+            else:
+                self.steps.append(CallStep("call", func.id, unconditional))
+        elif isinstance(func, ast.Attribute):
+            if func.attr == "tesla_site":
+                pass  # qualified site calls are not used in this codebase
+            elif isinstance(func.value, ast.Name):
+                # module.fn(...) / self.method(...): a resolvable name.
+                self.steps.append(CallStep("call", func.attr, unconditional))
+            else:
+                # fp.f_ops.fo_poll(...): a chained attribute lookup is a
+                # function-pointer dereference as far as this model knows.
+                self.steps.append(
+                    CallStep("opaque", f"<{func.attr}>", unconditional)
+                )
+        else:
+            # vp.v_op["open"](...), fp(...), etc.: unknown callee.
+            self.steps.append(CallStep("opaque", "<indirect>", unconditional))
+        self.generic_visit(node)
+
+    def generic_visit(self, node: ast.AST) -> None:
+        if isinstance(node, self.CONDITIONAL_NODES):
+            self._depth += 1
+            super().generic_visit(node)
+            self._depth -= 1
+        else:
+            super().generic_visit(node)
+
+
+class StaticModel:
+    """A call-ordered model of a set of Python modules."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionModel] = {}
+
+    @classmethod
+    def from_modules(
+        cls, modules: Sequence[types.ModuleType]
+    ) -> "StaticModel":
+        model = cls()
+        for module in modules:
+            path = getattr(module, "__file__", None)
+            if path is None:
+                continue
+            model.add_source(Path(path).read_text(), filename=module.__name__)
+        return model
+
+    def add_source(self, source: str, filename: str = "<source>") -> None:
+        tree = ast.parse(source, filename=filename)
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                visitor = _BodyVisitor()
+                for statement in node.body:
+                    visitor.visit(statement)
+                # Later definitions shadow earlier ones, as at import time.
+                self.functions[node.name] = FunctionModel(
+                    name=node.name, steps=visitor.steps
+                )
+
+    def defines(self, name: str) -> bool:
+        return name in self.functions
+
+    def callers_of(self, name: str) -> List[str]:
+        return sorted(
+            fn.name
+            for fn in self.functions.values()
+            if any(s.kind == "call" and s.name == name for s in fn.steps)
+        )
+
+    def site_hosts(self, site_name: str) -> List[str]:
+        return sorted(
+            fn.name
+            for fn in self.functions.values()
+            if any(s.kind == "site" and s.name == site_name for s in fn.steps)
+        )
+
+
+# ---------------------------------------------------------------------------
+# the must-check analysis
+# ---------------------------------------------------------------------------
+
+#: Tri-state summaries for "does this function always call a check?".
+_ALWAYS, _NEVER, _MAYBE = "always", "never", "maybe"
+
+
+class MustCheckAnalysis:
+    """Does every modelled path from ``bound`` to ``site`` check first?"""
+
+    def __init__(self, model: StaticModel, checks: FrozenSet[str]) -> None:
+        self.model = model
+        self.checks = checks
+        self._always_cache: Dict[str, str] = {}
+        #: Functions visited by the forward exploration — a discharge is
+        #: only claimed if the site's host is among them (otherwise the
+        #: site must be reachable through unresolved indirection).
+        self.visited: Set[str] = set()
+
+    # -- per-function summary: does fn always perform a check? ---------------
+
+    def always_checks(self, name: str, _stack: Optional[Set[str]] = None) -> str:
+        if name in self._always_cache:
+            return self._always_cache[name]
+        stack = _stack or set()
+        if name in stack:
+            return _MAYBE  # recursion: stay undecided
+        fn = self.model.functions.get(name)
+        if fn is None:
+            return _NEVER
+        stack = stack | {name}
+        verdict = _NEVER
+        for step in fn.steps:
+            if step.kind == "call":
+                if step.name in self.checks:
+                    inner = _ALWAYS
+                else:
+                    inner = self.always_checks(step.name, stack)
+                if inner == _ALWAYS and step.unconditional:
+                    verdict = _ALWAYS
+                    break
+                if inner != _NEVER:
+                    verdict = _MAYBE
+        self._always_cache[name] = verdict
+        return verdict
+
+    # -- can the site be reached without a prior check? -----------------------
+
+    def site_reachable_unchecked(
+        self,
+        name: str,
+        site: str,
+        checked: bool,
+        _stack: Optional[Set[str]] = None,
+    ) -> Optional[bool]:
+        """True: a modelled unchecked path reaches the site.
+        False: every modelled path checks first (or never reaches it).
+        None: undecidable (opaque calls en route)."""
+        stack = _stack or frozenset()
+        if (name, checked) in stack:
+            return False  # re-entering with no new facts adds no paths
+        fn = self.model.functions.get(name)
+        if fn is None:
+            return False
+        stack = set(stack) | {(name, checked)}
+        self.visited.add(name)
+        undecided = False
+        for step in fn.steps:
+            if step.kind == "opaque":
+                # A function-pointer dereference can reach anything —
+                # including the site's host.  Harmless once a check is
+                # already in force; undecidable before one.
+                if not checked:
+                    undecided = True
+                continue
+            if step.kind == "site":
+                if step.name == site and not checked:
+                    return True
+                continue
+            # a call step
+            if step.name in self.checks:
+                if step.unconditional:
+                    checked = True
+                continue
+            inner = self.site_reachable_unchecked(step.name, site, checked, stack)
+            if inner:
+                return True
+            if inner is None:
+                undecided = True
+            summary = self.always_checks(step.name)
+            if summary == _ALWAYS and step.unconditional:
+                checked = True
+        return None if undecided else False
+
+
+# ---------------------------------------------------------------------------
+# assertion-level driver
+# ---------------------------------------------------------------------------
+
+
+def _previously_checks(assertion: TemporalAssertion) -> Optional[FrozenSet[str]]:
+    """The checking-function alternatives of a simple ``previously`` body.
+
+    Returns None for shapes (eventually, nested sequences, field events)
+    the static pass does not attempt.
+    """
+    expression = assertion.expression
+    if not isinstance(expression, SeqExpr) or len(expression.parts) != 2:
+        return None
+    body, site = expression.parts
+    if not isinstance(site, AssertionSite):
+        return None
+    names: Set[str] = set()
+    for node in walk(body):
+        if isinstance(node, (FunctionCall, FunctionReturn)):
+            names.add(node.function)
+        elif isinstance(node, AssertionSite):
+            return None
+        elif not isinstance(node, type(body)) and node is not body:
+            # Operators other than a single event / flat OR are skipped.
+            pass
+    return frozenset(names) if names else None
+
+
+def must_check_before_site(
+    model: StaticModel, assertion: TemporalAssertion
+) -> Optional[bool]:
+    """Tri-state: True = statically discharged, False = a modelled
+    unchecked path exists, None = the analysis cannot decide."""
+    checks = _previously_checks(assertion)
+    if checks is None:
+        return None
+    bound = assertion.bound.entry
+    if not isinstance(bound, FunctionCall):
+        return None
+    hosts = model.site_hosts(assertion.name)
+    if not hosts:
+        return None  # the site is not in modelled code
+    analysis = MustCheckAnalysis(model, checks)
+    reachable = analysis.site_reachable_unchecked(
+        bound.function, assertion.name, checked=False
+    )
+    if reachable is None:
+        return None
+    if reachable:
+        return False
+    # No unchecked path was *modelled* — but a discharge is only honest if
+    # the exploration actually explains how the site is reached.  A host
+    # the forward walk never visited must be reached through indirection
+    # the model cannot follow (figure 3's layers), so stay undecided.
+    if not all(host in analysis.visited for host in hosts):
+        return None
+    return True
+
+
+def never_satisfiable(
+    model: StaticModel, assertion: TemporalAssertion
+) -> bool:
+    """Compile-time failure report: the site is statically present but no
+    referenced checking function is defined or called anywhere modelled."""
+    checks = _previously_checks(assertion)
+    if checks is None:
+        return False
+    if not model.site_hosts(assertion.name):
+        return False
+    for check in checks:
+        if model.defines(check) or model.callers_of(check):
+            return False
+    return True
+
+
+@dataclass
+class ElisionReport:
+    """The outcome of a static pass over a batch of assertions."""
+
+    discharged: List[TemporalAssertion] = field(default_factory=list)
+    doomed: List[TemporalAssertion] = field(default_factory=list)
+    monitored: List[TemporalAssertion] = field(default_factory=list)
+
+    def summary(self) -> str:
+        total = len(self.discharged) + len(self.doomed) + len(self.monitored)
+        lines = [
+            f"static elision: {len(self.discharged)}/{total} discharged, "
+            f"{len(self.doomed)} doomed, {len(self.monitored)} monitored"
+        ]
+        for assertion in self.discharged:
+            lines.append(f"  discharged: {assertion.name}")
+        for assertion in self.doomed:
+            lines.append(f"  DOOMED (will always fail): {assertion.name}")
+        return "\n".join(lines)
+
+
+def apply_static_elision(
+    model: StaticModel, assertions: Sequence[TemporalAssertion]
+) -> ElisionReport:
+    """Partition assertions by what the static pass can prove.
+
+    ``monitored`` is what should actually be instrumented; ``doomed``
+    entries deserve a compile-time diagnostic before any run.
+    """
+    report = ElisionReport()
+    for assertion in assertions:
+        if never_satisfiable(model, assertion):
+            report.doomed.append(assertion)
+            continue
+        verdict = must_check_before_site(model, assertion)
+        if verdict is True:
+            report.discharged.append(assertion)
+        else:
+            report.monitored.append(assertion)
+    return report

@@ -1,0 +1,18 @@
+"""Shared benchmark harness: timing, normalisation, paper-style tables."""
+
+from .results import BenchResult, Series, compare, normalise
+from .timer import median_time, percentile, repeat_time, time_once
+from .tables import format_ratio_table, format_series_table
+
+__all__ = [
+    "BenchResult",
+    "Series",
+    "compare",
+    "normalise",
+    "median_time",
+    "percentile",
+    "repeat_time",
+    "time_once",
+    "format_ratio_table",
+    "format_series_table",
+]

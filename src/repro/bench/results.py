@@ -1,0 +1,58 @@
+"""Benchmark result containers and normalisation.
+
+The paper's figures plot either raw times (figures 10, 11a, 12, 13a, 14)
+or run time normalised to a baseline configuration (figures 11b, 13b).
+:func:`normalise` produces the latter; :func:`compare` checks the *shape*
+claims (who is slower, by roughly what factor) that EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class BenchResult:
+    """One configuration's measurement."""
+
+    label: str
+    seconds: float
+    samples: Tuple[float, ...] = ()
+    meta: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class Series:
+    """An ordered set of configurations measured under one workload."""
+
+    name: str
+    results: List[BenchResult] = field(default_factory=list)
+
+    def add(self, label: str, seconds: float, **meta: object) -> BenchResult:
+        result = BenchResult(label=label, seconds=seconds, meta=dict(meta))
+        self.results.append(result)
+        return result
+
+    def get(self, label: str) -> BenchResult:
+        for result in self.results:
+            if result.label == label:
+                return result
+        raise KeyError(f"no result labelled {label!r} in series {self.name!r}")
+
+    def labels(self) -> List[str]:
+        return [r.label for r in self.results]
+
+
+def normalise(series: Series, baseline: str) -> Dict[str, float]:
+    """Run time of every configuration relative to ``baseline``."""
+    base = series.get(baseline).seconds
+    if base <= 0:
+        raise ValueError(f"baseline {baseline!r} has non-positive time")
+    return {r.label: r.seconds / base for r in series.results}
+
+
+def compare(series: Series, slower: str, faster: str) -> float:
+    """The slowdown factor of ``slower`` over ``faster`` (≥1 if the shape
+    claim holds)."""
+    return series.get(slower).seconds / series.get(faster).seconds

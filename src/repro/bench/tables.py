@@ -1,0 +1,53 @@
+"""Paper-style text tables for benchmark output.
+
+Each ``benchmarks/bench_*.py`` prints the rows/series its figure reports,
+via these formatters, so running the bench suite regenerates a textual
+version of every figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from .results import Series
+
+
+def format_series_table(
+    series: Series,
+    unit: str = "s",
+    scale: float = 1.0,
+    baseline: Optional[str] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a series as an aligned two/three-column table.
+
+    With ``baseline`` set, a normalised column is added (the figure 11b /
+    13b presentation).
+    """
+    rows = []
+    base = series.get(baseline).seconds if baseline else None
+    for result in series.results:
+        value = result.seconds * scale
+        row = [result.label, f"{value:.3f} {unit}"]
+        if base:
+            row.append(f"{result.seconds / base:6.2f}x")
+        rows.append(row)
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    lines = [title or series.name]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_ratio_table(
+    ratios: Mapping[str, float], title: str, reference: str = ""
+) -> str:
+    """Render label → ratio pairs (e.g. paper-vs-measured factors)."""
+    lines = [title, "-" * len(title)]
+    if reference:
+        lines.append(f"(normalised to {reference})")
+    width = max(len(label) for label in ratios)
+    for label, ratio in ratios.items():
+        lines.append(f"{label.ljust(width)}  {ratio:7.2f}x")
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Timing primitives for the benchmark harness.
+
+All figure reproductions report *relative* overheads, so the harness
+favours medians over means (robust to GC pauses and scheduler noise) and
+keeps raw samples available for percentile reporting (figure 14b's
+redraw-time distribution).
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from typing import Callable, List, Sequence, Tuple
+
+
+def time_once(workload: Callable[[], object]) -> float:
+    """One wall-clock measurement, with GC parked during the run."""
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        workload()
+        return time.perf_counter() - start
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def repeat_time(
+    workload: Callable[[], object], repeats: int = 5, warmup: int = 1
+) -> List[float]:
+    """``repeats`` timed runs after ``warmup`` untimed ones."""
+    for _ in range(warmup):
+        workload()
+    return [time_once(workload) for _ in range(repeats)]
+
+
+def median_time(
+    workload: Callable[[], object], repeats: int = 5, warmup: int = 1
+) -> float:
+    """Median of ``repeats`` timed runs — the harness's standard measure."""
+    samples = sorted(repeat_time(workload, repeats=repeats, warmup=warmup))
+    mid = len(samples) // 2
+    if len(samples) % 2:
+        return samples[mid]
+    return (samples[mid - 1] + samples[mid]) / 2
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile; ``q`` in [0, 100]."""
+    if not samples:
+        raise ValueError("no samples")
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, round(q / 100 * (len(ordered) - 1))))
+    return ordered[rank]

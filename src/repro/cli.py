@@ -1,0 +1,264 @@
+"""The ``tesla`` command-line interface (``python -m repro``).
+
+Developer-facing plumbing around the analyser, mirroring the original
+tool's command-line workflow: inspect assertion sets, dump automata (text
+or Graphviz), write and combine ``.tesla`` manifests, and run the static
+elision pass — all without writing a Python driver.
+
+Commands
+========
+
+``table1``
+    Print Table 1 (the kernel assertion sets and their sizes).
+``list <set>``
+    List the assertions in one kernel set (MF, MS, MP, M, P, All, …).
+``automaton <name> [--dot]``
+    Translate one kernel assertion and print its automaton (or DOT).
+``manifest <path> [--set NAME]``
+    Write a kernel assertion set as a ``.tesla`` program manifest.
+``show <path>``
+    Summarise a ``.tesla`` manifest from disk.
+``elide <set>``
+    Run the static must-check analysis over a kernel set and report what
+    could be discharged, doomed, or must stay monitored.
+``bugs``
+    List the injectable kernel bugs and their paper provenance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core.manifest import ProgramManifest, UnitManifest, combine
+from .core.translate import translate
+
+
+def _kernel_sets():
+    from .kernel.assertions import assertion_sets
+
+    return assertion_sets()
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    """Print Table 1 and verify the sizes against the paper."""
+    from .kernel.assertions import TABLE1_SIZES
+
+    sets = _kernel_sets()
+    print(f"{'Symbol':<8}{'Description':<26}{'Assertions':>10}")
+    descriptions = {
+        "MF": "MAC (filesystem)",
+        "MS": "MAC (sockets)",
+        "MP": "MAC (processes)",
+        "M": "All MAC assertions",
+        "P": "Process lifetimes",
+        "All": "All TESLA assertions",
+    }
+    for symbol in ("MF", "MS", "MP", "M", "P", "All"):
+        print(f"{symbol:<8}{descriptions[symbol]:<26}{len(sets[symbol]):>10}")
+    for symbol, expected in TABLE1_SIZES.items():
+        if len(sets[symbol]) != expected:
+            print(f"warning: {symbol} has {len(sets[symbol])}, paper says {expected}")
+            return 1
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """List one kernel assertion set with its tags."""
+    sets = _kernel_sets()
+    if args.set not in sets:
+        print(f"unknown set {args.set!r}; known: {', '.join(sorted(sets))}")
+        return 2
+    for assertion in sets[args.set]:
+        tags = ",".join(assertion.tags)
+        print(f"{assertion.name:<40} [{tags}]")
+    return 0
+
+
+def _find_assertion(name: str):
+    for assertions in _kernel_sets().values():
+        for assertion in assertions:
+            if assertion.name == name:
+                return assertion
+    return None
+
+
+def cmd_automaton(args: argparse.Namespace) -> int:
+    """Translate one kernel assertion and print it (text or DOT)."""
+    assertion = _find_assertion(args.name)
+    if assertion is None:
+        print(f"no kernel assertion named {args.name!r} (try 'list All')")
+        return 2
+    automaton = translate(assertion)
+    if args.dot:
+        from .introspect.weights import WeightedEdge, WeightedGraph, to_dot
+
+        graph = WeightedGraph(
+            automaton=automaton.name,
+            n_states=automaton.n_states,
+            start=automaton.start,
+            accept=automaton.accept,
+        )
+        from .core.automaton import TransitionKind
+
+        for transition in automaton.transitions:
+            if transition.symbol is not None and transition.kind in (
+                TransitionKind.EVENT,
+                TransitionKind.SITE,
+            ):
+                label = automaton.symbols[transition.symbol].describe()
+            else:
+                label = f"«{transition.kind.value}»"
+            graph.edges.append(
+                WeightedEdge(
+                    src=transition.src,
+                    dst=transition.dst,
+                    label=label,
+                    kind=transition.kind.value,
+                    weight=0,
+                )
+            )
+        print(to_dot(graph, scale_weights=False))
+    else:
+        print(assertion.describe())
+        print()
+        print(automaton.describe())
+    return 0
+
+
+def cmd_manifest(args: argparse.Namespace) -> int:
+    """Write a kernel assertion set to disk as a .tesla manifest."""
+    sets = _kernel_sets()
+    if args.set not in sets:
+        print(f"unknown set {args.set!r}; known: {', '.join(sorted(sets))}")
+        return 2
+    manifest = combine(
+        [UnitManifest(unit=f"kernel.{args.set}", assertions=sets[args.set])]
+    )
+    path = manifest.save(args.path)
+    targets = manifest.instrumentation_targets()
+    print(f"wrote {len(manifest.assertions)} assertions to {path}")
+    print(f"instrumentation targets: {len(targets)} functions")
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    """Summarise a .tesla manifest: units, assertions, hook targets."""
+    manifest = ProgramManifest.load(args.path)
+    assertions = manifest.assertions
+    print(f"{args.path}: {len(manifest.units)} unit(s), {len(assertions)} assertion(s)")
+    for unit in manifest.units:
+        print(f"  unit {unit.unit}: {len(unit.assertions)} assertion(s)")
+    targets = manifest.instrumentation_targets()
+    print(f"functions needing instrumentation: {len(targets)}")
+    for fn_name in sorted(targets)[: args.limit]:
+        print(f"  {fn_name}  <- {', '.join(targets[fn_name][:4])}")
+    return 0
+
+
+def cmd_elide(args: argparse.Namespace) -> int:
+    """Run the static must-check analysis over a kernel set."""
+    import repro.kernel.mac.checks
+    import repro.kernel.net.select
+    import repro.kernel.net.socket
+    import repro.kernel.process
+    import repro.kernel.procfs
+    import repro.kernel.syscalls
+    import repro.kernel.vfs.ufs
+    import repro.kernel.vfs.vfs_ops
+
+    from .analysis import StaticModel, apply_static_elision
+
+    sets = _kernel_sets()
+    if args.set not in sets:
+        print(f"unknown set {args.set!r}; known: {', '.join(sorted(sets))}")
+        return 2
+    model = StaticModel.from_modules(
+        [
+            repro.kernel.mac.checks,
+            repro.kernel.net.select,
+            repro.kernel.net.socket,
+            repro.kernel.process,
+            repro.kernel.procfs,
+            repro.kernel.syscalls,
+            repro.kernel.vfs.ufs,
+            repro.kernel.vfs.vfs_ops,
+        ]
+    )
+    report = apply_static_elision(model, sets[args.set])
+    print(report.summary())
+    return 1 if report.doomed else 0
+
+
+def cmd_bugs(args: argparse.Namespace) -> int:
+    """List the injectable kernel bugs and their paper provenance."""
+    from .kernel.bugs import KNOWN_BUGS, bugs
+
+    provenance = {
+        "kqueue_missing_mac_check": "§3.5.2: poll checked for select/poll but not kqueue",
+        "sopoll_wrong_cred": "§3.5.2: cached file_cred passed instead of active_cred",
+        "sugid_not_set": "§3.5.2: credential change without P_SUGID (eventually)",
+        "kld_check_skipped": "figure 7: module load is an open-like op with its own hook",
+        "extattr_wrong_check": "figure 7: extattr enforcement differs per code path",
+    }
+    for name in KNOWN_BUGS:
+        state = "ON " if bugs.enabled(name) else "off"
+        print(f"[{state}] {name:<28} {provenance.get(name, '')}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="TESLA reproduction: analyser and manifest tooling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table 1").set_defaults(func=cmd_table1)
+
+    list_parser = sub.add_parser("list", help="list a kernel assertion set")
+    list_parser.add_argument("set")
+    list_parser.set_defaults(func=cmd_list)
+
+    automaton_parser = sub.add_parser(
+        "automaton", help="print one kernel assertion's automaton"
+    )
+    automaton_parser.add_argument("name")
+    automaton_parser.add_argument("--dot", action="store_true")
+    automaton_parser.set_defaults(func=cmd_automaton)
+
+    manifest_parser = sub.add_parser(
+        "manifest", help="write a kernel set as a .tesla manifest"
+    )
+    manifest_parser.add_argument("path", type=Path)
+    manifest_parser.add_argument("--set", default="All")
+    manifest_parser.set_defaults(func=cmd_manifest)
+
+    show_parser = sub.add_parser("show", help="summarise a .tesla manifest")
+    show_parser.add_argument("path", type=Path)
+    show_parser.add_argument("--limit", type=int, default=10)
+    show_parser.set_defaults(func=cmd_show)
+
+    elide_parser = sub.add_parser(
+        "elide", help="run static elision over a kernel set"
+    )
+    elide_parser.add_argument("set")
+    elide_parser.set_defaults(func=cmd_elide)
+
+    sub.add_parser("bugs", help="list injectable kernel bugs").set_defaults(
+        func=cmd_bugs
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

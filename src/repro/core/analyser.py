@@ -1,0 +1,106 @@
+"""Assertion collection — the front half of the analyser.
+
+The original analyser walks Clang ASTs looking for ``TESLA_*`` macro
+expansions inside C source files.  The Python equivalent: a *compilation
+unit* is a Python module, and a module publishes its temporal assertions in
+a module-level ``TESLA_ASSERTIONS`` list (or registers them imperatively
+through :class:`AssertionRegistry`).  :func:`analyse_module` parses a unit
+into a :class:`~repro.core.manifest.UnitManifest`; :func:`analyse_program`
+combines units into the whole-program manifest, the step whose one-to-many
+dependencies drive figure 10's incremental rebuild costs.
+"""
+
+from __future__ import annotations
+
+import types
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..errors import AssertionParseError
+from .ast import TemporalAssertion
+from .automaton import Automaton
+from .manifest import ProgramManifest, UnitManifest, combine
+from .translate import translate_all
+
+#: The attribute the analyser looks for in a module.
+DECLARATION_ATTRIBUTE = "TESLA_ASSERTIONS"
+
+
+class AssertionRegistry:
+    """An imperative registry of assertions grouped by compilation unit.
+
+    Substrates that build assertions at import time (e.g. the kernel's
+    Table-1 sets) register here; ad-hoc users can also register directly.
+    """
+
+    def __init__(self) -> None:
+        self._units: Dict[str, List[TemporalAssertion]] = {}
+
+    def declare(self, assertion: TemporalAssertion, unit: str) -> TemporalAssertion:
+        self._units.setdefault(unit, []).append(assertion)
+        return assertion
+
+    def declare_all(
+        self, assertions: Iterable[TemporalAssertion], unit: str
+    ) -> List[TemporalAssertion]:
+        out = [self.declare(a, unit) for a in assertions]
+        return out
+
+    def unit_manifest(self, unit: str) -> UnitManifest:
+        return UnitManifest(unit=unit, assertions=list(self._units.get(unit, [])))
+
+    @property
+    def units(self) -> List[str]:
+        return sorted(self._units)
+
+    def manifest(self) -> ProgramManifest:
+        return combine([self.unit_manifest(u) for u in self.units])
+
+    def clear(self, unit: Optional[str] = None) -> None:
+        if unit is None:
+            self._units.clear()
+        else:
+            self._units.pop(unit, None)
+
+
+#: Process-wide default registry.
+registry = AssertionRegistry()
+
+
+def analyse_module(module: types.ModuleType) -> UnitManifest:
+    """Parse one Python module (compilation unit) into a unit manifest."""
+    declared = getattr(module, DECLARATION_ATTRIBUTE, None)
+    assertions: List[TemporalAssertion] = []
+    if declared is not None:
+        if not isinstance(declared, (list, tuple)):
+            raise AssertionParseError(
+                f"{module.__name__}.{DECLARATION_ATTRIBUTE} must be a "
+                f"list/tuple of TemporalAssertion"
+            )
+        for item in declared:
+            if not isinstance(item, TemporalAssertion):
+                raise AssertionParseError(
+                    f"{module.__name__}.{DECLARATION_ATTRIBUTE} contains "
+                    f"non-assertion {item!r}"
+                )
+            assertions.append(item)
+    return UnitManifest(unit=module.__name__, assertions=assertions)
+
+
+def analyse_program(
+    units: Sequence[Union[types.ModuleType, UnitManifest]],
+) -> ProgramManifest:
+    """Analyse several units and combine them into a program manifest."""
+    manifests: List[UnitManifest] = []
+    for unit in units:
+        if isinstance(unit, UnitManifest):
+            manifests.append(unit)
+        else:
+            manifests.append(analyse_module(unit))
+    return combine(manifests)
+
+
+def compile_assertions(
+    assertions: Sequence[TemporalAssertion],
+) -> List[Automaton]:
+    """Translate a batch of assertions into automata (analyser back half)."""
+    return translate_all(list(assertions))

@@ -1,0 +1,431 @@
+"""Abstract syntax for TESLA assertions.
+
+This module is the reproduction of the assertion grammar in figure 5 of the
+paper.  The user-facing combinators in :mod:`repro.core.dsl` construct these
+nodes; the analyser (:mod:`repro.core.translate`) walks them recursively —
+exactly as the Clang-based analyser performs "a recursive descent over an
+abstract syntax tree" — and emits automata.
+
+Node taxonomy
+=============
+
+*Concrete events* (section 3.4.1)
+    :class:`FunctionCall`, :class:`FunctionReturn`, :class:`FieldAssign`
+    and :class:`AssertionSite`.
+
+*Operators* (section 3.4.2)
+    :class:`Sequence` (``TSEQUENCE`` / ``previously`` / ``eventually``),
+    :class:`BooleanOr` (inclusive ∨) and :class:`BooleanXor` (exclusive).
+
+*Modifiers* (section 3.4.3)
+    :class:`Optional_`, :class:`AtLeast` (figure 8's ``ATLEAST``), and the
+    per-event ``context`` field carrying ``caller`` / ``callee``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..errors import AssertionParseError
+from .patterns import Pattern
+
+
+class InstrumentationSide(enum.Enum):
+    """Where the hook for a function event is woven.
+
+    ``CALLEE`` adds instrumentation to the target function's entry block and
+    returns; ``CALLER`` wraps call sites — important when "instrumenting
+    calls into a library that cannot be recompiled" (section 4.2).
+    """
+
+    CALLEE = "callee"
+    CALLER = "caller"
+
+
+class AssignOp(enum.Enum):
+    """Structure-field assignment operators TESLA can describe."""
+
+    SET = "="
+    ADD = "+="
+    SUB = "-="
+    OR = "|="
+    AND = "&="
+    INCREMENT = "++"
+    DECREMENT = "--"
+
+
+class Expression:
+    """Base class for assertion expression nodes."""
+
+    def children(self) -> Tuple["Expression", ...]:
+        return ()
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+# ---------------------------------------------------------------------------
+# Concrete events
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class FunctionCall(Expression):
+    """A call *into* ``function`` with arguments matching ``args``.
+
+    ``args`` of ``None`` means "any arguments" (the explicit
+    ``call(fn_name)`` static form); an empty tuple means "zero arguments".
+    """
+
+    function: str
+    args: Optional[Tuple[Pattern, ...]] = None
+    side: InstrumentationSide = InstrumentationSide.CALLEE
+
+    def describe(self) -> str:
+        if self.args is None:
+            return f"call({self.function})"
+        inner = ", ".join(p.describe() for p in self.args)
+        return f"call({self.function}({inner}))"
+
+
+@dataclass(frozen=True, repr=False)
+class FunctionReturn(Expression):
+    """A return *from* ``function``.
+
+    ``retval`` of ``None`` means "any return value" (the bare
+    ``returnfrom(fn)`` form).  The ``fn(args) == value`` equality pattern in
+    the grammar is sugar for a return event carrying both argument and
+    return-value patterns.
+    """
+
+    function: str
+    args: Optional[Tuple[Pattern, ...]] = None
+    retval: Optional[Pattern] = None
+    side: InstrumentationSide = InstrumentationSide.CALLEE
+
+    def describe(self) -> str:
+        if self.args is None and self.retval is None:
+            return f"returnfrom({self.function})"
+        inner = ", ".join(p.describe() for p in self.args or ())
+        ret = f" == {self.retval.describe()}" if self.retval is not None else ""
+        return f"{self.function}({inner}){ret}"
+
+
+@dataclass(frozen=True, repr=False)
+class FieldAssign(Expression):
+    """Assignment to a structure field, e.g. ``s.foo = NEXT_STATE``.
+
+    ``struct`` names the structure type (a Python class in this
+    reproduction), ``field_name`` the field.  ``target`` optionally
+    constrains *which* structure instance (usually a :class:`~.patterns.Var`
+    so the automaton instance is tied to one object); ``value`` constrains
+    the assigned value.  Compound assignment (``+=``, ``++``) is expressed
+    through ``op``.
+    """
+
+    struct: str
+    field_name: str
+    op: AssignOp = AssignOp.SET
+    target: Optional[Pattern] = None
+    value: Optional[Pattern] = None
+
+    def describe(self) -> str:
+        tgt = self.target.describe() if self.target is not None else "ANY"
+        if self.op in (AssignOp.INCREMENT, AssignOp.DECREMENT):
+            return f"{tgt}.{self.field_name}{self.op.value}"
+        val = self.value.describe() if self.value is not None else "ANY"
+        return f"{tgt}.{self.field_name} {self.op.value} {val}"
+
+
+@dataclass(frozen=True, repr=False)
+class AssertionSite(Expression):
+    """Program execution reaching the assertion site itself.
+
+    Explicit ``TESLA_ASSERTION_SITE`` in the grammar; also produced
+    implicitly by the expansion of ``previously`` and ``eventually``.
+    """
+
+    def describe(self) -> str:
+        return "TESLA_ASSERTION_SITE"
+
+
+# ---------------------------------------------------------------------------
+# Operators
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class Sequence(Expression):
+    """An ordered sequence of sub-expressions (``TSEQUENCE``)."""
+
+    parts: Tuple[Expression, ...]
+
+    def __post_init__(self) -> None:
+        if not self.parts:
+            raise AssertionParseError("TSEQUENCE requires at least one part")
+
+    def children(self) -> Tuple[Expression, ...]:
+        return self.parts
+
+    def describe(self) -> str:
+        return "TSEQUENCE(" + ", ".join(p.describe() for p in self.parts) + ")"
+
+
+@dataclass(frozen=True, repr=False)
+class BooleanOr(Expression):
+    """Inclusive OR: at least one branch must occur; both occurring is fine.
+
+    Implemented by the analyser as a cross-product of the branch automata
+    (section 3.4.2) or, equivalently, by NFA branching.
+    """
+
+    branches: Tuple[Expression, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.branches) < 2:
+            raise AssertionParseError("'||' requires at least two branches")
+
+    def children(self) -> Tuple[Expression, ...]:
+        return self.branches
+
+    def describe(self) -> str:
+        return " || ".join(b.describe() for b in self.branches)
+
+
+@dataclass(frozen=True, repr=False)
+class BooleanXor(Expression):
+    """Exclusive OR: exactly one branch may occur.
+
+    Finite-state automata "model regular languages with sequences,
+    repetition, and the exclusive-or operator"; XOR is the native FSA
+    alternation where taking one branch commits to it.
+    """
+
+    branches: Tuple[Expression, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.branches) < 2:
+            raise AssertionParseError("'^' requires at least two branches")
+
+    def children(self) -> Tuple[Expression, ...]:
+        return self.branches
+
+    def describe(self) -> str:
+        return " ^ ".join(b.describe() for b in self.branches)
+
+
+# ---------------------------------------------------------------------------
+# Modifiers
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class Optional_(Expression):
+    """``optional(expr)`` — the sub-expression may be skipped entirely."""
+
+    inner: Expression
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.inner,)
+
+    def describe(self) -> str:
+        return f"optional({self.inner.describe()})"
+
+
+@dataclass(frozen=True, repr=False)
+class AtLeast(Expression):
+    """``ATLEAST(n, e1, e2, …)`` — at least ``n`` occurrences, in any order,
+    of any of the listed events (figure 8).
+
+    With ``n == 0`` this matches anything and is used purely to *generate
+    instrumentation* for introspection — the GNUstep tracing use case.
+    """
+
+    minimum: int
+    events: Tuple[Expression, ...]
+
+    def __post_init__(self) -> None:
+        if self.minimum < 0:
+            raise AssertionParseError("ATLEAST minimum must be >= 0")
+        if not self.events:
+            raise AssertionParseError("ATLEAST requires at least one event")
+
+    def children(self) -> Tuple[Expression, ...]:
+        return self.events
+
+    def describe(self) -> str:
+        inner = ", ".join(e.describe() for e in self.events)
+        return f"ATLEAST({self.minimum}, {inner})"
+
+
+@dataclass(frozen=True, repr=False)
+class InCallStack(Expression):
+    """``incallstack(fn)`` — the assertion site is reached while ``fn``'s
+    activation is on the call stack (figure 7's first ``ffs_read``
+    alternative).
+
+    Translated as a revocable pair: ``call(fn)`` enables the site,
+    ``returnfrom(fn)`` disables it again — so unlike
+    ``previously(call(fn))`` the permission does not outlive the
+    activation.  (Nested/recursive activations of ``fn`` are not tracked;
+    none of the modelled kernel paths recurse.)
+    """
+
+    function: str
+
+    def children(self) -> Tuple["Expression", ...]:
+        return (
+            FunctionCall(self.function, None),
+            FunctionReturn(self.function, None, None),
+        )
+
+    def describe(self) -> str:
+        return f"incallstack({self.function})"
+
+
+@dataclass(frozen=True, repr=False)
+class Strict(Expression):
+    """``strict(expr)`` — referenced events that cannot advance the automaton
+    are violations rather than being ignored."""
+
+    inner: Expression
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.inner,)
+
+    def describe(self) -> str:
+        return f"strict({self.inner.describe()})"
+
+
+@dataclass(frozen=True, repr=False)
+class Conditional(Expression):
+    """``conditional(expr)`` — the explicit name for the default behaviour:
+    events that cannot advance the automaton are ignored."""
+
+    inner: Expression
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.inner,)
+
+    def describe(self) -> str:
+        return f"conditional({self.inner.describe()})"
+
+
+# ---------------------------------------------------------------------------
+# Assertion containers
+# ---------------------------------------------------------------------------
+
+
+class Context(enum.Enum):
+    """Automata contexts (section 3.2)."""
+
+    THREAD = "per-thread"
+    GLOBAL = "global"
+
+
+@dataclass(frozen=True)
+class Bound:
+    """Temporal bounds within which an automaton may exist (section 3.3).
+
+    ``entry`` starts (init) the automaton's lifetime; ``exit`` finalises
+    (cleanup) it.  ``TESLA_WITHIN(fn, …)`` uses ``call(fn)``/
+    ``returnfrom(fn)``; the explicit three-argument ``TESLA_ASSERT`` form
+    allows arbitrary static expressions.
+    """
+
+    entry: Expression
+    exit: Expression
+
+    def __post_init__(self) -> None:
+        for end, name in ((self.entry, "entry"), (self.exit, "exit")):
+            if not isinstance(end, (FunctionCall, FunctionReturn, FieldAssign)):
+                raise AssertionParseError(
+                    f"bound {name} must be a static event, got {end.describe()}"
+                )
+
+    def describe(self) -> str:
+        return f"[{self.entry.describe()} .. {self.exit.describe()}]"
+
+
+@dataclass(frozen=True)
+class TemporalAssertion:
+    """A complete TESLA assertion: context + bounds + expression.
+
+    ``name`` identifies the assertion (and the automaton class derived from
+    it) in manifests, stores and reports.  ``location`` records where in the
+    instrumented program the assertion site lives, in ``module:function``
+    form.
+    """
+
+    name: str
+    context: Context
+    bound: Bound
+    expression: Expression
+    location: str = ""
+    strict: bool = False
+    tags: Tuple[str, ...] = field(default=())
+
+    def describe(self) -> str:
+        return (
+            f"TESLA_ASSERT({self.context.value}, {self.bound.describe()}, "
+            f"{self.expression.describe()})"
+        )
+
+
+def walk(expr: Expression):
+    """Yield ``expr`` and every descendant, depth-first."""
+    yield expr
+    for child in expr.children():
+        yield from walk(child)
+
+
+def referenced_functions(assertion: TemporalAssertion) -> Tuple[str, ...]:
+    """All function names whose call/return events the assertion observes,
+    including the bound events.  The instrumenter hooks exactly these."""
+    names = []
+    exprs = [assertion.bound.entry, assertion.bound.exit, assertion.expression]
+    for root in exprs:
+        for node in walk(root):
+            if isinstance(node, (FunctionCall, FunctionReturn)):
+                if node.function not in names:
+                    names.append(node.function)
+    return tuple(names)
+
+
+def referenced_fields(assertion: TemporalAssertion) -> Tuple[Tuple[str, str], ...]:
+    """All ``(struct, field)`` pairs the assertion observes."""
+    pairs = []
+    exprs = [assertion.bound.entry, assertion.bound.exit, assertion.expression]
+    for root in exprs:
+        for node in walk(root):
+            if isinstance(node, FieldAssign):
+                key = (node.struct, node.field_name)
+                if key not in pairs:
+                    pairs.append(key)
+    return tuple(pairs)
+
+
+def referenced_variables(assertion: TemporalAssertion) -> Tuple[str, ...]:
+    """All dynamic variable names the assertion binds, in first-use order."""
+    seen = []
+    for root in (assertion.bound.entry, assertion.bound.exit, assertion.expression):
+        for node in walk(root):
+            patterns: Tuple[Pattern, ...] = ()
+            if isinstance(node, (FunctionCall, FunctionReturn)):
+                patterns = tuple(node.args or ())
+                if isinstance(node, FunctionReturn) and node.retval is not None:
+                    patterns += (node.retval,)
+            elif isinstance(node, FieldAssign):
+                patterns = tuple(
+                    p for p in (node.target, node.value) if p is not None
+                )
+            for pattern in patterns:
+                for var in pattern.variables:
+                    if var not in seen:
+                        seen.append(var)
+    return tuple(seen)

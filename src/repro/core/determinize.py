@@ -1,0 +1,147 @@
+"""Subset construction and language-level simulation.
+
+The runtime steps instances over *sets* of NFA states (visible in figure 9's
+"NFA:1,3" labels).  This module makes that operation a first-class citizen:
+
+* :func:`determinize` — classic subset construction, producing an explicit
+  DFA over symbol indices.  Used by the property-based tests to check that
+  translation-level transformations (OR cross-product, optional, epsilon
+  elimination) preserve the recognised language.
+* :func:`simulate` / :class:`Dfa` — run a word of symbol indices through
+  NFA and DFA respectively; both must always agree.
+
+Here symbols are treated as opaque letters; variable bindings are the
+runtime's concern (:mod:`repro.runtime.update`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from .automaton import Automaton, Transition, TransitionKind
+
+#: A DFA "letter": the transition kind plus symbol index (None for
+#: init/cleanup whose symbol is implicit in the kind... they do carry
+#: symbols too, so the letter is simply (kind, symbol)).
+Letter = Tuple[str, int]
+
+
+def letter_of(transition: Transition) -> Letter:
+    """The DFA letter a transition consumes: (kind, symbol index)."""
+    return (transition.kind.value, transition.symbol if transition.symbol is not None else -1)
+
+
+def alphabet(automaton: Automaton) -> Set[Letter]:
+    """Every letter appearing on the automaton's transitions."""
+    return {letter_of(t) for t in automaton.transitions}
+
+
+def nfa_step(
+    automaton: Automaton, states: FrozenSet[int], letter: Letter
+) -> FrozenSet[int]:
+    """One move-if-possible-else-stay NFA step over symbol ``letter``.
+
+    This is the exact stepping rule the runtime uses for instances: states
+    with an enabled transition move; states without one remain (the
+    non-strict "ignore events that cannot advance" semantics).
+    """
+    result: Set[int] = set()
+    for s in states:
+        moved = False
+        for t in automaton.outgoing(s):
+            if letter_of(t) == letter:
+                result.add(t.dst)
+                moved = True
+        if not moved:
+            result.add(s)
+    return frozenset(result)
+
+
+def nfa_step_strict(
+    automaton: Automaton, states: FrozenSet[int], letter: Letter
+) -> FrozenSet[int]:
+    """Strict stepping: states without an enabled transition are dropped.
+
+    An empty result set is the strict-mode violation condition.
+    """
+    result: Set[int] = set()
+    for s in states:
+        for t in automaton.outgoing(s):
+            if letter_of(t) == letter:
+                result.add(t.dst)
+    return frozenset(result)
+
+
+def simulate(
+    automaton: Automaton,
+    word: Sequence[Letter],
+    start: FrozenSet[int] = None,
+    strict: bool = False,
+) -> FrozenSet[int]:
+    """Run a word through the NFA, returning the final state set."""
+    states = start if start is not None else frozenset({automaton.start})
+    step = nfa_step_strict if strict else nfa_step
+    for letter in word:
+        states = step(automaton, states, letter)
+        if not states:
+            break
+    return states
+
+
+def accepts(automaton: Automaton, word: Sequence[Letter], strict: bool = False) -> bool:
+    """Whether the word drives the automaton from start to accept."""
+    return automaton.accept in simulate(automaton, word, strict=strict)
+
+
+@dataclass
+class Dfa:
+    """An explicit DFA over :data:`Letter` values."""
+
+    start: int
+    accepting: FrozenSet[int]
+    transitions: Dict[Tuple[int, Letter], int]
+    #: The NFA state subsets each DFA state stands for (figure 9's labels).
+    subsets: List[FrozenSet[int]]
+
+    def step(self, state: int, letter: Letter) -> int:
+        return self.transitions.get((state, letter), state)
+
+    def accepts(self, word: Iterable[Letter]) -> bool:
+        state = self.start
+        for letter in word:
+            state = self.step(state, letter)
+        return state in self.accepting
+
+    @property
+    def n_states(self) -> int:
+        return len(self.subsets)
+
+
+def determinize(automaton: Automaton, strict: bool = False) -> Dfa:
+    """Subset construction under the same stepping rule as the runtime."""
+    letters = sorted(alphabet(automaton))
+    step = nfa_step_strict if strict else nfa_step
+    start_set = frozenset({automaton.start})
+    subsets: List[FrozenSet[int]] = [start_set]
+    index: Dict[FrozenSet[int], int] = {start_set: 0}
+    transitions: Dict[Tuple[int, Letter], int] = {}
+    frontier = [start_set]
+    while frontier:
+        current = frontier.pop()
+        src = index[current]
+        for letter in letters:
+            nxt = step(automaton, current, letter)
+            if not nxt:
+                continue
+            if nxt not in index:
+                index[nxt] = len(subsets)
+                subsets.append(nxt)
+                frontier.append(nxt)
+            transitions[(src, letter)] = index[nxt]
+    accepting = frozenset(
+        i for i, subset in enumerate(subsets) if automaton.accept in subset
+    )
+    return Dfa(
+        start=0, accepting=accepting, transitions=transitions, subsets=subsets
+    )

@@ -1,0 +1,416 @@
+"""The user-facing assertion language.
+
+These combinators mirror the high-level TESLA macros of figure 5.  Where C
+TESLA writes::
+
+    TESLA_WITHIN(enclosing_fn, previously(
+        security_check(ANY(ptr), o, op) == 0));
+
+this reproduction writes::
+
+    tesla_within(
+        "enclosing_fn",
+        previously(fn("security_check", ANY("ptr"), var("o"), var("op")) == 0),
+    )
+
+``fn(...)`` builds a *function expression*; comparing it with ``== value``
+yields the grammar's equality pattern (a return event constrained on both
+arguments and return value), exactly as ``fnExpr '==' val``.
+
+Just as the paper's macros expand to reserved ``__tesla_*`` symbols, these
+helpers only construct AST nodes from :mod:`repro.core.ast`; programmers who
+need different surface syntax can target the AST directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from typing import Any, Optional, Tuple, Union
+
+from ..errors import AssertionParseError
+from .ast import (
+    AssertionSite,
+    InCallStack,
+    AssignOp,
+    AtLeast,
+    BooleanOr,
+    BooleanXor,
+    Bound,
+    Context,
+    Expression,
+    FieldAssign,
+    FunctionCall,
+    FunctionReturn,
+    InstrumentationSide,
+    Optional_,
+    Sequence,
+    Strict,
+    TemporalAssertion,
+    walk,
+)
+from .patterns import (
+    AddressOf,
+    Any_,
+    Bitmask,
+    Const,
+    Flags,
+    Pattern,
+    Ref,
+    Var,
+    coerce_pattern,
+)
+
+__all__ = [
+    "ANY",
+    "var",
+    "flags",
+    "bitmask",
+    "addr",
+    "fn",
+    "call",
+    "returnfrom",
+    "returned",
+    "field_assign",
+    "field_increment",
+    "assertion_site",
+    "tsequence",
+    "previously",
+    "eventually",
+    "either",
+    "one_of",
+    "optionally",
+    "atleast",
+    "incallstack",
+    "strictly",
+    "tesla_within",
+    "tesla_assert",
+    "tesla_global",
+    "tesla_perthread",
+    "caller_side",
+]
+
+
+# ---------------------------------------------------------------------------
+# Patterns
+# ---------------------------------------------------------------------------
+
+
+def ANY(type_name: str = "any") -> Any_:
+    """Wildcard argument: ``ANY(ptr)``."""
+    return Any_(type_name)
+
+
+def var(name: str) -> Var:
+    """A dynamic variable from the assertion's scope."""
+    return Var(name)
+
+
+def flags(value: int) -> Flags:
+    """Minimal bitfield: every bit of ``value`` must be set."""
+    return Flags(value)
+
+
+def bitmask(value: int) -> Bitmask:
+    """Maximal bitfield: only bits of ``value`` may be set."""
+    return Bitmask(value)
+
+
+def addr(inner: Union[Pattern, Any]) -> AddressOf:
+    """C address-of: match the contents of a :class:`~.patterns.Ref`."""
+    return AddressOf(coerce_pattern(inner))
+
+
+# ---------------------------------------------------------------------------
+# Function expressions
+# ---------------------------------------------------------------------------
+
+
+class FnExpr:
+    """A function-with-arguments expression awaiting ``== value``.
+
+    Used bare inside :func:`call` (a call event) or compared with ``==``
+    (a return event whose value must match).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        args: Tuple[Pattern, ...],
+        side: InstrumentationSide = InstrumentationSide.CALLEE,
+    ) -> None:
+        self.name = name
+        self.args = args
+        self.side = side
+
+    def __eq__(self, value: Any) -> FunctionReturn:  # type: ignore[override]
+        return FunctionReturn(
+            function=self.name,
+            args=self.args,
+            retval=coerce_pattern(value),
+            side=self.side,
+        )
+
+    def __ne__(self, value: Any):  # type: ignore[override]
+        raise AssertionParseError(
+            "TESLA supports fn(...) == value, not != (negation is not a "
+            "regular-language event)"
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
+
+def fn(name: str, *args: Any, side: InstrumentationSide = InstrumentationSide.CALLEE) -> FnExpr:
+    """Build a function expression: ``fn("check", ANY("ptr"), var("so"))``."""
+    return FnExpr(name, tuple(coerce_pattern(a) for a in args), side)
+
+
+def caller_side(expr: Union[FnExpr, FunctionCall, FunctionReturn]):
+    """Mark a function event for caller-side instrumentation — used when the
+    callee "cannot be recompiled" (section 4.2)."""
+    if isinstance(expr, FnExpr):
+        return FnExpr(expr.name, expr.args, InstrumentationSide.CALLER)
+    if isinstance(expr, FunctionCall):
+        return FunctionCall(expr.function, expr.args, InstrumentationSide.CALLER)
+    if isinstance(expr, FunctionReturn):
+        return FunctionReturn(
+            expr.function, expr.args, expr.retval, InstrumentationSide.CALLER
+        )
+    raise AssertionParseError(f"cannot mark {expr!r} caller-side")
+
+
+def call(target: Union[str, FnExpr]) -> FunctionCall:
+    """``call(fn_name)`` or ``call(fn("name", args...))``."""
+    if isinstance(target, str):
+        return FunctionCall(function=target, args=None)
+    return FunctionCall(function=target.name, args=target.args, side=target.side)
+
+
+def returnfrom(target: Union[str, FnExpr]) -> FunctionReturn:
+    """``returnfrom(fn_name)`` — any return from the function."""
+    if isinstance(target, str):
+        return FunctionReturn(function=target, args=None, retval=None)
+    return FunctionReturn(
+        function=target.name, args=target.args, retval=None, side=target.side
+    )
+
+
+def returned(name: str, value: Any) -> FunctionReturn:
+    """A return event constrained on value but not arguments.
+
+    ``returned("check", 0)`` matches any call of ``check`` that returned 0,
+    whatever its arguments — the shape to use when the assertion does not
+    need to bind argument values (avoids coupling to the exact arity the
+    caller happened to use).
+    """
+    return FunctionReturn(function=name, args=None, retval=coerce_pattern(value))
+
+
+# ---------------------------------------------------------------------------
+# Field assignment events
+# ---------------------------------------------------------------------------
+
+
+def field_assign(
+    struct: str,
+    field_name: str,
+    value: Any = None,
+    target: Any = None,
+    op: AssignOp = AssignOp.SET,
+) -> FieldAssign:
+    """Assignment to a structure field: ``s.foo = NEXT_STATE``.
+
+    ``target`` constrains which structure instance (pass ``var("s")`` to tie
+    the automaton instance to one object); ``value`` the assigned value.
+    """
+    return FieldAssign(
+        struct=struct,
+        field_name=field_name,
+        op=op,
+        target=None if target is None else coerce_pattern(target),
+        value=None if value is None else coerce_pattern(value),
+    )
+
+
+def field_increment(struct: str, field_name: str, target: Any = None) -> FieldAssign:
+    """Compound increment: ``s.foo++`` / ``s.foo += 1``."""
+    return FieldAssign(
+        struct=struct,
+        field_name=field_name,
+        op=AssignOp.INCREMENT,
+        target=None if target is None else coerce_pattern(target),
+        value=None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Operators and modifiers
+# ---------------------------------------------------------------------------
+
+
+def assertion_site() -> AssertionSite:
+    """Explicit ``TESLA_ASSERTION_SITE``."""
+    return AssertionSite()
+
+
+def _as_expr(e: Any) -> Expression:
+    if isinstance(e, Expression):
+        return e
+    if isinstance(e, FnExpr):
+        # A bare fn(...) in sequence position means "this call happens":
+        # observed at return so argument values are complete, matching the
+        # paper's called(...) usage in figure 7.
+        return FunctionReturn(function=e.name, args=e.args, retval=None, side=e.side)
+    raise AssertionParseError(f"not a TESLA expression: {e!r}")
+
+
+def tsequence(*parts: Any) -> Sequence:
+    """``TSEQUENCE(e1, e2, …)`` — ordered occurrence."""
+    return Sequence(tuple(_as_expr(p) for p in parts))
+
+
+def previously(*parts: Any) -> Sequence:
+    """``previously(x)`` expands to ``[x, TESLA_ASSERTION_SITE]``."""
+    return Sequence(tuple(_as_expr(p) for p in parts) + (AssertionSite(),))
+
+
+def eventually(*parts: Any) -> Sequence:
+    """``eventually(x)`` expands to ``[TESLA_ASSERTION_SITE, x]``."""
+    return Sequence((AssertionSite(),) + tuple(_as_expr(p) for p in parts))
+
+
+def either(*branches: Any) -> BooleanOr:
+    """Inclusive OR (``||``): at least one branch occurs; both is fine."""
+    return BooleanOr(tuple(_as_expr(b) for b in branches))
+
+
+def one_of(*branches: Any) -> BooleanXor:
+    """Exclusive OR (``^``): exactly one branch occurs."""
+    return BooleanXor(tuple(_as_expr(b) for b in branches))
+
+
+def optionally(part: Any) -> Optional_:
+    """``optional(expr)``."""
+    return Optional_(_as_expr(part))
+
+
+def atleast(minimum: int, *events: Any) -> AtLeast:
+    """``ATLEAST(n, e…)`` (figure 8) — at least ``n`` of the listed events,
+    in any order.  ``n == 0`` exists purely to drive instrumentation."""
+    return AtLeast(minimum, tuple(_as_expr(e) for e in events))
+
+
+def incallstack(function: str) -> InCallStack:
+    """``incallstack(fn)``: the site executes inside ``fn``'s activation."""
+    return InCallStack(function)
+
+
+def strictly(part: Any) -> Strict:
+    """``strict(expr)`` — unconsumable referenced events are violations."""
+    return Strict(_as_expr(part))
+
+
+# ---------------------------------------------------------------------------
+# Assertion containers
+# ---------------------------------------------------------------------------
+
+_counter = itertools.count(1)
+
+
+def _auto_name(bound: Bound, expression: Expression) -> str:
+    digest = hashlib.sha1(
+        (bound.describe() + "|" + expression.describe()).encode()
+    ).hexdigest()[:10]
+    return f"tesla_{digest}"
+
+
+def _strip_strictness(expression: Expression) -> Tuple[Expression, bool]:
+    strict = False
+    from .ast import Conditional
+
+    while isinstance(expression, (Strict, Conditional)):
+        strict = isinstance(expression, Strict)
+        expression = expression.inner
+    return expression, strict
+
+
+def tesla_assert(
+    context: Context,
+    entry: Any,
+    exit: Any,
+    expression: Any,
+    name: Optional[str] = None,
+    location: str = "",
+    tags: Tuple[str, ...] = (),
+) -> TemporalAssertion:
+    """The explicit three-part form: ``TESLA_ASSERT(context, start, end, expr)``."""
+    entry_e = _as_expr(entry)
+    exit_e = _as_expr(exit)
+    expr, strict = _strip_strictness(_as_expr(expression))
+    sites = sum(1 for node in walk(expr) if isinstance(node, AssertionSite))
+    if sites == 0:
+        # An assertion with no explicit site is anchored at its own site,
+        # after the expression — the `previously` reading.
+        expr = Sequence((expr, AssertionSite()))
+    elif sites > 1:
+        raise AssertionParseError(
+            f"assertion has {sites} assertion sites; exactly one is allowed"
+        )
+    bound = Bound(entry=entry_e, exit=exit_e)
+    return TemporalAssertion(
+        name=name or _auto_name(bound, expr),
+        context=context,
+        bound=bound,
+        expression=expr,
+        location=location,
+        strict=strict,
+        tags=tuple(tags),
+    )
+
+
+def tesla_within(
+    function: str,
+    expression: Any,
+    context: Context = Context.THREAD,
+    name: Optional[str] = None,
+    location: str = "",
+    tags: Tuple[str, ...] = (),
+) -> TemporalAssertion:
+    """``TESLA_WITHIN(fn, expr)``: bounds are ``call(fn)``/``returnfrom(fn)``."""
+    return tesla_assert(
+        context,
+        FunctionCall(function=function, args=None),
+        FunctionReturn(function=function, args=None, retval=None),
+        expression,
+        name=name,
+        location=location,
+        tags=tags,
+    )
+
+
+def tesla_global(
+    entry: Any,
+    exit: Any,
+    expression: Any,
+    name: Optional[str] = None,
+    location: str = "",
+    tags: Tuple[str, ...] = (),
+) -> TemporalAssertion:
+    """``TESLA_GLOBAL(start, end, expr)`` — explicit cross-thread context."""
+    return tesla_assert(
+        Context.GLOBAL, entry, exit, expression, name=name, location=location, tags=tags
+    )
+
+
+def tesla_perthread(
+    entry: Any,
+    exit: Any,
+    expression: Any,
+    name: Optional[str] = None,
+    location: str = "",
+    tags: Tuple[str, ...] = (),
+) -> TemporalAssertion:
+    """``TESLA_PERTHREAD(start, end, expr)`` — implicitly serialised context."""
+    return tesla_assert(
+        Context.THREAD, entry, exit, expression, name=name, location=location, tags=tags
+    )

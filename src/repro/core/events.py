@@ -1,0 +1,126 @@
+"""Concrete run-time events, as produced by program instrumentation.
+
+The instrumenter turns program behaviour into a stream of
+:class:`RuntimeEvent` values; event translators match them against the
+symbolic events of each automaton class and feed ``tesla_update_state``
+(:mod:`repro.runtime.update`).  These are the "program hooks" half of the
+paper's section 4.2: function call/return, structure field assignment and
+reaching an assertion site.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from .ast import AssignOp
+
+
+class EventKind(enum.Enum):
+    """The four concrete event kinds instrumentation can observe."""
+    CALL = "call"
+    RETURN = "return"
+    FIELD_ASSIGN = "field-assign"
+    ASSERTION_SITE = "assertion-site"
+
+
+@dataclass(frozen=True)
+class RuntimeEvent:
+    """One observed program event.
+
+    ``name`` is the event's dispatch key: the instrumented function's
+    registered name for call/return, ``"Struct.field"`` for field
+    assignment, and the assertion name for assertion-site events.
+
+    ``scope`` carries the assertion site's local variable values
+    (``{"so": <socket>}``) — the values "taken from the local scope and
+    passed to the event translator" when the pseudo-function call at the
+    site is replaced (section 4.2).
+    """
+
+    kind: EventKind
+    name: str
+    args: Tuple[Any, ...] = ()
+    retval: Any = None
+    op: Optional[AssignOp] = None
+    target: Any = None
+    scope: Dict[str, Any] = field(default_factory=dict)
+    thread_id: int = 0
+    stack: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        if self.kind is EventKind.CALL:
+            return f"call {self.name}{self.args!r}"
+        if self.kind is EventKind.RETURN:
+            return f"return {self.name}{self.args!r} -> {self.retval!r}"
+        if self.kind is EventKind.FIELD_ASSIGN:
+            return f"{self.name} {self.op.value if self.op else '='} {self.retval!r}"
+        return f"assertion-site {self.name}"
+
+
+def current_thread_id() -> int:
+    """The identifier used to slice the per-thread automata stores."""
+    return threading.get_ident()
+
+
+def call_event(name: str, args: Tuple[Any, ...], stack: Tuple[str, ...] = ()) -> RuntimeEvent:
+    """A function-entry event."""
+    return RuntimeEvent(
+        kind=EventKind.CALL,
+        name=name,
+        args=args,
+        thread_id=current_thread_id(),
+        stack=stack,
+    )
+
+
+def return_event(
+    name: str,
+    args: Tuple[Any, ...],
+    retval: Any,
+    stack: Tuple[str, ...] = (),
+) -> RuntimeEvent:
+    """A function-return event carrying the return value."""
+    return RuntimeEvent(
+        kind=EventKind.RETURN,
+        name=name,
+        args=args,
+        retval=retval,
+        thread_id=current_thread_id(),
+        stack=stack,
+    )
+
+
+def field_assign_event(
+    struct: str,
+    field_name: str,
+    target: Any,
+    value: Any,
+    op: AssignOp = AssignOp.SET,
+    stack: Tuple[str, ...] = (),
+) -> RuntimeEvent:
+    """A structure-field store event (``Struct.field``)."""
+    return RuntimeEvent(
+        kind=EventKind.FIELD_ASSIGN,
+        name=f"{struct}.{field_name}",
+        retval=value,
+        op=op,
+        target=target,
+        thread_id=current_thread_id(),
+        stack=stack,
+    )
+
+
+def assertion_site_event(
+    assertion: str, scope: Optional[Dict[str, Any]] = None, stack: Tuple[str, ...] = ()
+) -> RuntimeEvent:
+    """An assertion-site event carrying the site's scope values."""
+    return RuntimeEvent(
+        kind=EventKind.ASSERTION_SITE,
+        name=assertion,
+        scope=dict(scope or {}),
+        thread_id=current_thread_id(),
+        stack=stack,
+    )

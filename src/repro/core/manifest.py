@@ -1,0 +1,359 @@
+"""``.tesla`` manifests: serialised assertions, per unit and combined.
+
+The original tool stores parsed automata "on disk in a file with a .tesla
+extension and formatted using Google Protocol Buffers", then combines the
+per-file manifests "into a larger file describing all parts of the program
+that may need instrumentation" (section 4.1).  The combination step is what
+makes incremental rebuilds expensive (figure 10): an assertion in one unit
+can demand instrumentation in any other unit, so a change to one ``.tesla``
+file re-instruments everything.
+
+We keep the architecture but serialise to JSON (the format is incidental;
+the one-to-many dependency structure is not).  Manifests round-trip the full
+assertion AST so automata can be re-derived bit-identically on load.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..errors import ManifestError
+from .ast import (
+    AssertionSite,
+    InCallStack,
+    AssignOp,
+    AtLeast,
+    BooleanOr,
+    BooleanXor,
+    Bound,
+    Conditional,
+    Context,
+    Expression,
+    FieldAssign,
+    FunctionCall,
+    FunctionReturn,
+    InstrumentationSide,
+    Optional_,
+    Sequence,
+    Strict,
+    TemporalAssertion,
+    referenced_fields,
+    referenced_functions,
+)
+from .patterns import AddressOf, Any_, Bitmask, Const, Flags, Pattern, Var
+
+MANIFEST_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Pattern (de)serialisation
+# ---------------------------------------------------------------------------
+
+
+def pattern_to_json(pattern: Pattern) -> Dict[str, Any]:
+    """Serialise one argument pattern to its manifest form."""
+    if isinstance(pattern, Any_):
+        return {"p": "any", "type": pattern.type_name}
+    if isinstance(pattern, Const):
+        return {"p": "const", "value": pattern.value}
+    if isinstance(pattern, Var):
+        return {"p": "var", "name": pattern.name}
+    if isinstance(pattern, Flags):
+        return {"p": "flags", "flags": pattern.flags}
+    if isinstance(pattern, Bitmask):
+        return {"p": "bitmask", "mask": pattern.mask}
+    if isinstance(pattern, AddressOf):
+        return {"p": "addressof", "inner": pattern_to_json(pattern.inner)}
+    raise ManifestError(f"unserialisable pattern {pattern!r}")
+
+
+def pattern_from_json(data: Dict[str, Any]) -> Pattern:
+    """Rebuild an argument pattern from its manifest form."""
+    kind = data.get("p")
+    if kind == "any":
+        return Any_(data["type"])
+    if kind == "const":
+        return Const(data["value"])
+    if kind == "var":
+        return Var(data["name"])
+    if kind == "flags":
+        return Flags(data["flags"])
+    if kind == "bitmask":
+        return Bitmask(data["mask"])
+    if kind == "addressof":
+        return AddressOf(pattern_from_json(data["inner"]))
+    raise ManifestError(f"unknown pattern kind {kind!r}")
+
+
+def _patterns_to_json(patterns: Optional[Tuple[Pattern, ...]]) -> Optional[List[Any]]:
+    if patterns is None:
+        return None
+    return [pattern_to_json(p) for p in patterns]
+
+
+def _patterns_from_json(data: Optional[List[Any]]) -> Optional[Tuple[Pattern, ...]]:
+    if data is None:
+        return None
+    return tuple(pattern_from_json(p) for p in data)
+
+
+# ---------------------------------------------------------------------------
+# Expression (de)serialisation
+# ---------------------------------------------------------------------------
+
+
+def expression_to_json(expr: Expression) -> Dict[str, Any]:
+    """Serialise one expression node (recursively) for a manifest."""
+    if isinstance(expr, FunctionCall):
+        return {
+            "e": "call",
+            "function": expr.function,
+            "args": _patterns_to_json(expr.args),
+            "side": expr.side.value,
+        }
+    if isinstance(expr, FunctionReturn):
+        return {
+            "e": "return",
+            "function": expr.function,
+            "args": _patterns_to_json(expr.args),
+            "retval": None if expr.retval is None else pattern_to_json(expr.retval),
+            "side": expr.side.value,
+        }
+    if isinstance(expr, FieldAssign):
+        return {
+            "e": "field",
+            "struct": expr.struct,
+            "field": expr.field_name,
+            "op": expr.op.value,
+            "target": None if expr.target is None else pattern_to_json(expr.target),
+            "value": None if expr.value is None else pattern_to_json(expr.value),
+        }
+    if isinstance(expr, InCallStack):
+        return {"e": "incallstack", "function": expr.function}
+    if isinstance(expr, AssertionSite):
+        return {"e": "site"}
+    if isinstance(expr, Sequence):
+        return {"e": "seq", "parts": [expression_to_json(p) for p in expr.parts]}
+    if isinstance(expr, BooleanOr):
+        return {"e": "or", "branches": [expression_to_json(b) for b in expr.branches]}
+    if isinstance(expr, BooleanXor):
+        return {"e": "xor", "branches": [expression_to_json(b) for b in expr.branches]}
+    if isinstance(expr, Optional_):
+        return {"e": "optional", "inner": expression_to_json(expr.inner)}
+    if isinstance(expr, AtLeast):
+        return {
+            "e": "atleast",
+            "minimum": expr.minimum,
+            "events": [expression_to_json(ev) for ev in expr.events],
+        }
+    if isinstance(expr, Strict):
+        return {"e": "strict", "inner": expression_to_json(expr.inner)}
+    if isinstance(expr, Conditional):
+        return {"e": "conditional", "inner": expression_to_json(expr.inner)}
+    raise ManifestError(f"unserialisable expression {expr!r}")
+
+
+def expression_from_json(data: Dict[str, Any]) -> Expression:
+    """Rebuild an expression node (recursively) from a manifest."""
+    kind = data.get("e")
+    if kind == "call":
+        return FunctionCall(
+            function=data["function"],
+            args=_patterns_from_json(data.get("args")),
+            side=InstrumentationSide(data.get("side", "callee")),
+        )
+    if kind == "return":
+        retval = data.get("retval")
+        return FunctionReturn(
+            function=data["function"],
+            args=_patterns_from_json(data.get("args")),
+            retval=None if retval is None else pattern_from_json(retval),
+            side=InstrumentationSide(data.get("side", "callee")),
+        )
+    if kind == "field":
+        target = data.get("target")
+        value = data.get("value")
+        return FieldAssign(
+            struct=data["struct"],
+            field_name=data["field"],
+            op=AssignOp(data.get("op", "=")),
+            target=None if target is None else pattern_from_json(target),
+            value=None if value is None else pattern_from_json(value),
+        )
+    if kind == "incallstack":
+        return InCallStack(data["function"])
+    if kind == "site":
+        return AssertionSite()
+    if kind == "seq":
+        return Sequence(tuple(expression_from_json(p) for p in data["parts"]))
+    if kind == "or":
+        return BooleanOr(tuple(expression_from_json(b) for b in data["branches"]))
+    if kind == "xor":
+        return BooleanXor(tuple(expression_from_json(b) for b in data["branches"]))
+    if kind == "optional":
+        return Optional_(expression_from_json(data["inner"]))
+    if kind == "atleast":
+        return AtLeast(
+            data["minimum"],
+            tuple(expression_from_json(ev) for ev in data["events"]),
+        )
+    if kind == "strict":
+        return Strict(expression_from_json(data["inner"]))
+    if kind == "conditional":
+        return Conditional(expression_from_json(data["inner"]))
+    raise ManifestError(f"unknown expression kind {kind!r}")
+
+
+def assertion_to_json(assertion: TemporalAssertion) -> Dict[str, Any]:
+    """Serialise a complete assertion for a ``.tesla`` manifest."""
+    return {
+        "name": assertion.name,
+        "context": assertion.context.value,
+        "entry": expression_to_json(assertion.bound.entry),
+        "exit": expression_to_json(assertion.bound.exit),
+        "expression": expression_to_json(assertion.expression),
+        "location": assertion.location,
+        "strict": assertion.strict,
+        "tags": list(assertion.tags),
+    }
+
+
+def assertion_from_json(data: Dict[str, Any]) -> TemporalAssertion:
+    """Rebuild a complete assertion from its manifest form."""
+    return TemporalAssertion(
+        name=data["name"],
+        context=Context(data["context"]),
+        bound=Bound(
+            entry=expression_from_json(data["entry"]),
+            exit=expression_from_json(data["exit"]),
+        ),
+        expression=expression_from_json(data["expression"]),
+        location=data.get("location", ""),
+        strict=data.get("strict", False),
+        tags=tuple(data.get("tags", ())),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Manifests
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class UnitManifest:
+    """The ``.tesla`` output of analysing one compilation unit."""
+
+    unit: str
+    assertions: List[TemporalAssertion] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "version": MANIFEST_VERSION,
+            "unit": self.unit,
+            "assertions": [assertion_to_json(a) for a in self.assertions],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "UnitManifest":
+        if data.get("version") != MANIFEST_VERSION:
+            raise ManifestError(
+                f"manifest version {data.get('version')!r} != {MANIFEST_VERSION}"
+            )
+        return cls(
+            unit=data["unit"],
+            assertions=[assertion_from_json(a) for a in data.get("assertions", [])],
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_json(), indent=1, sort_keys=True))
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "UnitManifest":
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, ValueError) as exc:
+            raise ManifestError(f"cannot read manifest {path}: {exc}") from exc
+        return cls.from_json(data)
+
+
+@dataclass
+class ProgramManifest:
+    """All units' assertions combined — the whole-program ``.tesla`` file.
+
+    :meth:`instrumentation_targets` exposes the one-to-many structure: any
+    unit's assertion may require hooks on functions defined anywhere, which
+    is why a change to one unit's assertions dirties every unit's
+    instrumented output (the figure 10 incremental-rebuild cost).
+    """
+
+    units: List[UnitManifest] = field(default_factory=list)
+
+    @property
+    def assertions(self) -> List[TemporalAssertion]:
+        merged: List[TemporalAssertion] = []
+        seen: Dict[str, str] = {}
+        for unit in self.units:
+            for assertion in unit.assertions:
+                if assertion.name in seen:
+                    raise ManifestError(
+                        f"assertion {assertion.name!r} declared in both "
+                        f"{seen[assertion.name]!r} and {unit.unit!r}"
+                    )
+                seen[assertion.name] = unit.unit
+                merged.append(assertion)
+        return merged
+
+    def instrumentation_targets(self) -> Dict[str, List[str]]:
+        """Map of instrumented function name → assertion names requiring it."""
+        targets: Dict[str, List[str]] = {}
+        for assertion in self.assertions:
+            for fn_name in referenced_functions(assertion):
+                targets.setdefault(fn_name, []).append(assertion.name)
+        return targets
+
+    def field_targets(self) -> Dict[Tuple[str, str], List[str]]:
+        """Map of (struct, field) → assertion names requiring the hook."""
+        targets: Dict[Tuple[str, str], List[str]] = {}
+        for assertion in self.assertions:
+            for pair in referenced_fields(assertion):
+                targets.setdefault(pair, []).append(assertion.name)
+        return targets
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "version": MANIFEST_VERSION,
+            "units": [u.to_json() for u in self.units],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "ProgramManifest":
+        return cls(units=[UnitManifest.from_json(u) for u in data.get("units", [])])
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_json(), indent=1, sort_keys=True))
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ProgramManifest":
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, ValueError) as exc:
+            raise ManifestError(f"cannot read manifest {path}: {exc}") from exc
+        return cls.from_json(data)
+
+
+def combine(units: List[UnitManifest]) -> ProgramManifest:
+    """Combine per-unit manifests into the program manifest.
+
+    Name collisions across units are an error, mirroring the analyser's
+    refusal to merge conflicting automaton definitions.
+    """
+    manifest = ProgramManifest(units=list(units))
+    manifest.assertions  # noqa: B018 - force the collision check
+    return manifest

@@ -1,0 +1,99 @@
+"""The inclusive-OR cross-product construction (paper section 3.4.2).
+
+In ``previously(check(x) || check(y))`` it is *not* an error for both checks
+to be performed; the logical ∨ stipulates that at least one occurred.  The
+paper implements ∨ "by constructing an automaton that tracks the state of
+both original automata independently in a cross-product–like operation"::
+
+    states(a ∨ b) = { a_i b_j | a_i ∈ a and b_j ∈ b }
+
+with each branch's transitions lifted so they advance their own component
+while leaving the other untouched:
+
+* ∀ b_j ∈ b . ∀ a_i, a_k ∈ a:  (a_i --e--> a_k)  implies  (a_i b_j --e--> a_k b_j)
+* ∀ a_i ∈ a . ∀ b_j, b_k ∈ b:  (b_j --e--> b_k)  implies  (a_i b_j --e--> a_i b_k)
+
+The product *accepts* once either component reaches its exit: we add epsilon
+transitions from every pair containing a component exit to a fresh exit
+state (the surrounding :func:`~repro.core.automaton.assemble` eliminates the
+epsilons).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from .automaton import Fragment, FragmentBuilder, Transition, TransitionKind
+
+
+def _states_of(frag: Fragment) -> Set[int]:
+    states = {frag.entry, frag.exit}
+    for t in frag.transitions:
+        states.add(t.src)
+        states.add(t.dst)
+    return states
+
+
+def cross_product(builder: FragmentBuilder, a: Fragment, b: Fragment) -> Fragment:
+    """Build the ∨ product of two fragments as a new fragment.
+
+    Only pairs reachable from (entry_a, entry_b) are materialised, keeping
+    the construction linear in practice even though the worst case is
+    |a|×|b| (the paper accepts the same blow-up).
+    """
+    out_a: Dict[int, List[Transition]] = {}
+    for t in a.transitions:
+        out_a.setdefault(t.src, []).append(t)
+    out_b: Dict[int, List[Transition]] = {}
+    for t in b.transitions:
+        out_b.setdefault(t.src, []).append(t)
+
+    pair_state: Dict[Tuple[int, int], int] = {}
+
+    def state_for(pair: Tuple[int, int]) -> int:
+        if pair not in pair_state:
+            pair_state[pair] = builder.state()
+        return pair_state[pair]
+
+    entry_pair = (a.entry, b.entry)
+    transitions: List[Transition] = []
+    exit_state = builder.state()
+    seen: Set[Tuple[int, int]] = set()
+    frontier = [entry_pair]
+    while frontier:
+        pair = frontier.pop()
+        if pair in seen:
+            continue
+        seen.add(pair)
+        ai, bj = pair
+        src = state_for(pair)
+        if ai == a.exit or bj == b.exit:
+            transitions.append(
+                Transition(src, exit_state, TransitionKind.EPSILON)
+            )
+        for t in out_a.get(ai, ()):
+            dst_pair = (t.dst, bj)
+            transitions.append(
+                Transition(src, state_for(dst_pair), t.kind, t.symbol)
+            )
+            frontier.append(dst_pair)
+        for t in out_b.get(bj, ()):
+            dst_pair = (ai, t.dst)
+            transitions.append(
+                Transition(src, state_for(dst_pair), t.kind, t.symbol)
+            )
+            frontier.append(dst_pair)
+
+    return Fragment(
+        entry=state_for(entry_pair), exit=exit_state, transitions=transitions
+    )
+
+
+def cross_product_many(builder: FragmentBuilder, parts: List[Fragment]) -> Fragment:
+    """Fold :func:`cross_product` left over three or more OR branches."""
+    if not parts:
+        raise ValueError("cross_product_many requires at least one fragment")
+    result = parts[0]
+    for nxt in parts[1:]:
+        result = cross_product(builder, result, nxt)
+    return result

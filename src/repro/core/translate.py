@@ -1,0 +1,155 @@
+"""The analyser's core: translating assertion ASTs into automata.
+
+This reproduces the recursive descent of the paper's Clang-based analyser
+(section 4.1): each concrete event becomes an alphabet symbol and a
+transition, sequences concatenate, inclusive OR builds the cross-product of
+section 3.4.2, and the whole expression is wrapped in the temporal bound —
+an «init» transition on the bound's entry event and a «cleanup» transition
+on its exit event.
+
+The paper's example is preserved exactly: ``TESLA_WITHIN(syscall,
+eventually(foo(x)==0))`` yields a chain ``call(syscall)`` →
+``TESLA_ASSERTION_SITE`` → ``foo(x)==0`` → ``returnfrom(syscall)``; code
+paths that never reach the assertion site are allowed (the "bypass"
+behaviour — encoded here as silent discard of instances that never took a
+site transition, see :mod:`repro.runtime.update`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import AssertionParseError
+from .ast import (
+    AssertionSite,
+    AtLeast,
+    InCallStack,
+    BooleanOr,
+    BooleanXor,
+    Conditional,
+    Expression,
+    FieldAssign,
+    FunctionCall,
+    FunctionReturn,
+    Optional_,
+    Sequence,
+    Strict,
+    TemporalAssertion,
+    referenced_variables,
+)
+from .automaton import (
+    Automaton,
+    EventSymbol,
+    Fragment,
+    FragmentBuilder,
+    TransitionKind,
+    assemble,
+)
+from .product import cross_product_many
+
+
+class Translator:
+    """Translates one :class:`TemporalAssertion` into an :class:`Automaton`."""
+
+    def __init__(self, assertion: TemporalAssertion) -> None:
+        self.assertion = assertion
+        self.builder = FragmentBuilder()
+        self._site_variables = referenced_variables(assertion)
+
+    def translate(self) -> Automaton:
+        body = self._descend(self.assertion.expression)
+        init_symbol = self._bound_symbol(self.assertion.bound.entry)
+        cleanup_symbol = self._bound_symbol(self.assertion.bound.exit)
+        return assemble(
+            name=self.assertion.name,
+            builder=self.builder,
+            body=body,
+            init_symbol=init_symbol,
+            cleanup_symbol=cleanup_symbol,
+            strict=self.assertion.strict,
+            description=self.assertion.describe(),
+        )
+
+    # -- helpers -------------------------------------------------------------
+
+    def _bound_symbol(self, expr: Expression) -> EventSymbol:
+        if not isinstance(expr, (FunctionCall, FunctionReturn, FieldAssign)):
+            raise AssertionParseError(
+                f"temporal bound must be a concrete event: {expr.describe()}"
+            )
+        return EventSymbol(expr)
+
+    def _descend(self, expr: Expression) -> Fragment:
+        builder = self.builder
+        if isinstance(expr, (FunctionCall, FunctionReturn, FieldAssign)):
+            return builder.event(EventSymbol(expr))
+        if isinstance(expr, AssertionSite):
+            symbol = EventSymbol(expr, site_variables=self._site_variables)
+            return builder.event(symbol, kind=TransitionKind.SITE)
+        if isinstance(expr, Sequence):
+            return builder.concat([self._descend(p) for p in expr.parts])
+        if isinstance(expr, BooleanOr):
+            return cross_product_many(
+                builder, [self._descend(b) for b in expr.branches]
+            )
+        if isinstance(expr, BooleanXor):
+            return builder.alternate([self._descend(b) for b in expr.branches])
+        if isinstance(expr, Optional_):
+            return builder.optional(self._descend(expr.inner))
+        if isinstance(expr, InCallStack):
+            # A revocable enablement: OUT --call--> IN --return--> OUT,
+            # with the fragment exiting at IN so only in-activation code
+            # can proceed (to the site, in figure 7's usage).
+            out_state = builder.state()
+            in_state = builder.state()
+            call_symbol = builder.symbol(
+                EventSymbol(FunctionCall(expr.function, None))
+            )
+            return_symbol = builder.symbol(
+                EventSymbol(FunctionReturn(expr.function, None, None))
+            )
+            from .automaton import Transition
+
+            return Fragment(
+                entry=out_state,
+                exit=in_state,
+                transitions=[
+                    Transition(out_state, in_state, TransitionKind.EVENT, call_symbol),
+                    Transition(in_state, out_state, TransitionKind.EVENT, return_symbol),
+                ],
+            )
+        if isinstance(expr, AtLeast):
+            symbols: List[EventSymbol] = []
+            for event in expr.events:
+                if not isinstance(event, (FunctionCall, FunctionReturn, FieldAssign)):
+                    raise AssertionParseError(
+                        "ATLEAST events must be concrete events, got "
+                        + event.describe()
+                    )
+                symbols.append(EventSymbol(event))
+            return builder.at_least(expr.minimum, symbols)
+        if isinstance(expr, (Strict, Conditional)):
+            # Strictness is an automaton-level property recorded on the
+            # assertion by the DSL; mid-expression occurrences are inert.
+            return self._descend(expr.inner)
+        raise AssertionParseError(f"unhandled expression: {expr!r}")
+
+
+def translate(assertion: TemporalAssertion) -> Automaton:
+    """Translate an assertion into its automaton."""
+    return Translator(assertion).translate()
+
+
+def translate_all(assertions: List[TemporalAssertion]) -> List[Automaton]:
+    """Translate a batch of assertions, checking for name collisions."""
+    seen = {}
+    automata = []
+    for assertion in assertions:
+        if assertion.name in seen:
+            raise AssertionParseError(
+                f"duplicate assertion name {assertion.name!r} "
+                f"(also declared as {seen[assertion.name].describe()})"
+            )
+        seen[assertion.name] = assertion
+        automata.append(translate(assertion))
+    return automata

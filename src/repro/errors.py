@@ -1,0 +1,104 @@
+"""Exception and error-report types shared across the TESLA reproduction.
+
+TESLA distinguishes *tool* errors (a malformed assertion, a manifest that
+cannot be combined) from *temporal* errors (the program's observed behaviour
+contradicts an assertion).  Temporal errors are ordinarily routed through the
+runtime's event-notification framework (``repro.runtime.events``) so that the
+fail-stop policy is configurable, exactly as in the paper (section 4.4.2);
+the exception classes here are what the fail-stop policy raises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+
+class TeslaError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class AssertionParseError(TeslaError):
+    """An assertion expression is structurally invalid.
+
+    Raised by the analyser during translation, mirroring a Clang-side
+    diagnostic in the original tool.
+    """
+
+
+class ManifestError(TeslaError):
+    """A ``.tesla`` manifest could not be read, written or combined."""
+
+
+class InstrumentationError(TeslaError):
+    """A target named by an automaton could not be instrumented.
+
+    For example: a function event names a callable that does not exist in
+    the target module, or a field event names a class without that field.
+    """
+
+
+class ContextError(TeslaError):
+    """An automaton was used with the wrong store context.
+
+    Global-context automata must live in the global store and thread-local
+    ones in a per-thread store; mixing them up is a programming error, not a
+    temporal violation.
+    """
+
+
+class BoundsOverflowError(TeslaError):
+    """A preallocated instance pool overflowed.
+
+    The kernel runtime preallocates a fixed-size block per thread (section
+    4.4.1); overflow is *reported* so the preallocation size can be adjusted
+    on the next run.  Whether it raises is a policy decision.
+    """
+
+    def __init__(self, automaton: str, limit: int) -> None:
+        super().__init__(
+            f"automaton {automaton!r}: instance pool overflow (limit={limit})"
+        )
+        self.automaton = automaton
+        self.limit = limit
+
+
+@dataclass(frozen=True)
+class TemporalViolation:
+    """A structured description of one temporal-assertion failure.
+
+    Attributes mirror what libtesla reports through its notification
+    framework: which automaton failed, the event that could not be matched,
+    the variable binding observed at the failure point, and where in the
+    instrumented program the failure was noticed.
+    """
+
+    automaton: str
+    reason: str
+    event: Optional[Any] = None
+    binding: Tuple[Tuple[str, Any], ...] = field(default=())
+    location: str = ""
+
+    def describe(self) -> str:
+        bind = ", ".join(f"{k}={v!r}" for k, v in self.binding)
+        parts = [f"TESLA violation in {self.automaton}: {self.reason}"]
+        if bind:
+            parts.append(f"binding ({bind})")
+        if self.event is not None:
+            described = getattr(self.event, "describe", None)
+            parts.append(f"on event {described() if described else self.event}")
+        if self.location:
+            parts.append(f"at {self.location}")
+        return "; ".join(parts)
+
+
+class TemporalAssertionError(TeslaError, AssertionError):
+    """Raised by the default fail-stop policy on a temporal violation.
+
+    Subclasses :class:`AssertionError` so test harnesses that catch plain
+    assertion failures also catch temporal ones.
+    """
+
+    def __init__(self, violation: TemporalViolation) -> None:
+        super().__init__(violation.describe())
+        self.violation = violation

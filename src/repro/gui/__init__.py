@@ -1,0 +1,112 @@
+"""A miniature GNUstep-like GUI stack: the stateful-API substrate.
+
+Dynamic message dispatch with interposition (the modified Objective-C
+runtime of section 4.3), a PostScript-style graphics state, two back-ends
+(one with the non-LIFO restore bug), a view/cell hierarchy, the cursor
+stack with its event-ordering bug, and an Xnee-style replayer.
+"""
+
+from .app import (
+    NSWindow,
+    XEvent,
+    XneeReplayer,
+    build_demo_window,
+    cursor_bug_scenario,
+    run_loop_iteration,
+)
+from .backend import BackendError, NewBackend, OldBackend
+from .cursor import ARROW, IBEAM, POINTING_HAND, NSCursor, TrackingManager
+from .geometry import NSMakeRect, NSPoint, NSRect, NSSize
+from .graphics import BLACK, WHITE, DrawCommand, GraphicsContext, GraphicsState
+from .runtime import (
+    DoesNotRecognize,
+    NSObject,
+    class_replace_method,
+    msg_send,
+    selector,
+    set_tracing_supported,
+)
+from .teslag_ops import (
+    RETURN_TRACED,
+    all_selectors,
+    method_implementations,
+    tracing_assertion,
+)
+from .widgets import (
+    NSClipView,
+    NSMatrix,
+    NSMenu,
+    NSMenuItem,
+    NSPopUpButton,
+    NSProgressIndicator,
+    NSScroller,
+    NSScrollView,
+)
+from .views import (
+    NSBox,
+    NSButton,
+    NSButtonCell,
+    NSCell,
+    NSControl,
+    NSImageView,
+    NSSlider,
+    NSTableView,
+    NSTextField,
+    NSTextFieldCell,
+    NSView,
+)
+
+__all__ = [
+    "NSWindow",
+    "XEvent",
+    "XneeReplayer",
+    "build_demo_window",
+    "cursor_bug_scenario",
+    "run_loop_iteration",
+    "BackendError",
+    "NewBackend",
+    "OldBackend",
+    "ARROW",
+    "IBEAM",
+    "POINTING_HAND",
+    "NSCursor",
+    "TrackingManager",
+    "NSMakeRect",
+    "NSPoint",
+    "NSRect",
+    "NSSize",
+    "BLACK",
+    "WHITE",
+    "DrawCommand",
+    "GraphicsContext",
+    "GraphicsState",
+    "DoesNotRecognize",
+    "NSObject",
+    "class_replace_method",
+    "msg_send",
+    "selector",
+    "set_tracing_supported",
+    "RETURN_TRACED",
+    "all_selectors",
+    "method_implementations",
+    "tracing_assertion",
+    "NSBox",
+    "NSButton",
+    "NSButtonCell",
+    "NSCell",
+    "NSControl",
+    "NSImageView",
+    "NSSlider",
+    "NSTableView",
+    "NSTextField",
+    "NSTextFieldCell",
+    "NSView",
+    "NSClipView",
+    "NSMatrix",
+    "NSMenu",
+    "NSMenuItem",
+    "NSPopUpButton",
+    "NSProgressIndicator",
+    "NSScroller",
+    "NSScrollView",
+]

@@ -1,0 +1,231 @@
+"""Windows, the run loop, and the Xnee-style event replayer.
+
+:func:`run_loop_iteration` is the temporal bound of the figure 8 tracing
+assertion: "our automata were simple, stating that in between two
+instrumentation points, which we placed at the start and end of a run-loop
+iteration, some (or none) of the API methods should have been called."
+
+:class:`XneeReplayer` stands in for GNU Xnee: it replays a deterministic
+script of synthetic X11 events (motion, press, release, expose) into the
+application, driving redraws whose durations figure 14b reports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..instrument.hooks import instrumentable, tesla_site
+from .backend import NewBackend, OldBackend
+from .cursor import IBEAM, POINTING_HAND, NSCursor, TrackingManager
+from .geometry import NSMakeRect, NSPoint, NSRect
+from .graphics import GraphicsContext
+from .runtime import NSObject, msg_send, selector
+from .views import (
+    NSBox,
+    NSButton,
+    NSImageView,
+    NSSlider,
+    NSTableView,
+    NSTextField,
+    NSView,
+)
+from .widgets import NSProgressIndicator, NSScrollView
+
+
+class NSWindow(NSObject):
+    """A top-level window: content view + tracking + back-end."""
+
+    def __init__(
+        self,
+        frame: NSRect,
+        backend: Any = None,
+        buggy_event_order: bool = False,
+    ) -> None:
+        self.frame = frame
+        self.backend = backend if backend is not None else OldBackend()
+        self.content_view = NSView(NSMakeRect(0, 0, frame.width, frame.height))
+        self.content_view.window = self
+        self.tracking = TrackingManager(buggy_event_order=buggy_event_order)
+        #: Named tracking-rect tags, filled in by scene builders.
+        self.tracking_tags: Dict[str, int] = {}
+        self.last_context: Optional[GraphicsContext] = None
+
+    @selector("contentView")
+    def get_content_view(self) -> NSView:
+        return self.content_view
+
+    @selector("display")
+    def display(self) -> GraphicsContext:
+        """Redraw the whole window; returns the context for inspection."""
+        ctx = GraphicsContext(self.backend)
+        msg_send(self.content_view, "display:", ctx)
+        self.last_context = ctx
+        return ctx
+
+    @selector("sendEvent:")
+    def send_event(self, event: "XEvent") -> None:
+        if event.kind == "motion":
+            msg_send(self.tracking, "mouseMovedTo:", event.point)
+            hit = msg_send(self.content_view, "hitTest:", event.point)
+            if hit is not None:
+                msg_send(hit, "mouseMoved:", event.point)
+        elif event.kind == "press":
+            hit = msg_send(self.content_view, "hitTest:", event.point)
+            if hit is not None:
+                msg_send(hit, "mouseDown:", event.point)
+        elif event.kind == "release":
+            hit = msg_send(self.content_view, "hitTest:", event.point)
+            if hit is not None:
+                msg_send(hit, "mouseUp:", event.point)
+        elif event.kind == "expose":
+            msg_send(self.content_view, "setNeedsDisplay:", True)
+
+
+class XEvent:
+    """A synthetic X11-ish input event."""
+
+    __slots__ = ("kind", "point")
+
+    def __init__(self, kind: str, x: float = 0.0, y: float = 0.0) -> None:
+        self.kind = kind
+        self.point = NSPoint(x, y)
+
+    def __repr__(self) -> str:
+        return f"<XEvent {self.kind} ({self.point.x},{self.point.y})>"
+
+
+@instrumentable()
+def run_loop_iteration(window: NSWindow, events: Sequence[XEvent]) -> bool:
+    """One turn of the run loop: deliver events, redraw if needed.
+
+    Entry and exit are the figure 8 instrumentation points; the trace site
+    fires at the end of the iteration.  Returns True when a redraw ran.
+    """
+    for event in events:
+        msg_send(window, "sendEvent:", event)
+    redrew = False
+    if window.content_view.needs_display:
+        msg_send(window, "display")
+        redrew = True
+    tesla_site("gnustep.trace")
+    return redrew
+
+
+def build_demo_window(
+    backend: Any = None, buggy_event_order: bool = False
+) -> NSWindow:
+    """A window with enough controls to exercise the instrumented API:
+    a titled box of buttons, text fields, a slider, an image well and a
+    zebra-striped table (the non-LIFO save/restore trigger)."""
+    window = NSWindow(NSMakeRect(0, 0, 400, 300), backend, buggy_event_order)
+    content = window.content_view
+
+    box = NSBox(NSMakeRect(10, 10, 180, 130), title="Controls")
+    ok_button = NSButton(NSMakeRect(10, 20, 70, 24), value="OK")
+    cancel = NSButton(NSMakeRect(90, 20, 70, 24), value="Cancel")
+    name_field = NSTextField(NSMakeRect(10, 55, 150, 22), value="name")
+    volume = NSSlider(NSMakeRect(10, 90, 150, 20), value=0.5)
+    msg_send(box, "addSubview:", ok_button)
+    msg_send(box, "addSubview:", cancel)
+    msg_send(box, "addSubview:", name_field)
+    msg_send(box, "addSubview:", volume)
+
+    icon = NSImageView(NSMakeRect(200, 10, 48, 48), image_name="folder")
+    table = NSTableView(
+        NSMakeRect(10, 150, 380, 126),
+        rows=[[f"r{i}c0", f"r{i}c1", f"r{i}c2"] for i in range(7)],
+    )
+    progress = NSProgressIndicator(NSMakeRect(260, 10, 130, 14))
+    msg_send(progress, "setDoubleValue:", 40.0)
+    scroll = NSScrollView(NSMakeRect(200, 70, 190, 70))
+    log_view = NSView(NSMakeRect(0, 0, 178, 140))
+    for line in range(6):
+        msg_send(
+            log_view, "addSubview:",
+            NSTextField(NSMakeRect(2, line * 22, 170, 20), value=f"log {line}"),
+        )
+    msg_send(scroll, "setDocumentView:", log_view)
+    msg_send(content, "addSubview:", box)
+    msg_send(content, "addSubview:", icon)
+    msg_send(content, "addSubview:", progress)
+    msg_send(content, "addSubview:", scroll)
+    msg_send(content, "addSubview:", table)
+
+    # Tracking rectangles: hovering the buttons shows a pointing hand,
+    # hovering the text field an I-beam.  Tags are kept on the window so
+    # scenarios (and tests) can invalidate specific rectangles.
+    window.tracking_tags = {
+        "ok": msg_send(
+            window.tracking, "addTrackingRect:cursor:view:",
+            NSMakeRect(20, 30, 70, 24), POINTING_HAND, ok_button,
+        ),
+        "cancel": msg_send(
+            window.tracking, "addTrackingRect:cursor:view:",
+            NSMakeRect(100, 30, 70, 24), POINTING_HAND, cancel,
+        ),
+        "field": msg_send(
+            window.tracking, "addTrackingRect:cursor:view:",
+            NSMakeRect(20, 65, 150, 22), IBEAM, name_field,
+        ),
+    }
+    return window
+
+
+def cursor_bug_scenario(window: NSWindow) -> int:
+    """Drive the cursor push/pop bug (or its absence) on ``window``.
+
+    Hover the OK button, invalidate its tracking rectangle (the view
+    "moved"), keep hovering, then leave.  With correct event ordering the
+    cursor stack nets to zero; with ``buggy_event_order`` the invalidation
+    lands *after* the next inspection, the entered flag is lost, the same
+    cursor is pushed twice and popped once.  Returns the final stack depth.
+    """
+    NSCursor.reset_stack()
+    run_loop_iteration(window, [XEvent("motion", 40, 40)])   # enter OK: push
+    msg_send(
+        window.tracking, "invalidateTrackingRect:newRect:",
+        window.tracking_tags["ok"], NSMakeRect(20, 30, 70, 24),
+    )
+    run_loop_iteration(window, [XEvent("motion", 41, 41)])   # inspect first
+    run_loop_iteration(window, [XEvent("motion", 42, 42)])   # duplicate push?
+    run_loop_iteration(window, [XEvent("motion", 300, 200)]) # leave: one pop
+    return NSCursor.stack_depth()
+
+
+class XneeReplayer:
+    """Replays a deterministic input script, batched per loop iteration."""
+
+    def __init__(self, window: NSWindow) -> None:
+        self.window = window
+
+    def script(self, hover_cycles: int = 3) -> List[List[XEvent]]:
+        """A dialog-interaction script: sweep the cursor across the
+        controls (entering and leaving tracking rects), click OK, drag the
+        slider, and force a couple of full exposes."""
+        batches: List[List[XEvent]] = []
+        for _ in range(hover_cycles):
+            # Sweep across: outside -> OK button -> cancel -> field -> out.
+            batches.append([XEvent("motion", 5, 5)])
+            batches.append([XEvent("motion", 40, 40)])     # enter OK rect
+            batches.append([XEvent("motion", 120, 40)])    # OK -> cancel
+            batches.append([XEvent("motion", 60, 75)])     # cancel -> field
+            batches.append([XEvent("motion", 300, 200)])   # leave them all
+        batches.append([XEvent("press", 40, 40), XEvent("release", 40, 40)])
+        batches.append([XEvent("press", 60, 100), XEvent("release", 60, 100)])
+        batches.append([XEvent("expose")])
+        batches.append([XEvent("motion", 5, 5), XEvent("expose")])
+        return batches
+
+    def replay(self, hover_cycles: int = 3) -> Dict[str, int]:
+        """Run the script through the run loop; returns simple statistics."""
+        redraws = 0
+        iterations = 0
+        for batch in self.script(hover_cycles):
+            if run_loop_iteration(self.window, batch):
+                redraws += 1
+            iterations += 1
+        return {
+            "iterations": iterations,
+            "redraws": redraws,
+            "cursor_stack_depth": NSCursor.stack_depth(),
+        }

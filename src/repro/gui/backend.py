@@ -1,0 +1,106 @@
+"""Graphics back-ends: the correct old one and the buggy new one.
+
+The second GNUstep bug (section 3.5.3): "the new back end's inability to
+save and restore graphics states in a non-LIFO order.  This was caused by
+the author of the code not being aware that this was a valid sequence of
+operations."
+
+:class:`OldBackend` keeps saved states in a token-indexed map, so any
+saved state can be restored at any time.  :class:`NewBackend` keeps a pure
+stack: restoring the top token works, but restoring an *older* token
+silently pops to whatever happens to be on top — corrupting subsequent
+drawing exactly like "things are drawn on the screen incorrectly".
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Tuple
+
+from .graphics import GraphicsState
+
+
+class BackendError(Exception):
+    """A back-end refused an operation (unknown token, empty stack)."""
+
+
+class OldBackend:
+    """The mature back-end: non-LIFO save/restore via a token map."""
+
+    name = "old-backend"
+    supports_non_lifo = True
+
+    def __init__(self) -> None:
+        self._tokens = itertools.count(1)
+        self._saved: Dict[int, GraphicsState] = {}
+        self.state = GraphicsState()
+        #: Statistics the optimisation-profiling discussion feeds on.
+        self.saves = 0
+        self.restores = 0
+
+    def reset(self, state: GraphicsState) -> None:
+        self._saved.clear()
+        self.state = state
+
+    def sync_state(self, state: GraphicsState) -> None:
+        self.state = state
+
+    def save_gstate(self, state: GraphicsState) -> int:
+        token = next(self._tokens)
+        self._saved[token] = state
+        self.saves += 1
+        return token
+
+    def restore_gstate(self, token: int) -> GraphicsState:
+        try:
+            state = self._saved.pop(token)
+        except KeyError:
+            raise BackendError(f"unknown gstate token {token}") from None
+        self.restores += 1
+        self.state = state
+        return state
+
+
+class NewBackend:
+    """The new back-end: LIFO-only save/restore — the bug.
+
+    The author assumed gsave/grestore discipline; a non-LIFO restore does
+    not fail, it silently restores the *top* of the stack instead of the
+    requested state.  No exception, no log — just wrong pixels later.
+    """
+
+    name = "new-backend"
+    supports_non_lifo = False
+
+    def __init__(self) -> None:
+        self._tokens = itertools.count(1)
+        self._stack: List[Tuple[int, GraphicsState]] = []
+        self.state = GraphicsState()
+        self.saves = 0
+        self.restores = 0
+        #: Count of restores that hit the bug (diagnosable after the fact).
+        self.misrestores = 0
+
+    def reset(self, state: GraphicsState) -> None:
+        self._stack.clear()
+        self.state = state
+
+    def sync_state(self, state: GraphicsState) -> None:
+        self.state = state
+
+    def save_gstate(self, state: GraphicsState) -> int:
+        token = next(self._tokens)
+        self._stack.append((token, state))
+        self.saves += 1
+        return token
+
+    def restore_gstate(self, token: int) -> GraphicsState:
+        if not self._stack:
+            raise BackendError("restore with empty gstate stack")
+        top_token, state = self._stack.pop()
+        self.restores += 1
+        if top_token != token:
+            # The silent corruption: the wrong state is restored.
+            self.misrestores += 1
+        self.state = state
+        return state

@@ -1,0 +1,160 @@
+"""Cursors, tracking rectangles, and the push/pop pairing bug.
+
+Section 3.5.3's first bug: "mouse-entered events were, in some cases, not
+correctly paired with mouse-exited events and so the same cursors were
+pushed onto the cursor stack multiple times … events invalidating cursor
+tracking rectangles were being delivered after events that inspected those
+rectangles.  This resulted in a later pop only popping one of a number of
+duplicated copies of the same cursor, leaving the UI in the wrong state."
+
+:class:`TrackingManager` delivers mouse-entered/exited based on tracking
+rectangles.  In the correct ordering, rectangle *invalidation* (e.g. a view
+moved) is processed before the next inspection, so entered-state is
+reconciled.  With ``buggy_event_order=True``, invalidation is queued and
+delivered *after* inspection: a rectangle that was re-added appears fresh,
+its ``entered`` flag lost, and the same cursor is pushed again without an
+intervening exit — exactly the duplicated-push signature the TESLA traces
+exposed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Tuple
+
+from .geometry import NSPoint, NSRect
+from .runtime import NSObject, msg_send, selector
+
+_rect_tags = itertools.count(1)
+
+
+class NSCursor(NSObject):
+    """A named cursor with the class-level cursor stack."""
+
+    #: The process-wide cursor stack (class state, as in AppKit).
+    _stack: List["NSCursor"] = []
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    @selector("push")
+    def push(self) -> None:
+        NSCursor._stack.append(self)
+
+    @selector("pop")
+    def pop(self) -> None:
+        if NSCursor._stack:
+            NSCursor._stack.pop()
+
+    @selector("set")
+    def set_(self) -> None:
+        if NSCursor._stack:
+            NSCursor._stack[-1] = self
+        else:
+            NSCursor._stack.append(self)
+
+    @classmethod
+    def current(cls) -> Optional["NSCursor"]:
+        return cls._stack[-1] if cls._stack else None
+
+    @classmethod
+    def stack_depth(cls) -> int:
+        return len(cls._stack)
+
+    @classmethod
+    def reset_stack(cls) -> None:
+        cls._stack.clear()
+
+    def __repr__(self) -> str:
+        return f"<NSCursor {self.name}>"
+
+
+ARROW = NSCursor("arrow")
+IBEAM = NSCursor("ibeam")
+POINTING_HAND = NSCursor("pointing-hand")
+
+
+class TrackingRect:
+    """One cursor tracking rectangle attached to a view."""
+
+    __slots__ = ("tag", "rect", "cursor", "view", "entered")
+
+    def __init__(self, rect: NSRect, cursor: NSCursor, view: Any) -> None:
+        self.tag = next(_rect_tags)
+        self.rect = rect
+        self.cursor = cursor
+        self.view = view
+        self.entered = False
+
+
+class TrackingManager(NSObject):
+    """Delivers mouse-entered/exited events from tracking rectangles."""
+
+    def __init__(self, buggy_event_order: bool = False) -> None:
+        self.rects: Dict[int, TrackingRect] = {}
+        self.buggy_event_order = buggy_event_order
+        #: Invalidations waiting to be applied (the buggy path's queue).
+        self._pending_invalidations: List[Tuple[int, NSRect]] = []
+
+    @selector("addTrackingRect:cursor:view:")
+    def add_tracking_rect(self, rect: NSRect, cursor: NSCursor, view: Any) -> int:
+        tracking = TrackingRect(rect, cursor, view)
+        self.rects[tracking.tag] = tracking
+        return tracking.tag
+
+    @selector("removeTrackingRect:")
+    def remove_tracking_rect(self, tag: int) -> None:
+        tracking = self.rects.pop(tag, None)
+        if tracking is not None and tracking.entered:
+            # Leaving a rect by removal still exits it.
+            msg_send(tracking.cursor, "pop")
+
+    @selector("invalidateTrackingRect:newRect:")
+    def invalidate_tracking_rect(self, tag: int, new_rect: NSRect) -> None:
+        """A view moved: its tracking rectangle must be replaced.
+
+        Correct ordering applies the invalidation immediately, preserving
+        the ``entered`` state.  The buggy ordering defers it until after
+        the next inspection — the root cause of the duplicated pushes.
+        """
+        if self.buggy_event_order:
+            self._pending_invalidations.append((tag, new_rect))
+        else:
+            self._apply_invalidation(tag, new_rect)
+
+    def _apply_invalidation(self, tag: int, new_rect: NSRect) -> None:
+        tracking = self.rects.get(tag)
+        if tracking is None:
+            return
+        if self.buggy_event_order:
+            # The deferred replacement re-creates the rect, losing its
+            # entered flag — the state the later inspection needed.
+            replacement = TrackingRect(new_rect, tracking.cursor, tracking.view)
+            replacement.tag = tracking.tag
+            self.rects[tag] = replacement
+        else:
+            tracking.rect = new_rect
+
+    @selector("mouseMovedTo:")
+    def mouse_moved_to(self, point: NSPoint) -> None:
+        """Inspect the rectangles and deliver entered/exited events."""
+        for tracking in list(self.rects.values()):
+            inside = tracking.rect.contains(point)
+            if inside and not tracking.entered:
+                tracking.entered = True
+                msg_send(tracking.cursor, "push")
+                self._notify(tracking, "mouseEntered:")
+            elif not inside and tracking.entered:
+                tracking.entered = False
+                msg_send(tracking.cursor, "pop")
+                self._notify(tracking, "mouseExited:")
+        # The buggy ordering: invalidations arrive after the inspection.
+        if self._pending_invalidations:
+            pending, self._pending_invalidations = self._pending_invalidations, []
+            for tag, new_rect in pending:
+                self._apply_invalidation(tag, new_rect)
+
+    def _notify(self, tracking: TrackingRect, event_selector: str) -> None:
+        view = tracking.view
+        if view is not None and view.respondsTo(event_selector):
+            msg_send(view, event_selector, tracking)

@@ -1,0 +1,65 @@
+"""AppKit geometry types: NSPoint, NSSize, NSRect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NSPoint:
+    x: float
+    y: float
+
+
+@dataclass(frozen=True)
+class NSSize:
+    width: float
+    height: float
+
+
+@dataclass(frozen=True)
+class NSRect:
+    """An axis-aligned rectangle: origin + size."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    @property
+    def origin(self) -> NSPoint:
+        return NSPoint(self.x, self.y)
+
+    @property
+    def size(self) -> NSSize:
+        return NSSize(self.width, self.height)
+
+    @property
+    def max_x(self) -> float:
+        return self.x + self.width
+
+    @property
+    def max_y(self) -> float:
+        return self.y + self.height
+
+    def contains(self, point: NSPoint) -> bool:
+        return self.x <= point.x < self.max_x and self.y <= point.y < self.max_y
+
+    def intersects(self, other: "NSRect") -> bool:
+        return not (
+            other.x >= self.max_x
+            or other.max_x <= self.x
+            or other.y >= self.max_y
+            or other.max_y <= self.y
+        )
+
+    def inset(self, dx: float, dy: float) -> "NSRect":
+        return NSRect(self.x + dx, self.y + dy, self.width - 2 * dx, self.height - 2 * dy)
+
+    def offset(self, dx: float, dy: float) -> "NSRect":
+        return NSRect(self.x + dx, self.y + dy, self.width, self.height)
+
+
+def NSMakeRect(x: float, y: float, width: float, height: float) -> NSRect:
+    """AppKit-style rectangle constructor."""
+    return NSRect(x, y, width, height)

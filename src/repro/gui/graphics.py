@@ -1,0 +1,143 @@
+"""The PostScript-style graphics state and drawing context.
+
+"To avoid hundreds of arguments to function calls, various attributes
+(stroke colour, transform matrix, and so on) are set independently.
+Subsequent commands use these properties, so the behaviour of a single
+draw-line method depends on many previous calls" — the stateful-API
+problem motivating the GNUstep case study (section 2.3).
+
+:class:`GraphicsContext` records every drawing command *with the state in
+effect at the time*, so two renderings can be diffed to expose state
+corruption — how the second GNUstep bug ("things are drawn on the screen
+incorrectly") manifests here.  State save/restore is delegated to a
+back-end (:mod:`repro.gui.backend`), because that is where the bug lived:
+the new back-end could not restore graphics states in non-LIFO order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, List, Optional, Tuple
+
+from .geometry import NSPoint, NSRect
+
+#: RGBA colour.
+Color = Tuple[float, float, float, float]
+
+BLACK: Color = (0.0, 0.0, 0.0, 1.0)
+WHITE: Color = (1.0, 1.0, 1.0, 1.0)
+
+
+@dataclass(frozen=True)
+class GraphicsState:
+    """The current drawing attributes (a PostScript gstate)."""
+
+    color: Color = BLACK
+    line_width: float = 1.0
+    #: A 2D affine transform (a, b, c, d, tx, ty).
+    transform: Tuple[float, float, float, float, float, float] = (1, 0, 0, 1, 0, 0)
+    clip: Optional[NSRect] = None
+
+    def translated(self, dx: float, dy: float) -> "GraphicsState":
+        a, b, c, d, tx, ty = self.transform
+        return replace(self, transform=(a, b, c, d, tx + dx, ty + dy))
+
+    def apply(self, point: NSPoint) -> NSPoint:
+        a, b, c, d, tx, ty = self.transform
+        return NSPoint(a * point.x + c * point.y + tx, b * point.x + d * point.y + ty)
+
+
+@dataclass(frozen=True)
+class DrawCommand:
+    """One rendered primitive plus the state it was rendered under."""
+
+    op: str
+    geometry: Tuple[Any, ...]
+    state: GraphicsState
+
+
+class GraphicsContext:
+    """The drawing context handed to views during display."""
+
+    def __init__(self, backend: Any) -> None:
+        self.backend = backend
+        self.state = GraphicsState()
+        self.commands: List[DrawCommand] = []
+        backend.reset(self.state)
+
+    # -- state attribute setters (each one an independent stateful call) ----
+
+    def set_color(self, color: Color) -> None:
+        self.state = replace(self.state, color=color)
+        self.backend.sync_state(self.state)
+
+    def set_line_width(self, width: float) -> None:
+        self.state = replace(self.state, line_width=width)
+        self.backend.sync_state(self.state)
+
+    def translate(self, dx: float, dy: float) -> None:
+        self.state = self.state.translated(dx, dy)
+        self.backend.sync_state(self.state)
+
+    def set_clip(self, rect: Optional[NSRect]) -> None:
+        self.state = replace(self.state, clip=rect)
+        self.backend.sync_state(self.state)
+
+    # -- save/restore: delegated to the back-end -----------------------------
+
+    def save_gstate(self) -> int:
+        """Save the current state; returns a token for later restore.
+
+        Unlike strict PostScript gsave/grestore, AppKit allows restoring
+        saved states in *non-LIFO* order — "something obvious in traces of
+        even simple applications" but unknown to the new back-end's author.
+        """
+        return self.backend.save_gstate(self.state)
+
+    def restore_gstate(self, token: int) -> None:
+        self.state = self.backend.restore_gstate(token)
+
+    # -- drawing primitives -----------------------------------------------------
+
+    def stroke_line(self, start: NSPoint, end: NSPoint) -> None:
+        self.commands.append(
+            DrawCommand("stroke-line", (self.state.apply(start), self.state.apply(end)), self.state)
+        )
+
+    def fill_rect(self, rect: NSRect) -> None:
+        origin = self.state.apply(NSPoint(rect.x, rect.y))
+        self.commands.append(
+            DrawCommand(
+                "fill-rect",
+                (NSRect(origin.x, origin.y, rect.width, rect.height),),
+                self.state,
+            )
+        )
+
+    def stroke_rect(self, rect: NSRect) -> None:
+        origin = self.state.apply(NSPoint(rect.x, rect.y))
+        self.commands.append(
+            DrawCommand(
+                "stroke-rect",
+                (NSRect(origin.x, origin.y, rect.width, rect.height),),
+                self.state,
+            )
+        )
+
+    def draw_text(self, text: str, at: NSPoint) -> None:
+        self.commands.append(
+            DrawCommand("draw-text", (text, self.state.apply(at)), self.state)
+        )
+
+    # -- output comparison -------------------------------------------------------
+
+    def render_signature(self) -> List[Tuple[str, Tuple[Any, ...], Color, float]]:
+        """A comparable rendering: op, geometry, effective colour and width.
+
+        Two runs of the same scene must produce equal signatures; the
+        non-LIFO back-end bug shows up as colour/width differences.
+        """
+        return [
+            (c.op, c.geometry, c.state.color, c.state.line_width)
+            for c in self.commands
+        ]

@@ -1,0 +1,73 @@
+"""TESLAGOps — the selector inventory for GNUstep-style instrumentation.
+
+The paper's investigation instrumented "roughly 110 methods, some in the
+back end and some in the library", listed in a ``TESLAGOps.h`` header
+"created simply to list the selectors that we wished to instrument".
+This module is that header's analogue: it enumerates every selector
+implemented across the GUI substrate (method implementations are counted
+per class, as the paper counts methods) and builds the figure 8 assertion
+that drives instrumentation for all of them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Type
+
+from ..core.ast import TemporalAssertion
+from ..core.dsl import atleast, call, previously, tesla_within
+from . import app, cursor, views, widgets
+from .runtime import NSObject
+
+
+def _gui_classes() -> List[Type[NSObject]]:
+    classes: List[Type[NSObject]] = []
+    for module in (views, cursor, app, widgets):
+        for value in vars(module).values():
+            if isinstance(value, type) and issubclass(value, NSObject):
+                if value is not NSObject and value not in classes:
+                    classes.append(value)
+    return classes
+
+
+def method_implementations() -> List[Tuple[str, str]]:
+    """Every (class, selector) implementation — the paper's ~110 methods."""
+    implementations: List[Tuple[str, str]] = []
+    for cls in _gui_classes():
+        for selector_name in cls.__dict__.get("_methods", {}):
+            implementations.append((cls.__name__, selector_name))
+    return sorted(implementations)
+
+
+def all_selectors() -> Tuple[str, ...]:
+    """Unique selector names across the GUI substrate, sorted."""
+    return tuple(sorted({sel for _, sel in method_implementations()}))
+
+
+#: Selectors whose *returns* the investigation also wanted events for
+#: ("the methods listed at the end are those that we wanted to get extra
+#: events on method return").
+RETURN_TRACED = (
+    "drawWithFrame:inView:",
+    "drawInteriorWithFrame:inView:",
+    "drawRect:",
+    "display:",
+    "push",
+    "pop",
+)
+
+
+def tracing_assertion(name: str = "gnustep.trace") -> TemporalAssertion:
+    """Figure 8: ``TESLA_WITHIN(startDrawing, previously(ATLEAST(0, …)))``.
+
+    ``ATLEAST(0, …)`` cannot fail; its purpose is to cause instrumentation
+    to be generated for every listed selector so custom handlers receive
+    the full event stream.
+    """
+    events = [call(sel) for sel in all_selectors()]
+    return tesla_within(
+        "run_loop_iteration",
+        previously(atleast(0, *events)),
+        name=name,
+        location="repro.gui.app:run_loop_iteration",
+        tags=("gnustep", "tracing"),
+    )

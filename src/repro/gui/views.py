@@ -1,0 +1,411 @@
+"""The AppKit-like view hierarchy: views, controls and cells.
+
+"Many views delegate drawing to 'cells' (simple classes that draw data in
+a particular way) that are provided by another object" — so control flow
+bounces between the view library and the back-end through dynamic dispatch,
+and "applications often save and restore the graphics state (a
+comparatively expensive operation), when the only aspects of the state that
+are changed in between are the current drawing location and the colour".
+
+Every inter-object call goes through :func:`~repro.gui.runtime.msg_send`,
+so the interposition table sees the full ~110-selector surface that the
+paper instrumented (listed in :mod:`repro.gui.teslag_ops`).
+
+:class:`NSTableView` deliberately restores saved graphics states in
+non-LIFO order — a valid AppKit pattern — which renders correctly on the
+old back-end and corrupts silently on the new one (section 3.5.3's second
+bug).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from .geometry import NSMakeRect, NSPoint, NSRect
+from .graphics import BLACK, Color, GraphicsContext
+from .runtime import NSObject, msg_send, selector
+
+BLUE: Color = (0.2, 0.3, 0.9, 1.0)
+GRAY: Color = (0.6, 0.6, 0.6, 1.0)
+LIGHT: Color = (0.9, 0.9, 0.9, 1.0)
+STRIPE: Color = (0.85, 0.9, 1.0, 1.0)
+
+
+class NSResponder(NSObject):
+    """Event-handling base class."""
+
+    def __init__(self) -> None:
+        self.next_responder: Optional["NSResponder"] = None
+
+    @selector("acceptsFirstResponder")
+    def accepts_first_responder(self) -> bool:
+        return False
+
+    @selector("mouseDown:")
+    def mouse_down(self, point: NSPoint) -> None:
+        if self.next_responder is not None:
+            msg_send(self.next_responder, "mouseDown:", point)
+
+    @selector("mouseUp:")
+    def mouse_up(self, point: NSPoint) -> None:
+        if self.next_responder is not None:
+            msg_send(self.next_responder, "mouseUp:", point)
+
+    @selector("mouseMoved:")
+    def mouse_moved(self, point: NSPoint) -> None:
+        return None
+
+
+class NSView(NSResponder):
+    """A rectangle in a window with subviews and drawing."""
+
+    def __init__(self, frame: NSRect) -> None:
+        super().__init__()
+        self.frame = frame
+        self.subviews: List["NSView"] = []
+        self.superview: Optional["NSView"] = None
+        self.window: Any = None
+        self.needs_display = True
+        self.hidden = False
+
+    # -- geometry -------------------------------------------------------------
+
+    @selector("frame")
+    def get_frame(self) -> NSRect:
+        return self.frame
+
+    @selector("setFrame:")
+    def set_frame(self, frame: NSRect) -> None:
+        self.frame = frame
+        msg_send(self, "setNeedsDisplay:", True)
+
+    @selector("bounds")
+    def bounds(self) -> NSRect:
+        return NSMakeRect(0, 0, self.frame.width, self.frame.height)
+
+    @selector("convertPoint:")
+    def convert_point(self, point: NSPoint) -> NSPoint:
+        return NSPoint(point.x - self.frame.x, point.y - self.frame.y)
+
+    @selector("hitTest:")
+    def hit_test(self, point: NSPoint) -> Optional["NSView"]:
+        if self.hidden or not self.frame.contains(point):
+            return None
+        local = msg_send(self, "convertPoint:", point)
+        for subview in reversed(self.subviews):
+            hit = msg_send(subview, "hitTest:", local)
+            if hit is not None:
+                return hit
+        return self
+
+    # -- hierarchy ---------------------------------------------------------------
+
+    @selector("addSubview:")
+    def add_subview(self, view: "NSView") -> None:
+        self.subviews.append(view)
+        view.superview = self
+        view.next_responder = self
+        view.window = self.window
+        msg_send(view, "viewDidMoveToWindow")
+
+    @selector("removeFromSuperview")
+    def remove_from_superview(self) -> None:
+        if self.superview is not None:
+            self.superview.subviews.remove(self)
+            self.superview = None
+
+    @selector("viewDidMoveToWindow")
+    def view_did_move_to_window(self) -> None:
+        for subview in self.subviews:
+            subview.window = self.window
+            msg_send(subview, "viewDidMoveToWindow")
+
+    # -- display -------------------------------------------------------------------
+
+    @selector("setNeedsDisplay:")
+    def set_needs_display(self, flag: bool) -> None:
+        self.needs_display = flag
+        if flag and self.superview is not None:
+            msg_send(self.superview, "setNeedsDisplay:", True)
+
+    @selector("display:")
+    def display(self, ctx: GraphicsContext) -> None:
+        if self.hidden:
+            return
+        token = msg_send(self, "saveGraphicsState:", ctx)
+        ctx.translate(self.frame.x, self.frame.y)
+        msg_send(self, "drawRect:", ctx, msg_send(self, "bounds"))
+        for subview in self.subviews:
+            msg_send(subview, "display:", ctx)
+        msg_send(self, "restoreGraphicsState:", ctx, token)
+        self.needs_display = False
+
+    @selector("saveGraphicsState:")
+    def save_graphics_state(self, ctx: GraphicsContext) -> int:
+        return ctx.save_gstate()
+
+    @selector("restoreGraphicsState:")
+    def restore_graphics_state(self, ctx: GraphicsContext, token: int) -> None:
+        ctx.restore_gstate(token)
+
+    @selector("drawRect:")
+    def draw_rect(self, ctx: GraphicsContext, rect: NSRect) -> None:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# cells: delegated drawing
+# ---------------------------------------------------------------------------
+
+
+class NSCell(NSObject):
+    """A lightweight drawing delegate."""
+
+    def __init__(self, value: Any = None) -> None:
+        self.value = value
+        self.highlighted = False
+
+    @selector("setObjectValue:")
+    def set_object_value(self, value: Any) -> None:
+        self.value = value
+
+    @selector("objectValue")
+    def object_value(self) -> Any:
+        return self.value
+
+    @selector("setHighlighted:")
+    def set_highlighted(self, flag: bool) -> None:
+        self.highlighted = flag
+
+    @selector("drawWithFrame:inView:")
+    def draw_with_frame(self, ctx: GraphicsContext, frame: NSRect, view: NSView) -> None:
+        return None
+
+    @selector("drawInteriorWithFrame:inView:")
+    def draw_interior_with_frame(self, ctx: GraphicsContext, frame: NSRect, view: NSView) -> None:
+        return None
+
+
+class NSTextFieldCell(NSCell):
+    """Cell drawing an editable text value on a light background."""
+    @selector("drawWithFrame:inView:")
+    def draw_with_frame(self, ctx: GraphicsContext, frame: NSRect, view: NSView) -> None:
+        # The profiled anti-pattern: save, tweak colour/position, restore —
+        # even though the next cell sets both explicitly anyway.
+        token = ctx.save_gstate()
+        ctx.set_color(LIGHT)
+        ctx.fill_rect(frame)
+        msg_send(self, "drawInteriorWithFrame:inView:", ctx, frame, view)
+        ctx.restore_gstate(token)
+
+    @selector("drawInteriorWithFrame:inView:")
+    def draw_interior_with_frame(self, ctx: GraphicsContext, frame: NSRect, view: NSView) -> None:
+        ctx.set_color(BLACK)
+        ctx.draw_text(str(self.value), NSPoint(frame.x + 2, frame.y + 2))
+
+
+class NSButtonCell(NSCell):
+    """Cell drawing a push button, highlighted while pressed."""
+    @selector("drawWithFrame:inView:")
+    def draw_with_frame(self, ctx: GraphicsContext, frame: NSRect, view: NSView) -> None:
+        token = ctx.save_gstate()
+        ctx.set_color(BLUE if self.highlighted else GRAY)
+        ctx.fill_rect(frame)
+        msg_send(self, "drawInteriorWithFrame:inView:", ctx, frame, view)
+        ctx.restore_gstate(token)
+
+    @selector("drawInteriorWithFrame:inView:")
+    def draw_interior_with_frame(self, ctx: GraphicsContext, frame: NSRect, view: NSView) -> None:
+        ctx.set_color(BLACK)
+        ctx.draw_text(str(self.value), NSPoint(frame.x + 4, frame.y + 4))
+        ctx.stroke_rect(frame)
+
+
+class NSSliderCell(NSCell):
+    """Cell drawing a horizontal track with a value knob."""
+    @selector("drawWithFrame:inView:")
+    def draw_with_frame(self, ctx: GraphicsContext, frame: NSRect, view: NSView) -> None:
+        token = ctx.save_gstate()
+        ctx.set_color(GRAY)
+        mid = frame.y + frame.height / 2
+        ctx.stroke_line(NSPoint(frame.x, mid), NSPoint(frame.max_x, mid))
+        knob = frame.x + float(self.value or 0) * frame.width
+        ctx.set_color(BLUE)
+        ctx.fill_rect(NSMakeRect(knob - 3, frame.y, 6, frame.height))
+        ctx.restore_gstate(token)
+
+
+# ---------------------------------------------------------------------------
+# controls
+# ---------------------------------------------------------------------------
+
+
+class NSControl(NSView):
+    """A view that delegates its drawing to a cell."""
+
+    cell_class = NSCell
+
+    def __init__(self, frame: NSRect, value: Any = None) -> None:
+        super().__init__(frame)
+        self.cell = self.cell_class(value)
+        self.target: Any = None
+        self.action: Optional[str] = None
+        self.enabled = True
+
+    @selector("cell")
+    def get_cell(self) -> NSCell:
+        return self.cell
+
+    @selector("setEnabled:")
+    def set_enabled(self, flag: bool) -> None:
+        self.enabled = flag
+
+    @selector("stringValue")
+    def string_value(self) -> str:
+        return str(msg_send(self.cell, "objectValue"))
+
+    @selector("setStringValue:")
+    def set_string_value(self, value: str) -> None:
+        msg_send(self.cell, "setObjectValue:", value)
+        msg_send(self, "setNeedsDisplay:", True)
+
+    @selector("setTarget:")
+    def set_target(self, target: Any) -> None:
+        self.target = target
+
+    @selector("setAction:")
+    def set_action(self, action: str) -> None:
+        self.action = action
+
+    @selector("sendAction")
+    def send_action(self) -> None:
+        if self.target is not None and self.action is not None:
+            msg_send(self.target, self.action, self)
+
+    @selector("drawRect:")
+    def draw_rect(self, ctx: GraphicsContext, rect: NSRect) -> None:
+        msg_send(self.cell, "drawWithFrame:inView:", ctx, rect, self)
+
+
+class NSButton(NSControl):
+    """A push-button control: highlights on press, fires its action."""
+    cell_class = NSButtonCell
+
+    @selector("acceptsFirstResponder")
+    def accepts_first_responder(self) -> bool:
+        return True
+
+    @selector("mouseDown:")
+    def mouse_down(self, point: NSPoint) -> None:
+        msg_send(self.cell, "setHighlighted:", True)
+        msg_send(self, "setNeedsDisplay:", True)
+
+    @selector("mouseUp:")
+    def mouse_up(self, point: NSPoint) -> None:
+        msg_send(self.cell, "setHighlighted:", False)
+        msg_send(self, "sendAction")
+        msg_send(self, "setNeedsDisplay:", True)
+
+
+class NSTextField(NSControl):
+    """A single-line text control backed by an NSTextFieldCell."""
+    cell_class = NSTextFieldCell
+
+
+class NSSlider(NSControl):
+    """A slider control holding a float value in [0, 1]."""
+    cell_class = NSSliderCell
+
+    @selector("floatValue")
+    def float_value(self) -> float:
+        return float(msg_send(self.cell, "objectValue") or 0.0)
+
+    @selector("setFloatValue:")
+    def set_float_value(self, value: float) -> None:
+        msg_send(self.cell, "setObjectValue:", value)
+        msg_send(self, "setNeedsDisplay:", True)
+
+
+class NSBox(NSView):
+    """A decorative border with a title."""
+
+    def __init__(self, frame: NSRect, title: str = "") -> None:
+        super().__init__(frame)
+        self.title = title
+
+    @selector("drawRect:")
+    def draw_rect(self, ctx: GraphicsContext, rect: NSRect) -> None:
+        token = ctx.save_gstate()
+        ctx.set_color(GRAY)
+        ctx.stroke_rect(rect.inset(1, 1))
+        ctx.set_color(BLACK)
+        ctx.draw_text(self.title, NSPoint(rect.x + 6, rect.y))
+        ctx.restore_gstate(token)
+
+
+class NSImageView(NSView):
+    """A placeholder image well (draws its image name)."""
+    def __init__(self, frame: NSRect, image_name: str = "") -> None:
+        super().__init__(frame)
+        self.image_name = image_name
+
+    @selector("drawRect:")
+    def draw_rect(self, ctx: GraphicsContext, rect: NSRect) -> None:
+        ctx.set_color(LIGHT)
+        ctx.fill_rect(rect)
+        ctx.set_color(BLACK)
+        ctx.draw_text(f"[{self.image_name}]", NSPoint(rect.x + 2, rect.y + 2))
+
+
+class NSTableView(NSView):
+    """Rows of cells — and the non-LIFO graphics-state pattern.
+
+    Each visible row saves the zebra-stripe state up front; the row states
+    are restored *in row order* after all cells have drawn (a batching
+    pattern the old back-end supports fine).  Mixed with the per-cell
+    LIFO saves, the overall restore order is non-LIFO: valid, but fatal
+    to the new back-end.
+    """
+
+    def __init__(self, frame: NSRect, rows: Sequence[Sequence[Any]]) -> None:
+        super().__init__(frame)
+        self.rows = [list(row) for row in rows]
+        self.row_height = 18.0
+        self.cell = NSTextFieldCell()
+
+    @selector("numberOfRows")
+    def number_of_rows(self) -> int:
+        return len(self.rows)
+
+    @selector("frameOfCellAtColumn:row:")
+    def frame_of_cell(self, column: int, row: int) -> NSRect:
+        n_columns = max(len(r) for r in self.rows) if self.rows else 1
+        width = self.frame.width / n_columns
+        return NSMakeRect(column * width, row * self.row_height, width, self.row_height)
+
+    @selector("drawRect:")
+    def draw_rect(self, ctx: GraphicsContext, rect: NSRect) -> None:
+        row_tokens: List[int] = []
+        for row_index, row in enumerate(self.rows):
+            token = ctx.save_gstate()
+            row_tokens.append(token)
+            ctx.set_color(STRIPE if row_index % 2 else LIGHT)
+            ctx.fill_rect(
+                NSMakeRect(0, row_index * self.row_height, rect.width, self.row_height)
+            )
+            for column, value in enumerate(row):
+                msg_send(self.cell, "setObjectValue:", value)
+                cell_frame = msg_send(self, "frameOfCellAtColumn:row:", column, row_index)
+                msg_send(self.cell, "drawWithFrame:inView:", ctx, cell_frame, self)
+        # Restore row states oldest-first — non-LIFO by construction — and
+        # draw each row's separator *under the restored state*.  On the old
+        # back-end each separator picks up its own row's attributes; on the
+        # buggy new back-end the restores come back in the wrong order and
+        # the separators render with the wrong colours: "things are drawn
+        # on the screen incorrectly".
+        for row_index, token in enumerate(row_tokens):
+            ctx.restore_gstate(token)
+            y = (row_index + 1) * self.row_height
+            ctx.stroke_line(NSPoint(0, y), NSPoint(rect.width, y))
+        ctx.set_color(BLACK)
+        ctx.stroke_rect(rect)

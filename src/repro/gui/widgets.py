@@ -1,0 +1,271 @@
+"""Additional AppKit-style widgets: scrolling, menus, matrices, indicators.
+
+The GNUstep investigation instrumented "roughly 110 methods, some in the
+back end and some in the library"; this module fills the view library out
+to a comparable selector surface.  Everything dispatches through
+:func:`~repro.gui.runtime.msg_send`, so the figure 8 tracing assertion and
+the interposition table see it all.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from .geometry import NSMakeRect, NSPoint, NSRect
+from .graphics import BLACK, GraphicsContext
+from .runtime import NSObject, msg_send, selector
+from .views import BLUE, GRAY, LIGHT, NSCell, NSControl, NSView
+
+
+class NSClipView(NSView):
+    """The scrolled-content window: translates its document by the scroll
+    offset during drawing."""
+
+    def __init__(self, frame: NSRect) -> None:
+        super().__init__(frame)
+        self.offset = NSPoint(0, 0)
+
+    @selector("scrollToPoint:")
+    def scroll_to_point(self, point: NSPoint) -> None:
+        self.offset = point
+        msg_send(self, "setNeedsDisplay:", True)
+
+    @selector("documentVisibleRect")
+    def document_visible_rect(self) -> NSRect:
+        return NSMakeRect(
+            self.offset.x, self.offset.y, self.frame.width, self.frame.height
+        )
+
+    @selector("display:")
+    def display(self, ctx: GraphicsContext) -> None:
+        token = msg_send(self, "saveGraphicsState:", ctx)
+        ctx.translate(self.frame.x - self.offset.x, self.frame.y - self.offset.y)
+        for subview in self.subviews:
+            msg_send(subview, "display:", ctx)
+        msg_send(self, "restoreGraphicsState:", ctx, token)
+        self.needs_display = False
+
+
+class NSScroller(NSControl):
+    """A scroll bar: a float position in [0, 1]."""
+
+    @selector("scrollPosition")
+    def scroll_position(self) -> float:
+        return float(msg_send(self.cell, "objectValue") or 0.0)
+
+    @selector("setScrollPosition:")
+    def set_scroll_position(self, position: float) -> None:
+        msg_send(self.cell, "setObjectValue:", max(0.0, min(1.0, position)))
+        msg_send(self, "setNeedsDisplay:", True)
+
+    @selector("drawRect:")
+    def draw_rect(self, ctx: GraphicsContext, rect: NSRect) -> None:
+        ctx.set_color(LIGHT)
+        ctx.fill_rect(rect)
+        knob_y = rect.y + msg_send(self, "scrollPosition") * (rect.height - 10)
+        ctx.set_color(GRAY)
+        ctx.fill_rect(NSMakeRect(rect.x + 1, knob_y, rect.width - 2, 10))
+
+
+class NSScrollView(NSView):
+    """Clip view + scroller, wired together."""
+
+    def __init__(self, frame: NSRect) -> None:
+        super().__init__(frame)
+        self.clip_view = NSClipView(
+            NSMakeRect(0, 0, frame.width - 12, frame.height)
+        )
+        self.scroller = NSScroller(
+            NSMakeRect(frame.width - 12, 0, 12, frame.height), value=0.0
+        )
+        msg_send(self, "addSubview:", self.clip_view)
+        msg_send(self, "addSubview:", self.scroller)
+        self.document_height = frame.height
+
+    @selector("setDocumentView:")
+    def set_document_view(self, view: NSView) -> None:
+        msg_send(self.clip_view, "addSubview:", view)
+        self.document_height = max(self.frame.height, view.frame.max_y)
+
+    @selector("scrollTo:")
+    def scroll_to(self, fraction: float) -> None:
+        msg_send(self.scroller, "setScrollPosition:", fraction)
+        span = max(0.0, self.document_height - self.clip_view.frame.height)
+        msg_send(self.clip_view, "scrollToPoint:", NSPoint(0, fraction * span))
+
+
+class NSMenuItem(NSObject):
+    """One entry in a menu: a title, an action and an enabled flag."""
+
+    def __init__(self, title: str, action: Optional[str] = None, target: Any = None) -> None:
+        self.title = title
+        self.action = action
+        self.target = target
+        self.enabled = True
+        self.submenu: Optional["NSMenu"] = None
+
+    @selector("title")
+    def get_title(self) -> str:
+        return self.title
+
+    @selector("setEnabled:")
+    def set_enabled(self, flag: bool) -> None:
+        self.enabled = flag
+
+    @selector("isEnabled")
+    def is_enabled(self) -> bool:
+        return self.enabled
+
+    @selector("setSubmenu:")
+    def set_submenu(self, menu: "NSMenu") -> None:
+        self.submenu = menu
+
+
+class NSMenu(NSObject):
+    """A menu: ordered items, selectable by title path."""
+
+    def __init__(self, title: str = "") -> None:
+        self.title = title
+        self.items: List[NSMenuItem] = []
+
+    @selector("addItem:")
+    def add_item(self, item: NSMenuItem) -> NSMenuItem:
+        self.items.append(item)
+        return item
+
+    @selector("itemWithTitle:")
+    def item_with_title(self, title: str) -> Optional[NSMenuItem]:
+        for item in self.items:
+            if item.title == title:
+                return item
+        return None
+
+    @selector("numberOfItems")
+    def number_of_items(self) -> int:
+        return len(self.items)
+
+    @selector("performActionForItemWithTitle:")
+    def perform_action(self, title: str) -> bool:
+        item = msg_send(self, "itemWithTitle:", title)
+        if item is None or not item.enabled:
+            return False
+        if item.target is not None and item.action is not None:
+            msg_send(item.target, item.action, item)
+        return True
+
+
+class NSProgressIndicator(NSView):
+    """A determinate progress bar."""
+
+    def __init__(self, frame: NSRect) -> None:
+        super().__init__(frame)
+        self.value = 0.0
+        self.max_value = 100.0
+
+    @selector("setDoubleValue:")
+    def set_double_value(self, value: float) -> None:
+        self.value = max(0.0, min(self.max_value, value))
+        msg_send(self, "setNeedsDisplay:", True)
+
+    @selector("doubleValue")
+    def double_value(self) -> float:
+        return self.value
+
+    @selector("incrementBy:")
+    def increment_by(self, delta: float) -> None:
+        msg_send(self, "setDoubleValue:", self.value + delta)
+
+    @selector("drawRect:")
+    def draw_rect(self, ctx: GraphicsContext, rect: NSRect) -> None:
+        token = ctx.save_gstate()
+        ctx.set_color(LIGHT)
+        ctx.fill_rect(rect)
+        fraction = self.value / self.max_value if self.max_value else 0.0
+        ctx.set_color(BLUE)
+        ctx.fill_rect(NSMakeRect(rect.x, rect.y, rect.width * fraction, rect.height))
+        ctx.set_color(BLACK)
+        ctx.stroke_rect(rect)
+        ctx.restore_gstate(token)
+
+
+class NSMatrix(NSView):
+    """A grid of cells sharing one prototype — radio groups, keypads.
+
+    Like NSTableView, it exercises the delegated-drawing pattern: the
+    matrix owns geometry, the cells own appearance.
+    """
+
+    def __init__(self, frame: NSRect, rows: int, columns: int, cell_factory: Callable[[], NSCell]) -> None:
+        super().__init__(frame)
+        self.rows = rows
+        self.columns = columns
+        self.cells: List[List[NSCell]] = [
+            [cell_factory() for _ in range(columns)] for _ in range(rows)
+        ]
+        self.selected: Optional[Tuple[int, int]] = None
+
+    @selector("cellAtRow:column:")
+    def cell_at(self, row: int, column: int) -> Optional[NSCell]:
+        if 0 <= row < self.rows and 0 <= column < self.columns:
+            return self.cells[row][column]
+        return None
+
+    @selector("cellFrameAtRow:column:")
+    def cell_frame_at(self, row: int, column: int) -> NSRect:
+        width = self.frame.width / self.columns
+        height = self.frame.height / self.rows
+        return NSMakeRect(column * width, row * height, width, height)
+
+    @selector("selectCellAtRow:column:")
+    def select_cell_at(self, row: int, column: int) -> None:
+        if self.selected is not None:
+            old = msg_send(self, "cellAtRow:column:", *self.selected)
+            msg_send(old, "setHighlighted:", False)
+        cell = msg_send(self, "cellAtRow:column:", row, column)
+        if cell is not None:
+            msg_send(cell, "setHighlighted:", True)
+            self.selected = (row, column)
+            msg_send(self, "setNeedsDisplay:", True)
+
+    @selector("selectedCell")
+    def selected_cell(self) -> Optional[NSCell]:
+        if self.selected is None:
+            return None
+        return msg_send(self, "cellAtRow:column:", *self.selected)
+
+    @selector("drawRect:")
+    def draw_rect(self, ctx: GraphicsContext, rect: NSRect) -> None:
+        for row in range(self.rows):
+            for column in range(self.columns):
+                frame = msg_send(self, "cellFrameAtRow:column:", row, column)
+                cell = self.cells[row][column]
+                msg_send(cell, "drawWithFrame:inView:", ctx, frame, self)
+
+    @selector("mouseDown:")
+    def mouse_down(self, point: NSPoint) -> None:
+        width = self.frame.width / self.columns
+        height = self.frame.height / self.rows
+        column = int(point.x // width)
+        row = int(point.y // height)
+        msg_send(self, "selectCellAtRow:column:", row, column)
+
+
+class NSPopUpButton(NSControl):
+    """A control presenting an NSMenu of choices."""
+
+    def __init__(self, frame: NSRect, titles: Sequence[str] = ()) -> None:
+        super().__init__(frame, value=titles[0] if titles else "")
+        self.menu = NSMenu("popup")
+        for title in titles:
+            msg_send(self.menu, "addItem:", NSMenuItem(title))
+
+    @selector("selectItemWithTitle:")
+    def select_item_with_title(self, title: str) -> bool:
+        if msg_send(self.menu, "itemWithTitle:", title) is None:
+            return False
+        msg_send(self, "setStringValue:", title)
+        return True
+
+    @selector("titleOfSelectedItem")
+    def title_of_selected_item(self) -> str:
+        return msg_send(self, "stringValue")

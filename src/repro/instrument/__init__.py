@@ -1,0 +1,76 @@
+"""The TESLA instrumenter: hooks, event translators, and the build workflow.
+
+Callee-side hooks come from :func:`instrumentable`; caller-side weaving
+from :mod:`.function`; structure-field events from :class:`TeslaStruct`;
+dynamic-dispatch (Objective-C–style) events from :mod:`.interpose`; and the
+whole-program weaving session is :class:`Instrumenter`.
+"""
+
+from .build import BuildReport, BuildSystem, CompileUnit
+from .fields import (
+    FieldHookRegistry,
+    TeslaStruct,
+    attach_field_hook,
+    detach_field_hook,
+    field_add,
+    field_and,
+    field_dec,
+    field_inc,
+    field_or,
+    field_registry,
+    instrumentable_struct,
+)
+from .function import CallSiteRewrite, instrument_callers, make_call_wrapper
+from .hooks import (
+    EventSink,
+    HookPoint,
+    HookRegistry,
+    SiteRegistry,
+    hook_registry,
+    instrumentable,
+    site_registry,
+    tesla_site,
+)
+from .interpose import (
+    InterpositionTable,
+    interposition_table,
+    tesla_method_hook,
+    trivial_hook,
+)
+from .module import Instrumenter
+from .translator import EventTranslator, static_match
+
+__all__ = [
+    "BuildReport",
+    "BuildSystem",
+    "CompileUnit",
+    "FieldHookRegistry",
+    "TeslaStruct",
+    "attach_field_hook",
+    "detach_field_hook",
+    "field_add",
+    "field_and",
+    "field_dec",
+    "field_inc",
+    "field_or",
+    "field_registry",
+    "instrumentable_struct",
+    "CallSiteRewrite",
+    "instrument_callers",
+    "make_call_wrapper",
+    "EventSink",
+    "HookPoint",
+    "HookRegistry",
+    "SiteRegistry",
+    "hook_registry",
+    "instrumentable",
+    "site_registry",
+    "tesla_site",
+    "InterpositionTable",
+    "interposition_table",
+    "tesla_method_hook",
+    "trivial_hook",
+    "Instrumenter",
+    "EventTranslator",
+    "static_match",
+]

@@ -1,0 +1,187 @@
+"""Program hooks: the instrumentation points woven into target code.
+
+The original TESLA instrumenter rewrites LLVM IR, adding "program hooks that
+identify program events" at function entries/returns and assertion sites.
+Python has no IR pass, so this reproduction plants hooks at *decoration
+time*: substrate functions are defined with :func:`instrumentable`, which
+registers a :class:`HookPoint` keyed by the function's event name.  An
+uninstrumented hook point costs one attribute load and a branch — the moral
+equivalent of the not-yet-linked hook call in an uninstrumented build —
+while an instrumented one synthesises CALL and RETURN events.
+
+Assertion sites are planted with :func:`tesla_site`, the stand-in for the
+``__tesla_inline_assertion`` pseudo-function call that the instrumenter
+replaces with an event-translator invocation (section 4.2): disabled sites
+are near-free; enabled ones emit an assertion-site event carrying the
+site's local variable values.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.events import (
+    RuntimeEvent,
+    assertion_site_event,
+    call_event,
+    return_event,
+)
+from ..errors import InstrumentationError
+
+#: Anything that consumes concrete events (usually ``TeslaRuntime.handle_event``).
+EventSink = Callable[[RuntimeEvent], None]
+
+
+class HookPoint:
+    """One instrumentable function and its currently attached sinks."""
+
+    __slots__ = ("name", "function", "sinks")
+
+    def __init__(self, name: str, function: Callable) -> None:
+        self.name = name
+        self.function = function
+        #: ``None`` when uninstrumented — the wrapper's fast-path check.
+        self.sinks: Optional[List[EventSink]] = None
+
+    def attach(self, sink: EventSink) -> None:
+        if self.sinks is None:
+            self.sinks = []
+        if sink not in self.sinks:
+            self.sinks.append(sink)
+
+    def detach(self, sink: EventSink) -> None:
+        if self.sinks is None:
+            return
+        if sink in self.sinks:
+            self.sinks.remove(sink)
+        if not self.sinks:
+            self.sinks = None
+
+    def detach_all(self) -> None:
+        self.sinks = None
+
+
+class HookRegistry:
+    """All hook points known to the process, keyed by event name."""
+
+    def __init__(self) -> None:
+        self._points: Dict[str, HookPoint] = {}
+
+    def register(self, point: HookPoint) -> None:
+        if point.name in self._points:
+            raise InstrumentationError(
+                f"hook point {point.name!r} registered twice"
+            )
+        self._points[point.name] = point
+
+    def get(self, name: str) -> Optional[HookPoint]:
+        return self._points.get(name)
+
+    def require(self, name: str) -> HookPoint:
+        point = self._points.get(name)
+        if point is None:
+            raise InstrumentationError(
+                f"no instrumentable function named {name!r}; known: "
+                f"{', '.join(sorted(self._points)) or '(none)'}"
+            )
+        return point
+
+    def names(self) -> List[str]:
+        return sorted(self._points)
+
+    def detach_all(self) -> None:
+        for point in self._points.values():
+            point.detach_all()
+
+    def _unregister(self, name: str) -> None:
+        """Test helper: forget a hook point entirely."""
+        self._points.pop(name, None)
+
+
+#: The process-wide registry used by substrates and the instrumenter.
+hook_registry = HookRegistry()
+
+
+def instrumentable(
+    name: Optional[str] = None, registry: HookRegistry = None
+) -> Callable[[Callable], Callable]:
+    """Mark a function as a TESLA instrumentation target.
+
+    ``name`` defaults to the function's ``__name__`` — substrates use the
+    same short names the paper's assertions use (``sopoll_generic``,
+    ``mac_socket_check_poll`` …).  The returned wrapper is what everything,
+    including function-pointer tables, should reference, so callee-side
+    instrumentation observes indirect calls exactly as an IR-level rewrite
+    would.
+    """
+    reg = registry if registry is not None else hook_registry
+
+    def decorate(fn: Callable) -> Callable:
+        event_name = name or fn.__name__
+        point = HookPoint(event_name, fn)
+        reg.register(point)
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any):
+            sinks = point.sinks
+            if sinks is None:
+                return fn(*args, **kwargs)
+            event_args = args if not kwargs else args + tuple(kwargs.values())
+            call = call_event(event_name, event_args)
+            for sink in sinks:
+                sink(call)
+            result = fn(*args, **kwargs)
+            ret = return_event(event_name, event_args, result)
+            for sink in sinks:
+                sink(ret)
+            return result
+
+        wrapper.__tesla_hook__ = point  # type: ignore[attr-defined]
+        return wrapper
+
+    return decorate
+
+
+class SiteRegistry:
+    """All assertion sites, keyed by assertion name."""
+
+    def __init__(self) -> None:
+        self._sinks: Dict[str, List[EventSink]] = {}
+
+    def attach(self, assertion_name: str, sink: EventSink) -> None:
+        self._sinks.setdefault(assertion_name, []).append(sink)
+
+    def detach(self, assertion_name: str, sink: EventSink) -> None:
+        sinks = self._sinks.get(assertion_name)
+        if sinks and sink in sinks:
+            sinks.remove(sink)
+            if not sinks:
+                del self._sinks[assertion_name]
+
+    def detach_all(self) -> None:
+        self._sinks.clear()
+
+    def sinks_for(self, assertion_name: str) -> Optional[List[EventSink]]:
+        return self._sinks.get(assertion_name)
+
+
+#: The process-wide assertion-site registry.
+site_registry = SiteRegistry()
+
+
+def tesla_site(assertion_name: str, **scope: Any) -> None:
+    """An assertion site: the inline marker substrates write in their code.
+
+    Disabled (no automaton instruments this assertion): a dict lookup and a
+    return.  Enabled: emits an assertion-site event whose ``scope`` carries
+    the named local values — "the values of variables named in the
+    assertion are taken from the local scope and passed to the event
+    translator" (section 4.2).
+    """
+    sinks = site_registry.sinks_for(assertion_name)
+    if sinks is None:
+        return
+    event = assertion_site_event(assertion_name, scope)
+    for sink in sinks:
+        sink(event)

@@ -1,0 +1,105 @@
+"""Dynamic-dispatch interposition — the Objective-C instrumentation path.
+
+In Objective-C "it is impossible to tell statically which method will be
+invoked for a given message send", so TESLA modifies the runtime's
+``objc_msgSend``: "before calling any method, the runtime consults a global
+table of interposition hooks" (section 4.3).  This provides callee-side
+instrumentation without source access, at a per-message cost that
+figure 14a measures.
+
+:mod:`repro.gui.runtime` is the simulated Objective-C runtime; its message
+dispatcher consults this module's :class:`InterpositionTable`.  Three levels
+of support mirror the figure's four build modes:
+
+* table absent (``tracing_supported = False``) — the release build;
+* table present but empty — "tracing enabled" (the guard cost);
+* trivial hooks installed — "interposition" (hook-call cost);
+* TESLA event hooks installed — full automaton processing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.events import call_event, return_event
+from .hooks import EventSink
+
+#: A raw interposition hook: (phase, receiver, selector, args, result).
+#: ``phase`` is "send" before the method body runs and "return" after.
+RawHook = Callable[[str, Any, str, Tuple[Any, ...], Any], None]
+
+
+class InterpositionTable:
+    """The global table of interposition hooks consulted on message send."""
+
+    __slots__ = ("hooks", "wildcard")
+
+    def __init__(self) -> None:
+        #: selector -> hooks; ``None`` marks the empty fast path.
+        self.hooks: Optional[Dict[str, List[RawHook]]] = None
+        #: hooks invoked for *every* selector (figure 8's trace-everything).
+        self.wildcard: Optional[List[RawHook]] = None
+
+    def install(self, selector: str, hook: RawHook) -> None:
+        if self.hooks is None:
+            self.hooks = {}
+        self.hooks.setdefault(selector, []).append(hook)
+
+    def install_wildcard(self, hook: RawHook) -> None:
+        if self.wildcard is None:
+            self.wildcard = []
+        self.wildcard.append(hook)
+
+    def remove(self, selector: str, hook: RawHook) -> None:
+        if self.hooks is None:
+            return
+        hooks = self.hooks.get(selector)
+        if hooks and hook in hooks:
+            hooks.remove(hook)
+            if not hooks:
+                del self.hooks[selector]
+        if not self.hooks:
+            self.hooks = None
+
+    def clear(self) -> None:
+        self.hooks = None
+        self.wildcard = None
+
+    def hooks_for(self, selector: str) -> Optional[List[RawHook]]:
+        """Every hook to run for one selector (wildcard + specific)."""
+        specific = None if self.hooks is None else self.hooks.get(selector)
+        if self.wildcard is None:
+            return specific
+        if specific is None:
+            return self.wildcard
+        return self.wildcard + specific
+
+
+#: The process-wide table, shared with the simulated Objective-C runtime.
+interposition_table = InterpositionTable()
+
+
+def tesla_method_hook(sink: EventSink) -> RawHook:
+    """Build a hook translating message sends into TESLA events.
+
+    The event name is the bare selector — assertions in the GNUstep use
+    case reference selectors (``push``, ``pop``, ``drawWithFrame:inView:``),
+    not classes, because the receiver's class is dynamic.
+    """
+
+    def hook(
+        phase: str, receiver: Any, selector: str, args: Tuple[Any, ...], result: Any
+    ) -> None:
+        if phase == "send":
+            sink(call_event(selector, (receiver,) + args))
+        else:
+            sink(return_event(selector, (receiver,) + args, result))
+
+    return hook
+
+
+def trivial_hook(
+    phase: str, receiver: Any, selector: str, args: Tuple[Any, ...], result: Any
+) -> None:
+    """The do-nothing interposition function of figure 14a's third mode."""
+    return None

@@ -1,0 +1,171 @@
+"""The instrumenter: weave a set of assertions into the running program.
+
+This is the orchestration layer of section 4.2.  Given a program manifest
+(or a bare list of assertions) and a :class:`~repro.runtime.manager.TeslaRuntime`,
+an :class:`Instrumenter`:
+
+1. translates the assertions into automata and installs them in the runtime;
+2. builds an :class:`~repro.instrument.translator.EventTranslator` sink;
+3. attaches the sink to every referenced hook point — callee-side through
+   the :data:`~repro.instrument.hooks.hook_registry`, caller-side (for
+   events marked ``caller`` or targets that were not built instrumentable)
+   by rewriting call sites in the supplied caller modules, and
+   dynamic-dispatch selectors through the interposition table;
+4. enables the referenced assertion sites and structure-field hooks.
+
+``uninstrument()`` undoes all of it, so test and benchmark configurations
+can be swapped within one process — the equivalent of booting a different
+kernel build.
+"""
+
+from __future__ import annotations
+
+import types
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..core.ast import (
+    FunctionCall,
+    FunctionReturn,
+    InstrumentationSide,
+    TemporalAssertion,
+    referenced_fields,
+    referenced_functions,
+    walk,
+)
+from ..core.manifest import ProgramManifest
+from ..errors import InstrumentationError
+from ..runtime.manager import TeslaRuntime
+from .fields import attach_field_hook, detach_field_hook, field_registry
+from .function import CallSiteRewrite, instrument_callers
+from .hooks import (
+    EventSink,
+    HookPoint,
+    hook_registry,
+    site_registry,
+)
+from .interpose import interposition_table, tesla_method_hook
+from .translator import EventTranslator
+
+
+def _caller_side_functions(assertions: Sequence[TemporalAssertion]) -> Set[str]:
+    """Function names whose events explicitly request caller-side hooks."""
+    names: Set[str] = set()
+    for assertion in assertions:
+        roots = (
+            assertion.bound.entry,
+            assertion.bound.exit,
+            assertion.expression,
+        )
+        for root in roots:
+            for node in walk(root):
+                if isinstance(node, (FunctionCall, FunctionReturn)):
+                    if node.side is InstrumentationSide.CALLER:
+                        names.add(node.function)
+    return names
+
+
+class Instrumenter:
+    """One instrumentation session over one runtime."""
+
+    def __init__(
+        self,
+        runtime: TeslaRuntime,
+        caller_modules: Sequence[types.ModuleType] = (),
+        objc_selectors: Iterable[str] = (),
+    ) -> None:
+        self.runtime = runtime
+        self.caller_modules = list(caller_modules)
+        #: Selectors dispatched dynamically — hooked via interposition
+        #: rather than static hook points (the Objective-C path).
+        self.objc_selectors = set(objc_selectors)
+        self.translator = EventTranslator(runtime)
+        self._attached_points: List[HookPoint] = []
+        self._attached_sites: List[str] = []
+        self._attached_fields: List[Tuple[type, str]] = []
+        self._rewrites: List[CallSiteRewrite] = []
+        self._interposed: List[Tuple[str, object]] = []
+        self._caller_sinks: List[EventSink] = [self.translator]
+        self._instrumented = False
+
+    # -- weaving -----------------------------------------------------------
+
+    def instrument(
+        self,
+        source: Union[ProgramManifest, Sequence[TemporalAssertion]],
+    ) -> "Instrumenter":
+        if self._instrumented:
+            raise InstrumentationError("instrumenter already active")
+        if isinstance(source, ProgramManifest):
+            assertions = source.assertions
+        else:
+            assertions = list(source)
+        self.runtime.install_assertions(assertions)
+        self.translator.refresh()
+        caller_requested = _caller_side_functions(assertions)
+
+        functions: Dict[str, None] = {}
+        for assertion in assertions:
+            for name in referenced_functions(assertion):
+                functions.setdefault(name)
+        for name in functions:
+            self._hook_function(name, caller_side=name in caller_requested)
+
+        for assertion in assertions:
+            site_registry.attach(assertion.name, self.translator)
+            self._attached_sites.append(assertion.name)
+            for struct, field_name in referenced_fields(assertion):
+                cls = field_registry.require(struct)
+                attach_field_hook(cls, field_name, self.translator)
+                self._attached_fields.append((cls, field_name))
+
+        self._instrumented = True
+        return self
+
+    def _hook_function(self, name: str, caller_side: bool) -> None:
+        if name in self.objc_selectors:
+            hook = tesla_method_hook(self.translator)
+            interposition_table.install(name, hook)
+            self._interposed.append((name, hook))
+            return
+        point = hook_registry.get(name)
+        if point is not None and not caller_side:
+            point.attach(self.translator)
+            self._attached_points.append(point)
+            return
+        # Either the event explicitly requested caller-side hooks, or the
+        # target was not built instrumentable (a library we "cannot
+        # recompile") — rewrite call sites instead.
+        if not self.caller_modules:
+            raise InstrumentationError(
+                f"{name!r} needs caller-side instrumentation but no caller "
+                f"modules were supplied"
+            )
+        self._rewrites.extend(
+            instrument_callers(self.caller_modules, name, self._caller_sinks)
+        )
+
+    # -- unweaving -----------------------------------------------------------
+
+    def uninstrument(self) -> None:
+        for point in self._attached_points:
+            point.detach(self.translator)
+        self._attached_points.clear()
+        for assertion_name in self._attached_sites:
+            site_registry.detach(assertion_name, self.translator)
+        self._attached_sites.clear()
+        for cls, field_name in self._attached_fields:
+            detach_field_hook(cls, field_name, self.translator)
+        self._attached_fields.clear()
+        for rewrite in self._rewrites:
+            rewrite.undo()
+        self._rewrites.clear()
+        for selector, hook in self._interposed:
+            interposition_table.remove(selector, hook)
+        self._interposed.clear()
+        self._instrumented = False
+
+    def __enter__(self) -> "Instrumenter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.uninstrument()

@@ -1,0 +1,131 @@
+"""Event translators: the generated glue between hooks and libtesla.
+
+Section 4.2: the instrumenter generates, per hook, a translator with "two
+tasks per automaton that references the event.  First, the generated code
+checks static event parameters … Otherwise, the translator branches to the
+static checks for the next automaton.  Second, if the static checks passed,
+it allocates a fixed-size data structure …, populates it with the dynamic
+variable–value mapping and passes it to libtesla's ``tesla_update_state``."
+
+:class:`EventTranslator` reproduces that structure: a per-dispatch-key
+chain of *static* matchers (constants, flags, bitmasks — everything except
+dynamic variables) decides whether the event reaches the runtime at all.
+An event that fails every static check is dropped at the translator — the
+"only conditional control flow" fast path — without touching any automaton
+instance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.ast import FieldAssign, FunctionCall, FunctionReturn
+from ..core.automaton import Automaton, EventSymbol
+from ..core.events import EventKind, RuntimeEvent
+from ..core.patterns import Any_, Pattern, Var
+from ..runtime.manager import DispatchKey, TeslaRuntime
+
+
+def _static_pattern_ok(pattern: Pattern, value: Any) -> bool:
+    """Match only the statically checkable part of a pattern.
+
+    ``Var`` and ``Any_`` always pass here — their values are the *dynamic*
+    mapping handled by ``tesla_update_state``.
+    """
+    if isinstance(pattern, (Var, Any_)):
+        return True
+    return pattern.match(value, {}) is not None
+
+
+def static_match(symbol: EventSymbol, event: RuntimeEvent) -> bool:
+    """The translator's first task: check static event parameters."""
+    expr = symbol.expr
+    if isinstance(expr, FunctionCall):
+        if expr.args is None:
+            return True
+        if len(expr.args) != len(event.args):
+            return False
+        return all(
+            _static_pattern_ok(p, v) for p, v in zip(expr.args, event.args)
+        )
+    if isinstance(expr, FunctionReturn):
+        if expr.args is not None:
+            if len(expr.args) != len(event.args):
+                return False
+            if not all(
+                _static_pattern_ok(p, v) for p, v in zip(expr.args, event.args)
+            ):
+                return False
+        if expr.retval is not None:
+            return _static_pattern_ok(expr.retval, event.retval)
+        return True
+    if isinstance(expr, FieldAssign):
+        if expr.op is not None and event.op is not expr.op:
+            return False
+        if expr.target is not None and not _static_pattern_ok(
+            expr.target, event.target
+        ):
+            return False
+        if expr.value is not None and not _static_pattern_ok(
+            expr.value, event.retval
+        ):
+            return False
+        return True
+    # Assertion sites have no static parameters.
+    return True
+
+
+class EventTranslator:
+    """A sink that statically filters events before the runtime sees them."""
+
+    def __init__(self, runtime: TeslaRuntime) -> None:
+        self.runtime = runtime
+        #: dispatch key -> symbols whose static checks gate forwarding.
+        self._chains: Dict[DispatchKey, List[EventSymbol]] = {}
+        #: keys observed by ``strict`` automata, which must see every
+        #: referenced event even if its static parameters mismatch.
+        self._strict_keys: set = set()
+        self._rebuild()
+        #: Events dropped by static checks (visible to benchmarks/tests).
+        self.dropped = 0
+        self.forwarded = 0
+
+    def _rebuild(self) -> None:
+        self._chains.clear()
+        self._strict_keys.clear()
+        for automaton in self.runtime.automata.values():
+            for t in automaton.transitions:
+                if t.symbol is None:
+                    continue
+                symbol = automaton.symbols[t.symbol]
+                kind, name = symbol.dispatch_key
+                if kind is EventKind.ASSERTION_SITE:
+                    key: DispatchKey = (kind, automaton.name)
+                else:
+                    key = (kind, name)
+                chain = self._chains.setdefault(key, [])
+                if symbol not in chain:
+                    chain.append(symbol)
+                if automaton.strict:
+                    self._strict_keys.add(key)
+
+    def refresh(self) -> None:
+        """Rebuild chains after more automata are installed."""
+        self._rebuild()
+
+    def __call__(self, event: RuntimeEvent) -> None:
+        key = (event.kind, event.name)
+        chain = self._chains.get(key)
+        if chain is None:
+            self.dropped += 1
+            return
+        if key in self._strict_keys:
+            self.forwarded += 1
+            self.runtime.handle_event(event)
+            return
+        for symbol in chain:
+            if static_match(symbol, event):
+                self.forwarded += 1
+                self.runtime.handle_event(event)
+                return
+        self.dropped += 1

@@ -1,0 +1,27 @@
+"""Dynamic introspection: traces, weighted automata, coverage, aggregation.
+
+Everything here consumes the same event stream and notification framework
+the validation path uses (section 4.4.2's pluggable handlers), so "always
+on" monitoring, logical coverage and debugging traces come from one set of
+instrumentation points.
+"""
+
+from .aggregate import AggregationRow, StackAggregator
+from .coverage import AssertionCoverage, CoverageReport, coverage_report
+from .trace import TraceRecord, TraceRecorder, sequence_histogram
+from .weights import WeightedEdge, WeightedGraph, to_dot, weighted_graph
+
+__all__ = [
+    "AggregationRow",
+    "StackAggregator",
+    "AssertionCoverage",
+    "CoverageReport",
+    "coverage_report",
+    "TraceRecord",
+    "TraceRecorder",
+    "sequence_histogram",
+    "WeightedEdge",
+    "WeightedGraph",
+    "to_dot",
+    "weighted_graph",
+]

@@ -1,0 +1,101 @@
+"""Per-stack-trace aggregation — the kernel's default handler.
+
+"In the FreeBSD kernel, the default handler uses DTrace to aggregate
+information across events, e.g., counting how often a transition is
+triggered per stack trace" (section 4.4.2).  The GNUstep investigation
+likewise hinged on "a stack trace every time a push or pop message was
+sent".
+
+:class:`StackAggregator` is a notification-hub handler (and an event sink)
+that buckets occurrences by a stack signature, so hot paths and anomalous
+callers fall out of the counts without reading raw traces.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.events import RuntimeEvent
+from ..runtime.notify import Notification, NotificationKind
+
+StackKey = Tuple[str, ...]
+
+
+@dataclass
+class AggregationRow:
+    name: str
+    stack: StackKey
+    count: int
+
+
+class StackAggregator:
+    """Counts (event-or-transition name, stack signature) occurrences."""
+
+    def __init__(self, capture_stacks: bool = True, stack_depth: int = 8) -> None:
+        self.capture_stacks = capture_stacks
+        self.stack_depth = stack_depth
+        self._counts: Dict[Tuple[str, StackKey], int] = {}
+
+    # -- sinks ------------------------------------------------------------
+
+    def event_sink(self, event: RuntimeEvent) -> None:
+        stack = event.stack or self._snapshot()
+        key = (f"{event.kind.value}:{event.name}", stack)
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    __call__ = event_sink
+
+    def notification_handler(self, notification: Notification) -> None:
+        if notification.kind in (
+            NotificationKind.UPDATE,
+            NotificationKind.SITE,
+            NotificationKind.ERROR,
+        ):
+            stack = self._snapshot()
+            key = (
+                f"{notification.automaton}:{notification.kind.value}",
+                stack,
+            )
+            self._counts[key] = self._counts.get(key, 0) + 1
+
+    def _snapshot(self) -> StackKey:
+        if not self.capture_stacks:
+            return ()
+        frames = traceback.extract_stack(limit=self.stack_depth + 10)
+        names = [
+            f.name
+            for f in frames
+            if "repro/introspect" not in f.filename
+            and "repro/instrument" not in f.filename
+            and "repro/runtime" not in f.filename
+        ]
+        return tuple(names[-self.stack_depth:])
+
+    # -- queries ------------------------------------------------------------
+
+    def rows(self) -> List[AggregationRow]:
+        return sorted(
+            (
+                AggregationRow(name=name, stack=stack, count=count)
+                for (name, stack), count in self._counts.items()
+            ),
+            key=lambda r: -r.count,
+        )
+
+    def total(self, name: str) -> int:
+        return sum(c for (n, _), c in self._counts.items() if n == name)
+
+    def distinct_stacks(self, name: str) -> int:
+        return sum(1 for (n, _) in self._counts if n == name)
+
+    def format(self, limit: int = 20) -> str:
+        lines = []
+        for row in self.rows()[:limit]:
+            stack = " <- ".join(reversed(row.stack[-4:])) or "(no stack)"
+            lines.append(f"{row.count:>8}  {row.name:<40} {stack}")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self._counts.clear()

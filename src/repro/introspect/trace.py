@@ -1,0 +1,174 @@
+"""Event trace recording — TESLA's dynamic-introspection workhorse.
+
+The GNUstep case study (section 3.5.3) used TESLA "to insert
+instrumentation and call custom handler code in order to understand the
+system's dynamic behaviour": every instrumented call produced a trace
+record with enough context (receiver, selector, arguments, stack) to
+diagnose the cursor push/pop imbalance and the non-LIFO graphics-state bug.
+
+:class:`TraceRecorder` is that custom handler: attach it to a hook point,
+an interposition table, or a notification hub, and it accumulates
+:class:`TraceRecord` rows which can be filtered, paired and formatted.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..core.events import EventKind, RuntimeEvent
+from ..runtime.notify import Notification, NotificationKind
+
+
+@dataclass
+class TraceRecord:
+    """One traced program event."""
+
+    index: int
+    kind: str
+    name: str
+    args: Tuple[Any, ...] = ()
+    retval: Any = None
+    thread_id: int = 0
+    stack: Tuple[str, ...] = ()
+
+    def format(self) -> str:
+        args = ", ".join(repr(a) for a in self.args)
+        base = f"#{self.index:<6} {self.kind:<8} {self.name}({args})"
+        if self.kind == "return":
+            base += f" -> {self.retval!r}"
+        return base
+
+
+class TraceRecorder:
+    """Accumulates trace records from events and/or notifications."""
+
+    def __init__(self, capture_stacks: bool = False, stack_depth: int = 12) -> None:
+        self.capture_stacks = capture_stacks
+        self.stack_depth = stack_depth
+        self.records: List[TraceRecord] = []
+
+    # -- sinks ------------------------------------------------------------
+
+    def event_sink(self, event: RuntimeEvent) -> None:
+        """Use as an :data:`~repro.instrument.hooks.EventSink`."""
+        stack: Tuple[str, ...] = event.stack
+        if self.capture_stacks and not stack:
+            stack = self._snapshot_stack()
+        self.records.append(
+            TraceRecord(
+                index=len(self.records),
+                kind=event.kind.value,
+                name=event.name,
+                args=event.args,
+                retval=event.retval,
+                thread_id=event.thread_id,
+                stack=stack,
+            )
+        )
+
+    __call__ = event_sink
+
+    def notification_handler(self, notification: Notification) -> None:
+        """Use as a notification-hub handler (records automaton activity)."""
+        event = notification.event
+        self.records.append(
+            TraceRecord(
+                index=len(self.records),
+                kind=f"auto:{notification.kind.value}",
+                name=notification.automaton,
+                args=(notification.instance_name,),
+                retval=notification.states,
+            )
+        )
+
+    def interposition_hook(
+        self, phase: str, receiver: Any, selector: str, args: Tuple[Any, ...], result: Any
+    ) -> None:
+        """Use as a raw interposition hook (the Objective-C path)."""
+        stack = self._snapshot_stack() if self.capture_stacks else ()
+        self.records.append(
+            TraceRecord(
+                index=len(self.records),
+                kind="send" if phase == "send" else "return",
+                name=selector,
+                args=(type(receiver).__name__,) + tuple(args),
+                retval=result,
+                stack=stack,
+            )
+        )
+
+    def _snapshot_stack(self) -> Tuple[str, ...]:
+        frames = traceback.extract_stack(limit=self.stack_depth + 8)
+        out = []
+        for frame in frames:
+            if "repro/introspect" in frame.filename or "repro/instrument" in frame.filename:
+                continue
+            out.append(f"{frame.name}")
+        return tuple(out[-self.stack_depth:])
+
+    # -- queries ------------------------------------------------------------
+
+    def named(self, name: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.name == name]
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def count(self, name: str, kind: Optional[str] = None) -> int:
+        return sum(
+            1
+            for r in self.records
+            if r.name == name and (kind is None or r.kind == kind)
+        )
+
+    def pairing_imbalance(
+        self, push: str, pop: str, kind: str = "send"
+    ) -> int:
+        """Net ``push`` minus ``pop`` count — the cursor-stack diagnostic.
+
+        A correct push/pop protocol nets to zero; the GNUstep bug showed up
+        as a positive imbalance (duplicated pushes never popped).
+        """
+        return self.count(push, kind) - self.count(pop, kind)
+
+    def first_unmatched(
+        self, push: str, pop: str, kind: str = "send"
+    ) -> Optional[TraceRecord]:
+        """The earliest ``push`` record never matched by a later ``pop``."""
+        depth = 0
+        pending: List[TraceRecord] = []
+        for record in self.records:
+            if record.kind != kind:
+                continue
+            if record.name == push:
+                pending.append(record)
+                depth += 1
+            elif record.name == pop and pending:
+                pending.pop()
+                depth -= 1
+        return pending[0] if pending else None
+
+    def format(self, limit: Optional[int] = None) -> str:
+        rows = self.records if limit is None else self.records[:limit]
+        return "\n".join(r.format() for r in rows)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+def sequence_histogram(
+    records: Iterable[TraceRecord], window: int = 2, kind: str = "send"
+) -> Dict[Tuple[str, ...], int]:
+    """Count consecutive call sequences of length ``window``.
+
+    This is the "common sequences of operations" profiling that exposed
+    GNUstep's redundant save/restore pairs as an optimisation opportunity.
+    """
+    names = [r.name for r in records if r.kind == kind]
+    histogram: Dict[Tuple[str, ...], int] = {}
+    for i in range(len(names) - window + 1):
+        key = tuple(names[i : i + window])
+        histogram[key] = histogram.get(key, 0) + 1
+    return histogram

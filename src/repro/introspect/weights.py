@@ -1,0 +1,131 @@
+"""Weighted automaton graphs (figure 9).
+
+"TESLA can combine observations of dynamic behaviour with static automata
+descriptions, producing weighted graphs … the programmer can visually
+inspect the portions of the state graph that are executed in practice, as
+well as their relative frequencies" — code-coverage analysis "at a logical
+rather than source-line level".
+
+:func:`weighted_graph` merges a class's static structure with the
+transition counters accumulated by the runtime's stores;
+:func:`to_dot` renders Graphviz output with edge weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.automaton import Automaton, Transition, TransitionKind
+from ..runtime.manager import TeslaRuntime
+from ..runtime.store import ClassRuntime
+
+
+@dataclass
+class WeightedEdge:
+    src: int
+    dst: int
+    label: str
+    kind: str
+    weight: int
+
+
+@dataclass
+class WeightedGraph:
+    """An automaton's static structure annotated with run-time weights."""
+
+    automaton: str
+    n_states: int
+    start: int
+    accept: int
+    edges: List[WeightedEdge] = field(default_factory=list)
+
+    @property
+    def total_weight(self) -> int:
+        return sum(e.weight for e in self.edges)
+
+    def unexercised(self) -> List[WeightedEdge]:
+        """Edges never taken — the logical-coverage gaps."""
+        return [e for e in self.edges if e.weight == 0]
+
+    def hottest(self, limit: int = 5) -> List[WeightedEdge]:
+        return sorted(self.edges, key=lambda e: -e.weight)[:limit]
+
+    def coverage_ratio(self) -> float:
+        """Fraction of transitions exercised at least once."""
+        if not self.edges:
+            return 0.0
+        return sum(1 for e in self.edges if e.weight > 0) / len(self.edges)
+
+    def describe(self) -> str:
+        lines = [f"weighted automaton {self.automaton}"]
+        for e in sorted(self.edges, key=lambda e: (e.src, e.dst)):
+            lines.append(
+                f"  {e.src} --{e.label}--> {e.dst}   [weight={e.weight}]"
+            )
+        return "\n".join(lines)
+
+
+def _merge_counts(runtimes: List[ClassRuntime]) -> Dict[Transition, int]:
+    counts: Dict[Transition, int] = {}
+    for cr in runtimes:
+        for transition, count in cr.transition_counts.items():
+            counts[transition] = counts.get(transition, 0) + count
+    return counts
+
+
+def weighted_graph(runtime: TeslaRuntime, automaton_name: str) -> WeightedGraph:
+    """Build the figure-9 weighted graph for one installed automaton,
+    merging transition counters across every store context."""
+    automaton = runtime.automata[automaton_name]
+    counts = _merge_counts(runtime.all_class_runtimes(automaton_name))
+    graph = WeightedGraph(
+        automaton=automaton_name,
+        n_states=automaton.n_states,
+        start=automaton.start,
+        accept=automaton.accept,
+    )
+    for transition in automaton.transitions:
+        if transition.kind in (TransitionKind.EVENT, TransitionKind.SITE):
+            label = automaton.symbols[transition.symbol].describe()
+        else:
+            label = f"«{transition.kind.value}»"
+        graph.edges.append(
+            WeightedEdge(
+                src=transition.src,
+                dst=transition.dst,
+                label=label,
+                kind=transition.kind.value,
+                weight=counts.get(transition, 0),
+            )
+        )
+    return graph
+
+
+def to_dot(graph: WeightedGraph, scale_weights: bool = True) -> str:
+    """Render the weighted graph as Graphviz DOT.
+
+    Edge pen widths scale with run-time weight so the exercised portion of
+    the state graph is visually dominant, as in figure 9.
+    """
+    out = [f'digraph "{graph.automaton}" {{', "  rankdir=LR;"]
+    for state in range(graph.n_states):
+        shape = "doublecircle" if state == graph.accept else "circle"
+        style = ' style=bold' if state == graph.start else ""
+        out.append(f'  s{state} [label="{state}" shape={shape}{style}];')
+    max_weight = max((e.weight for e in graph.edges), default=0)
+    for e in graph.edges:
+        width = 1.0
+        if scale_weights and max_weight > 0:
+            width = 1.0 + 4.0 * (e.weight / max_weight)
+        colour = "gray" if e.weight == 0 else "black"
+        out.append(
+            f'  s{e.src} -> s{e.dst} [label="{_escape(e.label)} ({e.weight})" '
+            f"penwidth={width:.2f} color={colour}];"
+        )
+    out.append("}")
+    return "\n".join(out)
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', '\\"')

@@ -1,0 +1,59 @@
+"""A miniature FreeBSD-like kernel: the paper's primary substrate.
+
+Provides the system-call layer (the ``TESLA_SYSCALL`` temporal bound), a
+VFS with a UFS/FFS filesystem, a socket stack with the figure-3 indirection
+chain, the MAC Framework with its ``mac_*_check_*`` hooks, process
+lifecycle (including ``P_SUGID``), procfs/CPUSET/rtsched facilities, the
+Table-1 assertion sets, injectable reproductions of the bugs TESLA found,
+and the benchmark workloads of figures 11–13.
+"""
+
+from .assertions import TABLE1_SIZES, assertion_sets
+from .bugs import BugRegistry, bugs
+from .system import KernelSystem
+from .types import (
+    EACCES,
+    EPERM,
+    IO_NOMACCHECK,
+    P_SUGID,
+    P_TRACED,
+    File,
+    Proc,
+    Thread,
+    Ucred,
+    crcopy,
+    crget,
+)
+from .workloads import (
+    MiniOltp,
+    build_workload,
+    full_exercise,
+    interprocess_test_suite,
+    lmbench_open_close,
+    oltp_workload,
+)
+
+__all__ = [
+    "TABLE1_SIZES",
+    "assertion_sets",
+    "BugRegistry",
+    "bugs",
+    "KernelSystem",
+    "EACCES",
+    "EPERM",
+    "IO_NOMACCHECK",
+    "P_SUGID",
+    "P_TRACED",
+    "File",
+    "Proc",
+    "Thread",
+    "Ucred",
+    "crcopy",
+    "crget",
+    "MiniOltp",
+    "build_workload",
+    "full_exercise",
+    "interprocess_test_suite",
+    "lmbench_open_close",
+    "oltp_workload",
+]

@@ -1,0 +1,562 @@
+"""The kernel assertion sets of Table 1.
+
+"We annotated the FreeBSD kernel with 84 assertions documenting 37
+inter-process security properties and 47 Mandatory Access Control (MAC)
+properties", benchmarked as the sets:
+
+========  =========================  ==========
+Symbol    Description                Assertions
+========  =========================  ==========
+MF        MAC (filesystem)                   25
+MS        MAC (sockets)                      11
+MP        MAC (processes)                    10
+M         All MAC assertions                 48
+P         Process lifetimes                  37
+All       All TESLA assertions               96
+========  =========================  ==========
+
+``M`` is MF ∪ MS ∪ MP plus two facility-spanning assertions (exec and
+kernel-module loading); ``All`` is M ∪ P plus the 11 infrastructure test
+assertions enabled in the "Infrastructure" benchmark configuration.
+
+Every assertion here is anchored at a real ``tesla_site`` in the kernel
+code and references real ``mac_*`` hook functions, so instrumenting a set
+genuinely hooks those code paths.  ``TESLA_SYSCALL_PREVIOUSLY`` is the
+paper's convenience macro: bounded by ``amd64_syscall`` entry/exit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from ..core.ast import AssignOp, Context, Expression, FieldAssign, TemporalAssertion
+from ..core.dsl import (
+    ANY,
+    call,
+    incallstack,
+    either,
+    eventually,
+    flags,
+    fn,
+    optionally,
+    previously,
+    returned,
+    tesla_within,
+    tsequence,
+    var,
+)
+from .procfs import READ_NODES, RW_NODES
+from .types import IO_NOMACCHECK, P_SUGID, P_TRACED
+
+#: The function bounding every syscall-scoped assertion (figure 9).
+SYSCALL = "amd64_syscall"
+#: The second temporal bound: page-fault–initiated file-system I/O.
+PFAULT = "trap_pfault"
+
+
+def tesla_syscall_previously(
+    expression: Any, name: str, tags: Tuple[str, ...]
+) -> TemporalAssertion:
+    """``TESLA_SYSCALL_PREVIOUSLY(expr)`` — within the current system call,
+    ``expr`` must already have happened when the site is reached."""
+    return tesla_within(
+        SYSCALL, previously(expression), name=name, tags=tags, location="kernel"
+    )
+
+
+def tesla_syscall_eventually(
+    expression: Any, name: str, tags: Tuple[str, ...]
+) -> TemporalAssertion:
+    """Within the current system call, ``expr`` must happen after the site."""
+    return tesla_within(
+        SYSCALL, eventually(expression), name=name, tags=tags, location="kernel"
+    )
+
+
+# ---------------------------------------------------------------------------
+# MF: MAC (filesystem) — 25 assertions
+# ---------------------------------------------------------------------------
+
+
+def _mf_assertions() -> List[TemporalAssertion]:
+    mf: List[TemporalAssertion] = []
+    tags = ("MF", "mac", "filesystem")
+
+    # Figure 7, first assertion: three authorisation paths into ufs_open.
+    mf.append(
+        tesla_syscall_previously(
+            either(
+                fn("mac_kld_check_load", ANY("cred"), var("vp")) == 0,
+                fn("mac_vnode_check_exec", ANY("cred"), var("vp")) == 0,
+                fn("mac_vnode_check_open", ANY("cred"), var("vp"), ANY("accmode")) == 0,
+            ),
+            name="MF.ufs_open.prior-check",
+            tags=tags,
+        )
+    )
+
+    # Figure 7, second assertion: reads are authorised unless internal.
+    # The first alternative is the paper's ``incallstack(ufs_readdir)``:
+    # directories re-reading their own data are inside the readdir
+    # activation at the time of the read.
+    read_alternatives = either(
+        incallstack("ufs_readdir"),
+        call(
+            fn(
+                "vn_rdwr",
+                ANY("td"),
+                "read",
+                var("vp"),
+                ANY("offset"),
+                ANY("length"),
+                flags(IO_NOMACCHECK),
+            )
+        ),
+        fn("mac_vnode_check_read", ANY("cred"), ANY("file_cred"), var("vp")) == 0,
+    )
+    mf.append(
+        tesla_syscall_previously(
+            read_alternatives, name="MF.ffs_read.prior-check", tags=tags
+        )
+    )
+
+    # The same expectation under the page-fault bound.
+    mf.append(
+        tesla_within(
+            PFAULT,
+            previously(
+                fn("mac_vnode_check_read", ANY("cred"), ANY("file_cred"), var("vp")) == 0
+            ),
+            name="MF.ffs_read.pfault.prior-check",
+            tags=tags + ("pfault",),
+        )
+    )
+
+    # Writes: authorised unless issued internally with IO_NOMACCHECK.
+    mf.append(
+        tesla_syscall_previously(
+            either(
+                call(
+                    fn(
+                        "vn_rdwr",
+                        ANY("td"),
+                        "write",
+                        var("vp"),
+                        ANY("offset"),
+                        ANY("data"),
+                        flags(IO_NOMACCHECK),
+                    )
+                ),
+                fn("mac_vnode_check_write", ANY("cred"), ANY("file_cred"), var("vp")) == 0,
+            ),
+            name="MF.ffs_write.prior-check",
+            tags=tags,
+        )
+    )
+
+    # One assertion per remaining vnode operation: the check that governs
+    # the operation must have succeeded, with the right vnode, earlier in
+    # the same system call.
+    simple = [
+        ("MF.ufs_lookup.prior-check",
+         fn("mac_vnode_check_lookup", ANY("cred"), var("dvp"), ANY("name")) == 0),
+        ("MF.ufs_readdir.prior-check",
+         fn("mac_vnode_check_readdir", ANY("cred"), var("dvp")) == 0),
+        ("MF.ufs_create.prior-check",
+         fn("mac_vnode_check_create", ANY("cred"), var("dvp"), ANY("name")) == 0),
+        ("MF.ufs_remove.prior-check",
+         fn("mac_vnode_check_unlink", ANY("cred"), var("dvp"), ANY("vp")) == 0),
+        ("MF.ufs_rename.prior-check",
+         fn("mac_vnode_check_rename_from", ANY("cred"), var("fdvp")) == 0),
+        ("MF.ufs_link.prior-check",
+         fn("mac_vnode_check_link", ANY("cred"), var("dvp"), var("vp")) == 0),
+        ("MF.ufs_symlink.prior-check",
+         fn("mac_vnode_check_create", ANY("cred"), var("dvp"), ANY("name")) == 0),
+        ("MF.ufs_readlink.prior-check",
+         fn("mac_vnode_check_readlink", ANY("cred"), var("vp")) == 0),
+        ("MF.ufs_getattr.prior-check",
+         fn("mac_vnode_check_stat", ANY("cred"), ANY("file_cred"), var("vp")) == 0),
+        ("MF.ufs_setmode.prior-check",
+         fn("mac_vnode_check_setmode", ANY("cred"), var("vp"), ANY("mode")) == 0),
+        ("MF.ufs_setowner.prior-check",
+         fn("mac_vnode_check_setowner", ANY("cred"), var("vp"), ANY("uid"), ANY("gid")) == 0),
+        ("MF.ufs_setutimes.prior-check",
+         fn("mac_vnode_check_setutimes", ANY("cred"), var("vp")) == 0),
+        ("MF.ufs_getextattr.prior-check",
+         fn("mac_vnode_check_getextattr", ANY("cred"), var("vp"), ANY("name")) == 0),
+        ("MF.ufs_setextattr.prior-check",
+         fn("mac_vnode_check_setextattr", ANY("cred"), var("vp"), ANY("name")) == 0),
+        ("MF.ufs_deleteextattr.prior-check",
+         fn("mac_vnode_check_deleteextattr", ANY("cred"), var("vp"), ANY("name")) == 0),
+        ("MF.ufs_listextattr.prior-check",
+         fn("mac_vnode_check_listextattr", ANY("cred"), var("vp")) == 0),
+        ("MF.ufs_getacl.prior-check",
+         fn("mac_vnode_check_getacl", ANY("cred"), var("vp")) == 0),
+        ("MF.ufs_setacl.prior-check",
+         fn("mac_vnode_check_setacl", ANY("cred"), var("vp")) == 0),
+        ("MF.ufs_deleteacl.prior-check",
+         fn("mac_vnode_check_deleteacl", ANY("cred"), var("vp")) == 0),
+        ("MF.ufs_mmap.prior-check",
+         fn("mac_vnode_check_mmap", ANY("cred"), var("vp"), ANY("prot")) == 0),
+        ("MF.ufs_revoke.prior-check",
+         fn("mac_vnode_check_revoke", ANY("cred"), var("vp")) == 0),
+    ]
+    for name, expression in simple:
+        mf.append(tesla_syscall_previously(expression, name=name, tags=tags))
+    return mf
+
+
+# ---------------------------------------------------------------------------
+# MS: MAC (sockets) — 11 assertions
+# ---------------------------------------------------------------------------
+
+
+def _ms_assertions() -> List[TemporalAssertion]:
+    tags = ("MS", "mac", "sockets")
+    ms: List[TemporalAssertion] = []
+
+    # Figure 4: the headline assertion, binding the *active* credential so
+    # the wrong-credential bug is detectable.
+    ms.append(
+        tesla_syscall_previously(
+            fn("mac_socket_check_poll", var("active_cred"), var("so")) == 0,
+            name="MS.sopoll.prior-check",
+            tags=tags,
+        )
+    )
+
+    simple = [
+        ("MS.socreate.post-check",
+         returned("mac_socket_check_create", 0)),
+        ("MS.sobind.prior-check",
+         fn("mac_socket_check_bind", ANY("cred"), var("so"), ANY("addr")) == 0),
+        ("MS.solisten.prior-check",
+         fn("mac_socket_check_listen", ANY("cred"), var("so")) == 0),
+        ("MS.soconnect.prior-check",
+         fn("mac_socket_check_connect", ANY("cred"), var("so"), ANY("addr")) == 0),
+        ("MS.soaccept.prior-check",
+         fn("mac_socket_check_accept", ANY("cred"), var("so")) == 0),
+        ("MS.sosend.prior-check",
+         fn("mac_socket_check_send", ANY("cred"), var("so")) == 0),
+        ("MS.soreceive.prior-check",
+         fn("mac_socket_check_receive", ANY("cred"), var("so")) == 0),
+        ("MS.setsockopt.prior-check",
+         fn("mac_socket_check_setsockopt", ANY("cred"), var("so"), ANY("opt")) == 0),
+        ("MS.getsockopt.prior-check",
+         fn("mac_socket_check_getsockopt", ANY("cred"), var("so"), ANY("opt")) == 0),
+        ("MS.sockstat.prior-check",
+         fn("mac_socket_check_stat", ANY("cred"), var("so")) == 0),
+    ]
+    for name, expression in simple:
+        ms.append(tesla_syscall_previously(expression, name=name, tags=tags))
+    return ms
+
+
+# ---------------------------------------------------------------------------
+# MP: MAC (processes) — 10 assertions
+# ---------------------------------------------------------------------------
+
+
+def _mp_assertions() -> List[TemporalAssertion]:
+    tags = ("MP", "mac", "processes")
+    simple = [
+        ("MP.psignal.prior-check",
+         fn("mac_proc_check_signal", ANY("cred"), var("p"), ANY("sig")) == 0),
+        ("MP.ptrace.prior-check",
+         fn("mac_proc_check_debug", ANY("cred"), var("p")) == 0),
+        ("MP.rtprio.prior-check",
+         fn("mac_proc_check_rtprio", ANY("cred"), var("p"), ANY("prio")) == 0),
+        ("MP.sched.setparam.prior-check",
+         fn("mac_proc_check_sched", ANY("cred"), var("p")) == 0),
+        ("MP.sched.setscheduler.prior-check",
+         fn("mac_proc_check_sched", ANY("cred"), var("p")) == 0),
+        ("MP.setuid.prior-check",
+         returned("mac_proc_check_setuid", 0)),
+        ("MP.setgid.prior-check",
+         returned("mac_proc_check_setgid", 0)),
+        ("MP.wait.prior-check",
+         fn("mac_proc_check_wait", ANY("cred"), var("p")) == 0),
+        ("MP.cansee.prior-check",
+         returned("mac_cred_check_visible", 0)),
+        ("MP.cpuset.prior-check",
+         fn("mac_proc_check_cpuset", ANY("cred"), var("p"), ANY("setid")) == 0),
+    ]
+    return [
+        tesla_syscall_previously(expression, name=name, tags=tags)
+        for name, expression in simple
+    ]
+
+
+# ---------------------------------------------------------------------------
+# M: all MAC — MF ∪ MS ∪ MP + two facility-spanning assertions (48 total)
+# ---------------------------------------------------------------------------
+
+
+def _m_general_assertions() -> List[TemporalAssertion]:
+    tags = ("M", "mac")
+    return [
+        tesla_syscall_previously(
+            fn("mac_vnode_check_exec", ANY("cred"), var("vp")) == 0,
+            name="M.execve.prior-check",
+            tags=tags + ("exec",),
+        ),
+        tesla_syscall_previously(
+            fn("mac_kld_check_load", ANY("cred"), var("vp")) == 0,
+            name="M.kldload.prior-check",
+            tags=tags + ("kld",),
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# P: process lifetimes / inter-process — 37 assertions
+# ---------------------------------------------------------------------------
+
+
+def _p_procfs_assertions() -> List[TemporalAssertion]:
+    """19 procfs assertions: the facility behind the coverage result."""
+    tags = ("P", "procfs")
+    assertions: List[TemporalAssertion] = []
+    for node in READ_NODES + RW_NODES:
+        assertions.append(
+            tesla_syscall_previously(
+                fn("mac_procfs_check_read", ANY("cred"), var("p"), node) == 0,
+                name=f"P.procfs.{node}.read.prior-check",
+                tags=tags,
+            )
+        )
+    for node in RW_NODES:
+        assertions.append(
+            tesla_syscall_previously(
+                fn("mac_procfs_check_write", ANY("cred"), var("p"), node) == 0,
+                name=f"P.procfs.{node}.write.prior-check",
+                tags=tags,
+            )
+        )
+    return assertions
+
+
+def _p_cpuset_assertions() -> List[TemporalAssertion]:
+    """2 CPUSET assertions — "added after the test suite was written"."""
+    tags = ("P", "cpuset")
+    return [
+        tesla_syscall_previously(
+            fn("mac_proc_check_cpuset", ANY("cred"), var("p"), ANY("setid")) == 0,
+            name="P.cpuset.set.prior-check",
+            tags=tags,
+        ),
+        tesla_syscall_previously(
+            fn("mac_proc_check_cpuset", ANY("cred"), var("p"), ANY("setid")) == 0,
+            name="P.cpuset.get.prior-check",
+            tags=tags,
+        ),
+    ]
+
+
+def _p_rtsched_assertions() -> List[TemporalAssertion]:
+    """5 POSIX real-time scheduling assertions."""
+    tags = ("P", "rtsched")
+    simple = [
+        ("P.rtsched.rtprio-set.prior-check",
+         fn("p_cansched", ANY("td"), var("p")) == 0),
+        ("P.rtsched.rtprio-get.prior-check",
+         fn("p_cansee", ANY("td"), var("p")) == 0),
+        ("P.rtsched.setparam.prior-check",
+         fn("p_cansched", ANY("td"), var("p")) == 0),
+        ("P.rtsched.getparam.prior-check",
+         fn("p_cansee", ANY("td"), var("p")) == 0),
+        ("P.rtsched.setscheduler.prior-check",
+         fn("p_cansched", ANY("td"), var("p")) == 0),
+    ]
+    return [
+        tesla_syscall_previously(expression, name=name, tags=tags)
+        for name, expression in simple
+    ]
+
+
+def _p_core_assertions() -> List[TemporalAssertion]:
+    """11 core inter-process assertions, including the temporal showpieces:
+    the P_SUGID ``eventually``, the P_TRACED ``eventually`` on a compound
+    field assignment, and a call/return TSEQUENCE."""
+    tags = ("P", "interprocess")
+    assertions: List[TemporalAssertion] = []
+
+    assertions.append(
+        tesla_syscall_previously(
+            fn("p_cansignal", ANY("td"), var("p"), ANY("sig")) == 0,
+            name="P.psignal.prior-check",
+            tags=tags,
+        )
+    )
+    assertions.append(
+        tesla_syscall_previously(
+            fn("p_candebug", ANY("td"), var("p")) == 0,
+            name="P.ptrace.prior-check",
+            tags=tags,
+        )
+    )
+    # The eventually use case: credential modified => P_SUGID must be set
+    # before the system call returns.
+    assertions.append(
+        tesla_syscall_eventually(
+            call(fn("setsugid", var("p"))),
+            name="P.setcred.sugid-eventually",
+            tags=tags + ("sugid",),
+        )
+    )
+    assertions.append(
+        tesla_syscall_previously(
+            fn("p_cansee", ANY("td"), var("p")) == 0,
+            name="P.wait.prior-check",
+            tags=tags,
+        )
+    )
+    # A field-assignment event: fork installs the child's credential.
+    assertions.append(
+        tesla_syscall_previously(
+            FieldAssign(
+                struct="proc",
+                field_name="p_ucred",
+                op=AssignOp.SET,
+                target=var("p"),
+            ),
+            name="P.fork.cred-copied",
+            tags=tags + ("fork",),
+        )
+    )
+    assertions.append(
+        tesla_syscall_previously(
+            fn("mac_vnode_check_exec", ANY("cred"), var("vp")) == 0,
+            name="P.execve.prior-check",
+            tags=tags + ("exec",),
+        )
+    )
+    assertions.append(
+        tesla_syscall_previously(
+            fn("p_cansee", ANY("td"), var("p")) == 0,
+            name="P.psignal.cansee",
+            tags=tags,
+        )
+    )
+    # A field-assignment event mid-sequence: by the time the new
+    # credential is reported installed, the p_ucred store must have
+    # happened on exactly this process.
+    assertions.append(
+        tesla_syscall_previously(
+            FieldAssign(
+                struct="proc",
+                field_name="p_ucred",
+                op=AssignOp.SET,
+                target=var("p"),
+            ),
+            name="P.setcred.cred-installed",
+            tags=tags + ("setcred",),
+        )
+    )
+    # A compound-assignment event: P_TRACED must be OR-ed into p_flag
+    # after attachment begins.
+    assertions.append(
+        tesla_syscall_eventually(
+            FieldAssign(
+                struct="proc",
+                field_name="p_flag",
+                op=AssignOp.OR,
+                target=var("p"),
+                value=flags(P_TRACED),
+            ),
+            name="P.ptrace.traced-eventually",
+            tags=tags + ("traced",),
+        )
+    )
+    assertions.append(
+        tesla_syscall_previously(
+            fn("p_cansee", ANY("td"), var("p")) == 0,
+            name="P.ptrace.cansee",
+            tags=tags,
+        )
+    )
+    # TSEQUENCE of a call and its successful return: the authorisation
+    # must both begin and complete before delivery.
+    assertions.append(
+        tesla_syscall_previously(
+            tsequence(
+                call("p_cansignal"),
+                fn("p_cansignal", ANY("td"), var("p"), ANY("sig")) == 0,
+            ),
+            name="P.psignal.seq",
+            tags=tags + ("tsequence",),
+        )
+    )
+    return assertions
+
+
+# ---------------------------------------------------------------------------
+# Infrastructure test assertions — 11 (the "Infrastructure" configuration)
+# ---------------------------------------------------------------------------
+
+#: Functions the infrastructure *test* assertions hook.  Like the paper's
+#: test assertions, they live off the hot paths (process-lifecycle and
+#: procfs facilities), so the "Infrastructure" configuration pays bound
+#: tracking and framework costs but almost no per-event work — its bar
+#: sits just above Release in figure 11a.
+_INFRA_HOOKED = (
+    "psignal",
+    "p_cansee",
+    "kern_fork",
+    "kern_wait",
+    "proc_set_cred",
+    "setsugid",
+    "kern_ptrace",
+    "rtp_set",
+    "kern_execve",
+    "procfs_read",
+    "procfs_ctl",
+)
+
+
+def _infrastructure_assertions() -> List[TemporalAssertion]:
+    tags = ("T", "infrastructure")
+    assertions = []
+    for index, hooked in enumerate(_INFRA_HOOKED, start=1):
+        assertions.append(
+            tesla_syscall_previously(
+                optionally(call(hooked)),
+                name=f"T.infra{index:02d}.{hooked}",
+                tags=tags,
+            )
+        )
+    return assertions
+
+
+# ---------------------------------------------------------------------------
+# Public sets
+# ---------------------------------------------------------------------------
+
+
+def assertion_sets() -> Dict[str, List[TemporalAssertion]]:
+    """The Table-1 sets, built fresh (assertions are immutable, so sharing
+    would also be fine; fresh lists keep callers honest)."""
+    mf = _mf_assertions()
+    ms = _ms_assertions()
+    mp = _mp_assertions()
+    m = mf + ms + mp + _m_general_assertions()
+    p = (
+        _p_procfs_assertions()
+        + _p_cpuset_assertions()
+        + _p_rtsched_assertions()
+        + _p_core_assertions()
+    )
+    infra = _infrastructure_assertions()
+    return {
+        "MF": mf,
+        "MS": ms,
+        "MP": mp,
+        "M": m,
+        "P": p,
+        "Infrastructure": infra,
+        "All": m + p + infra,
+    }
+
+
+#: Expected sizes, straight from Table 1.
+TABLE1_SIZES = {"MF": 25, "MS": 11, "MP": 10, "M": 48, "P": 37, "All": 96}

@@ -1,0 +1,96 @@
+"""Injectable reproductions of the bugs TESLA found (section 3.5.2).
+
+The paper's FreeBSD study "uncovered five functionality bugs with subtle
+security implications".  This registry lets tests, examples and benchmarks
+flip each bug on to demonstrate detection and off to demonstrate the fixed
+behaviour:
+
+``kqueue_missing_mac_check``
+    "the MAC check ``mac_socket_check_poll`` was being invoked for the
+    select and poll system calls, but not kqueue."
+
+``sopoll_wrong_cred``
+    "one of two present checks was performed using the wrong credential …
+    an error in one dynamic call graph caused the cached ``file_cred`` to
+    be passed down instead of ``active_cred``" — authorisation with the
+    credential that *created* the file rather than the current thread's.
+
+``sugid_not_set``
+    the ``eventually`` use case: "if a process credential is modified, then
+    the ``P_SUGID`` process flag must be set to prevent privilege
+    escalation attacks via debuggers."
+
+``kld_check_skipped``
+    the figure 7 subtlety: kernel-module loading is an open-like operation
+    authorised by ``mac_kld_check_load``, not ``mac_vnode_check_open``;
+    this bug skips it entirely.
+
+``extattr_wrong_check``
+    extended attributes "may be accessed via system calls, as well as by
+    UFS itself in implementing access-control lists, requiring different
+    enforcement depending on the code path"; this bug applies the syscall
+    check on the internal path too little (skips it).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Dict, Iterator, List
+
+from ..errors import TeslaError
+
+KNOWN_BUGS = (
+    "kqueue_missing_mac_check",
+    "sopoll_wrong_cred",
+    "sugid_not_set",
+    "kld_check_skipped",
+    "extattr_wrong_check",
+)
+
+
+class BugRegistry:
+    """Process-wide switches for the injectable kernel bugs."""
+
+    def __init__(self) -> None:
+        self._enabled: Dict[str, bool] = {name: False for name in KNOWN_BUGS}
+        self._lock = threading.Lock()
+
+    def enabled(self, name: str) -> bool:
+        try:
+            return self._enabled[name]
+        except KeyError:
+            raise TeslaError(f"unknown kernel bug {name!r}") from None
+
+    def enable(self, name: str) -> None:
+        self.enabled(name)  # validate
+        with self._lock:
+            self._enabled[name] = True
+
+    def disable(self, name: str) -> None:
+        self.enabled(name)  # validate
+        with self._lock:
+            self._enabled[name] = False
+
+    def disable_all(self) -> None:
+        with self._lock:
+            for name in self._enabled:
+                self._enabled[name] = False
+
+    def active(self) -> List[str]:
+        return sorted(name for name, on in self._enabled.items() if on)
+
+    @contextlib.contextmanager
+    def injected(self, *names: str) -> Iterator[None]:
+        """Temporarily enable bugs — how tests reproduce detections."""
+        for name in names:
+            self.enable(name)
+        try:
+            yield
+        finally:
+            for name in names:
+                self.disable(name)
+
+
+#: The registry consulted by the kernel code paths.
+bugs = BugRegistry()

@@ -1,0 +1,6 @@
+"""The Mandatory Access Control framework: mechanism, hooks and policies."""
+
+from .framework import MacFramework, mac_framework
+from .policy import DenyPolicy, MacPolicy, MlsPolicy
+
+__all__ = ["MacFramework", "mac_framework", "DenyPolicy", "MacPolicy", "MlsPolicy"]

@@ -1,0 +1,341 @@
+"""The ``mac_*_check_*`` entry points — the hooks "throughout the kernel".
+
+Each function is the kernel-side entry point for one MAC hook, mirroring
+FreeBSD's ``mac.h`` surface for the facilities this reproduction models:
+vnodes (25 hooks), sockets (11), processes/credentials (10), procfs,
+CPUSET and POSIX real-time scheduling.  All are built instrumentable so
+TESLA assertions can observe their calls and return values — these are
+exactly the functions named by the Table-1 assertion sets.
+
+Every entry point delegates to the framework's policy composition; with no
+policy registered they return 0, with the mini-MLS policy they enforce
+label dominance.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...instrument.hooks import instrumentable
+from ..types import Thread, Ucred
+from .framework import mac_framework
+
+# ---------------------------------------------------------------------------
+# vnode hooks (the MF assertion set)
+# ---------------------------------------------------------------------------
+
+
+@instrumentable()
+def mac_vnode_check_open(cred: Ucred, vp: Any, accmode: int = 0) -> int:
+    """Authorise opening ``vp`` (but *not* exec or module load — figure 7)."""
+    return mac_framework.check("vnode_check_open", cred, vp, accmode)
+
+
+@instrumentable()
+def mac_vnode_check_read(cred: Ucred, file_cred: Ucred, vp: Any) -> int:
+    """MAC hook ``vnode_check_read``: authorise via the policy composition."""
+    return mac_framework.check("vnode_check_read", cred, vp, file_cred)
+
+
+@instrumentable()
+def mac_vnode_check_write(cred: Ucred, file_cred: Ucred, vp: Any) -> int:
+    """MAC hook ``vnode_check_write``: authorise via the policy composition."""
+    return mac_framework.check("vnode_check_write", cred, vp, file_cred)
+
+
+@instrumentable()
+def mac_vnode_check_exec(cred: Ucred, vp: Any) -> int:
+    """Authorise executing a binary — one of the open-like operations with
+    its own hook, which surprised the paper's authors."""
+    return mac_framework.check("vnode_check_exec", cred, vp)
+
+
+@instrumentable()
+def mac_vnode_check_lookup(cred: Ucred, dvp: Any, name: str = "") -> int:
+    """MAC hook ``vnode_check_lookup``: authorise via the policy composition."""
+    return mac_framework.check("vnode_check_lookup", cred, dvp, name)
+
+
+@instrumentable()
+def mac_vnode_check_create(cred: Ucred, dvp: Any, name: str = "") -> int:
+    """MAC hook ``vnode_check_create``: authorise via the policy composition."""
+    return mac_framework.check("vnode_check_create", cred, dvp, name)
+
+
+@instrumentable()
+def mac_vnode_check_unlink(cred: Ucred, dvp: Any, vp: Any = None) -> int:
+    """MAC hook ``vnode_check_unlink``: authorise via the policy composition."""
+    return mac_framework.check("vnode_check_unlink", cred, dvp, vp)
+
+
+@instrumentable()
+def mac_vnode_check_rename_from(cred: Ucred, dvp: Any, vp: Any = None) -> int:
+    """MAC hook ``vnode_check_rename_from``: authorise via the policy composition."""
+    return mac_framework.check("vnode_check_rename_from", cred, dvp, vp)
+
+
+@instrumentable()
+def mac_vnode_check_rename_to(cred: Ucred, dvp: Any, vp: Any = None) -> int:
+    """MAC hook ``vnode_check_rename_to``: authorise via the policy composition."""
+    return mac_framework.check("vnode_check_rename_to", cred, dvp, vp)
+
+
+@instrumentable()
+def mac_vnode_check_readdir(cred: Ucred, dvp: Any) -> int:
+    """MAC hook ``vnode_check_readdir``: authorise via the policy composition."""
+    return mac_framework.check("vnode_check_readdir", cred, dvp)
+
+
+@instrumentable()
+def mac_vnode_check_readlink(cred: Ucred, vp: Any) -> int:
+    """MAC hook ``vnode_check_readlink``: authorise via the policy composition."""
+    return mac_framework.check("vnode_check_readlink", cred, vp)
+
+
+@instrumentable()
+def mac_vnode_check_stat(cred: Ucred, file_cred: Ucred, vp: Any) -> int:
+    """MAC hook ``vnode_check_stat``: authorise via the policy composition."""
+    return mac_framework.check("vnode_check_stat", cred, vp, file_cred)
+
+
+@instrumentable()
+def mac_vnode_check_setmode(cred: Ucred, vp: Any, mode: int = 0) -> int:
+    """MAC hook ``vnode_check_setmode``: authorise via the policy composition."""
+    return mac_framework.check("vnode_check_setmode", cred, vp, mode)
+
+
+@instrumentable()
+def mac_vnode_check_setowner(cred: Ucred, vp: Any, uid: int = 0, gid: int = 0) -> int:
+    """MAC hook ``vnode_check_setowner``: authorise via the policy composition."""
+    return mac_framework.check("vnode_check_setowner", cred, vp, (uid, gid))
+
+
+@instrumentable()
+def mac_vnode_check_setutimes(cred: Ucred, vp: Any) -> int:
+    """MAC hook ``vnode_check_setutimes``: authorise via the policy composition."""
+    return mac_framework.check("vnode_check_setutimes", cred, vp)
+
+
+@instrumentable()
+def mac_vnode_check_getextattr(cred: Ucred, vp: Any, name: str = "") -> int:
+    """MAC hook ``vnode_check_getextattr``: authorise via the policy composition."""
+    return mac_framework.check("vnode_check_getextattr", cred, vp, name)
+
+
+@instrumentable()
+def mac_vnode_check_setextattr(cred: Ucred, vp: Any, name: str = "") -> int:
+    """MAC hook ``vnode_check_setextattr``: authorise via the policy composition."""
+    return mac_framework.check("vnode_check_setextattr", cred, vp, name)
+
+
+@instrumentable()
+def mac_vnode_check_deleteextattr(cred: Ucred, vp: Any, name: str = "") -> int:
+    """MAC hook ``vnode_check_deleteextattr``: authorise via the policy composition."""
+    return mac_framework.check("vnode_check_deleteextattr", cred, vp, name)
+
+
+@instrumentable()
+def mac_vnode_check_listextattr(cred: Ucred, vp: Any) -> int:
+    """MAC hook ``vnode_check_listextattr``: authorise via the policy composition."""
+    return mac_framework.check("vnode_check_listextattr", cred, vp)
+
+
+@instrumentable()
+def mac_vnode_check_getacl(cred: Ucred, vp: Any) -> int:
+    """MAC hook ``vnode_check_getacl``: authorise via the policy composition."""
+    return mac_framework.check("vnode_check_getacl", cred, vp)
+
+
+@instrumentable()
+def mac_vnode_check_setacl(cred: Ucred, vp: Any) -> int:
+    """MAC hook ``vnode_check_setacl``: authorise via the policy composition."""
+    return mac_framework.check("vnode_check_setacl", cred, vp)
+
+
+@instrumentable()
+def mac_vnode_check_deleteacl(cred: Ucred, vp: Any) -> int:
+    """MAC hook ``vnode_check_deleteacl``: authorise via the policy composition."""
+    return mac_framework.check("vnode_check_deleteacl", cred, vp)
+
+
+@instrumentable()
+def mac_vnode_check_link(cred: Ucred, dvp: Any, vp: Any = None) -> int:
+    """MAC hook ``vnode_check_link``: authorise via the policy composition."""
+    return mac_framework.check("vnode_check_link", cred, dvp, vp)
+
+
+@instrumentable()
+def mac_vnode_check_mmap(cred: Ucred, vp: Any, prot: int = 0) -> int:
+    """MAC hook ``vnode_check_mmap``: authorise via the policy composition."""
+    return mac_framework.check("vnode_check_mmap", cred, vp, prot)
+
+
+@instrumentable()
+def mac_vnode_check_revoke(cred: Ucred, vp: Any) -> int:
+    """MAC hook ``vnode_check_revoke``: authorise via the policy composition."""
+    return mac_framework.check("vnode_check_revoke", cred, vp)
+
+
+@instrumentable()
+def mac_kld_check_load(cred: Ucred, vp: Any) -> int:
+    """Authorise loading a kernel module — the third open-like operation."""
+    return mac_framework.check("kld_check_load", cred, vp)
+
+
+# ---------------------------------------------------------------------------
+# socket hooks (the MS assertion set)
+# ---------------------------------------------------------------------------
+
+
+@instrumentable()
+def mac_socket_check_create(cred: Ucred, domain: int = 0, so_type: int = 0) -> int:
+    """MAC hook ``socket_check_create``: authorise via the policy composition."""
+    return mac_framework.check("socket_check_create", cred, (domain, so_type))
+
+
+@instrumentable()
+def mac_socket_check_bind(cred: Ucred, so: Any, addr: Any = None) -> int:
+    """MAC hook ``socket_check_bind``: authorise via the policy composition."""
+    return mac_framework.check("socket_check_bind", cred, so, addr)
+
+
+@instrumentable()
+def mac_socket_check_listen(cred: Ucred, so: Any) -> int:
+    """MAC hook ``socket_check_listen``: authorise via the policy composition."""
+    return mac_framework.check("socket_check_listen", cred, so)
+
+
+@instrumentable()
+def mac_socket_check_connect(cred: Ucred, so: Any, addr: Any = None) -> int:
+    """MAC hook ``socket_check_connect``: authorise via the policy composition."""
+    return mac_framework.check("socket_check_connect", cred, so, addr)
+
+
+@instrumentable()
+def mac_socket_check_accept(cred: Ucred, so: Any) -> int:
+    """MAC hook ``socket_check_accept``: authorise via the policy composition."""
+    return mac_framework.check("socket_check_accept", cred, so)
+
+
+@instrumentable()
+def mac_socket_check_send(cred: Ucred, so: Any) -> int:
+    """MAC hook ``socket_check_send``: authorise via the policy composition."""
+    return mac_framework.check("socket_check_send", cred, so)
+
+
+@instrumentable()
+def mac_socket_check_receive(cred: Ucred, so: Any) -> int:
+    """MAC hook ``socket_check_receive``: authorise via the policy composition."""
+    return mac_framework.check("socket_check_receive", cred, so)
+
+
+@instrumentable()
+def mac_socket_check_poll(cred: Ucred, so: Any) -> int:
+    """The figure 4 check: poll/select (and kqueue!) must call this."""
+    return mac_framework.check("socket_check_poll", cred, so)
+
+
+@instrumentable()
+def mac_socket_check_stat(cred: Ucred, so: Any) -> int:
+    """MAC hook ``socket_check_stat``: authorise via the policy composition."""
+    return mac_framework.check("socket_check_stat", cred, so)
+
+
+@instrumentable()
+def mac_socket_check_setsockopt(cred: Ucred, so: Any, opt: int = 0) -> int:
+    """MAC hook ``socket_check_setsockopt``: authorise via the policy composition."""
+    return mac_framework.check("socket_check_setsockopt", cred, so, opt)
+
+
+@instrumentable()
+def mac_socket_check_getsockopt(cred: Ucred, so: Any, opt: int = 0) -> int:
+    """MAC hook ``socket_check_getsockopt``: authorise via the policy composition."""
+    return mac_framework.check("socket_check_getsockopt", cred, so, opt)
+
+
+# ---------------------------------------------------------------------------
+# process & credential hooks (the MP assertion set)
+# ---------------------------------------------------------------------------
+
+
+@instrumentable()
+def mac_proc_check_signal(cred: Ucred, proc: Any, signum: int = 0) -> int:
+    """MAC hook ``proc_check_signal``: authorise via the policy composition."""
+    return mac_framework.check("proc_check_signal", cred, proc, signum)
+
+
+@instrumentable()
+def mac_proc_check_debug(cred: Ucred, proc: Any) -> int:
+    """MAC hook ``proc_check_debug``: authorise via the policy composition."""
+    return mac_framework.check("proc_check_debug", cred, proc)
+
+
+@instrumentable()
+def mac_proc_check_sched(cred: Ucred, proc: Any) -> int:
+    """MAC hook ``proc_check_sched``: authorise via the policy composition."""
+    return mac_framework.check("proc_check_sched", cred, proc)
+
+
+@instrumentable()
+def mac_proc_check_wait(cred: Ucred, proc: Any) -> int:
+    """MAC hook ``proc_check_wait``: authorise via the policy composition."""
+    return mac_framework.check("proc_check_wait", cred, proc)
+
+
+@instrumentable()
+def mac_proc_check_setuid(cred: Ucred, uid: int = 0) -> int:
+    """MAC hook ``proc_check_setuid``: authorise via the policy composition."""
+    return mac_framework.check("proc_check_setuid", cred, uid)
+
+
+@instrumentable()
+def mac_proc_check_setgid(cred: Ucred, gid: int = 0) -> int:
+    """MAC hook ``proc_check_setgid``: authorise via the policy composition."""
+    return mac_framework.check("proc_check_setgid", cred, gid)
+
+
+@instrumentable()
+def mac_proc_check_rtprio(cred: Ucred, proc: Any, prio: int = 0) -> int:
+    """POSIX real-time scheduling authorisation (the rtsched facility)."""
+    return mac_framework.check("proc_check_rtprio", cred, proc, prio)
+
+
+@instrumentable()
+def mac_proc_check_cpuset(cred: Ucred, proc: Any, setid: int = 0) -> int:
+    """CPU-affinity set authorisation (the CPUSET facility)."""
+    return mac_framework.check("proc_check_cpuset", cred, proc, setid)
+
+
+@instrumentable()
+def mac_cred_check_relabel(cred: Ucred, newlabel: int = 0) -> int:
+    """MAC hook ``cred_check_relabel``: authorise via the policy composition."""
+    return mac_framework.check("cred_check_relabel", cred, newlabel)
+
+
+@instrumentable()
+def mac_cred_check_visible(cred: Ucred, other: Ucred = None) -> int:
+    """MAC hook ``cred_check_visible``: authorise via the policy composition."""
+    return mac_framework.check("cred_check_visible", cred, other)
+
+
+# ---------------------------------------------------------------------------
+# procfs hooks (the deprecated facility behind 19 unexercised assertions)
+# ---------------------------------------------------------------------------
+
+
+@instrumentable()
+def mac_procfs_check_read(cred: Ucred, proc: Any, node: str = "") -> int:
+    """MAC hook ``procfs_check_read``: authorise via the policy composition."""
+    return mac_framework.check("procfs_check_read", cred, proc, node)
+
+
+@instrumentable()
+def mac_procfs_check_write(cred: Ucred, proc: Any, node: str = "") -> int:
+    """MAC hook ``procfs_check_write``: authorise via the policy composition."""
+    return mac_framework.check("procfs_check_write", cred, proc, node)
+
+
+@instrumentable()
+def mac_procfs_check_ctl(cred: Ucred, proc: Any, command: str = "") -> int:
+    """MAC hook ``procfs_check_ctl``: authorise via the policy composition."""
+    return mac_framework.check("procfs_check_ctl", cred, proc, command)

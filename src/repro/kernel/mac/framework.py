@@ -1,0 +1,57 @@
+"""The MAC Framework mechanism: policy composition and hook dispatch.
+
+Mirrors FreeBSD's ``mac_framework``: the kernel registers zero or more
+policies; every ``mac_*_check_*`` entry point composes them with
+AND-semantics — the first non-zero (denying) result wins.  An empty policy
+list means "mechanism compiled in, no policy loaded": all checks return 0,
+which is how the paper's assertions can verify *that checks happen* without
+any policy actually denying.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, List
+
+from ..types import Ucred
+from .policy import MacPolicy
+
+
+class MacFramework:
+    """Registered policies plus the composition loop."""
+
+    def __init__(self) -> None:
+        self._policies: List[MacPolicy] = []
+        self._lock = threading.Lock()
+        #: Count of hook invocations, per hook name (visible to tests).
+        self.hook_counts: dict = {}
+
+    def register(self, policy: MacPolicy) -> None:
+        with self._lock:
+            self._policies.append(policy)
+
+    def unregister(self, policy: MacPolicy) -> None:
+        with self._lock:
+            if policy in self._policies:
+                self._policies.remove(policy)
+
+    def unregister_all(self) -> None:
+        with self._lock:
+            self._policies.clear()
+
+    @property
+    def policies(self) -> List[MacPolicy]:
+        return list(self._policies)
+
+    def check(self, hook: str, cred: Ucred, obj: Any, arg: Any = None) -> int:
+        """Compose all policies: first denial wins, otherwise 0."""
+        self.hook_counts[hook] = self.hook_counts.get(hook, 0) + 1
+        for policy in self._policies:
+            error = policy.check(hook, cred, obj, arg)
+            if error != 0:
+                return error
+        return 0
+
+
+#: The kernel-wide framework instance consulted by every check entry point.
+mac_framework = MacFramework()

@@ -1,0 +1,135 @@
+"""MAC policies: the *policy* half of the FreeBSD MAC Framework split.
+
+"The FreeBSD MAC Framework separates mechanism — hooks throughout the
+kernel — " from policy modules that decide.  A policy here is an object
+with ``check(hook, cred, obj, arg)`` returning 0 or an errno; the framework
+(:mod:`repro.kernel.mac.framework`) composes registered policies with
+AND-semantics (any denial denies), as the real framework does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..types import EACCES, EPERM, Ucred
+
+
+class MacPolicy:
+    """Base policy: allow everything (the mechanism-only configuration)."""
+
+    name = "mac_none"
+
+    def check(self, hook: str, cred: Ucred, obj: Any, arg: Any = None) -> int:
+        return 0
+
+
+class MlsPolicy(MacPolicy):
+    """A miniature MLS-style policy over integer sensitivity labels.
+
+    Subjects (credentials) and objects (vnodes, sockets, processes) carry
+    integer labels; reads require subject ≥ object ("no read up"), writes
+    require subject ≤ object ("no write down"), and control operations
+    (signal, debug, sched) require subject ≥ object.
+    """
+
+    name = "mac_mls_mini"
+
+    READ_HOOKS = frozenset(
+        {
+            "vnode_check_open",
+            "vnode_check_read",
+            "vnode_check_readdir",
+            "vnode_check_readlink",
+            "vnode_check_stat",
+            "vnode_check_lookup",
+            "vnode_check_listextattr",
+            "vnode_check_getextattr",
+            "vnode_check_getacl",
+            "vnode_check_exec",
+            "vnode_check_mmap",
+            "socket_check_receive",
+            "socket_check_poll",
+            "socket_check_stat",
+            "socket_check_accept",
+            "socket_check_getsockopt",
+            "kld_check_load",
+            "proc_check_wait",
+        }
+    )
+
+    WRITE_HOOKS = frozenset(
+        {
+            "vnode_check_write",
+            "vnode_check_create",
+            "vnode_check_unlink",
+            "vnode_check_rename_from",
+            "vnode_check_rename_to",
+            "vnode_check_link",
+            "vnode_check_setmode",
+            "vnode_check_setowner",
+            "vnode_check_setutimes",
+            "vnode_check_setextattr",
+            "vnode_check_deleteextattr",
+            "vnode_check_setacl",
+            "vnode_check_deleteacl",
+            "vnode_check_revoke",
+            "socket_check_send",
+            "socket_check_bind",
+            "socket_check_connect",
+            "socket_check_listen",
+            "socket_check_create",
+            "socket_check_setsockopt",
+        }
+    )
+
+    CONTROL_HOOKS = frozenset(
+        {
+            "proc_check_signal",
+            "proc_check_debug",
+            "proc_check_sched",
+            "proc_check_setuid",
+            "proc_check_setgid",
+            "proc_check_rtprio",
+            "proc_check_cpuset",
+            "cred_check_relabel",
+            "cred_check_visible",
+            "procfs_check_read",
+            "procfs_check_write",
+            "procfs_check_ctl",
+        }
+    )
+
+    def _label_of(self, obj: Any) -> int:
+        for attribute in ("v_label", "so_label", "p_label", "cr_label", "label"):
+            value = getattr(obj, attribute, None)
+            if value is not None:
+                return value
+        if hasattr(obj, "p_ucred"):
+            return obj.p_ucred.cr_label
+        return 0
+
+    def check(self, hook: str, cred: Ucred, obj: Any, arg: Any = None) -> int:
+        subject = cred.cr_label
+        target = self._label_of(obj)
+        if hook in self.READ_HOOKS:
+            return 0 if subject >= target else EACCES
+        if hook in self.WRITE_HOOKS:
+            # "no write down": a high subject may not write a low object.
+            return 0 if subject <= target else EACCES
+        if hook in self.CONTROL_HOOKS:
+            return 0 if subject >= target else EPERM
+        return 0
+
+
+class DenyPolicy(MacPolicy):
+    """Deny a configurable set of hooks — handy for failure injection."""
+
+    name = "mac_deny"
+
+    def __init__(self, denied_hooks: Optional[frozenset] = None) -> None:
+        self.denied_hooks = frozenset(denied_hooks or ())
+
+    def check(self, hook: str, cred: Ucred, obj: Any, arg: Any = None) -> int:
+        if hook in self.denied_hooks:
+            return EACCES
+        return 0

@@ -1,0 +1,40 @@
+"""The network substrate: sockets, protocols and event multiplexing."""
+
+from .select import Kevent, Kqueue, kern_kevent, kern_kqueue, kern_poll, kern_select
+from .socket import (
+    AF_INET,
+    POLLIN,
+    POLLOUT,
+    SOCK_DGRAM,
+    SOCK_STREAM,
+    Protosw,
+    PrUsrreqs,
+    Socket,
+    socketops,
+    socreate,
+    soo_poll,
+    sopoll,
+    sopoll_generic,
+)
+
+__all__ = [
+    "Kevent",
+    "Kqueue",
+    "kern_kevent",
+    "kern_kqueue",
+    "kern_poll",
+    "kern_select",
+    "AF_INET",
+    "POLLIN",
+    "POLLOUT",
+    "SOCK_DGRAM",
+    "SOCK_STREAM",
+    "Protosw",
+    "PrUsrreqs",
+    "Socket",
+    "socketops",
+    "socreate",
+    "soo_poll",
+    "sopoll",
+    "sopoll_generic",
+]

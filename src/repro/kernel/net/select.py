@@ -1,0 +1,101 @@
+"""The three event-multiplexing system calls: select, poll and kqueue.
+
+select and poll reach socket state through ``fo_poll`` → :func:`soo_poll`,
+which performs the MAC check.  kqueue reaches the same state through its
+own filter path (``fo_kqfilter``), which is exactly where FreeBSD's check
+was missing — the first bug the paper's MS assertions caught.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from ...instrument.hooks import instrumentable
+from ..types import EBADF, EINVAL, File, Thread, fo_poll
+
+_kq_counter = itertools.count(1)
+
+
+class Kevent:
+    """One kqueue registration (a pared-down ``struct kevent``)."""
+
+    __slots__ = ("fd", "filter_events")
+
+    def __init__(self, fd: int, filter_events: int) -> None:
+        self.fd = fd
+        self.filter_events = filter_events
+
+
+class Kqueue:
+    """A kernel event queue."""
+
+    def __init__(self) -> None:
+        self.kq_id = next(_kq_counter)
+        self.registrations: List[Kevent] = []
+
+
+@instrumentable()
+def kern_select(td: Thread, fds: List[int], events: int) -> Tuple[int, List[int]]:
+    """select(2): returns the subset of ``fds`` that are ready."""
+    ready = []
+    for fd in fds:
+        fp = _fd_lookup(td, fd)
+        if fp is None:
+            return EBADF, []
+        revents = fo_poll(fp, events, td.td_ucred, td)
+        if revents:
+            ready.append(fd)
+    return 0, ready
+
+
+@instrumentable()
+def kern_poll(td: Thread, fds: List[int], events: int) -> Tuple[int, Dict[int, int]]:
+    """poll(2): returns revents per fd."""
+    out: Dict[int, int] = {}
+    for fd in fds:
+        fp = _fd_lookup(td, fd)
+        if fp is None:
+            return EBADF, {}
+        out[fd] = fo_poll(fp, events, td.td_ucred, td)
+    return 0, out
+
+
+@instrumentable()
+def kern_kqueue(td: Thread) -> Tuple[int, Kqueue]:
+    """kqueue(2): create an event queue."""
+    return 0, Kqueue()
+
+
+@instrumentable()
+def kern_kevent(
+    td: Thread, kq: Kqueue, changes: List[Kevent]
+) -> Tuple[int, List[int]]:
+    """kevent(2): register filters and collect ready fds.
+
+    Registration routes through each descriptor's ``fo_kqfilter`` — the
+    path on which the historical kernel performed *no* MAC check.
+    """
+    for change in changes:
+        kq.registrations.append(change)
+    ready: List[int] = []
+    for registration in kq.registrations:
+        fp = _fd_lookup(td, registration.fd)
+        if fp is None:
+            return EBADF, []
+        kqfilter = fp.f_ops.fo_kqfilter
+        if kqfilter is None:
+            # Non-socket descriptors fall back to their poll entry.
+            revents = fo_poll(fp, registration.filter_events, td.td_ucred, td)
+        else:
+            revents = kqfilter(fp, registration.filter_events, td.td_ucred, td)
+        if revents:
+            ready.append(registration.fd)
+    return 0, ready
+
+
+def _fd_lookup(td: Thread, fd: int) -> Optional[File]:
+    table = td.td_proc.p_fd
+    if 0 <= fd < len(table):
+        return table[fd]
+    return None

@@ -1,0 +1,288 @@
+"""Sockets, protocols and the indirection chain of figures 3 and 4.
+
+A poll on a socket descriptor traverses exactly the layers the paper draws:
+
+    ``fo_poll`` (fileops vector) → :func:`soo_poll` → :func:`sopoll`
+    (through ``so->so_proto->pr_usrreqs->pru_sopoll``) →
+    :func:`sopoll_generic`
+
+The access-control check (``mac_socket_check_poll``) happens at the top in
+:func:`soo_poll`; the expectation that it happened lives at the bottom in
+:func:`sopoll_generic` as a ``TESLA_SYSCALL_PREVIOUSLY`` site — with two
+layers of function-pointer indirection in between hiding the connection
+from static analysis.
+
+Two of the paper's discovered bugs are injectable here:
+``sopoll_wrong_cred`` makes :func:`soo_poll` authorise with the cached
+``f_cred`` instead of the thread's ``active_cred``;
+``kqueue_missing_mac_check`` lives in :mod:`repro.kernel.net.select`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from ...instrument.fields import TeslaStruct, instrumentable_struct
+from ...instrument.hooks import instrumentable, tesla_site
+from ..bugs import bugs
+from ..mac import checks as mac
+from ..types import EACCES, EINVAL, File, Fileops, Thread, Ucred
+
+# poll events
+POLLIN = 0x0001
+POLLOUT = 0x0004
+
+# socket types / domains
+AF_INET = 2
+SOCK_STREAM = 1
+SOCK_DGRAM = 2
+
+_so_counter = itertools.count(1)
+
+
+class PrUsrreqs:
+    """``struct pr_usrreqs``: the protocol's user-request vector."""
+
+    __slots__ = (
+        "pru_sopoll",
+        "pru_send",
+        "pru_receive",
+        "pru_bind",
+        "pru_listen",
+        "pru_connect",
+        "pru_accept",
+    )
+
+    def __init__(self, **ops: Any) -> None:
+        for name in self.__slots__:
+            setattr(self, name, ops.get(name))
+
+
+class Protosw:
+    """``struct protosw``: protocol switch entry."""
+
+    __slots__ = ("pr_name", "pr_type", "pr_usrreqs")
+
+    def __init__(self, pr_name: str, pr_type: int, pr_usrreqs: PrUsrreqs) -> None:
+        self.pr_name = pr_name
+        self.pr_type = pr_type
+        self.pr_usrreqs = pr_usrreqs
+
+
+@instrumentable_struct
+class Socket(TeslaStruct):
+    """``struct socket``: buffers, state and the protocol pointer."""
+
+    TESLA_STRUCT_NAME = "socket"
+
+    def __init__(self, proto: Protosw, label: int = 0) -> None:
+        self.so_id = next(_so_counter)
+        self.so_proto = proto
+        self.so_label = label
+        self.so_state = 0
+        self.so_rcv: Deque[bytes] = deque()
+        self.so_snd: Deque[bytes] = deque()
+        #: Peer socket for the in-kernel loopback transport.
+        self.so_peer: Optional["Socket"] = None
+        #: Pending connections on a listening socket.
+        self.so_acceptq: Deque["Socket"] = deque()
+        self.so_listening = False
+        self.so_bound_addr: Any = None
+
+    def __repr__(self) -> str:
+        return f"<socket {self.so_id} {self.so_proto.pr_name}>"
+
+
+# ---------------------------------------------------------------------------
+# the poll chain (figures 3 and 4)
+# ---------------------------------------------------------------------------
+
+
+@instrumentable()
+def sopoll_generic(
+    so: Socket, events: int, active_cred: Ucred, td: Thread
+) -> int:
+    """Protocol-generic poll.
+
+    Here, we expect that an access-control check has already been done —
+    the comment figure 3 shows, promoted to the checkable assertion of
+    figure 4.  ``active_cred`` for the assertion's purposes is the
+    *thread's* credential: the check must have used it, whatever credential
+    a buggy caller passed down.
+    """
+    tesla_site(
+        "MS.sopoll.prior-check", active_cred=td.td_ucred, so=so
+    )
+    revents = 0
+    if (events & POLLIN) and (so.so_rcv or so.so_acceptq):
+        revents |= POLLIN
+    if events & POLLOUT:
+        revents |= POLLOUT
+    return revents
+
+
+@instrumentable()
+def sopoll(so: Socket, events: int, active_cred: Ucred, td: Thread) -> int:
+    """Dispatch through the protocol's user-request vector."""
+    fp = so.so_proto.pr_usrreqs.pru_sopoll
+    return fp(so, events, active_cred, td)
+
+
+@instrumentable()
+def soo_poll(fp: File, events: int, active_cred: Ucred, td: Thread) -> int:
+    """The socket fileops poll entry — where the MAC check belongs."""
+    if bugs.enabled("sopoll_wrong_cred"):
+        # The discovered bug: "an error in one dynamic call graph caused
+        # the cached file_cred to be passed down instead of active_cred."
+        error = mac.mac_socket_check_poll(fp.f_cred, fp.f_data)
+    else:
+        error = mac.mac_socket_check_poll(active_cred, fp.f_data)
+    if error != 0:
+        return 0
+    return sopoll(fp.f_data, events, fp.f_cred, td)
+
+
+# ---------------------------------------------------------------------------
+# data transfer (an in-kernel loopback transport)
+# ---------------------------------------------------------------------------
+
+
+@instrumentable()
+def sosend(so: Socket, data: bytes, cred: Ucred, td: Thread) -> int:
+    """Queue data on the peer's receive buffer (loopback transport)."""
+    tesla_site("MS.sosend.prior-check", so=so)
+    if so.so_peer is None:
+        return EINVAL
+    so.so_peer.so_rcv.append(data)
+    return 0
+
+
+@instrumentable()
+def soreceive(so: Socket, cred: Ucred, td: Thread) -> Tuple[int, bytes]:
+    """Dequeue the next buffered datagram, or empty bytes."""
+    tesla_site("MS.soreceive.prior-check", so=so)
+    if not so.so_rcv:
+        return 0, b""
+    return 0, so.so_rcv.popleft()
+
+
+@instrumentable()
+def sobind(so: Socket, addr: Any, td: Thread) -> int:
+    """Record the socket's bound address."""
+    tesla_site("MS.sobind.prior-check", so=so)
+    so.so_bound_addr = addr
+    return 0
+
+
+@instrumentable()
+def solisten(so: Socket, backlog: int, td: Thread) -> int:
+    """Mark the socket as accepting connections."""
+    tesla_site("MS.solisten.prior-check", so=so)
+    so.so_listening = True
+    return 0
+
+
+@instrumentable()
+def soconnect(so: Socket, target: Socket, td: Thread) -> int:
+    """Connect over the loopback transport: enqueue a peer on the
+    listener's accept queue and wire the pair together."""
+    tesla_site("MS.soconnect.prior-check", so=so)
+    if not target.so_listening:
+        return EINVAL
+    server_side = Socket(target.so_proto, label=target.so_label)
+    server_side.so_peer = so
+    so.so_peer = server_side
+    target.so_acceptq.append(server_side)
+    return 0
+
+
+@instrumentable()
+def soaccept(so: Socket, td: Thread) -> Tuple[int, Optional[Socket]]:
+    """Pop one pending connection off the accept queue."""
+    tesla_site("MS.soaccept.prior-check", so=so)
+    if not so.so_acceptq:
+        return EINVAL, None
+    return 0, so.so_acceptq.popleft()
+
+
+# ---------------------------------------------------------------------------
+# socket creation and the protocol switch table
+# ---------------------------------------------------------------------------
+
+_loopback_usrreqs = PrUsrreqs(
+    pru_sopoll=sopoll_generic,
+    pru_send=sosend,
+    pru_receive=soreceive,
+    pru_bind=sobind,
+    pru_listen=solisten,
+    pru_connect=soconnect,
+    pru_accept=soaccept,
+)
+
+#: The protocol switch, keyed by (domain, type).
+protosw_table: Dict[Tuple[int, int], Protosw] = {
+    (AF_INET, SOCK_STREAM): Protosw("tcp_lo", SOCK_STREAM, _loopback_usrreqs),
+    (AF_INET, SOCK_DGRAM): Protosw("udp_lo", SOCK_DGRAM, _loopback_usrreqs),
+}
+
+
+@instrumentable()
+def socreate(domain: int, so_type: int, td: Thread) -> Tuple[int, Optional[Socket]]:
+    """Create a socket, authorised by ``mac_socket_check_create``."""
+    error = mac.mac_socket_check_create(td.td_ucred, domain, so_type)
+    if error != 0:
+        return error, None
+    proto = protosw_table.get((domain, so_type))
+    if proto is None:
+        return EINVAL, None
+    so = Socket(proto, label=td.td_ucred.cr_label)
+    tesla_site("MS.socreate.post-check", so=so)
+    return 0, so
+
+
+def _soo_read(fp: File, length: int, active_cred: Ucred, flags: int, td: Thread) -> Tuple[int, bytes]:
+    error = mac.mac_socket_check_receive(active_cred, fp.f_data)
+    if error != 0:
+        return error, b""
+    return soreceive(fp.f_data, active_cred, td)
+
+
+def _soo_write(fp: File, data: bytes, active_cred: Ucred, flags: int, td: Thread) -> int:
+    error = mac.mac_socket_check_send(active_cred, fp.f_data)
+    if error != 0:
+        return error
+    return sosend(fp.f_data, data, active_cred, td)
+
+
+def _soo_close(fp: File, td: Thread) -> int:
+    so = fp.f_data
+    if so.so_peer is not None:
+        so.so_peer.so_peer = None
+        so.so_peer = None
+    return 0
+
+
+def _soo_kqfilter(fp: File, events: int, active_cred: Ucred, td: Thread) -> int:
+    """kqueue's route into the socket poll logic.
+
+    With ``kqueue_missing_mac_check`` injected, this is the discovered bug:
+    "the MAC check mac_socket_check_poll was being invoked for the select
+    and poll system calls, but not kqueue."
+    """
+    if not bugs.enabled("kqueue_missing_mac_check"):
+        error = mac.mac_socket_check_poll(active_cred, fp.f_data)
+        if error != 0:
+            return 0
+    return sopoll(fp.f_data, events, fp.f_cred, td)
+
+
+#: The socket fileops vector.
+socketops = Fileops(
+    fo_read=_soo_read,
+    fo_write=_soo_write,
+    fo_poll=soo_poll,
+    fo_close=_soo_close,
+    fo_kqfilter=_soo_kqfilter,
+)

@@ -1,0 +1,397 @@
+"""Process lifecycle and inter-process access control.
+
+Home of the ``eventually`` use case: "if a process credential is modified,
+then the ``P_SUGID`` process flag must be set to prevent privilege
+escalation attacks via debuggers."  :func:`proc_set_cred` is the credential
+modification point (and assertion site); :func:`setsugid` is the side
+effect that must *eventually* happen within the same system call.  The
+injectable ``sugid_not_set`` bug omits it.
+
+Also implements the classic inter-process authorisation points —
+``p_cansignal``, ``p_candebug``, ``p_cansee``, ``p_cansched`` — each
+pairing a MAC hook with a TESLA site in the code the hook governs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from ..instrument.fields import field_or
+from ..instrument.hooks import instrumentable, tesla_site
+from .bugs import bugs
+from .mac import checks as mac
+from .types import (
+    EACCES,
+    EPERM,
+    ESRCH,
+    FEXEC,
+    P_SUGID,
+    P_TRACED,
+    Proc,
+    Thread,
+    Ucred,
+    crcopy,
+)
+
+# ---------------------------------------------------------------------------
+# credential modification and the P_SUGID side effect
+# ---------------------------------------------------------------------------
+
+
+@instrumentable()
+def setsugid(p: Proc) -> None:
+    """Mark the process as having changed credentials (``P_SUGID``)."""
+    field_or(p, "p_flag", P_SUGID)
+
+
+@instrumentable()
+def proc_set_cred(td: Thread, p: Proc, newcred: Ucred) -> None:
+    """Install a new credential on a process.
+
+    The assertion site for the ``eventually`` property sits here: after a
+    credential change, ``setsugid`` must run before the system call
+    returns.
+    """
+    tesla_site("P.setcred.sugid-eventually", p=p)
+    p.p_ucred = newcred
+    for thread in _threads_of(p):
+        thread.td_ucred = newcred
+    tesla_site("P.setcred.cred-installed", p=p)
+    if not bugs.enabled("sugid_not_set"):
+        setsugid(p)
+
+
+def _threads_of(p: Proc) -> List[Thread]:
+    kernel = p.p_kernel
+    if kernel is None:
+        return []
+    return [td for td in kernel.threads if td.td_proc is p]
+
+
+@instrumentable()
+def kern_setuid(td: Thread, uid: int) -> int:
+    """setuid(2)."""
+    error = mac.mac_proc_check_setuid(td.td_ucred, uid)
+    if error != 0:
+        return error
+    if td.td_ucred.cr_uid != 0 and uid != td.td_ucred.cr_uid:
+        return EPERM
+    newcred = crcopy(td.td_ucred)
+    newcred.cr_uid = uid
+    proc_set_cred(td, td.td_proc, newcred)
+    tesla_site("MP.setuid.prior-check", p=td.td_proc)
+    return 0
+
+
+@instrumentable()
+def kern_setgid(td: Thread, gid: int) -> int:
+    """setgid(2)."""
+    error = mac.mac_proc_check_setgid(td.td_ucred, gid)
+    if error != 0:
+        return error
+    if td.td_ucred.cr_uid != 0 and gid != td.td_ucred.cr_gid:
+        return EPERM
+    newcred = crcopy(td.td_ucred)
+    newcred.cr_gid = gid
+    proc_set_cred(td, td.td_proc, newcred)
+    tesla_site("MP.setgid.prior-check", p=td.td_proc)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# inter-process authorisation (p_can*)
+# ---------------------------------------------------------------------------
+
+
+@instrumentable()
+def p_cansee(td: Thread, p: Proc) -> int:
+    """May ``td`` observe ``p`` at all (ps, sysctl)?"""
+    error = mac.mac_cred_check_visible(td.td_ucred, p.p_ucred)
+    if error != 0:
+        return error
+    tesla_site("MP.cansee.prior-check", p=p)
+    return 0
+
+
+@instrumentable()
+def p_cansignal(td: Thread, p: Proc, signum: int) -> int:
+    """Inter-process authorisation: may ``td`` signal ``p``?"""
+    error = p_cansee(td, p)
+    if error != 0:
+        return error
+    error = mac.mac_proc_check_signal(td.td_ucred, p, signum)
+    if error != 0:
+        return error
+    if td.td_ucred.cr_uid != 0 and td.td_ucred.cr_uid != p.p_ucred.cr_uid:
+        return EPERM
+    return 0
+
+
+@instrumentable()
+def p_candebug(td: Thread, p: Proc) -> int:
+    """May ``td`` attach a debugger to ``p``?
+
+    Refuses set-ugid processes for non-root — the attack ``P_SUGID``
+    exists to prevent.  If :func:`setsugid` was skipped after a credential
+    change (the injected bug), this guard silently stops protecting.
+    """
+    error = p_cansee(td, p)
+    if error != 0:
+        return error
+    error = mac.mac_proc_check_debug(td.td_ucred, p)
+    if error != 0:
+        return error
+    if td.td_ucred.cr_uid != 0:
+        if p.p_flag & P_SUGID:
+            return EPERM
+        if td.td_ucred.cr_uid != p.p_ucred.cr_uid:
+            return EPERM
+    return 0
+
+
+@instrumentable()
+def p_cansched(td: Thread, p: Proc) -> int:
+    """Inter-process authorisation: may ``td`` reschedule ``p``?"""
+    error = p_cansee(td, p)
+    if error != 0:
+        return error
+    error = mac.mac_proc_check_sched(td.td_ucred, p)
+    if error != 0:
+        return error
+    if td.td_ucred.cr_uid != 0 and td.td_ucred.cr_uid != p.p_ucred.cr_uid:
+        return EPERM
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# signal delivery, debugging, scheduling, wait
+# ---------------------------------------------------------------------------
+
+
+@instrumentable()
+def psignal(td: Thread, p: Proc, signum: int) -> int:
+    """Deliver a signal — expects authorisation already happened.
+
+    Three assertions anchor here: the MAC-layer check (MP), the
+    inter-process ``p_cansignal`` authorisation (P), and the visibility
+    pre-condition ``p_cansee`` that p_cansignal itself relies on.
+    """
+    tesla_site("MP.psignal.prior-check", p=p)
+    tesla_site("P.psignal.prior-check", p=p)
+    tesla_site("P.psignal.cansee", p=p)
+    tesla_site("P.psignal.seq", p=p)
+    return 0
+
+
+@instrumentable()
+def kern_kill(td: Thread, pid: int, signum: int) -> int:
+    """Kernel implementation of ``kill``, authorisation included."""
+    p = _find_proc(td, pid)
+    if p is None:
+        return ESRCH
+    error = p_cansignal(td, p, signum)
+    if error != 0:
+        return error
+    return psignal(td, p, signum)
+
+
+@instrumentable()
+def proc_attach(td: Thread, p: Proc) -> int:
+    """Begin tracing — expects ``p_candebug`` already succeeded.
+
+    The ``P.ptrace.traced-eventually`` site anchors an ``eventually``
+    assertion: once attachment begins, ``P_TRACED`` must be OR-ed into
+    ``p_flag`` before the system call returns.
+    """
+    tesla_site("MP.ptrace.prior-check", p=p)
+    tesla_site("P.ptrace.prior-check", p=p)
+    tesla_site("P.ptrace.cansee", p=p)
+    tesla_site("P.ptrace.traced-eventually", p=p)
+    field_or(p, "p_flag", P_TRACED)
+    return 0
+
+
+@instrumentable()
+def kern_ptrace(td: Thread, pid: int) -> int:
+    """Kernel implementation of ``ptrace``, authorisation included."""
+    p = _find_proc(td, pid)
+    if p is None:
+        return ESRCH
+    error = p_candebug(td, p)
+    if error != 0:
+        return error
+    return proc_attach(td, p)
+
+
+@instrumentable()
+def rtp_set(td: Thread, p: Proc, prio: int) -> int:
+    """Apply a real-time priority — the rtsched facility's mutator."""
+    tesla_site("MP.rtprio.prior-check", p=p)
+    tesla_site("P.rtsched.rtprio-set.prior-check", p=p)
+    p.p_rtprio = prio
+    return 0
+
+
+@instrumentable()
+def kern_rtprio_set(td: Thread, pid: int, prio: int) -> int:
+    """Kernel implementation of ``rtprio_set``, authorisation included."""
+    p = _find_proc(td, pid)
+    if p is None:
+        return ESRCH
+    error = p_cansched(td, p)
+    if error != 0:
+        return error
+    error = mac.mac_proc_check_rtprio(td.td_ucred, p, prio)
+    if error != 0:
+        return error
+    return rtp_set(td, p, prio)
+
+
+@instrumentable()
+def kern_rtprio_get(td: Thread, pid: int) -> Tuple[int, int]:
+    """Kernel implementation of ``rtprio_get``, authorisation included."""
+    p = _find_proc(td, pid)
+    if p is None:
+        return ESRCH, 0
+    error = p_cansee(td, p)
+    if error != 0:
+        return error, 0
+    tesla_site("P.rtsched.rtprio-get.prior-check", p=p)
+    return 0, p.p_rtprio
+
+
+@instrumentable()
+def kern_sched_setparam(td: Thread, pid: int, prio: int) -> int:
+    """Kernel implementation of ``sched_setparam``, authorisation included."""
+    p = _find_proc(td, pid)
+    if p is None:
+        return ESRCH
+    error = p_cansched(td, p)
+    if error != 0:
+        return error
+    tesla_site("MP.sched.setparam.prior-check", p=p)
+    tesla_site("P.rtsched.setparam.prior-check", p=p)
+    p.p_rtprio = prio
+    return 0
+
+
+@instrumentable()
+def kern_sched_getparam(td: Thread, pid: int) -> Tuple[int, int]:
+    """Kernel implementation of ``sched_getparam``, authorisation included."""
+    p = _find_proc(td, pid)
+    if p is None:
+        return ESRCH, 0
+    error = p_cansee(td, p)
+    if error != 0:
+        return error, 0
+    tesla_site("P.rtsched.getparam.prior-check", p=p)
+    return 0, p.p_rtprio
+
+
+@instrumentable()
+def kern_sched_setscheduler(td: Thread, pid: int, policy: int, prio: int) -> int:
+    """Kernel implementation of ``sched_setscheduler``, authorisation included."""
+    p = _find_proc(td, pid)
+    if p is None:
+        return ESRCH
+    error = p_cansched(td, p)
+    if error != 0:
+        return error
+    tesla_site("MP.sched.setscheduler.prior-check", p=p)
+    tesla_site("P.rtsched.setscheduler.prior-check", p=p)
+    p.p_rtprio = prio
+    return 0
+
+
+@instrumentable()
+def kern_cpuset_set(td: Thread, pid: int, setid: int) -> int:
+    """CPU-affinity assignment — the CPUSET facility (added after the
+    FreeBSD test suite was written, hence unexercised by it)."""
+    p = _find_proc(td, pid)
+    if p is None:
+        return ESRCH
+    error = mac.mac_proc_check_cpuset(td.td_ucred, p, setid)
+    if error != 0:
+        return error
+    tesla_site("MP.cpuset.prior-check", p=p)
+    tesla_site("P.cpuset.set.prior-check", p=p)
+    p.p_cpuset = setid
+    return 0
+
+
+@instrumentable()
+def kern_cpuset_get(td: Thread, pid: int) -> Tuple[int, int]:
+    """Kernel implementation of ``cpuset_get``, authorisation included."""
+    p = _find_proc(td, pid)
+    if p is None:
+        return ESRCH, 0
+    error = mac.mac_proc_check_cpuset(td.td_ucred, p, p.p_cpuset)
+    if error != 0:
+        return error, 0
+    tesla_site("P.cpuset.get.prior-check", p=p)
+    return 0, p.p_cpuset
+
+
+@instrumentable()
+def kern_wait(td: Thread, pid: int) -> int:
+    """Kernel implementation of ``wait``, authorisation included."""
+    p = _find_proc(td, pid)
+    if p is None:
+        return ESRCH
+    error = p_cansee(td, p)
+    if error != 0:
+        return error
+    error = mac.mac_proc_check_wait(td.td_ucred, p)
+    if error != 0:
+        return error
+    tesla_site("MP.wait.prior-check", p=p)
+    tesla_site("P.wait.prior-check", p=p)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# fork and exec
+# ---------------------------------------------------------------------------
+
+
+@instrumentable()
+def kern_fork(td: Thread) -> Tuple[int, Optional[Proc]]:
+    """fork(2): the child inherits a *copy* of the parent's credential."""
+    kernel = td.td_proc.p_kernel
+    child = Proc(crcopy(td.td_ucred), kernel=kernel, comm=td.td_proc.p_comm)
+    td.td_proc.p_children.append(child)
+    if kernel is not None:
+        kernel.processes.append(child)
+    tesla_site("P.fork.cred-copied", p=child)
+    return 0, child
+
+
+@instrumentable()
+def kern_execve(td: Thread, path: str) -> int:
+    """execve(2): authorised by ``mac_vnode_check_exec`` (not check_open!),
+    and set-uid binaries change credentials — which must set P_SUGID."""
+    from .vfs.vfs_ops import OPEN_AS_EXEC, vn_open
+
+    error, vp = vn_open(td, path, flags=FEXEC, kind=OPEN_AS_EXEC)
+    if error != 0:
+        return error
+    tesla_site("M.execve.prior-check", vp=vp)
+    tesla_site("P.execve.prior-check", vp=vp)
+    inode = vp.v_data
+    setuid_bit = inode.i_mode & 0o4000
+    if setuid_bit and inode.i_uid != td.td_ucred.cr_uid:
+        newcred = crcopy(td.td_ucred)
+        newcred.cr_uid = inode.i_uid
+        proc_set_cred(td, td.td_proc, newcred)
+    td.td_proc.p_comm = path.rsplit("/", 1)[-1]
+    return 0
+
+
+def _find_proc(td: Thread, pid: int) -> Optional[Proc]:
+    kernel = td.td_proc.p_kernel
+    if kernel is None:
+        return None
+    for p in kernel.processes:
+        if p.p_pid == pid:
+            return p
+    return None

@@ -1,0 +1,120 @@
+"""procfs — the deprecated process filesystem.
+
+"Most omissions (19) were in procfs — a deprecated facility disabled by
+default": the paper's coverage result hinges on a facility whose assertions
+exist but whose code paths ordinary test suites never reach.  This module
+provides those 19 assertion-bearing operations: reads of seven
+informational nodes and read/write access to six control nodes.
+
+procfs is *disabled by default* (matching FreeBSD); :func:`procfs_mount` /
+:func:`procfs_unmount` flip it, and every operation fails with ``ENOENT``
+while unmounted — which is precisely why the coverage experiment finds
+these 19 assertions unexercised.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..instrument.hooks import instrumentable, tesla_site
+from .mac import checks as mac
+from .types import ENOENT, EPERM, ESRCH, Proc, Thread
+
+#: Informational nodes: readable only.
+READ_NODES = ("status", "map", "cmdline", "environ", "osrel", "rlimit", "file")
+#: Control nodes: readable and writable.
+RW_NODES = ("mem", "regs", "fpregs", "dbregs", "note", "notepg")
+
+_mounted = False
+
+
+def procfs_mount() -> None:
+    """Enable procfs (it ships disabled, as in FreeBSD)."""
+    global _mounted
+    _mounted = True
+
+
+def procfs_unmount() -> None:
+    """Disable procfs (its shipped state)."""
+    global _mounted
+    _mounted = False
+
+
+def procfs_mounted() -> bool:
+    """Whether procfs is currently enabled."""
+    return _mounted
+
+
+def _node_contents(p: Proc, node: str) -> bytes:
+    if node == "status":
+        return f"{p.p_comm} {p.p_pid} flags={p.p_flag:#x}".encode()
+    if node == "map":
+        return b"0x1000-0x2000 r-x\n0x2000-0x3000 rw-"
+    if node == "cmdline":
+        return p.p_comm.encode()
+    if node == "environ":
+        return b"PATH=/bin"
+    if node == "osrel":
+        return b"1400000"
+    if node == "rlimit":
+        return b"cpu -1 -1"
+    if node == "file":
+        return f"fds={sum(1 for f in p.p_fd if f is not None)}".encode()
+    # control nodes read back their register/memory images
+    return b"\x00" * 16
+
+
+@instrumentable()
+def procfs_read(td: Thread, p: Proc, node: str) -> Tuple[int, bytes]:
+    """Read a procfs node of process ``p``."""
+    if not _mounted:
+        return ENOENT, b""
+    if node not in READ_NODES and node not in RW_NODES:
+        return ENOENT, b""
+    error = mac.mac_procfs_check_read(td.td_ucred, p, node)
+    if error != 0:
+        return error, b""
+    tesla_site(f"P.procfs.{node}.read.prior-check", p=p)
+    return 0, _node_contents(p, node)
+
+
+@instrumentable()
+def procfs_write(td: Thread, p: Proc, node: str, data: bytes) -> int:
+    """Write a procfs control node — includes poking another process's
+    memory and registers, the facility's sharpest edge."""
+    if not _mounted:
+        return ENOENT
+    if node not in RW_NODES:
+        return EPERM
+    error = mac.mac_procfs_check_write(td.td_ucred, p, node)
+    if error != 0:
+        return error
+    tesla_site(f"P.procfs.{node}.write.prior-check", p=p)
+    return 0
+
+
+@instrumentable()
+def procfs_ctl(td: Thread, p: Proc, command: str) -> int:
+    """The ``ctl`` node: attach/detach/step/run control commands."""
+    if not _mounted:
+        return ENOENT
+    error = mac.mac_procfs_check_ctl(td.td_ucred, p, command)
+    if error != 0:
+        return error
+    tesla_site("P.procfs.ctl.prior-check", p=p)
+    return 0
+
+
+def procfs_assertion_sites() -> List[str]:
+    """The 19 assertion names this facility carries.
+
+    Reads of the seven informational nodes (7), reads of the six control
+    nodes (6) and writes of the six control nodes (6) — 19 operations, one
+    assertion each, matching the paper's "most omissions (19) were in
+    procfs".  (The ``ctl`` node's assertion is counted in the core
+    inter-process set, not here.)
+    """
+    names = [f"P.procfs.{node}.read.prior-check" for node in READ_NODES]
+    names += [f"P.procfs.{node}.read.prior-check" for node in RW_NODES]
+    names += [f"P.procfs.{node}.write.prior-check" for node in RW_NODES]
+    return names

@@ -1,0 +1,722 @@
+"""The system-call layer: ``amd64_syscall`` and the syscall table.
+
+:func:`amd64_syscall` is the temporal bound for every
+``TESLA_SYSCALL_PREVIOUSLY`` assertion (figure 9's «init»/«cleanup»
+events): automata instances live from syscall entry to syscall exit.
+:func:`trap_pfault` provides the second bound the paper needed for
+"file-system I/O initiated by virtual-memory page faults".
+
+The ``sys_*`` functions are thin argument-marshalling wrappers (as in a
+real kernel) over the ``kern_*`` implementations in the facility modules.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..instrument.hooks import instrumentable, tesla_site
+from . import process, procfs
+from .bugs import bugs
+from .mac import checks as mac
+from .net import select as sel
+from .net import socket as net
+from .types import (
+    EACCES,
+    EBADF,
+    EINVAL,
+    ENOENT,
+    ENOSYS,
+    FREAD,
+    FWRITE,
+    File,
+    Thread,
+    fo_poll,
+    fo_read,
+    fo_write,
+)
+from .vfs import vfs_ops
+from .vfs.vnode import VDIR, VREG
+
+
+# ---------------------------------------------------------------------------
+# file-descriptor plumbing
+# ---------------------------------------------------------------------------
+
+
+def falloc(td: Thread, fp: File) -> int:
+    """Install a file in the process descriptor table, lowest free slot."""
+    table = td.td_proc.p_fd
+    for fd, existing in enumerate(table):
+        if existing is None:
+            table[fd] = fp
+            return fd
+    table.append(fp)
+    return len(table) - 1
+
+
+def fget(td: Thread, fd: int) -> Optional[File]:
+    """Look up a file by descriptor in the process table."""
+    table = td.td_proc.p_fd
+    if 0 <= fd < len(table):
+        return table[fd]
+    return None
+
+
+# ---------------------------------------------------------------------------
+# filesystem syscalls
+# ---------------------------------------------------------------------------
+
+
+def sys_open(td: Thread, path: str, flags: int = FREAD) -> Tuple[int, int]:
+    """``open(2)``: marshal arguments and enter the kernel layer."""
+    error, vp = vfs_ops.vn_open(td, path, flags=flags)
+    if error != 0:
+        return error, -1
+    fp = File(f_data=vp, f_ops=vfs_ops.vnops, f_cred=td.td_ucred, f_flag=flags)
+    return 0, falloc(td, fp)
+
+
+def sys_close(td: Thread, fd: int) -> int:
+    """``close(2)``: marshal arguments and enter the kernel layer."""
+    fp = fget(td, fd)
+    if fp is None:
+        return EBADF
+    if fp.f_ops.fo_close is not None:
+        fp.f_ops.fo_close(fp, td)
+    td.td_proc.p_fd[fd] = None
+    return 0
+
+
+def sys_read(td: Thread, fd: int, length: int) -> Tuple[int, bytes]:
+    """``read(2)``: marshal arguments and enter the kernel layer."""
+    fp = fget(td, fd)
+    if fp is None:
+        return EBADF, b""
+    return fo_read(fp, length, td.td_ucred, 0, td)
+
+
+def sys_write(td: Thread, fd: int, data: bytes) -> int:
+    """``write(2)``: marshal arguments and enter the kernel layer."""
+    fp = fget(td, fd)
+    if fp is None:
+        return EBADF
+    return fo_write(fp, data, td.td_ucred, 0, td)
+
+
+def sys_getdents(td: Thread, path: str) -> Tuple[int, List[str]]:
+    """``getdents(2)``: marshal arguments and enter the kernel layer."""
+    error, dvp = vfs_ops.namei(td, path)
+    if error != 0:
+        return error, []
+    error = mac.mac_vnode_check_readdir(td.td_ucred, dvp)
+    if error != 0:
+        return error, []
+    return vfs_ops.VOP_READDIR(td, dvp)
+
+
+def sys_stat(td: Thread, path: str) -> Tuple[int, Dict[str, Any]]:
+    """``stat(2)``: marshal arguments and enter the kernel layer."""
+    error, vp = vfs_ops.namei(td, path)
+    if error != 0:
+        return error, {}
+    error = mac.mac_vnode_check_stat(td.td_ucred, td.td_ucred, vp)
+    if error != 0:
+        return error, {}
+    return vfs_ops.VOP_GETATTR(td, vp)
+
+
+def _parent_and_leaf(td: Thread, path: str):
+    parent_path, _, leaf = path.rstrip("/").rpartition("/")
+    error, dvp = vfs_ops.namei(td, parent_path)
+    if error != 0:
+        return error, None, ""
+    return 0, dvp, leaf
+
+
+def sys_creat(td: Thread, path: str, mode: int = 0o644) -> Tuple[int, int]:
+    """``creat(2)``: marshal arguments and enter the kernel layer."""
+    error, dvp, leaf = _parent_and_leaf(td, path)
+    if error != 0:
+        return error, -1
+    error = mac.mac_vnode_check_create(td.td_ucred, dvp, leaf)
+    if error != 0:
+        return error, -1
+    error, vp = vfs_ops.VOP_CREATE(td, dvp, leaf, VREG, mode)
+    if error != 0:
+        return error, -1
+    fp = File(f_data=vp, f_ops=vfs_ops.vnops, f_cred=td.td_ucred, f_flag=FWRITE)
+    return 0, falloc(td, fp)
+
+
+def sys_mkdir(td: Thread, path: str, mode: int = 0o755) -> int:
+    """``mkdir(2)``: marshal arguments and enter the kernel layer."""
+    error, dvp, leaf = _parent_and_leaf(td, path)
+    if error != 0:
+        return error
+    error = mac.mac_vnode_check_create(td.td_ucred, dvp, leaf)
+    if error != 0:
+        return error
+    error, _ = vfs_ops.VOP_CREATE(td, dvp, leaf, VDIR, mode)
+    return error
+
+
+def sys_unlink(td: Thread, path: str) -> int:
+    """``unlink(2)``: marshal arguments and enter the kernel layer."""
+    error, dvp, leaf = _parent_and_leaf(td, path)
+    if error != 0:
+        return error
+    error = mac.mac_vnode_check_lookup(td.td_ucred, dvp, leaf)
+    if error != 0:
+        return error
+    error, vp = vfs_ops.VOP_LOOKUP(td, dvp, leaf)
+    if error != 0:
+        return error
+    error = mac.mac_vnode_check_unlink(td.td_ucred, dvp, vp)
+    if error != 0:
+        return error
+    return vfs_ops.VOP_REMOVE(td, dvp, leaf)
+
+
+def sys_rename(td: Thread, frompath: str, topath: str) -> int:
+    """``rename(2)``: marshal arguments and enter the kernel layer."""
+    error, fdvp, fleaf = _parent_and_leaf(td, frompath)
+    if error != 0:
+        return error
+    error, tdvp, tleaf = _parent_and_leaf(td, topath)
+    if error != 0:
+        return error
+    error = mac.mac_vnode_check_rename_from(td.td_ucred, fdvp)
+    if error != 0:
+        return error
+    error = mac.mac_vnode_check_rename_to(td.td_ucred, tdvp)
+    if error != 0:
+        return error
+    return vfs_ops.VOP_RENAME(td, fdvp, fleaf, tdvp, tleaf)
+
+
+def sys_link(td: Thread, existing: str, new: str) -> int:
+    """``link(2)``: marshal arguments and enter the kernel layer."""
+    error, vp = vfs_ops.namei(td, existing)
+    if error != 0:
+        return error
+    error, dvp, leaf = _parent_and_leaf(td, new)
+    if error != 0:
+        return error
+    error = mac.mac_vnode_check_link(td.td_ucred, dvp, vp)
+    if error != 0:
+        return error
+    return vfs_ops.VOP_LINK(td, dvp, leaf, vp)
+
+
+def sys_symlink(td: Thread, target: str, new: str) -> int:
+    """``symlink(2)``: marshal arguments and enter the kernel layer."""
+    error, dvp, leaf = _parent_and_leaf(td, new)
+    if error != 0:
+        return error
+    error = mac.mac_vnode_check_create(td.td_ucred, dvp, leaf)
+    if error != 0:
+        return error
+    error, _ = vfs_ops.VOP_SYMLINK(td, dvp, leaf, target)
+    return error
+
+
+def sys_readlink(td: Thread, path: str) -> Tuple[int, str]:
+    """``readlink(2)``: marshal arguments and enter the kernel layer."""
+    error, dvp, leaf = _parent_and_leaf(td, path)
+    if error != 0:
+        return error, ""
+    error = mac.mac_vnode_check_lookup(td.td_ucred, dvp, leaf)
+    if error != 0:
+        return error, ""
+    error, vp = vfs_ops.VOP_LOOKUP(td, dvp, leaf)
+    if error != 0:
+        return error, ""
+    error = mac.mac_vnode_check_readlink(td.td_ucred, vp)
+    if error != 0:
+        return error, ""
+    return vfs_ops.VOP_READLINK(td, vp)
+
+
+def sys_chmod(td: Thread, path: str, mode: int) -> int:
+    """``chmod(2)``: marshal arguments and enter the kernel layer."""
+    error, vp = vfs_ops.namei(td, path)
+    if error != 0:
+        return error
+    error = mac.mac_vnode_check_setmode(td.td_ucred, vp, mode)
+    if error != 0:
+        return error
+    return vfs_ops.VOP_SETMODE(td, vp, mode)
+
+
+def sys_chown(td: Thread, path: str, uid: int, gid: int) -> int:
+    """``chown(2)``: marshal arguments and enter the kernel layer."""
+    error, vp = vfs_ops.namei(td, path)
+    if error != 0:
+        return error
+    error = mac.mac_vnode_check_setowner(td.td_ucred, vp, uid, gid)
+    if error != 0:
+        return error
+    return vfs_ops.VOP_SETOWNER(td, vp, uid, gid)
+
+
+def sys_utimes(td: Thread, path: str) -> int:
+    """``utimes(2)``: marshal arguments and enter the kernel layer."""
+    error, vp = vfs_ops.namei(td, path)
+    if error != 0:
+        return error
+    error = mac.mac_vnode_check_setutimes(td.td_ucred, vp)
+    if error != 0:
+        return error
+    return vfs_ops.VOP_SETUTIMES(td, vp)
+
+
+def sys_mmap(td: Thread, path: str, prot: int = 0) -> int:
+    """``mmap(2)``: marshal arguments and enter the kernel layer."""
+    error, vp = vfs_ops.namei(td, path)
+    if error != 0:
+        return error
+    error = mac.mac_vnode_check_mmap(td.td_ucred, vp, prot)
+    if error != 0:
+        return error
+    return vfs_ops.VOP_MMAP(td, vp, prot)
+
+
+def sys_revoke(td: Thread, path: str) -> int:
+    """``revoke(2)``: marshal arguments and enter the kernel layer."""
+    error, vp = vfs_ops.namei(td, path)
+    if error != 0:
+        return error
+    error = mac.mac_vnode_check_revoke(td.td_ucred, vp)
+    if error != 0:
+        return error
+    return vfs_ops.VOP_REVOKE(td, vp)
+
+
+# extended attributes and ACLs
+
+
+def sys_extattr_get(td: Thread, path: str, name: str) -> Tuple[int, bytes]:
+    """``extattr_get(2)``: marshal arguments and enter the kernel layer."""
+    error, vp = vfs_ops.namei(td, path)
+    if error != 0:
+        return error, b""
+    if not bugs.enabled("extattr_wrong_check"):
+        error = mac.mac_vnode_check_getextattr(td.td_ucred, vp, name)
+        if error != 0:
+            return error, b""
+    # With the bug injected, the *syscall* path is treated like the
+    # MAC-exempt internal path UFS uses for ACLs (figure 7's subtlety,
+    # applied in the wrong direction) — no check at all.
+    return vfs_ops.VOP_GETEXTATTR(td, vp, name)
+
+
+def sys_extattr_set(td: Thread, path: str, name: str, value: bytes) -> int:
+    """``extattr_set(2)``: marshal arguments and enter the kernel layer."""
+    error, vp = vfs_ops.namei(td, path)
+    if error != 0:
+        return error
+    error = mac.mac_vnode_check_setextattr(td.td_ucred, vp, name)
+    if error != 0:
+        return error
+    return vfs_ops.VOP_SETEXTATTR(td, vp, name, value)
+
+
+def sys_extattr_delete(td: Thread, path: str, name: str) -> int:
+    """``extattr_delete(2)``: marshal arguments and enter the kernel layer."""
+    error, vp = vfs_ops.namei(td, path)
+    if error != 0:
+        return error
+    error = mac.mac_vnode_check_deleteextattr(td.td_ucred, vp, name)
+    if error != 0:
+        return error
+    return vfs_ops.VOP_DELETEEXTATTR(td, vp, name)
+
+
+def sys_extattr_list(td: Thread, path: str) -> Tuple[int, List[str]]:
+    """``extattr_list(2)``: marshal arguments and enter the kernel layer."""
+    error, vp = vfs_ops.namei(td, path)
+    if error != 0:
+        return error, []
+    error = mac.mac_vnode_check_listextattr(td.td_ucred, vp)
+    if error != 0:
+        return error, []
+    return vfs_ops.VOP_LISTEXTATTR(td, vp)
+
+
+def sys_acl_get(td: Thread, path: str) -> Tuple[int, List[str]]:
+    """``acl_get(2)``: marshal arguments and enter the kernel layer."""
+    error, vp = vfs_ops.namei(td, path)
+    if error != 0:
+        return error, []
+    error = mac.mac_vnode_check_getacl(td.td_ucred, vp)
+    if error != 0:
+        return error, []
+    return vfs_ops.VOP_GETACL(td, vp)
+
+
+def sys_acl_set(td: Thread, path: str, acl: List[str]) -> int:
+    """``acl_set(2)``: marshal arguments and enter the kernel layer."""
+    error, vp = vfs_ops.namei(td, path)
+    if error != 0:
+        return error
+    error = mac.mac_vnode_check_setacl(td.td_ucred, vp)
+    if error != 0:
+        return error
+    return vfs_ops.VOP_SETACL(td, vp, acl)
+
+
+def sys_acl_delete(td: Thread, path: str) -> int:
+    """``acl_delete(2)``: marshal arguments and enter the kernel layer."""
+    error, vp = vfs_ops.namei(td, path)
+    if error != 0:
+        return error
+    error = mac.mac_vnode_check_deleteacl(td.td_ucred, vp)
+    if error != 0:
+        return error
+    return vfs_ops.VOP_DELETEACL(td, vp)
+
+
+def sys_kldload(td: Thread, path: str) -> int:
+    """Load a kernel module — authorised by ``mac_kld_check_load``."""
+    error, vp = vfs_ops.vn_open(td, path, kind=vfs_ops.OPEN_AS_KLD)
+    if error != 0:
+        return error
+    tesla_site("M.kldload.prior-check", vp=vp)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# socket syscalls
+# ---------------------------------------------------------------------------
+
+
+def sys_socket(td: Thread, domain: int, so_type: int) -> Tuple[int, int]:
+    """``socket(2)``: marshal arguments and enter the kernel layer."""
+    error, so = net.socreate(domain, so_type, td)
+    if error != 0:
+        return error, -1
+    fp = File(f_data=so, f_ops=net.socketops, f_cred=td.td_ucred)
+    return 0, falloc(td, fp)
+
+
+def _sock_of(td: Thread, fd: int):
+    fp = fget(td, fd)
+    if fp is None or not isinstance(fp.f_data, net.Socket):
+        return None, None
+    return fp, fp.f_data
+
+
+def sys_bind(td: Thread, fd: int, addr: Any) -> int:
+    """``bind(2)``: marshal arguments and enter the kernel layer."""
+    fp, so = _sock_of(td, fd)
+    if so is None:
+        return EBADF
+    error = mac.mac_socket_check_bind(td.td_ucred, so, addr)
+    if error != 0:
+        return error
+    error = net.sobind(so, addr, td)
+    if error == 0:
+        td.td_proc.p_kernel.bound_sockets[addr] = so
+    return error
+
+
+def sys_listen(td: Thread, fd: int, backlog: int = 8) -> int:
+    """``listen(2)``: marshal arguments and enter the kernel layer."""
+    fp, so = _sock_of(td, fd)
+    if so is None:
+        return EBADF
+    error = mac.mac_socket_check_listen(td.td_ucred, so)
+    if error != 0:
+        return error
+    return net.solisten(so, backlog, td)
+
+
+def sys_connect(td: Thread, fd: int, addr: Any) -> int:
+    """Connect to a bound address over the loopback transport."""
+    fp, so = _sock_of(td, fd)
+    if so is None:
+        return EBADF
+    target = td.td_proc.p_kernel.bound_sockets.get(addr)
+    if target is None:
+        return EINVAL
+    error = mac.mac_socket_check_connect(td.td_ucred, so, addr)
+    if error != 0:
+        return error
+    return net.soconnect(so, target, td)
+
+
+def sys_accept(td: Thread, fd: int) -> Tuple[int, int]:
+    """``accept(2)``: marshal arguments and enter the kernel layer."""
+    fp, so = _sock_of(td, fd)
+    if so is None:
+        return EBADF, -1
+    error = mac.mac_socket_check_accept(td.td_ucred, so)
+    if error != 0:
+        return error, -1
+    error, newso = net.soaccept(so, td)
+    if error != 0:
+        return error, -1
+    newfp = File(f_data=newso, f_ops=net.socketops, f_cred=td.td_ucred)
+    return 0, falloc(td, newfp)
+
+
+def sys_send(td: Thread, fd: int, data: bytes) -> int:
+    """``send(2)``: marshal arguments and enter the kernel layer."""
+    fp, so = _sock_of(td, fd)
+    if so is None:
+        return EBADF
+    return fo_write(fp, data, td.td_ucred, 0, td)
+
+
+def sys_recv(td: Thread, fd: int) -> Tuple[int, bytes]:
+    """``recv(2)``: marshal arguments and enter the kernel layer."""
+    fp, so = _sock_of(td, fd)
+    if so is None:
+        return EBADF, b""
+    return fo_read(fp, 1 << 16, td.td_ucred, 0, td)
+
+
+def sys_setsockopt(td: Thread, fd: int, opt: int, value: Any = None) -> int:
+    """``setsockopt(2)``: marshal arguments and enter the kernel layer."""
+    fp, so = _sock_of(td, fd)
+    if so is None:
+        return EBADF
+    error = mac.mac_socket_check_setsockopt(td.td_ucred, so, opt)
+    if error != 0:
+        return error
+    tesla_site("MS.setsockopt.prior-check", so=so)
+    return 0
+
+
+def sys_getsockopt(td: Thread, fd: int, opt: int) -> Tuple[int, Any]:
+    """``getsockopt(2)``: marshal arguments and enter the kernel layer."""
+    fp, so = _sock_of(td, fd)
+    if so is None:
+        return EBADF, None
+    error = mac.mac_socket_check_getsockopt(td.td_ucred, so, opt)
+    if error != 0:
+        return error, None
+    tesla_site("MS.getsockopt.prior-check", so=so)
+    return 0, None
+
+
+def sys_sockstat(td: Thread, fd: int) -> Tuple[int, Dict[str, Any]]:
+    """``sockstat(2)``: marshal arguments and enter the kernel layer."""
+    fp, so = _sock_of(td, fd)
+    if so is None:
+        return EBADF, {}
+    error = mac.mac_socket_check_stat(td.td_ucred, so)
+    if error != 0:
+        return error, {}
+    tesla_site("MS.sockstat.prior-check", so=so)
+    return 0, {"id": so.so_id, "proto": so.so_proto.pr_name}
+
+
+def sys_select(td: Thread, fds: List[int], events: int = net.POLLIN) -> Tuple[int, List[int]]:
+    """``select(2)``: marshal arguments and enter the kernel layer."""
+    return sel.kern_select(td, fds, events)
+
+
+def sys_poll(td: Thread, fds: List[int], events: int = net.POLLIN) -> Tuple[int, Dict[int, int]]:
+    """``poll(2)``: marshal arguments and enter the kernel layer."""
+    return sel.kern_poll(td, fds, events)
+
+
+def sys_kqueue(td: Thread) -> Tuple[int, sel.Kqueue]:
+    """``kqueue(2)``: marshal arguments and enter the kernel layer."""
+    return sel.kern_kqueue(td)
+
+
+def sys_kevent(td: Thread, kq: sel.Kqueue, changes: List[sel.Kevent]) -> Tuple[int, List[int]]:
+    """``kevent(2)``: marshal arguments and enter the kernel layer."""
+    return sel.kern_kevent(td, kq, changes)
+
+
+# ---------------------------------------------------------------------------
+# process syscalls
+# ---------------------------------------------------------------------------
+
+
+def sys_setuid(td: Thread, uid: int) -> int:
+    """``setuid(2)``: marshal arguments and enter the kernel layer."""
+    return process.kern_setuid(td, uid)
+
+
+def sys_setgid(td: Thread, gid: int) -> int:
+    """``setgid(2)``: marshal arguments and enter the kernel layer."""
+    return process.kern_setgid(td, gid)
+
+
+def sys_kill(td: Thread, pid: int, signum: int) -> int:
+    """``kill(2)``: marshal arguments and enter the kernel layer."""
+    return process.kern_kill(td, pid, signum)
+
+
+def sys_ptrace(td: Thread, pid: int) -> int:
+    """``ptrace(2)``: marshal arguments and enter the kernel layer."""
+    return process.kern_ptrace(td, pid)
+
+
+def sys_rtprio_set(td: Thread, pid: int, prio: int) -> int:
+    """``rtprio_set(2)``: marshal arguments and enter the kernel layer."""
+    return process.kern_rtprio_set(td, pid, prio)
+
+
+def sys_rtprio_get(td: Thread, pid: int) -> Tuple[int, int]:
+    """``rtprio_get(2)``: marshal arguments and enter the kernel layer."""
+    return process.kern_rtprio_get(td, pid)
+
+
+def sys_sched_setparam(td: Thread, pid: int, prio: int) -> int:
+    """``sched_setparam(2)``: marshal arguments and enter the kernel layer."""
+    return process.kern_sched_setparam(td, pid, prio)
+
+
+def sys_sched_getparam(td: Thread, pid: int) -> Tuple[int, int]:
+    """``sched_getparam(2)``: marshal arguments and enter the kernel layer."""
+    return process.kern_sched_getparam(td, pid)
+
+
+def sys_sched_setscheduler(td: Thread, pid: int, policy: int, prio: int) -> int:
+    """``sched_setscheduler(2)``: marshal arguments and enter the kernel layer."""
+    return process.kern_sched_setscheduler(td, pid, policy, prio)
+
+
+def sys_cpuset_set(td: Thread, pid: int, setid: int) -> int:
+    """``cpuset_set(2)``: marshal arguments and enter the kernel layer."""
+    return process.kern_cpuset_set(td, pid, setid)
+
+
+def sys_cpuset_get(td: Thread, pid: int) -> Tuple[int, int]:
+    """``cpuset_get(2)``: marshal arguments and enter the kernel layer."""
+    return process.kern_cpuset_get(td, pid)
+
+
+def sys_wait4(td: Thread, pid: int) -> int:
+    """``wait4(2)``: marshal arguments and enter the kernel layer."""
+    return process.kern_wait(td, pid)
+
+
+def sys_fork(td: Thread):
+    """``fork(2)``: marshal arguments and enter the kernel layer."""
+    return process.kern_fork(td)
+
+
+def sys_execve(td: Thread, path: str) -> int:
+    """``execve(2)``: marshal arguments and enter the kernel layer."""
+    return process.kern_execve(td, path)
+
+
+def sys_procfs_read(td: Thread, pid: int, node: str) -> Tuple[int, bytes]:
+    """``procfs_read(2)``: marshal arguments and enter the kernel layer."""
+    p = process._find_proc(td, pid)
+    if p is None:
+        return EINVAL, b""
+    return procfs.procfs_read(td, p, node)
+
+
+def sys_procfs_write(td: Thread, pid: int, node: str, data: bytes) -> int:
+    """``procfs_write(2)``: marshal arguments and enter the kernel layer."""
+    p = process._find_proc(td, pid)
+    if p is None:
+        return EINVAL
+    return procfs.procfs_write(td, p, node, data)
+
+
+def sys_procfs_ctl(td: Thread, pid: int, command: str) -> int:
+    """``procfs_ctl(2)``: marshal arguments and enter the kernel layer."""
+    p = process._find_proc(td, pid)
+    if p is None:
+        return EINVAL
+    return procfs.procfs_ctl(td, p, command)
+
+
+# ---------------------------------------------------------------------------
+# dispatch
+# ---------------------------------------------------------------------------
+
+#: The system-call table (``sysent``).
+syscall_table: Dict[str, Callable] = {
+    "open": sys_open,
+    "close": sys_close,
+    "read": sys_read,
+    "write": sys_write,
+    "getdents": sys_getdents,
+    "stat": sys_stat,
+    "creat": sys_creat,
+    "mkdir": sys_mkdir,
+    "unlink": sys_unlink,
+    "rename": sys_rename,
+    "link": sys_link,
+    "symlink": sys_symlink,
+    "readlink": sys_readlink,
+    "chmod": sys_chmod,
+    "chown": sys_chown,
+    "utimes": sys_utimes,
+    "mmap": sys_mmap,
+    "revoke": sys_revoke,
+    "extattr_get": sys_extattr_get,
+    "extattr_set": sys_extattr_set,
+    "extattr_delete": sys_extattr_delete,
+    "extattr_list": sys_extattr_list,
+    "acl_get": sys_acl_get,
+    "acl_set": sys_acl_set,
+    "acl_delete": sys_acl_delete,
+    "kldload": sys_kldload,
+    "socket": sys_socket,
+    "bind": sys_bind,
+    "listen": sys_listen,
+    "connect": sys_connect,
+    "accept": sys_accept,
+    "send": sys_send,
+    "recv": sys_recv,
+    "setsockopt": sys_setsockopt,
+    "getsockopt": sys_getsockopt,
+    "sockstat": sys_sockstat,
+    "select": sys_select,
+    "poll": sys_poll,
+    "kqueue": sys_kqueue,
+    "kevent": sys_kevent,
+    "setuid": sys_setuid,
+    "setgid": sys_setgid,
+    "kill": sys_kill,
+    "ptrace": sys_ptrace,
+    "rtprio_set": sys_rtprio_set,
+    "rtprio_get": sys_rtprio_get,
+    "sched_setparam": sys_sched_setparam,
+    "sched_getparam": sys_sched_getparam,
+    "sched_setscheduler": sys_sched_setscheduler,
+    "cpuset_set": sys_cpuset_set,
+    "cpuset_get": sys_cpuset_get,
+    "wait4": sys_wait4,
+    "fork": sys_fork,
+    "execve": sys_execve,
+    "procfs_read": sys_procfs_read,
+    "procfs_write": sys_procfs_write,
+    "procfs_ctl": sys_procfs_ctl,
+}
+
+
+@instrumentable()
+def amd64_syscall(td: Thread, name: str, args: Tuple[Any, ...] = ()) -> Any:
+    """The syscall entry/exit — the «init»/«cleanup» bound of figure 9."""
+    handler = syscall_table.get(name)
+    if handler is None:
+        return ENOSYS
+    return handler(td, *args)
+
+
+@instrumentable()
+def trap_pfault(td: Thread, vp: Any) -> int:
+    """A page fault whose service requires file-system I/O.
+
+    Reads here happen *outside* any system call, so figure 7–style
+    assertions need a second temporal bound; this function is that bound.
+    The fault handler authorises the read itself (faults on a mapped file
+    re-check against the mapping credential), then reads via ``vn_rdwr``.
+    """
+    error = mac.mac_vnode_check_read(td.td_ucred, td.td_ucred, vp)
+    if error != 0:
+        return error
+    error, _ = vfs_ops.vn_rdwr(td, "read", vp, offset=0, length=4096)
+    return error

@@ -1,0 +1,95 @@
+"""The assembled kernel: boot state and the user-space entry point.
+
+:class:`KernelSystem` glues together the root filesystem, the process
+table and the syscall dispatcher.  It is the "machine" the benchmarks and
+use cases run against: ``kernel.syscall(td, "open", ("/etc/passwd",))``
+enters :func:`~repro.kernel.syscalls.amd64_syscall`, opening the temporal
+bound every ``TESLA_SYSCALL_PREVIOUSLY`` automaton lives within.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from .mac.framework import mac_framework
+from .mac.policy import MacPolicy
+from .syscalls import amd64_syscall
+from .types import Proc, Thread, Ucred, crget
+from .vfs.ufs import make_ufs_mount
+from .vfs.vnode import VDIR, VREG, Inode, Mount
+
+
+class KernelSystem:
+    """One booted kernel instance."""
+
+    def __init__(self) -> None:
+        self.rootfs: Mount = make_ufs_mount("ufs-root")
+        #: Bound socket addresses, the loopback "routing table".
+        self.bound_sockets: dict = {}
+        self.processes: List[Proc] = []
+        self.threads: List[Thread] = []
+        self.init_proc: Optional[Proc] = None
+        self._booted = False
+
+    # -- boot ---------------------------------------------------------------
+
+    def boot(self, populate: bool = True) -> Thread:
+        """Create init (pid ~100, uid 0) and optionally a standard tree."""
+        cred = crget(cr_uid=0, cr_gid=0, cr_label=10)
+        self.init_proc = Proc(cred, kernel=self, comm="init")
+        self.processes.append(self.init_proc)
+        td = Thread(self.init_proc)
+        self.threads.append(td)
+        if populate:
+            self._populate()
+        self._booted = True
+        return td
+
+    def _populate(self) -> None:
+        root = self.rootfs.root_inode
+        for name in ("etc", "bin", "tmp", "home", "boot"):
+            root.i_entries[name] = Inode(VDIR, i_mode=0o755)
+        etc = root.i_entries["etc"]
+        passwd = Inode(VREG, i_mode=0o644)
+        passwd.i_data = b"root:0:0\nuser:1001:1001\n"
+        etc.i_entries["passwd"] = passwd
+        motd = Inode(VREG, i_mode=0o644)
+        motd.i_data = b"welcome to the TESLA reproduction kernel\n"
+        etc.i_entries["motd"] = motd
+        bindir = root.i_entries["bin"]
+        sh = Inode(VREG, i_mode=0o755)
+        sh.i_data = b"#!ELF sh"
+        bindir.i_entries["sh"] = sh
+        passwd_tool = Inode(VREG, i_mode=0o4755, i_uid=0)  # setuid root
+        passwd_tool.i_data = b"#!ELF passwd"
+        bindir.i_entries["passwd"] = passwd_tool
+        boot = root.i_entries["boot"]
+        module = Inode(VREG, i_mode=0o600)
+        module.i_data = b"\x7fKLD mac_mls"
+        boot.i_entries["mac_mls.ko"] = module
+
+    # -- processes -----------------------------------------------------------
+
+    def spawn(
+        self, uid: int = 0, gid: int = 0, label: int = 10, comm: str = "proc"
+    ) -> Thread:
+        """Create a process with its own credential and return its thread."""
+        proc = Proc(crget(cr_uid=uid, cr_gid=gid, cr_label=label), kernel=self, comm=comm)
+        self.processes.append(proc)
+        td = Thread(proc)
+        self.threads.append(td)
+        return td
+
+    # -- entry ----------------------------------------------------------------
+
+    def syscall(self, td: Thread, name: str, args: Tuple[Any, ...] = ()) -> Any:
+        """Enter the kernel: the user-space trap into ``amd64_syscall``."""
+        return amd64_syscall(td, name, args)
+
+    # -- policy ----------------------------------------------------------------
+
+    def load_policy(self, policy: MacPolicy) -> None:
+        mac_framework.register(policy)
+
+    def unload_policy(self, policy: MacPolicy) -> None:
+        mac_framework.unregister(policy)

@@ -1,0 +1,188 @@
+"""Core kernel structures: credentials, processes, threads, files.
+
+A miniature analogue of the FreeBSD structures the paper's assertions talk
+about.  Field and structure names follow the originals (``ucred``,
+``proc``, ``thread``, ``file``, ``fileops``) so the assertions in
+:mod:`repro.kernel.assertions` read like the paper's figures.  Mutable
+structures derive from :class:`~repro.instrument.fields.TeslaStruct` so
+field assignments (``p_flag |= P_SUGID``) are observable events.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional
+
+from ..instrument.fields import TeslaStruct, instrumentable_struct
+
+# --------------------------------------------------------------------------
+# errno values (the subset the simulated kernel returns)
+# --------------------------------------------------------------------------
+
+EPERM = 1
+ENOENT = 2
+ESRCH = 3
+EBADF = 9
+EACCES = 13
+EEXIST = 17
+ENOTDIR = 20
+ELOOP = 62
+EISDIR = 21
+EINVAL = 22
+ENOSYS = 78
+
+# --------------------------------------------------------------------------
+# process flags
+# --------------------------------------------------------------------------
+
+#: Set when a process changed credentials; debuggers must honour it.
+P_SUGID = 0x0001
+#: Process is being traced.
+P_TRACED = 0x0002
+
+# --------------------------------------------------------------------------
+# vn_rdwr flags
+# --------------------------------------------------------------------------
+
+#: Internal I/O: MAC checks are intentionally skipped (figure 7).
+IO_NOMACCHECK = 0x0100
+IO_UNIT = 0x0001
+IO_APPEND = 0x0002
+
+# file open modes
+FREAD = 0x0001
+FWRITE = 0x0002
+FEXEC = 0x0004
+
+_pid_counter = itertools.count(100)
+_tid_counter = itertools.count(100000)
+
+
+@instrumentable_struct
+class Ucred(TeslaStruct):
+    """A credential (``struct ucred``): uid/gid plus a MAC label.
+
+    ``cr_label`` is an integer sensitivity level consumed by the sample
+    MLS-style policy in :mod:`repro.kernel.mac.policy` (higher = more
+    privileged).
+    """
+
+    TESLA_STRUCT_NAME = "ucred"
+
+    def __init__(self, cr_uid: int = 0, cr_gid: int = 0, cr_label: int = 0) -> None:
+        self.cr_uid = cr_uid
+        self.cr_gid = cr_gid
+        self.cr_label = cr_label
+        self.cr_ref = 1
+
+    def __repr__(self) -> str:
+        return f"<ucred uid={self.cr_uid} label={self.cr_label}>"
+
+
+def crget(cr_uid: int = 0, cr_gid: int = 0, cr_label: int = 0) -> Ucred:
+    """Allocate a credential."""
+    return Ucred(cr_uid=cr_uid, cr_gid=cr_gid, cr_label=cr_label)
+
+
+def crcopy(cred: Ucred) -> Ucred:
+    """Copy-on-write credential duplication."""
+    return Ucred(cr_uid=cred.cr_uid, cr_gid=cred.cr_gid, cr_label=cred.cr_label)
+
+
+@instrumentable_struct
+class Proc(TeslaStruct):
+    """A process (``struct proc``)."""
+
+    TESLA_STRUCT_NAME = "proc"
+
+    def __init__(self, cred: Ucred, kernel: "Any" = None, comm: str = "init") -> None:
+        self.p_pid = next(_pid_counter)
+        self.p_comm = comm
+        self.p_ucred = cred
+        self.p_flag = 0
+        self.p_kernel = kernel
+        self.p_fd: List[Optional["File"]] = []
+        self.p_children: List["Proc"] = []
+        #: POSIX real-time scheduling parameters (the rtsched facility).
+        self.p_rtprio = 0
+        #: CPU affinity set id (the CPUSET facility).
+        self.p_cpuset = 0
+
+    def __repr__(self) -> str:
+        return f"<proc {self.p_pid} {self.p_comm!r}>"
+
+
+@instrumentable_struct
+class Thread(TeslaStruct):
+    """A kernel thread (``struct thread``).
+
+    ``td_ucred`` is the *active* credential — the one MAC checks must use.
+    The cached per-file credential (``File.f_cred``) is the one the wrong-
+    credential bug passes instead.
+    """
+
+    TESLA_STRUCT_NAME = "thread"
+
+    def __init__(self, proc: Proc) -> None:
+        self.td_tid = next(_tid_counter)
+        self.td_proc = proc
+        self.td_ucred = proc.p_ucred
+        self.td_retval = 0
+
+    def __repr__(self) -> str:
+        return f"<thread {self.td_tid} of {self.td_proc!r}>"
+
+
+class Fileops:
+    """The per-file operations vector (``struct fileops``) — the first
+    layer of indirection in figure 3."""
+
+    __slots__ = ("fo_read", "fo_write", "fo_poll", "fo_close", "fo_kqfilter")
+
+    def __init__(
+        self,
+        fo_read: Optional[Callable] = None,
+        fo_write: Optional[Callable] = None,
+        fo_poll: Optional[Callable] = None,
+        fo_close: Optional[Callable] = None,
+        fo_kqfilter: Optional[Callable] = None,
+    ) -> None:
+        self.fo_read = fo_read
+        self.fo_write = fo_write
+        self.fo_poll = fo_poll
+        self.fo_close = fo_close
+        self.fo_kqfilter = fo_kqfilter
+
+
+@instrumentable_struct
+class File(TeslaStruct):
+    """An open file (``struct file``): data pointer, ops vector, and the
+    credential cached at open time (``f_cred``)."""
+
+    TESLA_STRUCT_NAME = "file"
+
+    def __init__(self, f_data: Any, f_ops: Fileops, f_cred: Ucred, f_flag: int = 0) -> None:
+        self.f_data = f_data
+        self.f_ops = f_ops
+        self.f_cred = f_cred
+        self.f_flag = f_flag
+        self.f_count = 1
+        self.f_offset = 0
+
+    def __repr__(self) -> str:
+        return f"<file data={self.f_data!r}>"
+
+
+def fo_poll(fp: File, events: int, active_cred: Ucred, td: Thread) -> int:
+    """The static inline dispatcher of figure 3: one indirection hop."""
+    return fp.f_ops.fo_poll(fp, events, active_cred, td)
+
+
+def fo_read(fp: File, uio: Any, active_cred: Ucred, flags: int, td: Thread) -> int:
+    """Dispatch a read through the file's operations vector."""
+    return fp.f_ops.fo_read(fp, uio, active_cred, flags, td)
+
+
+def fo_write(fp: File, uio: Any, active_cred: Ucred, flags: int, td: Thread) -> int:
+    """Dispatch a write through the file's operations vector."""
+    return fp.f_ops.fo_write(fp, uio, active_cred, flags, td)

@@ -1,0 +1,21 @@
+"""The virtual filesystem: vnodes, the VFS layer, and UFS/FFS."""
+
+from .ufs import UFS_VOPS, make_ufs_mount
+from .vfs_ops import namei, vn_open, vn_rdwr, vnops
+from .vnode import VDIR, VLNK, VNON, VREG, Inode, Mount, Vnode
+
+__all__ = [
+    "UFS_VOPS",
+    "make_ufs_mount",
+    "namei",
+    "vn_open",
+    "vn_rdwr",
+    "vnops",
+    "VDIR",
+    "VLNK",
+    "VNON",
+    "VREG",
+    "Inode",
+    "Mount",
+    "Vnode",
+]

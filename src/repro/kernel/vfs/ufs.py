@@ -1,0 +1,372 @@
+"""UFS/FFS: the filesystem-specific implementations behind the VFS.
+
+These are the *object implementations* in which the paper placed its
+``previously`` assertions: "frequently placed within object implementations
+(e.g., specific filesystems) but refer to checks in higher-level frameworks
+(e.g., the Virtual File System)".  Each operation carries a
+:func:`~repro.instrument.hooks.tesla_site` marker named after the MF
+assertion that governs it; the assertions themselves live in
+:mod:`repro.kernel.assertions`.
+
+The two figure 7 sites are reproduced exactly:
+
+* ``ufs_open`` expects that *one of* ``mac_kld_check_load``,
+  ``mac_vnode_check_exec`` or ``mac_vnode_check_open`` previously succeeded
+  for this vnode — open-like operations arrive via three different
+  authorisation paths.
+* ``ffs_read`` expects that the read was authorised by
+  ``mac_vnode_check_read`` — *unless* it is an internal read: one issued
+  from ``ufs_readdir`` (directories re-read their own data without passing
+  back through the VFS) or via ``vn_rdwr`` with ``IO_NOMACCHECK`` (how UFS
+  itself reads the extended attributes that implement ACLs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ...instrument.hooks import instrumentable, tesla_site
+from ..types import EACCES, EEXIST, EISDIR, ENOENT, ENOTDIR, IO_NOMACCHECK, Thread
+from .vnode import VDIR, VLNK, VREG, Inode, Mount, Vnode
+
+#: The extended attribute UFS stores POSIX.1e ACLs in.
+ACL_EXTATTR_NAME = "posix1e.acl_access"
+
+
+# ---------------------------------------------------------------------------
+# open / lookup
+# ---------------------------------------------------------------------------
+
+
+@instrumentable()
+def ufs_open(td: Thread, vp: Vnode, mode: int = 0) -> int:
+    """UFS open — figure 7's first assertion site."""
+    tesla_site("MF.ufs_open.prior-check", vp=vp)
+    vp.v_usecount = vp.v_usecount + 1
+    return 0
+
+
+@instrumentable()
+def ufs_lookup(td: Thread, dvp: Vnode, name: str) -> Tuple[int, Optional[Vnode]]:
+    """Resolve one path component inside a directory."""
+    tesla_site("MF.ufs_lookup.prior-check", dvp=dvp)
+    if dvp.v_type != VDIR:
+        return ENOTDIR, None
+    inode = dvp.v_data.i_entries.get(name)
+    if inode is None:
+        return ENOENT, None
+    return 0, dvp.v_mount.vget(inode)
+
+
+# ---------------------------------------------------------------------------
+# read / write (FFS, the on-disk layer)
+# ---------------------------------------------------------------------------
+
+
+@instrumentable()
+def ffs_read(td: Thread, vp: Vnode, offset: int, length: int, ioflag: int = 0) -> Tuple[int, bytes]:
+    """FFS read — figure 7's second assertion site.
+
+    Carries two sites for the same expectation under different temporal
+    bounds: reads within a system call and reads within a page-fault
+    handler ("file-system I/O initiated by virtual-memory page faults").
+    Whichever bound is not currently open simply ignores its site event.
+    """
+    tesla_site("MF.ffs_read.prior-check", vp=vp)
+    tesla_site("MF.ffs_read.pfault.prior-check", vp=vp)
+    inode = vp.v_data
+    if inode.i_type == VDIR:
+        # Directory "data": a rendering of its entries, as UFS stores
+        # directories as files containing dirents.
+        data = "\n".join(sorted(inode.i_entries)).encode()
+    else:
+        data = inode.i_data
+    return 0, data[offset : offset + length]
+
+
+@instrumentable()
+def ffs_write(td: Thread, vp: Vnode, offset: int, data: bytes, ioflag: int = 0) -> int:
+    """UFS ``write`` — carries this operation's MF assertion site."""
+    tesla_site("MF.ffs_write.prior-check", vp=vp)
+    inode = vp.v_data
+    if inode.i_type == VDIR:
+        return EISDIR
+    existing = inode.i_data
+    if offset > len(existing):
+        existing = existing + b"\x00" * (offset - len(existing))
+    inode.i_data = existing[:offset] + data + existing[offset + len(data):]
+    return 0
+
+
+@instrumentable()
+def ufs_readdir(td: Thread, dvp: Vnode) -> Tuple[int, List[str]]:
+    """List a directory.
+
+    Internally re-reads the directory's own data through :func:`ffs_read`
+    *without* passing back through the VFS — "one additional instance of
+    ufs_readdir occurs within the file system without passing back through
+    VFS" — which is why the ``ffs_read`` assertion allows the
+    ``incallstack(ufs_readdir)`` code path, exactly as figure 7 writes it.
+    """
+    tesla_site("MF.ufs_readdir.prior-check", dvp=dvp)
+    if dvp.v_type != VDIR:
+        return ENOTDIR, []
+    error, data = ffs_read(td, dvp, 0, 1 << 20)
+    if error != 0:
+        return error, []
+    names = [n for n in data.decode().split("\n") if n]
+    return 0, names
+
+
+# ---------------------------------------------------------------------------
+# namespace modification
+# ---------------------------------------------------------------------------
+
+
+@instrumentable()
+def ufs_create(td: Thread, dvp: Vnode, name: str, vtype: int = VREG, mode: int = 0o644) -> Tuple[int, Optional[Vnode]]:
+    """UFS ``create`` — carries this operation's MF assertion site."""
+    tesla_site("MF.ufs_create.prior-check", dvp=dvp)
+    if dvp.v_type != VDIR:
+        return ENOTDIR, None
+    if name in dvp.v_data.i_entries:
+        return EEXIST, None
+    inode = Inode(vtype, i_mode=mode, i_label=dvp.v_data.i_label)
+    dvp.v_data.i_entries[name] = inode
+    return 0, dvp.v_mount.vget(inode)
+
+
+@instrumentable()
+def ufs_remove(td: Thread, dvp: Vnode, name: str) -> int:
+    """UFS ``remove`` — carries this operation's MF assertion site."""
+    tesla_site("MF.ufs_remove.prior-check", dvp=dvp)
+    if name not in dvp.v_data.i_entries:
+        return ENOENT
+    del dvp.v_data.i_entries[name]
+    return 0
+
+
+@instrumentable()
+def ufs_rename(td: Thread, fdvp: Vnode, fname: str, tdvp: Vnode, tname: str) -> int:
+    """UFS ``rename`` — carries this operation's MF assertion site."""
+    tesla_site("MF.ufs_rename.prior-check", fdvp=fdvp, tdvp=tdvp)
+    inode = fdvp.v_data.i_entries.get(fname)
+    if inode is None:
+        return ENOENT
+    del fdvp.v_data.i_entries[fname]
+    tdvp.v_data.i_entries[tname] = inode
+    return 0
+
+
+@instrumentable()
+def ufs_link(td: Thread, dvp: Vnode, name: str, vp: Vnode) -> int:
+    """UFS ``link`` — carries this operation's MF assertion site."""
+    tesla_site("MF.ufs_link.prior-check", dvp=dvp, vp=vp)
+    if name in dvp.v_data.i_entries:
+        return EEXIST
+    dvp.v_data.i_entries[name] = vp.v_data
+    vp.v_data.i_nlink += 1
+    return 0
+
+
+@instrumentable()
+def ufs_symlink(td: Thread, dvp: Vnode, name: str, target: str) -> Tuple[int, Optional[Vnode]]:
+    """UFS ``symlink`` — carries this operation's MF assertion site."""
+    tesla_site("MF.ufs_symlink.prior-check", dvp=dvp)
+    error, vp = ufs_create(td, dvp, name, vtype=VLNK)
+    if error != 0:
+        return error, None
+    vp.v_data.i_target = target
+    return 0, vp
+
+
+@instrumentable()
+def ufs_readlink(td: Thread, vp: Vnode) -> Tuple[int, str]:
+    """UFS ``readlink`` — carries this operation's MF assertion site."""
+    tesla_site("MF.ufs_readlink.prior-check", vp=vp)
+    if vp.v_type != VLNK:
+        return ENOENT, ""
+    return 0, vp.v_data.i_target
+
+
+# ---------------------------------------------------------------------------
+# attributes
+# ---------------------------------------------------------------------------
+
+
+@instrumentable()
+def ufs_getattr(td: Thread, vp: Vnode) -> Tuple[int, Dict[str, Any]]:
+    """UFS ``getattr`` — carries this operation's MF assertion site."""
+    tesla_site("MF.ufs_getattr.prior-check", vp=vp)
+    inode = vp.v_data
+    return 0, {
+        "ino": inode.i_number,
+        "mode": inode.i_mode,
+        "uid": inode.i_uid,
+        "gid": inode.i_gid,
+        "size": len(inode.i_data),
+        "nlink": inode.i_nlink,
+        "type": inode.i_type,
+    }
+
+
+@instrumentable()
+def ufs_setmode(td: Thread, vp: Vnode, mode: int) -> int:
+    """UFS ``setmode`` — carries this operation's MF assertion site."""
+    tesla_site("MF.ufs_setmode.prior-check", vp=vp)
+    vp.v_data.i_mode = mode
+    return 0
+
+
+@instrumentable()
+def ufs_setowner(td: Thread, vp: Vnode, uid: int, gid: int) -> int:
+    """UFS ``setowner`` — carries this operation's MF assertion site."""
+    tesla_site("MF.ufs_setowner.prior-check", vp=vp)
+    vp.v_data.i_uid = uid
+    vp.v_data.i_gid = gid
+    return 0
+
+
+@instrumentable()
+def ufs_setutimes(td: Thread, vp: Vnode) -> int:
+    """UFS ``setutimes`` — carries this operation's MF assertion site."""
+    tesla_site("MF.ufs_setutimes.prior-check", vp=vp)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# extended attributes (also the storage layer for ACLs)
+# ---------------------------------------------------------------------------
+
+
+@instrumentable()
+def ufs_getextattr(td: Thread, vp: Vnode, name: str) -> Tuple[int, bytes]:
+    """UFS ``getextattr`` — carries this operation's MF assertion site."""
+    tesla_site("MF.ufs_getextattr.prior-check", vp=vp)
+    value = vp.v_data.i_extattrs.get(name)
+    if value is None:
+        return ENOENT, b""
+    return 0, value
+
+
+@instrumentable()
+def ufs_setextattr(td: Thread, vp: Vnode, name: str, value: bytes) -> int:
+    """UFS ``setextattr`` — carries this operation's MF assertion site."""
+    tesla_site("MF.ufs_setextattr.prior-check", vp=vp)
+    vp.v_data.i_extattrs[name] = value
+    return 0
+
+
+@instrumentable()
+def ufs_deleteextattr(td: Thread, vp: Vnode, name: str) -> int:
+    """UFS ``deleteextattr`` — carries this operation's MF assertion site."""
+    tesla_site("MF.ufs_deleteextattr.prior-check", vp=vp)
+    if name not in vp.v_data.i_extattrs:
+        return ENOENT
+    del vp.v_data.i_extattrs[name]
+    return 0
+
+
+@instrumentable()
+def ufs_listextattr(td: Thread, vp: Vnode) -> Tuple[int, List[str]]:
+    """UFS ``listextattr`` — carries this operation's MF assertion site."""
+    tesla_site("MF.ufs_listextattr.prior-check", vp=vp)
+    return 0, sorted(vp.v_data.i_extattrs)
+
+
+# ---------------------------------------------------------------------------
+# ACLs — implemented over extattrs, read with MAC checks disabled
+# ---------------------------------------------------------------------------
+
+
+@instrumentable()
+def ufs_getacl(td: Thread, vp: Vnode) -> Tuple[int, List[str]]:
+    """Read the POSIX.1e ACL.
+
+    UFS reads the backing extended attribute through the file-system
+    independent :func:`~repro.kernel.vfs.vfs_ops.vn_rdwr` with
+    ``IO_NOMACCHECK`` — the "used internally" path of figure 7, which the
+    ``ffs_read`` assertion must tolerate.
+    """
+    tesla_site("MF.ufs_getacl.prior-check", vp=vp)
+    from . import vfs_ops  # deferred: vfs_ops imports this module's ops table
+
+    raw = vp.v_data.i_extattrs.get(ACL_EXTATTR_NAME)
+    if raw is None:
+        return 0, []
+    # Touch the file data via the internal, MAC-exempt read path.
+    error, _ = vfs_ops.vn_rdwr(
+        td, "read", vp, offset=0, length=0, flags=IO_NOMACCHECK
+    )
+    if error != 0:
+        return error, []
+    return 0, [entry for entry in raw.decode().split(",") if entry]
+
+
+@instrumentable()
+def ufs_setacl(td: Thread, vp: Vnode, acl: List[str]) -> int:
+    """UFS ``setacl`` — carries this operation's MF assertion site."""
+    tesla_site("MF.ufs_setacl.prior-check", vp=vp)
+    vp.v_data.i_extattrs[ACL_EXTATTR_NAME] = ",".join(acl).encode()
+    return 0
+
+
+@instrumentable()
+def ufs_deleteacl(td: Thread, vp: Vnode) -> int:
+    """UFS ``deleteacl`` — carries this operation's MF assertion site."""
+    tesla_site("MF.ufs_deleteacl.prior-check", vp=vp)
+    vp.v_data.i_extattrs.pop(ACL_EXTATTR_NAME, None)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# mmap / revoke
+# ---------------------------------------------------------------------------
+
+
+@instrumentable()
+def ufs_mmap(td: Thread, vp: Vnode, prot: int = 0) -> int:
+    """UFS ``mmap`` — carries this operation's MF assertion site."""
+    tesla_site("MF.ufs_mmap.prior-check", vp=vp)
+    return 0
+
+
+@instrumentable()
+def ufs_revoke(td: Thread, vp: Vnode) -> int:
+    """UFS ``revoke`` — carries this operation's MF assertion site."""
+    tesla_site("MF.ufs_revoke.prior-check", vp=vp)
+    return 0
+
+
+#: The UFS VOP vector: the indirection VFS dispatches through (figure 3).
+UFS_VOPS: Dict[str, Any] = {
+    "open": ufs_open,
+    "lookup": ufs_lookup,
+    "read": ffs_read,
+    "write": ffs_write,
+    "readdir": ufs_readdir,
+    "create": ufs_create,
+    "remove": ufs_remove,
+    "rename": ufs_rename,
+    "link": ufs_link,
+    "symlink": ufs_symlink,
+    "readlink": ufs_readlink,
+    "getattr": ufs_getattr,
+    "setmode": ufs_setmode,
+    "setowner": ufs_setowner,
+    "setutimes": ufs_setutimes,
+    "getextattr": ufs_getextattr,
+    "setextattr": ufs_setextattr,
+    "deleteextattr": ufs_deleteextattr,
+    "listextattr": ufs_listextattr,
+    "getacl": ufs_getacl,
+    "setacl": ufs_setacl,
+    "deleteacl": ufs_deleteacl,
+    "mmap": ufs_mmap,
+    "revoke": ufs_revoke,
+}
+
+
+def make_ufs_mount(name: str = "ufs0") -> Mount:
+    """Create a fresh UFS filesystem instance."""
+    return Mount(name=name, v_op=UFS_VOPS)

@@ -1,0 +1,115 @@
+"""Vnodes and the in-memory filesystem objects behind them.
+
+A :class:`Vnode` is the VFS-level handle (``struct vnode``); the
+filesystem-specific state lives in an :class:`Inode` reached through
+``v_data``, and filesystem operations are reached through the ``v_op``
+vector — the same two layers of indirection figure 3 illustrates for
+sockets.  Vnodes are :class:`~repro.instrument.fields.TeslaStruct` so label
+and type changes are observable field-assignment events.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional
+
+from ...instrument.fields import TeslaStruct, instrumentable_struct
+
+# vnode types
+VNON = 0
+VREG = 1
+VDIR = 2
+VLNK = 3
+
+_ino_counter = itertools.count(2)  # inode 1 is reserved for the root
+
+
+class Inode:
+    """Filesystem-private per-file state (a UFS ``struct inode``)."""
+
+    __slots__ = (
+        "i_number",
+        "i_type",
+        "i_mode",
+        "i_uid",
+        "i_gid",
+        "i_label",
+        "i_data",
+        "i_entries",
+        "i_target",
+        "i_extattrs",
+        "i_nlink",
+    )
+
+    def __init__(
+        self,
+        i_type: int,
+        i_mode: int = 0o644,
+        i_uid: int = 0,
+        i_gid: int = 0,
+        i_label: int = 0,
+        i_number: Optional[int] = None,
+    ) -> None:
+        self.i_number = i_number if i_number is not None else next(_ino_counter)
+        self.i_type = i_type
+        self.i_mode = i_mode
+        self.i_uid = i_uid
+        self.i_gid = i_gid
+        self.i_label = i_label
+        #: Regular-file contents.
+        self.i_data = b""
+        #: Directory entries: name -> Inode.
+        self.i_entries: Dict[str, "Inode"] = {}
+        #: Symlink target path.
+        self.i_target = ""
+        #: Extended attributes: name -> bytes.  ACLs are stored here, as in
+        #: real UFS ("extended attributes … in implementing access-control
+        #: lists" — figure 7's surrounding discussion).
+        self.i_extattrs: Dict[str, bytes] = {}
+        self.i_nlink = 1
+
+
+@instrumentable_struct
+class Vnode(TeslaStruct):
+    """The VFS vnode: type, label, fs-private data and the op vector."""
+
+    TESLA_STRUCT_NAME = "vnode"
+
+    def __init__(self, inode: Inode, v_op: Dict[str, Callable], v_mount: Any = None) -> None:
+        self.v_type = inode.i_type
+        self.v_label = inode.i_label
+        self.v_data = inode
+        self.v_op = v_op
+        self.v_mount = v_mount
+        self.v_usecount = 0
+
+    def __repr__(self) -> str:
+        kinds = {VREG: "reg", VDIR: "dir", VLNK: "lnk", VNON: "non"}
+        return f"<vnode ino={self.v_data.i_number} {kinds.get(self.v_type, '?')}>"
+
+
+class Mount:
+    """A mounted filesystem: root inode plus a vnode cache.
+
+    The cache guarantees one vnode per inode, so TESLA variable bindings on
+    ``vp`` are stable across lookups — matching the kernel's vnode
+    identity semantics that the paper's per-``vp`` automaton instances
+    depend on.
+    """
+
+    def __init__(self, name: str, v_op: Dict[str, Callable]) -> None:
+        self.name = name
+        self.v_op = v_op
+        self.root_inode = Inode(VDIR, i_mode=0o755, i_number=1)
+        self._vnode_cache: Dict[int, Vnode] = {}
+
+    def vget(self, inode: Inode) -> Vnode:
+        vnode = self._vnode_cache.get(inode.i_number)
+        if vnode is None:
+            vnode = Vnode(inode, self.v_op, v_mount=self)
+            self._vnode_cache[inode.i_number] = vnode
+        return vnode
+
+    @property
+    def root(self) -> Vnode:
+        return self.vget(self.root_inode)

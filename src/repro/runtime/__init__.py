@@ -1,0 +1,54 @@
+"""libtesla — the run-time support library.
+
+Accepts streams of concrete program events and uses them to manage automata
+instances (create, clone, update, finalise), with global and per-thread
+stores, bounded preallocated instance pools, the lazy-initialisation
+optimisation of section 5.2.2, and a pluggable notification framework.
+"""
+
+from .instance import AutomatonInstance
+from .manager import BoundTracker, TeslaRuntime
+from .notify import (
+    CollectingHandler,
+    ErrorPolicy,
+    FailStop,
+    LogAndContinue,
+    Notification,
+    NotificationHub,
+    NotificationKind,
+    StderrDebugHandler,
+)
+from .perobject import (
+    ObjectInstrumentation,
+    ObjectMonitor,
+    instrument_object_assertion,
+)
+from .prealloc import DEFAULT_CAPACITY, InstancePool
+from .store import ClassRuntime, GlobalStore, PerThreadStores, Store
+from .update import handle_cleanup, handle_init, tesla_update_state
+
+__all__ = [
+    "AutomatonInstance",
+    "BoundTracker",
+    "TeslaRuntime",
+    "CollectingHandler",
+    "ErrorPolicy",
+    "FailStop",
+    "LogAndContinue",
+    "Notification",
+    "NotificationHub",
+    "NotificationKind",
+    "StderrDebugHandler",
+    "ObjectInstrumentation",
+    "ObjectMonitor",
+    "instrument_object_assertion",
+    "DEFAULT_CAPACITY",
+    "InstancePool",
+    "ClassRuntime",
+    "GlobalStore",
+    "PerThreadStores",
+    "Store",
+    "handle_cleanup",
+    "handle_init",
+    "tesla_update_state",
+]

@@ -1,0 +1,170 @@
+"""libtesla's pluggable event-notification framework (section 4.4.2).
+
+libtesla reports instance *initialisation*, *clones*, *updates*, *errors*
+and *finalisation* (automaton acceptance) to a set of handlers.  The default
+userspace behaviour prints to stderr when ``TESLA_DEBUG`` is set; mismatches
+between specification and behaviour "cause the program to fail-stop by
+default, but this is configurable at run-time".
+
+Handlers here receive :class:`Notification` records; the configured
+:class:`ErrorPolicy` decides whether a violation raises.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import TemporalAssertionError, TemporalViolation
+
+
+class NotificationKind(enum.Enum):
+    """Lifecycle notification kinds reported by libtesla (§4.4.2)."""
+    INIT = "init"
+    CLONE = "clone"
+    UPDATE = "update"
+    SITE = "site"
+    ERROR = "error"
+    FINALISE = "finalise"
+    IGNORED = "ignored"
+    OVERFLOW = "overflow"
+
+
+@dataclass(frozen=True)
+class Notification:
+    """One lifecycle notification from the runtime."""
+
+    kind: NotificationKind
+    automaton: str
+    instance_name: str = ""
+    binding: Tuple[Tuple[str, Any], ...] = ()
+    event: Optional[Any] = None
+    states: Tuple[int, ...] = ()
+    violation: Optional[TemporalViolation] = None
+    transition: Optional[Any] = None
+
+    def describe(self) -> str:
+        parts = [f"[{self.kind.value}] {self.automaton}"]
+        if self.instance_name:
+            parts.append(self.instance_name)
+        if self.states:
+            parts.append("states=" + ",".join(map(str, self.states)))
+        if self.event is not None and hasattr(self.event, "describe"):
+            parts.append("on " + self.event.describe())
+        if self.violation is not None:
+            parts.append(self.violation.describe())
+        return " ".join(parts)
+
+
+#: A handler receives every notification; it must not raise.
+Handler = Callable[[Notification], None]
+
+
+class StderrDebugHandler:
+    """The default userspace handler: print when ``TESLA_DEBUG`` is set.
+
+    The environment variable mirrors the paper; ``force`` bypasses it for
+    tests and examples.
+    """
+
+    def __init__(self, stream=None, force: bool = False) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.force = force
+
+    @property
+    def enabled(self) -> bool:
+        return self.force or bool(os.environ.get("TESLA_DEBUG"))
+
+    def __call__(self, notification: Notification) -> None:
+        if self.enabled:
+            print("tesla: " + notification.describe(), file=self.stream)
+
+
+class CollectingHandler:
+    """Keep every notification in memory — used by tests and introspection."""
+
+    def __init__(self) -> None:
+        self.notifications: List[Notification] = []
+
+    def __call__(self, notification: Notification) -> None:
+        self.notifications.append(notification)
+
+    def of_kind(self, kind: NotificationKind) -> List[Notification]:
+        return [n for n in self.notifications if n.kind is kind]
+
+    def clear(self) -> None:
+        self.notifications.clear()
+
+
+class ErrorPolicy:
+    """What to do when a temporal violation is detected."""
+
+    def on_violation(self, violation: TemporalViolation) -> None:
+        raise NotImplementedError
+
+
+class FailStop(ErrorPolicy):
+    """The default: raise :class:`TemporalAssertionError` immediately."""
+
+    def on_violation(self, violation: TemporalViolation) -> None:
+        raise TemporalAssertionError(violation)
+
+
+class LogAndContinue(ErrorPolicy):
+    """Record violations and keep running — the 'deployed' configuration."""
+
+    def __init__(self) -> None:
+        self.violations: List[TemporalViolation] = []
+
+    def on_violation(self, violation: TemporalViolation) -> None:
+        self.violations.append(violation)
+
+    def clear(self) -> None:
+        self.violations.clear()
+
+
+class NotificationHub:
+    """Fan-out of notifications to handlers plus violation accounting.
+
+    :attr:`detailed` tells the runtime whether anyone is listening for
+    routine lifecycle notifications (init/clone/update/ignored/finalise).
+    With only the default stderr handler attached and ``TESLA_DEBUG``
+    unset, the runtime skips constructing them entirely — the hot-path
+    equivalent of compiling out debug printouts.  ERROR notifications are
+    always delivered (the fail-stop policy depends on them).
+    """
+
+    def __init__(self, policy: Optional[ErrorPolicy] = None) -> None:
+        self._default_handler = StderrDebugHandler()
+        self.handlers: List[Handler] = [self._default_handler]
+        self.policy: ErrorPolicy = policy or FailStop()
+        self.counts: Dict[NotificationKind, int] = {k: 0 for k in NotificationKind}
+        self.detailed = self._compute_detailed()
+
+    def _compute_detailed(self) -> bool:
+        if len(self.handlers) > 1:
+            return True
+        return self._default_handler.enabled
+
+    def add_handler(self, handler: Handler) -> Handler:
+        self.handlers.append(handler)
+        self.detailed = self._compute_detailed()
+        return handler
+
+    def remove_handler(self, handler: Handler) -> None:
+        if handler in self.handlers:
+            self.handlers.remove(handler)
+        self.detailed = self._compute_detailed()
+
+    def emit(self, notification: Notification) -> None:
+        self.counts[notification.kind] += 1
+        for handler in self.handlers:
+            handler(notification)
+        if notification.kind is NotificationKind.ERROR and notification.violation:
+            self.policy.on_violation(notification.violation)
+
+    def reset_counts(self) -> None:
+        self.counts = {k: 0 for k in NotificationKind}

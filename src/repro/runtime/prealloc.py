@@ -1,0 +1,70 @@
+"""Bounded instance pools (section 4.4.1).
+
+"In the kernel we rely on preallocation to avoid dynamic allocation in code
+paths that do not permit it (e.g., while holding mutexes). … we preallocate
+a fixed-size memory block per thread, giving a deterministic memory
+footprint, and report overflows so that we can adjust preallocation size on
+the next run."
+
+Python has no mutex-unsafe allocator, so what matters — and what this module
+reproduces — is the *bounded, deterministic footprint with overflow
+reporting*: an :class:`InstancePool` holds at most ``capacity`` instances;
+insertions past the limit are dropped and counted, never silently grown.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from .instance import AutomatonInstance
+
+#: Matches libtesla's modest default; kernel configurations override it.
+DEFAULT_CAPACITY = 128
+
+
+class InstancePool:
+    """A fixed-capacity container of automaton instances."""
+
+    __slots__ = ("capacity", "_instances", "overflows", "high_water")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"pool capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._instances: List[AutomatonInstance] = []
+        #: Number of instances dropped because the pool was full.
+        self.overflows = 0
+        #: Largest simultaneous population — the number to size the next run.
+        self.high_water = 0
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def __iter__(self) -> Iterator[AutomatonInstance]:
+        return iter(self._instances)
+
+    def add(self, instance: AutomatonInstance) -> bool:
+        """Insert; returns False (and counts an overflow) when full."""
+        if len(self._instances) >= self.capacity:
+            self.overflows += 1
+            return False
+        self._instances.append(instance)
+        if len(self._instances) > self.high_water:
+            self.high_water = len(self._instances)
+        return True
+
+    def find(self, binding) -> Optional[AutomatonInstance]:
+        """The instance with exactly this binding, if present."""
+        for instance in self._instances:
+            if instance.same_binding(binding):
+                return instance
+        return None
+
+    def expunge(self) -> List[AutomatonInstance]:
+        """Remove and return every instance (the «cleanup» reset)."""
+        out = self._instances
+        self._instances = []
+        return out
+
+    def snapshot(self) -> List[AutomatonInstance]:
+        return list(self._instances)

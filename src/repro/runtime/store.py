@@ -1,0 +1,172 @@
+"""Automata stores: global and thread-local (sections 3.2, 4.4).
+
+libtesla "can store automata state in either a global or a thread-local
+store, as specified by the programmer".  Thread-local stores need no
+locking — event serialisation is implicit within a thread.  The global
+store provides explicit, lock-based serialisation whose cost figure 12
+measures: an event "cannot complete until its instrumentation hook has
+finished running", which commits the automaton to an event order consistent
+with actual behaviour.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, List, Optional
+
+from ..core.automaton import Automaton, Transition
+from ..errors import ContextError
+from .instance import AutomatonInstance
+from .prealloc import DEFAULT_CAPACITY, InstancePool
+
+
+class ClassRuntime:
+    """Per-store state for one automaton class.
+
+    ``active`` tracks whether the temporal bound is currently open;
+    ``pending`` is the lazy-initialisation flag (section 5.2.2): the bound
+    is open but the wildcard instance has not been materialised because no
+    relevant event has arrived yet.
+    """
+
+    __slots__ = (
+        "automaton",
+        "pool",
+        "active",
+        "pending",
+        "seen_epoch",
+        "lazy_binding",
+        "overflow_mark",
+        "transition_counts",
+        "errors",
+        "accepts",
+        "sites_reached",
+    )
+
+    def __init__(self, automaton: Automaton, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.automaton = automaton
+        self.pool = InstancePool(capacity)
+        self.active = False
+        self.pending = False
+        #: Last bound epoch this class joined (lazy mode, section 5.2.2).
+        self.seen_epoch = -1
+        #: Binding captured from the bound's entry event (eager mode).
+        self.lazy_binding: Dict[str, object] = {}
+        #: Pool overflow count when the current bound opened; a site miss
+        #: after further overflows is suppressed (the dropped instance may
+        #: have been the one that would have matched).
+        self.overflow_mark = 0
+        #: Transition → times taken; drives figure 9's weighted graphs.
+        self.transition_counts: Dict[Transition, int] = {}
+        self.errors = 0
+        self.accepts = 0
+        self.sites_reached = 0
+
+    def count_transition(self, transition: Transition) -> None:
+        self.transition_counts[transition] = (
+            self.transition_counts.get(transition, 0) + 1
+        )
+
+    def reset(self) -> None:
+        self.pool.expunge()
+        self.active = False
+        self.pending = False
+        self.seen_epoch = -1
+        self.lazy_binding = {}
+        self.overflow_mark = 0
+
+
+class Store:
+    """One store context: a set of automata classes and their instances."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.capacity = capacity
+        self._classes: Dict[str, ClassRuntime] = {}
+
+    def install(self, automaton: Automaton) -> ClassRuntime:
+        if automaton.name in self._classes:
+            existing = self._classes[automaton.name]
+            if existing.automaton is not automaton:
+                raise ContextError(
+                    f"automaton {automaton.name!r} already installed with a "
+                    f"different definition"
+                )
+            return existing
+        runtime = ClassRuntime(automaton, self.capacity)
+        self._classes[automaton.name] = runtime
+        return runtime
+
+    def get(self, name: str) -> Optional[ClassRuntime]:
+        return self._classes.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def __iter__(self) -> Iterator[ClassRuntime]:
+        return iter(self._classes.values())
+
+    @property
+    def names(self) -> List[str]:
+        return sorted(self._classes)
+
+    def reset(self) -> None:
+        for runtime in self._classes.values():
+            runtime.reset()
+
+
+class PerThreadStores:
+    """A :class:`Store` per thread, created on first use.
+
+    Keeps a registry of every thread's store so introspection (coverage,
+    weighted graphs) can merge counters after multi-threaded runs.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.capacity = capacity
+        self._local = threading.local()
+        self._all: List[Store] = []
+        self._all_lock = threading.Lock()
+        self._automata: List[Automaton] = []
+
+    def register(self, automaton: Automaton) -> None:
+        """Remember an automaton so stores created later include it."""
+        self._automata.append(automaton)
+        with self._all_lock:
+            for store in self._all:
+                store.install(automaton)
+
+    def current(self) -> Store:
+        store = getattr(self._local, "store", None)
+        if store is None:
+            store = Store(self.capacity)
+            for automaton in self._automata:
+                store.install(automaton)
+            self._local.store = store
+            with self._all_lock:
+                self._all.append(store)
+        return store
+
+    def all_stores(self) -> List[Store]:
+        with self._all_lock:
+            return list(self._all)
+
+    def reset(self) -> None:
+        with self._all_lock:
+            for store in self._all:
+                store.reset()
+
+
+class GlobalStore:
+    """The single cross-thread store, serialised by a lock (figure 12)."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.store = Store(capacity)
+        self.lock = threading.RLock()
+
+    def register(self, automaton: Automaton) -> None:
+        with self.lock:
+            self.store.install(automaton)
+
+    def reset(self) -> None:
+        with self.lock:
+            self.store.reset()

@@ -1,0 +1,414 @@
+"""``tesla_update_state`` — the transition engine at the heart of libtesla.
+
+Given one concrete program event and one automaton class, this module
+advances the class's instances through the lifecycle of section 4.4.1:
+
+«init»
+    The temporal bound's entry event activates the class and creates the
+    wildcard instance ``(∗)`` (eagerly, or lazily on first relevant event
+    when the section 5.2.2 optimisation is enabled).
+
+«clone»
+    An event that supplies a value for a free variable clones a named
+    instance which takes the transition; ``(∗)`` remains to spawn more.
+
+update
+    Instances step over *sets* of NFA states: states with an enabled
+    transition move, states without one stay (the default, non-strict
+    "ignore events that cannot advance" semantics; ``strict`` automata
+    instead treat an unconsumable referenced event as a violation).
+
+error
+    An assertion-site event that *no* instance can accept is a temporal
+    violation — e.g. the site names ``vp3`` but only ``(vp1)``/``(vp2)``
+    were ever checked.
+
+«cleanup»
+    The bound's exit event finalises the class: instances whose state set
+    enables a cleanup transition accept; instances that passed the
+    assertion site but did not discharge their remaining (``eventually``)
+    obligations are violations; instances that never reached the site are
+    discarded silently — the "bypass" behaviour for code paths that never
+    execute the assertion.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.automaton import Transition, TransitionKind
+from ..core.events import EventKind, RuntimeEvent
+from ..errors import TemporalViolation
+from .instance import AutomatonInstance
+from .notify import Notification, NotificationHub, NotificationKind
+from .store import ClassRuntime
+
+
+def _match_static(cr: ClassRuntime, event: RuntimeEvent, kind: TransitionKind):
+    """Match ``event`` against the class's init or cleanup symbol.
+
+    Returns the new-binding dict on match (usually empty — bound events are
+    static expressions), or None.
+    """
+    for t in cr.automaton.transitions:
+        if t.kind is not kind or t.symbol is None:
+            continue
+        got = cr.automaton.symbols[t.symbol].match(event, {})
+        if got is not None:
+            return t, got
+    return None, None
+
+
+def matches_init(cr: ClassRuntime, event: RuntimeEvent) -> bool:
+    """Whether the event opens this class's temporal bound."""
+    t, _ = _match_static(cr, event, TransitionKind.INIT)
+    return t is not None
+
+
+def matches_cleanup(cr: ClassRuntime, event: RuntimeEvent) -> bool:
+    """Whether the event closes this class's temporal bound."""
+    t, _ = _match_static(cr, event, TransitionKind.CLEANUP)
+    return t is not None
+
+
+def _materialise(cr: ClassRuntime, hub: NotificationHub, binding: Dict[str, Any]) -> None:
+    instance = AutomatonInstance(
+        automaton=cr.automaton,
+        states=cr.automaton.entry_states,
+        binding=binding,
+    )
+    if cr.pool.add(instance):
+        if hub.detailed:
+            hub.emit(
+                Notification(
+                    kind=NotificationKind.INIT,
+                    automaton=cr.automaton.name,
+                    instance_name=instance.name,
+                    binding=instance.binding_items(),
+                    states=tuple(sorted(instance.states)),
+                )
+            )
+    else:
+        hub.emit(
+            Notification(
+                kind=NotificationKind.OVERFLOW,
+                automaton=cr.automaton.name,
+                instance_name=instance.name,
+            )
+        )
+
+
+def handle_init(
+    cr: ClassRuntime, event: RuntimeEvent, hub: NotificationHub, lazy: bool
+) -> None:
+    """Open the temporal bound for this class."""
+    if cr.active:
+        # Re-entrant bound (recursive entry): libtesla ignores events until
+        # the next init *after* cleanup; a nested init is a no-op.
+        return
+    transition, binding = _match_static(cr, event, TransitionKind.INIT)
+    cr.active = True
+    cr.overflow_mark = cr.pool.overflows
+    cr.count_transition(transition)
+    if lazy:
+        cr.pending = True
+        cr.lazy_binding = dict(binding)
+    else:
+        _materialise(cr, hub, dict(binding))
+
+
+def handle_cleanup(
+    cr: ClassRuntime, event: RuntimeEvent, hub: NotificationHub
+) -> None:
+    """Close the temporal bound: finalise every instance and reset."""
+    if not cr.active:
+        return
+    transition, _ = _match_static(cr, event, TransitionKind.CLEANUP)
+    if transition is not None:
+        cr.count_transition(transition)
+    cr.active = False
+    cr.pending = False
+    for instance in cr.pool.expunge():
+        if instance.accepting_at_cleanup():
+            cr.accepts += 1
+            if hub.detailed:
+                hub.emit(
+                    Notification(
+                        kind=NotificationKind.FINALISE,
+                        automaton=cr.automaton.name,
+                        instance_name=instance.name,
+                        binding=instance.binding_items(),
+                        states=tuple(sorted(instance.states)),
+                    )
+                )
+        elif instance.saw_site:
+            cr.errors += 1
+            violation = TemporalViolation(
+                automaton=cr.automaton.name,
+                reason=(
+                    "temporal bound closed before the automaton accepted "
+                    "(an 'eventually' obligation was never discharged)"
+                ),
+                event=event,
+                binding=instance.binding_items(),
+            )
+            hub.emit(
+                Notification(
+                    kind=NotificationKind.ERROR,
+                    automaton=cr.automaton.name,
+                    instance_name=instance.name,
+                    binding=instance.binding_items(),
+                    event=event,
+                    violation=violation,
+                )
+            )
+        # else: never reached the assertion site — the bypass path.
+
+
+def _step(
+    cr: ClassRuntime,
+    instance: AutomatonInstance,
+    matched: List[Transition],
+    hub: NotificationHub,
+    event: RuntimeEvent,
+) -> bool:
+    """Advance one instance over its matched transitions.
+
+    Returns True if a site transition was taken.
+    """
+    if cr.automaton.strict:
+        # Strict stepping commits: states that cannot consume a referenced
+        # event are dropped (this is what makes XOR exclusive — taking one
+        # branch abandons the other's states).  Mirrors
+        # :func:`repro.core.determinize.nfa_step_strict`.
+        new_states = frozenset(t.dst for t in matched)
+    else:
+        moved_srcs = {t.src for t in matched}
+        new_states = frozenset(
+            {t.dst for t in matched} | (set(instance.states) - moved_srcs)
+        )
+    took_site = any(t.kind is TransitionKind.SITE for t in matched)
+    for t in matched:
+        cr.count_transition(t)
+    instance.states = new_states
+    if took_site:
+        instance.saw_site = True
+        cr.sites_reached += 1
+    if hub.detailed:
+        hub.emit(
+            Notification(
+                kind=NotificationKind.SITE if took_site else NotificationKind.UPDATE,
+                automaton=cr.automaton.name,
+                instance_name=instance.name,
+                binding=instance.binding_items(),
+                event=event,
+                states=tuple(sorted(new_states)),
+            )
+        )
+    return took_site
+
+
+def tesla_update_state(
+    cr: ClassRuntime,
+    event: RuntimeEvent,
+    hub: NotificationHub,
+    lazy: bool = True,
+) -> None:
+    """Process one event for one automaton class (body and site events).
+
+    Bound entry/exit events must be routed to :func:`handle_init` /
+    :func:`handle_cleanup` by the caller (the manager's dispatch loop).
+    """
+    automaton = cr.automaton
+    is_site_event = (
+        event.kind is EventKind.ASSERTION_SITE and event.name == automaton.name
+    )
+    if not cr.active:
+        # Outside the temporal bound libtesla "resumes ignoring events
+        # until the next «init»" (section 4.4.1) — even assertion-site
+        # events.  This is what lets the same code path carry sites for
+        # both syscall-bounded and page-fault–bounded assertions.
+        if hub.detailed:
+            hub.emit(
+                Notification(
+                    kind=NotificationKind.IGNORED,
+                    automaton=automaton.name,
+                    event=event,
+                )
+            )
+        return
+
+    if cr.pending:
+        # Lazy initialisation (section 5.2.2): the first relevant event
+        # after the bound opened materialises the wildcard instance.
+        cr.pending = False
+        _materialise(cr, hub, dict(cr.lazy_binding))
+
+    site_taken = False
+    any_progress = False
+    clones: List[AutomatonInstance] = []
+    for instance in cr.pool.snapshot():
+        matches = automaton.enabled(instance.states, event, instance.binding)
+        if not matches:
+            continue
+        # Split matches by the new bindings they would introduce.
+        empty: List[Transition] = []
+        extensions: List[Dict[str, Any]] = []
+        for transition, new in matches:
+            if new:
+                if not any(_same_binding(new, seen) for seen in extensions):
+                    extensions.append(new)
+            else:
+                empty.append(transition)
+        if empty:
+            any_progress = True
+            if _step(cr, instance, empty, hub, event):
+                site_taken = True
+        for extension in extensions:
+            merged = dict(instance.binding)
+            merged.update(extension)
+            if cr.pool.find(merged) is not None or any(
+                c.same_binding(merged) for c in clones
+            ):
+                # An instance with this exact binding already exists; the
+                # event is that instance's to consume, not a second clone's.
+                continue
+            clone = instance.clone(extension)
+            if hub.detailed:
+                hub.emit(
+                    Notification(
+                        kind=NotificationKind.CLONE,
+                        automaton=automaton.name,
+                        instance_name=clone.name,
+                        binding=clone.binding_items(),
+                        event=event,
+                        states=tuple(sorted(clone.states)),
+                    )
+                )
+            # The clone, fully bound, now steps on this event.
+            clone_matches = automaton.enabled(clone.states, event, clone.binding)
+            complete = [t for t, new in clone_matches if not new]
+            if complete:
+                any_progress = True
+                if _step(cr, clone, complete, hub, event):
+                    site_taken = True
+            clones.append(clone)
+    for clone in clones:
+        if not cr.pool.add(clone):
+            hub.emit(
+                Notification(
+                    kind=NotificationKind.OVERFLOW,
+                    automaton=automaton.name,
+                    instance_name=clone.name,
+                )
+            )
+
+    if is_site_event and not site_taken and _already_satisfied(cr, event):
+        # The assertion site can execute several times within one bound
+        # (e.g. sopoll once per polled descriptor): an instance that
+        # already passed the site with this binding satisfies later
+        # occurrences too — the paper's error is "no instance can be
+        # *found*", not "no transition was taken".
+        cr.sites_reached += 1
+        site_taken = True
+    if (
+        is_site_event
+        and not site_taken
+        and cr.pool.overflows > cr.overflow_mark
+    ):
+        # The pool overflowed during this bound: the instance that would
+        # have matched this site may be among the dropped ones.  The
+        # overflow was already reported (section 4.4.1: "report overflows
+        # so that we can adjust preallocation size on the next run");
+        # erroring here would be a false positive.
+        cr.sites_reached += 1
+        site_taken = True
+    if is_site_event and not site_taken:
+        cr.errors += 1
+        violation = TemporalViolation(
+            automaton=automaton.name,
+            reason=(
+                "no automaton instance could accept the assertion site "
+                "(the expected prior events never occurred with these values)"
+            ),
+            event=event,
+            binding=tuple(sorted(event.scope.items())),
+        )
+        hub.emit(
+            Notification(
+                kind=NotificationKind.ERROR,
+                automaton=automaton.name,
+                event=event,
+                violation=violation,
+            )
+        )
+    elif automaton.strict and not any_progress and automaton.references(event):
+        cr.errors += 1
+        violation = TemporalViolation(
+            automaton=automaton.name,
+            reason="strict automaton observed an event it cannot consume",
+            event=event,
+        )
+        hub.emit(
+            Notification(
+                kind=NotificationKind.ERROR,
+                automaton=automaton.name,
+                event=event,
+                violation=violation,
+            )
+        )
+    elif not any_progress and not clones and hub.detailed:
+        hub.emit(
+            Notification(
+                kind=NotificationKind.IGNORED,
+                automaton=automaton.name,
+                event=event,
+            )
+        )
+
+
+def _already_satisfied(cr: ClassRuntime, event: RuntimeEvent) -> bool:
+    """Whether an instance that already passed the site matches this
+    site occurrence's scope values.
+
+    This fixes the semantics of repeated site occurrences: temporal
+    obligations are *per bound (and per binding)*, not per occurrence.
+    For ``previously``, an instance whose prefix matched covers every
+    later site with the same binding; for ``eventually``, the first site
+    opens one obligation which a single later discharge satisfies — later
+    sites in the same bound ride along.  The property suite pins this down
+    against trace oracles (``tests/property/test_runtime_props.py`` and
+    ``test_eventually_props.py``)."""
+    site_variables: Tuple[str, ...] = ()
+    for t in cr.automaton.transitions:
+        if t.kind is TransitionKind.SITE and t.symbol is not None:
+            site_variables = cr.automaton.symbols[t.symbol].site_variables
+            break
+    for instance in cr.pool:
+        if not instance.saw_site:
+            continue
+        compatible = True
+        for name in site_variables:
+            if name not in event.scope:
+                continue
+            value = event.scope[name]
+            bound = instance.binding.get(name, _MISSING)
+            if bound is _MISSING or not (bound is value or bound == value):
+                compatible = False
+                break
+        if compatible:
+            return True
+    return False
+
+
+_MISSING = object()
+
+
+def _same_binding(a: Dict[str, Any], b: Dict[str, Any]) -> bool:
+    if set(a) != set(b):
+        return False
+    for key, value in a.items():
+        other = b[key]
+        if not (other is value or other == value):
+            return False
+    return True

@@ -1,0 +1,60 @@
+"""One-call monitoring sessions.
+
+Most users want exactly one thing: "check these assertions while this code
+runs".  :func:`monitoring` composes a :class:`~repro.runtime.manager.TeslaRuntime`
+and an :class:`~repro.instrument.module.Instrumenter` into a context
+manager::
+
+    with monitoring([assertion]) as runtime:
+        run_the_workload()
+    print(runtime.class_runtime(assertion.name).accepts)
+
+The instrumentation is fully removed on exit, even when the block raises
+(including on a fail-stop :class:`~repro.errors.TemporalAssertionError`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import types
+from typing import Iterable, Iterator, Optional, Sequence, Union
+
+from .core.ast import TemporalAssertion
+from .core.manifest import ProgramManifest
+from .instrument.module import Instrumenter
+from .runtime.manager import TeslaRuntime
+from .runtime.notify import ErrorPolicy
+
+
+@contextlib.contextmanager
+def monitoring(
+    assertions: Union[ProgramManifest, Sequence[TemporalAssertion]],
+    policy: Optional[ErrorPolicy] = None,
+    caller_modules: Sequence[types.ModuleType] = (),
+    objc_selectors: Iterable[str] = (),
+    lazy: bool = True,
+    capacity: Optional[int] = None,
+) -> Iterator[TeslaRuntime]:
+    """Instrument ``assertions`` for the duration of the ``with`` block.
+
+    Parameters mirror :class:`TeslaRuntime` and :class:`Instrumenter`:
+    ``policy`` selects fail-stop (default) or log-and-continue;
+    ``caller_modules`` enables caller-side weaving for uninstrumentable
+    callees; ``objc_selectors`` routes those names through the
+    interposition table; ``lazy=False`` selects the pre-optimisation
+    runtime (the figure 13 ablation); ``capacity`` bounds instance pools.
+    """
+    kwargs = {"lazy": lazy, "policy": policy}
+    if capacity is not None:
+        kwargs["capacity"] = capacity
+    runtime = TeslaRuntime(**kwargs)
+    session = Instrumenter(
+        runtime,
+        caller_modules=caller_modules,
+        objc_selectors=objc_selectors,
+    )
+    session.instrument(assertions)
+    try:
+        yield runtime
+    finally:
+        session.uninstrument()

@@ -1,0 +1,80 @@
+"""A miniature OpenSSL-like stack: libcrypto, libssl, s_server, libfetch.
+
+The substrate for the CVE-2008-5077 use case (section 3.5.1) and the
+figure 10 build-overhead experiment: a layered TLS-ish implementation whose
+tri-state ``EVP_VerifyFinal`` can be mishandled exactly as history did.
+"""
+
+from .asn1 import (
+    Asn1Error,
+    decode_dsa_signature,
+    encode_dsa_signature,
+    forge_bit_string_tag,
+)
+from .crypto import (
+    DsaKey,
+    DSA_generate_key,
+    DSA_sign,
+    DSA_verify,
+    EVP_SignFinal,
+    EVP_VerifyFinal,
+    EVP_VerifyInit,
+    EVP_VerifyUpdate,
+)
+from .fetch import VERIFY_ASSERTION, fetch_assertion, fetch_url
+from .libssl import (
+    KeyExchangeMessage,
+    Ssl,
+    SslError,
+    SSL_connect,
+    SSL_new,
+    SSL_read,
+    SSL_write,
+    ssl3_get_key_exchange,
+)
+from .server import SServer
+from .x509 import (
+    Certificate,
+    CertificateAuthority,
+    X509StoreCtx,
+    X509_verify_cert,
+    app_accepts_chain_buggy,
+    app_accepts_chain_fixed,
+    forge_certificate_signature,
+    issue_certificate,
+)
+
+__all__ = [
+    "Asn1Error",
+    "decode_dsa_signature",
+    "encode_dsa_signature",
+    "forge_bit_string_tag",
+    "DsaKey",
+    "DSA_generate_key",
+    "DSA_sign",
+    "DSA_verify",
+    "EVP_SignFinal",
+    "EVP_VerifyFinal",
+    "EVP_VerifyInit",
+    "EVP_VerifyUpdate",
+    "VERIFY_ASSERTION",
+    "fetch_assertion",
+    "fetch_url",
+    "KeyExchangeMessage",
+    "Ssl",
+    "SslError",
+    "SSL_connect",
+    "SSL_new",
+    "SSL_read",
+    "SSL_write",
+    "ssl3_get_key_exchange",
+    "SServer",
+    "Certificate",
+    "CertificateAuthority",
+    "X509StoreCtx",
+    "X509_verify_cert",
+    "app_accepts_chain_buggy",
+    "app_accepts_chain_fixed",
+    "forge_certificate_signature",
+    "issue_certificate",
+]

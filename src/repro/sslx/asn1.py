@@ -1,0 +1,129 @@
+"""A miniature ASN.1 DER codec.
+
+Just enough of DER for the CVE-2008-5077 reproduction: INTEGER, BIT STRING
+and SEQUENCE encoding/decoding with definite lengths.  The attack in the
+paper forges "an ASN.1 tag inside a DSA signature so that one of two large
+integers claimed to have the BIT STRING type rather than INTEGER", causing
+an exceptional (-1) failure inside libcrypto — so the codec must byte-
+accurately distinguish those tags and reject the mismatch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+TAG_INTEGER = 0x02
+TAG_BIT_STRING = 0x03
+TAG_OCTET_STRING = 0x04
+TAG_SEQUENCE = 0x30
+
+
+class Asn1Error(ValueError):
+    """Malformed DER, or an unexpected tag where a specific one is required."""
+
+
+def encode_length(length: int) -> bytes:
+    """DER length octets (short or long form)."""
+    if length < 0x80:
+        return bytes([length])
+    body = length.to_bytes((length.bit_length() + 7) // 8, "big")
+    return bytes([0x80 | len(body)]) + body
+
+
+def decode_length(data: bytes, offset: int) -> Tuple[int, int]:
+    """Returns (length, next_offset)."""
+    if offset >= len(data):
+        raise Asn1Error("truncated length")
+    first = data[offset]
+    if first < 0x80:
+        return first, offset + 1
+    n_bytes = first & 0x7F
+    if n_bytes == 0 or offset + 1 + n_bytes > len(data):
+        raise Asn1Error("bad long-form length")
+    value = int.from_bytes(data[offset + 1 : offset + 1 + n_bytes], "big")
+    return value, offset + 1 + n_bytes
+
+
+def encode_tlv(tag: int, value: bytes) -> bytes:
+    """One DER TLV: tag, length, value."""
+    return bytes([tag]) + encode_length(len(value)) + value
+
+
+def decode_tlv(data: bytes, offset: int = 0) -> Tuple[int, bytes, int]:
+    """Returns (tag, value, next_offset)."""
+    if offset >= len(data):
+        raise Asn1Error("truncated TLV")
+    tag = data[offset]
+    length, body_start = decode_length(data, offset + 1)
+    body_end = body_start + length
+    if body_end > len(data):
+        raise Asn1Error("value runs past end of data")
+    return tag, data[body_start:body_end], body_end
+
+
+def encode_integer(value: int) -> bytes:
+    """DER INTEGER: two's complement, minimal length, 0x00 pad for the
+    high bit of non-negative values."""
+    if value == 0:
+        return encode_tlv(TAG_INTEGER, b"\x00")
+    if value < 0:
+        raise Asn1Error("negative integers not needed by this codec")
+    body = value.to_bytes((value.bit_length() + 7) // 8, "big")
+    if body[0] & 0x80:
+        body = b"\x00" + body
+    return encode_tlv(TAG_INTEGER, body)
+
+
+def decode_integer(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Returns (value, next_offset); raises on a non-INTEGER tag.
+
+    This is the check the forged BIT STRING tag trips: DER decoding of a
+    signature INTEGER must fail *exceptionally*, not return "mismatch".
+    """
+    tag, body, next_offset = decode_tlv(data, offset)
+    if tag != TAG_INTEGER:
+        raise Asn1Error(f"expected INTEGER (0x02), got tag {tag:#04x}")
+    if not body:
+        raise Asn1Error("empty INTEGER body")
+    return int.from_bytes(body, "big"), next_offset
+
+
+def encode_sequence(parts: List[bytes]) -> bytes:
+    """DER SEQUENCE wrapping the given encoded parts."""
+    return encode_tlv(TAG_SEQUENCE, b"".join(parts))
+
+
+def decode_sequence(data: bytes, offset: int = 0) -> Tuple[bytes, int]:
+    """Returns (sequence body, next_offset); raises on a non-SEQUENCE tag."""
+    tag, body, next_offset = decode_tlv(data, offset)
+    if tag != TAG_SEQUENCE:
+        raise Asn1Error(f"expected SEQUENCE (0x30), got tag {tag:#04x}")
+    return body, next_offset
+
+
+def encode_dsa_signature(r: int, s: int) -> bytes:
+    """A DSA-Sig-Value: SEQUENCE of two INTEGERs."""
+    return encode_sequence([encode_integer(r), encode_integer(s)])
+
+
+def decode_dsa_signature(data: bytes) -> Tuple[int, int]:
+    """Decode ``SEQUENCE { r INTEGER, s INTEGER }``; strict on tags."""
+    body, _ = decode_sequence(data)
+    r, offset = decode_integer(body, 0)
+    s, offset = decode_integer(body, offset)
+    if offset != len(body):
+        raise Asn1Error("trailing bytes after DSA signature integers")
+    return r, s
+
+
+def forge_bit_string_tag(signature: bytes) -> bytes:
+    """The paper's attack: retag the *second* INTEGER of a DSA signature as
+    BIT STRING, leaving lengths and bytes otherwise intact."""
+    body, _ = decode_sequence(signature)
+    _, after_first = decode_integer(body, 0)
+    # Compute the second integer's absolute position within the signature.
+    header = len(signature) - len(body)
+    absolute = header + after_first
+    if signature[absolute] != TAG_INTEGER:
+        raise Asn1Error("second element is not an INTEGER; nothing to forge")
+    return signature[:absolute] + bytes([TAG_BIT_STRING]) + signature[absolute + 1 :]

@@ -1,0 +1,122 @@
+""""libcrypto": a toy DSA implementation behind the EVP verification API.
+
+This module plays the role of a library that *cannot be recompiled*: none
+of its functions are built instrumentable, so TESLA assertions about
+``EVP_VerifyFinal`` must use caller-side instrumentation — exactly the
+situation of section 4.2's caller/callee discussion and the figure 6 use
+case (an assertion in libfetch driving instrumentation "on either side of
+another library API, between OpenSSL's libssl and libcrypto").
+
+``EVP_VerifyFinal`` keeps OpenSSL's infamous tri-state contract:
+
+* ``1``  — signature verified;
+* ``0``  — signature did not verify;
+* ``-1`` — *exceptional* failure (e.g. the signature's DER is malformed).
+
+CVE-2008-5077 existed because callers conflated -1 with success by writing
+``if (!EVP_VerifyFinal(...))`` style checks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .asn1 import Asn1Error, decode_dsa_signature, encode_dsa_signature
+
+# A small, fixed DSA-like parameter set (toy sizes; the protocol shape is
+# what matters, not cryptographic strength).
+DSA_P = 0xE95E4A5F737059DC60DFC7AD95B3D8139515620F  # 160-bit prime
+DSA_Q = 0xF518AA8781A8DF278ABA4E7D64B7CB9D49462353  # used as modulus helper
+DSA_G = 2
+
+
+@dataclass
+class DsaKey:
+    """A DSA-style keypair (x private, y = g^x mod p public)."""
+
+    x: int
+    y: int
+
+    @property
+    def public(self) -> "DsaKey":
+        return DsaKey(x=0, y=self.y)
+
+
+def DSA_generate_key(seed: int = 0x1234_5678) -> DsaKey:
+    """Deterministic toy keypair from a seed."""
+    x = (seed * 0x9E3779B97F4A7C15 + 1) % (DSA_P - 2) + 1
+    y = pow(DSA_G, x, DSA_P)
+    return DsaKey(x=x, y=y)
+
+
+def _digest_to_int(digest: bytes) -> int:
+    return int.from_bytes(digest, "big") % DSA_P
+
+
+def DSA_sign(digest: bytes, key: DsaKey) -> bytes:
+    """Sign a digest, returning a DER ``SEQUENCE { r INTEGER, s INTEGER }``.
+
+    A deterministic Schnorr-style toy scheme with DSA's wire format:
+    k derived from digest+key, r = g^k mod p, s = k + x*e mod (p-1).
+    """
+    e = _digest_to_int(digest)
+    k = (e * 31 + key.x * 17 + 1) % (DSA_P - 2) + 1
+    r = pow(DSA_G, k, DSA_P)
+    s = (k + key.x * e) % (DSA_P - 1)
+    return encode_dsa_signature(r, s)
+
+
+def DSA_verify(digest: bytes, signature: bytes, key: DsaKey) -> int:
+    """1 = good, 0 = mismatch; raises :class:`Asn1Error` on malformed DER.
+
+    Verification: g^s == r * y^e (mod p).
+    """
+    r, s = decode_dsa_signature(signature)
+    e = _digest_to_int(digest)
+    lhs = pow(DSA_G, s, DSA_P)
+    rhs = (r * pow(key.y, e, DSA_P)) % DSA_P
+    return 1 if lhs == rhs else 0
+
+
+class EvpContext:
+    """``EVP_MD_CTX``: an incremental digest for sign/verify."""
+
+    def __init__(self) -> None:
+        self._hash = hashlib.sha256()
+        self.finalised = False
+
+    def update(self, data: bytes) -> None:
+        self._hash.update(data)
+
+    def digest(self) -> bytes:
+        return self._hash.digest()
+
+
+def EVP_VerifyInit() -> EvpContext:
+    """Begin an incremental verification digest."""
+    return EvpContext()
+
+
+def EVP_VerifyUpdate(ctx: EvpContext, data: bytes) -> int:
+    """Feed data into the verification digest."""
+    ctx.update(data)
+    return 1
+
+
+def EVP_VerifyFinal(ctx: EvpContext, sigbuf: bytes, siglen: int, pkey: DsaKey) -> int:
+    """The tri-state verification call at the heart of CVE-2008-5077."""
+    if siglen != len(sigbuf):
+        return -1
+    try:
+        return DSA_verify(ctx.digest(), sigbuf, pkey)
+    except Asn1Error:
+        # The exceptional failure: malformed DER (e.g. a forged BIT STRING
+        # tag where an INTEGER belongs) is an error, not a mismatch.
+        return -1
+
+
+def EVP_SignFinal(ctx: EvpContext, key: DsaKey) -> bytes:
+    """Sign the accumulated digest with the private key."""
+    return DSA_sign(ctx.digest(), key)

@@ -1,0 +1,63 @@
+""""libfetch": the HTTP-over-SSL client of the figure 6 use case.
+
+The library author, "on the day after CVE-2008-5077 was announced", wants
+to know whether the client is vulnerable — without inspecting all the code
+that might call libcrypto incorrectly.  The figure 6 assertion lives here:
+
+    within ``fetch_url``, previously
+    ``EVP_VerifyFinal(ANY, ANY, ANY, ANY) == 1``
+
+anchored at the :func:`~repro.instrument.hooks.tesla_site` reached once the
+document has been retrieved.  "The return value may not have been correctly
+checked, but if the function returns non-success, it will not satisfy the
+TESLA expression" — so a handshake accepted via the -1 confusion trips the
+assertion even though libssl raised no error.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.ast import Context, TemporalAssertion
+from ..core.dsl import ANY, fn, previously, tesla_within
+from ..instrument.hooks import instrumentable, tesla_site
+from .libssl import SSL_connect, SSL_new, SSL_read, SSL_shutdown, SSL_write
+from .server import SServer
+
+#: The figure 6 assertion name (and its site, below).
+VERIFY_ASSERTION = "libfetch.verify-finalised"
+
+
+def fetch_assertion() -> TemporalAssertion:
+    """Figure 6, transliterated: the key-exchange signature must have been
+    *successfully* verified before the fetched document is used."""
+    return tesla_within(
+        "fetch_url",
+        previously(
+            fn("EVP_VerifyFinal", ANY("ptr"), ANY("ptr"), ANY("int"), ANY("ptr")) == 1
+        ),
+        name=VERIFY_ASSERTION,
+        location="repro.sslx.fetch:fetch_url",
+        tags=("openssl", "cve-2008-5077"),
+    )
+
+
+@instrumentable()
+def fetch_url(server: SServer, path: str = "/index.html", strict_verify: bool = False) -> bytes:
+    """Retrieve a document over SSL; the paper's "simple client".
+
+    ``strict_verify=False`` selects the historically vulnerable check in
+    libssl — the configuration under test in section 3.5.1.
+    """
+    ssl = SSL_new(strict_verify=strict_verify)
+    SSL_connect(ssl, server)
+    SSL_write(ssl, f"GET {path} HTTP/1.0\r\n\r\n".encode())
+    response = SSL_read(ssl)
+    # The document is about to be *used*: if we get here, the connection
+    # must rest on a successfully verified key exchange.
+    tesla_site(VERIFY_ASSERTION)
+    SSL_shutdown(ssl)
+    header, _, body = response.partition(b"\r\n\r\n")
+    if not header.startswith(b"HTTP/1.0 200"):
+        raise IOError(f"fetch failed: {header!r}")
+    return body

@@ -1,0 +1,123 @@
+""""libssl": the TLS-ish handshake layer, including the vulnerable check.
+
+``ssl3_get_key_exchange`` is where CVE-2008-5077 lived: the server's
+key-exchange signature is verified with ``EVP_VerifyFinal``, whose
+*tri-state* return the vulnerable code mishandles::
+
+    vulnerable:  if (EVP_VerifyFinal(...))        # -1 is truthy → accepted!
+    fixed:       if (EVP_VerifyFinal(...) == 1)   # only 1 is success
+
+Both variants ship here, selected by ``Ssl.strict_verify``, so the use
+case can demonstrate detection on the vulnerable client and a clean pass
+on the fixed one.  ``EVP_VerifyFinal`` is imported from "libcrypto" — an
+uninstrumentable library — so TESLA hooks it *caller-side* by rewriting
+this module's binding (section 4.2).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+# Imported by name so caller-side instrumentation can rewrite the binding.
+from .crypto import DsaKey, EVP_VerifyFinal, EVP_VerifyInit, EVP_VerifyUpdate
+
+_conn_counter = itertools.count(1)
+
+
+class SslError(Exception):
+    """Handshake or record-layer failure."""
+
+
+@dataclass
+class KeyExchangeMessage:
+    """ServerKeyExchange: DH-style parameters plus their signature."""
+
+    params: bytes
+    signature: bytes
+
+
+@dataclass
+class Ssl:
+    """An SSL connection object (``SSL *``)."""
+
+    strict_verify: bool = True
+    state: str = "init"
+    client_random: bytes = b""
+    server_random: bytes = b""
+    peer_key: Optional[DsaKey] = None
+    session_key: bytes = b""
+    server: Any = None
+    conn_id: int = field(default_factory=lambda: next(_conn_counter))
+
+
+def SSL_new(strict_verify: bool = True) -> Ssl:
+    """Allocate a connection object; ``strict_verify`` picks the check."""
+    return Ssl(strict_verify=strict_verify)
+
+
+def _transcript(ssl: Ssl, params: bytes) -> bytes:
+    return ssl.client_random + ssl.server_random + params
+
+
+def ssl3_get_key_exchange(ssl: Ssl, message: KeyExchangeMessage) -> int:
+    """Process ServerKeyExchange; returns 1 on acceptance, raises on reject.
+
+    The verification-check bug is reproduced byte-for-byte in spirit: the
+    non-strict branch treats any non-zero return — including the
+    exceptional ``-1`` — as success.
+    """
+    ctx = EVP_VerifyInit()
+    EVP_VerifyUpdate(ctx, _transcript(ssl, message.params))
+    verify = EVP_VerifyFinal(ctx, message.signature, len(message.signature), ssl.peer_key)
+    if ssl.strict_verify:
+        accepted = verify == 1
+    else:
+        # CVE-2008-5077: "an exceptional failure ... incorrectly conflated
+        # with success by libssl client code."
+        accepted = verify != 0
+    if not accepted:
+        ssl.state = "error"
+        raise SslError(f"key exchange signature rejected (verify={verify})")
+    ssl.session_key = hashlib.sha256(message.params + b"session").digest()
+    return 1
+
+
+def SSL_connect(ssl: Ssl, server: Any) -> int:
+    """Run the client side of the handshake against an in-process server.
+
+    Returns 1 on success; raises :class:`SslError` on failure.
+    """
+    ssl.server = server
+    ssl.client_random = hashlib.sha256(f"client{ssl.conn_id}".encode()).digest()[:16]
+    hello = server.server_hello(ssl.client_random)
+    ssl.server_random = hello["server_random"]
+    ssl.peer_key = hello["certificate"]
+    message = server.server_key_exchange(ssl.client_random, ssl.server_random)
+    ssl3_get_key_exchange(ssl, message)
+    server.finish_handshake(ssl.conn_id, ssl.session_key)
+    ssl.state = "connected"
+    return 1
+
+
+def SSL_write(ssl: Ssl, data: bytes) -> int:
+    """Send application data over the connected session."""
+    if ssl.state != "connected":
+        raise SslError("write on unconnected SSL")
+    ssl.server.receive(ssl.conn_id, data)
+    return len(data)
+
+
+def SSL_read(ssl: Ssl) -> bytes:
+    """Receive the server's pending response."""
+    if ssl.state != "connected":
+        raise SslError("read on unconnected SSL")
+    return ssl.server.respond(ssl.conn_id)
+
+
+def SSL_shutdown(ssl: Ssl) -> int:
+    """Close the session."""
+    ssl.state = "closed"
+    return 0

@@ -1,0 +1,74 @@
+"""``s_server``: the TLS test server, with a malicious mode.
+
+"We modified the OpenSSL server to maliciously craft a key-exchange
+signature that would cause an exceptional failure" — :class:`SServer` with
+``malicious=True`` reproduces the attack: it signs the key exchange
+normally, then forges the ASN.1 tag of the signature's second INTEGER to
+BIT STRING, so honest verification fails *exceptionally* (-1) rather than
+cleanly (0).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Optional
+
+from .asn1 import forge_bit_string_tag
+from .crypto import (
+    DsaKey,
+    DSA_generate_key,
+    EVP_SignFinal,
+    EVP_VerifyInit,
+    EVP_VerifyUpdate,
+)
+from .libssl import KeyExchangeMessage
+
+
+class SServer:
+    """An in-process TLS-ish server serving one HTML document."""
+
+    def __init__(
+        self,
+        malicious: bool = False,
+        document: bytes = b"<html><body>hello over TLS</body></html>",
+        seed: int = 0xFEED_BEEF,
+    ) -> None:
+        self.malicious = malicious
+        self.document = document
+        self.key = DSA_generate_key(seed)
+        self.sessions: Dict[int, bytes] = {}
+        self._requests: Dict[int, bytes] = {}
+
+    # -- handshake ----------------------------------------------------------
+
+    def server_hello(self, client_random: bytes) -> Dict[str, Any]:
+        server_random = hashlib.sha256(b"server" + client_random).digest()[:16]
+        return {
+            "server_random": server_random,
+            "certificate": self.key.public,
+        }
+
+    def server_key_exchange(
+        self, client_random: bytes, server_random: bytes
+    ) -> KeyExchangeMessage:
+        params = hashlib.sha256(b"dh-params" + server_random).digest()
+        ctx = EVP_VerifyInit()  # sign and verify share the digest context
+        EVP_VerifyUpdate(ctx, client_random + server_random + params)
+        signature = EVP_SignFinal(ctx, self.key)
+        if self.malicious:
+            signature = forge_bit_string_tag(signature)
+        return KeyExchangeMessage(params=params, signature=signature)
+
+    def finish_handshake(self, conn_id: int, session_key: bytes) -> None:
+        self.sessions[conn_id] = session_key
+
+    # -- application data -----------------------------------------------------
+
+    def receive(self, conn_id: int, data: bytes) -> None:
+        self._requests[conn_id] = data
+
+    def respond(self, conn_id: int) -> bytes:
+        request = self._requests.get(conn_id, b"")
+        if request.startswith(b"GET "):
+            return b"HTTP/1.0 200 OK\r\n\r\n" + self.document
+        return b"HTTP/1.0 400 Bad Request\r\n\r\n"

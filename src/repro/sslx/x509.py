@@ -1,0 +1,150 @@
+"""X.509-style certificate chains and the figure 2 verification bug.
+
+The paper opens with a diff against OpenSSL's ``apps`` code::
+
+    - if (!reqfile && !X509_verify_cert(&xsc))
+    + if (!reqfile && X509_verify_cert(&xsc) <= 0)
+
+``X509_verify_cert`` is another tri-state API: 1 = chain verified, 0 = the
+chain does not verify, and a negative value on internal/parse errors.  An
+application testing the result with ``!`` treats the error case as
+success — the same class of bug as CVE-2008-5077, one layer up.
+
+This module provides a toy certificate, chain building/verification with
+the tri-state contract, and both the buggy and fixed application-level
+checks, so a TESLA assertion over ``X509_verify_cert == 1`` can catch the
+conflation exactly as figure 6's did for ``EVP_VerifyFinal``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .asn1 import Asn1Error, forge_bit_string_tag
+from .crypto import DsaKey, DSA_generate_key, DSA_sign, DSA_verify
+
+#: ``X509_verify_cert`` error returns (negative, like OpenSSL's
+#: X509_V_ERR... surfaced through the apps' conflation).
+X509_V_OK = 1
+X509_V_FAIL = 0
+X509_V_ERR = -1
+
+
+@dataclass
+class Certificate:
+    """A pared-down certificate: subject, issuer, key, issuer's signature."""
+
+    subject: str
+    issuer: str
+    public_key: DsaKey
+    signature: bytes = b""
+
+    def tbs_digest(self) -> bytes:
+        """Digest of the to-be-signed portion."""
+        body = f"{self.subject}|{self.issuer}|{self.public_key.y}".encode()
+        return hashlib.sha256(body).digest()
+
+
+def issue_certificate(
+    subject: str, subject_key: DsaKey, issuer: "CertificateAuthority"
+) -> Certificate:
+    """Create a certificate for ``subject`` signed by ``issuer``."""
+    certificate = Certificate(
+        subject=subject,
+        issuer=issuer.name,
+        public_key=subject_key.public,
+    )
+    certificate.signature = DSA_sign(certificate.tbs_digest(), issuer.key)
+    return certificate
+
+
+@dataclass
+class CertificateAuthority:
+    """A CA: a name, a keypair and a self-signed root certificate."""
+
+    name: str
+    key: DsaKey = field(default_factory=lambda: DSA_generate_key(0xCA))
+
+    def root_certificate(self) -> Certificate:
+        root = Certificate(
+            subject=self.name, issuer=self.name, public_key=self.key.public
+        )
+        root.signature = DSA_sign(root.tbs_digest(), self.key)
+        return root
+
+
+class X509StoreCtx:
+    """``X509_STORE_CTX``: the chain to verify plus trusted roots."""
+
+    def __init__(
+        self,
+        chain: Sequence[Certificate],
+        trusted: Sequence[Certificate],
+    ) -> None:
+        #: leaf first, root (or closest-to-root) last.
+        self.chain = list(chain)
+        self.trusted = list(trusted)
+        self.error: Optional[str] = None
+
+
+def X509_verify_cert(ctx: X509StoreCtx) -> int:
+    """Verify the chain; the tri-state of figure 2.
+
+    * ``1`` — every link verifies and terminates in a trusted root;
+    * ``0`` — a signature does not verify, or no trusted root is reached;
+    * negative — an *error* occurred (empty chain, malformed signature
+      DER), which buggy callers conflate with success via ``!``.
+    """
+    if not ctx.chain:
+        ctx.error = "empty chain"
+        return X509_V_ERR
+    try:
+        for child, parent in zip(ctx.chain, ctx.chain[1:]):
+            if child.issuer != parent.subject:
+                ctx.error = f"issuer mismatch at {child.subject}"
+                return X509_V_FAIL
+            if DSA_verify(child.tbs_digest(), child.signature, parent.public_key) != 1:
+                ctx.error = f"bad signature on {child.subject}"
+                return X509_V_FAIL
+        top = ctx.chain[-1]
+        for root in ctx.trusted:
+            if root.subject == top.issuer:
+                if DSA_verify(top.tbs_digest(), top.signature, root.public_key) == 1:
+                    return X509_V_OK
+                ctx.error = f"bad signature on {top.subject}"
+                return X509_V_FAIL
+        ctx.error = f"no trusted root for {top.issuer}"
+        return X509_V_FAIL
+    except Asn1Error as exc:
+        ctx.error = f"malformed certificate data: {exc}"
+        return X509_V_ERR
+
+
+def forge_certificate_signature(certificate: Certificate) -> Certificate:
+    """Retag the certificate signature's second INTEGER as BIT STRING —
+    the same attack as the key-exchange forgery, applied one layer up."""
+    return Certificate(
+        subject=certificate.subject,
+        issuer=certificate.issuer,
+        public_key=certificate.public_key,
+        signature=forge_bit_string_tag(certificate.signature),
+    )
+
+
+# ---------------------------------------------------------------------------
+# the application-level checks of figure 2
+# ---------------------------------------------------------------------------
+
+
+def app_accepts_chain_buggy(ctx: X509StoreCtx) -> bool:
+    """The pre-patch check: ``if (!X509_verify_cert(&xsc)) reject`` —
+    any non-zero return, *including errors*, is treated as acceptance."""
+    return bool(X509_verify_cert(ctx))
+
+
+def app_accepts_chain_fixed(ctx: X509StoreCtx) -> bool:
+    """The patched check: only a positive return is acceptance
+    (``X509_verify_cert(&xsc) <= 0`` rejects)."""
+    return X509_verify_cert(ctx) > 0

@@ -1,0 +1,47 @@
+"""Shared fixtures: global-registry hygiene between tests.
+
+The instrumentation layer keeps process-wide registries (hook points,
+assertion sites, field hooks, the interposition table) and the substrates
+keep process-wide switches (bug injection, MAC policies, procfs mount
+state, the cursor stack).  Every test runs against a clean slate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gui.cursor import NSCursor
+from repro.instrument.fields import field_registry
+from repro.instrument.hooks import hook_registry, site_registry
+from repro.instrument.interpose import interposition_table
+from repro.kernel.bugs import bugs
+from repro.kernel.mac.framework import mac_framework
+from repro.kernel.procfs import procfs_unmount
+from repro.runtime.manager import TeslaRuntime
+
+
+@pytest.fixture(autouse=True)
+def clean_global_state():
+    yield
+    hook_registry.detach_all()
+    site_registry.detach_all()
+    field_registry.detach_all()
+    interposition_table.clear()
+    bugs.disable_all()
+    mac_framework.unregister_all()
+    procfs_unmount()
+    NSCursor.reset_stack()
+
+
+@pytest.fixture
+def runtime() -> TeslaRuntime:
+    """A fresh lazy-mode runtime with the default fail-stop policy."""
+    return TeslaRuntime()
+
+
+@pytest.fixture
+def quiet_runtime() -> TeslaRuntime:
+    """A runtime that records violations instead of raising."""
+    from repro.runtime.notify import LogAndContinue
+
+    return TeslaRuntime(policy=LogAndContinue())

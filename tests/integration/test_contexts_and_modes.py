@@ -1,0 +1,150 @@
+"""Integration: store contexts (section 3.2) and runtime modes (5.2.2).
+
+Thread-local automata are isolated per thread; global automata serialise
+events across threads.  Lazy and eager runtimes must always agree on
+verdicts — the optimisation changes cost, never semantics.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.dsl import (
+    ANY,
+    call,
+    fn,
+    previously,
+    returnfrom,
+    tesla_global,
+    tesla_within,
+    var,
+)
+from repro.core.events import assertion_site_event, call_event, return_event
+from repro.instrument.hooks import instrumentable, tesla_site
+from repro.instrument.module import Instrumenter
+from repro.kernel import KernelSystem, assertion_sets, bugs, lmbench_open_close
+from repro.runtime.manager import TeslaRuntime
+from repro.runtime.notify import LogAndContinue
+
+
+@instrumentable(name="ctx_worker_op")
+def ctx_worker_op(item):
+    return 0
+
+
+@instrumentable(name="ctx_bound_fn")
+def ctx_bound_fn(item, do_op=True):
+    if do_op:
+        ctx_worker_op(item)
+    tesla_site("ctx.global-assert", item=item)
+    tesla_site("ctx.thread-assert", item=item)
+    return item
+
+
+def global_assertion():
+    return tesla_global(
+        call("ctx_bound_fn"),
+        returnfrom("ctx_bound_fn"),
+        previously(fn("ctx_worker_op", var("item")) == 0),
+        name="ctx.global-assert",
+    )
+
+
+def thread_assertion():
+    return tesla_within(
+        "ctx_bound_fn",
+        previously(fn("ctx_worker_op", var("item")) == 0),
+        name="ctx.thread-assert",
+    )
+
+
+class TestGlobalContext:
+    def test_multithreaded_global_monitoring(self):
+        policy = LogAndContinue()
+        runtime = TeslaRuntime(policy=policy)
+        with Instrumenter(runtime) as session:
+            session.instrument([global_assertion()])
+            threads = [
+                threading.Thread(target=ctx_bound_fn, args=(f"item{i}",))
+                for i in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not policy.violations
+
+    def test_global_automaton_lives_in_global_store(self):
+        runtime = TeslaRuntime()
+        runtime.install_assertion(global_assertion())
+        assert runtime.global_store.store.get("ctx.global-assert") is not None
+
+
+class TestThreadContext:
+    def test_threads_do_not_share_thread_local_state(self):
+        policy = LogAndContinue()
+        runtime = TeslaRuntime(policy=policy)
+        with Instrumenter(runtime) as session:
+            session.instrument([thread_assertion()])
+            results = []
+
+            def clean_worker():
+                ctx_bound_fn("ok")
+                results.append("clean")
+
+            def buggy_worker():
+                ctx_bound_fn("bad", do_op=False)
+                results.append("buggy")
+
+            threads = [
+                threading.Thread(target=clean_worker),
+                threading.Thread(target=buggy_worker),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        # Exactly the buggy thread's execution produced a violation.
+        assert len(policy.violations) == 1
+
+
+class TestLazyEagerEquivalence:
+    @pytest.mark.parametrize("lazy", [True, False])
+    def test_kernel_clean_runs_agree(self, lazy):
+        sets = assertion_sets()
+        runtime = TeslaRuntime(lazy=lazy, policy=LogAndContinue())
+        with Instrumenter(runtime) as session:
+            session.instrument(sets["M"])
+            kernel = KernelSystem()
+            td = kernel.boot()
+            lmbench_open_close(kernel, td, 10)
+        assert not runtime.hub.policy.violations
+
+    @pytest.mark.parametrize("lazy", [True, False])
+    def test_kernel_bug_detected_in_both_modes(self, lazy):
+        sets = assertion_sets()
+        runtime = TeslaRuntime(lazy=lazy, policy=LogAndContinue())
+        with Instrumenter(runtime) as session:
+            session.instrument(sets["M"])
+            kernel = KernelSystem()
+            td = kernel.boot()
+            with bugs.injected("kld_check_skipped"):
+                kernel.syscall(td, "kldload", ("/boot/mac_mls.ko",))
+        names = {v.automaton for v in runtime.hub.policy.violations}
+        assert "MF.ufs_open.prior-check" in names
+
+    def test_lazy_and_eager_reach_same_accept_counts(self):
+        def run(lazy):
+            runtime = TeslaRuntime(lazy=lazy)
+            runtime.install_assertion(thread_assertion())
+            for index in range(5):
+                runtime.handle_event(call_event("ctx_bound_fn", (index,)))
+                runtime.handle_event(return_event("ctx_worker_op", (index,), 0))
+                runtime.handle_event(
+                    assertion_site_event("ctx.thread-assert", {"item": index})
+                )
+                runtime.handle_event(return_event("ctx_bound_fn", (index,), index))
+            cr = runtime.class_runtime("ctx.thread-assert")
+            return cr.accepts, cr.errors, cr.sites_reached
+
+        assert run(True) == run(False)

@@ -1,0 +1,62 @@
+"""Smoke tests: every shipped example runs cleanly in a fresh process.
+
+Examples are the public-API contract; each must execute end to end with
+exit code 0.  Fresh subprocesses keep their global instrumentation state
+away from the test session's.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_inventory():
+    """At least the five documented walkthroughs ship."""
+    assert {
+        "quickstart.py",
+        "openssl_cve.py",
+        "mac_kernel_audit.py",
+        "gnustep_cursor_debug.py",
+        "weighted_automaton.py",
+        "future_work.py",
+    } <= set(EXAMPLES)
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs(example):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / example)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout  # every example narrates what it demonstrates
+
+
+def test_quickstart_output_shows_both_verdicts():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert "no violation" in result.stdout
+    assert "TESLA violation" in result.stdout
+
+
+def test_cve_example_detects():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "openssl_cve.py")],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert "libfetch.verify-finalised" in result.stdout
+    assert "NOT DETECTED" not in result.stdout

@@ -1,0 +1,155 @@
+"""Integration: free variables (paper section 7, implemented here).
+
+"TESLA assertions can refer to values in the current scope, but some
+temporal properties can only be described by binding events together with
+values that are no longer known … We intend to introduce free variables."
+
+In this reproduction a variable that never appears in the assertion
+site's scope is exactly such a *free* variable: it is bound by the first
+event that supplies it and checked against every later event, with the
+wildcard instance cloning per distinct value — so cross-event pairing
+properties (lock/unlock, open/free) work without the site knowing the
+value.
+"""
+
+import pytest
+
+from repro.core.dsl import fn, previously, tesla_within, tsequence, var
+from repro.errors import TemporalAssertionError
+from repro.instrument.hooks import instrumentable, tesla_site
+from repro.instrument.module import Instrumenter
+from repro.runtime.manager import TeslaRuntime
+from repro.runtime.notify import LogAndContinue
+
+
+@instrumentable(name="fv_lock")
+def fv_lock(mutex):
+    return 0
+
+
+@instrumentable(name="fv_unlock")
+def fv_unlock(mutex):
+    return 0
+
+
+def fv_commit():
+    """The critical operation: by now, some mutex must have gone through a
+    balanced lock/unlock — the site never learns *which* mutex."""
+    tesla_site("fv.lock-pairing")
+
+
+@instrumentable(name="fv_transaction")
+def fv_transaction(script):
+    """The temporal bound: one transaction's worth of locking protocol.
+
+    ``script`` is a list of ("lock"|"unlock"|"commit", mutex) steps.
+    """
+    for action, mutex in script:
+        if action == "lock":
+            fv_lock(mutex)
+        elif action == "unlock":
+            fv_unlock(mutex)
+        else:
+            fv_commit()
+    return len(script)
+
+
+def pairing_assertion():
+    # 'mutex' is free: it appears in events only, never in the site scope.
+    return tesla_within(
+        "fv_transaction",
+        previously(
+            tsequence(
+                fn("fv_lock", var("mutex")) == 0,
+                fn("fv_unlock", var("mutex")) == 0,
+            )
+        ),
+        name="fv.lock-pairing",
+    )
+
+
+class TestFreeVariablePairing:
+    def test_balanced_pair_passes(self, runtime):
+        with Instrumenter(runtime) as session:
+            session.instrument([pairing_assertion()])
+            fv_transaction(
+                [("lock", "a"), ("unlock", "a"), ("commit", None)]
+            )
+
+    def test_unlock_of_different_mutex_fails(self, runtime):
+        with Instrumenter(runtime) as session:
+            session.instrument([pairing_assertion()])
+            with pytest.raises(TemporalAssertionError):
+                fv_transaction(
+                    [("lock", "a"), ("unlock", "b"), ("commit", None)]
+                )
+
+    def test_unlock_before_lock_fails(self, runtime):
+        with Instrumenter(runtime) as session:
+            session.instrument([pairing_assertion()])
+            with pytest.raises(TemporalAssertionError):
+                fv_transaction(
+                    [("unlock", "a"), ("lock", "a"), ("commit", None)]
+                )
+
+    def test_any_one_of_many_mutexes_satisfies(self, runtime):
+        with Instrumenter(runtime) as session:
+            session.instrument([pairing_assertion()])
+            fv_transaction(
+                [
+                    ("lock", "a"),
+                    ("lock", "b"),
+                    ("unlock", "b"),  # b completes the pair; a stays held
+                    ("commit", None),
+                ]
+            )
+
+    def test_interleaved_pairs_tracked_independently(self, runtime):
+        """Per-value instance cloning: each mutex's protocol is tracked by
+        its own automaton instance, so interleavings are fine."""
+        with Instrumenter(runtime) as session:
+            session.instrument([pairing_assertion()])
+            fv_transaction(
+                [
+                    ("lock", "a"),
+                    ("lock", "b"),
+                    ("unlock", "a"),
+                    ("unlock", "b"),
+                    ("commit", None),
+                ]
+            )
+
+    def test_no_pair_at_all_fails(self, runtime):
+        with Instrumenter(runtime) as session:
+            session.instrument([pairing_assertion()])
+            with pytest.raises(TemporalAssertionError):
+                fv_transaction([("commit", None)])
+
+    def test_pairing_does_not_leak_across_transactions(self, runtime):
+        with Instrumenter(runtime) as session:
+            session.instrument([pairing_assertion()])
+            fv_transaction([("lock", "a"), ("unlock", "a"), ("commit", None)])
+            # The next transaction must establish its own pair.
+            with pytest.raises(TemporalAssertionError):
+                fv_transaction([("commit", None)])
+
+    def test_instances_cloned_per_value(self):
+        """Mid-bound, the pool holds the wildcard plus one clone per
+        distinct free-variable value — inspected by driving the bound's
+        entry/exit events directly so the pool can be read while open."""
+        from repro.core.events import call_event, return_event
+
+        policy = LogAndContinue()
+        runtime = TeslaRuntime(policy=policy)
+        with Instrumenter(runtime) as session:
+            session.instrument([pairing_assertion()])
+            runtime.handle_event(call_event("fv_transaction", ((),)))
+            fv_lock("a")
+            fv_lock("b")
+            fv_lock("c")
+            pool_size = len(runtime.class_runtime("fv.lock-pairing").pool)
+            fv_unlock("c")
+            fv_commit()
+            runtime.handle_event(return_event("fv_transaction", ((),), 0))
+        assert pool_size == 4  # (*) plus clones for a, b, c
+        assert not policy.violations

@@ -1,0 +1,112 @@
+"""Integration: the GNUstep use case (section 3.5.3).
+
+The figure 8 tracing assertion instruments every GUI selector through
+``objc_msgSend`` interposition; the resulting traces expose the cursor
+push/pop imbalance, and render-signature comparison exposes the new
+back-end's non-LIFO corruption.
+"""
+
+import pytest
+
+from repro.gui import (
+    NSCursor,
+    NewBackend,
+    OldBackend,
+    XneeReplayer,
+    all_selectors,
+    build_demo_window,
+    cursor_bug_scenario,
+    msg_send,
+    tracing_assertion,
+)
+from repro.instrument.interpose import interposition_table
+from repro.instrument.module import Instrumenter
+from repro.introspect.trace import TraceRecorder, sequence_histogram
+from repro.runtime.manager import TeslaRuntime
+
+
+@pytest.fixture
+def traced(runtime):
+    session = Instrumenter(runtime, objc_selectors=set(all_selectors()))
+    session.instrument([tracing_assertion()])
+    recorder = TraceRecorder()
+    interposition_table.install_wildcard(recorder.interposition_hook)
+    NSCursor.reset_stack()
+    yield recorder, runtime
+    interposition_table.clear()
+    session.uninstrument()
+
+
+class TestTracingInstrumentation:
+    def test_trace_captures_method_stream(self, traced):
+        recorder, runtime = traced
+        XneeReplayer(build_demo_window(OldBackend())).replay(1)
+        assert len(recorder.records) > 100
+        names = {r.name for r in recorder.records}
+        assert "drawWithFrame:inView:" in names
+        assert "hitTest:" in names
+
+    def test_atleast_zero_assertion_never_fails(self, traced):
+        recorder, runtime = traced
+        XneeReplayer(build_demo_window(OldBackend())).replay(2)
+        cr = runtime.class_runtime("gnustep.trace")
+        assert cr.errors == 0
+        assert cr.accepts > 0
+
+    def test_run_loop_is_the_temporal_bound(self, traced):
+        recorder, runtime = traced
+        window = build_demo_window(OldBackend())
+        from repro.gui.app import XEvent, run_loop_iteration
+
+        run_loop_iteration(window, [XEvent("motion", 5, 5)])
+        cr = runtime.class_runtime("gnustep.trace")
+        assert cr.accepts == 1
+
+
+class TestCursorBugDiagnosis:
+    def test_clean_ordering_trace_balances(self, traced):
+        recorder, runtime = traced
+        cursor_bug_scenario(build_demo_window(OldBackend()))
+        assert recorder.pairing_imbalance("push", "pop") == 0
+
+    def test_buggy_ordering_trace_shows_duplicate_push(self, traced):
+        recorder, runtime = traced
+        window = build_demo_window(OldBackend(), buggy_event_order=True)
+        depth = cursor_bug_scenario(window)
+        assert depth == 1
+        assert recorder.pairing_imbalance("push", "pop") == 1
+        unmatched = recorder.first_unmatched("push", "pop")
+        assert unmatched is not None and unmatched.name == "push"
+
+
+class TestBackendBugDiagnosis:
+    def test_signatures_differ_between_backends(self, traced):
+        recorder, runtime = traced
+        old_ctx = msg_send(build_demo_window(OldBackend()), "display")
+        new_window = build_demo_window(NewBackend())
+        new_ctx = msg_send(new_window, "display")
+        assert old_ctx.render_signature() != new_ctx.render_signature()
+        assert new_window.backend.misrestores > 0
+
+    def test_old_backend_rendering_reproducible(self, traced):
+        recorder, runtime = traced
+        a = msg_send(build_demo_window(OldBackend()), "display")
+        b = msg_send(build_demo_window(OldBackend()), "display")
+        assert a.render_signature() == b.render_signature()
+
+
+class TestProfilingOpportunity:
+    def test_histogram_reveals_save_restore_churn(self, traced):
+        recorder, runtime = traced
+        XneeReplayer(build_demo_window(OldBackend())).replay(2)
+        histogram = sequence_histogram(recorder.records, window=2)
+        # The delegated-drawing pattern dominates: cells immediately draw
+        # their interior after their frame.
+        assert histogram[("drawWithFrame:inView:", "drawInteriorWithFrame:inView:")] > 10
+
+    def test_save_restore_counts_visible(self, traced):
+        recorder, runtime = traced
+        XneeReplayer(build_demo_window(OldBackend())).replay(1)
+        saves = recorder.count("saveGraphicsState:", "send")
+        restores = recorder.count("restoreGraphicsState:", "send")
+        assert saves > 0 and saves == restores

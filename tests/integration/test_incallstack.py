@@ -1,0 +1,128 @@
+"""Integration: the ``incallstack`` operator (figure 7).
+
+``incallstack(fn)`` permits the assertion site only while ``fn``'s
+activation is live — and, crucially, *revokes* the permission when ``fn``
+returns, which ``previously(call(fn))`` cannot express.
+"""
+
+import pytest
+
+from repro.core.dsl import call, either, fn, incallstack, previously, tesla_within
+from repro.core.events import assertion_site_event, call_event, return_event
+from repro.errors import TemporalAssertionError
+from repro.instrument.hooks import instrumentable, tesla_site
+from repro.instrument.module import Instrumenter
+from repro.runtime.manager import TeslaRuntime
+from repro.runtime.notify import LogAndContinue
+
+
+@instrumentable(name="ics_reader")
+def ics_reader(do_site=True):
+    if do_site:
+        tesla_site("ics.inside-reader")
+    return 0
+
+
+@instrumentable(name="ics_helper")
+def ics_helper():
+    ics_reader()
+    return 0
+
+
+@instrumentable(name="ics_quiet_helper")
+def ics_quiet_helper():
+    ics_reader(do_site=False)
+    return 0
+
+
+@instrumentable(name="ics_bound")
+def ics_bound(script):
+    for step in script:
+        if step == "helper":
+            ics_helper()
+        elif step == "quiet-helper":
+            ics_quiet_helper()
+        elif step == "raw-site":
+            tesla_site("ics.inside-reader")
+    return len(script)
+
+
+def assertion():
+    return tesla_within(
+        "ics_bound",
+        previously(incallstack("ics_reader")),
+        name="ics.inside-reader",
+    )
+
+
+class TestInCallStack:
+    def test_site_inside_activation_passes(self, runtime):
+        with Instrumenter(runtime) as session:
+            session.instrument([assertion()])
+            ics_bound(["helper"])
+
+    def test_site_outside_any_activation_fails(self, runtime):
+        with Instrumenter(runtime) as session:
+            session.instrument([assertion()])
+            with pytest.raises(TemporalAssertionError):
+                ics_bound(["raw-site"])
+
+    def test_permission_revoked_after_return(self, runtime):
+        """The difference from previously(call(fn)): after the reader's
+        activation ends, a bare site in the same bound is a violation —
+        the earlier call does not grant lasting permission."""
+        with Instrumenter(runtime) as session:
+            session.instrument([assertion()])
+            with pytest.raises(TemporalAssertionError):
+                ics_bound(["quiet-helper", "raw-site"])
+
+    def test_satisfied_site_covers_later_occurrences(self, runtime):
+        """Per-bound obligation semantics: a site that *was* satisfied
+        inside the activation covers repeats in the same bound."""
+        with Instrumenter(runtime) as session:
+            session.instrument([assertion()])
+            ics_bound(["helper", "raw-site"])
+
+    def test_repeated_activations_each_permit(self, runtime):
+        with Instrumenter(runtime) as session:
+            session.instrument([assertion()])
+            ics_bound(["helper", "helper", "helper"])
+
+    def test_describe_matches_figure7_spelling(self):
+        assert "incallstack(ics_reader)" in assertion().describe()
+
+    def test_manifest_round_trip(self):
+        from repro.core.manifest import assertion_from_json, assertion_to_json
+
+        original = assertion()
+        assert assertion_from_json(assertion_to_json(original)) == original
+
+    def test_combines_with_or_branches(self, runtime):
+        """The figure 7 shape: inside the activation OR previously checked."""
+        combined = tesla_within(
+            "ics_bound",
+            previously(
+                either(
+                    incallstack("ics_reader"),
+                    fn("ics_check") == 0,
+                )
+            ),
+            name="ics.inside-reader",
+        )
+
+        @instrumentable(name="ics_check")
+        def ics_check():
+            return 0
+
+        policy = LogAndContinue()
+        runtime = TeslaRuntime(policy=policy)
+        with Instrumenter(runtime) as session:
+            session.instrument([combined])
+            ics_bound(["helper"])           # satisfied by the activation
+            runtime.handle_event(call_event("ics_bound", ((),)))
+            ics_check()                     # satisfied by the check...
+            runtime.handle_event(
+                assertion_site_event("ics.inside-reader", {})
+            )
+            runtime.handle_event(return_event("ics_bound", ((),), 0))
+        assert not policy.violations

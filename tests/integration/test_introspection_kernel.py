@@ -1,0 +1,134 @@
+"""Integration: the introspection stack over a live kernel run.
+
+Exercises the pluggable-handler framework end to end (section 4.4.2): the
+DTrace-style per-stack aggregator as the kernel's default handler, trace
+recording of automaton lifecycles, weighted-graph coverage across several
+assertions, and the pool high-water statistics that size preallocation
+"on the next run".
+"""
+
+import pytest
+
+from repro.instrument.module import Instrumenter
+from repro.introspect.aggregate import StackAggregator
+from repro.introspect.coverage import coverage_report
+from repro.introspect.trace import TraceRecorder
+from repro.introspect.weights import to_dot, weighted_graph
+from repro.kernel import (
+    KernelSystem,
+    assertion_sets,
+    build_workload,
+    lmbench_open_close,
+)
+from repro.runtime.manager import TeslaRuntime
+from repro.runtime.prealloc import DEFAULT_CAPACITY
+
+
+@pytest.fixture
+def instrumented_mf(runtime):
+    session = Instrumenter(runtime)
+    session.instrument(assertion_sets()["MF"])
+    kernel = KernelSystem()
+    td = kernel.boot()
+    yield kernel, td, runtime
+    session.uninstrument()
+
+
+class TestAggregatorAsDefaultHandler:
+    def test_transition_counts_per_automaton(self, instrumented_mf):
+        kernel, td, runtime = instrumented_mf
+        aggregator = StackAggregator(capture_stacks=True, stack_depth=6)
+        runtime.hub.add_handler(aggregator.notification_handler)
+        lmbench_open_close(kernel, td, 10)
+        runtime.hub.remove_handler(aggregator.notification_handler)
+        assert aggregator.total("MF.ufs_open.prior-check:site") == 10
+        assert aggregator.total("MF.ufs_open.prior-check:update") > 0
+
+    def test_distinct_stacks_distinguish_call_paths(self, instrumented_mf):
+        kernel, td, runtime = instrumented_mf
+        aggregator = StackAggregator(capture_stacks=True, stack_depth=8)
+        runtime.hub.add_handler(aggregator.notification_handler)
+        # Reach ufs_lookup's site through two different syscalls.
+        kernel.syscall(td, "open", ("/etc/passwd",))
+        kernel.syscall(td, "stat", ("/etc/passwd",))
+        runtime.hub.remove_handler(aggregator.notification_handler)
+        assert aggregator.distinct_stacks("MF.ufs_lookup.prior-check:site") >= 2
+
+
+class TestTraceOfAutomatonLifecycles:
+    def test_lifecycle_notifications_recorded(self, instrumented_mf):
+        kernel, td, runtime = instrumented_mf
+        recorder = TraceRecorder()
+        runtime.hub.add_handler(recorder.notification_handler)
+        lmbench_open_close(kernel, td, 3)
+        runtime.hub.remove_handler(recorder.notification_handler)
+        kinds = {r.kind for r in recorder.records}
+        assert "auto:init" in kinds
+        assert "auto:clone" in kinds
+        assert "auto:site" in kinds
+        assert "auto:finalise" in kinds
+
+    def test_detailed_flag_follows_handler_lifetime(self, instrumented_mf):
+        kernel, td, runtime = instrumented_mf
+        assert not runtime.hub.detailed
+        recorder = TraceRecorder()
+        runtime.hub.add_handler(recorder.notification_handler)
+        assert runtime.hub.detailed
+        runtime.hub.remove_handler(recorder.notification_handler)
+        assert not runtime.hub.detailed
+
+
+class TestWeightedCoverageAcrossSets:
+    def test_exercised_vs_dormant_automata(self, instrumented_mf):
+        kernel, td, runtime = instrumented_mf
+        build_workload(kernel, td, n_sources=3)
+        hot = weighted_graph(runtime, "MF.ufs_create.prior-check")
+        cold = weighted_graph(runtime, "MF.ufs_setacl.prior-check")
+        assert hot.coverage_ratio() == 1.0
+        assert cold.total_weight == 0 or cold.coverage_ratio() < 1.0
+
+    def test_dot_renders_for_every_mf_automaton(self, instrumented_mf):
+        kernel, td, runtime = instrumented_mf
+        lmbench_open_close(kernel, td, 2)
+        for name in sorted(runtime.automata):
+            dot = to_dot(weighted_graph(runtime, name))
+            assert dot.startswith("digraph")
+
+    def test_coverage_report_over_workload(self, instrumented_mf):
+        kernel, td, runtime = instrumented_mf
+        build_workload(kernel, td, n_sources=2)
+        report = coverage_report(runtime, assertion_sets()["MF"])
+        exercised = {c.name for c in report.exercised}
+        assert "MF.ufs_create.prior-check" in exercised
+        assert "MF.ffs_read.prior-check" in exercised
+        assert "MF.ufs_setacl.prior-check" not in exercised
+
+
+class TestPreallocationSizing:
+    def test_high_water_reports_needed_capacity(self, instrumented_mf):
+        """'report overflows so that we can adjust preallocation size on
+        the next run' — high_water is that number."""
+        kernel, td, runtime = instrumented_mf
+        build_workload(kernel, td, n_sources=5)
+        lookup = runtime.class_runtime("MF.ufs_lookup.prior-check")
+        assert 0 < lookup.pool.high_water <= DEFAULT_CAPACITY
+        assert lookup.pool.overflows == 0
+
+    def test_tiny_pool_overflows_are_counted_not_fatal(self):
+        runtime = TeslaRuntime(capacity=2)
+        session = Instrumenter(runtime)
+        session.instrument(assertion_sets()["MF"])
+        kernel = KernelSystem()
+        td = kernel.boot()
+        try:
+            # Deep path: many distinct dvp bindings per syscall overflow
+            # the 2-slot pool, but the workload keeps running.
+            kernel.syscall(td, "mkdir", ("/tmp/a",))
+            kernel.syscall(td, "mkdir", ("/tmp/a/b",))
+            kernel.syscall(td, "mkdir", ("/tmp/a/b/c",))
+            error, fd = kernel.syscall(td, "creat", ("/tmp/a/b/c/file",))
+            assert error == 0
+            lookup = runtime.class_runtime("MF.ufs_lookup.prior-check")
+            assert lookup.pool.overflows > 0
+        finally:
+            session.uninstrument()

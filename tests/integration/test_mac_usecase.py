@@ -1,0 +1,172 @@
+"""Integration: the kernel MAC use case (section 3.5.2).
+
+The full Table-1 assertion set instruments the simulated kernel; the clean
+kernel runs every workload without violations, and each injected bug is
+detected by exactly the assertion the paper describes.
+"""
+
+import pytest
+
+from repro.errors import TemporalAssertionError
+from repro.instrument.module import Instrumenter
+from repro.kernel import (
+    KernelSystem,
+    assertion_sets,
+    bugs,
+    build_workload,
+    full_exercise,
+    interprocess_test_suite,
+    lmbench_open_close,
+    oltp_workload,
+)
+from repro.kernel.net.select import Kevent
+from repro.kernel.net.socket import AF_INET, POLLIN, SOCK_STREAM
+from repro.runtime.manager import TeslaRuntime
+from repro.runtime.notify import LogAndContinue
+
+
+@pytest.fixture(scope="module")
+def sets():
+    return assertion_sets()
+
+
+@pytest.fixture
+def instrumented(runtime, sets):
+    session = Instrumenter(runtime)
+    session.instrument(sets["All"])
+    kernel = KernelSystem()
+    td = kernel.boot()
+    yield kernel, td, runtime
+    session.uninstrument()
+
+
+def listening_socket(kernel, td, port=700):
+    error, fd = kernel.syscall(td, "socket", (AF_INET, SOCK_STREAM))
+    assert error == 0
+    kernel.syscall(td, "bind", (fd, ("lo", port)))
+    kernel.syscall(td, "listen", (fd,))
+    return fd
+
+
+class TestCleanKernel:
+    def test_lmbench_clean(self, instrumented):
+        kernel, td, runtime = instrumented
+        lmbench_open_close(kernel, td, 30)
+
+    def test_oltp_clean(self, instrumented):
+        kernel, td, runtime = instrumented
+        server, client = kernel.spawn(comm="srv"), kernel.spawn(comm="cli")
+        oltp_workload(kernel, client, server, 5)
+
+    def test_build_clean(self, instrumented):
+        kernel, td, runtime = instrumented
+        build_workload(kernel, td, n_sources=4)
+
+    def test_full_exercise_clean(self, instrumented):
+        kernel, td, runtime = instrumented
+        results = full_exercise(kernel, td)
+        assert all(code == 0 for code in results.values())
+
+    def test_automata_actually_accepted(self, instrumented):
+        kernel, td, runtime = instrumented
+        lmbench_open_close(kernel, td, 5)
+        lookup = runtime.class_runtime("MF.ufs_lookup.prior-check")
+        assert lookup.accepts > 0
+
+
+class TestKqueueBug:
+    def test_kevent_detected(self, instrumented):
+        kernel, td, runtime = instrumented
+        fd = listening_socket(kernel, td)
+        error, kq = kernel.syscall(td, "kqueue", ())
+        with bugs.injected("kqueue_missing_mac_check"):
+            with pytest.raises(TemporalAssertionError) as info:
+                kernel.syscall(td, "kevent", (kq, [Kevent(fd, POLLIN)]))
+        assert "MS.sopoll.prior-check" in str(info.value)
+
+    def test_select_and_poll_unaffected(self, instrumented):
+        kernel, td, runtime = instrumented
+        fd = listening_socket(kernel, td, port=701)
+        with bugs.injected("kqueue_missing_mac_check"):
+            assert kernel.syscall(td, "select", ([fd], POLLIN))[0] == 0
+            assert kernel.syscall(td, "poll", ([fd], POLLIN))[0] == 0
+
+
+class TestWrongCredBug:
+    def test_poll_detected_when_creds_diverge(self, instrumented):
+        kernel, td, runtime = instrumented
+        fd = listening_socket(kernel, td, port=702)
+        kernel.syscall(td, "setuid", (0,))  # active cred now != f_cred
+        with bugs.injected("sopoll_wrong_cred"):
+            with pytest.raises(TemporalAssertionError) as info:
+                kernel.syscall(td, "poll", ([fd], POLLIN))
+        assert "MS.sopoll.prior-check" in str(info.value)
+
+    def test_poll_clean_when_creds_equal(self, instrumented):
+        kernel, td, runtime = instrumented
+        fd = listening_socket(kernel, td, port=703)
+        # No credential change: f_cred is the active cred, so even the
+        # buggy code path checks with the right credential object.
+        with bugs.injected("sopoll_wrong_cred"):
+            assert kernel.syscall(td, "poll", ([fd], POLLIN))[0] == 0
+
+
+class TestSugidBug:
+    def test_setuid_detected(self, instrumented):
+        kernel, td, runtime = instrumented
+        with bugs.injected("sugid_not_set"):
+            with pytest.raises(TemporalAssertionError) as info:
+                kernel.syscall(td, "setuid", (500,))
+        assert "P.setcred.sugid-eventually" in str(info.value)
+
+    def test_setuid_clean_without_bug(self, instrumented):
+        kernel, td, runtime = instrumented
+        assert kernel.syscall(td, "setuid", (501,)) == 0
+
+
+class TestKldBug:
+    def test_kldload_detected(self, instrumented):
+        kernel, td, runtime = instrumented
+        with bugs.injected("kld_check_skipped"):
+            with pytest.raises(TemporalAssertionError) as info:
+                kernel.syscall(td, "kldload", ("/boot/mac_mls.ko",))
+        assert "MF.ufs_open.prior-check" in str(info.value)
+
+    def test_kldload_clean_without_bug(self, instrumented):
+        kernel, td, runtime = instrumented
+        assert kernel.syscall(td, "kldload", ("/boot/mac_mls.ko",)) == 0
+
+
+class TestSubsetInstrumentation:
+    def test_ms_only_misses_sugid_bug(self, sets):
+        """Instrumenting only the socket assertions cannot catch the
+        process-lifetime bug — which assertions are enabled matters."""
+        runtime = TeslaRuntime(policy=LogAndContinue())
+        with Instrumenter(runtime) as session:
+            session.instrument(sets["MS"])
+            kernel = KernelSystem()
+            td = kernel.boot()
+            with bugs.injected("sugid_not_set"):
+                assert kernel.syscall(td, "setuid", (500,)) == 0
+        assert not runtime.hub.policy.violations
+
+
+class TestExtattrBug:
+    def test_syscall_extattr_read_detected(self, instrumented):
+        kernel, td, runtime = instrumented
+        kernel.syscall(td, "creat", ("/tmp/xbug",))
+        kernel.syscall(td, "extattr_set", ("/tmp/xbug", "user.k", b"v"))
+        with bugs.injected("extattr_wrong_check"):
+            with pytest.raises(TemporalAssertionError) as info:
+                kernel.syscall(td, "extattr_get", ("/tmp/xbug", "user.k"))
+        assert "MF.ufs_getextattr.prior-check" in str(info.value)
+
+    def test_internal_acl_path_still_exempt(self, instrumented):
+        """The ACL implementation's internal extattr access stays legal
+        under the bug — the enforcement difference is per code path."""
+        kernel, td, runtime = instrumented
+        kernel.syscall(td, "creat", ("/tmp/xacl",))
+        kernel.syscall(td, "acl_set", ("/tmp/xacl", ["u:root:rwx"]))
+        with bugs.injected("extattr_wrong_check"):
+            error, acl = kernel.syscall(td, "acl_get", ("/tmp/xacl",))
+        assert error == 0 and acl == ["u:root:rwx"]

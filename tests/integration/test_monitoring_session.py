@@ -1,0 +1,84 @@
+"""Integration: the one-call monitoring() session helper."""
+
+import pytest
+
+from repro import monitoring
+from repro.core.dsl import ANY, call, fn, previously, tesla_within, var
+from repro.core.manifest import UnitManifest, combine
+from repro.errors import TemporalAssertionError
+from repro.instrument.hooks import hook_registry, instrumentable, tesla_site
+from repro.runtime.notify import LogAndContinue
+
+
+@instrumentable(name="ms_check")
+def ms_check(item):
+    return 0
+
+
+@instrumentable(name="ms_bound")
+def ms_bound(item, check=True):
+    if check:
+        ms_check(item)
+    tesla_site("ms.session", item=item)
+    return item
+
+
+def assertion():
+    return tesla_within(
+        "ms_bound",
+        previously(fn("ms_check", var("item")) == 0),
+        name="ms.session",
+    )
+
+
+class TestMonitoring:
+    def test_clean_run_yields_runtime_with_counters(self):
+        with monitoring([assertion()]) as runtime:
+            ms_bound(1)
+            ms_bound(2)
+        assert runtime.class_runtime("ms.session").accepts == 2
+
+    def test_failstop_by_default(self):
+        with pytest.raises(TemporalAssertionError):
+            with monitoring([assertion()]):
+                ms_bound(1, check=False)
+
+    def test_uninstruments_even_after_failstop(self):
+        try:
+            with monitoring([assertion()]):
+                ms_bound(1, check=False)
+        except TemporalAssertionError:
+            pass
+        assert hook_registry.require("ms_bound").sinks is None
+        ms_bound(1, check=False)  # silent once outside the session
+
+    def test_log_and_continue_policy(self):
+        policy = LogAndContinue()
+        with monitoring([assertion()], policy=policy):
+            ms_bound(1, check=False)
+            ms_bound(2)
+        assert len(policy.violations) == 1
+
+    def test_accepts_program_manifest(self):
+        manifest = combine([UnitManifest(unit="u", assertions=[assertion()])])
+        with monitoring(manifest) as runtime:
+            ms_bound(3)
+        assert runtime.class_runtime("ms.session").accepts == 1
+
+    def test_eager_mode_option(self):
+        with monitoring([assertion()], lazy=False) as runtime:
+            ms_bound(4)
+        assert not runtime.lazy
+
+    def test_capacity_option(self):
+        with monitoring([assertion()], capacity=3) as runtime:
+            cr = runtime.class_runtime("ms.session")
+            assert cr.pool.capacity == 3
+
+    def test_sequential_sessions_do_not_interfere(self):
+        with monitoring([assertion()]) as first:
+            ms_bound(1)
+        with monitoring([assertion()]) as second:
+            ms_bound(2)
+        assert first is not second
+        assert second.class_runtime("ms.session").accepts == 1

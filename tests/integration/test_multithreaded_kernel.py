@@ -1,0 +1,139 @@
+"""Integration: concurrent syscall traffic under full instrumentation.
+
+The paper's kernel runs TESLA "always on" under multi-threaded load; here
+several threads hammer disjoint parts of the simulated kernel with all 96
+assertions installed.  Thread-local contexts keep their automata isolated,
+so a clean kernel must stay violation-free under arbitrary interleavings,
+and a bug injected on one thread's path must be caught on exactly that
+thread.
+"""
+
+import threading
+
+import pytest
+
+from repro.instrument.module import Instrumenter
+from repro.kernel import (
+    KernelSystem,
+    assertion_sets,
+    bugs,
+    lmbench_open_close,
+    oltp_workload,
+)
+from repro.runtime.manager import TeslaRuntime
+from repro.runtime.notify import LogAndContinue
+
+N_THREADS = 4
+ITERS = 30
+
+
+@pytest.fixture
+def instrumented():
+    policy = LogAndContinue()
+    runtime = TeslaRuntime(policy=policy)
+    session = Instrumenter(runtime)
+    session.instrument(assertion_sets()["All"])
+    kernel = KernelSystem()
+    kernel.boot()
+    yield kernel, runtime, policy
+    session.uninstrument()
+
+
+def run_threads(workers):
+    threads = [threading.Thread(target=worker) for worker in workers]
+    errors = []
+
+    def wrap(worker):
+        def run():
+            try:
+                worker()
+            except Exception as exc:  # pragma: no cover - diagnostic only
+                errors.append(exc)
+
+        return run
+
+    threads = [threading.Thread(target=wrap(worker)) for worker in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return errors
+
+
+class TestConcurrentClean:
+    def test_parallel_lmbench_threads(self, instrumented):
+        kernel, runtime, policy = instrumented
+
+        def make_worker():
+            td = kernel.spawn(comm="worker")
+            return lambda: lmbench_open_close(kernel, td, ITERS)
+
+        errors = run_threads([make_worker() for _ in range(N_THREADS)])
+        assert not errors
+        assert not policy.violations
+
+    def test_mixed_fs_and_socket_threads(self, instrumented):
+        kernel, runtime, policy = instrumented
+
+        def fs_worker():
+            td = kernel.spawn(comm="fs")
+
+            def work():
+                for index in range(ITERS):
+                    path = f"/tmp/t{td.td_tid}-{index}"
+                    error, fd = kernel.syscall(td, "creat", (path,))
+                    assert error == 0
+                    kernel.syscall(td, "write", (fd, b"data"))
+                    kernel.syscall(td, "close", (fd,))
+                    kernel.syscall(td, "stat", (path,))
+                    kernel.syscall(td, "unlink", (path,))
+
+            return work
+
+        def socket_worker():
+            server = kernel.spawn(comm="srv")
+            client = kernel.spawn(comm="cli")
+            return lambda: oltp_workload(kernel, client, server, 10)
+
+        errors = run_threads([fs_worker(), fs_worker(), socket_worker()])
+        assert not errors
+        assert not policy.violations
+
+    def test_per_thread_stores_created_per_worker(self, instrumented):
+        kernel, runtime, policy = instrumented
+
+        def make_worker():
+            td = kernel.spawn(comm="w")
+            return lambda: lmbench_open_close(kernel, td, 5)
+
+        run_threads([make_worker() for _ in range(3)])
+        runtimes = runtime.all_class_runtimes("MF.ufs_open.prior-check")
+        # One store per worker thread that touched the class (the main
+        # thread may or may not have).
+        assert len(runtimes) >= 3
+
+
+class TestConcurrentDetection:
+    def test_bug_on_one_thread_detected_once_per_offence(self, instrumented):
+        kernel, runtime, policy = instrumented
+        barrier = threading.Barrier(2)
+
+        def clean_worker():
+            td = kernel.spawn(comm="clean")
+            barrier.wait()
+            lmbench_open_close(kernel, td, ITERS)
+
+        def buggy_worker():
+            td = kernel.spawn(comm="buggy")
+            barrier.wait()
+            with bugs.injected("sugid_not_set"):
+                kernel.syscall(td, "setuid", (0,))
+
+        errors = run_threads([clean_worker, buggy_worker])
+        assert not errors
+        sugid = [
+            v
+            for v in policy.violations
+            if v.automaton == "P.setcred.sugid-eventually"
+        ]
+        assert len(sugid) == 1

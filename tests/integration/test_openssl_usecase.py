@@ -1,0 +1,69 @@
+"""Integration: the OpenSSL use case (section 3.5.1 / figure 6).
+
+A single temporal assertion in libfetch, instrumented caller-side across
+the libssl/libcrypto boundary, detects CVE-2008-5077 on a vulnerable
+client talking to a malicious server — without any change to OpenSSL.
+"""
+
+import pytest
+
+import repro.sslx.libssl as libssl_module
+from repro.errors import TemporalAssertionError
+from repro.instrument.module import Instrumenter
+from repro.runtime.manager import TeslaRuntime
+from repro.runtime.notify import LogAndContinue
+from repro.sslx import SServer, SslError, fetch_assertion, fetch_url
+
+
+@pytest.fixture
+def session(runtime):
+    instrumenter = Instrumenter(runtime, caller_modules=[libssl_module])
+    instrumenter.instrument([fetch_assertion()])
+    yield instrumenter
+    instrumenter.uninstrument()
+
+
+class TestHonestServer:
+    def test_vulnerable_client_passes(self, session):
+        body = fetch_url(SServer(), strict_verify=False)
+        assert b"hello" in body
+
+    def test_fixed_client_passes(self, session):
+        body = fetch_url(SServer(), strict_verify=True)
+        assert b"hello" in body
+
+    def test_repeated_fetches_pass(self, session):
+        server = SServer()
+        for _ in range(5):
+            fetch_url(server, strict_verify=False)
+
+
+class TestMaliciousServer:
+    def test_vulnerable_client_detected_by_tesla(self, session):
+        with pytest.raises(TemporalAssertionError) as info:
+            fetch_url(SServer(malicious=True), strict_verify=False)
+        assert "libfetch.verify-finalised" in str(info.value)
+
+    def test_fixed_client_fails_in_libssl_before_tesla(self, session):
+        with pytest.raises(SslError):
+            fetch_url(SServer(malicious=True), strict_verify=True)
+
+    def test_without_instrumentation_cve_is_silent(self):
+        body = fetch_url(SServer(malicious=True), strict_verify=False)
+        assert body  # the whole point: nothing notices
+
+
+class TestViolationDetail:
+    def test_violation_logged_with_context(self):
+        policy = LogAndContinue()
+        runtime = TeslaRuntime(policy=policy)
+        with Instrumenter(runtime, caller_modules=[libssl_module]) as session:
+            session.instrument([fetch_assertion()])
+            fetch_url(SServer(malicious=True), strict_verify=False)
+        assert len(policy.violations) == 1
+        assert policy.violations[0].automaton == "libfetch.verify-finalised"
+
+    def test_verify_final_observed_caller_side(self, session, runtime):
+        fetch_url(SServer(), strict_verify=False)
+        cr = runtime.class_runtime("libfetch.verify-finalised")
+        assert cr.accepts >= 1

@@ -1,0 +1,92 @@
+"""Integration: the page-fault temporal bound.
+
+Figure 7's checks "validate that across both system-call and page-fault
+paths, proper access control takes place": ``ffs_read`` carries two sites,
+one for the syscall-bounded assertion and one bounded by ``trap_pfault``.
+Whichever bound is closed simply ignores its site (section 4.4.1's
+resume-ignoring behaviour), so the same code path is covered under both.
+"""
+
+import pytest
+
+from repro.errors import TemporalAssertionError
+from repro.instrument.module import Instrumenter
+from repro.kernel import KernelSystem, assertion_sets
+from repro.kernel.syscalls import trap_pfault
+from repro.kernel.vfs import vfs_ops
+from repro.runtime.manager import TeslaRuntime
+from repro.runtime.notify import LogAndContinue
+
+
+@pytest.fixture
+def instrumented_mf(runtime):
+    session = Instrumenter(runtime)
+    session.instrument(assertion_sets()["MF"])
+    kernel = KernelSystem()
+    td = kernel.boot()
+    yield kernel, td, runtime
+    session.uninstrument()
+
+
+class TestPfaultPath:
+    def test_pfault_read_passes_with_check(self, instrumented_mf):
+        kernel, td, runtime = instrumented_mf
+        error, vp = vfs_ops.namei(td, "/etc/motd")
+        assert error == 0
+        assert trap_pfault(td, vp) == 0
+        cr = runtime.class_runtime("MF.ffs_read.pfault.prior-check")
+        assert cr.accepts == 1 and cr.errors == 0
+
+    def test_syscall_assertion_ignores_pfault_reads(self, instrumented_mf):
+        kernel, td, runtime = instrumented_mf
+        error, vp = vfs_ops.namei(td, "/etc/motd")
+        trap_pfault(td, vp)
+        # The syscall-bounded read assertion saw its site outside its
+        # bound and stayed silent.
+        cr = runtime.class_runtime("MF.ffs_read.prior-check")
+        assert cr.errors == 0
+
+    def test_pfault_assertion_ignores_syscall_reads(self, instrumented_mf):
+        kernel, td, runtime = instrumented_mf
+        error, fd = kernel.syscall(td, "open", ("/etc/motd",))
+        kernel.syscall(td, "read", (fd, 64))
+        pfault_cr = runtime.class_runtime("MF.ffs_read.pfault.prior-check")
+        assert pfault_cr.errors == 0
+        assert pfault_cr.sites_reached == 0  # its bound never opened
+        syscall_cr = runtime.class_runtime("MF.ffs_read.prior-check")
+        assert syscall_cr.sites_reached >= 1
+
+    def test_unauthorised_pfault_read_detected(self, instrumented_mf):
+        """A fault handler that skipped its own MAC check would trip the
+        pfault-bounded assertion.
+
+        The shipped :func:`trap_pfault` is correct, so the buggy variant is
+        re-enacted by opening the pfault bound with a raw event and reading
+        through the MAC-exempt path (``IO_NOMACCHECK`` skips ``vn_rdwr``'s
+        check; the pfault assertion, unlike the syscall one, accepts no
+        internal-read alternative).
+        """
+        kernel, td, runtime = instrumented_mf
+        error, vp = vfs_ops.namei(td, "/etc/motd")
+        from repro.core.events import call_event
+        from repro.kernel.types import IO_NOMACCHECK
+
+        runtime.handle_event(call_event("trap_pfault", (td, vp)))
+        with pytest.raises(TemporalAssertionError) as info:
+            vfs_ops.vn_rdwr(
+                td, "read", vp, offset=0, length=16, flags=IO_NOMACCHECK
+            )
+        assert "pfault" in str(info.value)
+
+    def test_mixed_syscall_and_pfault_traffic(self, instrumented_mf):
+        kernel, td, runtime = instrumented_mf
+        error, vp = vfs_ops.namei(td, "/etc/motd")
+        for _ in range(3):
+            error, fd = kernel.syscall(td, "open", ("/etc/motd",))
+            kernel.syscall(td, "read", (fd, 16))
+            kernel.syscall(td, "close", (fd,))
+            trap_pfault(td, vp)
+        syscall_cr = runtime.class_runtime("MF.ffs_read.prior-check")
+        pfault_cr = runtime.class_runtime("MF.ffs_read.pfault.prior-check")
+        assert syscall_cr.errors == 0 and pfault_cr.errors == 0
+        assert pfault_cr.accepts == 3

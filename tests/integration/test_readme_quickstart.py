@@ -1,0 +1,53 @@
+"""Doc fidelity: the README's quickstart block must actually run.
+
+The code fence under "## Quickstart" is extracted verbatim and executed;
+if the README drifts from the API, this test fails before a user does.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+import repro
+
+README = pathlib.Path(repro.__file__).parent.parent.parent / "README.md"
+
+
+def quickstart_block() -> str:
+    text = README.read_text()
+    section = text.split("## Quickstart", 1)[1]
+    match = re.search(r"```python\n(.*?)```", section, re.DOTALL)
+    assert match, "README quickstart python block missing"
+    return match.group(1)
+
+
+@pytest.fixture
+def unregister_quickstart_hooks():
+    """The block registers hook points by name; a second execution in the
+    same process must start from a clean registry."""
+    from repro.instrument.hooks import hook_registry
+
+    yield
+    hook_registry._unregister("security_check")
+    hook_registry._unregister("enclosing_fn")
+
+
+class TestReadmeQuickstart:
+    def test_block_executes_cleanly(self, unregister_quickstart_hooks):
+        code = quickstart_block()
+        namespace = {}
+        exec(compile(code, "README.md:quickstart", "exec"), namespace)
+        # The block ends with a passing instrumented call.
+        assert "enclosing_fn" in namespace
+
+    def test_block_detects_the_violation_variant(self, unregister_quickstart_hooks):
+        """The prose claims removing the check raises — verify it."""
+        code = quickstart_block().replace(
+            '    security_check("caller", obj, op)\n', ""
+        )
+        namespace = {}
+        from repro.errors import TemporalAssertionError
+
+        with pytest.raises(TemporalAssertionError):
+            exec(compile(code, "README.md:quickstart-buggy", "exec"), namespace)

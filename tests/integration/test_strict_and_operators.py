@@ -1,0 +1,101 @@
+"""Integration: strict mode and the OR/XOR distinction.
+
+"Finite-state automata model regular languages with sequences, repetition,
+and the exclusive-or operator.  In the assertion
+``previously(check(x) || check(y))``, it is not an error for both checks to
+be performed" — the ∨ cross-product exists precisely so that the inclusive
+reading survives.  Under *strict* monitoring the two operators become
+observably different: an XOR automaton commits to one branch and treats the
+other branch's event as unconsumable, while the OR product advances both
+components happily.
+"""
+
+import pytest
+
+from repro.core.dsl import (
+    call,
+    either,
+    one_of,
+    previously,
+    strictly,
+    tesla_within,
+    tsequence,
+)
+from repro.core.events import assertion_site_event, call_event, return_event
+from repro.runtime.manager import TeslaRuntime
+from repro.runtime.notify import LogAndContinue
+
+
+def run_trace(expression, events, name):
+    runtime = TeslaRuntime(policy=LogAndContinue())
+    runtime.install_assertion(
+        tesla_within("bound", expression, name=name)
+    )
+    runtime.handle_event(call_event("bound", ()))
+    for event_name in events:
+        if event_name == "SITE":
+            runtime.handle_event(assertion_site_event(name, {}))
+        else:
+            runtime.handle_event(call_event(event_name, ()))
+    runtime.handle_event(return_event("bound", (), 0))
+    cr = runtime.class_runtime(name)
+    return cr.errors, cr.accepts
+
+
+class TestInclusiveOrUnderStrict:
+    def test_both_branches_is_not_an_error(self):
+        expression = strictly(previously(either(call("ca"), call("cb"))))
+        errors, accepts = run_trace(expression, ["ca", "cb", "SITE"], "so1")
+        assert errors == 0
+        assert accepts == 1
+
+    def test_either_order_accepted(self):
+        expression = strictly(previously(either(call("ca"), call("cb"))))
+        errors, accepts = run_trace(expression, ["cb", "ca", "SITE"], "so2")
+        assert errors == 0
+
+
+class TestExclusiveOrUnderStrict:
+    def test_single_branch_accepted(self):
+        expression = strictly(previously(one_of(call("ca"), call("cb"))))
+        errors, accepts = run_trace(expression, ["ca", "SITE"], "sx1")
+        assert errors == 0
+        assert accepts == 1
+
+    def test_second_branch_event_is_a_strict_violation(self):
+        """After committing to branch a, branch b's event cannot advance
+        any state — exactly what strict mode flags."""
+        expression = strictly(previously(one_of(call("ca"), call("cb"))))
+        errors, accepts = run_trace(expression, ["ca", "cb", "SITE"], "sx2")
+        assert errors >= 1
+
+    def test_nonstrict_xor_ignores_the_extra_event(self):
+        expression = previously(one_of(call("ca"), call("cb")))
+        errors, accepts = run_trace(expression, ["ca", "cb", "SITE"], "sx3")
+        assert errors == 0
+        assert accepts == 1
+
+
+class TestStrictSequences:
+    def test_out_of_order_event_flagged(self):
+        expression = strictly(
+            previously(tsequence(call("step1"), call("step2")))
+        )
+        errors, _ = run_trace(expression, ["step2"], "ss1")
+        assert errors >= 1
+
+    def test_in_order_clean(self):
+        expression = strictly(
+            previously(tsequence(call("step1"), call("step2")))
+        )
+        errors, accepts = run_trace(
+            expression, ["step1", "step2", "SITE"], "ss2"
+        )
+        assert errors == 0 and accepts == 1
+
+    def test_nonstrict_tolerates_out_of_order_prefix(self):
+        expression = previously(tsequence(call("step1"), call("step2")))
+        errors, accepts = run_trace(
+            expression, ["step2", "step1", "step2", "SITE"], "ss3"
+        )
+        assert errors == 0 and accepts == 1

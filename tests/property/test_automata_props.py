@@ -1,0 +1,151 @@
+"""Property-based tests over random assertion expressions.
+
+The key invariant: the subset-construction DFA and the NFA's
+move-or-stay stepping recognise exactly the same language, for arbitrary
+expressions the DSL can produce and arbitrary event words.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.automaton import TransitionKind
+from repro.core.determinize import accepts, determinize, letter_of, simulate
+from repro.core.dsl import (
+    atleast,
+    call,
+    either,
+    one_of,
+    optionally,
+    previously,
+    tesla_within,
+    tsequence,
+)
+from repro.core.translate import translate
+
+EVENT_NAMES = ["ev_a", "ev_b", "ev_c", "ev_d"]
+
+events = st.sampled_from(EVENT_NAMES).map(call)
+
+
+def expressions(depth=2):
+    if depth == 0:
+        return events
+    sub = expressions(depth - 1)
+    return st.one_of(
+        events,
+        st.lists(sub, min_size=1, max_size=3).map(lambda ps: tsequence(*ps)),
+        st.lists(sub, min_size=2, max_size=3).map(lambda ps: either(*ps)),
+        st.lists(sub, min_size=2, max_size=3).map(lambda ps: one_of(*ps)),
+        sub.map(optionally),
+        st.tuples(
+            st.integers(min_value=0, max_value=2),
+            st.lists(events, min_size=1, max_size=3),
+        ).map(lambda t: atleast(t[0], *t[1])),
+    )
+
+
+_counter = [0]
+
+
+def build_automaton(expression):
+    _counter[0] += 1
+    assertion = tesla_within(
+        "bound_fn", previously(expression), name=f"prop{_counter[0]}"
+    )
+    return translate(assertion)
+
+
+def event_word(automaton, names_with_site):
+    """Translate a symbolic word (event names / 'SITE') into letters,
+    wrapped with the bound's init and cleanup letters."""
+    by_description = {}
+    init = cleanup = None
+    for transition in automaton.transitions:
+        letter = letter_of(transition)
+        if transition.kind is TransitionKind.INIT:
+            init = letter
+        elif transition.kind is TransitionKind.CLEANUP:
+            cleanup = letter
+        elif transition.kind is TransitionKind.SITE:
+            by_description["SITE"] = letter
+        else:
+            label = automaton.symbols[transition.symbol].describe()
+            by_description[label] = letter
+    word = [init]
+    for name in names_with_site:
+        label = "SITE" if name == "SITE" else f"call({name})"
+        if label in by_description:
+            word.append(by_description[label])
+    word.append(cleanup)
+    return word
+
+
+word_symbols = st.lists(
+    st.sampled_from(EVENT_NAMES + ["SITE"]), min_size=0, max_size=8
+)
+
+
+class TestDfaNfaAgreement:
+    @settings(max_examples=120, deadline=None)
+    @given(expression=expressions(), symbols=word_symbols)
+    def test_determinization_preserves_language(self, expression, symbols):
+        automaton = build_automaton(expression)
+        dfa = determinize(automaton)
+        word = event_word(automaton, symbols)
+        assert dfa.accepts(word) == accepts(automaton, word)
+
+    @settings(max_examples=60, deadline=None)
+    @given(expression=expressions(), symbols=word_symbols)
+    def test_stepping_is_monotone_in_prefix_padding(self, expression, symbols):
+        """Inserting an *irrelevant* letter anywhere never changes the
+        verdict: unknown letters leave every state in place."""
+        automaton = build_automaton(expression)
+        word = event_word(automaton, symbols)
+        padded = word[:1] + [("event", 98765)] + word[1:]
+        assert accepts(automaton, word) == accepts(automaton, padded)
+
+    @settings(max_examples=60, deadline=None)
+    @given(expression=expressions())
+    def test_empty_body_never_accepts_without_site(self, expression):
+        """previously(...) requires the assertion site: a bound that opens
+        and closes with no site event can never reach accept."""
+        automaton = build_automaton(expression)
+        word = event_word(automaton, [])
+        assert not accepts(automaton, word)
+
+    @settings(max_examples=60, deadline=None)
+    @given(expression=expressions(), symbols=word_symbols)
+    def test_accepting_needs_cleanup(self, expression, symbols):
+        automaton = build_automaton(expression)
+        word = event_word(automaton, symbols)
+        without_cleanup = word[:-1]
+        assert automaton.accept not in simulate(automaton, without_cleanup)
+
+
+class TestStructuralInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(expression=expressions())
+    def test_no_epsilon_transitions_survive(self, expression):
+        automaton = build_automaton(expression)
+        assert all(
+            t.kind is not TransitionKind.EPSILON for t in automaton.transitions
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(expression=expressions())
+    def test_states_contiguous_and_bounded(self, expression):
+        automaton = build_automaton(expression)
+        used = {automaton.start, automaton.accept}
+        for t in automaton.transitions:
+            used.add(t.src)
+            used.add(t.dst)
+        assert used <= set(range(automaton.n_states))
+        assert automaton.start == 0
+
+    @settings(max_examples=80, deadline=None)
+    @given(expression=expressions())
+    def test_exactly_one_site_symbol(self, expression):
+        automaton = build_automaton(expression)
+        site_transitions = [
+            t for t in automaton.transitions if t.kind is TransitionKind.SITE
+        ]
+        assert site_transitions

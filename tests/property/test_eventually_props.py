@@ -1,0 +1,144 @@
+"""Property-based oracles for ``eventually`` and ``ATLEAST`` assertions."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dsl import atleast, call, eventually, previously, tesla_within
+from repro.core.events import assertion_site_event, call_event, return_event
+from repro.runtime.manager import TeslaRuntime
+from repro.runtime.notify import LogAndContinue
+
+_counter = [0]
+
+#: Trace steps for the eventually oracle: bound open/close, the audited
+#: action, and reaching the site.
+eventually_steps = st.lists(
+    st.sampled_from(["enter", "exit", "audit", "site"]), max_size=16
+)
+
+
+def eventually_oracle(trace):
+    """Violations of 'within the bound, after the site, audit happens'.
+
+    The obligation is *per bound*, matching the engine's instance-based
+    semantics: the first site within a bound opens the obligation, any
+    later audit discharges it, and further site occurrences in the same
+    bound are covered by the discharged instance.  An undischarged
+    obligation is one violation at the bound's close.
+    """
+    violations = 0
+    active = False
+    site_seen = False
+    discharged = False
+    for step in trace:
+        if step == "enter":
+            if not active:
+                active, site_seen, discharged = True, False, False
+        elif step == "exit":
+            if active and site_seen and not discharged:
+                violations += 1
+            active = False
+        elif step == "audit":
+            if active and site_seen:
+                discharged = True
+        elif step == "site":
+            if active and not site_seen:
+                site_seen = True
+    return violations
+
+
+def run_eventually(trace, lazy):
+    _counter[0] += 1
+    name = f"evprop-{_counter[0]}-{lazy}"
+    assertion = tesla_within("bound", eventually(call("audit")), name=name)
+    runtime = TeslaRuntime(lazy=lazy, policy=LogAndContinue())
+    runtime.install_assertion(assertion)
+    for step in trace:
+        if step == "enter":
+            runtime.handle_event(call_event("bound", ()))
+        elif step == "exit":
+            runtime.handle_event(return_event("bound", (), 0))
+        elif step == "audit":
+            runtime.handle_event(call_event("audit", ()))
+        elif step == "site":
+            runtime.handle_event(assertion_site_event(name, {}))
+    return sum(cr.errors for cr in runtime.all_class_runtimes(name))
+
+
+class TestEventuallyOracle:
+    @settings(max_examples=120, deadline=None)
+    @given(trace=eventually_steps)
+    def test_lazy_matches_oracle(self, trace):
+        assert run_eventually(trace, lazy=True) == eventually_oracle(trace)
+
+    @settings(max_examples=80, deadline=None)
+    @given(trace=eventually_steps)
+    def test_lazy_and_eager_agree(self, trace):
+        assert run_eventually(trace, lazy=True) == run_eventually(
+            trace, lazy=False
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(trace=eventually_steps)
+    def test_audit_without_site_never_errors(self, trace):
+        filtered = [s for s in trace if s != "site"]
+        assert run_eventually(filtered, lazy=True) == 0
+
+
+#: ATLEAST traces: bound markers and occurrences of two event kinds.
+atleast_steps = st.lists(
+    st.sampled_from(["enter", "exit", "a", "b", "site"]), max_size=16
+)
+
+
+def atleast_oracle(trace, minimum):
+    violations = 0
+    active = False
+    count = 0
+    for step in trace:
+        if step == "enter":
+            if not active:
+                active, count = True, 0
+        elif step == "exit":
+            active = False
+        elif step in ("a", "b"):
+            if active:
+                count += 1
+        elif step == "site":
+            if active and count < minimum:
+                violations += 1
+    return violations
+
+
+def run_atleast(trace, minimum):
+    _counter[0] += 1
+    name = f"alprop-{_counter[0]}-{minimum}"
+    assertion = tesla_within(
+        "bound",
+        previously(atleast(minimum, call("ev_a"), call("ev_b"))),
+        name=name,
+    )
+    runtime = TeslaRuntime(policy=LogAndContinue())
+    runtime.install_assertion(assertion)
+    mapping = {"a": "ev_a", "b": "ev_b"}
+    for step in trace:
+        if step == "enter":
+            runtime.handle_event(call_event("bound", ()))
+        elif step == "exit":
+            runtime.handle_event(return_event("bound", (), 0))
+        elif step in mapping:
+            runtime.handle_event(call_event(mapping[step], ()))
+        elif step == "site":
+            runtime.handle_event(assertion_site_event(name, {}))
+    return sum(cr.errors for cr in runtime.all_class_runtimes(name))
+
+
+class TestAtLeastOracle:
+    @settings(max_examples=100, deadline=None)
+    @given(trace=atleast_steps, minimum=st.integers(min_value=0, max_value=3))
+    def test_runtime_matches_oracle(self, trace, minimum):
+        assert run_atleast(trace, minimum) == atleast_oracle(trace, minimum)
+
+    @settings(max_examples=60, deadline=None)
+    @given(trace=atleast_steps)
+    def test_atleast_zero_never_errors(self, trace):
+        assert run_atleast(trace, 0) == 0

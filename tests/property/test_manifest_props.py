@@ -1,0 +1,114 @@
+"""Property-based round-trip tests for .tesla manifests."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ast import Context
+from repro.core.dsl import (
+    ANY,
+    call,
+    either,
+    field_assign,
+    flags,
+    fn,
+    one_of,
+    optionally,
+    previously,
+    tesla_assert,
+    tsequence,
+    var,
+)
+from repro.core.manifest import (
+    UnitManifest,
+    assertion_from_json,
+    assertion_to_json,
+)
+from repro.core.translate import translate
+
+names = st.sampled_from(["alpha", "beta", "gamma", "delta"])
+identifiers = st.sampled_from(["vp", "so", "cred", "item"])
+
+patterns = st.one_of(
+    st.just(ANY("ptr")),
+    st.integers(min_value=-10, max_value=10),
+    st.sampled_from(["read", "write"]),
+    identifiers.map(var),
+    st.integers(min_value=0, max_value=255).map(flags),
+)
+
+
+def fn_events():
+    return st.tuples(names, st.lists(patterns, max_size=3)).map(
+        lambda t: fn(t[0], *t[1]) == 0
+    )
+
+
+def concrete_events():
+    return st.one_of(
+        names.map(call),
+        fn_events(),
+        st.tuples(identifiers, identifiers).map(
+            lambda t: field_assign("proc", t[0], target=var(t[1]))
+        ),
+    )
+
+
+def expression_trees(depth=2):
+    if depth == 0:
+        return concrete_events()
+    sub = expression_trees(depth - 1)
+    return st.one_of(
+        concrete_events(),
+        st.lists(sub, min_size=1, max_size=3).map(lambda ps: tsequence(*ps)),
+        st.lists(sub, min_size=2, max_size=3).map(lambda ps: either(*ps)),
+        st.lists(sub, min_size=2, max_size=3).map(lambda ps: one_of(*ps)),
+        sub.map(optionally),
+    )
+
+
+_counter = [0]
+
+
+def assertions():
+    def build(args):
+        context, expression, tags = args
+        _counter[0] += 1
+        return tesla_assert(
+            context,
+            call("bound_enter"),
+            fn("bound_exit") == 0,
+            previously(expression),
+            name=f"manifest-prop-{_counter[0]}",
+            tags=tuple(tags),
+        )
+
+    return st.tuples(
+        st.sampled_from([Context.THREAD, Context.GLOBAL]),
+        expression_trees(),
+        st.lists(st.sampled_from(["MF", "MS", "P"]), max_size=2),
+    ).map(build)
+
+
+class TestRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(assertion=assertions())
+    def test_json_round_trip_is_identity(self, assertion):
+        assert assertion_from_json(assertion_to_json(assertion)) == assertion
+
+    @settings(max_examples=50, deadline=None)
+    @given(assertion=assertions())
+    def test_round_tripped_assertion_translates_identically(self, assertion):
+        original = translate(assertion)
+        restored = translate(assertion_from_json(assertion_to_json(assertion)))
+        assert original.n_states == restored.n_states
+        assert original.transitions == restored.transitions
+        assert [s.describe() for s in original.symbols] == [
+            s.describe() for s in restored.symbols
+        ]
+
+    @settings(max_examples=30, deadline=None)
+    @given(batch=st.lists(assertions(), max_size=4))
+    def test_unit_manifest_file_round_trip(self, batch, tmp_path_factory):
+        path = tmp_path_factory.mktemp("manifests") / "unit.tesla.json"
+        manifest = UnitManifest(unit="unit", assertions=batch)
+        manifest.save(path)
+        assert UnitManifest.load(path).assertions == batch

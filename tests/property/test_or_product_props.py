@@ -1,0 +1,75 @@
+"""Property-based tests for the inclusive-OR cross-product (section 3.4.2).
+
+For arbitrary branch expressions A and B and arbitrary words w:
+``previously(A || B)`` accepts w exactly when ``previously(A)`` accepts w
+or ``previously(B)`` accepts w — the ∨ semantics the paper's construction
+implements.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.determinize import accepts
+from repro.core.dsl import call, either, previously, tesla_within, tsequence
+from repro.core.translate import translate
+
+from .test_automata_props import EVENT_NAMES, event_word, word_symbols
+
+branch_exprs = st.one_of(
+    st.sampled_from(EVENT_NAMES).map(call),
+    st.lists(
+        st.sampled_from(EVENT_NAMES).map(call), min_size=1, max_size=3
+    ).map(lambda parts: tsequence(*parts)),
+)
+
+_counter = [0]
+
+
+def automaton_for(expression):
+    _counter[0] += 1
+    return translate(
+        tesla_within(
+            "bound_fn", previously(expression), name=f"orprop{_counter[0]}"
+        )
+    )
+
+
+class TestOrIsUnion:
+    @settings(max_examples=120, deadline=None)
+    @given(a=branch_exprs, b=branch_exprs, symbols=word_symbols)
+    def test_or_accepts_exactly_the_union(self, a, b, symbols):
+        combined = automaton_for(either(a, b))
+        only_a = automaton_for(a)
+        only_b = automaton_for(b)
+        verdict_or = accepts(combined, event_word(combined, symbols))
+        verdict_a = accepts(only_a, event_word(only_a, symbols))
+        verdict_b = accepts(only_b, event_word(only_b, symbols))
+        assert verdict_or == (verdict_a or verdict_b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=branch_exprs, b=branch_exprs, c=branch_exprs, symbols=word_symbols)
+    def test_three_way_or(self, a, b, c, symbols):
+        combined = automaton_for(either(a, b, c))
+        singles = [automaton_for(x) for x in (a, b, c)]
+        verdict_or = accepts(combined, event_word(combined, symbols))
+        verdicts = [
+            accepts(s, event_word(s, symbols)) for s in singles
+        ]
+        assert verdict_or == any(verdicts)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=branch_exprs, b=branch_exprs, symbols=word_symbols)
+    def test_or_is_commutative(self, a, b, symbols):
+        ab = automaton_for(either(a, b))
+        ba = automaton_for(either(b, a))
+        assert accepts(ab, event_word(ab, symbols)) == accepts(
+            ba, event_word(ba, symbols)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=branch_exprs, symbols=word_symbols)
+    def test_or_with_self_is_identity(self, a, symbols):
+        doubled = automaton_for(either(a, a))
+        single = automaton_for(a)
+        assert accepts(doubled, event_word(doubled, symbols)) == accepts(
+            single, event_word(single, symbols)
+        )

@@ -1,0 +1,98 @@
+"""Property-based oracle for per-object assertion monitoring."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ast import Context
+from repro.core.dsl import call, fn, previously, tesla_assert, var
+from repro.core.events import assertion_site_event, call_event, return_event
+from repro.runtime.notify import LogAndContinue
+from repro.runtime.perobject import ObjectMonitor
+
+OBJECTS = ["obj-a", "obj-b", "obj-c"]
+
+#: Trace steps over three objects: lifetime open/close, validation, use.
+steps = st.lists(
+    st.tuples(
+        st.sampled_from(["alloc", "free", "validate", "use"]),
+        st.sampled_from(OBJECTS),
+    ),
+    max_size=24,
+)
+
+_counter = [0]
+
+
+def oracle(trace):
+    """Per-object violations: a use of a live object never validated in
+    its current lifetime."""
+    violations = 0
+    live = {}
+    for action, obj in trace:
+        if action == "alloc":
+            if obj not in live:
+                live[obj] = False  # not yet validated
+        elif action == "free":
+            live.pop(obj, None)
+        elif action == "validate":
+            if obj in live:
+                live[obj] = True
+        elif action == "use":
+            if obj in live and not live[obj]:
+                violations += 1
+    return violations
+
+
+def run_monitor(trace):
+    _counter[0] += 1
+    name = f"po-prop-{_counter[0]}"
+    assertion = tesla_assert(
+        Context.THREAD,
+        call(fn("po_alloc", var("obj"))),
+        fn("po_free", var("obj")) == 0,
+        previously(fn("po_validate", var("obj")) == 0),
+        name=name,
+    )
+    monitor = ObjectMonitor(assertion, key="obj", policy=LogAndContinue())
+    for action, obj in trace:
+        if action == "alloc":
+            monitor.handle_event(call_event("po_alloc", (obj,)))
+        elif action == "free":
+            monitor.handle_event(return_event("po_free", (obj,), 0))
+        elif action == "validate":
+            monitor.handle_event(return_event("po_validate", (obj,), 0))
+        elif action == "use":
+            monitor.handle_event(assertion_site_event(name, {"obj": obj}))
+    return monitor
+
+
+class TestPerObjectOracle:
+    @settings(max_examples=150, deadline=None)
+    @given(trace=steps)
+    def test_monitor_matches_oracle(self, trace):
+        monitor = run_monitor(trace)
+        assert monitor.errors == oracle(trace), trace
+
+    @settings(max_examples=80, deadline=None)
+    @given(trace=steps)
+    def test_lifetime_accounting_balances(self, trace):
+        monitor = run_monitor(trace)
+        assert monitor.lifetimes_opened >= monitor.lifetimes_closed
+        still_live = monitor.lifetimes_opened - monitor.lifetimes_closed
+        assert still_live == len(monitor.live_objects)
+
+    @settings(max_examples=80, deadline=None)
+    @given(trace=steps)
+    def test_validated_uses_never_error(self, trace):
+        """A trace where every use is preceded (within its object's open
+        lifetime) by a validation produces no errors."""
+        repaired = []
+        live = set()
+        for action, obj in trace:
+            if action == "alloc":
+                live.add(obj)
+            elif action == "free":
+                live.discard(obj)
+            elif action == "use" and obj in live:
+                repaired.append(("validate", obj))
+            repaired.append((action, obj))
+        assert run_monitor(repaired).errors == 0

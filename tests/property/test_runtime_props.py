@@ -1,0 +1,133 @@
+"""Property-based tests of the runtime engine against a trace oracle.
+
+For the canonical parametric assertion
+``TESLA_SYSCALL_PREVIOUSLY(check(ANY, vp) == 0)`` and an arbitrary
+interleaving of bounds, check events and site events, the runtime must
+report a violation for exactly those site events that the trace oracle —
+a direct reading of the temporal property — flags.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dsl import ANY, fn, previously, tesla_within, var
+from repro.core.events import assertion_site_event, call_event, return_event
+from repro.core.translate import translate
+from repro.runtime.manager import TeslaRuntime
+from repro.runtime.notify import LogAndContinue
+from repro.runtime.prealloc import InstancePool
+
+VALUES = ["v0", "v1", "v2"]
+
+#: Trace steps: open/close the bound, observe checks, reach sites.
+steps = st.lists(
+    st.one_of(
+        st.just(("enter",)),
+        st.just(("exit",)),
+        st.tuples(st.just("check"), st.sampled_from(VALUES), st.sampled_from([0, -1])),
+        st.tuples(st.just("site"), st.sampled_from(VALUES)),
+    ),
+    max_size=20,
+)
+
+_counter = [0]
+
+
+def oracle_site_violations(trace):
+    """Which site steps violate the property, by direct inspection."""
+    violations = 0
+    active = False
+    checked = set()
+    for step in trace:
+        if step[0] == "enter":
+            if not active:
+                active = True
+                checked = set()
+        elif step[0] == "exit":
+            active = False
+        elif step[0] == "check":
+            if active and step[2] == 0:
+                checked.add(step[1])
+        elif step[0] == "site":
+            # Sites outside the bound are ignored (section 4.4.1).
+            if active and step[1] not in checked:
+                violations += 1
+    return violations
+
+
+def run_runtime(trace, lazy):
+    _counter[0] += 1
+    name = f"rtprop-{_counter[0]}-{lazy}"
+    assertion = tesla_within(
+        "sc",
+        previously(fn("check", ANY("cred"), var("vp")) == 0),
+        name=name,
+    )
+    runtime = TeslaRuntime(lazy=lazy, policy=LogAndContinue())
+    runtime.install_assertion(assertion)
+    for step in trace:
+        if step[0] == "enter":
+            runtime.handle_event(call_event("sc", ()))
+        elif step[0] == "exit":
+            runtime.handle_event(return_event("sc", (), 0))
+        elif step[0] == "check":
+            runtime.handle_event(return_event("check", ("cred", step[1]), step[2]))
+        elif step[0] == "site":
+            runtime.handle_event(assertion_site_event(name, {"vp": step[1]}))
+    total_errors = sum(
+        cr.errors for cr in runtime.all_class_runtimes(name)
+    )
+    return total_errors
+
+
+class TestRuntimeMatchesOracle:
+    @settings(max_examples=150, deadline=None)
+    @given(trace=steps)
+    def test_lazy_runtime_agrees_with_oracle(self, trace):
+        assert run_runtime(trace, lazy=True) == oracle_site_violations(trace)
+
+    @settings(max_examples=100, deadline=None)
+    @given(trace=steps)
+    def test_eager_runtime_agrees_with_oracle(self, trace):
+        assert run_runtime(trace, lazy=False) == oracle_site_violations(trace)
+
+    @settings(max_examples=80, deadline=None)
+    @given(trace=steps)
+    def test_lazy_and_eager_always_agree(self, trace):
+        assert run_runtime(trace, lazy=True) == run_runtime(trace, lazy=False)
+
+
+class TestPoolInvariants:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        capacity=st.integers(min_value=1, max_value=8),
+        operations=st.lists(
+            st.one_of(st.just("add"), st.just("expunge")), max_size=30
+        ),
+    )
+    def test_pool_never_exceeds_capacity(self, capacity, operations):
+        from repro.core.dsl import call, previously, tesla_within
+        from repro.runtime.instance import AutomatonInstance
+
+        _counter[0] += 1
+        automaton = translate(
+            tesla_within(
+                "m", previously(call("f")), name=f"poolprop{_counter[0]}"
+            )
+        )
+        pool = InstancePool(capacity)
+        attempted = 0
+        for operation in operations:
+            if operation == "add":
+                attempted += 1
+                pool.add(
+                    AutomatonInstance(automaton, automaton.entry_states)
+                )
+            else:
+                pool.expunge()
+            assert len(pool) <= capacity
+            assert pool.high_water <= capacity
+        # Every attempted add either landed or was counted as overflow.
+        landed = len(pool) + sum(
+            1 for _ in ()
+        )  # current population is what remains after expunges
+        assert pool.overflows <= attempted

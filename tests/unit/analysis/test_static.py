@@ -1,0 +1,285 @@
+"""Unit tests for the static must-check analysis."""
+
+import pytest
+
+from repro.analysis.static import (
+    MustCheckAnalysis,
+    StaticModel,
+    apply_static_elision,
+    must_check_before_site,
+    never_satisfiable,
+)
+from repro.core.dsl import ANY, call, either, eventually, fn, previously, tesla_within, var
+
+CHECKED_SOURCE = '''
+def check(cred, obj):
+    return 0
+
+def helper(obj):
+    tesla_site("sa.checked", obj=obj)
+
+def bound_fn(obj):
+    check("cred", obj)
+    helper(obj)
+'''
+
+UNCHECKED_SOURCE = '''
+def check(cred, obj):
+    return 0
+
+def helper(obj):
+    tesla_site("sa.unchecked", obj=obj)
+
+def bound_fn(obj):
+    helper(obj)
+'''
+
+CONDITIONAL_SOURCE = '''
+def check(cred, obj):
+    return 0
+
+def bound_fn(obj, fast):
+    if not fast:
+        check("cred", obj)
+    tesla_site("sa.conditional", obj=obj)
+'''
+
+OPAQUE_SOURCE = '''
+def check(cred, obj):
+    return 0
+
+def bound_fn(obj, table):
+    check("cred", obj)
+    table["op"](obj)
+    tesla_site("sa.opaque", obj=obj)
+'''
+
+DELEGATED_CHECK_SOURCE = '''
+def check(cred, obj):
+    return 0
+
+def authorise(obj):
+    check("cred", obj)
+    return 0
+
+def helper(obj):
+    tesla_site("sa.delegated", obj=obj)
+
+def bound_fn(obj):
+    authorise(obj)
+    helper(obj)
+'''
+
+
+def model_of(source):
+    model = StaticModel()
+    model.add_source(source)
+    return model
+
+
+def assertion_for(site, check="check"):
+    return tesla_within(
+        "bound_fn",
+        previously(fn(check, ANY("cred"), var("obj")) == 0),
+        name=site,
+    )
+
+
+class TestModel:
+    def test_functions_and_sites_discovered(self):
+        model = model_of(CHECKED_SOURCE)
+        assert model.defines("bound_fn")
+        assert model.site_hosts("sa.checked") == ["helper"]
+        assert "bound_fn" in model.callers_of("check")
+
+    def test_conditional_calls_flagged(self):
+        model = model_of(CONDITIONAL_SOURCE)
+        steps = model.functions["bound_fn"].steps
+        check_step = next(s for s in steps if s.name == "check")
+        assert not check_step.unconditional
+
+    def test_opaque_calls_flagged(self):
+        model = model_of(OPAQUE_SOURCE)
+        assert model.functions["bound_fn"].opaque
+
+    def test_from_modules_reads_real_source(self):
+        import repro.kernel.process as process_module
+
+        model = StaticModel.from_modules([process_module])
+        assert model.defines("kern_setuid")
+        assert "P.setcred.sugid-eventually" in {
+            step.name
+            for fn in model.functions.values()
+            for step in fn.steps
+            if step.kind == "site"
+        }
+
+
+class TestMustCheck:
+    def test_unconditional_check_discharges(self):
+        verdict = must_check_before_site(
+            model_of(CHECKED_SOURCE), assertion_for("sa.checked")
+        )
+        assert verdict is True
+
+    def test_missing_check_not_discharged(self):
+        verdict = must_check_before_site(
+            model_of(UNCHECKED_SOURCE), assertion_for("sa.unchecked")
+        )
+        assert verdict is False
+
+    def test_conditional_check_not_discharged(self):
+        verdict = must_check_before_site(
+            model_of(CONDITIONAL_SOURCE), assertion_for("sa.conditional")
+        )
+        assert verdict is False
+
+    def test_direct_unchecked_site_after_opaque_is_definite(self):
+        # No check at all: the unchecked path to the site is definite,
+        # regardless of what the opaque call might also do.
+        source = OPAQUE_SOURCE.replace(
+            'check("cred", obj)\n    table', 'table'
+        )
+        verdict = must_check_before_site(
+            model_of(source), assertion_for("sa.opaque")
+        )
+        assert verdict is False
+
+    def test_site_reachable_only_via_indirection_undecidable(self):
+        # The site's host is never called directly — only a function
+        # pointer could reach it, so the analysis must stay undecided.
+        source = '''
+def check(cred, obj):
+    return 0
+
+def helper(obj):
+    tesla_site("sa.opaque", obj=obj)
+
+def bound_fn(obj, table):
+    table["op"](obj)
+'''
+        verdict = must_check_before_site(
+            model_of(source), assertion_for("sa.opaque")
+        )
+        assert verdict is None
+
+    def test_opaque_after_check_still_discharges(self):
+        # check() runs unconditionally before anything opaque: the site is
+        # guarded whatever the indirect call does.
+        verdict = must_check_before_site(
+            model_of(OPAQUE_SOURCE), assertion_for("sa.opaque")
+        )
+        assert verdict is True
+
+    def test_check_through_delegation_discharges(self):
+        verdict = must_check_before_site(
+            model_of(DELEGATED_CHECK_SOURCE), assertion_for("sa.delegated")
+        )
+        assert verdict is True
+
+    def test_unmodelled_site_undecidable(self):
+        verdict = must_check_before_site(
+            model_of(CHECKED_SOURCE), assertion_for("sa.elsewhere")
+        )
+        assert verdict is None
+
+    def test_eventually_shapes_skipped(self):
+        assertion = tesla_within(
+            "bound_fn", eventually(call("check")), name="sa.checked"
+        )
+        assert must_check_before_site(model_of(CHECKED_SOURCE), assertion) is None
+
+
+class TestNeverSatisfiable:
+    def test_undefined_uncalled_check_is_doomed(self):
+        model = model_of(UNCHECKED_SOURCE.replace("def check", "def other"))
+        assert never_satisfiable(model, assertion_for("sa.unchecked"))
+
+    def test_defined_check_is_not_doomed(self):
+        assert not never_satisfiable(
+            model_of(UNCHECKED_SOURCE), assertion_for("sa.unchecked")
+        )
+
+    def test_site_outside_model_is_not_doomed(self):
+        assert not never_satisfiable(
+            model_of(CHECKED_SOURCE), assertion_for("sa.elsewhere", check="ghost")
+        )
+
+
+class TestElisionReport:
+    def test_partition(self):
+        model = StaticModel()
+        model.add_source(CHECKED_SOURCE)
+        model.add_source(
+            CONDITIONAL_SOURCE.replace("def check", "def check2")
+            .replace("check(", "check2(")
+            .replace("bound_fn", "bound2_fn")
+        )
+        assertions = [
+            assertion_for("sa.checked"),
+            tesla_within(
+                "bound2_fn",
+                previously(fn("check2", ANY("c"), var("obj")) == 0),
+                name="sa.conditional",
+            ),
+            tesla_within(
+                "bound_fn",
+                previously(fn("phantom_check", ANY("c"), var("obj")) == 0),
+                name="sa.checked2",
+            ),
+        ]
+        # Give the doomed assertion a modelled site.
+        model.add_source(
+            'def helper2(obj):\n    tesla_site("sa.checked2", obj=obj)\n'
+        )
+        report = apply_static_elision(model, assertions)
+        assert [a.name for a in report.discharged] == ["sa.checked"]
+        assert [a.name for a in report.monitored] == ["sa.conditional"]
+        assert [a.name for a in report.doomed] == ["sa.checked2"]
+        assert "DOOMED" in report.summary()
+
+
+class TestOnRealKernel:
+    @pytest.fixture(scope="class")
+    def kernel_model(self):
+        import repro.kernel.mac.checks
+        import repro.kernel.net.select
+        import repro.kernel.net.socket
+        import repro.kernel.process
+        import repro.kernel.procfs
+        import repro.kernel.syscalls
+        import repro.kernel.vfs.ufs
+        import repro.kernel.vfs.vfs_ops
+
+        return StaticModel.from_modules(
+            [
+                repro.kernel.mac.checks,
+                repro.kernel.net.select,
+                repro.kernel.net.socket,
+                repro.kernel.process,
+                repro.kernel.procfs,
+                repro.kernel.syscalls,
+                repro.kernel.vfs.ufs,
+                repro.kernel.vfs.vfs_ops,
+            ]
+        )
+
+    def test_kernel_indirection_defeats_discharge(self, kernel_model):
+        """Figure 3's point, statically visible: the poll chain reaches
+        sopoll_generic through two function-pointer hops, so the analysis
+        cannot discharge the MS poll assertion — it stays monitored."""
+        from repro.kernel.assertions import assertion_sets
+
+        poll = next(
+            a for a in assertion_sets()["MS"] if a.name == "MS.sopoll.prior-check"
+        )
+        assert must_check_before_site(kernel_model, poll) is not True
+
+    def test_kernel_elision_is_conservative(self, kernel_model):
+        from repro.kernel.assertions import assertion_sets
+
+        report = apply_static_elision(kernel_model, assertion_sets()["M"])
+        # Nothing is doomed (all checks exist), and the dynamic dispatch
+        # everywhere keeps discharge rare.
+        assert not report.doomed
+        assert len(report.monitored) >= len(report.discharged)

@@ -1,0 +1,97 @@
+"""Unit tests for assertion collection (the analyser front half)."""
+
+import types
+
+import pytest
+
+from repro.core.analyser import (
+    DECLARATION_ATTRIBUTE,
+    AssertionRegistry,
+    analyse_module,
+    analyse_program,
+    compile_assertions,
+)
+from repro.core.dsl import call, previously, tesla_within
+from repro.errors import AssertionParseError
+
+
+def make_module(name, assertions=None):
+    module = types.ModuleType(name)
+    if assertions is not None:
+        setattr(module, DECLARATION_ATTRIBUTE, assertions)
+    return module
+
+
+class TestAnalyseModule:
+    def test_module_without_declarations_yields_empty_manifest(self):
+        manifest = analyse_module(make_module("empty_unit"))
+        assert manifest.unit == "empty_unit"
+        assert manifest.assertions == []
+
+    def test_module_with_declarations(self):
+        assertion = tesla_within("m", previously(call("f")), name="m1")
+        manifest = analyse_module(make_module("unit_x", [assertion]))
+        assert manifest.assertions == [assertion]
+
+    def test_non_list_declaration_rejected(self):
+        module = make_module("bad")
+        setattr(module, DECLARATION_ATTRIBUTE, "not-a-list")
+        with pytest.raises(AssertionParseError):
+            analyse_module(module)
+
+    def test_non_assertion_member_rejected(self):
+        with pytest.raises(AssertionParseError):
+            analyse_module(make_module("bad2", ["oops"]))
+
+
+class TestAnalyseProgram:
+    def test_mix_of_modules_and_manifests(self):
+        assertion = tesla_within("m", previously(call("f")), name="p1")
+        module = make_module("unit_a", [assertion])
+        pre_manifest = analyse_module(make_module("unit_b"))
+        program = analyse_program([module, pre_manifest])
+        assert [u.unit for u in program.units] == ["unit_a", "unit_b"]
+        assert len(program.assertions) == 1
+
+
+class TestRegistry:
+    def test_declare_and_manifest(self):
+        registry = AssertionRegistry()
+        a = tesla_within("m", previously(call("f")), name="r1")
+        registry.declare(a, unit="kern")
+        program = registry.manifest()
+        assert program.assertions == [a]
+        assert registry.units == ["kern"]
+
+    def test_declare_all(self):
+        registry = AssertionRegistry()
+        items = [
+            tesla_within("m", previously(call("f")), name="r2"),
+            tesla_within("m", previously(call("g")), name="r3"),
+        ]
+        registry.declare_all(items, unit="kern")
+        assert len(registry.unit_manifest("kern").assertions) == 2
+
+    def test_clear_one_unit(self):
+        registry = AssertionRegistry()
+        registry.declare(tesla_within("m", previously(call("f")), name="r4"), "a")
+        registry.declare(tesla_within("m", previously(call("g")), name="r5"), "b")
+        registry.clear("a")
+        assert registry.units == ["b"]
+
+    def test_clear_all(self):
+        registry = AssertionRegistry()
+        registry.declare(tesla_within("m", previously(call("f")), name="r6"), "a")
+        registry.clear()
+        assert registry.units == []
+
+
+class TestCompile:
+    def test_compile_assertions_returns_automata(self):
+        automata = compile_assertions(
+            [
+                tesla_within("m", previously(call("f")), name="c1"),
+                tesla_within("m", previously(call("g")), name="c2"),
+            ]
+        )
+        assert [a.name for a in automata] == ["c1", "c2"]

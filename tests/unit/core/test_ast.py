@@ -1,0 +1,189 @@
+"""Unit tests for the assertion AST."""
+
+import pytest
+
+from repro.core.ast import (
+    AssertionSite,
+    AssignOp,
+    AtLeast,
+    BooleanOr,
+    BooleanXor,
+    Bound,
+    Context,
+    FieldAssign,
+    FunctionCall,
+    FunctionReturn,
+    InstrumentationSide,
+    Optional_,
+    Sequence,
+    TemporalAssertion,
+    referenced_fields,
+    referenced_functions,
+    referenced_variables,
+    walk,
+)
+from repro.core.patterns import Any_, Const, Var
+from repro.errors import AssertionParseError
+
+
+def simple_assertion() -> TemporalAssertion:
+    expr = Sequence(
+        (
+            FunctionReturn(
+                function="check",
+                args=(Any_("cred"), Var("vp")),
+                retval=Const(0),
+            ),
+            AssertionSite(),
+        )
+    )
+    return TemporalAssertion(
+        name="t",
+        context=Context.THREAD,
+        bound=Bound(
+            entry=FunctionCall(function="syscall", args=None),
+            exit=FunctionReturn(function="syscall", args=None, retval=None),
+        ),
+        expression=expr,
+    )
+
+
+class TestEventNodes:
+    def test_function_call_describe_without_args(self):
+        assert FunctionCall("foo", None).describe() == "call(foo)"
+
+    def test_function_call_describe_with_args(self):
+        node = FunctionCall("foo", (Const(1), Any_("p")))
+        assert node.describe() == "call(foo(1, ANY(p)))"
+
+    def test_function_return_equality_form(self):
+        node = FunctionReturn("foo", (Var("x"),), Const(0))
+        assert node.describe() == "foo(x) == 0"
+
+    def test_bare_returnfrom_describe(self):
+        assert FunctionReturn("foo", None, None).describe() == "returnfrom(foo)"
+
+    def test_default_side_is_callee(self):
+        assert FunctionCall("f", None).side is InstrumentationSide.CALLEE
+
+    def test_field_assign_describe(self):
+        node = FieldAssign("proc", "p_flag", AssignOp.OR, Var("p"), Const(1))
+        assert node.describe() == "p.p_flag |= 1"
+
+    def test_field_increment_describe(self):
+        node = FieldAssign("s", "count", AssignOp.INCREMENT, None, None)
+        assert node.describe() == "ANY.count++"
+
+    def test_assertion_site_describe(self):
+        assert AssertionSite().describe() == "TESLA_ASSERTION_SITE"
+
+
+class TestOperators:
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(AssertionParseError):
+            Sequence(())
+
+    def test_or_requires_two_branches(self):
+        with pytest.raises(AssertionParseError):
+            BooleanOr((FunctionCall("f", None),))
+
+    def test_xor_requires_two_branches(self):
+        with pytest.raises(AssertionParseError):
+            BooleanXor((FunctionCall("f", None),))
+
+    def test_atleast_negative_minimum_rejected(self):
+        with pytest.raises(AssertionParseError):
+            AtLeast(-1, (FunctionCall("f", None),))
+
+    def test_atleast_requires_events(self):
+        with pytest.raises(AssertionParseError):
+            AtLeast(0, ())
+
+    def test_sequence_children(self):
+        a, b = FunctionCall("a", None), FunctionCall("b", None)
+        assert Sequence((a, b)).children() == (a, b)
+
+    def test_or_describe(self):
+        node = BooleanOr((FunctionCall("a", None), FunctionCall("b", None)))
+        assert node.describe() == "call(a) || call(b)"
+
+
+class TestBound:
+    def test_bound_requires_concrete_events(self):
+        with pytest.raises(AssertionParseError):
+            Bound(entry=AssertionSite(), exit=FunctionCall("f", None))
+        with pytest.raises(AssertionParseError):
+            Bound(
+                entry=FunctionCall("f", None),
+                exit=Sequence((FunctionCall("g", None),)),
+            )
+
+    def test_bound_describe(self):
+        bound = Bound(
+            entry=FunctionCall("f", None),
+            exit=FunctionReturn("f", None, None),
+        )
+        assert bound.describe() == "[call(f) .. returnfrom(f)]"
+
+
+class TestWalkAndReferences:
+    def test_walk_yields_all_nodes(self):
+        assertion = simple_assertion()
+        nodes = list(walk(assertion.expression))
+        assert len(nodes) == 3  # Sequence, FunctionReturn, AssertionSite
+
+    def test_referenced_functions_include_bounds(self):
+        assert referenced_functions(simple_assertion()) == ("syscall", "check")
+
+    def test_referenced_functions_deduplicated(self):
+        expr = Sequence(
+            (
+                FunctionCall("check", None),
+                FunctionReturn("check", None, None),
+                AssertionSite(),
+            )
+        )
+        assertion = TemporalAssertion(
+            name="t2",
+            context=Context.THREAD,
+            bound=simple_assertion().bound,
+            expression=expr,
+        )
+        assert referenced_functions(assertion) == ("syscall", "check")
+
+    def test_referenced_variables_in_first_use_order(self):
+        expr = Sequence(
+            (
+                FunctionReturn("a", (Var("x"), Var("y")), Const(0)),
+                FunctionReturn("b", (Var("y"), Var("z")), Const(0)),
+                AssertionSite(),
+            )
+        )
+        assertion = TemporalAssertion(
+            name="t3",
+            context=Context.THREAD,
+            bound=simple_assertion().bound,
+            expression=expr,
+        )
+        assert referenced_variables(assertion) == ("x", "y", "z")
+
+    def test_referenced_fields(self):
+        expr = Sequence(
+            (
+                FieldAssign("proc", "p_flag", AssignOp.OR, Var("p"), None),
+                AssertionSite(),
+            )
+        )
+        assertion = TemporalAssertion(
+            name="t4",
+            context=Context.THREAD,
+            bound=simple_assertion().bound,
+            expression=expr,
+        )
+        assert referenced_fields(assertion) == (("proc", "p_flag"),)
+        assert referenced_variables(assertion) == ("p",)
+
+    def test_describe_mentions_context_and_bound(self):
+        described = simple_assertion().describe()
+        assert "per-thread" in described
+        assert "call(syscall)" in described

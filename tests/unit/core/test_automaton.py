@@ -1,0 +1,155 @@
+"""Unit tests for the automaton data structures and NFA machinery."""
+
+import pytest
+
+from repro.core.ast import AssertionSite, FunctionCall, Sequence
+from repro.core.automaton import (
+    EventSymbol,
+    Fragment,
+    FragmentBuilder,
+    Transition,
+    TransitionKind,
+    assemble,
+)
+from repro.core.dsl import ANY, call, fn, previously, tesla_within, var
+from repro.core.events import call_event, return_event
+from repro.core.translate import translate
+from repro.errors import AssertionParseError
+
+
+class TestEventSymbol:
+    def test_non_concrete_expression_rejected(self):
+        with pytest.raises(AssertionParseError):
+            EventSymbol(Sequence((FunctionCall("f", None),)))
+
+    def test_call_symbol_matches_call_event(self):
+        symbol = EventSymbol(FunctionCall("f", None))
+        assert symbol.match(call_event("f", (1, 2)), {}) == {}
+        assert symbol.match(call_event("g", ()), {}) is None
+        assert symbol.match(return_event("f", (), 0), {}) is None
+
+    def test_return_symbol_matches_value(self):
+        symbol = EventSymbol(fn("f", var("x")) == 0)
+        assert symbol.match(return_event("f", (5,), 0), {}) == {"x": 5}
+        assert symbol.match(return_event("f", (5,), 1), {}) is None
+
+    def test_return_symbol_checks_bound_variables(self):
+        symbol = EventSymbol(fn("f", var("x")) == 0)
+        assert symbol.match(return_event("f", (5,), 0), {"x": 5}) == {}
+        assert symbol.match(return_event("f", (6,), 0), {"x": 5}) is None
+
+    def test_site_symbol_binds_scope_variables(self):
+        symbol = EventSymbol(AssertionSite(), site_variables=("vp",))
+        from repro.core.events import assertion_site_event
+
+        event = assertion_site_event("a", {"vp": "v1"})
+        assert symbol.match(event, {}) == {"vp": "v1"}
+        assert symbol.match(event, {"vp": "v1"}) == {}
+        assert symbol.match(event, {"vp": "v2"}) is None
+
+    def test_site_symbol_ignores_unsupplied_variables(self):
+        symbol = EventSymbol(AssertionSite(), site_variables=("vp", "cred"))
+        from repro.core.events import assertion_site_event
+
+        event = assertion_site_event("a", {"vp": "v1"})
+        assert symbol.match(event, {}) == {"vp": "v1"}
+
+    def test_dispatch_key(self):
+        from repro.core.events import EventKind
+
+        assert EventSymbol(FunctionCall("f", None)).dispatch_key == (
+            EventKind.CALL,
+            "f",
+        )
+
+
+class TestFragmentBuilder:
+    def test_concat_empty_is_epsilon(self):
+        builder = FragmentBuilder()
+        fragment = builder.concat([])
+        assert fragment.entry != fragment.exit
+
+    def test_symbol_deduplication(self):
+        builder = FragmentBuilder()
+        s1 = EventSymbol(FunctionCall("f", None))
+        s2 = EventSymbol(FunctionCall("f", None))
+        assert builder.symbol(s1) == builder.symbol(s2)
+        assert len(builder.symbols) == 1
+
+    def test_at_least_chain_length(self):
+        builder = FragmentBuilder()
+        symbol = EventSymbol(FunctionCall("f", None))
+        fragment = builder.at_least(3, [symbol])
+        # 3 chain transitions + 1 self-loop.
+        assert len(fragment.transitions) == 4
+
+
+class TestAssembledAutomaton:
+    def _automaton(self):
+        return translate(
+            tesla_within(
+                "m", previously(fn("check", ANY("c"), var("vp")) == 0), name="au"
+            )
+        )
+
+    def test_start_is_zero_accept_is_last(self):
+        automaton = self._automaton()
+        assert automaton.start == 0
+        assert automaton.accept == automaton.n_states - 1
+
+    def test_entry_states_are_init_targets(self):
+        automaton = self._automaton()
+        for t in automaton.transitions:
+            if t.kind is TransitionKind.INIT:
+                assert t.dst in automaton.entry_states
+
+    def test_post_site_states_reachable_only_via_site(self):
+        automaton = self._automaton()
+        site_dsts = {
+            t.dst
+            for t in automaton.transitions
+            if t.kind is TransitionKind.SITE
+        }
+        assert site_dsts <= automaton.post_site_states
+
+    def test_cleanup_enabled_only_at_final_state(self):
+        automaton = self._automaton()
+        cleanup_srcs = {
+            t.src
+            for t in automaton.transitions
+            if t.kind is TransitionKind.CLEANUP
+        }
+        assert automaton.cleanup_enabled(frozenset(cleanup_srcs))
+        assert not automaton.cleanup_enabled(frozenset({automaton.start}))
+
+    def test_enabled_returns_binding_extensions(self):
+        automaton = self._automaton()
+        event = return_event("check", ("cred0", "vnode1"), 0)
+        matches = automaton.enabled(automaton.entry_states, event, {})
+        assert matches
+        transition, new = matches[0]
+        assert new == {"vp": "vnode1"}
+
+    def test_references_by_dispatch_key(self):
+        automaton = self._automaton()
+        assert automaton.references(return_event("check", (), 0))
+        assert not automaton.references(return_event("nope", (), 0))
+
+    def test_no_epsilon_transitions_remain(self):
+        automaton = self._automaton()
+        assert all(
+            t.kind is not TransitionKind.EPSILON for t in automaton.transitions
+        )
+
+    def test_equivalent_states_merged(self):
+        # previously(x) used to leave duplicated mid-states; after the
+        # bisimulation merge the chain is minimal: 5 states.
+        automaton = translate(
+            tesla_within("m", previously(call("a")), name="min")
+        )
+        assert automaton.n_states == 5
+
+    def test_describe_lists_transitions(self):
+        description = self._automaton().describe()
+        assert "«init»" in description or "init" in description
+        assert "TESLA_ASSERTION_SITE" in description

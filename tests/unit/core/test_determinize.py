@@ -1,0 +1,75 @@
+"""Unit tests for subset construction and language simulation."""
+
+from repro.core.determinize import (
+    accepts,
+    alphabet,
+    determinize,
+    nfa_step,
+    nfa_step_strict,
+    simulate,
+)
+from repro.core.dsl import call, either, previously, tesla_within, tsequence
+from repro.core.translate import translate
+
+from .test_translate import SITE, word_for
+
+
+def _automaton(expression, name):
+    return translate(tesla_within("m", expression, name=name))
+
+
+class TestStepping:
+    def test_states_without_transition_stay(self):
+        automaton = _automaton(previously(tsequence(call("a"), call("b"))), "st1")
+        # From start, a 'b' letter cannot move: the state set is unchanged.
+        b_letter = word_for(automaton, "call(b)")[1]
+        states = frozenset({automaton.start})
+        assert nfa_step(automaton, states, b_letter) == states
+
+    def test_strict_stepping_drops_stuck_states(self):
+        automaton = _automaton(previously(tsequence(call("a"), call("b"))), "st2")
+        b_letter = word_for(automaton, "call(b)")[1]
+        assert nfa_step_strict(automaton, frozenset({automaton.start}), b_letter) == frozenset()
+
+    def test_simulate_runs_full_word(self):
+        automaton = _automaton(previously(call("a")), "st3")
+        final = simulate(automaton, word_for(automaton, "call(a)", SITE))
+        assert automaton.accept in final
+
+
+class TestDeterminize:
+    def test_dfa_agrees_with_nfa_on_words(self):
+        automaton = _automaton(
+            previously(either(call("a"), tsequence(call("b"), call("c")))), "d1"
+        )
+        dfa = determinize(automaton)
+        words = [
+            word_for(automaton, "call(a)", SITE),
+            word_for(automaton, "call(b)", "call(c)", SITE),
+            word_for(automaton, "call(c)", "call(b)", SITE),
+            word_for(automaton, SITE),
+            word_for(automaton, "call(b)", SITE),
+        ]
+        for word in words:
+            assert dfa.accepts(word) == accepts(automaton, word), word
+
+    def test_dfa_subsets_include_start_singleton(self):
+        automaton = _automaton(previously(call("a")), "d2")
+        dfa = determinize(automaton)
+        assert dfa.subsets[dfa.start] == frozenset({automaton.start})
+
+    def test_dfa_state_count_bounded_by_powerset(self):
+        automaton = _automaton(previously(either(call("a"), call("b"))), "d3")
+        dfa = determinize(automaton)
+        assert dfa.n_states <= 2 ** automaton.n_states
+
+    def test_alphabet_contains_all_kinds(self):
+        automaton = _automaton(previously(call("a")), "d4")
+        kinds = {kind for kind, _ in alphabet(automaton)}
+        assert {"init", "cleanup", "event", "assertion-site"} <= kinds
+
+    def test_unknown_letter_self_loops_in_dfa(self):
+        automaton = _automaton(previously(call("a")), "d5")
+        dfa = determinize(automaton)
+        # A letter outside the transition table leaves the DFA in place.
+        assert dfa.step(dfa.start, ("event", 999)) == dfa.start

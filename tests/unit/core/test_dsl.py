@@ -1,0 +1,223 @@
+"""Unit tests for the assertion DSL combinators."""
+
+import pytest
+
+from repro.core.ast import (
+    AssertionSite,
+    AssignOp,
+    AtLeast,
+    BooleanOr,
+    BooleanXor,
+    Context,
+    FieldAssign,
+    FunctionCall,
+    FunctionReturn,
+    InstrumentationSide,
+    Optional_,
+    Sequence,
+)
+from repro.core.dsl import (
+    ANY,
+    addr,
+    assertion_site,
+    atleast,
+    bitmask,
+    call,
+    caller_side,
+    either,
+    eventually,
+    field_assign,
+    field_increment,
+    flags,
+    fn,
+    one_of,
+    optionally,
+    previously,
+    returned,
+    returnfrom,
+    strictly,
+    tesla_assert,
+    tesla_global,
+    tesla_perthread,
+    tesla_within,
+    tsequence,
+    var,
+)
+from repro.core.patterns import Any_, Bitmask, Const, Flags, Var
+from repro.errors import AssertionParseError
+
+
+class TestFnExpr:
+    def test_equality_builds_return_event(self):
+        node = fn("check", ANY("cred"), var("vp")) == 0
+        assert isinstance(node, FunctionReturn)
+        assert node.function == "check"
+        assert isinstance(node.retval, Const)
+        assert node.retval.value == 0
+
+    def test_inequality_rejected(self):
+        with pytest.raises(AssertionParseError):
+            fn("check") != 0
+
+    def test_plain_values_coerced_to_const(self):
+        node = fn("f", 1, "read") == 0
+        assert isinstance(node.args[0], Const)
+        assert isinstance(node.args[1], Const)
+
+    def test_bare_fn_in_sequence_is_return_event(self):
+        seq = tsequence(fn("a", var("x")))
+        assert isinstance(seq.parts[0], FunctionReturn)
+        assert seq.parts[0].retval is None
+
+
+class TestEventHelpers:
+    def test_call_by_name(self):
+        node = call("foo")
+        assert isinstance(node, FunctionCall)
+        assert node.args is None
+
+    def test_call_with_fn_args(self):
+        node = call(fn("foo", var("x")))
+        assert node.args == (Var("x"),)
+
+    def test_returnfrom_by_name(self):
+        node = returnfrom("foo")
+        assert node.args is None and node.retval is None
+
+    def test_returned_constrains_value_only(self):
+        node = returned("foo", 0)
+        assert node.args is None
+        assert node.retval == Const(0)
+
+    def test_caller_side_marks_fn(self):
+        node = call(caller_side(fn("lib_fn")))
+        assert node.side is InstrumentationSide.CALLER
+
+    def test_caller_side_marks_existing_events(self):
+        assert caller_side(call("f")).side is InstrumentationSide.CALLER
+        assert caller_side(returnfrom("f")).side is InstrumentationSide.CALLER
+
+    def test_field_assign_helper(self):
+        node = field_assign("proc", "p_flag", value=flags(1), target=var("p"))
+        assert isinstance(node, FieldAssign)
+        assert node.op is AssignOp.SET
+        assert isinstance(node.value, Flags)
+
+    def test_field_increment_helper(self):
+        node = field_increment("s", "n", target=var("s"))
+        assert node.op is AssignOp.INCREMENT
+
+
+class TestPatternHelpers:
+    def test_any(self):
+        assert isinstance(ANY("ptr"), Any_)
+
+    def test_flags_bitmask(self):
+        assert isinstance(flags(3), Flags)
+        assert isinstance(bitmask(3), Bitmask)
+
+    def test_addr_coerces(self):
+        node = addr(0)
+        assert isinstance(node.inner, Const)
+
+
+class TestSequencingMacros:
+    def test_previously_appends_site(self):
+        seq = previously(call("a"))
+        assert isinstance(seq.parts[-1], AssertionSite)
+        assert len(seq.parts) == 2
+
+    def test_eventually_prepends_site(self):
+        seq = eventually(call("a"))
+        assert isinstance(seq.parts[0], AssertionSite)
+
+    def test_tsequence_preserves_order(self):
+        seq = tsequence(call("a"), call("b"), call("c"))
+        assert [p.function for p in seq.parts] == ["a", "b", "c"]
+
+    def test_either_builds_or(self):
+        assert isinstance(either(call("a"), call("b")), BooleanOr)
+
+    def test_one_of_builds_xor(self):
+        assert isinstance(one_of(call("a"), call("b")), BooleanXor)
+
+    def test_optionally(self):
+        assert isinstance(optionally(call("a")), Optional_)
+
+    def test_atleast(self):
+        node = atleast(2, call("a"), call("b"))
+        assert isinstance(node, AtLeast)
+        assert node.minimum == 2
+
+    def test_non_expression_rejected(self):
+        with pytest.raises(AssertionParseError):
+            tsequence(42)
+
+
+class TestAssertionContainers:
+    def test_tesla_within_bounds(self):
+        assertion = tesla_within("main", previously(call("f")), name="x")
+        assert assertion.bound.entry == FunctionCall("main", None)
+        assert assertion.bound.exit == FunctionReturn("main", None, None)
+
+    def test_context_defaults_to_thread(self):
+        assertion = tesla_within("main", previously(call("f")))
+        assert assertion.context is Context.THREAD
+
+    def test_tesla_global_context(self):
+        assertion = tesla_global(
+            call("main"), returnfrom("main"), previously(call("f"))
+        )
+        assert assertion.context is Context.GLOBAL
+
+    def test_tesla_perthread_context(self):
+        assertion = tesla_perthread(
+            call("main"), returnfrom("main"), previously(call("f"))
+        )
+        assert assertion.context is Context.THREAD
+
+    def test_expression_without_site_gets_one_appended(self):
+        assertion = tesla_within("main", call("f"))
+        sites = [
+            p
+            for p in assertion.expression.parts
+            if isinstance(p, AssertionSite)
+        ]
+        assert len(sites) == 1
+
+    def test_two_sites_rejected(self):
+        with pytest.raises(AssertionParseError):
+            tesla_within("main", tsequence(assertion_site(), assertion_site()))
+
+    def test_auto_name_is_deterministic(self):
+        a1 = tesla_within("main", previously(call("f")))
+        a2 = tesla_within("main", previously(call("f")))
+        assert a1.name == a2.name
+        assert a1.name.startswith("tesla_")
+
+    def test_auto_name_differs_for_different_expressions(self):
+        a1 = tesla_within("main", previously(call("f")))
+        a2 = tesla_within("main", previously(call("g")))
+        assert a1.name != a2.name
+
+    def test_strictly_sets_strict_flag(self):
+        assertion = tesla_within("main", strictly(previously(call("f"))))
+        assert assertion.strict
+
+    def test_default_not_strict(self):
+        assertion = tesla_within("main", previously(call("f")))
+        assert not assertion.strict
+
+    def test_tags_and_location_recorded(self):
+        assertion = tesla_within(
+            "main", previously(call("f")), location="mod:fn", tags=("a", "b")
+        )
+        assert assertion.location == "mod:fn"
+        assert assertion.tags == ("a", "b")
+
+    def test_tesla_assert_explicit_form(self):
+        assertion = tesla_assert(
+            Context.GLOBAL, call("enter"), returnfrom("exit"), previously(call("f"))
+        )
+        assert assertion.bound.entry.function == "enter"
+        assert assertion.bound.exit.function == "exit"

@@ -1,0 +1,72 @@
+"""Unit tests for concrete runtime events."""
+
+import threading
+
+from repro.core.ast import AssignOp
+from repro.core.events import (
+    EventKind,
+    assertion_site_event,
+    call_event,
+    current_thread_id,
+    field_assign_event,
+    return_event,
+)
+
+
+class TestConstructors:
+    def test_call_event(self):
+        event = call_event("f", (1, 2))
+        assert event.kind is EventKind.CALL
+        assert event.name == "f"
+        assert event.args == (1, 2)
+        assert event.thread_id == current_thread_id()
+
+    def test_return_event(self):
+        event = return_event("f", (1,), "result")
+        assert event.kind is EventKind.RETURN
+        assert event.retval == "result"
+
+    def test_field_assign_event_name_combines_struct_and_field(self):
+        target = object()
+        event = field_assign_event("proc", "p_flag", target, 0x1, AssignOp.OR)
+        assert event.name == "proc.p_flag"
+        assert event.target is target
+        assert event.op is AssignOp.OR
+        assert event.retval == 0x1
+
+    def test_site_event_copies_scope(self):
+        scope = {"vp": "v1"}
+        event = assertion_site_event("a", scope)
+        scope["vp"] = "mutated"
+        assert event.scope == {"vp": "v1"}
+
+    def test_site_event_default_scope(self):
+        assert assertion_site_event("a").scope == {}
+
+
+class TestDescribe:
+    def test_call_describe(self):
+        assert "call f" in call_event("f", (1,)).describe()
+
+    def test_return_describe_shows_value(self):
+        assert "-> 0" in return_event("f", (), 0).describe()
+
+    def test_field_describe_shows_operator(self):
+        event = field_assign_event("s", "n", object(), 5, AssignOp.ADD)
+        assert "+=" in event.describe()
+
+    def test_site_describe(self):
+        assert "assertion-site a" in assertion_site_event("a").describe()
+
+
+class TestThreadIds:
+    def test_thread_ids_differ_across_threads(self):
+        ids = {}
+
+        def worker():
+            ids["worker"] = call_event("f", ()).thread_id
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert ids["worker"] != call_event("f", ()).thread_id

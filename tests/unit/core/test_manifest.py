@@ -1,0 +1,201 @@
+"""Unit tests for .tesla manifests: serialisation and combination."""
+
+import pytest
+
+from repro.core.ast import AssignOp, Context
+from repro.core.dsl import (
+    ANY,
+    addr,
+    atleast,
+    bitmask,
+    call,
+    either,
+    eventually,
+    field_assign,
+    flags,
+    fn,
+    one_of,
+    optionally,
+    previously,
+    returned,
+    strictly,
+    tesla_global,
+    tesla_within,
+    tsequence,
+    var,
+)
+from repro.core.manifest import (
+    ProgramManifest,
+    UnitManifest,
+    assertion_from_json,
+    assertion_to_json,
+    combine,
+    expression_from_json,
+    expression_to_json,
+    pattern_from_json,
+    pattern_to_json,
+)
+from repro.core.patterns import AddressOf, Any_, Bitmask, Const, Flags, Var
+from repro.errors import ManifestError
+
+
+class TestPatternRoundTrip:
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            Any_("ptr"),
+            Const(0),
+            Const("read"),
+            Var("vp"),
+            Flags(0x100),
+            Bitmask(0xFF),
+            AddressOf(Var("err")),
+            AddressOf(Const(0)),
+        ],
+    )
+    def test_round_trip(self, pattern):
+        assert pattern_from_json(pattern_to_json(pattern)) == pattern
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ManifestError):
+            pattern_from_json({"p": "mystery"})
+
+
+class TestExpressionRoundTrip:
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            call("f"),
+            call(fn("f", ANY("a"), var("x"))),
+            fn("f", var("x")) == 0,
+            returned("f", 1),
+            field_assign("proc", "p_flag", value=flags(1), target=var("p")),
+            field_assign("s", "n", op=AssignOp.INCREMENT),
+            tsequence(call("a"), call("b")),
+            either(call("a"), call("b"), call("c")),
+            one_of(call("a"), call("b")),
+            optionally(call("a")),
+            atleast(2, call("a"), call("b")),
+            previously(call("a")),
+            eventually(fn("f", addr(var("e"))) == 0),
+        ],
+    )
+    def test_round_trip(self, expression):
+        assert expression_from_json(expression_to_json(expression)) == expression
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ManifestError):
+            expression_from_json({"e": "mystery"})
+
+
+class TestAssertionRoundTrip:
+    def test_full_assertion_round_trip(self):
+        assertion = tesla_within(
+            "syscall",
+            strictly(previously(fn("check", var("vp")) == 0)),
+            name="rt",
+            location="kern:site",
+            tags=("MF", "mac"),
+        )
+        restored = assertion_from_json(assertion_to_json(assertion))
+        assert restored == assertion
+        assert restored.strict
+        assert restored.tags == ("MF", "mac")
+
+    def test_global_context_round_trip(self):
+        assertion = tesla_global(
+            call("enter"), fn("exit") == 0, previously(call("f")), name="g"
+        )
+        restored = assertion_from_json(assertion_to_json(assertion))
+        assert restored.context is Context.GLOBAL
+
+
+class TestUnitManifest:
+    def test_save_and_load(self, tmp_path):
+        manifest = UnitManifest(
+            unit="unit_a",
+            assertions=[tesla_within("m", previously(call("f")), name="a1")],
+        )
+        path = manifest.save(tmp_path / "unit_a.tesla.json")
+        loaded = UnitManifest.load(path)
+        assert loaded.unit == "unit_a"
+        assert loaded.assertions == manifest.assertions
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(ManifestError):
+            UnitManifest.load(tmp_path / "nope.tesla.json")
+
+    def test_load_garbage_raises(self, tmp_path):
+        path = tmp_path / "bad.tesla.json"
+        path.write_text("{not json")
+        with pytest.raises(ManifestError):
+            UnitManifest.load(path)
+
+    def test_version_mismatch_rejected(self):
+        with pytest.raises(ManifestError):
+            UnitManifest.from_json({"version": 999, "unit": "u", "assertions": []})
+
+
+class TestProgramManifest:
+    def _units(self):
+        a = UnitManifest(
+            unit="alpha",
+            assertions=[tesla_within("m", previously(call("f")), name="a1")],
+        )
+        b = UnitManifest(
+            unit="beta",
+            assertions=[tesla_within("m", previously(call("g")), name="b1")],
+        )
+        return a, b
+
+    def test_combine_merges_assertions(self):
+        a, b = self._units()
+        program = combine([a, b])
+        assert [x.name for x in program.assertions] == ["a1", "b1"]
+
+    def test_cross_unit_name_collision_rejected(self):
+        a = UnitManifest(
+            unit="alpha",
+            assertions=[tesla_within("m", previously(call("f")), name="same")],
+        )
+        b = UnitManifest(
+            unit="beta",
+            assertions=[tesla_within("m", previously(call("g")), name="same")],
+        )
+        with pytest.raises(ManifestError):
+            combine([a, b])
+
+    def test_instrumentation_targets_span_units(self):
+        a, b = self._units()
+        targets = combine([a, b]).instrumentation_targets()
+        # Both assertions hook the bound 'm'; each hooks its own event.
+        assert set(targets["m"]) == {"a1", "b1"}
+        assert targets["f"] == ["a1"]
+        assert targets["g"] == ["b1"]
+
+    def test_field_targets(self):
+        manifest = ProgramManifest(
+            units=[
+                UnitManifest(
+                    unit="u",
+                    assertions=[
+                        tesla_within(
+                            "m",
+                            previously(
+                                field_assign("proc", "p_flag", target=var("p"))
+                            ),
+                            name="fa",
+                        )
+                    ],
+                )
+            ]
+        )
+        assert manifest.field_targets() == {("proc", "p_flag"): ["fa"]}
+
+    def test_program_save_and_load(self, tmp_path):
+        a, b = self._units()
+        program = combine([a, b])
+        path = program.save(tmp_path / "program.tesla.json")
+        loaded = ProgramManifest.load(path)
+        assert [u.unit for u in loaded.units] == ["alpha", "beta"]
+        assert len(loaded.assertions) == 2

@@ -1,0 +1,160 @@
+"""Unit tests for argument patterns."""
+
+import pytest
+
+from repro.core.patterns import (
+    AddressOf,
+    Any_,
+    Bitmask,
+    Const,
+    Flags,
+    Ref,
+    Var,
+    coerce_pattern,
+    match_all,
+)
+from repro.errors import AssertionParseError
+
+
+class TestAny:
+    def test_matches_everything(self):
+        pattern = Any_("ptr")
+        assert pattern.match(42, {}) == {}
+        assert pattern.match(None, {}) == {}
+        assert pattern.match(object(), {}) == {}
+
+    def test_describe_includes_type(self):
+        assert Any_("ptr").describe() == "ANY(ptr)"
+
+    def test_no_variables(self):
+        assert Any_("x").variables == ()
+
+
+class TestConst:
+    def test_matches_equal_value(self):
+        assert Const(7).match(7, {}) == {}
+
+    def test_rejects_unequal_value(self):
+        assert Const(7).match(8, {}) is None
+
+    def test_matches_strings(self):
+        assert Const("read").match("read", {}) == {}
+        assert Const("read").match("write", {}) is None
+
+    def test_describe(self):
+        assert Const(0).describe() == "0"
+
+
+class TestVar:
+    def test_unbound_variable_binds(self):
+        assert Var("vp").match("vnode-1", {}) == {"vp": "vnode-1"}
+
+    def test_bound_variable_checks_equality(self):
+        assert Var("vp").match("vnode-1", {"vp": "vnode-1"}) == {}
+        assert Var("vp").match("vnode-2", {"vp": "vnode-1"}) is None
+
+    def test_bound_variable_checks_identity_for_unequal_objects(self):
+        class Opaque:
+            __eq__ = object.__eq__
+            __hash__ = object.__hash__
+
+        obj = Opaque()
+        assert Var("o").match(obj, {"o": obj}) == {}
+        assert Var("o").match(Opaque(), {"o": obj}) is None
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(AssertionParseError):
+            Var("not a name")
+        with pytest.raises(AssertionParseError):
+            Var("")
+
+    def test_variables_property(self):
+        assert Var("so").variables == ("so",)
+
+
+class TestFlags:
+    def test_minimal_bitfield_requires_all_bits(self):
+        pattern = Flags(0b0110)
+        assert pattern.match(0b0110, {}) == {}
+        assert pattern.match(0b1111, {}) == {}  # extra bits allowed
+        assert pattern.match(0b0100, {}) is None  # missing a bit
+
+    def test_non_integer_rejected(self):
+        assert Flags(1).match("1", {}) is None
+
+
+class TestBitmask:
+    def test_maximal_bitfield_forbids_outside_bits(self):
+        pattern = Bitmask(0b0110)
+        assert pattern.match(0b0110, {}) == {}
+        assert pattern.match(0b0010, {}) == {}  # subset allowed
+        assert pattern.match(0, {}) == {}
+        assert pattern.match(0b1000, {}) is None  # outside bit
+
+    def test_non_integer_rejected(self):
+        assert Bitmask(3).match(None, {}) is None
+
+
+class TestAddressOf:
+    def test_matches_ref_contents(self):
+        pattern = AddressOf(Const(0))
+        assert pattern.match(Ref(0), {}) == {}
+        assert pattern.match(Ref(5), {}) is None
+
+    def test_non_ref_rejected(self):
+        assert AddressOf(Const(0)).match(0, {}) is None
+
+    def test_inner_variable_binds_through_ref(self):
+        pattern = AddressOf(Var("err"))
+        assert pattern.match(Ref(13), {}) == {"err": 13}
+
+    def test_variables_forwarded(self):
+        assert AddressOf(Var("err")).variables == ("err",)
+
+    def test_describe(self):
+        assert AddressOf(Var("e")).describe() == "&e"
+
+
+class TestCoerce:
+    def test_pattern_passthrough(self):
+        pattern = Any_("x")
+        assert coerce_pattern(pattern) is pattern
+
+    def test_plain_value_becomes_const(self):
+        pattern = coerce_pattern(5)
+        assert isinstance(pattern, Const)
+        assert pattern.value == 5
+
+
+class TestMatchAll:
+    def test_length_mismatch_fails(self):
+        assert match_all((Const(1),), (1, 2), {}) is None
+
+    def test_all_match_combines_bindings(self):
+        got = match_all((Var("a"), Var("b")), (1, 2), {})
+        assert got == {"a": 1, "b": 2}
+
+    def test_single_failure_fails_whole_match(self):
+        assert match_all((Var("a"), Const(9)), (1, 2), {}) is None
+
+    def test_repeated_variable_must_be_consistent(self):
+        assert match_all((Var("x"), Var("x")), (1, 1), {}) == {"x": 1}
+        assert match_all((Var("x"), Var("x")), (1, 2), {}) is None
+
+    def test_existing_binding_constrains(self):
+        assert match_all((Var("x"),), (1,), {"x": 2}) is None
+        assert match_all((Var("x"),), (2,), {"x": 2}) == {}
+
+    def test_empty_patterns_and_values(self):
+        assert match_all((), (), {}) == {}
+
+
+class TestRef:
+    def test_mutation_visible(self):
+        cell = Ref()
+        assert cell.value is None
+        cell.value = 42
+        assert cell.value == 42
+
+    def test_repr(self):
+        assert "42" in repr(Ref(42))

@@ -1,0 +1,85 @@
+"""Unit tests for the OR cross-product fragment construction."""
+
+import pytest
+
+from repro.core.automaton import (
+    EventSymbol,
+    FragmentBuilder,
+    TransitionKind,
+)
+from repro.core.ast import FunctionCall
+from repro.core.product import cross_product, cross_product_many
+
+
+def event_fragment(builder, name):
+    return builder.event(EventSymbol(FunctionCall(name, None)))
+
+
+class TestCrossProduct:
+    def test_product_of_single_events(self):
+        builder = FragmentBuilder()
+        a = event_fragment(builder, "a")
+        b = event_fragment(builder, "b")
+        product = cross_product(builder, a, b)
+        # Pairs reachable from (entry,entry): itself plus one per move,
+        # each with lifted transitions; the exit epsilons complete it.
+        kinds = {t.kind for t in product.transitions}
+        assert TransitionKind.EVENT in kinds
+        assert TransitionKind.EPSILON in kinds
+
+    def test_lifting_rules_duplicate_per_peer_state(self):
+        """∀ b_j: a_i --e--> a_k implies a_i b_j --e--> a_k b_j."""
+        builder = FragmentBuilder()
+        a = event_fragment(builder, "a")
+        b = builder.concat(
+            [event_fragment(builder, "b1"), event_fragment(builder, "b2")]
+        )
+        product = cross_product(builder, a, b)
+        a_symbol = builder.symbol(EventSymbol(FunctionCall("a", None)))
+        a_transitions = [
+            t
+            for t in product.transitions
+            if t.kind is TransitionKind.EVENT and t.symbol == a_symbol
+        ]
+        # The 'a' transition is lifted at least to the initial pair and to
+        # pairs after b's progress.
+        assert len(a_transitions) >= 2
+
+    def test_only_reachable_pairs_materialised(self):
+        builder = FragmentBuilder()
+        a = builder.concat(
+            [event_fragment(builder, "a1"), event_fragment(builder, "a2")]
+        )
+        b = builder.concat(
+            [event_fragment(builder, "b1"), event_fragment(builder, "b2")]
+        )
+        states_before = builder.n_states
+        product = cross_product(builder, a, b)
+        # Worst case would be |a| x |b| pairs; the epsilon-linked chains
+        # keep it linear-ish.  Just pin that it's bounded sanely.
+        pair_states = builder.n_states - states_before
+        assert pair_states <= 5 * 5 + 1
+
+    def test_many_requires_at_least_one(self):
+        builder = FragmentBuilder()
+        with pytest.raises(ValueError):
+            cross_product_many(builder, [])
+
+    def test_many_single_is_identity(self):
+        builder = FragmentBuilder()
+        a = event_fragment(builder, "a")
+        assert cross_product_many(builder, [a]) is a
+
+    def test_exit_reachable_from_either_branch_completion(self):
+        builder = FragmentBuilder()
+        a = event_fragment(builder, "a")
+        b = event_fragment(builder, "b")
+        product = cross_product(builder, a, b)
+        # Epsilon transitions into the product exit exist for pairs where
+        # either component finished.
+        exits = [
+            t
+            for t in product.transitions
+            if t.kind is TransitionKind.EPSILON and t.dst == product.exit
+        ]
+        assert len(exits) >= 2

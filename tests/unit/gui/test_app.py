@@ -1,0 +1,112 @@
+"""Unit tests for windows, the run loop and the replayer."""
+
+import pytest
+
+from repro.gui.app import (
+    XEvent,
+    XneeReplayer,
+    build_demo_window,
+    cursor_bug_scenario,
+    run_loop_iteration,
+)
+from repro.gui.backend import NewBackend, OldBackend
+from repro.gui.cursor import NSCursor
+from repro.gui.geometry import NSMakeRect
+from repro.gui.runtime import msg_send
+from repro.gui.teslag_ops import (
+    all_selectors,
+    method_implementations,
+    tracing_assertion,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_cursor():
+    NSCursor.reset_stack()
+    yield
+    NSCursor.reset_stack()
+
+
+class TestWindow:
+    def test_display_produces_commands(self):
+        window = build_demo_window(OldBackend())
+        ctx = msg_send(window, "display")
+        assert len(ctx.commands) > 20
+
+    def test_demo_window_has_tracking_tags(self):
+        window = build_demo_window(OldBackend())
+        assert set(window.tracking_tags) == {"ok", "cancel", "field"}
+
+    def test_expose_marks_needs_display(self):
+        window = build_demo_window(OldBackend())
+        msg_send(window, "display")
+        window.content_view.needs_display = False
+        msg_send(window, "sendEvent:", XEvent("expose"))
+        assert window.content_view.needs_display
+
+    def test_press_release_reaches_button(self):
+        window = build_demo_window(OldBackend())
+        msg_send(window, "sendEvent:", XEvent("press", 40, 40))
+        ok_button = window.content_view.subviews[0].subviews[0]
+        assert ok_button.cell.highlighted
+
+
+class TestRunLoop:
+    def test_iteration_redraws_when_needed(self):
+        window = build_demo_window(OldBackend())
+        assert run_loop_iteration(window, [XEvent("expose")])
+
+    def test_iteration_without_damage_skips_redraw(self):
+        window = build_demo_window(OldBackend())
+        run_loop_iteration(window, [XEvent("expose")])
+        assert not run_loop_iteration(window, [XEvent("motion", 300, 280)])
+
+
+class TestReplayer:
+    def test_replay_statistics(self):
+        window = build_demo_window(OldBackend())
+        stats = XneeReplayer(window).replay(2)
+        assert stats["iterations"] == 14
+        assert stats["redraws"] >= 2
+        assert stats["cursor_stack_depth"] == 0
+
+    def test_replay_deterministic(self):
+        first = XneeReplayer(build_demo_window(OldBackend())).replay(2)
+        NSCursor.reset_stack()
+        second = XneeReplayer(build_demo_window(OldBackend())).replay(2)
+        assert first == second
+
+
+class TestCursorScenario:
+    def test_clean_ordering_balances(self):
+        assert cursor_bug_scenario(build_demo_window(OldBackend())) == 0
+
+    def test_buggy_ordering_leaks(self):
+        window = build_demo_window(OldBackend(), buggy_event_order=True)
+        assert cursor_bug_scenario(window) == 1
+
+
+class TestTeslagOps:
+    def test_selector_inventory_nonempty(self):
+        assert len(all_selectors()) >= 40
+
+    def test_implementations_counted_per_class(self):
+        implementations = method_implementations()
+        assert len(implementations) > len(all_selectors())
+        assert ("NSButton", "mouseDown:") in implementations
+
+    def test_tracing_assertion_covers_every_selector(self):
+        from repro.core.ast import AtLeast, walk
+
+        assertion = tracing_assertion("tg-test")
+        atleast_nodes = [
+            node for node in walk(assertion.expression) if isinstance(node, AtLeast)
+        ]
+        assert atleast_nodes[0].minimum == 0
+        assert len(atleast_nodes[0].events) == len(all_selectors())
+
+    def test_tracing_assertion_translates(self):
+        from repro.core.translate import translate
+
+        automaton = translate(tracing_assertion("tg-test2"))
+        assert automaton.n_states >= 3

@@ -1,0 +1,92 @@
+"""Unit tests for the cell classes' drawing behaviour."""
+
+import pytest
+
+from repro.gui.backend import OldBackend
+from repro.gui.geometry import NSMakeRect
+from repro.gui.graphics import BLACK, GraphicsContext
+from repro.gui.runtime import msg_send
+from repro.gui.views import (
+    BLUE,
+    GRAY,
+    LIGHT,
+    NSButtonCell,
+    NSCell,
+    NSSliderCell,
+    NSTextFieldCell,
+)
+
+
+def draw(cell, width=60, height=20):
+    ctx = GraphicsContext(OldBackend())
+    msg_send(cell, "drawWithFrame:inView:", ctx, NSMakeRect(0, 0, width, height), None)
+    return ctx
+
+
+class TestBaseCell:
+    def test_object_value_round_trip(self):
+        cell = NSCell("v")
+        msg_send(cell, "setObjectValue:", "w")
+        assert msg_send(cell, "objectValue") == "w"
+
+    def test_base_cell_draws_nothing(self):
+        assert draw(NSCell("x")).commands == []
+
+    def test_highlight_flag(self):
+        cell = NSCell()
+        msg_send(cell, "setHighlighted:", True)
+        assert cell.highlighted
+
+
+class TestTextFieldCell:
+    def test_draws_background_then_text(self):
+        ctx = draw(NSTextFieldCell("hello"))
+        ops = [c.op for c in ctx.commands]
+        assert ops == ["fill-rect", "draw-text"]
+        assert ctx.commands[0].state.color == LIGHT
+        assert ctx.commands[1].geometry[0] == "hello"
+        assert ctx.commands[1].state.color == BLACK
+
+    def test_save_restore_balances(self):
+        backend = OldBackend()
+        ctx = GraphicsContext(backend)
+        msg_send(
+            NSTextFieldCell("x"), "drawWithFrame:inView:",
+            ctx, NSMakeRect(0, 0, 10, 10), None,
+        )
+        assert backend.saves == backend.restores == 1
+        assert ctx.state.color == BLACK  # restored to the pre-draw state
+
+
+class TestButtonCell:
+    def test_normal_fill_is_gray(self):
+        ctx = draw(NSButtonCell("OK"))
+        assert ctx.commands[0].state.color == GRAY
+
+    def test_highlighted_fill_is_blue(self):
+        cell = NSButtonCell("OK")
+        msg_send(cell, "setHighlighted:", True)
+        assert draw(cell).commands[0].state.color == BLUE
+
+    def test_interior_draws_label_and_border(self):
+        ctx = draw(NSButtonCell("Go"))
+        ops = [c.op for c in ctx.commands]
+        assert "draw-text" in ops and "stroke-rect" in ops
+
+
+class TestSliderCell:
+    def test_track_and_knob(self):
+        cell = NSSliderCell(0.5)
+        ctx = draw(cell, width=100)
+        ops = [c.op for c in ctx.commands]
+        assert ops == ["stroke-line", "fill-rect"]
+        knob = ctx.commands[1].geometry[0]
+        assert knob.x == pytest.approx(50 - 3)
+
+    def test_zero_value_knob_at_left(self):
+        ctx = draw(NSSliderCell(0.0), width=100)
+        assert ctx.commands[1].geometry[0].x == pytest.approx(-3)
+
+    def test_none_value_treated_as_zero(self):
+        ctx = draw(NSSliderCell(None), width=100)
+        assert ctx.commands[1].geometry[0].x == pytest.approx(-3)

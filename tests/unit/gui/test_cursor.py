@@ -1,0 +1,129 @@
+"""Unit tests for cursors, tracking rectangles and event ordering."""
+
+import pytest
+
+from repro.gui.cursor import (
+    ARROW,
+    IBEAM,
+    NSCursor,
+    TrackingManager,
+)
+from repro.gui.geometry import NSMakeRect, NSPoint
+from repro.gui.runtime import msg_send
+
+
+@pytest.fixture(autouse=True)
+def clean_stack():
+    NSCursor.reset_stack()
+    yield
+    NSCursor.reset_stack()
+
+
+class TestCursorStack:
+    def test_push_pop(self):
+        msg_send(IBEAM, "push")
+        assert NSCursor.current() is IBEAM
+        msg_send(IBEAM, "pop")
+        assert NSCursor.current() is None
+
+    def test_set_replaces_top(self):
+        msg_send(ARROW, "push")
+        msg_send(IBEAM, "set")
+        assert NSCursor.current() is IBEAM
+        assert NSCursor.stack_depth() == 1
+
+    def test_pop_empty_stack_harmless(self):
+        msg_send(ARROW, "pop")
+        assert NSCursor.stack_depth() == 0
+
+
+class TestTrackingRects:
+    def _manager(self, buggy=False):
+        manager = TrackingManager(buggy_event_order=buggy)
+        tag = msg_send(
+            manager, "addTrackingRect:cursor:view:",
+            NSMakeRect(0, 0, 10, 10), IBEAM, None,
+        )
+        return manager, tag
+
+    def test_enter_pushes_cursor(self):
+        manager, _ = self._manager()
+        msg_send(manager, "mouseMovedTo:", NSPoint(5, 5))
+        assert NSCursor.current() is IBEAM
+
+    def test_exit_pops_cursor(self):
+        manager, _ = self._manager()
+        msg_send(manager, "mouseMovedTo:", NSPoint(5, 5))
+        msg_send(manager, "mouseMovedTo:", NSPoint(50, 50))
+        assert NSCursor.stack_depth() == 0
+
+    def test_staying_inside_does_not_repush(self):
+        manager, _ = self._manager()
+        msg_send(manager, "mouseMovedTo:", NSPoint(5, 5))
+        msg_send(manager, "mouseMovedTo:", NSPoint(6, 6))
+        assert NSCursor.stack_depth() == 1
+
+    def test_remove_entered_rect_pops(self):
+        manager, tag = self._manager()
+        msg_send(manager, "mouseMovedTo:", NSPoint(5, 5))
+        msg_send(manager, "removeTrackingRect:", tag)
+        assert NSCursor.stack_depth() == 0
+
+    def test_view_notified_on_enter_and_exit(self):
+        from repro.gui.runtime import NSObject, selector
+
+        events = []
+
+        class Watcher(NSObject):
+            @selector("mouseEntered:")
+            def entered(self, rect):
+                events.append("entered")
+
+            @selector("mouseExited:")
+            def exited(self, rect):
+                events.append("exited")
+
+        manager = TrackingManager()
+        msg_send(
+            manager, "addTrackingRect:cursor:view:",
+            NSMakeRect(0, 0, 10, 10), IBEAM, Watcher(),
+        )
+        msg_send(manager, "mouseMovedTo:", NSPoint(5, 5))
+        msg_send(manager, "mouseMovedTo:", NSPoint(50, 50))
+        assert events == ["entered", "exited"]
+
+
+class TestEventOrderingBug:
+    def _hover_invalidate_hover(self, buggy):
+        manager = TrackingManager(buggy_event_order=buggy)
+        tag = msg_send(
+            manager, "addTrackingRect:cursor:view:",
+            NSMakeRect(0, 0, 10, 10), IBEAM, None,
+        )
+        msg_send(manager, "mouseMovedTo:", NSPoint(5, 5))    # enter: push
+        msg_send(
+            manager, "invalidateTrackingRect:newRect:", tag,
+            NSMakeRect(0, 0, 10, 10),
+        )
+        msg_send(manager, "mouseMovedTo:", NSPoint(6, 6))    # inspect
+        msg_send(manager, "mouseMovedTo:", NSPoint(7, 7))    # inspect again
+        msg_send(manager, "mouseMovedTo:", NSPoint(50, 50))  # leave: pop
+        return NSCursor.stack_depth()
+
+    def test_correct_ordering_balances(self):
+        assert self._hover_invalidate_hover(buggy=False) == 0
+
+    def test_buggy_ordering_leaks_a_push(self):
+        """The paper's bug: the invalidation lands after the inspection,
+        the entered flag is lost, the cursor is pushed twice, popped once."""
+        assert self._hover_invalidate_hover(buggy=True) == 1
+
+    def test_buggy_ordering_without_invalidation_is_fine(self):
+        manager = TrackingManager(buggy_event_order=True)
+        msg_send(
+            manager, "addTrackingRect:cursor:view:",
+            NSMakeRect(0, 0, 10, 10), IBEAM, None,
+        )
+        msg_send(manager, "mouseMovedTo:", NSPoint(5, 5))
+        msg_send(manager, "mouseMovedTo:", NSPoint(50, 50))
+        assert NSCursor.stack_depth() == 0

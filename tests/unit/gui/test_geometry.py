@@ -1,0 +1,40 @@
+"""Unit tests for geometry types."""
+
+from repro.gui.geometry import NSMakeRect, NSPoint, NSRect, NSSize
+
+
+class TestNSRect:
+    def test_contains_half_open(self):
+        rect = NSMakeRect(0, 0, 10, 10)
+        assert rect.contains(NSPoint(0, 0))
+        assert rect.contains(NSPoint(9.9, 9.9))
+        assert not rect.contains(NSPoint(10, 10))
+        assert not rect.contains(NSPoint(-1, 5))
+
+    def test_max_edges(self):
+        rect = NSMakeRect(2, 3, 10, 20)
+        assert rect.max_x == 12 and rect.max_y == 23
+
+    def test_intersects(self):
+        a = NSMakeRect(0, 0, 10, 10)
+        assert a.intersects(NSMakeRect(5, 5, 10, 10))
+        assert not a.intersects(NSMakeRect(10, 0, 5, 5))  # touching edges
+        assert not a.intersects(NSMakeRect(20, 20, 5, 5))
+
+    def test_inset(self):
+        rect = NSMakeRect(0, 0, 10, 10).inset(2, 3)
+        assert (rect.x, rect.y, rect.width, rect.height) == (2, 3, 6, 4)
+
+    def test_offset(self):
+        rect = NSMakeRect(1, 1, 5, 5).offset(10, 20)
+        assert (rect.x, rect.y) == (11, 21)
+        assert (rect.width, rect.height) == (5, 5)
+
+    def test_origin_and_size(self):
+        rect = NSMakeRect(1, 2, 3, 4)
+        assert rect.origin == NSPoint(1, 2)
+        assert rect.size == NSSize(3, 4)
+
+    def test_value_semantics(self):
+        assert NSMakeRect(0, 0, 1, 1) == NSRect(0, 0, 1, 1)
+        assert hash(NSPoint(1, 2)) == hash(NSPoint(1, 2))

@@ -1,0 +1,127 @@
+"""Unit tests for the graphics state, context and the two back-ends."""
+
+import pytest
+
+from repro.gui.backend import BackendError, NewBackend, OldBackend
+from repro.gui.geometry import NSMakeRect, NSPoint
+from repro.gui.graphics import BLACK, GraphicsContext, GraphicsState
+
+
+RED = (1.0, 0.0, 0.0, 1.0)
+GREEN = (0.0, 1.0, 0.0, 1.0)
+
+
+class TestGraphicsState:
+    def test_translated_accumulates(self):
+        state = GraphicsState().translated(5, 3).translated(1, 1)
+        assert state.transform[4:] == (6, 4)
+
+    def test_apply_transform(self):
+        state = GraphicsState().translated(10, 20)
+        point = state.apply(NSPoint(1, 2))
+        assert (point.x, point.y) == (11, 22)
+
+    def test_immutable(self):
+        state = GraphicsState()
+        with pytest.raises(Exception):
+            state.color = RED
+
+
+class TestGraphicsContext:
+    def test_commands_capture_effective_state(self):
+        ctx = GraphicsContext(OldBackend())
+        ctx.set_color(RED)
+        ctx.fill_rect(NSMakeRect(0, 0, 10, 10))
+        assert ctx.commands[0].state.color == RED
+
+    def test_translate_moves_geometry(self):
+        ctx = GraphicsContext(OldBackend())
+        ctx.translate(100, 0)
+        ctx.fill_rect(NSMakeRect(1, 1, 5, 5))
+        rect = ctx.commands[0].geometry[0]
+        assert rect.x == 101
+
+    def test_render_signature_comparable(self):
+        def draw(backend):
+            ctx = GraphicsContext(backend)
+            ctx.set_color(GREEN)
+            ctx.stroke_line(NSPoint(0, 0), NSPoint(1, 1))
+            return ctx.render_signature()
+
+        assert draw(OldBackend()) == draw(OldBackend())
+
+
+class TestLifoUsage:
+    """Both back-ends agree on strictly LIFO save/restore."""
+
+    @pytest.mark.parametrize("backend_cls", [OldBackend, NewBackend])
+    def test_lifo_restore_returns_saved_state(self, backend_cls):
+        ctx = GraphicsContext(backend_cls())
+        ctx.set_color(RED)
+        token = ctx.save_gstate()
+        ctx.set_color(GREEN)
+        ctx.restore_gstate(token)
+        assert ctx.state.color == RED
+
+    @pytest.mark.parametrize("backend_cls", [OldBackend, NewBackend])
+    def test_nested_lifo(self, backend_cls):
+        ctx = GraphicsContext(backend_cls())
+        outer = ctx.save_gstate()
+        ctx.set_color(RED)
+        inner = ctx.save_gstate()
+        ctx.set_color(GREEN)
+        ctx.restore_gstate(inner)
+        assert ctx.state.color == RED
+        ctx.restore_gstate(outer)
+        assert ctx.state.color == BLACK
+
+
+class TestNonLifoUsage:
+    """Only the old back-end restores non-LIFO correctly — the bug."""
+
+    def test_old_backend_supports_non_lifo(self):
+        ctx = GraphicsContext(OldBackend())
+        ctx.set_color(RED)
+        first = ctx.save_gstate()   # saves RED
+        ctx.set_color(GREEN)
+        second = ctx.save_gstate()  # saves GREEN
+        ctx.restore_gstate(first)   # non-LIFO: ask for RED
+        assert ctx.state.color == RED
+        ctx.restore_gstate(second)
+        assert ctx.state.color == GREEN
+
+    def test_new_backend_silently_restores_wrong_state(self):
+        backend = NewBackend()
+        ctx = GraphicsContext(backend)
+        ctx.set_color(RED)
+        first = ctx.save_gstate()
+        ctx.set_color(GREEN)
+        second = ctx.save_gstate()
+        ctx.restore_gstate(first)  # asks for RED...
+        assert ctx.state.color == GREEN  # ...silently gets GREEN
+        assert backend.misrestores == 1
+
+    def test_old_backend_unknown_token_raises(self):
+        backend = OldBackend()
+        ctx = GraphicsContext(backend)
+        with pytest.raises(BackendError):
+            ctx.restore_gstate(999)
+
+    def test_new_backend_empty_stack_raises(self):
+        ctx = GraphicsContext(NewBackend())
+        with pytest.raises(BackendError):
+            ctx.restore_gstate(1)
+
+    def test_old_backend_token_single_use(self):
+        ctx = GraphicsContext(OldBackend())
+        token = ctx.save_gstate()
+        ctx.restore_gstate(token)
+        with pytest.raises(BackendError):
+            ctx.restore_gstate(token)
+
+    def test_statistics_counted(self):
+        backend = OldBackend()
+        ctx = GraphicsContext(backend)
+        token = ctx.save_gstate()
+        ctx.restore_gstate(token)
+        assert backend.saves == 1 and backend.restores == 1

@@ -1,0 +1,122 @@
+"""Unit tests for the miniature Objective-C runtime."""
+
+import pytest
+
+from repro.gui.runtime import (
+    DoesNotRecognize,
+    NSObject,
+    class_replace_method,
+    msg_send,
+    selector,
+    set_tracing_supported,
+)
+from repro.instrument.interpose import interposition_table
+
+
+class Greeter(NSObject):
+    @selector("greet:")
+    def greet(self, name):
+        return f"hello {name}"
+
+    @selector("id")
+    def identity(self):
+        return id(self)
+
+
+class LoudGreeter(Greeter):
+    @selector("greet:")
+    def greet(self, name):
+        return f"HELLO {name}"
+
+
+@pytest.fixture(autouse=True)
+def tracing_on():
+    set_tracing_supported(True)
+    yield
+    set_tracing_supported(True)
+
+
+class TestDispatch:
+    def test_selector_dispatch(self):
+        assert msg_send(Greeter(), "greet:", "world") == "hello world"
+
+    def test_subclass_override(self):
+        assert msg_send(LoudGreeter(), "greet:", "world") == "HELLO world"
+
+    def test_inherited_selector(self):
+        loud = LoudGreeter()
+        assert msg_send(loud, "id") == id(loud)
+
+    def test_unknown_selector_raises(self):
+        with pytest.raises(DoesNotRecognize):
+            msg_send(Greeter(), "fly")
+
+    def test_responds_to(self):
+        assert Greeter().respondsTo("greet:")
+        assert not Greeter().respondsTo("fly")
+
+
+class TestRuntimeReplacement:
+    def test_replace_method_at_runtime(self):
+        class Victim(NSObject):
+            @selector("value")
+            def value(self):
+                return 1
+
+        class_replace_method(Victim, "value", lambda self: 2)
+        assert msg_send(Victim(), "value") == 2
+
+    def test_superclass_replacement_visible_to_subclass(self):
+        class Base(NSObject):
+            @selector("tag")
+            def tag(self):
+                return "base"
+
+        class Derived(Base):
+            pass
+
+        class_replace_method(Base, "tag", lambda self: "patched")
+        assert msg_send(Derived(), "tag") == "patched"
+
+
+class TestInterposition:
+    def test_hooks_see_send_and_return(self):
+        seen = []
+
+        def hook(phase, receiver, sel, args, result):
+            seen.append((phase, sel, args, result))
+
+        interposition_table.install("greet:", hook)
+        msg_send(Greeter(), "greet:", "x")
+        assert seen[0][0] == "send" and seen[0][2] == ("x",)
+        assert seen[1][0] == "return" and seen[1][3] == "hello x"
+
+    def test_wildcard_hooks_fire_for_every_selector(self):
+        seen = []
+        interposition_table.install_wildcard(
+            lambda phase, r, sel, args, result: seen.append(sel)
+        )
+        msg_send(Greeter(), "greet:", "x")
+        msg_send(Greeter(), "id")
+        assert set(seen) == {"greet:", "id"}
+
+    def test_release_runtime_skips_table_entirely(self):
+        seen = []
+        interposition_table.install_wildcard(
+            lambda *a: seen.append(a)
+        )
+        set_tracing_supported(False)
+        assert msg_send(Greeter(), "greet:", "x") == "hello x"
+        assert not seen
+
+    def test_remove_hook(self):
+        seen = []
+
+        def hook(phase, receiver, sel, args, result):
+            seen.append(sel)
+
+        interposition_table.install("id", hook)
+        interposition_table.remove("id", hook)
+        msg_send(Greeter(), "id")
+        assert not seen
+        assert interposition_table.hooks is None

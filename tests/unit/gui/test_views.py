@@ -1,0 +1,155 @@
+"""Unit tests for the view/cell hierarchy."""
+
+import pytest
+
+from repro.gui.backend import NewBackend, OldBackend
+from repro.gui.geometry import NSMakeRect, NSPoint
+from repro.gui.graphics import GraphicsContext
+from repro.gui.runtime import msg_send
+from repro.gui.views import (
+    NSBox,
+    NSButton,
+    NSSlider,
+    NSTableView,
+    NSTextField,
+    NSView,
+)
+
+
+class TestHierarchy:
+    def test_add_subview_wires_responder_chain(self):
+        parent = NSView(NSMakeRect(0, 0, 100, 100))
+        child = NSView(NSMakeRect(10, 10, 20, 20))
+        msg_send(parent, "addSubview:", child)
+        assert child.superview is parent
+        assert child.next_responder is parent
+
+    def test_remove_from_superview(self):
+        parent = NSView(NSMakeRect(0, 0, 100, 100))
+        child = NSView(NSMakeRect(0, 0, 10, 10))
+        msg_send(parent, "addSubview:", child)
+        msg_send(child, "removeFromSuperview")
+        assert child.superview is None
+        assert child not in parent.subviews
+
+    def test_set_needs_display_propagates_up(self):
+        parent = NSView(NSMakeRect(0, 0, 100, 100))
+        child = NSView(NSMakeRect(0, 0, 10, 10))
+        msg_send(parent, "addSubview:", child)
+        parent.needs_display = False
+        msg_send(child, "setNeedsDisplay:", True)
+        assert parent.needs_display
+
+    def test_hit_test_finds_deepest_view(self):
+        parent = NSView(NSMakeRect(0, 0, 100, 100))
+        child = NSView(NSMakeRect(10, 10, 20, 20))
+        msg_send(parent, "addSubview:", child)
+        assert msg_send(parent, "hitTest:", NSPoint(15, 15)) is child
+        assert msg_send(parent, "hitTest:", NSPoint(90, 90)) is parent
+        assert msg_send(parent, "hitTest:", NSPoint(200, 200)) is None
+
+    def test_hidden_views_not_hit(self):
+        view = NSView(NSMakeRect(0, 0, 10, 10))
+        view.hidden = True
+        assert msg_send(view, "hitTest:", NSPoint(5, 5)) is None
+
+
+class TestDrawing:
+    def test_display_clears_needs_display(self):
+        view = NSView(NSMakeRect(0, 0, 50, 50))
+        ctx = GraphicsContext(OldBackend())
+        msg_send(view, "display:", ctx)
+        assert not view.needs_display
+
+    def test_control_delegates_to_cell(self):
+        button = NSButton(NSMakeRect(0, 0, 60, 20), value="OK")
+        ctx = GraphicsContext(OldBackend())
+        msg_send(button, "display:", ctx)
+        ops = [command.op for command in ctx.commands]
+        assert "fill-rect" in ops and "draw-text" in ops
+
+    def test_subviews_drawn_with_translation(self):
+        parent = NSView(NSMakeRect(0, 0, 100, 100))
+        field = NSTextField(NSMakeRect(30, 40, 50, 20), value="x")
+        msg_send(parent, "addSubview:", field)
+        ctx = GraphicsContext(OldBackend())
+        msg_send(parent, "display:", ctx)
+        fills = [c for c in ctx.commands if c.op == "fill-rect"]
+        assert fills[0].geometry[0].x == 30
+
+    def test_button_press_highlights_and_fires_action(self):
+        fired = []
+
+        class Target:
+            pass
+
+        from repro.gui.runtime import NSObject, selector
+
+        class ClickTarget(NSObject):
+            @selector("onClick:")
+            def on_click(self, sender):
+                fired.append(sender)
+
+        button = NSButton(NSMakeRect(0, 0, 60, 20), value="Go")
+        target = ClickTarget()
+        msg_send(button, "setTarget:", target)
+        msg_send(button, "setAction:", "onClick:")
+        msg_send(button, "mouseDown:", NSPoint(5, 5))
+        assert button.cell.highlighted
+        msg_send(button, "mouseUp:", NSPoint(5, 5))
+        assert not button.cell.highlighted
+        assert fired == [button]
+
+    def test_slider_value_round_trip(self):
+        slider = NSSlider(NSMakeRect(0, 0, 100, 20), value=0.25)
+        msg_send(slider, "setFloatValue:", 0.75)
+        assert msg_send(slider, "floatValue") == 0.75
+
+    def test_string_value_round_trip(self):
+        field = NSTextField(NSMakeRect(0, 0, 100, 20), value="a")
+        msg_send(field, "setStringValue:", "b")
+        assert msg_send(field, "stringValue") == "b"
+
+
+class TestTableViewNonLifo:
+    def _table(self, backend):
+        return NSTableView(
+            NSMakeRect(0, 0, 120, 60), rows=[["a", "b"], ["c", "d"], ["e", "f"]]
+        ), GraphicsContext(backend)
+
+    def test_renders_correctly_on_old_backend(self):
+        table, ctx = self._table(OldBackend())
+        msg_send(table, "drawRect:", ctx, msg_send(table, "bounds"))
+        assert ctx.backend.misrestores if hasattr(ctx.backend, "misrestores") else True
+
+    def test_new_backend_misrestores(self):
+        table, ctx = self._table(NewBackend())
+        msg_send(table, "drawRect:", ctx, msg_send(table, "bounds"))
+        assert ctx.backend.misrestores > 0
+
+    def test_output_differs_between_backends(self):
+        old_table, old_ctx = self._table(OldBackend())
+        msg_send(old_table, "drawRect:", old_ctx, msg_send(old_table, "bounds"))
+        new_table, new_ctx = self._table(NewBackend())
+        msg_send(new_table, "drawRect:", new_ctx, msg_send(new_table, "bounds"))
+        assert old_ctx.render_signature() != new_ctx.render_signature()
+
+    def test_same_backend_is_deterministic(self):
+        a_table, a_ctx = self._table(OldBackend())
+        msg_send(a_table, "drawRect:", a_ctx, msg_send(a_table, "bounds"))
+        b_table, b_ctx = self._table(OldBackend())
+        msg_send(b_table, "drawRect:", b_ctx, msg_send(b_table, "bounds"))
+        assert a_ctx.render_signature() == b_ctx.render_signature()
+
+    def test_number_of_rows(self):
+        table, _ = self._table(OldBackend())
+        assert msg_send(table, "numberOfRows") == 3
+
+
+class TestBox:
+    def test_box_draws_title(self):
+        box = NSBox(NSMakeRect(0, 0, 50, 50), title="T")
+        ctx = GraphicsContext(OldBackend())
+        msg_send(box, "drawRect:", ctx, msg_send(box, "bounds"))
+        texts = [c for c in ctx.commands if c.op == "draw-text"]
+        assert texts and texts[0].geometry[0] == "T"

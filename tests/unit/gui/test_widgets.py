@@ -1,0 +1,181 @@
+"""Unit tests for the extended widget set."""
+
+import pytest
+
+from repro.gui.backend import OldBackend
+from repro.gui.geometry import NSMakeRect, NSPoint
+from repro.gui.graphics import GraphicsContext
+from repro.gui.runtime import NSObject, msg_send, selector
+from repro.gui.views import NSButtonCell, NSTextField, NSView
+from repro.gui.widgets import (
+    NSClipView,
+    NSMatrix,
+    NSMenu,
+    NSMenuItem,
+    NSPopUpButton,
+    NSProgressIndicator,
+    NSScroller,
+    NSScrollView,
+)
+
+
+class TestScrollView:
+    def _scrolled(self):
+        scroll = NSScrollView(NSMakeRect(0, 0, 100, 50))
+        document = NSView(NSMakeRect(0, 0, 88, 200))
+        msg_send(scroll, "setDocumentView:", document)
+        return scroll, document
+
+    def test_document_view_installed_in_clip(self):
+        scroll, document = self._scrolled()
+        assert document in scroll.clip_view.subviews
+        assert scroll.document_height == 200
+
+    def test_scroll_moves_visible_rect(self):
+        scroll, _ = self._scrolled()
+        msg_send(scroll, "scrollTo:", 0.5)
+        visible = msg_send(scroll.clip_view, "documentVisibleRect")
+        assert visible.y == pytest.approx(0.5 * (200 - 50))
+
+    def test_scroller_position_clamped(self):
+        scroller = NSScroller(NSMakeRect(0, 0, 12, 100), value=0.0)
+        msg_send(scroller, "setScrollPosition:", 1.7)
+        assert msg_send(scroller, "scrollPosition") == 1.0
+
+    def test_scrolled_drawing_translates_content(self):
+        scroll, document = self._scrolled()
+        field = NSTextField(NSMakeRect(0, 100, 50, 20), value="deep")
+        msg_send(document, "addSubview:", field)
+        msg_send(scroll, "scrollTo:", 1.0)
+        ctx = GraphicsContext(OldBackend())
+        msg_send(scroll, "display:", ctx)
+        texts = [c for c in ctx.commands if c.op == "draw-text" and c.geometry[0] == "deep"]
+        assert texts
+        # Scrolled fully down: the field renders 150px higher than unscrolled.
+        assert texts[0].geometry[1].y < 100
+
+
+class TestMenus:
+    def _menu(self):
+        fired = []
+
+        class Target(NSObject):
+            @selector("onSave:")
+            def on_save(self, item):
+                fired.append(item.title)
+
+        menu = NSMenu("File")
+        target = Target()
+        msg_send(menu, "addItem:", NSMenuItem("Save", action="onSave:", target=target))
+        msg_send(menu, "addItem:", NSMenuItem("Quit"))
+        return menu, fired
+
+    def test_item_lookup(self):
+        menu, _ = self._menu()
+        assert msg_send(menu, "numberOfItems") == 2
+        assert msg_send(menu, "itemWithTitle:", "Save") is not None
+        assert msg_send(menu, "itemWithTitle:", "Ghost") is None
+
+    def test_action_dispatch(self):
+        menu, fired = self._menu()
+        assert msg_send(menu, "performActionForItemWithTitle:", "Save")
+        assert fired == ["Save"]
+
+    def test_disabled_item_refuses(self):
+        menu, fired = self._menu()
+        msg_send(msg_send(menu, "itemWithTitle:", "Save"), "setEnabled:", False)
+        assert not msg_send(menu, "performActionForItemWithTitle:", "Save")
+        assert not fired
+
+    def test_submenu(self):
+        menu, _ = self._menu()
+        sub = NSMenu("Export")
+        item = msg_send(menu, "itemWithTitle:", "Quit")
+        msg_send(item, "setSubmenu:", sub)
+        assert item.submenu is sub
+
+
+class TestProgressIndicator:
+    def test_value_clamped_to_range(self):
+        bar = NSProgressIndicator(NSMakeRect(0, 0, 100, 10))
+        msg_send(bar, "setDoubleValue:", 150.0)
+        assert msg_send(bar, "doubleValue") == 100.0
+
+    def test_increment(self):
+        bar = NSProgressIndicator(NSMakeRect(0, 0, 100, 10))
+        msg_send(bar, "incrementBy:", 30.0)
+        msg_send(bar, "incrementBy:", 30.0)
+        assert msg_send(bar, "doubleValue") == 60.0
+
+    def test_draw_fills_fraction(self):
+        bar = NSProgressIndicator(NSMakeRect(0, 0, 100, 10))
+        msg_send(bar, "setDoubleValue:", 50.0)
+        ctx = GraphicsContext(OldBackend())
+        msg_send(bar, "drawRect:", ctx, msg_send(bar, "bounds"))
+        fills = [c for c in ctx.commands if c.op == "fill-rect"]
+        assert fills[1].geometry[0].width == pytest.approx(50.0)
+
+
+class TestMatrix:
+    def _matrix(self):
+        return NSMatrix(
+            NSMakeRect(0, 0, 90, 60), rows=2, columns=3,
+            cell_factory=lambda: NSButtonCell("x"),
+        )
+
+    def test_cell_addressing(self):
+        matrix = self._matrix()
+        assert msg_send(matrix, "cellAtRow:column:", 1, 2) is matrix.cells[1][2]
+        assert msg_send(matrix, "cellAtRow:column:", 9, 9) is None
+
+    def test_selection_is_exclusive(self):
+        matrix = self._matrix()
+        msg_send(matrix, "selectCellAtRow:column:", 0, 0)
+        msg_send(matrix, "selectCellAtRow:column:", 1, 1)
+        assert not matrix.cells[0][0].highlighted
+        assert matrix.cells[1][1].highlighted
+        assert msg_send(matrix, "selectedCell") is matrix.cells[1][1]
+
+    def test_mouse_down_selects_by_geometry(self):
+        matrix = self._matrix()
+        msg_send(matrix, "mouseDown:", NSPoint(75, 45))  # column 2, row 1
+        assert matrix.selected == (1, 2)
+
+    def test_draw_delegates_to_every_cell(self):
+        matrix = self._matrix()
+        ctx = GraphicsContext(OldBackend())
+        msg_send(matrix, "drawRect:", ctx, msg_send(matrix, "bounds"))
+        texts = [c for c in ctx.commands if c.op == "draw-text"]
+        assert len(texts) == 6
+
+
+class TestPopUpButton:
+    def test_selection_by_title(self):
+        popup = NSPopUpButton(NSMakeRect(0, 0, 80, 20), titles=["Red", "Green"])
+        assert msg_send(popup, "titleOfSelectedItem") == "Red"
+        assert msg_send(popup, "selectItemWithTitle:", "Green")
+        assert msg_send(popup, "titleOfSelectedItem") == "Green"
+
+    def test_unknown_title_rejected(self):
+        popup = NSPopUpButton(NSMakeRect(0, 0, 80, 20), titles=["Red"])
+        assert not msg_send(popup, "selectItemWithTitle:", "Mauve")
+        assert msg_send(popup, "titleOfSelectedItem") == "Red"
+
+
+class TestInstrumentationSurface:
+    def test_widget_selectors_in_teslag_ops(self):
+        from repro.gui.teslag_ops import all_selectors
+
+        selectors = all_selectors()
+        for name in (
+            "scrollToPoint:",
+            "performActionForItemWithTitle:",
+            "selectCellAtRow:column:",
+            "incrementBy:",
+        ):
+            assert name in selectors
+
+    def test_surface_approaches_the_papers_110(self):
+        from repro.gui.teslag_ops import method_implementations
+
+        assert len(method_implementations()) >= 80

@@ -1,0 +1,94 @@
+"""Unit tests for caller-side function instrumentation."""
+
+import types
+
+import pytest
+
+from repro.core.events import EventKind
+from repro.errors import InstrumentationError
+from repro.instrument.function import instrument_callers, make_call_wrapper
+
+
+def make_caller_module():
+    module = types.ModuleType("fake_libssl")
+
+    def EVP_VerifyFinal(ctx, sig, length, key):
+        return 1
+
+    module.EVP_VerifyFinal = EVP_VerifyFinal
+    module.unrelated = lambda: None
+    module.CONSTANT = 42
+    return module
+
+
+class TestWrapper:
+    def test_wrapper_preserves_result(self):
+        events = []
+        wrapper = make_call_wrapper(lambda a, b: a - b, "sub", [events.append])
+        assert wrapper(5, 3) == 2
+
+    def test_wrapper_emits_call_and_return(self):
+        events = []
+        wrapper = make_call_wrapper(lambda: 7, "f", [events.append])
+        wrapper()
+        assert [e.kind for e in events] == [EventKind.CALL, EventKind.RETURN]
+        assert events[1].retval == 7
+
+    def test_sink_list_shared_by_reference(self):
+        sinks = []
+        wrapper = make_call_wrapper(lambda: 1, "g", sinks)
+        wrapper()  # no sinks yet
+        events = []
+        sinks.append(events.append)
+        wrapper()
+        assert len(events) == 2
+
+
+class TestRewrites:
+    def test_rewrites_matching_callables(self):
+        module = make_caller_module()
+        events = []
+        rewrites = instrument_callers([module], "EVP_VerifyFinal", [events.append])
+        assert len(rewrites) == 1
+        module.EVP_VerifyFinal(None, b"", 0, None)
+        assert len(events) == 2
+
+    def test_non_matching_names_untouched(self):
+        module = make_caller_module()
+        original = module.unrelated
+        instrument_callers([module], "EVP_VerifyFinal", [])
+        assert module.unrelated is original
+        assert module.CONSTANT == 42
+
+    def test_undo_restores_original(self):
+        module = make_caller_module()
+        original = module.EVP_VerifyFinal
+        events = []
+        rewrites = instrument_callers([module], "EVP_VerifyFinal", [events.append])
+        for rewrite in rewrites:
+            rewrite.undo()
+        assert module.EVP_VerifyFinal is original
+        module.EVP_VerifyFinal(None, b"", 0, None)
+        assert not events
+
+    def test_no_call_sites_raises(self):
+        module = make_caller_module()
+        with pytest.raises(InstrumentationError):
+            instrument_callers([module], "does_not_exist", [])
+
+    def test_already_wrapped_not_rewrapped(self):
+        module = make_caller_module()
+        instrument_callers([module], "EVP_VerifyFinal", [])
+        with pytest.raises(InstrumentationError):
+            # The only candidate is already wrapped, so a second pass finds
+            # no *new* call sites.
+            instrument_callers([module], "EVP_VerifyFinal", [])
+
+    def test_custom_event_name(self):
+        module = make_caller_module()
+        events = []
+        instrument_callers(
+            [module], "EVP_VerifyFinal", [events.append], event_name="verify"
+        )
+        module.EVP_VerifyFinal(None, b"", 0, None)
+        assert events[0].name == "verify"

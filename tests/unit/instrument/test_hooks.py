@@ -1,0 +1,162 @@
+"""Unit tests for hook points and assertion sites."""
+
+import pytest
+
+from repro.core.events import EventKind
+from repro.errors import InstrumentationError
+from repro.instrument.hooks import (
+    HookPoint,
+    HookRegistry,
+    SiteRegistry,
+    hook_registry,
+    instrumentable,
+    site_registry,
+    tesla_site,
+)
+
+
+class TestInstrumentable:
+    def test_uninstrumented_function_behaves_normally(self):
+        registry = HookRegistry()
+
+        @instrumentable(registry=registry)
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+
+    def test_attached_sink_sees_call_and_return(self):
+        registry = HookRegistry()
+        events = []
+
+        @instrumentable(registry=registry)
+        def mul(a, b):
+            return a * b
+
+        registry.require("mul").attach(events.append)
+        assert mul(3, 4) == 12
+        assert [e.kind for e in events] == [EventKind.CALL, EventKind.RETURN]
+        assert events[0].args == (3, 4)
+        assert events[1].retval == 12
+
+    def test_custom_event_name(self):
+        registry = HookRegistry()
+
+        @instrumentable(name="custom_name", registry=registry)
+        def whatever():
+            return None
+
+        assert registry.get("custom_name") is not None
+
+    def test_keyword_arguments_appended_to_event_args(self):
+        registry = HookRegistry()
+        events = []
+
+        @instrumentable(registry=registry)
+        def kw(a, b=0):
+            return a + b
+
+        registry.require("kw").attach(events.append)
+        kw(1, b=2)
+        assert events[0].args == (1, 2)
+
+    def test_detach_restores_fast_path(self):
+        registry = HookRegistry()
+        events = []
+
+        @instrumentable(registry=registry)
+        def f():
+            return 1
+
+        point = registry.require("f")
+        point.attach(events.append)
+        f()
+        point.detach(events.append)
+        f()
+        assert len(events) == 2  # only the first call was observed
+        assert point.sinks is None
+
+    def test_duplicate_registration_rejected(self):
+        registry = HookRegistry()
+
+        @instrumentable(name="dup", registry=registry)
+        def f1():
+            pass
+
+        with pytest.raises(InstrumentationError):
+            @instrumentable(name="dup", registry=registry)
+            def f2():
+                pass
+
+    def test_require_unknown_raises_with_candidates(self):
+        registry = HookRegistry()
+        with pytest.raises(InstrumentationError):
+            registry.require("missing")
+
+    def test_multiple_sinks_all_called(self):
+        registry = HookRegistry()
+        a, b = [], []
+
+        @instrumentable(registry=registry)
+        def g():
+            return None
+
+        point = registry.require("g")
+        point.attach(a.append)
+        point.attach(b.append)
+        g()
+        assert len(a) == 2 and len(b) == 2
+
+    def test_attach_same_sink_twice_is_idempotent(self):
+        registry = HookRegistry()
+        events = []
+
+        @instrumentable(registry=registry)
+        def h():
+            return None
+
+        point = registry.require("h")
+        point.attach(events.append)
+        point.attach(events.append)
+        h()
+        assert len(events) == 2
+
+    def test_exceptions_propagate_without_return_event(self):
+        registry = HookRegistry()
+        events = []
+
+        @instrumentable(registry=registry)
+        def boom():
+            raise ValueError("x")
+
+        registry.require("boom").attach(events.append)
+        with pytest.raises(ValueError):
+            boom()
+        assert [e.kind for e in events] == [EventKind.CALL]
+
+
+class TestSites:
+    def test_disabled_site_is_noop(self):
+        tesla_site("never-registered", x=1)  # must not raise
+
+    def test_enabled_site_emits_scope(self):
+        events = []
+        site_registry.attach("my-assert", events.append)
+        tesla_site("my-assert", vp="v1", cred="c1")
+        assert len(events) == 1
+        assert events[0].kind is EventKind.ASSERTION_SITE
+        assert events[0].scope == {"vp": "v1", "cred": "c1"}
+
+    def test_detach_disables(self):
+        events = []
+        site_registry.attach("other", events.append)
+        site_registry.detach("other", events.append)
+        tesla_site("other")
+        assert not events
+
+    def test_multiple_sinks(self):
+        a, b = [], []
+        site_registry.attach("multi", a.append)
+        site_registry.attach("multi", b.append)
+        tesla_site("multi")
+        assert len(a) == 1 and len(b) == 1

@@ -1,0 +1,84 @@
+"""Unit tests for the interposition table itself."""
+
+from repro.core.events import EventKind
+from repro.instrument.interpose import (
+    InterpositionTable,
+    tesla_method_hook,
+    trivial_hook,
+)
+
+
+class TestTable:
+    def test_empty_table_fast_path(self):
+        table = InterpositionTable()
+        assert table.hooks is None
+        assert table.hooks_for("anything") is None
+
+    def test_install_and_lookup(self):
+        table = InterpositionTable()
+        table.install("sel", trivial_hook)
+        assert table.hooks_for("sel") == [trivial_hook]
+        assert table.hooks_for("other") is None
+
+    def test_wildcard_applies_to_everything(self):
+        table = InterpositionTable()
+        table.install_wildcard(trivial_hook)
+        assert table.hooks_for("whatever") == [trivial_hook]
+
+    def test_wildcard_runs_before_specific(self):
+        table = InterpositionTable()
+
+        def specific(*args):
+            pass
+
+        table.install_wildcard(trivial_hook)
+        table.install("sel", specific)
+        assert table.hooks_for("sel") == [trivial_hook, specific]
+
+    def test_remove_restores_fast_path(self):
+        table = InterpositionTable()
+        table.install("sel", trivial_hook)
+        table.remove("sel", trivial_hook)
+        assert table.hooks is None
+
+    def test_remove_unknown_is_harmless(self):
+        table = InterpositionTable()
+        table.remove("ghost", trivial_hook)
+
+    def test_clear_drops_everything(self):
+        table = InterpositionTable()
+        table.install("sel", trivial_hook)
+        table.install_wildcard(trivial_hook)
+        table.clear()
+        assert table.hooks is None and table.wildcard is None
+
+    def test_multiple_hooks_per_selector(self):
+        table = InterpositionTable()
+
+        def second(*args):
+            pass
+
+        table.install("sel", trivial_hook)
+        table.install("sel", second)
+        assert table.hooks_for("sel") == [trivial_hook, second]
+
+
+class TestTeslaMethodHook:
+    def test_send_phase_emits_call_event(self):
+        events = []
+        hook = tesla_method_hook(events.append)
+        receiver = object()
+        hook("send", receiver, "push", (1,), None)
+        assert events[0].kind is EventKind.CALL
+        assert events[0].name == "push"
+        assert events[0].args == (receiver, 1)
+
+    def test_return_phase_emits_return_event(self):
+        events = []
+        hook = tesla_method_hook(events.append)
+        hook("return", object(), "pop", (), "result")
+        assert events[0].kind is EventKind.RETURN
+        assert events[0].retval == "result"
+
+    def test_trivial_hook_does_nothing(self):
+        assert trivial_hook("send", object(), "sel", (), None) is None

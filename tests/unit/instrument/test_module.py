@@ -1,0 +1,147 @@
+"""Unit tests for the whole-program Instrumenter."""
+
+import types
+
+import pytest
+
+from repro.core.dsl import (
+    ANY,
+    call,
+    caller_side,
+    field_assign,
+    fn,
+    previously,
+    tesla_within,
+    var,
+)
+from repro.core.manifest import UnitManifest, combine
+from repro.errors import InstrumentationError, TemporalAssertionError
+from repro.instrument.fields import TeslaStruct, field_registry
+from repro.instrument.hooks import (
+    HookRegistry,
+    hook_registry,
+    instrumentable,
+    tesla_site,
+)
+from repro.instrument.module import Instrumenter
+from repro.runtime.manager import TeslaRuntime
+from repro.runtime.notify import LogAndContinue
+
+
+@instrumentable(name="im_target")
+def im_target(x):
+    return 0
+
+
+@instrumentable(name="im_bound")
+def im_bound(x, *, skip_check=False):
+    if not skip_check:
+        im_target(x)
+    tesla_site("im.assert", x=x)
+    return x
+
+
+class TestWeaving:
+    def _assertion(self, name="im.assert"):
+        return tesla_within(
+            "im_bound", previously(fn("im_target", var("x")) == 0), name=name
+        )
+
+    def test_instrument_and_pass(self, runtime):
+        with Instrumenter(runtime) as session:
+            session.instrument([self._assertion()])
+            assert im_bound(7) == 7
+
+    def test_instrument_and_fail(self, runtime):
+        with Instrumenter(runtime) as session:
+            session.instrument([self._assertion()])
+            with pytest.raises(TemporalAssertionError):
+                im_bound(7, skip_check=True)
+
+    def test_uninstrument_removes_everything(self, runtime):
+        session = Instrumenter(runtime)
+        session.instrument([self._assertion()])
+        session.uninstrument()
+        # With hooks removed the buggy path runs silently.
+        assert im_bound(7, skip_check=True) == 7
+        assert hook_registry.require("im_target").sinks is None
+
+    def test_double_instrument_rejected(self, runtime):
+        session = Instrumenter(runtime)
+        session.instrument([self._assertion()])
+        with pytest.raises(InstrumentationError):
+            session.instrument([self._assertion("other")])
+        session.uninstrument()
+
+    def test_program_manifest_accepted(self, runtime):
+        manifest = combine(
+            [UnitManifest(unit="u", assertions=[self._assertion()])]
+        )
+        with Instrumenter(runtime) as session:
+            session.instrument(manifest)
+            assert im_bound(3) == 3
+
+    def test_unknown_function_without_caller_modules_raises(self, runtime):
+        assertion = tesla_within(
+            "im_bound", previously(call("totally_unknown_fn")), name="unk"
+        )
+        with pytest.raises(InstrumentationError):
+            Instrumenter(runtime).instrument([assertion])
+
+
+class TestCallerSide:
+    def test_caller_side_weaving(self, runtime):
+        module = types.ModuleType("caller_mod")
+
+        def library_fn(x):
+            return 0
+
+        def do_work(x):
+            module.library_fn(x)
+            tesla_site("cs.assert", x=x)
+
+        module.library_fn = library_fn
+        module.do_work = do_work
+
+        @instrumentable(name="cs_bound")
+        def cs_bound(x):
+            module.do_work(x)
+
+        assertion = tesla_within(
+            "cs_bound",
+            previously(caller_side(fn("library_fn", var("x"))) == 0),
+            name="cs.assert",
+        )
+        with Instrumenter(runtime, caller_modules=[module]) as session:
+            session.instrument([assertion])
+            cs_bound(5)  # clean: no exception
+
+
+class TestFieldWeaving:
+    def test_field_hooks_attached_and_detached(self, runtime):
+        class Gadget(TeslaStruct):
+            TESLA_STRUCT_NAME = "gadget"
+
+            def __init__(self):
+                self.mode = 0
+
+        field_registry.register(Gadget)
+
+        @instrumentable(name="fw_bound")
+        def fw_bound(gadget, set_mode=True):
+            if set_mode:
+                gadget.mode = 1
+            tesla_site("fw.assert", g=gadget)
+
+        assertion = tesla_within(
+            "fw_bound",
+            previously(field_assign("gadget", "mode", target=var("g"))),
+            name="fw.assert",
+        )
+        session = Instrumenter(runtime)
+        session.instrument([assertion])
+        fw_bound(Gadget())  # clean
+        with pytest.raises(TemporalAssertionError):
+            fw_bound(Gadget(), set_mode=False)
+        session.uninstrument()
+        assert Gadget._tesla_field_sinks is None

@@ -1,0 +1,100 @@
+"""Unit tests for generated event translators (static-check chains)."""
+
+from repro.core.dsl import (
+    ANY,
+    call,
+    flags,
+    fn,
+    previously,
+    strictly,
+    tesla_within,
+    var,
+)
+from repro.core.events import call_event, return_event
+from repro.instrument.translator import EventTranslator, static_match
+from repro.core.automaton import EventSymbol
+from repro.runtime.manager import TeslaRuntime
+from repro.runtime.notify import LogAndContinue
+
+
+class TestStaticMatch:
+    def test_constants_checked_statically(self):
+        symbol = EventSymbol(fn("f", "read", var("vp")) == 0)
+        good = return_event("f", ("read", "v1"), 0)
+        bad_arg = return_event("f", ("write", "v1"), 0)
+        bad_ret = return_event("f", ("read", "v1"), -1)
+        assert static_match(symbol, good)
+        assert not static_match(symbol, bad_arg)
+        assert not static_match(symbol, bad_ret)
+
+    def test_variables_pass_statically(self):
+        symbol = EventSymbol(fn("f", var("x")) == 0)
+        assert static_match(symbol, return_event("f", ("anything",), 0))
+
+    def test_flags_checked_statically(self):
+        symbol = EventSymbol(call(fn("f", flags(0x4))))
+        assert static_match(symbol, call_event("f", (0x6,)))
+        assert not static_match(symbol, call_event("f", (0x2,)))
+
+    def test_arity_mismatch_fails(self):
+        symbol = EventSymbol(fn("f", var("x")) == 0)
+        assert not static_match(symbol, return_event("f", (1, 2), 0))
+
+
+class TestTranslator:
+    def _translator(self, assertion):
+        runtime = TeslaRuntime(policy=LogAndContinue())
+        runtime.install_assertion(assertion)
+        return EventTranslator(runtime), runtime
+
+    def test_unreferenced_events_dropped(self):
+        translator, runtime = self._translator(
+            tesla_within("m", previously(call("f")), name="tr1")
+        )
+        translator(call_event("unrelated", ()))
+        assert translator.dropped == 1
+        assert runtime.events_processed == 0
+
+    def test_static_mismatch_dropped_before_runtime(self):
+        translator, runtime = self._translator(
+            tesla_within(
+                "m", previously(fn("f", "read", ANY("p")) == 0), name="tr2"
+            )
+        )
+        translator(return_event("f", ("write", "x"), 0))
+        assert translator.dropped == 1
+        assert runtime.events_processed == 0
+
+    def test_matching_event_forwarded(self):
+        translator, runtime = self._translator(
+            tesla_within("m", previously(call("f")), name="tr3")
+        )
+        translator(call_event("f", ()))
+        assert translator.forwarded == 1
+        assert runtime.events_processed == 1
+
+    def test_strict_automata_bypass_static_filter(self):
+        translator, runtime = self._translator(
+            tesla_within(
+                "m",
+                strictly(previously(fn("f", "read", ANY("p")) == 0)),
+                name="tr4",
+            )
+        )
+        # Static mismatch, but the automaton is strict: forwarded anyway so
+        # the runtime can flag the unconsumable referenced event.
+        translator(return_event("f", ("write", "x"), 0))
+        assert translator.forwarded == 1
+
+    def test_refresh_picks_up_new_automata(self):
+        translator, runtime = self._translator(
+            tesla_within("m", previously(call("f")), name="tr5")
+        )
+        translator(call_event("g", ()))
+        assert translator.dropped == 1
+        runtime.install_assertion(
+            tesla_within("m", previously(call("g")), name="tr6")
+        )
+        translator.refresh()
+        translator(call_event("g", ()))
+        assert translator.forwarded == 1

@@ -1,0 +1,62 @@
+"""Unit tests for DTrace-style per-stack aggregation."""
+
+from repro.core.events import RuntimeEvent, EventKind
+from repro.introspect.aggregate import StackAggregator
+from repro.runtime.notify import Notification, NotificationKind
+
+
+def event_with_stack(name, stack):
+    return RuntimeEvent(
+        kind=EventKind.CALL, name=name, args=(), stack=tuple(stack)
+    )
+
+
+class TestAggregation:
+    def test_counts_by_name_and_stack(self):
+        aggregator = StackAggregator(capture_stacks=False)
+        aggregator(event_with_stack("poll", ["a", "b"]))
+        aggregator(event_with_stack("poll", ["a", "b"]))
+        aggregator(event_with_stack("poll", ["a", "c"]))
+        assert aggregator.total("call:poll") == 3
+        assert aggregator.distinct_stacks("call:poll") == 2
+
+    def test_rows_sorted_by_count(self):
+        aggregator = StackAggregator(capture_stacks=False)
+        for _ in range(3):
+            aggregator(event_with_stack("hot", ["x"]))
+        aggregator(event_with_stack("cold", ["y"]))
+        rows = aggregator.rows()
+        assert rows[0].name == "call:hot" and rows[0].count == 3
+
+    def test_notification_handler_counts_transitions(self):
+        aggregator = StackAggregator(capture_stacks=False)
+        aggregator.notification_handler(
+            Notification(kind=NotificationKind.UPDATE, automaton="auto")
+        )
+        aggregator.notification_handler(
+            Notification(kind=NotificationKind.ERROR, automaton="auto")
+        )
+        # INIT notifications are not aggregated (only transition activity).
+        aggregator.notification_handler(
+            Notification(kind=NotificationKind.INIT, automaton="auto")
+        )
+        assert aggregator.total("auto:update") == 1
+        assert aggregator.total("auto:error") == 1
+        assert aggregator.total("auto:init") == 0
+
+    def test_snapshot_captures_python_stack(self):
+        aggregator = StackAggregator(capture_stacks=True, stack_depth=4)
+
+        def deep_caller():
+            aggregator(RuntimeEvent(kind=EventKind.CALL, name="f", args=()))
+
+        deep_caller()
+        rows = aggregator.rows()
+        assert any("deep_caller" in row.stack for row in rows)
+
+    def test_format_and_clear(self):
+        aggregator = StackAggregator(capture_stacks=False)
+        aggregator(event_with_stack("f", ["main"]))
+        assert "call:f" in aggregator.format()
+        aggregator.clear()
+        assert aggregator.rows() == []

@@ -1,0 +1,74 @@
+"""Unit tests for assertion coverage reporting."""
+
+from repro.core.dsl import call, previously, tesla_within
+from repro.core.events import assertion_site_event, call_event, return_event
+from repro.introspect.coverage import coverage_report
+from repro.runtime.manager import TeslaRuntime
+
+
+def make_assertions():
+    return [
+        tesla_within(
+            "syscall", previously(call("checked")), name="cov.hit", tags=("core",)
+        ),
+        tesla_within(
+            "syscall", previously(call("never")), name="cov.miss1", tags=("procfs",)
+        ),
+        tesla_within(
+            "syscall", previously(call("never2")), name="cov.miss2", tags=("procfs",)
+        ),
+    ]
+
+
+def exercised_runtime():
+    runtime = TeslaRuntime()
+    runtime.install_assertions(make_assertions())
+    runtime.handle_event(call_event("syscall", ()))
+    runtime.handle_event(call_event("checked", ()))
+    runtime.handle_event(assertion_site_event("cov.hit", {}))
+    runtime.handle_event(return_event("syscall", (), 0))
+    return runtime
+
+
+class TestCoverageReport:
+    def test_exercised_vs_unexercised(self):
+        report = coverage_report(exercised_runtime(), make_assertions())
+        assert [c.name for c in report.exercised] == ["cov.hit"]
+        assert sorted(c.name for c in report.unexercised) == [
+            "cov.miss1",
+            "cov.miss2",
+        ]
+
+    def test_unexercised_by_tag(self):
+        report = coverage_report(exercised_runtime(), make_assertions())
+        assert report.unexercised_by_tag() == {"procfs": 2}
+
+    def test_bound_opened_counted_even_when_unexercised(self):
+        report = coverage_report(exercised_runtime(), make_assertions())
+        miss = next(c for c in report.assertions if c.name == "cov.miss1")
+        # The syscall bound opened once; lazy mode never activated the
+        # class because no relevant event arrived, so bound_opened may be 0
+        # — but the exercised assertion definitely opened it.
+        hit = next(c for c in report.assertions if c.name == "cov.hit")
+        assert hit.bound_opened >= 1
+        assert not miss.exercised
+
+    def test_accepts_counted(self):
+        report = coverage_report(exercised_runtime(), make_assertions())
+        hit = next(c for c in report.assertions if c.name == "cov.hit")
+        assert hit.accepts == 1
+
+    def test_summary_mentions_totals(self):
+        report = coverage_report(exercised_runtime(), make_assertions())
+        summary = report.summary()
+        assert "1/3" in summary
+        assert "procfs" in summary
+
+    def test_without_assertion_list_tags_empty(self):
+        report = coverage_report(exercised_runtime())
+        assert report.unexercised_by_tag() == {"untagged": 2}
+
+    def test_by_tag_groups(self):
+        report = coverage_report(exercised_runtime(), make_assertions())
+        groups = report.by_tag()
+        assert {c.name for c in groups["procfs"]} == {"cov.miss1", "cov.miss2"}

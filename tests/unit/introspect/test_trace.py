@@ -1,0 +1,97 @@
+"""Unit tests for trace recording."""
+
+from repro.core.events import call_event, return_event
+from repro.introspect.trace import TraceRecorder, sequence_histogram
+from repro.runtime.notify import Notification, NotificationKind
+
+
+class TestEventSink:
+    def test_records_events_in_order(self):
+        recorder = TraceRecorder()
+        recorder(call_event("a", (1,)))
+        recorder(return_event("a", (1,), 2))
+        assert [r.kind for r in recorder.records] == ["call", "return"]
+        assert recorder.records[0].index == 0
+        assert recorder.records[1].retval == 2
+
+    def test_named_and_of_kind_filters(self):
+        recorder = TraceRecorder()
+        recorder(call_event("a", ()))
+        recorder(call_event("b", ()))
+        recorder(return_event("a", (), None))
+        assert len(recorder.named("a")) == 2
+        assert len(recorder.of_kind("call")) == 2
+
+    def test_count_with_kind(self):
+        recorder = TraceRecorder()
+        recorder(call_event("push", ()))
+        recorder(return_event("push", (), None))
+        assert recorder.count("push") == 2
+        assert recorder.count("push", "call") == 1
+
+    def test_clear(self):
+        recorder = TraceRecorder()
+        recorder(call_event("a", ()))
+        recorder.clear()
+        assert not recorder.records
+
+
+class TestPairing:
+    def _record_sends(self, recorder, names):
+        for name in names:
+            recorder.interposition_hook("send", object(), name, (), None)
+
+    def test_balanced_pairs_have_zero_imbalance(self):
+        recorder = TraceRecorder()
+        self._record_sends(recorder, ["push", "pop", "push", "pop"])
+        assert recorder.pairing_imbalance("push", "pop") == 0
+        assert recorder.first_unmatched("push", "pop") is None
+
+    def test_duplicate_push_detected(self):
+        recorder = TraceRecorder()
+        self._record_sends(recorder, ["push", "push", "pop"])
+        assert recorder.pairing_imbalance("push", "pop") == 1
+        unmatched = recorder.first_unmatched("push", "pop")
+        assert unmatched is not None
+        assert unmatched.name == "push"
+
+    def test_first_unmatched_is_earliest(self):
+        recorder = TraceRecorder()
+        self._record_sends(recorder, ["push", "push", "push", "pop"])
+        unmatched = recorder.first_unmatched("push", "pop")
+        assert unmatched.index == 0
+
+
+class TestNotificationHandler:
+    def test_automaton_activity_recorded(self):
+        recorder = TraceRecorder()
+        recorder.notification_handler(
+            Notification(
+                kind=NotificationKind.CLONE,
+                automaton="auto",
+                instance_name="(x=1)",
+            )
+        )
+        assert recorder.records[0].kind == "auto:clone"
+        assert recorder.records[0].name == "auto"
+
+
+class TestHistogram:
+    def test_sequence_histogram_counts_windows(self):
+        recorder = TraceRecorder()
+        for name in ["save", "draw", "restore", "save", "draw", "restore"]:
+            recorder.interposition_hook("send", object(), name, (), None)
+        histogram = sequence_histogram(recorder.records, window=2)
+        assert histogram[("save", "draw")] == 2
+        assert histogram[("draw", "restore")] == 2
+
+    def test_window_larger_than_trace(self):
+        recorder = TraceRecorder()
+        recorder.interposition_hook("send", object(), "only", (), None)
+        assert sequence_histogram(recorder.records, window=3) == {}
+
+    def test_format_lists_rows(self):
+        recorder = TraceRecorder()
+        recorder(call_event("f", (1,)))
+        text = recorder.format()
+        assert "f(1)" in text

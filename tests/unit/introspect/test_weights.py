@@ -1,0 +1,83 @@
+"""Unit tests for figure 9 weighted automaton graphs."""
+
+from repro.core.dsl import ANY, fn, previously, tesla_within, var
+from repro.core.events import (
+    assertion_site_event,
+    call_event,
+    return_event,
+)
+from repro.introspect.weights import to_dot, weighted_graph
+from repro.runtime.manager import TeslaRuntime
+
+
+def run_workload(runtime, name, hits=3):
+    for index in range(hits):
+        runtime.handle_event(call_event("syscall", ()))
+        runtime.handle_event(return_event("check", ("c", f"vp{index}"), 0))
+        runtime.handle_event(assertion_site_event(name, {"vp": f"vp{index}"}))
+        runtime.handle_event(return_event("syscall", (), 0))
+
+
+def installed_runtime(name):
+    runtime = TeslaRuntime()
+    runtime.install_assertion(
+        tesla_within(
+            "syscall",
+            previously(fn("check", ANY("c"), var("vp")) == 0),
+            name=name,
+        )
+    )
+    return runtime
+
+
+class TestWeightedGraph:
+    def test_weights_reflect_run(self):
+        runtime = installed_runtime("wg1")
+        run_workload(runtime, "wg1", hits=3)
+        graph = weighted_graph(runtime, "wg1")
+        by_kind = {}
+        for edge in graph.edges:
+            by_kind[edge.kind] = by_kind.get(edge.kind, 0) + edge.weight
+        assert by_kind["init"] == 3
+        assert by_kind["event"] == 3
+        assert by_kind["assertion-site"] == 3
+        assert by_kind["cleanup"] == 3
+
+    def test_unexercised_edges_listed(self):
+        runtime = installed_runtime("wg2")
+        graph = weighted_graph(runtime, "wg2")
+        assert len(graph.unexercised()) == len(graph.edges)
+        assert graph.coverage_ratio() == 0.0
+
+    def test_full_coverage_after_run(self):
+        runtime = installed_runtime("wg3")
+        run_workload(runtime, "wg3")
+        graph = weighted_graph(runtime, "wg3")
+        assert graph.coverage_ratio() == 1.0
+
+    def test_hottest_sorted_descending(self):
+        runtime = installed_runtime("wg4")
+        run_workload(runtime, "wg4", hits=2)
+        hottest = weighted_graph(runtime, "wg4").hottest(10)
+        weights = [edge.weight for edge in hottest]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_describe_mentions_weights(self):
+        runtime = installed_runtime("wg5")
+        run_workload(runtime, "wg5", hits=1)
+        assert "weight=1" in weighted_graph(runtime, "wg5").describe()
+
+
+class TestDot:
+    def test_dot_output_is_well_formed(self):
+        runtime = installed_runtime("wd1")
+        run_workload(runtime, "wd1")
+        dot = to_dot(weighted_graph(runtime, "wd1"))
+        assert dot.startswith('digraph "wd1"')
+        assert dot.rstrip().endswith("}")
+        assert "doublecircle" in dot  # the accept state
+
+    def test_unexercised_edges_greyed(self):
+        runtime = installed_runtime("wd2")
+        dot = to_dot(weighted_graph(runtime, "wd2"))
+        assert "color=gray" in dot

@@ -1,0 +1,128 @@
+"""Unit tests for the MAC framework, policies and check entry points."""
+
+from repro.kernel.mac import checks as mac
+from repro.kernel.mac.framework import MacFramework, mac_framework
+from repro.kernel.mac.policy import DenyPolicy, MacPolicy, MlsPolicy
+from repro.kernel.types import EACCES, EPERM, Ucred, crget
+from repro.kernel.vfs.ufs import make_ufs_mount
+from repro.kernel.vfs.vnode import VREG, Inode
+
+
+class TestFramework:
+    def test_no_policy_allows_everything(self):
+        framework = MacFramework()
+        assert framework.check("vnode_check_open", crget(), object()) == 0
+
+    def test_first_denial_wins(self):
+        framework = MacFramework()
+        framework.register(MacPolicy())  # allows
+        framework.register(DenyPolicy(frozenset({"vnode_check_open"})))
+        assert framework.check("vnode_check_open", crget(), object()) == EACCES
+        assert framework.check("vnode_check_read", crget(), object()) == 0
+
+    def test_unregister(self):
+        framework = MacFramework()
+        deny = DenyPolicy(frozenset({"vnode_check_open"}))
+        framework.register(deny)
+        framework.unregister(deny)
+        assert framework.check("vnode_check_open", crget(), object()) == 0
+
+    def test_hook_counts_accumulate(self):
+        framework = MacFramework()
+        framework.check("socket_check_poll", crget(), object())
+        framework.check("socket_check_poll", crget(), object())
+        assert framework.hook_counts["socket_check_poll"] == 2
+
+
+class TestMlsPolicy:
+    def _vnode(self, label):
+        mount = make_ufs_mount()
+        inode = Inode(VREG, i_label=label)
+        return mount.vget(inode)
+
+    def test_read_up_denied(self):
+        policy = MlsPolicy()
+        low = crget(cr_label=1)
+        secret = self._vnode(5)
+        assert policy.check("vnode_check_read", low, secret) == EACCES
+
+    def test_read_down_allowed(self):
+        policy = MlsPolicy()
+        high = crget(cr_label=9)
+        assert policy.check("vnode_check_read", high, self._vnode(1)) == 0
+
+    def test_write_down_denied(self):
+        policy = MlsPolicy()
+        high = crget(cr_label=9)
+        assert policy.check("vnode_check_write", high, self._vnode(1)) == EACCES
+
+    def test_write_up_allowed(self):
+        policy = MlsPolicy()
+        low = crget(cr_label=1)
+        assert policy.check("vnode_check_write", low, self._vnode(5)) == 0
+
+    def test_control_requires_dominance(self):
+        policy = MlsPolicy()
+        subject = crget(cr_label=3)
+        peer_high = crget(cr_label=7)
+        peer_low = crget(cr_label=2)
+        assert policy.check("proc_check_signal", subject, peer_high) == EPERM
+        assert policy.check("proc_check_signal", subject, peer_low) == 0
+
+    def test_unknown_hook_allowed(self):
+        policy = MlsPolicy()
+        assert policy.check("some_future_hook", crget(), object()) == 0
+
+    def test_label_discovery_via_proc_cred(self):
+        from repro.kernel.types import Proc
+
+        policy = MlsPolicy()
+        target = Proc(crget(cr_label=8))
+        assert policy.check("proc_check_debug", crget(cr_label=2), target) == EPERM
+
+
+class TestCheckEntryPoints:
+    def test_checks_consult_global_framework(self):
+        deny = DenyPolicy(frozenset({"socket_check_poll"}))
+        mac_framework.register(deny)
+        assert mac.mac_socket_check_poll(crget(), object()) == EACCES
+        mac_framework.unregister(deny)
+        assert mac.mac_socket_check_poll(crget(), object()) == 0
+
+    def test_every_vnode_check_callable(self):
+        cred, vp = crget(), object()
+        for check in (
+            mac.mac_vnode_check_open,
+            mac.mac_vnode_check_exec,
+            mac.mac_vnode_check_readdir,
+            mac.mac_vnode_check_readlink,
+            mac.mac_vnode_check_setutimes,
+            mac.mac_vnode_check_listextattr,
+            mac.mac_vnode_check_getacl,
+            mac.mac_vnode_check_setacl,
+            mac.mac_vnode_check_deleteacl,
+            mac.mac_vnode_check_revoke,
+            mac.mac_kld_check_load,
+        ):
+            assert check(cred, vp) == 0
+
+    def test_every_socket_check_callable(self):
+        cred, so = crget(), object()
+        assert mac.mac_socket_check_create(cred, 2, 1) == 0
+        for check in (
+            mac.mac_socket_check_listen,
+            mac.mac_socket_check_accept,
+            mac.mac_socket_check_send,
+            mac.mac_socket_check_receive,
+            mac.mac_socket_check_poll,
+            mac.mac_socket_check_stat,
+        ):
+            assert check(cred, so) == 0
+
+    def test_proc_checks_callable(self):
+        cred, proc = crget(), object()
+        assert mac.mac_proc_check_signal(cred, proc, 9) == 0
+        assert mac.mac_proc_check_debug(cred, proc) == 0
+        assert mac.mac_proc_check_rtprio(cred, proc, 1) == 0
+        assert mac.mac_proc_check_cpuset(cred, proc, 0) == 0
+        assert mac.mac_procfs_check_read(cred, proc, "mem") == 0

@@ -1,0 +1,198 @@
+"""Unit tests for sockets, the poll chain, and select/poll/kqueue."""
+
+import pytest
+
+from repro.kernel.bugs import bugs
+from repro.kernel.mac.framework import mac_framework
+from repro.kernel.net.select import Kevent
+from repro.kernel.net.socket import AF_INET, POLLIN, POLLOUT, SOCK_STREAM
+from repro.kernel.system import KernelSystem
+from repro.kernel.types import EBADF, EINVAL
+
+
+@pytest.fixture
+def kernel():
+    k = KernelSystem()
+    k.boot()
+    return k
+
+
+@pytest.fixture
+def td(kernel):
+    return kernel.threads[0]
+
+
+def make_listener(kernel, td, port=99):
+    error, fd = kernel.syscall(td, "socket", (AF_INET, SOCK_STREAM))
+    assert error == 0
+    assert kernel.syscall(td, "bind", (fd, ("lo", port))) == 0
+    assert kernel.syscall(td, "listen", (fd,)) == 0
+    return fd
+
+
+def make_pair(kernel, td, port=7):
+    listener = make_listener(kernel, td, port)
+    error, cfd = kernel.syscall(td, "socket", (AF_INET, SOCK_STREAM))
+    assert kernel.syscall(td, "connect", (cfd, ("lo", port))) == 0
+    error, sfd = kernel.syscall(td, "accept", (listener,))
+    assert error == 0
+    return cfd, sfd
+
+
+class TestSocketLifecycle:
+    def test_create_returns_descriptor(self, kernel, td):
+        error, fd = kernel.syscall(td, "socket", (AF_INET, SOCK_STREAM))
+        assert error == 0 and fd >= 0
+
+    def test_unknown_protocol_einval(self, kernel, td):
+        error, fd = kernel.syscall(td, "socket", (AF_INET, 99))
+        assert error == EINVAL and fd == -1
+
+    def test_connect_unbound_address_einval(self, kernel, td):
+        error, fd = kernel.syscall(td, "socket", (AF_INET, SOCK_STREAM))
+        assert kernel.syscall(td, "connect", (fd, ("nowhere", 1))) == EINVAL
+
+    def test_connect_to_non_listening_einval(self, kernel, td):
+        error, fd = kernel.syscall(td, "socket", (AF_INET, SOCK_STREAM))
+        kernel.syscall(td, "bind", (fd, ("lo", 5)))
+        error, cfd = kernel.syscall(td, "socket", (AF_INET, SOCK_STREAM))
+        assert kernel.syscall(td, "connect", (cfd, ("lo", 5))) == EINVAL
+
+    def test_accept_empty_queue_einval(self, kernel, td):
+        listener = make_listener(kernel, td)
+        error, fd = kernel.syscall(td, "accept", (listener,))
+        assert error == EINVAL
+
+    def test_data_round_trip(self, kernel, td):
+        cfd, sfd = make_pair(kernel, td)
+        assert kernel.syscall(td, "send", (cfd, b"ping")) == 0
+        error, data = kernel.syscall(td, "recv", (sfd,))
+        assert data == b"ping"
+        assert kernel.syscall(td, "send", (sfd, b"pong")) == 0
+        error, data = kernel.syscall(td, "recv", (cfd,))
+        assert data == b"pong"
+
+    def test_recv_empty_returns_nothing(self, kernel, td):
+        cfd, sfd = make_pair(kernel, td, port=8)
+        error, data = kernel.syscall(td, "recv", (cfd,))
+        assert error == 0 and data == b""
+
+    def test_close_clears_descriptor(self, kernel, td):
+        error, fd = kernel.syscall(td, "socket", (AF_INET, SOCK_STREAM))
+        assert kernel.syscall(td, "close", (fd,)) == 0
+        assert kernel.syscall(td, "send", (fd, b"x")) == EBADF
+
+
+class TestPollChain:
+    def test_select_reports_ready_listener(self, kernel, td):
+        listener = make_listener(kernel, td, port=20)
+        error, cfd = kernel.syscall(td, "socket", (AF_INET, SOCK_STREAM))
+        kernel.syscall(td, "connect", (cfd, ("lo", 20)))
+        error, ready = kernel.syscall(td, "select", ([listener], POLLIN))
+        assert error == 0 and ready == [listener]
+
+    def test_select_idle_socket_not_ready(self, kernel, td):
+        error, fd = kernel.syscall(td, "socket", (AF_INET, SOCK_STREAM))
+        error, ready = kernel.syscall(td, "select", ([fd], POLLIN))
+        assert ready == []
+
+    def test_poll_traverses_mac_check(self, kernel, td):
+        fd = make_listener(kernel, td, port=21)
+        before = mac_framework.hook_counts.get("socket_check_poll", 0)
+        error, revents = kernel.syscall(td, "poll", ([fd], POLLIN))
+        assert error == 0
+        assert mac_framework.hook_counts["socket_check_poll"] == before + 1
+
+    def test_pollout_always_ready(self, kernel, td):
+        cfd, sfd = make_pair(kernel, td, port=22)
+        error, revents = kernel.syscall(td, "poll", ([cfd], POLLOUT))
+        assert revents[cfd] & POLLOUT
+
+    def test_bad_fd_ebadf(self, kernel, td):
+        error, _ = kernel.syscall(td, "poll", ([999], POLLIN))
+        assert error == EBADF
+
+
+class TestKqueue:
+    def test_kqueue_checks_mac_when_fixed(self, kernel, td):
+        fd = make_listener(kernel, td, port=30)
+        error, kq = kernel.syscall(td, "kqueue", ())
+        before = mac_framework.hook_counts.get("socket_check_poll", 0)
+        error, ready = kernel.syscall(td, "kevent", (kq, [Kevent(fd, POLLIN)]))
+        assert error == 0
+        assert mac_framework.hook_counts["socket_check_poll"] == before + 1
+
+    def test_kqueue_bug_skips_mac(self, kernel, td):
+        fd = make_listener(kernel, td, port=31)
+        error, kq = kernel.syscall(td, "kqueue", ())
+        with bugs.injected("kqueue_missing_mac_check"):
+            before = mac_framework.hook_counts.get("socket_check_poll", 0)
+            kernel.syscall(td, "kevent", (kq, [Kevent(fd, POLLIN)]))
+            assert mac_framework.hook_counts.get("socket_check_poll", 0) == before
+
+    def test_kevent_reports_ready_fds(self, kernel, td):
+        listener = make_listener(kernel, td, port=32)
+        error, cfd = kernel.syscall(td, "socket", (AF_INET, SOCK_STREAM))
+        kernel.syscall(td, "connect", (cfd, ("lo", 32)))
+        error, kq = kernel.syscall(td, "kqueue", ())
+        error, ready = kernel.syscall(td, "kevent", (kq, [Kevent(listener, POLLIN)]))
+        assert ready == [listener]
+
+    def test_kevent_on_regular_file_uses_poll(self, kernel, td):
+        error, fd = kernel.syscall(td, "open", ("/etc/motd",))
+        error, kq = kernel.syscall(td, "kqueue", ())
+        error, ready = kernel.syscall(td, "kevent", (kq, [Kevent(fd, POLLIN)]))
+        assert error == 0 and ready == [fd]
+
+    def test_registrations_persist_across_kevent_calls(self, kernel, td):
+        listener = make_listener(kernel, td, port=33)
+        error, kq = kernel.syscall(td, "kqueue", ())
+        kernel.syscall(td, "kevent", (kq, [Kevent(listener, POLLIN)]))
+        error, cfd = kernel.syscall(td, "socket", (AF_INET, SOCK_STREAM))
+        kernel.syscall(td, "connect", (cfd, ("lo", 33)))
+        error, ready = kernel.syscall(td, "kevent", (kq, []))
+        assert ready == [listener]
+
+
+class TestWrongCredBug:
+    def test_soo_poll_uses_active_cred_by_default(self, kernel, td):
+        fd = make_listener(kernel, td, port=40)
+        # Change the active credential so it differs from f_cred.
+        kernel.syscall(td, "setuid", (0,))
+        fp = td.td_proc.p_fd[fd]
+        assert fp.f_cred is not td.td_ucred
+        recorded = []
+
+        class Spy:
+            name = "spy"
+
+            def check(self, hook, cred, obj, arg=None):
+                if hook == "socket_check_poll":
+                    recorded.append(cred)
+                return 0
+
+        mac_framework.register(Spy())
+        kernel.syscall(td, "poll", ([fd], POLLIN))
+        mac_framework.unregister_all()
+        assert recorded[-1] is td.td_ucred
+
+    def test_soo_poll_uses_file_cred_under_bug(self, kernel, td):
+        fd = make_listener(kernel, td, port=41)
+        kernel.syscall(td, "setuid", (0,))
+        fp = td.td_proc.p_fd[fd]
+        recorded = []
+
+        class Spy:
+            name = "spy"
+
+            def check(self, hook, cred, obj, arg=None):
+                if hook == "socket_check_poll":
+                    recorded.append(cred)
+                return 0
+
+        mac_framework.register(Spy())
+        with bugs.injected("sopoll_wrong_cred"):
+            kernel.syscall(td, "poll", ([fd], POLLIN))
+        mac_framework.unregister_all()
+        assert recorded[-1] is fp.f_cred
+        assert recorded[-1] is not td.td_ucred

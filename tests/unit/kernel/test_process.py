@@ -1,0 +1,150 @@
+"""Unit tests for process lifecycle and inter-process authorisation."""
+
+import pytest
+
+from repro.kernel.bugs import bugs
+from repro.kernel.system import KernelSystem
+from repro.kernel.types import EPERM, ESRCH, P_SUGID, P_TRACED
+
+
+@pytest.fixture
+def kernel():
+    k = KernelSystem()
+    k.boot()
+    return k
+
+
+@pytest.fixture
+def root_td(kernel):
+    return kernel.threads[0]
+
+
+@pytest.fixture
+def user_td(kernel):
+    return kernel.spawn(uid=1001, gid=1001, label=5, comm="user")
+
+
+class TestCredentialChange:
+    def test_setuid_changes_cred_and_sets_sugid(self, kernel, root_td):
+        assert kernel.syscall(root_td, "setuid", (500,)) == 0
+        proc = root_td.td_proc
+        assert proc.p_ucred.cr_uid == 500
+        assert root_td.td_ucred is proc.p_ucred
+        assert proc.p_flag & P_SUGID
+
+    def test_setuid_bug_skips_sugid(self, kernel, root_td):
+        with bugs.injected("sugid_not_set"):
+            kernel.syscall(root_td, "setuid", (500,))
+        assert not (root_td.td_proc.p_flag & P_SUGID)
+
+    def test_non_root_cannot_change_uid(self, kernel, user_td):
+        assert kernel.syscall(user_td, "setuid", (0,)) == EPERM
+        assert user_td.td_ucred.cr_uid == 1001
+
+    def test_non_root_can_reassert_own_uid(self, kernel, user_td):
+        assert kernel.syscall(user_td, "setuid", (1001,)) == 0
+
+    def test_setgid(self, kernel, root_td):
+        assert kernel.syscall(root_td, "setgid", (20,)) == 0
+        assert root_td.td_ucred.cr_gid == 20
+
+
+class TestSignalling:
+    def test_root_signals_anyone(self, kernel, root_td, user_td):
+        assert kernel.syscall(root_td, "kill", (user_td.td_proc.p_pid, 15)) == 0
+
+    def test_same_uid_allowed(self, kernel, user_td):
+        peer = kernel.spawn(uid=1001, label=5, comm="peer")
+        assert kernel.syscall(user_td, "kill", (peer.td_proc.p_pid, 15)) == 0
+
+    def test_cross_uid_denied(self, kernel, user_td):
+        other = kernel.spawn(uid=2002, label=5, comm="other")
+        assert kernel.syscall(user_td, "kill", (other.td_proc.p_pid, 15)) == EPERM
+
+    def test_unknown_pid_esrch(self, kernel, root_td):
+        assert kernel.syscall(root_td, "kill", (424242, 9)) == ESRCH
+
+
+class TestDebugging:
+    def test_ptrace_sets_traced_flag(self, kernel, root_td, user_td):
+        target = user_td.td_proc
+        assert kernel.syscall(root_td, "ptrace", (target.p_pid,)) == 0
+        assert target.p_flag & P_TRACED
+
+    def test_sugid_process_refuses_non_root_debugger(self, kernel, user_td):
+        victim_td = kernel.spawn(uid=1001, label=5, comm="victim")
+        victim_td.td_proc.p_flag |= P_SUGID
+        assert (
+            kernel.syscall(user_td, "ptrace", (victim_td.td_proc.p_pid,)) == EPERM
+        )
+
+    def test_sugid_guard_useless_if_flag_never_set(self, kernel, user_td):
+        """The security consequence of the sugid_not_set bug: after a
+        credential change that forgot P_SUGID, a same-uid debugger attaches
+        to what should be a protected process."""
+        victim_td = kernel.spawn(uid=1001, label=5, comm="victim")
+        with bugs.injected("sugid_not_set"):
+            kernel.syscall(victim_td, "setuid", (1001,))  # cred modified
+        assert (
+            kernel.syscall(user_td, "ptrace", (victim_td.td_proc.p_pid,)) == 0
+        )
+
+    def test_cross_uid_debug_denied(self, kernel, user_td):
+        other = kernel.spawn(uid=2002, label=5, comm="other")
+        assert kernel.syscall(user_td, "ptrace", (other.td_proc.p_pid,)) == EPERM
+
+
+class TestSchedulingFacilities:
+    def test_rtprio_set_get(self, kernel, root_td, user_td):
+        pid = user_td.td_proc.p_pid
+        assert kernel.syscall(root_td, "rtprio_set", (pid, 10)) == 0
+        error, prio = kernel.syscall(root_td, "rtprio_get", (pid,))
+        assert error == 0 and prio == 10
+
+    def test_sched_setparam_getparam(self, kernel, root_td, user_td):
+        pid = user_td.td_proc.p_pid
+        assert kernel.syscall(root_td, "sched_setparam", (pid, 3)) == 0
+        error, prio = kernel.syscall(root_td, "sched_getparam", (pid,))
+        assert prio == 3
+
+    def test_sched_setscheduler(self, kernel, root_td, user_td):
+        pid = user_td.td_proc.p_pid
+        assert kernel.syscall(root_td, "sched_setscheduler", (pid, 1, 7)) == 0
+        assert user_td.td_proc.p_rtprio == 7
+
+    def test_cross_uid_sched_denied(self, kernel, user_td):
+        other = kernel.spawn(uid=2002, label=5, comm="other")
+        assert (
+            kernel.syscall(user_td, "sched_setparam", (other.td_proc.p_pid, 1))
+            == EPERM
+        )
+
+    def test_cpuset_set_get(self, kernel, root_td, user_td):
+        pid = user_td.td_proc.p_pid
+        assert kernel.syscall(root_td, "cpuset_set", (pid, 3)) == 0
+        error, setid = kernel.syscall(root_td, "cpuset_get", (pid,))
+        assert setid == 3
+
+
+class TestForkExecWait:
+    def test_fork_copies_credential(self, kernel, root_td):
+        error, child = kernel.syscall(root_td, "fork", ())
+        assert error == 0
+        assert child.p_ucred is not root_td.td_ucred
+        assert child.p_ucred.cr_uid == root_td.td_ucred.cr_uid
+        assert child in root_td.td_proc.p_children
+
+    def test_exec_normal_binary_keeps_cred(self, kernel, user_td):
+        before = user_td.td_ucred
+        assert kernel.syscall(user_td, "execve", ("/bin/sh",)) == 0
+        assert user_td.td_ucred is before
+        assert user_td.td_proc.p_comm == "sh"
+
+    def test_exec_setuid_binary_changes_cred_and_sets_sugid(self, kernel, user_td):
+        assert kernel.syscall(user_td, "execve", ("/bin/passwd",)) == 0
+        assert user_td.td_ucred.cr_uid == 0  # setuid-root binary
+        assert user_td.td_proc.p_flag & P_SUGID
+
+    def test_wait(self, kernel, root_td):
+        error, child = kernel.syscall(root_td, "fork", ())
+        assert kernel.syscall(root_td, "wait4", (child.p_pid,)) == 0

@@ -1,0 +1,104 @@
+"""Unit tests for procfs — the disabled-by-default facility."""
+
+import pytest
+
+from repro.kernel.procfs import (
+    READ_NODES,
+    RW_NODES,
+    procfs_assertion_sites,
+    procfs_mount,
+    procfs_mounted,
+    procfs_unmount,
+)
+from repro.kernel.system import KernelSystem
+from repro.kernel.types import ENOENT, EPERM
+
+
+@pytest.fixture
+def kernel():
+    k = KernelSystem()
+    k.boot()
+    return k
+
+
+@pytest.fixture
+def td(kernel):
+    return kernel.threads[0]
+
+
+@pytest.fixture
+def target_pid(kernel, td):
+    error, child = kernel.syscall(td, "fork", ())
+    return child.p_pid
+
+
+class TestMountState:
+    def test_disabled_by_default(self, kernel, td, target_pid):
+        assert not procfs_mounted()
+        error, _ = kernel.syscall(td, "procfs_read", (target_pid, "status"))
+        assert error == ENOENT
+
+    def test_mount_enables(self, kernel, td, target_pid):
+        procfs_mount()
+        error, data = kernel.syscall(td, "procfs_read", (target_pid, "status"))
+        assert error == 0 and data
+
+    def test_unmount_disables_again(self, kernel, td, target_pid):
+        procfs_mount()
+        procfs_unmount()
+        error, _ = kernel.syscall(td, "procfs_read", (target_pid, "status"))
+        assert error == ENOENT
+
+
+class TestNodes:
+    def test_all_read_nodes_readable(self, kernel, td, target_pid):
+        procfs_mount()
+        for node in READ_NODES + RW_NODES:
+            error, data = kernel.syscall(td, "procfs_read", (target_pid, node))
+            assert error == 0, node
+
+    def test_unknown_node_enoent(self, kernel, td, target_pid):
+        procfs_mount()
+        error, _ = kernel.syscall(td, "procfs_read", (target_pid, "bogus"))
+        assert error == ENOENT
+
+    def test_rw_nodes_writable(self, kernel, td, target_pid):
+        procfs_mount()
+        for node in RW_NODES:
+            assert (
+                kernel.syscall(td, "procfs_write", (target_pid, node, b"\x00"))
+                == 0
+            ), node
+
+    def test_read_only_nodes_refuse_writes(self, kernel, td, target_pid):
+        procfs_mount()
+        assert (
+            kernel.syscall(td, "procfs_write", (target_pid, "status", b"x"))
+            == EPERM
+        )
+
+    def test_ctl_commands(self, kernel, td, target_pid):
+        procfs_mount()
+        assert kernel.syscall(td, "procfs_ctl", (target_pid, "attach")) == 0
+
+    def test_status_contains_pid(self, kernel, td, target_pid):
+        procfs_mount()
+        error, data = kernel.syscall(td, "procfs_read", (target_pid, "status"))
+        assert str(target_pid).encode() in data
+
+
+class TestAssertionInventory:
+    def test_exactly_nineteen_sites(self):
+        sites = procfs_assertion_sites()
+        assert len(sites) == 19
+        assert len(set(sites)) == 19
+
+    def test_site_names_match_assertion_set(self):
+        from repro.kernel.assertions import assertion_sets
+
+        procfs_assertions = {
+            a.name
+            for a in assertion_sets()["P"]
+            if a.name.startswith("P.procfs.") and a.name != "P.procfs.ctl.prior-check"
+        }
+        assert procfs_assertions == set(procfs_assertion_sites())

@@ -1,0 +1,82 @@
+"""Unit tests for less-travelled syscalls and dispatcher details."""
+
+import pytest
+
+from repro.kernel.net.socket import AF_INET, SOCK_STREAM
+from repro.kernel.system import KernelSystem
+from repro.kernel.types import EBADF, ENOENT, ENOSYS
+
+
+@pytest.fixture
+def kernel():
+    k = KernelSystem()
+    k.boot()
+    return k
+
+
+@pytest.fixture
+def td(kernel):
+    return kernel.threads[0]
+
+
+class TestSockstat:
+    def test_sockstat_reports_identity(self, kernel, td):
+        error, fd = kernel.syscall(td, "socket", (AF_INET, SOCK_STREAM))
+        error, info = kernel.syscall(td, "sockstat", (fd,))
+        assert error == 0
+        assert info["proto"] == "tcp_lo"
+        assert info["id"] > 0
+
+    def test_sockstat_on_regular_file_ebadf(self, kernel, td):
+        error, fd = kernel.syscall(td, "open", ("/etc/motd",))
+        error, info = kernel.syscall(td, "sockstat", (fd,))
+        assert error == EBADF
+
+    def test_sockstat_checks_mac(self, kernel, td):
+        from repro.kernel.mac.framework import mac_framework
+
+        error, fd = kernel.syscall(td, "socket", (AF_INET, SOCK_STREAM))
+        before = mac_framework.hook_counts.get("socket_check_stat", 0)
+        kernel.syscall(td, "sockstat", (fd,))
+        assert mac_framework.hook_counts["socket_check_stat"] == before + 1
+
+
+class TestSetGetSockopt:
+    def test_setsockopt_roundtrip(self, kernel, td):
+        error, fd = kernel.syscall(td, "socket", (AF_INET, SOCK_STREAM))
+        assert kernel.syscall(td, "setsockopt", (fd, 1, True)) == 0
+        error, value = kernel.syscall(td, "getsockopt", (fd, 1))
+        assert error == 0
+
+    def test_sockopt_on_bad_fd(self, kernel, td):
+        assert kernel.syscall(td, "setsockopt", (999, 1)) == EBADF
+
+
+class TestMmapRevoke:
+    def test_mmap_existing_file(self, kernel, td):
+        assert kernel.syscall(td, "mmap", ("/etc/motd", 0x1)) == 0
+
+    def test_mmap_missing_file(self, kernel, td):
+        assert kernel.syscall(td, "mmap", ("/etc/ghost", 0x1)) == ENOENT
+
+    def test_revoke(self, kernel, td):
+        assert kernel.syscall(td, "revoke", ("/etc/motd",)) == 0
+
+
+class TestDispatcher:
+    def test_unknown_syscall_enosys(self, kernel, td):
+        assert kernel.syscall(td, "not_a_syscall", ()) == ENOSYS
+
+    def test_fd_numbers_recycled_lowest_first(self, kernel, td):
+        error, fd_a = kernel.syscall(td, "open", ("/etc/motd",))
+        error, fd_b = kernel.syscall(td, "open", ("/etc/passwd",))
+        kernel.syscall(td, "close", (fd_a,))
+        error, fd_c = kernel.syscall(td, "open", ("/etc/motd",))
+        assert fd_c == fd_a  # the lowest free slot is reused
+
+    def test_read_bad_fd(self, kernel, td):
+        error, data = kernel.syscall(td, "read", (999, 10))
+        assert error == EBADF and data == b""
+
+    def test_write_bad_fd(self, kernel, td):
+        assert kernel.syscall(td, "write", (999, b"x")) == EBADF

@@ -1,0 +1,91 @@
+"""Unit tests for core kernel structures."""
+
+from repro.kernel.system import KernelSystem
+from repro.kernel.types import (
+    File,
+    Fileops,
+    Proc,
+    Thread,
+    Ucred,
+    crcopy,
+    crget,
+    fo_poll,
+)
+
+
+class TestCredentials:
+    def test_crget_defaults(self):
+        cred = crget()
+        assert cred.cr_uid == 0 and cred.cr_gid == 0 and cred.cr_label == 0
+
+    def test_crcopy_is_independent(self):
+        original = crget(cr_uid=1, cr_label=3)
+        copy = crcopy(original)
+        copy.cr_uid = 99
+        assert original.cr_uid == 1
+        assert copy.cr_label == 3
+        assert copy is not original
+
+
+class TestProcessesAndThreads:
+    def test_pids_unique(self):
+        a, b = Proc(crget()), Proc(crget())
+        assert a.p_pid != b.p_pid
+
+    def test_thread_inherits_proc_cred(self):
+        proc = Proc(crget(cr_uid=5))
+        td = Thread(proc)
+        assert td.td_ucred is proc.p_ucred
+
+    def test_spawn_registers_with_kernel(self):
+        kernel = KernelSystem()
+        kernel.boot()
+        td = kernel.spawn(uid=7)
+        assert td.td_proc in kernel.processes
+        assert td in kernel.threads
+
+
+class TestFileIndirection:
+    def test_fo_poll_dispatches_through_ops_vector(self):
+        seen = {}
+
+        def poll_impl(fp, events, cred, td):
+            seen["args"] = (fp, events)
+            return events
+
+        fp = File(f_data="data", f_ops=Fileops(fo_poll=poll_impl), f_cred=crget())
+        assert fo_poll(fp, 3, crget(), None) == 3
+        assert seen["args"][0] is fp
+
+    def test_file_caches_creating_cred(self):
+        cred = crget(cr_uid=42)
+        fp = File(f_data=None, f_ops=Fileops(), f_cred=cred)
+        assert fp.f_cred is cred
+
+
+class TestBoot:
+    def test_boot_creates_init(self):
+        kernel = KernelSystem()
+        td = kernel.boot()
+        assert td.td_proc is kernel.init_proc
+        assert td.td_ucred.cr_uid == 0
+
+    def test_boot_populates_standard_tree(self):
+        kernel = KernelSystem()
+        td = kernel.boot()
+        error, names = kernel.syscall(td, "getdents", ("/",))
+        assert error == 0
+        assert {"etc", "bin", "tmp", "home", "boot"} <= set(names)
+
+    def test_boot_without_population(self):
+        kernel = KernelSystem()
+        td = kernel.boot(populate=False)
+        error, names = kernel.syscall(td, "getdents", ("/",))
+        assert names == []
+
+    def test_unknown_syscall_enosys(self):
+        from repro.kernel.types import ENOSYS
+
+        kernel = KernelSystem()
+        td = kernel.boot()
+        assert kernel.syscall(td, "frobnicate", ()) == ENOSYS

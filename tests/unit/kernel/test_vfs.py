@@ -1,0 +1,212 @@
+"""Unit tests for the VFS layer and UFS filesystem."""
+
+import pytest
+
+from repro.kernel.bugs import bugs
+from repro.kernel.system import KernelSystem
+from repro.kernel.types import (
+    EACCES,
+    EEXIST,
+    ENOENT,
+    ENOTDIR,
+    IO_NOMACCHECK,
+)
+from repro.kernel.vfs import vfs_ops
+from repro.kernel.vfs.ufs import ACL_EXTATTR_NAME, ufs_getacl, ufs_setacl
+from repro.kernel.vfs.vnode import VDIR, VLNK, VREG, Inode, Mount
+
+
+@pytest.fixture
+def kernel():
+    k = KernelSystem()
+    k.boot()
+    return k
+
+
+@pytest.fixture
+def td(kernel):
+    return kernel.threads[0]
+
+
+class TestVnodeCache:
+    def test_one_vnode_per_inode(self):
+        from repro.kernel.vfs.ufs import make_ufs_mount
+
+        mount = make_ufs_mount()
+        inode = Inode(VREG)
+        assert mount.vget(inode) is mount.vget(inode)
+
+    def test_root_is_directory(self):
+        from repro.kernel.vfs.ufs import make_ufs_mount
+
+        assert make_ufs_mount().root.v_type == VDIR
+
+
+class TestNamei:
+    def test_resolves_nested_path(self, kernel, td):
+        error, vp = vfs_ops.namei(td, "/etc/passwd")
+        assert error == 0
+        assert vp.v_type == VREG
+
+    def test_missing_component_enoent(self, kernel, td):
+        error, vp = vfs_ops.namei(td, "/etc/shadow")
+        assert error == ENOENT and vp is None
+
+    def test_root_path(self, kernel, td):
+        error, vp = vfs_ops.namei(td, "/")
+        assert error == 0 and vp is kernel.rootfs.root
+
+    def test_follows_symlinks(self, kernel, td):
+        kernel.syscall(td, "symlink", ("/etc/passwd", "/tmp/pw"))
+        error, vp = vfs_ops.namei(td, "/tmp/pw")
+        assert error == 0
+        direct = vfs_ops.namei(td, "/etc/passwd")[1]
+        assert vp is direct
+
+
+class TestVnOpen:
+    def test_plain_open(self, kernel, td):
+        error, vp = vfs_ops.vn_open(td, "/etc/motd")
+        assert error == 0 and vp.v_usecount == 1
+
+    def test_exec_kind_uses_exec_check(self, kernel, td):
+        from repro.kernel.mac.framework import mac_framework
+
+        before = mac_framework.hook_counts.get("vnode_check_exec", 0)
+        error, vp = vfs_ops.vn_open(td, "/bin/sh", kind=vfs_ops.OPEN_AS_EXEC)
+        assert error == 0
+        assert mac_framework.hook_counts["vnode_check_exec"] == before + 1
+
+    def test_kld_kind_uses_kld_check(self, kernel, td):
+        from repro.kernel.mac.framework import mac_framework
+
+        before = mac_framework.hook_counts.get("kld_check_load", 0)
+        error, vp = vfs_ops.vn_open(td, "/boot/mac_mls.ko", kind=vfs_ops.OPEN_AS_KLD)
+        assert error == 0
+        assert mac_framework.hook_counts["kld_check_load"] == before + 1
+
+    def test_kld_bug_skips_check(self, kernel, td):
+        from repro.kernel.mac.framework import mac_framework
+
+        with bugs.injected("kld_check_skipped"):
+            before = mac_framework.hook_counts.get("kld_check_load", 0)
+            error, _ = vfs_ops.vn_open(td, "/boot/mac_mls.ko", kind=vfs_ops.OPEN_AS_KLD)
+            assert error == 0
+            assert mac_framework.hook_counts.get("kld_check_load", 0) == before
+
+    def test_unknown_kind_einval(self, kernel, td):
+        error, vp = vfs_ops.vn_open(td, "/etc/motd", kind="bogus")
+        assert error != 0 and vp is None
+
+
+class TestVnRdwr:
+    def test_read_checks_mac(self, kernel, td):
+        from repro.kernel.mac.framework import mac_framework
+
+        error, vp = vfs_ops.namei(td, "/etc/motd")
+        before = mac_framework.hook_counts.get("vnode_check_read", 0)
+        error, data = vfs_ops.vn_rdwr(td, "read", vp)
+        assert error == 0 and b"welcome" in data
+        assert mac_framework.hook_counts["vnode_check_read"] == before + 1
+
+    def test_nomaccheck_skips_mac(self, kernel, td):
+        from repro.kernel.mac.framework import mac_framework
+
+        error, vp = vfs_ops.namei(td, "/etc/motd")
+        before = mac_framework.hook_counts.get("vnode_check_read", 0)
+        error, data = vfs_ops.vn_rdwr(td, "read", vp, flags=IO_NOMACCHECK)
+        assert error == 0
+        assert mac_framework.hook_counts.get("vnode_check_read", 0) == before
+
+    def test_write_then_read_round_trip(self, kernel, td):
+        error, vp = vfs_ops.namei(td, "/etc/motd")
+        error, _ = vfs_ops.vn_rdwr(td, "write", vp, offset=0, data=b"hello")
+        assert error == 0
+        error, data = vfs_ops.vn_rdwr(td, "read", vp, offset=0, length=5)
+        assert data == b"hello"
+
+
+class TestUfsOperations:
+    def test_create_and_remove(self, kernel, td):
+        error, fd = kernel.syscall(td, "creat", ("/tmp/newfile",))
+        assert error == 0
+        error, names = kernel.syscall(td, "getdents", ("/tmp",))
+        assert "newfile" in names
+        assert kernel.syscall(td, "unlink", ("/tmp/newfile",)) == 0
+        error, names = kernel.syscall(td, "getdents", ("/tmp",))
+        assert "newfile" not in names
+
+    def test_create_existing_eexist(self, kernel, td):
+        error, _ = kernel.syscall(td, "creat", ("/tmp/x",))
+        error, _ = kernel.syscall(td, "creat", ("/tmp/x",))
+        assert error == EEXIST
+
+    def test_rename_moves_entry(self, kernel, td):
+        kernel.syscall(td, "creat", ("/tmp/a",))
+        assert kernel.syscall(td, "rename", ("/tmp/a", "/tmp/b")) == 0
+        assert kernel.syscall(td, "stat", ("/tmp/b",))[0] == 0
+        assert kernel.syscall(td, "stat", ("/tmp/a",))[0] == ENOENT
+
+    def test_link_shares_inode(self, kernel, td):
+        kernel.syscall(td, "creat", ("/tmp/orig",))
+        assert kernel.syscall(td, "link", ("/tmp/orig", "/tmp/alias")) == 0
+        a = vfs_ops.namei(td, "/tmp/orig")[1]
+        b = vfs_ops.namei(td, "/tmp/alias")[1]
+        assert a.v_data is b.v_data
+        assert a.v_data.i_nlink == 2
+
+    def test_readlink(self, kernel, td):
+        kernel.syscall(td, "symlink", ("/etc", "/tmp/etclink"))
+        error, target = kernel.syscall(td, "readlink", ("/tmp/etclink",))
+        assert error == 0 and target == "/etc"
+
+    def test_chmod_chown_utimes(self, kernel, td):
+        kernel.syscall(td, "creat", ("/tmp/meta",))
+        assert kernel.syscall(td, "chmod", ("/tmp/meta", 0o600)) == 0
+        assert kernel.syscall(td, "chown", ("/tmp/meta", 7, 8)) == 0
+        assert kernel.syscall(td, "utimes", ("/tmp/meta",)) == 0
+        error, attrs = kernel.syscall(td, "stat", ("/tmp/meta",))
+        assert attrs["mode"] == 0o600 and attrs["uid"] == 7
+
+    def test_readdir_on_file_enotdir(self, kernel, td):
+        error, _ = kernel.syscall(td, "getdents", ("/etc/passwd",))
+        assert error == ENOTDIR
+
+
+class TestExtattrAndAcl:
+    def test_extattr_round_trip(self, kernel, td):
+        kernel.syscall(td, "creat", ("/tmp/xf",))
+        assert kernel.syscall(td, "extattr_set", ("/tmp/xf", "user.k", b"v")) == 0
+        error, value = kernel.syscall(td, "extattr_get", ("/tmp/xf", "user.k"))
+        assert error == 0 and value == b"v"
+        error, names = kernel.syscall(td, "extattr_list", ("/tmp/xf",))
+        assert names == ["user.k"]
+        assert kernel.syscall(td, "extattr_delete", ("/tmp/xf", "user.k")) == 0
+        error, _ = kernel.syscall(td, "extattr_get", ("/tmp/xf", "user.k"))
+        assert error == ENOENT
+
+    def test_acl_stored_in_extattr(self, kernel, td):
+        kernel.syscall(td, "creat", ("/tmp/af",))
+        assert kernel.syscall(td, "acl_set", ("/tmp/af", ["u:root:rwx"])) == 0
+        vp = vfs_ops.namei(td, "/tmp/af")[1]
+        assert ACL_EXTATTR_NAME in vp.v_data.i_extattrs
+        error, acl = kernel.syscall(td, "acl_get", ("/tmp/af",))
+        assert error == 0 and acl == ["u:root:rwx"]
+
+    def test_acl_get_uses_nomaccheck_internal_read(self, kernel, td):
+        from repro.kernel.mac.framework import mac_framework
+
+        kernel.syscall(td, "creat", ("/tmp/af2",))
+        kernel.syscall(td, "acl_set", ("/tmp/af2", ["g:wheel:r"]))
+        before = mac_framework.hook_counts.get("vnode_check_read", 0)
+        error, acl = kernel.syscall(td, "acl_get", ("/tmp/af2",))
+        assert error == 0
+        # The internal extattr read used IO_NOMACCHECK: no read hook fired.
+        assert mac_framework.hook_counts.get("vnode_check_read", 0) == before
+
+    def test_acl_delete(self, kernel, td):
+        kernel.syscall(td, "creat", ("/tmp/af3",))
+        kernel.syscall(td, "acl_set", ("/tmp/af3", ["u:me:r"]))
+        assert kernel.syscall(td, "acl_delete", ("/tmp/af3",)) == 0
+        error, acl = kernel.syscall(td, "acl_get", ("/tmp/af3",))
+        assert acl == []

@@ -1,0 +1,96 @@
+"""Unit tests for the benchmark workloads."""
+
+import pytest
+
+from repro.kernel.system import KernelSystem
+from repro.kernel.workloads import (
+    MiniOltp,
+    build_workload,
+    full_exercise,
+    interprocess_test_suite,
+    lmbench_open_close,
+    oltp_workload,
+)
+
+
+@pytest.fixture
+def kernel():
+    k = KernelSystem()
+    k.boot()
+    return k
+
+
+@pytest.fixture
+def td(kernel):
+    return kernel.threads[0]
+
+
+class TestLmbench:
+    def test_open_close_counts_syscalls(self, kernel, td):
+        assert lmbench_open_close(kernel, td, 25) == 50
+
+    def test_descriptors_recycled(self, kernel, td):
+        lmbench_open_close(kernel, td, 10)
+        live = sum(1 for f in td.td_proc.p_fd if f is not None)
+        assert live == 0
+
+
+class TestOltp:
+    def test_get_and_put_round_trips(self, kernel, td):
+        server = kernel.spawn(comm="mysqld")
+        oltp = MiniOltp(kernel, server)
+        assert oltp.transaction(td, "GET row1") == "value1"
+        assert oltp.transaction(td, "PUT row1 updated") == "OK"
+        assert oltp.transaction(td, "GET row1") == "updated"
+
+    def test_unknown_key_null(self, kernel, td):
+        server = kernel.spawn(comm="mysqld")
+        oltp = MiniOltp(kernel, server)
+        assert oltp.transaction(td, "GET missing") == "NULL"
+
+    def test_malformed_query_err(self, kernel, td):
+        server = kernel.spawn(comm="mysqld")
+        oltp = MiniOltp(kernel, server)
+        assert oltp.transaction(td, "DROP everything") == "ERR"
+
+    def test_workload_runs_n_transactions(self, kernel):
+        server = kernel.spawn(comm="mysqld")
+        client = kernel.spawn(comm="sysbench")
+        assert oltp_workload(kernel, client, server, 8) == 8
+
+
+class TestBuildWorkload:
+    def test_compiles_all_sources(self, kernel, td):
+        assert build_workload(kernel, td, n_sources=4) == 4
+
+    def test_objects_written(self, kernel, td):
+        build_workload(kernel, td, n_sources=2)
+        error, names = kernel.syscall(td, "getdents", ("/home/obj",))
+        assert error == 0 and sorted(names) == ["file0.o", "file1.o"]
+
+    def test_multiple_passes(self, kernel, td):
+        assert build_workload(kernel, td, n_sources=2, passes=3) == 6
+
+
+class TestSuites:
+    def test_interprocess_suite_all_succeed(self, kernel, td):
+        results = interprocess_test_suite(kernel, td)
+        assert all(code == 0 for code in results.values()), results
+
+    def test_interprocess_suite_avoids_deprecated_facilities(self, kernel, td):
+        results = interprocess_test_suite(kernel, td)
+        assert not any("procfs" in op for op in results)
+        assert not any("cpuset" in op for op in results)
+        assert not any("rtprio" in op or "sched" in op for op in results)
+
+    def test_full_exercise_touches_everything(self, kernel, td):
+        results = full_exercise(kernel, td)
+        assert any("procfs_read" in op for op in results)
+        assert "cpuset_set" in results and "rtprio_set" in results
+        assert all(code == 0 for code in results.values()), results
+
+    def test_full_exercise_unmounts_procfs(self, kernel, td):
+        from repro.kernel.procfs import procfs_mounted
+
+        full_exercise(kernel, td)
+        assert not procfs_mounted()

@@ -1,0 +1,89 @@
+"""Unit tests for automaton instances."""
+
+from repro.core.dsl import ANY, call, fn, previously, tesla_within, var
+from repro.core.translate import translate
+from repro.runtime.instance import AutomatonInstance
+
+
+def make_automaton(name="inst-test"):
+    return translate(
+        tesla_within(
+            "m", previously(fn("check", ANY("c"), var("vp")) == 0), name=name
+        )
+    )
+
+
+class TestNaming:
+    def test_wildcard_instance_name(self):
+        automaton = make_automaton("n1")
+        instance = AutomatonInstance(automaton, automaton.entry_states)
+        assert instance.name == "(*)"
+
+    def test_bound_instance_name_lists_variables(self):
+        automaton = make_automaton("n2")
+        instance = AutomatonInstance(
+            automaton, automaton.entry_states, binding={"vp": "v1"}
+        )
+        assert instance.name == "(vp='v1')"
+
+    def test_instance_ids_unique(self):
+        automaton = make_automaton("n3")
+        a = AutomatonInstance(automaton, automaton.entry_states)
+        b = AutomatonInstance(automaton, automaton.entry_states)
+        assert a.instance_id != b.instance_id
+
+
+class TestClone:
+    def test_clone_extends_binding(self):
+        automaton = make_automaton("c1")
+        parent = AutomatonInstance(automaton, automaton.entry_states)
+        clone = parent.clone({"vp": "v9"})
+        assert clone.binding == {"vp": "v9"}
+        assert parent.binding == {}
+
+    def test_clone_preserves_states_and_site_flag(self):
+        automaton = make_automaton("c2")
+        parent = AutomatonInstance(
+            automaton, automaton.entry_states, saw_site=True
+        )
+        clone = parent.clone({"vp": 1})
+        assert clone.states == parent.states
+        assert clone.saw_site
+
+
+class TestBindingComparison:
+    def test_same_binding_by_value(self):
+        automaton = make_automaton("b1")
+        instance = AutomatonInstance(
+            automaton, automaton.entry_states, binding={"vp": 7}
+        )
+        assert instance.same_binding({"vp": 7})
+        assert not instance.same_binding({"vp": 8})
+        assert not instance.same_binding({})
+
+    def test_same_binding_by_identity(self):
+        class Opaque:
+            __eq__ = object.__eq__
+            __hash__ = object.__hash__
+
+        obj = Opaque()
+        automaton = make_automaton("b2")
+        instance = AutomatonInstance(
+            automaton, automaton.entry_states, binding={"o": obj}
+        )
+        assert instance.same_binding({"o": obj})
+        assert not instance.same_binding({"o": Opaque()})
+
+
+class TestAcceptance:
+    def test_accepting_at_cleanup_only_after_full_progress(self):
+        automaton = make_automaton("a1")
+        instance = AutomatonInstance(automaton, automaton.entry_states)
+        assert not instance.accepting_at_cleanup()
+        cleanup_srcs = frozenset(
+            t.src
+            for t in automaton.transitions
+            if t.kind.value == "cleanup"
+        )
+        instance.states = cleanup_srcs
+        assert instance.accepting_at_cleanup()

@@ -1,0 +1,100 @@
+"""Unit tests for runtime installation validation and error branches."""
+
+import pytest
+
+from repro.core.ast import Context
+from repro.core.automaton import (
+    Automaton,
+    EventSymbol,
+    Transition,
+    TransitionKind,
+)
+from repro.core.ast import FunctionCall, FunctionReturn
+from repro.core.dsl import call, caller_side, previously, tesla_within
+from repro.errors import AssertionParseError, ContextError
+from repro.runtime.manager import TeslaRuntime
+
+
+def hand_built_automaton(name, init_keys=1, cleanup_keys=1):
+    """An automaton with a configurable number of init/cleanup symbols —
+    something the translator never produces, but install must reject."""
+    symbols = []
+    transitions = []
+    state = 1
+    for index in range(init_keys):
+        symbols.append(EventSymbol(FunctionCall(f"enter{index}", None)))
+        transitions.append(Transition(0, 1, TransitionKind.INIT, len(symbols) - 1))
+    symbols.append(EventSymbol(FunctionCall("body", None)))
+    transitions.append(Transition(1, 2, TransitionKind.EVENT, len(symbols) - 1))
+    for index in range(cleanup_keys):
+        symbols.append(
+            EventSymbol(FunctionReturn(f"exit{index}", None, None))
+        )
+        transitions.append(
+            Transition(2, 3, TransitionKind.CLEANUP, len(symbols) - 1)
+        )
+    return Automaton(
+        name=name,
+        symbols=symbols,
+        transitions=transitions,
+        start=0,
+        accept=3,
+        n_states=4,
+    )
+
+
+class TestInstallValidation:
+    def test_two_init_keys_rejected(self):
+        runtime = TeslaRuntime()
+        with pytest.raises(ContextError):
+            runtime.install_automaton(
+                hand_built_automaton("bad-init", init_keys=2), Context.THREAD
+            )
+
+    def test_two_cleanup_keys_rejected(self):
+        runtime = TeslaRuntime()
+        with pytest.raises(ContextError):
+            runtime.install_automaton(
+                hand_built_automaton("bad-cleanup", cleanup_keys=2),
+                Context.THREAD,
+            )
+
+    def test_well_formed_hand_built_accepted(self):
+        runtime = TeslaRuntime()
+        runtime.install_automaton(hand_built_automaton("ok"), Context.THREAD)
+        assert "ok" in runtime.automata
+
+    def test_class_runtime_for_unknown_name(self):
+        runtime = TeslaRuntime()
+        runtime.install_assertion(
+            tesla_within("m", previously(call("f")), name="known")
+        )
+        with pytest.raises(KeyError):
+            runtime.bounds["unknown"]
+
+    def test_all_class_runtimes_empty_before_any_thread_touches(self):
+        runtime = TeslaRuntime()
+        runtime.install_assertion(
+            tesla_within("m", previously(call("f")), name="fresh")
+        )
+        # No events processed: no per-thread store has been created yet in
+        # any worker thread; the installing thread's store may exist.
+        assert len(runtime.all_class_runtimes("fresh")) <= 1
+
+
+class TestDslErrorBranches:
+    def test_caller_side_rejects_non_events(self):
+        with pytest.raises(AssertionParseError):
+            caller_side(42)
+
+    def test_var_pattern_in_atleast_is_fine(self):
+        from repro.core.dsl import atleast, fn, var
+        from repro.core.translate import translate
+
+        assertion = tesla_within(
+            "m",
+            previously(atleast(1, fn("f", var("x")) == 0)),
+            name="al-var",
+        )
+        automaton = translate(assertion)
+        assert automaton.n_states >= 4

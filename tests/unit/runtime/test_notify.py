@@ -1,0 +1,123 @@
+"""Unit tests for the notification framework and error policies."""
+
+import io
+
+import pytest
+
+from repro.errors import TemporalAssertionError, TemporalViolation
+from repro.runtime.notify import (
+    CollectingHandler,
+    FailStop,
+    LogAndContinue,
+    Notification,
+    NotificationHub,
+    NotificationKind,
+    StderrDebugHandler,
+)
+
+
+def violation_notification():
+    violation = TemporalViolation(automaton="a", reason="r")
+    return Notification(
+        kind=NotificationKind.ERROR, automaton="a", violation=violation
+    )
+
+
+class TestHub:
+    def test_handlers_receive_notifications(self):
+        hub = NotificationHub(policy=LogAndContinue())
+        collector = CollectingHandler()
+        hub.add_handler(collector)
+        hub.emit(Notification(kind=NotificationKind.UPDATE, automaton="a"))
+        assert len(collector.notifications) == 1
+
+    def test_counts_per_kind(self):
+        hub = NotificationHub(policy=LogAndContinue())
+        hub.emit(Notification(kind=NotificationKind.UPDATE, automaton="a"))
+        hub.emit(Notification(kind=NotificationKind.UPDATE, automaton="a"))
+        hub.emit(Notification(kind=NotificationKind.CLONE, automaton="a"))
+        assert hub.counts[NotificationKind.UPDATE] == 2
+        assert hub.counts[NotificationKind.CLONE] == 1
+
+    def test_remove_handler(self):
+        hub = NotificationHub(policy=LogAndContinue())
+        collector = CollectingHandler()
+        hub.add_handler(collector)
+        hub.remove_handler(collector)
+        hub.emit(Notification(kind=NotificationKind.UPDATE, automaton="a"))
+        assert not collector.notifications
+
+    def test_reset_counts(self):
+        hub = NotificationHub(policy=LogAndContinue())
+        hub.emit(Notification(kind=NotificationKind.UPDATE, automaton="a"))
+        hub.reset_counts()
+        assert hub.counts[NotificationKind.UPDATE] == 0
+
+
+class TestPolicies:
+    def test_failstop_raises_on_error(self):
+        hub = NotificationHub(policy=FailStop())
+        with pytest.raises(TemporalAssertionError):
+            hub.emit(violation_notification())
+
+    def test_failstop_is_default(self):
+        hub = NotificationHub()
+        assert isinstance(hub.policy, FailStop)
+
+    def test_log_and_continue_accumulates(self):
+        policy = LogAndContinue()
+        hub = NotificationHub(policy=policy)
+        hub.emit(violation_notification())
+        hub.emit(violation_notification())
+        assert len(policy.violations) == 2
+        policy.clear()
+        assert not policy.violations
+
+    def test_non_error_notifications_never_hit_policy(self):
+        hub = NotificationHub(policy=FailStop())
+        hub.emit(Notification(kind=NotificationKind.FINALISE, automaton="a"))
+
+
+class TestStderrHandler:
+    def test_silent_without_tesla_debug(self, monkeypatch):
+        monkeypatch.delenv("TESLA_DEBUG", raising=False)
+        stream = io.StringIO()
+        handler = StderrDebugHandler(stream=stream)
+        handler(Notification(kind=NotificationKind.UPDATE, automaton="a"))
+        assert stream.getvalue() == ""
+
+    def test_prints_with_tesla_debug(self, monkeypatch):
+        monkeypatch.setenv("TESLA_DEBUG", "1")
+        stream = io.StringIO()
+        handler = StderrDebugHandler(stream=stream)
+        handler(Notification(kind=NotificationKind.UPDATE, automaton="a"))
+        assert "a" in stream.getvalue()
+
+    def test_force_overrides_environment(self, monkeypatch):
+        monkeypatch.delenv("TESLA_DEBUG", raising=False)
+        stream = io.StringIO()
+        handler = StderrDebugHandler(stream=stream, force=True)
+        handler(Notification(kind=NotificationKind.ERROR, automaton="x"))
+        assert "x" in stream.getvalue()
+
+
+class TestCollector:
+    def test_filter_by_kind(self):
+        collector = CollectingHandler()
+        collector(Notification(kind=NotificationKind.INIT, automaton="a"))
+        collector(Notification(kind=NotificationKind.CLONE, automaton="a"))
+        assert len(collector.of_kind(NotificationKind.INIT)) == 1
+        collector.clear()
+        assert not collector.notifications
+
+
+class TestDescribe:
+    def test_describe_includes_fields(self):
+        notification = Notification(
+            kind=NotificationKind.CLONE,
+            automaton="auto",
+            instance_name="(vp=1)",
+            states=(1, 2),
+        )
+        text = notification.describe()
+        assert "clone" in text and "auto" in text and "(vp=1)" in text

@@ -1,0 +1,205 @@
+"""Unit tests for per-object assertion bounds (the section 7 extension)."""
+
+import pytest
+
+from repro.core.dsl import ANY, call, eventually, fn, previously, tesla_within, var
+from repro.core.ast import Bound, Context, FunctionCall, FunctionReturn, TemporalAssertion
+from repro.core.dsl import tesla_assert
+from repro.errors import AssertionParseError, TemporalAssertionError
+from repro.instrument.hooks import instrumentable, tesla_site
+from repro.runtime.notify import LogAndContinue
+from repro.runtime.perobject import ObjectMonitor, instrument_object_assertion
+
+
+class Buffer:
+    """The monitored object: a toy buffer with an explicit lifetime."""
+
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return f"<Buffer {self.name}>"
+
+
+@instrumentable(name="po_alloc")
+def po_alloc(buf):
+    return 0
+
+
+@instrumentable(name="po_validate")
+def po_validate(buf):
+    return 0
+
+
+@instrumentable(name="po_use")
+def po_use(buf):
+    tesla_site("po.validated-before-use", buf=buf)
+    return 0
+
+
+@instrumentable(name="po_free")
+def po_free(buf):
+    return 0
+
+
+def object_assertion(name="po.validated-before-use"):
+    """Between po_alloc(buf) and po_free(buf): every use of *this* buffer
+    must have been preceded by a validation of *this* buffer."""
+    return tesla_assert(
+        Context.THREAD,
+        call(fn("po_alloc", var("buf"))),
+        fn("po_free", var("buf")) == 0,
+        previously(fn("po_validate", var("buf")) == 0),
+        name=name,
+    )
+
+
+@pytest.fixture
+def session():
+    monitor, handle = instrument_object_assertion(
+        object_assertion(), key="buf", policy=LogAndContinue()
+    )
+    yield monitor
+    handle.detach()
+
+
+class TestLifetimes:
+    def test_validated_use_passes(self, session):
+        buf = Buffer("a")
+        po_alloc(buf)
+        po_validate(buf)
+        po_use(buf)
+        po_free(buf)
+        assert session.errors == 0
+        assert session.lifetimes_opened == 1
+        assert session.lifetimes_closed == 1
+        assert session.accepts == 1
+
+    def test_unvalidated_use_fails(self, session):
+        buf = Buffer("b")
+        po_alloc(buf)
+        po_use(buf)
+        assert session.errors == 1
+
+    def test_concurrent_objects_tracked_independently(self, session):
+        good, bad = Buffer("good"), Buffer("bad")
+        po_alloc(good)
+        po_alloc(bad)
+        po_validate(good)
+        po_use(good)      # fine: good was validated
+        po_use(bad)       # violation: bad was not
+        po_free(good)
+        po_free(bad)
+        assert session.errors == 1
+        assert session.lifetimes_opened == 2
+        assert session.lifetimes_closed == 2
+
+    def test_validation_of_one_object_does_not_cover_another(self, session):
+        a, b = Buffer("a"), Buffer("b")
+        po_alloc(a)
+        po_alloc(b)
+        po_validate(a)
+        po_use(b)
+        assert session.errors == 1
+
+    def test_use_after_free_is_outside_bound(self, session):
+        buf = Buffer("c")
+        po_alloc(buf)
+        po_validate(buf)
+        po_use(buf)
+        po_free(buf)
+        po_use(buf)  # no lifetime open: ignored, not a violation
+        assert session.errors == 0
+
+    def test_use_before_alloc_is_outside_bound(self, session):
+        buf = Buffer("d")
+        po_use(buf)
+        assert session.errors == 0
+
+    def test_realloc_starts_fresh_lifetime(self, session):
+        buf = Buffer("e")
+        po_alloc(buf)
+        po_validate(buf)
+        po_free(buf)
+        po_alloc(buf)   # second lifetime: the old validation is gone
+        po_use(buf)
+        assert session.errors == 1
+
+    def test_reentrant_alloc_ignored(self, session):
+        buf = Buffer("f")
+        po_alloc(buf)
+        po_alloc(buf)
+        assert session.lifetimes_opened == 1
+
+
+class TestEventuallyPerObject:
+    def test_eventually_checked_at_object_free(self):
+        """'Every allocated buffer is eventually audited before free.'"""
+
+        @instrumentable(name="po_audit")
+        def po_audit(buf):
+            return 0
+
+        assertion = tesla_assert(
+            Context.THREAD,
+            call(fn("po_alloc", var("buf"))),
+            fn("po_free", var("buf")) == 0,
+            eventually(fn("po_audit", var("buf")) == 0),
+            name="po.eventually-audited",
+        )
+
+        @instrumentable(name="po_touch")
+        def po_touch(buf):
+            tesla_site("po.eventually-audited", buf=buf)
+
+        monitor, handle = instrument_object_assertion(
+            assertion, key="buf", policy=LogAndContinue()
+        )
+        try:
+            audited, forgotten = Buffer("x"), Buffer("y")
+            po_alloc(audited)
+            po_alloc(forgotten)
+            po_touch(audited)
+            po_touch(forgotten)
+            po_audit(audited)
+            po_free(audited)
+            po_free(forgotten)  # its obligation was never discharged
+            assert monitor.errors == 1
+            assert monitor.accepts == 1
+        finally:
+            handle.detach()
+
+
+class TestValidation:
+    def test_key_must_be_a_variable(self):
+        with pytest.raises(AssertionParseError):
+            ObjectMonitor(object_assertion("po.v1"), key="nonexistent")
+
+    def test_entry_must_bind_the_key(self):
+        assertion = tesla_assert(
+            Context.THREAD,
+            call("po_alloc"),  # no argument patterns: key unbound at entry
+            fn("po_free", var("buf")) == 0,
+            previously(fn("po_validate", var("buf")) == 0),
+            name="po.v2",
+        )
+        with pytest.raises(AssertionParseError):
+            ObjectMonitor(assertion, key="buf")
+
+    def test_failstop_policy_raises(self):
+        monitor, handle = instrument_object_assertion(
+            object_assertion("po.v3"), key="buf"
+        )
+        try:
+            # Reuse the shared site name? No: this assertion has its own
+            # name, so give it its own site via the monitor directly.
+            from repro.core.events import assertion_site_event, call_event
+
+            buf = Buffer("z")
+            monitor.handle_event(call_event("po_alloc", (buf,)))
+            with pytest.raises(TemporalAssertionError):
+                monitor.handle_event(
+                    assertion_site_event("po.v3", {"buf": buf})
+                )
+        finally:
+            handle.detach()

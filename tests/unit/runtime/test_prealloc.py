@@ -1,0 +1,71 @@
+"""Unit tests for bounded instance pools."""
+
+import pytest
+
+from repro.core.dsl import call, previously, tesla_within
+from repro.core.translate import translate
+from repro.runtime.instance import AutomatonInstance
+from repro.runtime.prealloc import InstancePool
+
+
+def make_instance(binding=None, name="pool-test"):
+    automaton = translate(tesla_within("m", previously(call("f")), name=name))
+    return AutomatonInstance(automaton, automaton.entry_states, binding=binding)
+
+
+class TestCapacity:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            InstancePool(0)
+
+    def test_add_within_capacity(self):
+        pool = InstancePool(2)
+        assert pool.add(make_instance(name="p1"))
+        assert pool.add(make_instance(name="p2"))
+        assert len(pool) == 2
+
+    def test_overflow_drops_and_counts(self):
+        pool = InstancePool(1)
+        assert pool.add(make_instance(name="p3"))
+        assert not pool.add(make_instance(name="p4"))
+        assert not pool.add(make_instance(name="p5"))
+        assert pool.overflows == 2
+        assert len(pool) == 1
+
+    def test_high_water_tracks_peak(self):
+        pool = InstancePool(4)
+        for i in range(3):
+            pool.add(make_instance(name=f"hw{i}"))
+        pool.expunge()
+        pool.add(make_instance(name="hw-after"))
+        assert pool.high_water == 3
+
+
+class TestLookup:
+    def test_find_by_binding(self):
+        pool = InstancePool(4)
+        target = make_instance(binding={"vp": 1}, name="f1")
+        pool.add(target)
+        pool.add(make_instance(binding={"vp": 2}, name="f2"))
+        assert pool.find({"vp": 1}) is target
+        assert pool.find({"vp": 3}) is None
+
+    def test_expunge_empties_and_returns_all(self):
+        pool = InstancePool(4)
+        pool.add(make_instance(name="e1"))
+        pool.add(make_instance(name="e2"))
+        removed = pool.expunge()
+        assert len(removed) == 2
+        assert len(pool) == 0
+
+    def test_snapshot_is_independent_copy(self):
+        pool = InstancePool(4)
+        pool.add(make_instance(name="s1"))
+        snapshot = pool.snapshot()
+        pool.expunge()
+        assert len(snapshot) == 1
+
+    def test_iteration(self):
+        pool = InstancePool(4)
+        pool.add(make_instance(name="i1"))
+        assert len(list(pool)) == 1

@@ -1,0 +1,224 @@
+"""Unit tests for tesla_update_state: the 4.4.1 instance lifecycle."""
+
+import pytest
+
+from repro.core.dsl import (
+    ANY,
+    call,
+    eventually,
+    fn,
+    previously,
+    strictly,
+    tesla_within,
+    var,
+)
+from repro.core.events import (
+    assertion_site_event,
+    call_event,
+    return_event,
+)
+from repro.core.translate import translate
+from repro.errors import TemporalAssertionError
+from repro.runtime.notify import (
+    CollectingHandler,
+    LogAndContinue,
+    NotificationHub,
+    NotificationKind,
+)
+from repro.runtime.store import ClassRuntime
+from repro.runtime.update import handle_cleanup, handle_init, tesla_update_state
+
+
+def setup_class_runtime(assertion, policy=None):
+    automaton = translate(assertion)
+    cr = ClassRuntime(automaton)
+    hub = NotificationHub(policy)
+    collector = CollectingHandler()
+    hub.add_handler(collector)
+    return cr, hub, collector
+
+
+def mac_assertion(name="lifecycle"):
+    return tesla_within(
+        "amd64_syscall",
+        previously(fn("mac_check", ANY("cred"), var("vp")) == 0),
+        name=name,
+    )
+
+
+ENTER = call_event("amd64_syscall", ())
+EXIT = return_event("amd64_syscall", (), 0)
+
+
+class TestInit:
+    def test_eager_init_creates_wildcard_instance(self):
+        cr, hub, collector = setup_class_runtime(mac_assertion("i1"))
+        handle_init(cr, ENTER, hub, lazy=False)
+        assert cr.active
+        assert len(cr.pool) == 1
+        inits = collector.of_kind(NotificationKind.INIT)
+        assert inits and inits[0].instance_name == "(*)"
+
+    def test_lazy_init_defers_materialisation(self):
+        cr, hub, collector = setup_class_runtime(mac_assertion("i2"))
+        handle_init(cr, ENTER, hub, lazy=True)
+        assert cr.active and cr.pending
+        assert len(cr.pool) == 0
+        assert not collector.of_kind(NotificationKind.INIT)
+
+    def test_reentrant_init_ignored(self):
+        cr, hub, collector = setup_class_runtime(mac_assertion("i3"))
+        handle_init(cr, ENTER, hub, lazy=False)
+        handle_init(cr, ENTER, hub, lazy=False)
+        assert len(cr.pool) == 1
+
+
+class TestCloneAndUpdate:
+    def test_event_with_new_binding_clones(self):
+        cr, hub, collector = setup_class_runtime(mac_assertion("c1"))
+        handle_init(cr, ENTER, hub, lazy=False)
+        tesla_update_state(cr, return_event("mac_check", ("c", "vp1"), 0), hub, lazy=False)
+        clones = collector.of_kind(NotificationKind.CLONE)
+        assert len(clones) == 1
+        # The wildcard remains to spawn further clones.
+        assert len(cr.pool) == 2
+
+    def test_distinct_values_create_distinct_instances(self):
+        cr, hub, collector = setup_class_runtime(mac_assertion("c2"))
+        handle_init(cr, ENTER, hub, lazy=False)
+        tesla_update_state(cr, return_event("mac_check", ("c", "vp1"), 0), hub, lazy=False)
+        tesla_update_state(cr, return_event("mac_check", ("c", "vp2"), 0), hub, lazy=False)
+        assert len(cr.pool) == 3  # (*), (vp1), (vp2)
+
+    def test_same_value_twice_does_not_duplicate(self):
+        cr, hub, collector = setup_class_runtime(mac_assertion("c3"))
+        handle_init(cr, ENTER, hub, lazy=False)
+        event = return_event("mac_check", ("c", "vp1"), 0)
+        tesla_update_state(cr, event, hub, lazy=False)
+        tesla_update_state(cr, event, hub, lazy=False)
+        assert len(cr.pool) == 2
+
+    def test_static_mismatch_does_not_advance(self):
+        cr, hub, collector = setup_class_runtime(mac_assertion("c4"))
+        handle_init(cr, ENTER, hub, lazy=False)
+        tesla_update_state(cr, return_event("mac_check", ("c", "vp1"), -1), hub, lazy=False)
+        assert len(cr.pool) == 1  # no clone: retval 0 required
+
+    def test_lazy_materialises_on_first_event(self):
+        cr, hub, collector = setup_class_runtime(mac_assertion("c5"))
+        handle_init(cr, ENTER, hub, lazy=True)
+        tesla_update_state(cr, return_event("mac_check", ("c", "vp1"), 0), hub, lazy=True)
+        assert not cr.pending
+        assert len(cr.pool) == 2
+
+
+class TestSiteAndError:
+    def test_site_with_matching_instance_passes(self):
+        cr, hub, collector = setup_class_runtime(mac_assertion("s1"))
+        handle_init(cr, ENTER, hub, lazy=False)
+        tesla_update_state(cr, return_event("mac_check", ("c", "vp1"), 0), hub, lazy=False)
+        tesla_update_state(cr, assertion_site_event("s1", {"vp": "vp1"}), hub, lazy=False)
+        assert cr.sites_reached == 1
+        assert not collector.of_kind(NotificationKind.ERROR)
+
+    def test_site_with_unchecked_value_errors(self):
+        cr, hub, collector = setup_class_runtime(
+            mac_assertion("s2"), policy=LogAndContinue()
+        )
+        handle_init(cr, ENTER, hub, lazy=False)
+        tesla_update_state(cr, return_event("mac_check", ("c", "vp1"), 0), hub, lazy=False)
+        tesla_update_state(cr, assertion_site_event("s2", {"vp": "vp3"}), hub, lazy=False)
+        errors = collector.of_kind(NotificationKind.ERROR)
+        assert len(errors) == 1
+        assert "vp3" in errors[0].violation.describe()
+
+    def test_site_without_any_event_fails_stop(self):
+        cr, hub, collector = setup_class_runtime(mac_assertion("s3"))
+        handle_init(cr, ENTER, hub, lazy=False)
+        with pytest.raises(TemporalAssertionError):
+            tesla_update_state(cr, assertion_site_event("s3", {"vp": "x"}), hub, lazy=False)
+
+    def test_site_outside_bound_is_ignored(self):
+        cr, hub, collector = setup_class_runtime(mac_assertion("s4"))
+        tesla_update_state(cr, assertion_site_event("s4", {"vp": "x"}), hub, lazy=False)
+        assert not collector.of_kind(NotificationKind.ERROR)
+        assert collector.of_kind(NotificationKind.IGNORED)
+
+
+class TestCleanup:
+    def test_cleanup_accepts_satisfied_instances(self):
+        cr, hub, collector = setup_class_runtime(mac_assertion("f1"))
+        handle_init(cr, ENTER, hub, lazy=False)
+        tesla_update_state(cr, return_event("mac_check", ("c", "vp1"), 0), hub, lazy=False)
+        tesla_update_state(cr, assertion_site_event("f1", {"vp": "vp1"}), hub, lazy=False)
+        handle_cleanup(cr, EXIT, hub)
+        assert cr.accepts == 1
+        assert not cr.active
+        assert len(cr.pool) == 0
+
+    def test_cleanup_silently_discards_bypass_instances(self):
+        cr, hub, collector = setup_class_runtime(mac_assertion("f2"))
+        handle_init(cr, ENTER, hub, lazy=False)
+        tesla_update_state(cr, return_event("mac_check", ("c", "vp1"), 0), hub, lazy=False)
+        handle_cleanup(cr, EXIT, hub)  # site never reached: the bypass path
+        assert cr.errors == 0
+        assert not collector.of_kind(NotificationKind.ERROR)
+
+    def test_eventually_obligation_unmet_errors_at_cleanup(self):
+        assertion = tesla_within(
+            "amd64_syscall", eventually(call("audit")), name="f3"
+        )
+        cr, hub, collector = setup_class_runtime(assertion, policy=LogAndContinue())
+        handle_init(cr, ENTER, hub, lazy=False)
+        tesla_update_state(cr, assertion_site_event("f3", {}), hub, lazy=False)
+        handle_cleanup(cr, EXIT, hub)
+        assert cr.errors == 1
+
+    def test_eventually_obligation_met_accepts(self):
+        assertion = tesla_within(
+            "amd64_syscall", eventually(call("audit")), name="f4"
+        )
+        cr, hub, collector = setup_class_runtime(assertion)
+        handle_init(cr, ENTER, hub, lazy=False)
+        tesla_update_state(cr, assertion_site_event("f4", {}), hub, lazy=False)
+        tesla_update_state(cr, call_event("audit", ()), hub, lazy=False)
+        handle_cleanup(cr, EXIT, hub)
+        assert cr.accepts == 1
+        assert cr.errors == 0
+
+    def test_cleanup_when_inactive_is_noop(self):
+        cr, hub, collector = setup_class_runtime(mac_assertion("f5"))
+        handle_cleanup(cr, EXIT, hub)
+        assert cr.accepts == 0
+
+
+class TestStrict:
+    def test_strict_automaton_rejects_unconsumable_referenced_event(self):
+        assertion = tesla_within(
+            "amd64_syscall",
+            strictly(previously(call("step1"))),
+            name="st1",
+        )
+        cr, hub, collector = setup_class_runtime(assertion, policy=LogAndContinue())
+        handle_init(cr, ENTER, hub, lazy=False)
+        tesla_update_state(cr, call_event("step1", ()), hub, lazy=False)
+        # A second step1 cannot advance anything: strict -> violation.
+        tesla_update_state(cr, call_event("step1", ()), hub, lazy=False)
+        assert cr.errors == 1
+
+
+class TestOverflow:
+    def test_pool_overflow_reported_not_raised(self):
+        assertion = mac_assertion("o1")
+        automaton = translate(assertion)
+        cr = ClassRuntime(automaton, capacity=2)
+        hub = NotificationHub()
+        collector = CollectingHandler()
+        hub.add_handler(collector)
+        handle_init(cr, ENTER, hub, lazy=False)
+        for index in range(4):
+            tesla_update_state(
+                cr, return_event("mac_check", ("c", f"vp{index}"), 0), hub, lazy=False
+            )
+        assert collector.of_kind(NotificationKind.OVERFLOW)
+        assert len(cr.pool) <= 2

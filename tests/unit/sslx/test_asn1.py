@@ -1,0 +1,131 @@
+"""Unit tests for the miniature DER codec."""
+
+import pytest
+
+from repro.sslx.asn1 import (
+    Asn1Error,
+    TAG_BIT_STRING,
+    TAG_INTEGER,
+    TAG_SEQUENCE,
+    decode_dsa_signature,
+    decode_integer,
+    decode_length,
+    decode_sequence,
+    decode_tlv,
+    encode_dsa_signature,
+    encode_integer,
+    encode_length,
+    encode_sequence,
+    encode_tlv,
+    forge_bit_string_tag,
+)
+
+
+class TestLengths:
+    def test_short_form(self):
+        assert encode_length(0) == b"\x00"
+        assert encode_length(127) == b"\x7f"
+
+    def test_long_form(self):
+        assert encode_length(128) == b"\x81\x80"
+        assert encode_length(300) == b"\x82\x01\x2c"
+
+    def test_round_trip(self):
+        for value in (0, 1, 127, 128, 255, 256, 65535, 1 << 20):
+            encoded = encode_length(value)
+            decoded, offset = decode_length(encoded, 0)
+            assert decoded == value and offset == len(encoded)
+
+    def test_truncated_length_raises(self):
+        with pytest.raises(Asn1Error):
+            decode_length(b"", 0)
+        with pytest.raises(Asn1Error):
+            decode_length(b"\x82\x01", 0)
+
+
+class TestTlv:
+    def test_round_trip(self):
+        encoded = encode_tlv(TAG_INTEGER, b"\x05")
+        tag, value, offset = decode_tlv(encoded)
+        assert tag == TAG_INTEGER and value == b"\x05"
+        assert offset == len(encoded)
+
+    def test_value_past_end_raises(self):
+        with pytest.raises(Asn1Error):
+            decode_tlv(b"\x02\x05\x01")
+
+    def test_empty_input_raises(self):
+        with pytest.raises(Asn1Error):
+            decode_tlv(b"")
+
+
+class TestInteger:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 255, 256, 1 << 64, 1 << 160])
+    def test_round_trip(self, value):
+        decoded, _ = decode_integer(encode_integer(value))
+        assert decoded == value
+
+    def test_high_bit_padded(self):
+        # 128 has the high bit set: DER requires a leading zero byte.
+        assert encode_integer(128) == b"\x02\x02\x00\x80"
+
+    def test_negative_rejected(self):
+        with pytest.raises(Asn1Error):
+            encode_integer(-1)
+
+    def test_wrong_tag_raises(self):
+        bitstring = encode_tlv(TAG_BIT_STRING, b"\x05")
+        with pytest.raises(Asn1Error):
+            decode_integer(bitstring)
+
+    def test_empty_body_raises(self):
+        with pytest.raises(Asn1Error):
+            decode_integer(b"\x02\x00")
+
+
+class TestSequence:
+    def test_round_trip(self):
+        inner = [encode_integer(1), encode_integer(2)]
+        body, _ = decode_sequence(encode_sequence(inner))
+        assert body == b"".join(inner)
+
+    def test_wrong_tag_raises(self):
+        with pytest.raises(Asn1Error):
+            decode_sequence(encode_integer(5))
+
+
+class TestDsaSignature:
+    def test_round_trip(self):
+        r, s = 123456789, 987654321
+        assert decode_dsa_signature(encode_dsa_signature(r, s)) == (r, s)
+
+    def test_trailing_bytes_rejected(self):
+        good = encode_dsa_signature(1, 2)
+        body, _ = decode_sequence(good)
+        padded = encode_tlv(TAG_SEQUENCE, body + b"\x00")
+        with pytest.raises(Asn1Error):
+            decode_dsa_signature(padded)
+
+
+class TestForgery:
+    def test_forged_signature_has_bit_string_tag(self):
+        signature = encode_dsa_signature(1 << 64, 2 << 64)
+        forged = forge_bit_string_tag(signature)
+        assert forged != signature
+        assert len(forged) == len(signature)
+        # Decoding now fails exceptionally on the second integer.
+        with pytest.raises(Asn1Error, match="BIT STRING|0x03|expected INTEGER"):
+            decode_dsa_signature(forged)
+
+    def test_first_integer_untouched(self):
+        signature = encode_dsa_signature(42, 43)
+        forged = forge_bit_string_tag(signature)
+        body, _ = decode_sequence(forged)
+        first, _ = decode_integer(body, 0)
+        assert first == 42
+
+    def test_forging_twice_fails(self):
+        signature = encode_dsa_signature(1, 2)
+        forged = forge_bit_string_tag(signature)
+        with pytest.raises(Asn1Error):
+            forge_bit_string_tag(forged)

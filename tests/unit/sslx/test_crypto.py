@@ -1,0 +1,89 @@
+"""Unit tests for the toy libcrypto and its tri-state EVP API."""
+
+import hashlib
+
+import pytest
+
+from repro.sslx.asn1 import forge_bit_string_tag
+from repro.sslx.crypto import (
+    DSA_generate_key,
+    DSA_sign,
+    DSA_verify,
+    EVP_SignFinal,
+    EVP_VerifyFinal,
+    EVP_VerifyInit,
+    EVP_VerifyUpdate,
+)
+
+
+def digest(data: bytes) -> bytes:
+    return hashlib.sha256(data).digest()
+
+
+class TestDsa:
+    def test_sign_verify_round_trip(self):
+        key = DSA_generate_key()
+        signature = DSA_sign(digest(b"hello"), key)
+        assert DSA_verify(digest(b"hello"), signature, key.public) == 1
+
+    def test_wrong_message_fails_cleanly(self):
+        key = DSA_generate_key()
+        signature = DSA_sign(digest(b"hello"), key)
+        assert DSA_verify(digest(b"other"), signature, key.public) == 0
+
+    def test_wrong_key_fails_cleanly(self):
+        key, other = DSA_generate_key(1), DSA_generate_key(2)
+        signature = DSA_sign(digest(b"hello"), key)
+        assert DSA_verify(digest(b"hello"), signature, other.public) == 0
+
+    def test_signing_is_deterministic(self):
+        key = DSA_generate_key()
+        assert DSA_sign(digest(b"m"), key) == DSA_sign(digest(b"m"), key)
+
+    def test_different_seeds_different_keys(self):
+        assert DSA_generate_key(1).y != DSA_generate_key(2).y
+
+    def test_public_key_hides_private(self):
+        key = DSA_generate_key()
+        assert key.public.x == 0 and key.public.y == key.y
+
+
+class TestEvpTriState:
+    def _signed(self, data=b"payload"):
+        key = DSA_generate_key()
+        ctx = EVP_VerifyInit()
+        EVP_VerifyUpdate(ctx, data)
+        signature = EVP_SignFinal(ctx, key)
+        return key, signature
+
+    def _verify(self, signature, key, data=b"payload"):
+        ctx = EVP_VerifyInit()
+        EVP_VerifyUpdate(ctx, data)
+        return EVP_VerifyFinal(ctx, signature, len(signature), key.public)
+
+    def test_valid_signature_returns_1(self):
+        key, signature = self._signed()
+        assert self._verify(signature, key) == 1
+
+    def test_mismatch_returns_0(self):
+        key, signature = self._signed()
+        assert self._verify(signature, key, data=b"tampered") == 0
+
+    def test_malformed_der_returns_minus_1(self):
+        key, signature = self._signed()
+        forged = forge_bit_string_tag(signature)
+        assert self._verify(forged, key) == -1
+
+    def test_length_mismatch_returns_minus_1(self):
+        key, signature = self._signed()
+        ctx = EVP_VerifyInit()
+        EVP_VerifyUpdate(ctx, b"payload")
+        assert EVP_VerifyFinal(ctx, signature, len(signature) - 1, key.public) == -1
+
+    def test_incremental_update_equals_one_shot(self):
+        key = DSA_generate_key()
+        ctx = EVP_VerifyInit()
+        EVP_VerifyUpdate(ctx, b"pay")
+        EVP_VerifyUpdate(ctx, b"load")
+        signature = EVP_SignFinal(ctx, key)
+        assert self._verify(signature, key) == 1

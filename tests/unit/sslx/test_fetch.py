@@ -1,0 +1,53 @@
+"""Unit tests for the libfetch client and its figure 6 assertion."""
+
+import pytest
+
+from repro.core.ast import FunctionReturn
+from repro.sslx.fetch import VERIFY_ASSERTION, fetch_assertion, fetch_url
+from repro.sslx.libssl import SslError
+from repro.sslx.server import SServer
+
+
+class TestFetch:
+    def test_fetch_returns_document_body(self):
+        body = fetch_url(SServer(document=b"<html>hi</html>"))
+        assert body == b"<html>hi</html>"
+
+    def test_fetch_custom_path(self):
+        assert fetch_url(SServer(), path="/other") is not None
+
+    def test_strict_client_rejects_malicious_server(self):
+        with pytest.raises(SslError):
+            fetch_url(SServer(malicious=True), strict_verify=True)
+
+    def test_vulnerable_client_accepts_malicious_server(self):
+        body = fetch_url(SServer(malicious=True), strict_verify=False)
+        assert body  # the CVE: data flows despite the forged signature
+
+
+class TestAssertion:
+    def test_assertion_matches_figure6(self):
+        assertion = fetch_assertion()
+        assert assertion.name == VERIFY_ASSERTION
+        described = assertion.describe()
+        assert "EVP_VerifyFinal" in described
+        assert "== 1" in described
+        assert "call(fetch_url)" in described
+
+    def test_assertion_requires_success_not_just_a_call(self):
+        assertion = fetch_assertion()
+        returns = [
+            node
+            for node in assertion.expression.parts
+            if isinstance(node, FunctionReturn)
+        ]
+        assert returns[0].retval is not None
+        assert returns[0].retval.value == 1
+
+    def test_assertion_site_marker_in_fetch_source(self):
+        import inspect
+
+        import repro.sslx.fetch as fetch_module
+
+        source = inspect.getsource(fetch_module)
+        assert "tesla_site(VERIFY_ASSERTION)" in source

@@ -1,0 +1,80 @@
+"""Unit tests for the libssl handshake and the vulnerable check."""
+
+import pytest
+
+from repro.sslx.libssl import (
+    SSL_connect,
+    SSL_new,
+    SSL_read,
+    SSL_shutdown,
+    SSL_write,
+    SslError,
+)
+from repro.sslx.server import SServer
+
+
+class TestHandshake:
+    def test_honest_server_strict_client(self):
+        ssl = SSL_new(strict_verify=True)
+        assert SSL_connect(ssl, SServer()) == 1
+        assert ssl.state == "connected"
+        assert ssl.session_key
+
+    def test_honest_server_vulnerable_client(self):
+        ssl = SSL_new(strict_verify=False)
+        assert SSL_connect(ssl, SServer()) == 1
+
+    def test_malicious_server_strict_client_rejected(self):
+        ssl = SSL_new(strict_verify=True)
+        with pytest.raises(SslError):
+            SSL_connect(ssl, SServer(malicious=True))
+        assert ssl.state == "error"
+
+    def test_malicious_server_vulnerable_client_accepted(self):
+        """CVE-2008-5077: the -1 error return is conflated with success."""
+        ssl = SSL_new(strict_verify=False)
+        assert SSL_connect(ssl, SServer(malicious=True)) == 1
+        assert ssl.state == "connected"
+
+    def test_connection_ids_unique(self):
+        a, b = SSL_new(), SSL_new()
+        assert a.conn_id != b.conn_id
+
+
+class TestRecordLayer:
+    def test_request_response(self):
+        ssl = SSL_new()
+        server = SServer(document=b"<p>doc</p>")
+        SSL_connect(ssl, server)
+        SSL_write(ssl, b"GET / HTTP/1.0\r\n\r\n")
+        response = SSL_read(ssl)
+        assert response.startswith(b"HTTP/1.0 200")
+        assert b"<p>doc</p>" in response
+
+    def test_bad_request(self):
+        ssl = SSL_new()
+        server = SServer()
+        SSL_connect(ssl, server)
+        SSL_write(ssl, b"FLY /")
+        assert SSL_read(ssl).startswith(b"HTTP/1.0 400")
+
+    def test_write_before_connect_raises(self):
+        with pytest.raises(SslError):
+            SSL_write(SSL_new(), b"x")
+
+    def test_read_after_shutdown_raises(self):
+        ssl = SSL_new()
+        SSL_connect(ssl, SServer())
+        SSL_shutdown(ssl)
+        with pytest.raises(SslError):
+            SSL_read(ssl)
+
+    def test_sessions_isolated_per_connection(self):
+        server = SServer()
+        a, b = SSL_new(), SSL_new()
+        SSL_connect(a, server)
+        SSL_connect(b, server)
+        SSL_write(a, b"GET /a HTTP/1.0\r\n\r\n")
+        SSL_write(b, b"BAD")
+        assert SSL_read(a).startswith(b"HTTP/1.0 200")
+        assert SSL_read(b).startswith(b"HTTP/1.0 400")

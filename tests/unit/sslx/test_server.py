@@ -1,0 +1,62 @@
+"""Unit tests for the s_server substrate."""
+
+import pytest
+
+from repro.sslx.asn1 import Asn1Error, decode_dsa_signature
+from repro.sslx.crypto import EVP_VerifyInit, EVP_VerifyUpdate, EVP_VerifyFinal
+from repro.sslx.server import SServer
+
+
+class TestHandshakeMessages:
+    def test_server_hello_is_deterministic_per_client(self):
+        server = SServer()
+        a = server.server_hello(b"client-random-1")
+        b = server.server_hello(b"client-random-1")
+        assert a["server_random"] == b["server_random"]
+        assert a["certificate"].y == server.key.y
+
+    def test_different_clients_different_randoms(self):
+        server = SServer()
+        a = server.server_hello(b"client-1")
+        b = server.server_hello(b"client-2")
+        assert a["server_random"] != b["server_random"]
+
+    def test_honest_key_exchange_verifies(self):
+        server = SServer()
+        cr, sr = b"c" * 16, b"s" * 16
+        message = server.server_key_exchange(cr, sr)
+        ctx = EVP_VerifyInit()
+        EVP_VerifyUpdate(ctx, cr + sr + message.params)
+        assert EVP_VerifyFinal(
+            ctx, message.signature, len(message.signature), server.key.public
+        ) == 1
+
+    def test_malicious_key_exchange_has_forged_der(self):
+        server = SServer(malicious=True)
+        message = server.server_key_exchange(b"c" * 16, b"s" * 16)
+        with pytest.raises(Asn1Error):
+            decode_dsa_signature(message.signature)
+
+    def test_seed_controls_keypair(self):
+        assert SServer(seed=1).key.y != SServer(seed=2).key.y
+
+
+class TestApplicationLayer:
+    def test_sessions_tracked_per_connection(self):
+        server = SServer()
+        server.finish_handshake(7, b"key-7")
+        assert server.sessions[7] == b"key-7"
+
+    def test_get_serves_document(self):
+        server = SServer(document=b"<x/>")
+        server.receive(1, b"GET / HTTP/1.0\r\n\r\n")
+        assert server.respond(1).endswith(b"<x/>")
+
+    def test_non_get_rejected(self):
+        server = SServer()
+        server.receive(2, b"PUT /")
+        assert b"400" in server.respond(2)
+
+    def test_empty_request_rejected(self):
+        server = SServer()
+        assert b"400" in server.respond(99)

@@ -1,0 +1,122 @@
+"""Unit tests for X.509 chains and the figure 2 check bug."""
+
+import pytest
+
+from repro.sslx.crypto import DSA_generate_key
+from repro.sslx.x509 import (
+    CertificateAuthority,
+    X509StoreCtx,
+    X509_V_ERR,
+    X509_V_FAIL,
+    X509_V_OK,
+    X509_verify_cert,
+    app_accepts_chain_buggy,
+    app_accepts_chain_fixed,
+    forge_certificate_signature,
+    issue_certificate,
+)
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority("Root CA")
+
+
+@pytest.fixture
+def leaf(ca):
+    return issue_certificate("example.org", DSA_generate_key(7), ca)
+
+
+def ctx_for(chain, ca):
+    return X509StoreCtx(chain, trusted=[ca.root_certificate()])
+
+
+class TestChainVerification:
+    def test_valid_leaf_verifies(self, ca, leaf):
+        assert X509_verify_cert(ctx_for([leaf], ca)) == X509_V_OK
+
+    def test_intermediate_chain_verifies(self, ca):
+        intermediate_key = DSA_generate_key(11)
+        intermediate = issue_certificate("Intermediate CA", intermediate_key, ca)
+        inter_authority = CertificateAuthority("Intermediate CA", intermediate_key)
+        leaf = issue_certificate("deep.example.org", DSA_generate_key(13), inter_authority)
+        assert X509_verify_cert(ctx_for([leaf, intermediate], ca)) == X509_V_OK
+
+    def test_untrusted_root_fails_cleanly(self, leaf):
+        other = CertificateAuthority("Other CA")
+        ctx = X509StoreCtx([leaf], trusted=[other.root_certificate()])
+        assert X509_verify_cert(ctx) == X509_V_FAIL
+        assert "no trusted root" in ctx.error
+
+    def test_tampered_subject_fails_cleanly(self, ca, leaf):
+        leaf.subject = "evil.example.org"  # breaks the signed digest
+        assert X509_verify_cert(ctx_for([leaf], ca)) == X509_V_FAIL
+
+    def test_issuer_mismatch_mid_chain(self, ca, leaf):
+        stranger = CertificateAuthority("Stranger")
+        unrelated = stranger.root_certificate()
+        ctx = ctx_for([leaf, unrelated], ca)
+        assert X509_verify_cert(ctx) == X509_V_FAIL
+        assert "issuer mismatch" in ctx.error
+
+    def test_empty_chain_is_an_error(self, ca):
+        assert X509_verify_cert(ctx_for([], ca)) == X509_V_ERR
+
+    def test_forged_signature_is_an_error_not_a_mismatch(self, ca, leaf):
+        forged = forge_certificate_signature(leaf)
+        ctx = ctx_for([forged], ca)
+        assert X509_verify_cert(ctx) == X509_V_ERR
+        assert "malformed" in ctx.error
+
+
+class TestFigure2Checks:
+    def test_both_checks_accept_valid_chain(self, ca, leaf):
+        assert app_accepts_chain_buggy(ctx_for([leaf], ca))
+        assert app_accepts_chain_fixed(ctx_for([leaf], ca))
+
+    def test_both_checks_reject_clean_failure(self, ca, leaf):
+        leaf.subject = "tampered"
+        assert not app_accepts_chain_buggy(ctx_for([leaf], ca))
+        assert not app_accepts_chain_fixed(ctx_for([leaf], ca))
+
+    def test_buggy_check_accepts_the_error_case(self, ca, leaf):
+        """The figure 2 bug: ``!X509_verify_cert(...)`` lets -1 through."""
+        forged = forge_certificate_signature(leaf)
+        assert app_accepts_chain_buggy(ctx_for([forged], ca))
+
+    def test_fixed_check_rejects_the_error_case(self, ca, leaf):
+        forged = forge_certificate_signature(leaf)
+        assert not app_accepts_chain_fixed(ctx_for([forged], ca))
+
+
+class TestTeslaCatchesFigure2:
+    def test_assertion_detects_conflated_error(self, ca, leaf):
+        """A TESLA assertion over X509_verify_cert == 1 catches the buggy
+        application accepting an erroring chain — caller-side, since the
+        'library' is not built instrumentable."""
+        import repro.sslx.x509 as x509_module
+        from repro.core.dsl import ANY, fn, previously, tesla_within
+        from repro.errors import TemporalAssertionError
+        from repro.instrument.hooks import instrumentable, tesla_site
+        from repro.instrument.module import Instrumenter
+        from repro.runtime.manager import TeslaRuntime
+
+        @instrumentable(name="x509_app_main")
+        def x509_app_main(ctx):
+            if app_accepts_chain_buggy(ctx):
+                tesla_site("x509.verified")
+                return "used certificate"
+            return "rejected"
+
+        assertion = tesla_within(
+            "x509_app_main",
+            previously(fn("X509_verify_cert", ANY("ctx")) == 1),
+            name="x509.verified",
+        )
+        runtime = TeslaRuntime()
+        with Instrumenter(runtime, caller_modules=[x509_module]) as session:
+            session.instrument([assertion])
+            assert x509_app_main(ctx_for([leaf], ca)) == "used certificate"
+            forged = forge_certificate_signature(leaf)
+            with pytest.raises(TemporalAssertionError):
+                x509_app_main(ctx_for([forged], ca))

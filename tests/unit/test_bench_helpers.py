@@ -1,0 +1,105 @@
+"""Unit tests for the benchmark harness helpers."""
+
+import pytest
+
+from repro.bench.results import BenchResult, Series, compare, normalise
+from repro.bench.tables import format_ratio_table, format_series_table
+from repro.bench.timer import median_time, percentile, repeat_time, time_once
+
+
+class TestTimer:
+    def test_time_once_positive(self):
+        assert time_once(lambda: sum(range(100))) > 0
+
+    def test_repeat_time_count(self):
+        samples = repeat_time(lambda: None, repeats=4, warmup=1)
+        assert len(samples) == 4
+
+    def test_median_time_odd_and_even(self):
+        assert median_time(lambda: None, repeats=3) >= 0
+        assert median_time(lambda: None, repeats=4) >= 0
+
+    def test_gc_reenabled_after_timing(self):
+        import gc
+
+        assert gc.isenabled()
+        time_once(lambda: None)
+        assert gc.isenabled()
+
+
+class TestPercentile:
+    def test_endpoints(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(samples, 0) == 1.0
+        assert percentile(samples, 100) == 4.0
+
+    def test_median(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_unordered_input(self):
+        assert percentile([9.0, 1.0, 5.0], 100) == 9.0
+
+
+class TestSeries:
+    def _series(self):
+        series = Series("test")
+        series.add("base", 1.0)
+        series.add("slow", 4.0)
+        return series
+
+    def test_get_and_labels(self):
+        series = self._series()
+        assert series.get("slow").seconds == 4.0
+        assert series.labels() == ["base", "slow"]
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            self._series().get("ghost")
+
+    def test_normalise(self):
+        ratios = normalise(self._series(), "base")
+        assert ratios == {"base": 1.0, "slow": 4.0}
+
+    def test_normalise_zero_baseline_rejected(self):
+        series = Series("z")
+        series.add("zero", 0.0)
+        with pytest.raises(ValueError):
+            normalise(series, "zero")
+
+    def test_compare(self):
+        assert compare(self._series(), "slow", "base") == 4.0
+
+    def test_meta_stored(self):
+        series = Series("m")
+        result = series.add("x", 1.0, iterations=10)
+        assert result.meta == {"iterations": 10}
+
+
+class TestTables:
+    def test_series_table_contains_rows(self):
+        series = Series("t")
+        series.add("alpha", 0.5)
+        series.add("beta", 1.0)
+        text = format_series_table(series, unit="s", title="T")
+        assert "alpha" in text and "beta" in text and "T" in text
+
+    def test_series_table_with_baseline_column(self):
+        series = Series("t")
+        series.add("alpha", 0.5)
+        series.add("beta", 1.0)
+        text = format_series_table(series, baseline="alpha")
+        assert "2.00x" in text
+
+    def test_scaled_units(self):
+        series = Series("t")
+        series.add("alpha", 0.001)
+        text = format_series_table(series, unit="ms", scale=1e3)
+        assert "1.000 ms" in text
+
+    def test_ratio_table(self):
+        text = format_ratio_table({"a": 2.0, "b": 0.5}, title="Ratios", reference="base")
+        assert "Ratios" in text and "2.00x" in text and "base" in text

@@ -1,0 +1,80 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTable1:
+    def test_table1_exits_zero(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "MF" in out and "96" in out
+
+
+class TestList:
+    def test_list_known_set(self, capsys):
+        assert main(["list", "MS"]) == 0
+        out = capsys.readouterr().out
+        assert "MS.sopoll.prior-check" in out
+
+    def test_list_unknown_set(self, capsys):
+        assert main(["list", "XYZ"]) == 2
+        assert "unknown set" in capsys.readouterr().out
+
+
+class TestAutomaton:
+    def test_automaton_text(self, capsys):
+        assert main(["automaton", "MS.sopoll.prior-check"]) == 0
+        out = capsys.readouterr().out
+        assert "«init»" in out
+        assert "TESLA_ASSERTION_SITE" in out
+
+    def test_automaton_dot(self, capsys):
+        assert main(["automaton", "MS.sopoll.prior-check", "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith('digraph "MS.sopoll.prior-check"')
+
+    def test_unknown_assertion(self, capsys):
+        assert main(["automaton", "no.such.assertion"]) == 2
+
+
+class TestManifestRoundTrip:
+    def test_manifest_then_show(self, tmp_path, capsys):
+        path = tmp_path / "ms.tesla.json"
+        assert main(["manifest", str(path), "--set", "MS"]) == 0
+        assert path.exists()
+        assert main(["show", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "11 assertion(s)" in out
+
+    def test_manifest_unknown_set(self, tmp_path):
+        assert main(["manifest", str(tmp_path / "x.json"), "--set", "NO"]) == 2
+
+
+class TestElide:
+    def test_elide_mp(self, capsys):
+        assert main(["elide", "MP"]) == 0
+        out = capsys.readouterr().out
+        assert "monitored" in out
+
+    def test_elide_unknown(self, capsys):
+        assert main(["elide", "NO"]) == 2
+
+
+class TestBugs:
+    def test_bugs_lists_all_known(self, capsys):
+        from repro.kernel.bugs import KNOWN_BUGS
+
+        assert main(["bugs"]) == 0
+        out = capsys.readouterr().out
+        for name in KNOWN_BUGS:
+            assert name in out
+
+    def test_bug_state_shown(self, capsys):
+        from repro.kernel.bugs import bugs
+
+        with bugs.injected("sugid_not_set"):
+            main(["bugs"])
+        out = capsys.readouterr().out
+        assert "[ON ] sugid_not_set" in out

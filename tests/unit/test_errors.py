@@ -1,0 +1,75 @@
+"""Unit tests for the shared error types."""
+
+import pytest
+
+from repro.core.events import assertion_site_event
+from repro.errors import (
+    AssertionParseError,
+    BoundsOverflowError,
+    ContextError,
+    InstrumentationError,
+    ManifestError,
+    TemporalAssertionError,
+    TemporalViolation,
+    TeslaError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            AssertionParseError,
+            ContextError,
+            InstrumentationError,
+            ManifestError,
+        ],
+    )
+    def test_all_derive_from_tesla_error(self, exc):
+        assert issubclass(exc, TeslaError)
+
+    def test_temporal_error_is_also_assertion_error(self):
+        """Test harnesses catching plain AssertionError catch TESLA too."""
+        assert issubclass(TemporalAssertionError, AssertionError)
+        assert issubclass(TemporalAssertionError, TeslaError)
+
+
+class TestViolation:
+    def test_describe_includes_all_parts(self):
+        violation = TemporalViolation(
+            automaton="auto",
+            reason="the check never happened",
+            binding=(("vp", "v1"),),
+            location="kernel",
+        )
+        text = violation.describe()
+        assert "auto" in text
+        assert "the check never happened" in text
+        assert "vp='v1'" in text
+        assert "kernel" in text
+
+    def test_describe_uses_event_describe(self):
+        violation = TemporalViolation(
+            automaton="a",
+            reason="r",
+            event=assertion_site_event("a", {"x": 1}),
+        )
+        assert "assertion-site a" in violation.describe()
+
+    def test_describe_minimal(self):
+        violation = TemporalViolation(automaton="a", reason="r")
+        assert violation.describe() == "TESLA violation in a: r"
+
+    def test_error_message_is_description(self):
+        violation = TemporalViolation(automaton="a", reason="r")
+        error = TemporalAssertionError(violation)
+        assert str(error) == violation.describe()
+        assert error.violation is violation
+
+
+class TestBoundsOverflow:
+    def test_carries_automaton_and_limit(self):
+        error = BoundsOverflowError("auto", 128)
+        assert error.automaton == "auto"
+        assert error.limit == 128
+        assert "128" in str(error)
