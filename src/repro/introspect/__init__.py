@@ -6,14 +6,23 @@ on" monitoring, logical coverage and debugging traces come from one set of
 instrumentation points.
 """
 
-from .aggregate import AggregationRow, StackAggregator
+from .aggregate import (
+    AggregationRow,
+    ShardContentionRow,
+    StackAggregator,
+    format_shard_contention,
+    shard_contention,
+)
 from .coverage import AssertionCoverage, CoverageReport, coverage_report
 from .trace import TraceRecord, TraceRecorder, sequence_histogram
 from .weights import WeightedEdge, WeightedGraph, to_dot, weighted_graph
 
 __all__ = [
     "AggregationRow",
+    "ShardContentionRow",
     "StackAggregator",
+    "format_shard_contention",
+    "shard_contention",
     "AssertionCoverage",
     "CoverageReport",
     "coverage_report",

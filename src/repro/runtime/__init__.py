@@ -7,7 +7,7 @@ optimisation of section 5.2.2, and a pluggable notification framework.
 """
 
 from .instance import AutomatonInstance
-from .manager import BoundTracker, TeslaRuntime
+from .manager import BoundTracker, TeslaRuntime, live_runtimes, reset_all_runtimes
 from .notify import (
     CollectingHandler,
     ErrorPolicy,
@@ -24,13 +24,25 @@ from .perobject import (
     instrument_object_assertion,
 )
 from .prealloc import DEFAULT_CAPACITY, InstancePool
-from .store import ClassRuntime, GlobalStore, PerThreadStores, Store
-from .update import handle_cleanup, handle_init, tesla_update_state
+from .store import (
+    ClassRuntime,
+    GlobalShard,
+    GlobalStore,
+    PerThreadStores,
+    ShardedGlobalStore,
+    ShardLock,
+    Store,
+    default_shard_count,
+    shard_index_for,
+)
+from .update import handle_cleanup, handle_init, lazy_join_bound, tesla_update_state
 
 __all__ = [
     "AutomatonInstance",
     "BoundTracker",
     "TeslaRuntime",
+    "live_runtimes",
+    "reset_all_runtimes",
     "CollectingHandler",
     "ErrorPolicy",
     "FailStop",
@@ -45,10 +57,16 @@ __all__ = [
     "DEFAULT_CAPACITY",
     "InstancePool",
     "ClassRuntime",
+    "GlobalShard",
     "GlobalStore",
     "PerThreadStores",
+    "ShardedGlobalStore",
+    "ShardLock",
     "Store",
+    "default_shard_count",
+    "shard_index_for",
     "handle_cleanup",
     "handle_init",
+    "lazy_join_bound",
     "tesla_update_state",
 ]

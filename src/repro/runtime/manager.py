@@ -17,11 +17,24 @@ instance when it receives its first non-initialisation event; and cleanup
 only visits the classes actually touched during the bound.  This is the
 change that took the paper's microbenchmarks from ~100× to <7× overhead
 (figure 13).
+
+Global-context serialisation is *lock-striped* (figure 12's scalability
+fix): automata classes hash stably onto the shards of a
+:class:`~repro.runtime.store.ShardedGlobalStore`, and one event acquires
+each affected shard's lock exactly once.  Every piece of a class's work —
+bound entry, body events, cleanup — happens under its own shard's lock,
+so per-class event ordering is exactly the paper's; classes on different
+shards never contend.  :meth:`TeslaRuntime.dispatch_batch` amortises the
+locking further: a batch of events is grouped by shard and each shard
+lock is taken once per batch, preserving intra-batch event order per
+class (a class lives on exactly one shard, and each shard replays its
+sub-sequence in arrival order).
 """
 
 from __future__ import annotations
 
 import threading
+import weakref
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..core.ast import Context, TemporalAssertion
@@ -31,36 +44,30 @@ from ..core.translate import translate_all
 from ..errors import ContextError
 from .notify import ErrorPolicy, NotificationHub
 from .prealloc import DEFAULT_CAPACITY
-from .store import ClassRuntime, GlobalStore, PerThreadStores, Store
-from .update import handle_cleanup, handle_init, tesla_update_state
+from .store import (
+    BoundId,
+    BoundTracker,
+    ClassRuntime,
+    DispatchKey,
+    PerThreadStores,
+    ShardedGlobalStore,
+    Store,
+)
+from .update import (
+    handle_cleanup,
+    handle_init,
+    lazy_join_bound,
+    tesla_update_state,
+)
 
-DispatchKey = Tuple[EventKind, str]
-#: A bound identity: (init dispatch key, cleanup dispatch key).
-BoundId = Tuple[DispatchKey, DispatchKey]
-
-
-class BoundTracker:
-    """Per-context record of open temporal bounds (lazy mode)."""
-
-    __slots__ = ("open", "epoch", "touched")
-
-    def __init__(self) -> None:
-        self.open: Dict[BoundId, bool] = {}
-        self.epoch: Dict[BoundId, int] = {}
-        self.touched: Dict[BoundId, Set[str]] = {}
-
-    def begin(self, bound: BoundId) -> None:
-        if self.open.get(bound):
-            return  # re-entrant bound: ignore until cleanup
-        self.open[bound] = True
-        self.epoch[bound] = self.epoch.get(bound, 0) + 1
-        self.touched[bound] = set()
-
-    def end(self, bound: BoundId) -> Set[str]:
-        if not self.open.get(bound):
-            return set()
-        self.open[bound] = False
-        return self.touched.pop(bound, set())
+__all__ = [
+    "BoundId",
+    "BoundTracker",
+    "DispatchKey",
+    "TeslaRuntime",
+    "live_runtimes",
+    "reset_all_runtimes",
+]
 
 
 def _dispatch_keys_of(automaton: Automaton) -> Dict[str, Set[DispatchKey]]:
@@ -86,6 +93,68 @@ def _dispatch_keys_of(automaton: Automaton) -> Dict[str, Set[DispatchKey]]:
     return {"init": init, "cleanup": cleanup, "body": body}
 
 
+class _ContextPlan:
+    """One dispatch key's work within one context (a global shard, or the
+    calling thread's local store)."""
+
+    __slots__ = ("init_names", "init_bounds", "body", "cleanup_names",
+                 "cleanup_bounds")
+
+    def __init__(self) -> None:
+        self.init_names: List[str] = []
+        self.init_bounds: List[BoundId] = []
+        #: (class name, its bound) — the bound feeds the lazy epoch join.
+        self.body: List[Tuple[str, BoundId]] = []
+        self.cleanup_names: List[str] = []
+        self.cleanup_bounds: List[BoundId] = []
+
+    def empty(self) -> bool:
+        return not (self.init_names or self.body or self.cleanup_names)
+
+
+class _KeyPlan:
+    """Everything one dispatch key triggers, pre-split by shard.
+
+    Computed once per key and cached — the indexes never change after
+    installation, so dispatch does no per-event index walking.
+    """
+
+    __slots__ = ("shard_work", "local", "initiated")
+
+    def __init__(
+        self,
+        shard_work: Tuple[Tuple[int, _ContextPlan], ...],
+        local: Optional[_ContextPlan],
+        initiated: frozenset,
+    ) -> None:
+        self.shard_work = shard_work
+        self.local = local
+        self.initiated = initiated
+
+
+_EMPTY_PLAN = _KeyPlan((), None, frozenset())
+
+#: Every constructed runtime, for test hygiene (see ``reset_all_runtimes``).
+_live_runtimes: "weakref.WeakSet[TeslaRuntime]" = weakref.WeakSet()
+
+
+def live_runtimes() -> List["TeslaRuntime"]:
+    """Every :class:`TeslaRuntime` still referenced by the process."""
+    return list(_live_runtimes)
+
+
+def reset_all_runtimes() -> None:
+    """Reset every live runtime: expunge instances, close bounds, zero
+    shard contention counters.
+
+    The shard layer's analogue of the instrumentation registries'
+    ``detach_all`` — test fixtures call it so automata state and per-shard
+    epoch trackers never leak across tests.
+    """
+    for runtime in live_runtimes():
+        runtime.reset()
+
+
 class TeslaRuntime:
     """Tracks automata instances and their state across all contexts."""
 
@@ -94,10 +163,13 @@ class TeslaRuntime:
         lazy: bool = True,
         capacity: int = DEFAULT_CAPACITY,
         policy: Optional[ErrorPolicy] = None,
+        shards: Optional[int] = None,
     ) -> None:
         self.lazy = lazy
         self.hub = NotificationHub(policy)
-        self.global_store = GlobalStore(capacity)
+        #: Lock-striped global store; ``shards=1`` gives the paper's exact
+        #: single-lock semantics, ``None`` picks min(32, 4×cpu_count).
+        self.global_store = ShardedGlobalStore(capacity, shards)
         self.thread_stores = PerThreadStores(capacity)
         self.automata: Dict[str, Automaton] = {}
         self.contexts: Dict[str, Context] = {}
@@ -105,16 +177,16 @@ class TeslaRuntime:
         self._init_index: Dict[DispatchKey, List[str]] = {}
         self._cleanup_index: Dict[DispatchKey, List[str]] = {}
         self._body_index: Dict[DispatchKey, List[str]] = {}
-        #: Precomputed per-key structures for the lazy fast path: the
-        #: distinct (bound, is_global) pairs opened/closed by a key, and
-        #: the frozen set of class names the key initiates.
-        self._init_bounds: Dict[DispatchKey, List[Tuple[BoundId, bool]]] = {}
-        self._cleanup_bounds: Dict[DispatchKey, List[Tuple[BoundId, bool]]] = {}
-        self._init_names: Dict[DispatchKey, frozenset] = {}
-        self._global_tracker = BoundTracker()
+        #: Dispatch plans, one per key, built lazily from the indexes.
+        self._key_plans: Dict[DispatchKey, _KeyPlan] = {}
         self._thread_trackers = threading.local()
         #: Event counter, for the benchmarks' sanity reporting.
         self.events_processed = 0
+        _live_runtimes.add(self)
+
+    @property
+    def shard_count(self) -> int:
+        return self.global_store.shard_count
 
     # -- installation ----------------------------------------------------------
 
@@ -146,25 +218,20 @@ class TeslaRuntime:
         self.bounds[automaton.name] = bound
         self._init_index.setdefault(bound[0], []).append(automaton.name)
         self._cleanup_index.setdefault(bound[1], []).append(automaton.name)
-        is_global = context is Context.GLOBAL
-        marker = (bound, is_global)
-        if marker not in self._init_bounds.setdefault(bound[0], []):
-            self._init_bounds[bound[0]].append(marker)
-        if marker not in self._cleanup_bounds.setdefault(bound[1], []):
-            self._cleanup_bounds[bound[1]].append(marker)
-        self._init_names[bound[0]] = frozenset(self._init_index[bound[0]])
         for key in keys["body"]:
             self._body_index.setdefault(key, []).append(automaton.name)
         if context is Context.GLOBAL:
             self.global_store.register(automaton)
         else:
             self.thread_stores.register(automaton)
+        # The indexes changed; plans are rebuilt on next dispatch.
+        self._key_plans.clear()
 
     # -- store access ------------------------------------------------------------
 
     def _store_for(self, name: str) -> Store:
         if self.contexts[name] is Context.GLOBAL:
-            return self.global_store.store
+            return self.global_store.shard_for(name).store
         return self.thread_stores.current()
 
     def _thread_tracker(self) -> BoundTracker:
@@ -173,11 +240,6 @@ class TeslaRuntime:
             tracker = BoundTracker()
             self._thread_trackers.tracker = tracker
         return tracker
-
-    def _tracker_for(self, name: str) -> BoundTracker:
-        if self.contexts[name] is Context.GLOBAL:
-            return self._global_tracker
-        return self._thread_tracker()
 
     def class_runtime(self, name: str) -> ClassRuntime:
         cr = self._store_for(name).get(name)
@@ -189,7 +251,7 @@ class TeslaRuntime:
         """Every context's runtime for one class (for post-run introspection)."""
         out = []
         if self.contexts[name] is Context.GLOBAL:
-            cr = self.global_store.store.get(name)
+            cr = self.global_store.get(name)
             if cr is not None:
                 out.append(cr)
         else:
@@ -199,112 +261,150 @@ class TeslaRuntime:
                     out.append(cr)
         return out
 
+    # -- dispatch planning --------------------------------------------------------
+
+    def _plan_for(self, key: DispatchKey) -> _KeyPlan:
+        plan = self._key_plans.get(key)
+        if plan is None:
+            plan = self._build_plan(key)
+            self._key_plans[key] = plan
+        return plan
+
+    def _build_plan(self, key: DispatchKey) -> _KeyPlan:
+        shard_plans: Dict[int, _ContextPlan] = {}
+        local = _ContextPlan()
+
+        def context_plan(name: str) -> _ContextPlan:
+            if self.contexts[name] is Context.GLOBAL:
+                index = self.global_store.shard_index(name)
+                plan = shard_plans.get(index)
+                if plan is None:
+                    plan = shard_plans[index] = _ContextPlan()
+                return plan
+            return local
+
+        init_names = self._init_index.get(key, ())
+        for name in init_names:
+            plan = context_plan(name)
+            plan.init_names.append(name)
+            bound = self.bounds[name]
+            if bound not in plan.init_bounds:
+                plan.init_bounds.append(bound)
+        for name in self._body_index.get(key, ()):
+            context_plan(name).body.append((name, self.bounds[name]))
+        for name in self._cleanup_index.get(key, ()):
+            plan = context_plan(name)
+            plan.cleanup_names.append(name)
+            bound = self.bounds[name]
+            if bound not in plan.cleanup_bounds:
+                plan.cleanup_bounds.append(bound)
+
+        if not shard_plans and local.empty():
+            return _EMPTY_PLAN
+        return _KeyPlan(
+            shard_work=tuple(sorted(shard_plans.items())),
+            local=None if local.empty() else local,
+            initiated=frozenset(init_names),
+        )
+
     # -- dispatch ---------------------------------------------------------------
 
     def handle_event(self, event: RuntimeEvent) -> None:
         """Route one concrete event to every automaton that observes it."""
         self.events_processed += 1
-        key = (event.kind, event.name)
-        initiated = self._handle_inits(key, event)
-        self._handle_bodies(key, event, initiated)
-        self._handle_cleanups(key, event)
+        plan = self._plan_for((event.kind, event.name))
+        for index, work in plan.shard_work:
+            shard = self.global_store.shards[index]
+            with shard.lock:
+                self._run_plan(work, shard.store, shard.tracker, event,
+                               plan.initiated)
+        if plan.local is not None:
+            self._run_plan(plan.local, self.thread_stores.current(),
+                           self._thread_tracker(), event, plan.initiated)
 
-    def _handle_inits(self, key: DispatchKey, event: RuntimeEvent) -> frozenset:
-        names = self._init_index.get(key)
-        if not names:
-            return frozenset()
+    def dispatch_batch(self, events: Iterable[RuntimeEvent]) -> int:
+        """Batched event ingestion: each shard lock is taken once.
+
+        Events are grouped by the shards they affect; each shard then
+        replays its sub-sequence, in arrival order, under a single lock
+        acquisition.  Because a class lives on exactly one shard, every
+        class still observes its events in exactly the order they appear
+        in the batch; only *cross-class* interleaving across shards is
+        relaxed, which is unobservable (unrelated assertions share no
+        state).  Thread-local work is replayed afterwards, in order, with
+        no locking — its serialisation is implicit within the calling
+        thread.
+
+        Under a fail-stop policy a violation raises mid-batch and the
+        remaining events are not processed, exactly as if the same events
+        had been dispatched one at a time.  Returns the number of events
+        ingested.
+        """
+        events = list(events)
+        self.events_processed += len(events)
+        per_shard: Dict[
+            int, List[Tuple[_ContextPlan, RuntimeEvent, frozenset]]
+        ] = {}
+        local_work: List[Tuple[_ContextPlan, RuntimeEvent, frozenset]] = []
+        for event in events:
+            plan = self._plan_for((event.kind, event.name))
+            for index, work in plan.shard_work:
+                per_shard.setdefault(index, []).append(
+                    (work, event, plan.initiated)
+                )
+            if plan.local is not None:
+                local_work.append((plan.local, event, plan.initiated))
+        for index in sorted(per_shard):
+            shard = self.global_store.shards[index]
+            with shard.lock:
+                shard.batches += 1
+                for work, event, initiated in per_shard[index]:
+                    self._run_plan(work, shard.store, shard.tracker, event,
+                                   initiated)
+        if local_work:
+            store = self.thread_stores.current()
+            tracker = self._thread_tracker()
+            for work, event, initiated in local_work:
+                self._run_plan(work, store, tracker, event, initiated)
+        return len(events)
+
+    def _run_plan(
+        self,
+        work: _ContextPlan,
+        store: Store,
+        tracker: BoundTracker,
+        event: RuntimeEvent,
+        initiated: frozenset,
+    ) -> None:
+        """One context's share of one event (caller holds the shard lock
+        for global contexts; thread-local contexts need none)."""
         if self.lazy:
             # One epoch bump per distinct bound — "a per-context record of
             # common initialisation events" — independent of how many
             # classes share that bound.
-            for bound, is_global in self._init_bounds[key]:
-                if is_global:
-                    with self.global_store.lock:
-                        self._global_tracker.begin(bound)
-                else:
-                    self._thread_tracker().begin(bound)
+            for bound in work.init_bounds:
+                tracker.begin(bound)
         else:
-            for name in names:
-                cr = self.class_runtime(name)
-                if self.contexts[name] is Context.GLOBAL:
-                    with self.global_store.lock:
-                        handle_init(cr, event, self.hub, lazy=False)
-                else:
-                    handle_init(cr, event, self.hub, lazy=False)
-        return self._init_names[key]
-
-    def _handle_bodies(
-        self, key: DispatchKey, event: RuntimeEvent, initiated: Set[str]
-    ) -> None:
-        names = self._body_index.get(key)
-        if not names:
-            return
-        for name in names:
+            for name in work.init_names:
+                handle_init(store.get(name), event, self.hub, lazy=False)
+        for name, bound in work.body:
             if name in initiated:
                 # An event that opens a class's bound is not also one of its
                 # body events for the same occurrence.
                 continue
-            cr = self.class_runtime(name)
-            if self.contexts[name] is Context.GLOBAL:
-                with self.global_store.lock:
-                    if self.lazy:
-                        self._lazy_activate(name, cr, self._global_tracker)
-                    tesla_update_state(cr, event, self.hub, self.lazy)
-            else:
-                if self.lazy:
-                    self._lazy_activate(name, cr, self._tracker_for(name))
-                tesla_update_state(cr, event, self.hub, self.lazy)
-
-    def _lazy_activate(
-        self, name: str, cr: ClassRuntime, tracker: BoundTracker
-    ) -> None:
-        bound = self.bounds[name]
-        if tracker.open.get(bound):
-            epoch = tracker.epoch[bound]
-            if cr.seen_epoch != epoch:
-                cr.seen_epoch = epoch
-                cr.pool.expunge()
-                cr.active = True
-                cr.pending = True
-                cr.lazy_binding = {}
-                cr.overflow_mark = cr.pool.overflows
-                # The bound entry happened when the epoch opened; account
-                # for the «init» transition now that this class joins it.
-                for transition in cr.automaton.init_transitions:
-                    cr.count_transition(transition)
-            tracker.touched.setdefault(bound, set()).add(name)
-        else:
-            cr.active = False
-
-    def _handle_cleanups(self, key: DispatchKey, event: RuntimeEvent) -> None:
-        names = self._cleanup_index.get(key)
-        if not names:
-            return
+            cr = store.get(name)
+            if self.lazy:
+                lazy_join_bound(cr, bound, tracker)
+            tesla_update_state(cr, event, self.hub, self.lazy)
         if self.lazy:
             # Cleanup visits only the classes actually touched during the
             # bound, not every class sharing it.
-            for bound, is_global in self._cleanup_bounds[key]:
-                if is_global:
-                    with self.global_store.lock:
-                        touched = self._global_tracker.end(bound)
-                        for touched_name in sorted(touched):
-                            handle_cleanup(
-                                self.class_runtime(touched_name), event, self.hub
-                            )
-                else:
-                    touched = self._thread_tracker().end(bound)
-                    for touched_name in sorted(touched):
-                        handle_cleanup(
-                            self.class_runtime(touched_name), event, self.hub
-                        )
+            for bound in work.cleanup_bounds:
+                for name in sorted(tracker.end(bound)):
+                    handle_cleanup(store.get(name), event, self.hub)
         else:
-            for name in names:
-                cr = self.class_runtime(name)
-                if self.contexts[name] is Context.GLOBAL:
-                    with self.global_store.lock:
-                        handle_cleanup(cr, event, self.hub)
-                else:
-                    handle_cleanup(cr, event, self.hub)
+            for name in work.cleanup_names:
+                handle_cleanup(store.get(name), event, self.hub)
 
     # -- maintenance --------------------------------------------------------------
 
@@ -312,7 +412,6 @@ class TeslaRuntime:
         """Expunge all instances and close all bounds (e.g. between runs)."""
         self.global_store.reset()
         self.thread_stores.reset()
-        self._global_tracker = BoundTracker()
         self._thread_trackers = threading.local()
         self.events_processed = 0
         self.hub.reset_counts()

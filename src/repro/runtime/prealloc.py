@@ -68,3 +68,17 @@ class InstancePool:
 
     def snapshot(self) -> List[AutomatonInstance]:
         return list(self._instances)
+
+    def stats(self) -> dict:
+        """The overflow-report-then-resize numbers (§4.4.1), one pool.
+
+        Aggregated per shard by the sharded global store's introspection
+        rows so preallocation can be resized where the pressure actually
+        is rather than globally.
+        """
+        return {
+            "capacity": self.capacity,
+            "population": len(self._instances),
+            "high_water": self.high_water,
+            "overflows": self.overflows,
+        }

@@ -41,7 +41,7 @@ from ..core.events import EventKind, RuntimeEvent
 from ..errors import TemporalViolation
 from .instance import AutomatonInstance
 from .notify import Notification, NotificationHub, NotificationKind
-from .store import ClassRuntime
+from .store import BoundId, BoundTracker, ClassRuntime
 
 
 def _match_static(cr: ClassRuntime, event: RuntimeEvent, kind: TransitionKind):
@@ -206,6 +206,35 @@ def _step(
             )
         )
     return took_site
+
+
+def lazy_join_bound(
+    cr: ClassRuntime, bound: BoundId, tracker: BoundTracker
+) -> None:
+    """Join an open bound's current epoch (lazy mode, section 5.2.2).
+
+    Opening a bound is one epoch bump on the context's tracker; a class
+    only picks the bound up here, on its first relevant event inside the
+    epoch.  The caller must hold whatever lock serialises ``cr`` (the
+    owning shard's lock for global classes; nothing for thread-local
+    ones) — ``tracker`` is always the same context's as ``cr``.
+    """
+    if tracker.open.get(bound):
+        epoch = tracker.epoch[bound]
+        if cr.seen_epoch != epoch:
+            cr.seen_epoch = epoch
+            cr.pool.expunge()
+            cr.active = True
+            cr.pending = True
+            cr.lazy_binding = {}
+            cr.overflow_mark = cr.pool.overflows
+            # The bound entry happened when the epoch opened; account
+            # for the «init» transition now that this class joins it.
+            for transition in cr.automaton.init_transitions:
+                cr.count_transition(transition)
+        tracker.touched.setdefault(bound, set()).add(cr.automaton.name)
+    else:
+        cr.active = False
 
 
 def tesla_update_state(

@@ -17,11 +17,22 @@ from repro.instrument.interpose import interposition_table
 from repro.kernel.bugs import bugs
 from repro.kernel.mac.framework import mac_framework
 from repro.kernel.procfs import procfs_unmount
-from repro.runtime.manager import TeslaRuntime
+from repro.runtime.manager import TeslaRuntime, reset_all_runtimes
 
 
 @pytest.fixture(autouse=True)
 def clean_global_state():
+    # Catch leaks at the *source*: if a previous test escaped its cleanup
+    # (e.g. by hard-killing a thread mid-instrumentation), fail the next
+    # test here with a clear message instead of somewhere downstream.
+    assert interposition_table.hooks is None, (
+        "interposition table not empty at test start — a previous test "
+        f"leaked hooks for {sorted(interposition_table.hooks)}"
+    )
+    assert interposition_table.wildcard is None, (
+        "interposition table not empty at test start — a previous test "
+        "leaked wildcard hooks"
+    )
     yield
     hook_registry.detach_all()
     site_registry.detach_all()
@@ -31,6 +42,10 @@ def clean_global_state():
     mac_framework.unregister_all()
     procfs_unmount()
     NSCursor.reset_stack()
+    # Runtime-level global registries: every live TeslaRuntime's sharded
+    # store keeps instances, per-shard bound-tracker epochs and contention
+    # counters; expunge them all so no automata state crosses tests.
+    reset_all_runtimes()
 
 
 @pytest.fixture

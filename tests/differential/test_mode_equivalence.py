@@ -1,0 +1,262 @@
+"""Differential stress-test harness: naive ≡ lazy ≡ sharded ≡ batched.
+
+The same randomized event trace — arbitrary interleavings of bound
+entry/exit, body events and assertion sites over several assertion
+classes in both global and per-thread contexts — is replayed through
+every runtime configuration:
+
+* **naive** (``lazy=False``): the paper's first implementation, eager
+  wildcard materialisation, single-lock global store (``shards=1``);
+* **lazy** (``lazy=True``): the §5.2.2 optimisation, single lock;
+* **sharded**: lazy mode over the lock-striped global store;
+* **naive sharded**: eager mode over the striped store;
+* **batched**: the striped store fed through
+  :meth:`TeslaRuntime.dispatch_batch` in odd-sized chunks.
+
+All five must agree on every class's accept count, error count,
+assertion-sites-reached count and final live-instance count.  The paper's
+semantics ("an event cannot complete until its instrumentation hook has
+finished running") say these are pure functions of the per-class event
+order, which every configuration claims to preserve — this harness is the
+check that the claim survives lock striping and batching.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dsl import (
+    ANY,
+    call,
+    fn,
+    previously,
+    returnfrom,
+    tesla_global,
+    tesla_within,
+    var,
+)
+from repro.core.events import (
+    RuntimeEvent,
+    assertion_site_event,
+    call_event,
+    return_event,
+)
+from repro.core.translate import translate_all
+from repro.runtime.manager import TeslaRuntime
+from repro.runtime.notify import LogAndContinue
+
+N_BOUNDS = 2
+N_VALUES = 3
+
+#: (class index, bound index, context) → translated automaton+context.
+#: Automata are static (all mutable state lives in ClassRuntime), so one
+#: translation can be installed into every runtime of every example.
+_AUTOMATON_CACHE: Dict[Tuple[int, int, str], object] = {}
+
+ClassSpec = Tuple[int, str]  # (bound index, "global" | "perthread")
+Op = Tuple  # ("init"|"cleanup", bound) or ("check"|"site", class, value)
+
+
+def class_name(index: int) -> str:
+    return f"diff_cls{index}"
+
+
+def _automaton_for(index: int, bound: int, context: str):
+    key = (index, bound, context)
+    cached = _AUTOMATON_CACHE.get(key)
+    if cached is None:
+        expression = previously(
+            fn(f"diff_check{index}", ANY("c"), var("v")) == 0
+        )
+        if context == "global":
+            assertion = tesla_global(
+                call(f"diff_bound{bound}"),
+                returnfrom(f"diff_bound{bound}"),
+                expression,
+                name=class_name(index),
+            )
+        else:
+            assertion = tesla_within(
+                f"diff_bound{bound}", expression, name=class_name(index)
+            )
+        cached = (translate_all([assertion])[0], assertion.context)
+        _AUTOMATON_CACHE[key] = cached
+    return cached
+
+
+def build_runtime(specs: Tuple[ClassSpec, ...], lazy: bool, shards: int):
+    runtime = TeslaRuntime(lazy=lazy, shards=shards, policy=LogAndContinue())
+    for index, (bound, context) in enumerate(specs):
+        automaton, ast_context = _automaton_for(index, bound, context)
+        runtime.install_automaton(automaton, ast_context)
+    return runtime
+
+
+def events_of(ops: List[Op]) -> List[RuntimeEvent]:
+    events: List[RuntimeEvent] = []
+    for op in ops:
+        if op[0] == "init":
+            events.append(call_event(f"diff_bound{op[1]}", ()))
+        elif op[0] == "cleanup":
+            events.append(return_event(f"diff_bound{op[1]}", (), 0))
+        elif op[0] == "check":
+            events.append(
+                return_event(f"diff_check{op[1]}", ("c", f"val{op[2]}"), 0)
+            )
+        else:  # site
+            events.append(
+                assertion_site_event(
+                    class_name(op[1]), {"v": f"val{op[2]}"}
+                )
+            )
+    # Drain: close every bound so all configurations reach the same
+    # quiescent state (lazy mode defers pool work to bound boundaries, so
+    # only quiescent states are comparable instance-by-instance).
+    for bound in range(N_BOUNDS):
+        events.append(return_event(f"diff_bound{bound}", (), 0))
+    return events
+
+
+def verdict(runtime: TeslaRuntime, n_classes: int):
+    """Per-class (accepts, errors, sites reached, live instances)."""
+    out = []
+    for index in range(n_classes):
+        accepts = errors = sites = live = 0
+        for cr in runtime.all_class_runtimes(class_name(index)):
+            accepts += cr.accepts
+            errors += cr.errors
+            sites += cr.sites_reached
+            live += len(cr.pool)
+        out.append((accepts, errors, sites, live))
+    return out
+
+
+@st.composite
+def scenarios(draw):
+    n_classes = draw(st.integers(min_value=2, max_value=5))
+    specs = tuple(
+        (
+            draw(st.integers(0, N_BOUNDS - 1)),
+            draw(st.sampled_from(["global", "perthread"])),
+        )
+        for _ in range(n_classes)
+    )
+    op = st.one_of(
+        st.tuples(st.just("init"), st.integers(0, N_BOUNDS - 1)),
+        st.tuples(st.just("cleanup"), st.integers(0, N_BOUNDS - 1)),
+        st.tuples(
+            st.just("check"),
+            st.integers(0, n_classes - 1),
+            st.integers(0, N_VALUES - 1),
+        ),
+        st.tuples(
+            st.just("site"),
+            st.integers(0, n_classes - 1),
+            st.integers(0, N_VALUES - 1),
+        ),
+    )
+    ops = draw(st.lists(op, min_size=4, max_size=48))
+    return specs, ops
+
+
+CONFIGS = [
+    ("naive", dict(lazy=False, shards=1)),
+    ("lazy", dict(lazy=True, shards=1)),
+    ("sharded", dict(lazy=True, shards=5)),
+    ("naive-sharded", dict(lazy=False, shards=5)),
+    ("batched", dict(lazy=True, shards=5)),
+]
+
+
+def replay(name: str, runtime: TeslaRuntime, events: List[RuntimeEvent]):
+    if name == "batched":
+        # Odd chunk size so batch boundaries fall mid-bound, mid-clone,
+        # everywhere — any state leaked across a batch edge shows up as a
+        # divergence from the per-event configurations.
+        for start in range(0, len(events), 7):
+            runtime.dispatch_batch(events[start : start + 7])
+    else:
+        for event in events:
+            runtime.handle_event(event)
+
+
+@settings(
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(scenarios())
+def test_all_modes_agree(scenario):
+    specs, ops = scenario
+    events = events_of(ops)
+    verdicts = {}
+    for name, kwargs in CONFIGS:
+        runtime = build_runtime(specs, **kwargs)
+        replay(name, runtime, events)
+        verdicts[name] = verdict(runtime, len(specs))
+    baseline = verdicts["naive"]
+    for name, got in verdicts.items():
+        assert got == baseline, (
+            f"{name} diverged from naive: {got} != {baseline} "
+            f"(specs={specs}, ops={ops})"
+        )
+    # Drained traces leave no live instances in any configuration.
+    assert all(live == 0 for (_, _, _, live) in baseline)
+
+
+@settings(max_examples=50, deadline=None)
+@given(scenarios())
+def test_violation_streams_agree(scenario):
+    """Not just counts: the per-class sequence of violation reasons must
+    match between the single-lock and sharded/batched configurations."""
+    specs, ops = scenario
+    events = events_of(ops)
+    streams = {}
+    for name, kwargs in CONFIGS:
+        runtime = build_runtime(specs, **kwargs)
+        replay(name, runtime, events)
+        per_class: Dict[str, List[str]] = {}
+        for violation in runtime.hub.policy.violations:
+            per_class.setdefault(violation.automaton, []).append(
+                violation.reason
+            )
+        streams[name] = per_class
+    baseline = streams["naive"]
+    for name, got in streams.items():
+        assert got == baseline, f"{name} violation stream diverged"
+
+
+def test_known_interleaving_regression():
+    """A hand-picked trace exercising re-entrant bounds, cleanup without
+    init, sites outside bounds and cross-bound classes — kept as a
+    deterministic anchor alongside the randomized sweep."""
+    specs = ((0, "global"), (0, "perthread"), (1, "global"))
+    ops = [
+        ("cleanup", 0),          # close a bound that never opened
+        ("site", 0, 0),          # site outside any bound: ignored
+        ("init", 0),
+        ("init", 0),             # re-entrant: ignored
+        ("check", 0, 1),
+        ("site", 0, 1),          # satisfied
+        ("site", 1, 2),          # same bound, other class: violation
+        ("init", 1),
+        ("check", 2, 0),
+        ("cleanup", 0),
+        ("site", 2, 0),          # bound 1 still open: satisfied
+        ("check", 0, 1),         # bound 0 closed again: ignored
+    ]
+    events = events_of(ops)
+    verdicts = {}
+    for name, kwargs in CONFIGS:
+        runtime = build_runtime(specs, **kwargs)
+        replay(name, runtime, events)
+        verdicts[name] = verdict(runtime, len(specs))
+    assert len({tuple(v) for v in verdicts.values()}) == 1, verdicts
+    accepts0, errors0, sites0, live0 = verdicts["naive"][0]
+    assert (accepts0, errors0) == (1, 0)
+    assert verdicts["naive"][1][1] == 1  # class 1's site had no check
+    assert verdicts["naive"][2][:2] == (1, 0)

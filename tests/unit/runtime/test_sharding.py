@@ -1,0 +1,260 @@
+"""Unit tests for the lock-striped sharded global store.
+
+Covers shard-assignment stability, the ``shards=1`` degenerate case
+(today's single-lock behaviour), batched dispatch ordering guarantees and
+the per-shard contention counters surfaced through introspection.
+"""
+
+import os
+
+import pytest
+
+from repro.core.dsl import (
+    ANY,
+    call,
+    fn,
+    previously,
+    returnfrom,
+    tesla_global,
+    var,
+)
+from repro.core.events import (
+    assertion_site_event,
+    call_event,
+    return_event,
+)
+from repro.errors import TemporalAssertionError
+from repro.introspect.aggregate import format_shard_contention, shard_contention
+from repro.runtime.manager import TeslaRuntime
+from repro.runtime.notify import LogAndContinue
+from repro.runtime.store import (
+    ShardedGlobalStore,
+    default_shard_count,
+    shard_index_for,
+)
+
+
+def global_assertion(index):
+    """One global-context class with its own bound and check function."""
+    return tesla_global(
+        call(f"shard_sys{index}"),
+        returnfrom(f"shard_sys{index}"),
+        previously(fn(f"shard_check{index}", ANY("c"), var("v")) == 0),
+        name=f"shard_cls{index}",
+    )
+
+
+def clean_pass(runtime, index, value="v1"):
+    runtime.handle_event(call_event(f"shard_sys{index}", ()))
+    runtime.handle_event(return_event(f"shard_check{index}", ("c", value), 0))
+    runtime.handle_event(
+        assertion_site_event(f"shard_cls{index}", {"v": value})
+    )
+    runtime.handle_event(return_event(f"shard_sys{index}", (), 0))
+
+
+class TestShardAssignment:
+    def test_assignment_is_stable_across_calls(self):
+        for name in ("a", "mac_socket_check_poll", "x" * 64):
+            assert shard_index_for(name, 16) == shard_index_for(name, 16)
+
+    def test_assignment_is_hashseed_independent(self):
+        # CRC-32, not hash(): the documented contract is that the mapping
+        # is identical in every process regardless of PYTHONHASHSEED.
+        import zlib
+
+        for name in ("cls0", "cls1", "φ-unicode"):
+            assert shard_index_for(name, 8) == zlib.crc32(
+                name.encode("utf-8")
+            ) % 8
+
+    def test_assignment_spreads_classes(self):
+        used = {shard_index_for(f"class-{i}", 8) for i in range(64)}
+        assert len(used) > 4  # 64 names over 8 shards must spread widely
+
+    def test_store_and_standalone_agree(self):
+        store = ShardedGlobalStore(shards=8)
+        for i in range(16):
+            name = f"agree-{i}"
+            assert store.shard_index(name) == shard_index_for(name, 8)
+            assert store.shard_for(name) is store.shards[store.shard_index(name)]
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedGlobalStore(shards=0)
+        with pytest.raises(ValueError):
+            TeslaRuntime(shards=-1)
+
+    def test_default_shard_count_formula(self):
+        assert default_shard_count() == min(32, 4 * (os.cpu_count() or 1))
+        assert TeslaRuntime().shard_count == default_shard_count()
+
+
+class TestSingleShardDegeneration:
+    """``shards=1`` must reproduce the single-lock global store exactly."""
+
+    def test_one_shard_holds_every_class(self):
+        runtime = TeslaRuntime(shards=1)
+        for i in range(5):
+            runtime.install_assertion(global_assertion(i))
+        assert runtime.shard_count == 1
+        shard = runtime.global_store.shards[0]
+        assert shard.store.names == sorted(f"shard_cls{i}" for i in range(5))
+
+    @pytest.mark.parametrize("lazy", [True, False])
+    def test_verdicts_match_multi_shard(self, lazy):
+        verdicts = {}
+        for shards in (1, 8):
+            runtime = TeslaRuntime(
+                lazy=lazy, shards=shards, policy=LogAndContinue()
+            )
+            for i in range(4):
+                runtime.install_assertion(global_assertion(i))
+            clean_pass(runtime, 0)
+            clean_pass(runtime, 1)
+            # Class 2: the site names a value never checked — a violation.
+            runtime.handle_event(call_event("shard_sys2", ()))
+            runtime.handle_event(return_event("shard_check2", ("c", "v1"), 0))
+            runtime.handle_event(
+                assertion_site_event("shard_cls2", {"v": "other"})
+            )
+            runtime.handle_event(return_event("shard_sys2", (), 0))
+            verdicts[shards] = [
+                (cr.accepts, cr.errors)
+                for cr in (
+                    runtime.class_runtime(f"shard_cls{i}") for i in range(4)
+                )
+            ]
+        assert verdicts[1] == verdicts[8]
+        assert verdicts[1][0] == (1, 0)
+        assert verdicts[1][2] == (0, 1)
+
+    def test_single_shard_site_violation_still_raises(self):
+        runtime = TeslaRuntime(shards=1)
+        runtime.install_assertion(global_assertion(9))
+        runtime.handle_event(call_event("shard_sys9", ()))
+        with pytest.raises(TemporalAssertionError):
+            runtime.handle_event(
+                assertion_site_event("shard_cls9", {"v": "vX"})
+            )
+
+
+class TestBatchDispatch:
+    def make_runtime(self, n_classes=4, shards=8):
+        runtime = TeslaRuntime(shards=shards, policy=LogAndContinue())
+        for i in range(n_classes):
+            runtime.install_assertion(global_assertion(i))
+        return runtime
+
+    def batch_for(self, index, value):
+        return [
+            call_event(f"shard_sys{index}", ()),
+            return_event(f"shard_check{index}", ("c", value), 0),
+            assertion_site_event(f"shard_cls{index}", {"v": value}),
+            return_event(f"shard_sys{index}", (), 0),
+        ]
+
+    def test_batch_matches_per_event_dispatch(self):
+        batched = self.make_runtime()
+        sequential = self.make_runtime()
+        events = []
+        for i in range(4):
+            events.extend(self.batch_for(i, f"v{i}"))
+        assert batched.dispatch_batch(events) == len(events)
+        for event in events:
+            sequential.handle_event(event)
+        for i in range(4):
+            got = batched.class_runtime(f"shard_cls{i}")
+            want = sequential.class_runtime(f"shard_cls{i}")
+            assert (got.accepts, got.errors) == (want.accepts, want.errors)
+        assert batched.events_processed == sequential.events_processed
+
+    def test_interleaved_batch_preserves_per_class_order(self):
+        # check-before-site is what makes each class accept; zip the four
+        # classes' streams together so any per-class reordering would
+        # surface as a spurious violation.
+        runtime = self.make_runtime()
+        streams = [self.batch_for(i, "v") for i in range(4)]
+        interleaved = [
+            event for step in zip(*streams) for event in step
+        ]
+        runtime.dispatch_batch(interleaved)
+        for i in range(4):
+            cr = runtime.class_runtime(f"shard_cls{i}")
+            assert (cr.accepts, cr.errors) == (1, 0)
+
+    def test_out_of_order_batch_still_errors(self):
+        # Sanity check of the previous test's premise: site before check
+        # *must* be a violation, in batch mode too.
+        runtime = self.make_runtime(n_classes=1)
+        runtime.dispatch_batch(
+            [
+                call_event("shard_sys0", ()),
+                assertion_site_event("shard_cls0", {"v": "v"}),
+                return_event("shard_check0", ("c", "v"), 0),
+                return_event("shard_sys0", (), 0),
+            ]
+        )
+        cr = runtime.class_runtime("shard_cls0")
+        assert cr.errors == 1
+
+    def test_batch_takes_each_shard_lock_once(self):
+        runtime = self.make_runtime()
+        events = []
+        for i in range(4):
+            events.extend(self.batch_for(i, "v"))
+        before = {
+            shard.index: shard.lock.acquisitions
+            for shard in runtime.global_store.shards
+        }
+        runtime.dispatch_batch(events)
+        for shard in runtime.global_store.shards:
+            grew = shard.lock.acquisitions - before[shard.index]
+            if shard.store.names:
+                assert grew == 1, (shard.index, grew)
+                assert shard.batches == 1
+            else:
+                assert grew == 0
+
+    def test_empty_batch_is_a_noop(self):
+        runtime = self.make_runtime()
+        assert runtime.dispatch_batch([]) == 0
+        assert runtime.events_processed == 0
+
+    @pytest.mark.parametrize("lazy", [True, False])
+    def test_batch_equivalence_in_both_modes(self, lazy):
+        runtime = TeslaRuntime(lazy=lazy, shards=8, policy=LogAndContinue())
+        runtime.install_assertion(global_assertion(0))
+        runtime.dispatch_batch(self.batch_for(0, "v1"))
+        runtime.dispatch_batch(self.batch_for(0, "v2"))
+        cr = runtime.class_runtime("shard_cls0")
+        assert (cr.accepts, cr.errors) == (2, 0)
+
+
+class TestContentionCounters:
+    def test_counters_flow_through_introspection(self):
+        runtime = TeslaRuntime(shards=8)
+        for i in range(3):
+            runtime.install_assertion(global_assertion(i))
+        for i in range(3):
+            clean_pass(runtime, i)
+        rows = shard_contention(runtime)
+        assert len(rows) == 8
+        populated = [row for row in rows if row.classes]
+        assert populated, "no shard reported resident classes"
+        assert sum(row.acquisitions for row in rows) > 0
+        # Single-threaded dispatch never waits.
+        assert all(row.contended == 0 for row in rows)
+        table = format_shard_contention(rows)
+        assert "shard_cls0" in table
+        assert "acquire" in table
+
+    def test_reset_zeroes_contention_state(self):
+        runtime = TeslaRuntime(shards=4)
+        runtime.install_assertion(global_assertion(7))
+        clean_pass(runtime, 7)
+        runtime.reset()
+        rows = shard_contention(runtime)
+        assert all(row.acquisitions == 0 for row in rows)
+        assert all(row.batches == 0 for row in rows)
+        assert all(row.pool_population == 0 for row in rows)
