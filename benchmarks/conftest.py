@@ -21,6 +21,8 @@ from repro.instrument.interpose import interposition_table
 from repro.kernel.bugs import bugs
 from repro.kernel.mac.framework import mac_framework
 from repro.kernel.procfs import procfs_unmount
+from repro.runtime.epoch import interest_stats
+from repro.runtime.manager import reset_all_runtimes
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -36,6 +38,8 @@ def clean_global_state():
     mac_framework.unregister_all()
     procfs_unmount()
     NSCursor.reset_stack()
+    reset_all_runtimes()
+    interest_stats.reset()
 
 
 @pytest.fixture(scope="session")

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..errors import AssertionParseError
 from .ast import (
@@ -32,7 +32,26 @@ from .ast import (
     InstrumentationSide,
 )
 from .events import EventKind, RuntimeEvent
-from .patterns import Binding, match_all
+from .patterns import (
+    EMPTY_BINDING,
+    NO_MATCH,
+    UNBOUND,
+    Binding,
+    compile_args_matcher,
+    compile_pattern,
+    match_all,
+)
+
+#: A compiled event matcher: ``(event, binding) -> None | new-bindings``.
+#: Produced by :meth:`EventSymbol.compile_matcher`; the kind/name guards of
+#: the interpreted :meth:`EventSymbol.match` are elided because transition
+#: plans only ever route an event to matchers for its own dispatch key.
+EventMatcher = Callable[[RuntimeEvent, Binding], Optional[Binding]]
+
+
+def _match_nothing(event: RuntimeEvent, binding: Binding) -> Binding:
+    """Matcher for symbols with no argument constraints at all."""
+    return EMPTY_BINDING
 
 
 class TransitionKind(enum.Enum):
@@ -43,6 +62,10 @@ class TransitionKind(enum.Enum):
     EVENT = "event"
     SITE = "assertion-site"
     EPSILON = "epsilon"
+
+    # Identity hashing (members are singletons); Enum's default re-hashes
+    # the member name string on every bound-tracker / dispatch dict probe.
+    __hash__ = object.__hash__
 
 
 @dataclass(frozen=True)
@@ -147,6 +170,146 @@ class EventSymbol:
                 new[var] = value
         return new
 
+    def compile_matcher(self) -> EventMatcher:
+        """Compile :meth:`match` into a closure for the transition-plan path.
+
+        The kind/name guards are deliberately elided: plans are built per
+        dispatch key, so a compiled matcher is only ever invoked on events
+        whose (kind, name) already equal this symbol's.  Everything else —
+        argument patterns, return-value patterns, assign-op checks,
+        site-scope variable checks — is resolved here once, so the per-event
+        work is a chain of comparisons with no isinstance dispatch.
+        """
+        expr = self.expr
+        if isinstance(expr, FunctionCall):
+            if expr.args is None:
+                return _match_nothing
+            args_m = compile_args_matcher(expr.args)
+
+            def match_call(event: RuntimeEvent, binding: Binding, _a=args_m):
+                return _a(event.args, binding)
+
+            return match_call
+        if isinstance(expr, FunctionReturn):
+            args_m = (
+                compile_args_matcher(expr.args)
+                if expr.args is not None
+                else None
+            )
+            ret_m = (
+                compile_pattern(expr.retval)
+                if expr.retval is not None
+                else None
+            )
+            if args_m is None and ret_m is None:
+                return _match_nothing
+            if ret_m is None:
+
+                def match_return_args(
+                    event: RuntimeEvent, binding: Binding, _a=args_m
+                ):
+                    return _a(event.args, binding)
+
+                return match_return_args
+            if args_m is None:
+
+                def match_return_ret(
+                    event: RuntimeEvent, binding: Binding, _r=ret_m
+                ):
+                    return _r(event.retval, binding)
+
+                return match_return_ret
+
+            def match_return(
+                event: RuntimeEvent, binding: Binding, _a=args_m, _r=ret_m
+            ):
+                new = _a(event.args, binding)
+                if new is NO_MATCH:
+                    return NO_MATCH
+                if new:
+                    scratch = dict(binding)
+                    scratch.update(new)
+                    got = _r(event.retval, scratch)
+                else:
+                    got = _r(event.retval, binding)
+                if got is NO_MATCH:
+                    return NO_MATCH
+                if not got:
+                    return new
+                if not new:
+                    return got
+                merged = dict(new)
+                merged.update(got)
+                return merged
+
+            return match_return
+        if isinstance(expr, FieldAssign):
+            op = expr.op
+            target_m = (
+                compile_pattern(expr.target)
+                if expr.target is not None
+                else None
+            )
+            value_m = (
+                compile_pattern(expr.value) if expr.value is not None else None
+            )
+
+            def match_field(
+                event: RuntimeEvent,
+                binding: Binding,
+                _op=op,
+                _t=target_m,
+                _v=value_m,
+            ):
+                if _op is not None and event.op is not _op:
+                    return NO_MATCH
+                new = EMPTY_BINDING
+                if _t is not None:
+                    new = _t(event.target, binding)
+                    if new is NO_MATCH:
+                        return NO_MATCH
+                if _v is not None:
+                    if new:
+                        scratch = dict(binding)
+                        scratch.update(new)
+                        got = _v(event.retval, scratch)
+                    else:
+                        got = _v(event.retval, binding)
+                    if got is NO_MATCH:
+                        return NO_MATCH
+                    if got:
+                        if new:
+                            merged = dict(new)
+                            merged.update(got)
+                            return merged
+                        return got
+                return new
+
+            return match_field
+        # Assertion site.
+        variables = self.site_variables
+
+        def match_site(
+            event: RuntimeEvent, binding: Binding, _vars=variables
+        ):
+            scope = event.scope
+            new: Optional[Binding] = None
+            for var in _vars:
+                if var not in scope:
+                    continue
+                value = scope[var]
+                bound = binding.get(var, UNBOUND)
+                if bound is UNBOUND:
+                    if new is None:
+                        new = {var: value}
+                    else:
+                        new[var] = value
+                elif not (bound is value or bound == value):
+                    return NO_MATCH
+            return new if new else EMPTY_BINDING
+
+        return match_site
+
     def describe(self) -> str:
         return self.expr.describe()
 
@@ -158,6 +321,18 @@ class Transition:
     kind: TransitionKind
     #: Index into :attr:`Automaton.symbols` for EVENT/SITE transitions.
     symbol: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        # Transitions are hashed on every ``count_transition`` (once per
+        # transition taken); the generated frozen-dataclass hash rebuilds
+        # a field tuple each call, so cache it once.  Equality is still
+        # field-based, matching the generated hash's equivalence classes.
+        object.__setattr__(
+            self, "_hash", hash((self.src, self.dst, self.kind, self.symbol))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def describe(self, automaton: "Automaton") -> str:
         if self.kind in (TransitionKind.EVENT, TransitionKind.SITE):
@@ -197,7 +372,27 @@ class Automaton:
         self._outgoing: Dict[int, List[Transition]] = {}
         for t in self.transitions:
             self._outgoing.setdefault(t.src, []).append(t)
+        # Hot-path structure, computed once: the runtime consults these on
+        # every bound open (init/entry) and close (cleanup) rather than
+        # re-deriving them from the transition list.
+        self._init_transitions = tuple(
+            t for t in self.transitions if t.kind is TransitionKind.INIT
+        )
+        self._entry_states = frozenset(
+            t.dst for t in self._init_transitions
+        )
+        self._cleanup_states = frozenset(
+            t.src for t in self.transitions
+            if t.kind is TransitionKind.CLEANUP
+        )
         self._site_states = self._compute_site_states()
+        self._dispatch_key_set = frozenset(self.dispatch_keys())
+        site_vars: Tuple[str, ...] = ()
+        for t in self.transitions:
+            if t.kind is TransitionKind.SITE:
+                site_vars = self.symbols[t.symbol].site_variables
+                break
+        self._site_variables = site_vars
 
     # -- structure ---------------------------------------------------------
 
@@ -205,13 +400,13 @@ class Automaton:
         return self._outgoing.get(state, [])
 
     @property
-    def init_transitions(self) -> List[Transition]:
-        return [t for t in self.transitions if t.kind is TransitionKind.INIT]
+    def init_transitions(self) -> Tuple[Transition, ...]:
+        return self._init_transitions
 
     @property
     def entry_states(self) -> FrozenSet[int]:
         """States a fresh instance starts in (targets of «init»)."""
-        return frozenset(t.dst for t in self.init_transitions)
+        return self._entry_states
 
     def _compute_site_states(self) -> FrozenSet[int]:
         """States reachable only *after* an assertion-site transition."""
@@ -232,13 +427,15 @@ class Automaton:
     def post_site_states(self) -> FrozenSet[int]:
         return self._site_states
 
+    @property
+    def site_variables(self) -> Tuple[str, ...]:
+        """Site-scope variables of the assertion-site symbol (cached; the
+        runtime consults this on every already-satisfied site check)."""
+        return self._site_variables
+
     def cleanup_enabled(self, states: FrozenSet[int]) -> bool:
         """Whether an instance in ``states`` accepts at the cleanup event."""
-        return any(
-            t.kind is TransitionKind.CLEANUP
-            for s in states
-            for t in self.outgoing(s)
-        )
+        return not self._cleanup_states.isdisjoint(states)
 
     # -- dispatch indexing ---------------------------------------------------
 
@@ -290,11 +487,7 @@ class Automaton:
         (used by ``strict`` mode and by the dispatch index)."""
         if event.kind is EventKind.ASSERTION_SITE:
             return event.name == self.name
-        return any(
-            self.symbols[t.symbol].dispatch_key == (event.kind, event.name)
-            for t in self.transitions
-            if t.symbol is not None
-        )
+        return (event.kind, event.name) in self._dispatch_key_set
 
     # -- introspection -------------------------------------------------------
 

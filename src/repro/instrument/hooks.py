@@ -22,33 +22,48 @@ import functools
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.events import (
+    EventKind,
     RuntimeEvent,
     assertion_site_event,
     call_event,
     return_event,
 )
 from ..errors import InstrumentationError
+from ..runtime.epoch import interest_epoch, interest_stats
 
 #: Anything that consumes concrete events (usually ``TeslaRuntime.handle_event``).
 EventSink = Callable[[RuntimeEvent], None]
 
 
 class HookPoint:
-    """One instrumentable function and its currently attached sinks."""
+    """One instrumentable function and its currently attached sinks.
 
-    __slots__ = ("name", "function", "sinks")
+    Beyond the raw sink list, a hook point caches which sinks are actually
+    *interested* in its event name (a sink advertising ``interested_in``
+    — the event translator — is asked; anything else is assumed
+    interested).  The cache is validated against the global
+    :data:`~repro.runtime.epoch.interest_epoch` on every instrumented
+    call, so a hook whose sinks observe none of its events skips event
+    construction entirely, and attach/detach invalidate promptly.
+    """
+
+    __slots__ = ("name", "function", "sinks", "_keys", "_epoch", "_live_sinks")
 
     def __init__(self, name: str, function: Callable) -> None:
         self.name = name
         self.function = function
         #: ``None`` when uninstrumented — the wrapper's fast-path check.
         self.sinks: Optional[List[EventSink]] = None
+        self._keys = ((EventKind.CALL, name), (EventKind.RETURN, name))
+        self._epoch = -1
+        self._live_sinks: List[EventSink] = []
 
     def attach(self, sink: EventSink) -> None:
         if self.sinks is None:
             self.sinks = []
         if sink not in self.sinks:
             self.sinks.append(sink)
+        interest_epoch.bump()
 
     def detach(self, sink: EventSink) -> None:
         if self.sinks is None:
@@ -57,9 +72,34 @@ class HookPoint:
             self.sinks.remove(sink)
         if not self.sinks:
             self.sinks = None
+        # The bump is load-bearing even though ``sinks`` shrank: another
+        # sink's cached "interested" verdict may coexist with this one's,
+        # and a stale cache would keep delivering events to the detached
+        # sink's dead runtime.
+        interest_epoch.bump()
 
     def detach_all(self) -> None:
         self.sinks = None
+        interest_epoch.bump()
+
+    def _refresh(self) -> List[EventSink]:
+        """Rebuild the interested-sink cache for the current epoch."""
+        self._epoch = interest_epoch.value
+        live: List[EventSink] = []
+        if self.sinks is not None:
+            for sink in self.sinks:
+                probe = getattr(sink, "interested_in", None)
+                if probe is None or probe(self._keys):
+                    live.append(sink)
+        self._live_sinks = live
+        interest_stats.hook_refreshes += 1
+        return live
+
+    def live_sinks(self) -> List[EventSink]:
+        """The attached sinks interested in this hook's events (cached)."""
+        if self._epoch != interest_epoch.value:
+            return self._refresh()
+        return self._live_sinks
 
 
 class HookRegistry:
@@ -124,8 +164,15 @@ def instrumentable(
 
         @functools.wraps(fn)
         def wrapper(*args: Any, **kwargs: Any):
-            sinks = point.sinks
-            if sinks is None:
+            if point.sinks is None:
+                return fn(*args, **kwargs)
+            if point._epoch != interest_epoch.value:
+                point._refresh()
+            sinks = point._live_sinks
+            if not sinks:
+                # Instrumented but uninterested: no automaton observes this
+                # event name, so skip event construction entirely.
+                interest_stats.hook_short_circuits += 1
                 return fn(*args, **kwargs)
             event_args = args if not kwargs else args + tuple(kwargs.values())
             call = call_event(event_name, event_args)

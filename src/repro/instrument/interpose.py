@@ -21,7 +21,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from ..core.events import call_event, return_event
+from ..core.events import EventKind, call_event, return_event
+from ..runtime.epoch import interest_epoch, interest_stats
 from .hooks import EventSink
 
 #: A raw interposition hook: (phase, receiver, selector, args, result).
@@ -29,26 +30,59 @@ from .hooks import EventSink
 RawHook = Callable[[str, Any, str, Tuple[Any, ...], Any], None]
 
 
-class InterpositionTable:
-    """The global table of interposition hooks consulted on message send."""
+def _hook_interested(hook: RawHook, selector: str) -> bool:
+    """Whether a hook's sink still observes this selector's events.
 
-    __slots__ = ("hooks", "wildcard")
+    TESLA event hooks carry their sink (``__tesla_sink__``, set by
+    :func:`tesla_method_hook`); a sink advertising ``interested_in`` is
+    asked about the selector's CALL/RETURN keys.  Raw hooks — trivial
+    hooks, tracers — have no sink and are always interested.
+    """
+    sink = getattr(hook, "__tesla_sink__", None)
+    if sink is None:
+        return True
+    probe = getattr(sink, "interested_in", None)
+    if probe is None:
+        return True
+    return probe(
+        ((EventKind.CALL, selector), (EventKind.RETURN, selector))
+    )
+
+
+class InterpositionTable:
+    """The global table of interposition hooks consulted on message send.
+
+    ``hooks_for`` answers are cached per selector and validated against the
+    global :data:`~repro.runtime.epoch.interest_epoch`: install/remove/
+    clear each bump the epoch, so a removed hook — or a hook whose sink's
+    automata were uninstalled — cannot keep receiving message sends off a
+    stale verdict.  Selectors whose every hook is a TESLA hook with an
+    uninterested sink resolve to ``None``, restoring the table-absent fast
+    path in the message dispatcher.
+    """
+
+    __slots__ = ("hooks", "wildcard", "_epoch", "_cache")
 
     def __init__(self) -> None:
         #: selector -> hooks; ``None`` marks the empty fast path.
         self.hooks: Optional[Dict[str, List[RawHook]]] = None
         #: hooks invoked for *every* selector (figure 8's trace-everything).
         self.wildcard: Optional[List[RawHook]] = None
+        self._epoch = -1
+        #: selector -> (hooks-or-None, all-hooks-filtered flag).
+        self._cache: Dict[str, Tuple[Optional[List[RawHook]], bool]] = {}
 
     def install(self, selector: str, hook: RawHook) -> None:
         if self.hooks is None:
             self.hooks = {}
         self.hooks.setdefault(selector, []).append(hook)
+        interest_epoch.bump()
 
     def install_wildcard(self, hook: RawHook) -> None:
         if self.wildcard is None:
             self.wildcard = []
         self.wildcard.append(hook)
+        interest_epoch.bump()
 
     def remove(self, selector: str, hook: RawHook) -> None:
         if self.hooks is None:
@@ -60,19 +94,47 @@ class InterpositionTable:
                 del self.hooks[selector]
         if not self.hooks:
             self.hooks = None
+        # Invalidate cached verdicts so the removed hook stops firing.
+        interest_epoch.bump()
 
     def clear(self) -> None:
         self.hooks = None
         self.wildcard = None
+        interest_epoch.bump()
 
-    def hooks_for(self, selector: str) -> Optional[List[RawHook]]:
-        """Every hook to run for one selector (wildcard + specific)."""
+    def _compute(self, selector: str) -> Tuple[Optional[List[RawHook]], bool]:
         specific = None if self.hooks is None else self.hooks.get(selector)
         if self.wildcard is None:
-            return specific
-        if specific is None:
-            return self.wildcard
-        return self.wildcard + specific
+            raw = specific
+        elif specific is None:
+            raw = self.wildcard
+        else:
+            raw = self.wildcard + specific
+        if raw is None:
+            return None, False
+        live = [h for h in raw if _hook_interested(h, selector)]
+        if not live:
+            return None, True
+        return live, False
+
+    def hooks_for(self, selector: str) -> Optional[List[RawHook]]:
+        """Every *interested* hook to run for one selector (wildcard +
+        specific), or ``None`` when the message dispatcher can skip the
+        interposition pass entirely."""
+        if self._epoch != interest_epoch.value:
+            self._epoch = interest_epoch.value
+            self._cache.clear()
+        cached = self._cache.get(selector, _UNCACHED)
+        if cached is _UNCACHED:
+            cached = self._cache[selector] = self._compute(selector)
+            interest_stats.interpose_refreshes += 1
+        result, filtered = cached
+        if filtered:
+            interest_stats.interpose_short_circuits += 1
+        return result
+
+
+_UNCACHED = (None, None)
 
 
 #: The process-wide table, shared with the simulated Objective-C runtime.
@@ -95,6 +157,8 @@ def tesla_method_hook(sink: EventSink) -> RawHook:
         else:
             sink(return_event(selector, (receiver,) + args, result))
 
+    # Expose the sink so the table's interest filter can consult it.
+    hook.__tesla_sink__ = sink  # type: ignore[attr-defined]
     return hook
 
 

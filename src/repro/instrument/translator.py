@@ -17,12 +17,13 @@ instance.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..core.ast import FieldAssign, FunctionCall, FunctionReturn
 from ..core.automaton import Automaton, EventSymbol
 from ..core.events import EventKind, RuntimeEvent
-from ..core.patterns import Any_, Pattern, Var
+from ..core.patterns import Any_, Pattern, Var, compile_static_check
+from ..runtime.epoch import interest_epoch
 from ..runtime.manager import DispatchKey, TeslaRuntime
 
 
@@ -75,6 +76,115 @@ def static_match(symbol: EventSymbol, event: RuntimeEvent) -> bool:
     return True
 
 
+#: A compiled static check: ``check(event) -> forward?``.
+StaticCheck = Callable[[RuntimeEvent], bool]
+
+
+def _compile_static_symbol(symbol: EventSymbol) -> Optional[StaticCheck]:
+    """Compile :func:`static_match` for one symbol, or ``None`` when the
+    symbol imposes no static constraint (it always forwards).
+
+    The per-pattern work collapses to precompiled predicates over the
+    argument positions that actually carry static patterns; fully dynamic
+    positions (``Var``/``Any_``) cost nothing per event.
+    """
+    expr = symbol.expr
+    if isinstance(expr, FunctionCall):
+        if expr.args is None:
+            return None
+        arity = len(expr.args)
+        checks = tuple(
+            (i, c)
+            for i, c in enumerate(compile_static_check(p) for p in expr.args)
+            if c is not None
+        )
+        if not checks:
+
+            def check_arity(event: RuntimeEvent, _n=arity) -> bool:
+                return len(event.args) == _n
+
+            return check_arity
+
+        def check_call(event: RuntimeEvent, _n=arity, _cs=checks) -> bool:
+            args = event.args
+            if len(args) != _n:
+                return False
+            for i, c in _cs:
+                if not c(args[i]):
+                    return False
+            return True
+
+        return check_call
+    if isinstance(expr, FunctionReturn):
+        arity = None if expr.args is None else len(expr.args)
+        arg_checks: Tuple[Tuple[int, Any], ...] = ()
+        if expr.args is not None:
+            arg_checks = tuple(
+                (i, c)
+                for i, c in enumerate(
+                    compile_static_check(p) for p in expr.args
+                )
+                if c is not None
+            )
+        ret_check = (
+            compile_static_check(expr.retval)
+            if expr.retval is not None
+            else None
+        )
+        if arity is None and ret_check is None:
+            return None
+
+        def check_return(
+            event: RuntimeEvent, _n=arity, _cs=arg_checks, _rc=ret_check
+        ) -> bool:
+            if _n is not None:
+                args = event.args
+                if len(args) != _n:
+                    return False
+                for i, c in _cs:
+                    if not c(args[i]):
+                        return False
+            if _rc is not None and not _rc(event.retval):
+                return False
+            return True
+
+        return check_return
+    if isinstance(expr, FieldAssign):
+        op = expr.op
+        target_check = (
+            compile_static_check(expr.target)
+            if expr.target is not None
+            else None
+        )
+        value_check = (
+            compile_static_check(expr.value)
+            if expr.value is not None
+            else None
+        )
+        if op is None and target_check is None and value_check is None:
+            return None
+
+        def check_field(
+            event: RuntimeEvent, _op=op, _t=target_check, _v=value_check
+        ) -> bool:
+            if _op is not None and event.op is not _op:
+                return False
+            if _t is not None and not _t(event.target):
+                return False
+            if _v is not None and not _v(event.retval):
+                return False
+            return True
+
+        return check_field
+    # Assertion sites have no static parameters.
+    return None
+
+
+#: Sentinel distinguishing "no chain for this key" from "chain with no
+#: static constraints" (``None``) in the compiled chain map.
+_NO_CHAIN = object()
+
+
 class EventTranslator:
     """A sink that statically filters events before the runtime sees them."""
 
@@ -82,6 +192,10 @@ class EventTranslator:
         self.runtime = runtime
         #: dispatch key -> symbols whose static checks gate forwarding.
         self._chains: Dict[DispatchKey, List[EventSymbol]] = {}
+        #: dispatch key -> compiled static checks; ``None`` means some
+        #: symbol in the chain has no static constraint, so every event
+        #: with this key forwards without running any check.
+        self._compiled: Dict[DispatchKey, Any] = {}
         #: keys observed by ``strict`` automata, which must see every
         #: referenced event even if its static parameters mismatch.
         self._strict_keys: set = set()
@@ -92,6 +206,7 @@ class EventTranslator:
 
     def _rebuild(self) -> None:
         self._chains.clear()
+        self._compiled.clear()
         self._strict_keys.clear()
         for automaton in self.runtime.automata.values():
             for t in automaton.transitions:
@@ -108,23 +223,38 @@ class EventTranslator:
                     chain.append(symbol)
                 if automaton.strict:
                     self._strict_keys.add(key)
+        for key, chain in self._chains.items():
+            checks = [_compile_static_symbol(symbol) for symbol in chain]
+            if any(c is None for c in checks):
+                self._compiled[key] = None
+            else:
+                self._compiled[key] = tuple(checks)
 
     def refresh(self) -> None:
         """Rebuild chains after more automata are installed."""
         self._rebuild()
+        # The set of keys this sink observes changed; hook points and the
+        # interposition table must re-ask ``interested_in``.
+        interest_epoch.bump()
+
+    def interested_in(self, keys: Iterable[DispatchKey]) -> bool:
+        """Whether this sink observes any of ``keys`` — the hook layer's
+        interest probe (cached there against the interest epoch)."""
+        chains = self._chains
+        return any(key in chains for key in keys)
 
     def __call__(self, event: RuntimeEvent) -> None:
         key = (event.kind, event.name)
-        chain = self._chains.get(key)
-        if chain is None:
+        checks = self._compiled.get(key, _NO_CHAIN)
+        if checks is _NO_CHAIN:
             self.dropped += 1
             return
-        if key in self._strict_keys:
+        if checks is None or key in self._strict_keys:
             self.forwarded += 1
             self.runtime.handle_event(event)
             return
-        for symbol in chain:
-            if static_match(symbol, event):
+        for check in checks:
+            if check(event):
                 self.forwarded += 1
                 self.runtime.handle_event(event)
                 return

@@ -8,8 +8,11 @@ instrumentation points.
 
 from .aggregate import (
     AggregationRow,
+    DispatchStats,
     ShardContentionRow,
     StackAggregator,
+    dispatch_stats,
+    format_dispatch_stats,
     format_shard_contention,
     shard_contention,
 )
@@ -19,8 +22,11 @@ from .weights import WeightedEdge, WeightedGraph, to_dot, weighted_graph
 
 __all__ = [
     "AggregationRow",
+    "DispatchStats",
     "ShardContentionRow",
     "StackAggregator",
+    "dispatch_stats",
+    "format_dispatch_stats",
     "format_shard_contention",
     "shard_contention",
     "AssertionCoverage",

@@ -179,3 +179,82 @@ def format_shard_contention(
             f"{row.pool_high_water:>10}  {names}"
         )
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Dispatch fast-path effectiveness
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DispatchStats:
+    """Effectiveness counters for the compiled event fast path.
+
+    The interest counters (``hook_*``/``interpose_*``) are process-global —
+    hook points and the interposition table are process-wide registries —
+    while the plan counters are summed over one runtime's class runtimes
+    across every store (global shards and per-thread stores).
+    """
+
+    compiled: bool
+    epoch: int
+    hook_short_circuits: int
+    hook_refreshes: int
+    interpose_short_circuits: int
+    interpose_refreshes: int
+    plan_hits: int
+    plan_misses: int
+    plan_invalidations: int
+    cached_plans: int
+
+    @property
+    def plan_hit_ratio(self) -> float:
+        total = self.plan_hits + self.plan_misses
+        if not total:
+            return 0.0
+        return self.plan_hits / total
+
+
+def dispatch_stats(runtime) -> DispatchStats:
+    """Fast-path counters for a :class:`TeslaRuntime` (duck-typed, like
+    :func:`shard_contention`)."""
+    from ..runtime.epoch import interest_epoch, interest_stats
+
+    plan_hits = plan_misses = plan_invalidations = cached_plans = 0
+    stores = list(runtime.global_store.all_stores())
+    stores.extend(runtime.thread_stores.all_stores())
+    for store in stores:
+        for cr in store:
+            plan_hits += cr.plan_hits
+            plan_misses += cr.plan_misses
+            plan_invalidations += cr.plan_invalidations
+            cached_plans += cr.plan_cache_size
+    return DispatchStats(
+        compiled=getattr(runtime, "compiled", False),
+        epoch=interest_epoch.value,
+        hook_short_circuits=interest_stats.hook_short_circuits,
+        hook_refreshes=interest_stats.hook_refreshes,
+        interpose_short_circuits=interest_stats.interpose_short_circuits,
+        interpose_refreshes=interest_stats.interpose_refreshes,
+        plan_hits=plan_hits,
+        plan_misses=plan_misses,
+        plan_invalidations=plan_invalidations,
+        cached_plans=cached_plans,
+    )
+
+
+def format_dispatch_stats(stats: DispatchStats) -> str:
+    """A printable summary of how well the dispatch caches are working."""
+    mode = "compiled" if stats.compiled else "interpreted"
+    lines = [
+        f"dispatch mode        {mode} (interest epoch {stats.epoch})",
+        f"hook interest        {stats.hook_short_circuits} short-circuits, "
+        f"{stats.hook_refreshes} cache refreshes",
+        f"interpose interest   {stats.interpose_short_circuits} "
+        f"short-circuits, {stats.interpose_refreshes} cache refreshes",
+        f"transition plans     {stats.plan_hits} hits / "
+        f"{stats.plan_misses} misses ({stats.plan_hit_ratio:.1%} hit "
+        f"ratio), {stats.plan_invalidations} epoch invalidations, "
+        f"{stats.cached_plans} plans resident",
+    ]
+    return "\n".join(lines)

@@ -42,6 +42,7 @@ from ..core.automaton import Automaton, TransitionKind
 from ..core.events import EventKind, RuntimeEvent
 from ..core.translate import translate_all
 from ..errors import ContextError
+from .epoch import interest_epoch
 from .notify import ErrorPolicy, NotificationHub
 from .prealloc import DEFAULT_CAPACITY
 from .store import (
@@ -164,8 +165,14 @@ class TeslaRuntime:
         capacity: int = DEFAULT_CAPACITY,
         policy: Optional[ErrorPolicy] = None,
         shards: Optional[int] = None,
+        compile: bool = True,
     ) -> None:
         self.lazy = lazy
+        #: Whether dispatch uses compiled per-(class, key) transition plans
+        #: (the §5.2-style fast path) or the interpreted engine.  Both
+        #: produce identical verdicts; ``compile=False`` is the
+        #: paper-faithful baseline the benchmarks compare against.
+        self.compiled = compile
         self.hub = NotificationHub(policy)
         #: Lock-striped global store; ``shards=1`` gives the paper's exact
         #: single-lock semantics, ``None`` picks min(32, 4×cpu_count).
@@ -224,8 +231,11 @@ class TeslaRuntime:
             self.global_store.register(automaton)
         else:
             self.thread_stores.register(automaton)
-        # The indexes changed; plans are rebuilt on next dispatch.
+        # The indexes changed; plans are rebuilt on next dispatch, and the
+        # interest epoch bump invalidates every hook-point interest cache
+        # and per-class transition-plan cache in the process.
         self._key_plans.clear()
+        interest_epoch.bump()
 
     # -- store access ------------------------------------------------------------
 
@@ -312,15 +322,16 @@ class TeslaRuntime:
     def handle_event(self, event: RuntimeEvent) -> None:
         """Route one concrete event to every automaton that observes it."""
         self.events_processed += 1
-        plan = self._plan_for((event.kind, event.name))
+        key = (event.kind, event.name)
+        plan = self._plan_for(key)
         for index, work in plan.shard_work:
             shard = self.global_store.shards[index]
             with shard.lock:
                 self._run_plan(work, shard.store, shard.tracker, event,
-                               plan.initiated)
+                               plan.initiated, key)
         if plan.local is not None:
             self._run_plan(plan.local, self.thread_stores.current(),
-                           self._thread_tracker(), event, plan.initiated)
+                           self._thread_tracker(), event, plan.initiated, key)
 
     def dispatch_batch(self, events: Iterable[RuntimeEvent]) -> int:
         """Batched event ingestion: each shard lock is taken once.
@@ -343,29 +354,32 @@ class TeslaRuntime:
         events = list(events)
         self.events_processed += len(events)
         per_shard: Dict[
-            int, List[Tuple[_ContextPlan, RuntimeEvent, frozenset]]
+            int, List[Tuple[_ContextPlan, RuntimeEvent, frozenset, DispatchKey]]
         ] = {}
-        local_work: List[Tuple[_ContextPlan, RuntimeEvent, frozenset]] = []
+        local_work: List[
+            Tuple[_ContextPlan, RuntimeEvent, frozenset, DispatchKey]
+        ] = []
         for event in events:
-            plan = self._plan_for((event.kind, event.name))
+            key = (event.kind, event.name)
+            plan = self._plan_for(key)
             for index, work in plan.shard_work:
                 per_shard.setdefault(index, []).append(
-                    (work, event, plan.initiated)
+                    (work, event, plan.initiated, key)
                 )
             if plan.local is not None:
-                local_work.append((plan.local, event, plan.initiated))
+                local_work.append((plan.local, event, plan.initiated, key))
         for index in sorted(per_shard):
             shard = self.global_store.shards[index]
             with shard.lock:
                 shard.batches += 1
-                for work, event, initiated in per_shard[index]:
+                for work, event, initiated, key in per_shard[index]:
                     self._run_plan(work, shard.store, shard.tracker, event,
-                                   initiated)
+                                   initiated, key)
         if local_work:
             store = self.thread_stores.current()
             tracker = self._thread_tracker()
-            for work, event, initiated in local_work:
-                self._run_plan(work, store, tracker, event, initiated)
+            for work, event, initiated, key in local_work:
+                self._run_plan(work, store, tracker, event, initiated, key)
         return len(events)
 
     def _run_plan(
@@ -375,9 +389,15 @@ class TeslaRuntime:
         tracker: BoundTracker,
         event: RuntimeEvent,
         initiated: frozenset,
+        key: DispatchKey,
     ) -> None:
         """One context's share of one event (caller holds the shard lock
         for global contexts; thread-local contexts need none)."""
+        compiled = self.compiled
+        if compiled:
+            # One epoch read per (event, context); each class's plan_for
+            # is a dict probe plus an integer compare.
+            epoch = interest_epoch.value
         if self.lazy:
             # One epoch bump per distinct bound — "a per-context record of
             # common initialisation events" — independent of how many
@@ -386,7 +406,11 @@ class TeslaRuntime:
                 tracker.begin(bound)
         else:
             for name in work.init_names:
-                handle_init(store.get(name), event, self.hub, lazy=False)
+                cr = store.get(name)
+                handle_init(
+                    cr, event, self.hub, lazy=False,
+                    plan=cr.plan_for(key, epoch) if compiled else None,
+                )
         for name, bound in work.body:
             if name in initiated:
                 # An event that opens a class's bound is not also one of its
@@ -395,16 +419,27 @@ class TeslaRuntime:
             cr = store.get(name)
             if self.lazy:
                 lazy_join_bound(cr, bound, tracker)
-            tesla_update_state(cr, event, self.hub, self.lazy)
+            tesla_update_state(
+                cr, event, self.hub, self.lazy,
+                plan=cr.plan_for(key, epoch) if compiled else None,
+            )
         if self.lazy:
             # Cleanup visits only the classes actually touched during the
             # bound, not every class sharing it.
             for bound in work.cleanup_bounds:
                 for name in sorted(tracker.end(bound)):
-                    handle_cleanup(store.get(name), event, self.hub)
+                    cr = store.get(name)
+                    handle_cleanup(
+                        cr, event, self.hub,
+                        plan=cr.plan_for(key, epoch) if compiled else None,
+                    )
         else:
             for name in work.cleanup_names:
-                handle_cleanup(store.get(name), event, self.hub)
+                cr = store.get(name)
+                handle_cleanup(
+                    cr, event, self.hub,
+                    plan=cr.plan_for(key, epoch) if compiled else None,
+                )
 
     # -- maintenance --------------------------------------------------------------
 

@@ -69,6 +69,17 @@ class InstancePool:
     def snapshot(self) -> List[AutomatonInstance]:
         return list(self._instances)
 
+    def live(self) -> List[AutomatonInstance]:
+        """The live instance list itself, NOT a copy.
+
+        For the dispatch hot loop, which walks the population once per
+        event: the transition engine accumulates clones in a side list and
+        only :meth:`add`\\ s them after the walk, so the list never mutates
+        under iteration.  Callers that might add or expunge mid-walk must
+        use :meth:`snapshot`.
+        """
+        return self._instances
+
     def stats(self) -> dict:
         """The overflow-report-then-resize numbers (§4.4.1), one pool.
 

@@ -27,6 +27,7 @@ from ..core.automaton import Automaton, Transition
 from ..core.events import EventKind
 from ..errors import ContextError
 from .instance import AutomatonInstance
+from .plans import TransitionPlan, build_transition_plan
 from .prealloc import DEFAULT_CAPACITY, InstancePool
 
 #: An event's routing identity: (event kind, dispatch name).
@@ -80,6 +81,11 @@ class ClassRuntime:
         "errors",
         "accepts",
         "sites_reached",
+        "_plans",
+        "_plan_epoch",
+        "plan_hits",
+        "plan_misses",
+        "plan_invalidations",
     )
 
     def __init__(self, automaton: Automaton, capacity: int = DEFAULT_CAPACITY) -> None:
@@ -100,11 +106,44 @@ class ClassRuntime:
         self.errors = 0
         self.accepts = 0
         self.sites_reached = 0
+        #: Compiled transition plans, keyed by dispatch key; valid only
+        #: while ``_plan_epoch`` matches the global interest epoch.
+        self._plans: Dict[DispatchKey, TransitionPlan] = {}
+        self._plan_epoch = -1
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.plan_invalidations = 0
 
     def count_transition(self, transition: Transition) -> None:
         self.transition_counts[transition] = (
             self.transition_counts.get(transition, 0) + 1
         )
+
+    def plan_for(self, key: DispatchKey, epoch: int) -> TransitionPlan:
+        """The compiled plan for ``key``, rebuilt lazily on epoch change.
+
+        ``epoch`` is the caller's snapshot of the global interest epoch
+        (read once per event, outside any per-class loop).  The caller
+        must hold whatever lock serialises this class — the cache is
+        per-class state like the pool.
+        """
+        if self._plan_epoch != epoch:
+            if self._plans:
+                self.plan_invalidations += 1
+                self._plans.clear()
+            self._plan_epoch = epoch
+        plan = self._plans.get(key)
+        if plan is None:
+            self.plan_misses += 1
+            plan = build_transition_plan(self.automaton, key)
+            self._plans[key] = plan
+        else:
+            self.plan_hits += 1
+        return plan
+
+    @property
+    def plan_cache_size(self) -> int:
+        return len(self._plans)
 
     def reset(self) -> None:
         self.pool.expunge()
@@ -113,6 +152,11 @@ class ClassRuntime:
         self.seen_epoch = -1
         self.lazy_binding = {}
         self.overflow_mark = 0
+        # Plans survive a reset (the automaton is unchanged); only the
+        # effectiveness counters restart.
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.plan_invalidations = 0
 
 
 class Store:

@@ -34,13 +34,15 @@ error
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from ..core.automaton import Transition, TransitionKind
 from ..core.events import EventKind, RuntimeEvent
+from ..core.patterns import EMPTY_BINDING
 from ..errors import TemporalViolation
 from .instance import AutomatonInstance
 from .notify import Notification, NotificationHub, NotificationKind
+from .plans import TransitionPlan
 from .store import BoundId, BoundTracker, ClassRuntime
 
 
@@ -54,6 +56,16 @@ def _match_static(cr: ClassRuntime, event: RuntimeEvent, kind: TransitionKind):
         if t.kind is not kind or t.symbol is None:
             continue
         got = cr.automaton.symbols[t.symbol].match(event, {})
+        if got is not None:
+            return t, got
+    return None, None
+
+
+def _match_plan_entries(entries, event: RuntimeEvent):
+    """Compiled counterpart of :func:`_match_static`: first matching bound
+    transition from a plan's precomputed init/cleanup entries."""
+    for t, matcher in entries:
+        got = matcher(event, EMPTY_BINDING)
         if got is not None:
             return t, got
     return None, None
@@ -99,14 +111,21 @@ def _materialise(cr: ClassRuntime, hub: NotificationHub, binding: Dict[str, Any]
 
 
 def handle_init(
-    cr: ClassRuntime, event: RuntimeEvent, hub: NotificationHub, lazy: bool
+    cr: ClassRuntime,
+    event: RuntimeEvent,
+    hub: NotificationHub,
+    lazy: bool,
+    plan: Optional[TransitionPlan] = None,
 ) -> None:
     """Open the temporal bound for this class."""
     if cr.active:
         # Re-entrant bound (recursive entry): libtesla ignores events until
         # the next init *after* cleanup; a nested init is a no-op.
         return
-    transition, binding = _match_static(cr, event, TransitionKind.INIT)
+    if plan is not None:
+        transition, binding = _match_plan_entries(plan.init, event)
+    else:
+        transition, binding = _match_static(cr, event, TransitionKind.INIT)
     cr.active = True
     cr.overflow_mark = cr.pool.overflows
     cr.count_transition(transition)
@@ -118,12 +137,18 @@ def handle_init(
 
 
 def handle_cleanup(
-    cr: ClassRuntime, event: RuntimeEvent, hub: NotificationHub
+    cr: ClassRuntime,
+    event: RuntimeEvent,
+    hub: NotificationHub,
+    plan: Optional[TransitionPlan] = None,
 ) -> None:
     """Close the temporal bound: finalise every instance and reset."""
     if not cr.active:
         return
-    transition, _ = _match_static(cr, event, TransitionKind.CLEANUP)
+    if plan is not None:
+        transition, _ = _match_plan_entries(plan.cleanup, event)
+    else:
+        transition, _ = _match_static(cr, event, TransitionKind.CLEANUP)
     if transition is not None:
         cr.count_transition(transition)
     cr.active = False
@@ -176,20 +201,33 @@ def _step(
 
     Returns True if a site transition was taken.
     """
-    if cr.automaton.strict:
-        # Strict stepping commits: states that cannot consume a referenced
-        # event are dropped (this is what makes XOR exclusive — taking one
-        # branch abandons the other's states).  Mirrors
-        # :func:`repro.core.determinize.nfa_step_strict`.
-        new_states = frozenset(t.dst for t in matched)
+    if len(matched) == 1:
+        # One transition is by far the common case; frozenset difference/
+        # union beats rebuilding the state set from set literals.
+        t0 = matched[0]
+        if cr.automaton.strict:
+            new_states = frozenset((t0.dst,))
+        else:
+            new_states = instance.states.difference((t0.src,)).union(
+                (t0.dst,)
+            )
+        took_site = t0.kind is TransitionKind.SITE
+        cr.count_transition(t0)
     else:
-        moved_srcs = {t.src for t in matched}
-        new_states = frozenset(
-            {t.dst for t in matched} | (set(instance.states) - moved_srcs)
-        )
-    took_site = any(t.kind is TransitionKind.SITE for t in matched)
-    for t in matched:
-        cr.count_transition(t)
+        if cr.automaton.strict:
+            # Strict stepping commits: states that cannot consume a
+            # referenced event are dropped (this is what makes XOR
+            # exclusive — taking one branch abandons the other's states).
+            # Mirrors :func:`repro.core.determinize.nfa_step_strict`.
+            new_states = frozenset(t.dst for t in matched)
+        else:
+            moved_srcs = {t.src for t in matched}
+            new_states = frozenset(
+                {t.dst for t in matched} | (set(instance.states) - moved_srcs)
+            )
+        took_site = any(t.kind is TransitionKind.SITE for t in matched)
+        for t in matched:
+            cr.count_transition(t)
     instance.states = new_states
     if took_site:
         instance.saw_site = True
@@ -232,7 +270,10 @@ def lazy_join_bound(
             # for the «init» transition now that this class joins it.
             for transition in cr.automaton.init_transitions:
                 cr.count_transition(transition)
-        tracker.touched.setdefault(bound, set()).add(cr.automaton.name)
+        touched = tracker.touched.get(bound)
+        if touched is None:
+            touched = tracker.touched[bound] = set()
+        touched.add(cr.automaton.name)
     else:
         cr.active = False
 
@@ -242,11 +283,15 @@ def tesla_update_state(
     event: RuntimeEvent,
     hub: NotificationHub,
     lazy: bool = True,
+    plan: Optional[TransitionPlan] = None,
 ) -> None:
     """Process one event for one automaton class (body and site events).
 
     Bound entry/exit events must be routed to :func:`handle_init` /
     :func:`handle_cleanup` by the caller (the manager's dispatch loop).
+    When ``plan`` is supplied (the compiled fast path) transition lookup
+    uses its precompiled matchers; the verdicts are identical either way,
+    which ``tests/differential`` pins down over randomized traces.
     """
     automaton = cr.automaton
     is_site_event = (
@@ -276,9 +321,20 @@ def tesla_update_state(
     site_taken = False
     any_progress = False
     clones: List[AutomatonInstance] = []
-    for instance in cr.pool.snapshot():
-        matches = automaton.enabled(instance.states, event, instance.binding)
+    enabled = automaton.enabled if plan is None else plan.enabled
+    # pool.live() is the list itself: clones are accumulated aside and
+    # added after the walk, so nothing mutates it under iteration.
+    for instance in cr.pool.live():
+        matches = enabled(instance.states, event, instance.binding)
         if not matches:
+            continue
+        if len(matches) == 1 and not matches[0][1]:
+            # Fast path for the overwhelmingly common case: exactly one
+            # enabled transition, learning nothing — the instance steps in
+            # place with no clone bookkeeping.
+            any_progress = True
+            if _step(cr, instance, [matches[0][0]], hub, event):
+                site_taken = True
             continue
         # Split matches by the new bindings they would introduce.
         empty: List[Transition] = []
@@ -315,7 +371,7 @@ def tesla_update_state(
                     )
                 )
             # The clone, fully bound, now steps on this event.
-            clone_matches = automaton.enabled(clone.states, event, clone.binding)
+            clone_matches = enabled(clone.states, event, clone.binding)
             complete = [t for t, new in clone_matches if not new]
             if complete:
                 any_progress = True
@@ -408,11 +464,7 @@ def _already_satisfied(cr: ClassRuntime, event: RuntimeEvent) -> bool:
     sites in the same bound ride along.  The property suite pins this down
     against trace oracles (``tests/property/test_runtime_props.py`` and
     ``test_eventually_props.py``)."""
-    site_variables: Tuple[str, ...] = ()
-    for t in cr.automaton.transitions:
-        if t.kind is TransitionKind.SITE and t.symbol is not None:
-            site_variables = cr.automaton.symbols[t.symbol].site_variables
-            break
+    site_variables = cr.automaton.site_variables
     for instance in cr.pool:
         if not instance.saw_site:
             continue

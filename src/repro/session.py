@@ -34,6 +34,7 @@ def monitoring(
     objc_selectors: Iterable[str] = (),
     lazy: bool = True,
     capacity: Optional[int] = None,
+    compile: Optional[bool] = None,
 ) -> Iterator[TeslaRuntime]:
     """Instrument ``assertions`` for the duration of the ``with`` block.
 
@@ -42,11 +43,16 @@ def monitoring(
     ``caller_modules`` enables caller-side weaving for uninstrumentable
     callees; ``objc_selectors`` routes those names through the
     interposition table; ``lazy=False`` selects the pre-optimisation
-    runtime (the figure 13 ablation); ``capacity`` bounds instance pools.
+    runtime (the figure 13 ablation); ``capacity`` bounds instance pools;
+    ``compile=False`` disables the compiled transition-plan fast path
+    (the dispatch-cost ablation measured by
+    ``benchmarks/bench_dispatch_fastpath.py``).
     """
     kwargs = {"lazy": lazy, "policy": policy}
     if capacity is not None:
         kwargs["capacity"] = capacity
+    if compile is not None:
+        kwargs["compile"] = compile
     runtime = TeslaRuntime(**kwargs)
     session = Instrumenter(
         runtime,

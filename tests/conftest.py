@@ -17,6 +17,7 @@ from repro.instrument.interpose import interposition_table
 from repro.kernel.bugs import bugs
 from repro.kernel.mac.framework import mac_framework
 from repro.kernel.procfs import procfs_unmount
+from repro.runtime.epoch import interest_stats
 from repro.runtime.manager import TeslaRuntime, reset_all_runtimes
 
 
@@ -46,6 +47,10 @@ def clean_global_state():
     # store keeps instances, per-shard bound-tracker epochs and contention
     # counters; expunge them all so no automata state crosses tests.
     reset_all_runtimes()
+    # Interest-cache counters are process-global; zero them so tests that
+    # assert on deltas start clean.  (The interest *epoch* is never reset —
+    # caches key on its value, not on zero.)
+    interest_stats.reset()
 
 
 @pytest.fixture

@@ -11,9 +11,13 @@ every runtime configuration:
 * **sharded**: lazy mode over the lock-striped global store;
 * **naive sharded**: eager mode over the striped store;
 * **batched**: the striped store fed through
-  :meth:`TeslaRuntime.dispatch_batch` in odd-sized chunks.
+  :meth:`TeslaRuntime.dispatch_batch` in odd-sized chunks;
+* **compiled** / **compiled-naive**: the precompiled transition-plan
+  dispatch path (``compile=True``) in lazy-sharded and eager-single-lock
+  flavours — interpreted and compiled matchers must be observationally
+  identical.
 
-All five must agree on every class's accept count, error count,
+All configurations must agree on every class's accept count, error count,
 assertion-sites-reached count and final live-instance count.  The paper's
 semantics ("an event cannot complete until its instrumentation hook has
 finished running") say these are pure functions of the per-class event
@@ -88,8 +92,13 @@ def _automaton_for(index: int, bound: int, context: str):
     return cached
 
 
-def build_runtime(specs: Tuple[ClassSpec, ...], lazy: bool, shards: int):
-    runtime = TeslaRuntime(lazy=lazy, shards=shards, policy=LogAndContinue())
+def build_runtime(
+    specs: Tuple[ClassSpec, ...], lazy: bool, shards: int,
+    compile: bool = False,
+):
+    runtime = TeslaRuntime(
+        lazy=lazy, shards=shards, policy=LogAndContinue(), compile=compile
+    )
     for index, (bound, context) in enumerate(specs):
         automaton, ast_context = _automaton_for(index, bound, context)
         runtime.install_automaton(automaton, ast_context)
@@ -164,11 +173,13 @@ def scenarios(draw):
 
 
 CONFIGS = [
-    ("naive", dict(lazy=False, shards=1)),
-    ("lazy", dict(lazy=True, shards=1)),
-    ("sharded", dict(lazy=True, shards=5)),
-    ("naive-sharded", dict(lazy=False, shards=5)),
-    ("batched", dict(lazy=True, shards=5)),
+    ("naive", dict(lazy=False, shards=1, compile=False)),
+    ("lazy", dict(lazy=True, shards=1, compile=False)),
+    ("sharded", dict(lazy=True, shards=5, compile=False)),
+    ("naive-sharded", dict(lazy=False, shards=5, compile=False)),
+    ("batched", dict(lazy=True, shards=5, compile=False)),
+    ("compiled", dict(lazy=True, shards=5, compile=True)),
+    ("compiled-naive", dict(lazy=False, shards=1, compile=True)),
 ]
 
 

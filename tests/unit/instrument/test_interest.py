@@ -1,0 +1,195 @@
+"""Unit tests for interest filtering: hook short-circuits, epoch bumps on
+attach/detach, and interposition-table cache invalidation."""
+
+from repro.core.dsl import (
+    ANY,
+    call,
+    fn,
+    previously,
+    returnfrom,
+    tesla_global,
+    var,
+)
+from repro.instrument.hooks import HookRegistry, instrumentable
+from repro.instrument.interpose import (
+    interposition_table,
+    tesla_method_hook,
+    trivial_hook,
+)
+from repro.instrument.translator import EventTranslator
+from repro.runtime.epoch import interest_epoch, interest_stats
+from repro.runtime.manager import TeslaRuntime
+from repro.runtime.notify import LogAndContinue
+
+
+def _runtime_watching(check="interest_watched", name="interest_cls"):
+    runtime = TeslaRuntime(policy=LogAndContinue())
+    assertion = tesla_global(
+        call("interest_bound"),
+        returnfrom("interest_bound"),
+        previously(fn(check, ANY("c"), var("v")) == 0),
+        name=name,
+    )
+    runtime.install_assertion(assertion)
+    return runtime
+
+
+class TestHookInterest:
+    def test_uninterested_hook_short_circuits(self):
+        registry = HookRegistry()
+
+        @instrumentable(registry=registry)
+        def interest_watched(c, v):
+            return 0
+
+        @instrumentable(registry=registry)
+        def interest_unwatched():
+            return 1
+
+        runtime = _runtime_watching()
+        translator = EventTranslator(runtime)
+        registry.require("interest_watched").attach(translator)
+        registry.require("interest_unwatched").attach(translator)
+
+        interest_stats.reset()
+        assert interest_unwatched() == 1
+        assert interest_stats.hook_short_circuits == 1
+        assert translator.forwarded == 0  # no event was even constructed
+
+        assert interest_watched("c", "x") == 0
+        assert interest_stats.hook_short_circuits == 1
+        assert translator.forwarded > 0
+
+        # The uninterested verdict is cached: repeat calls re-use it
+        # without another refresh.
+        refreshes = interest_stats.hook_refreshes
+        interest_unwatched()
+        interest_unwatched()
+        assert interest_stats.hook_short_circuits == 3
+        assert interest_stats.hook_refreshes == refreshes
+
+    def test_interest_appears_after_install_and_refresh(self):
+        registry = HookRegistry()
+
+        @instrumentable(registry=registry)
+        def interest_late(c, v):
+            return 0
+
+        runtime = TeslaRuntime(policy=LogAndContinue())
+        translator = EventTranslator(runtime)
+        registry.require("interest_late").attach(translator)
+
+        interest_late("c", "x")
+        assert translator.forwarded == 0  # nothing installed yet
+
+        assertion = tesla_global(
+            call("interest_bound"),
+            returnfrom("interest_bound"),
+            previously(fn("interest_late", ANY("c"), var("v")) == 0),
+            name="interest_late_cls",
+        )
+        runtime.install_assertion(assertion)
+        translator.refresh()
+        interest_late("c", "x")
+        assert translator.forwarded > 0
+
+    def test_detach_invalidates_cached_interest(self):
+        """Regression: a detached sink must stop receiving events even
+        though other sinks keep the hook instrumented (the cached
+        interested-sink list must not outlive the detach)."""
+        registry = HookRegistry()
+
+        @instrumentable(registry=registry)
+        def interest_shared():
+            return None
+
+        seen_a, seen_b = [], []
+        point = registry.require("interest_shared")
+        point.attach(seen_a.append)
+        point.attach(seen_b.append)
+        interest_shared()  # populates the interest cache with both sinks
+        assert len(seen_a) == 2 and len(seen_b) == 2
+
+        point.detach(seen_b.append)
+        interest_shared()
+        assert len(seen_a) == 4
+        assert len(seen_b) == 2  # no leak to the detached sink
+        assert point.sinks is not None  # hook still instrumented for a
+
+    def test_detach_all_and_attach_bump_epoch(self):
+        registry = HookRegistry()
+
+        @instrumentable(registry=registry)
+        def interest_epochs():
+            return None
+
+        point = registry.require("interest_epochs")
+        before = interest_epoch.value
+        point.attach(lambda e: None)
+        assert interest_epoch.value > before
+        before = interest_epoch.value
+        point.detach_all()
+        assert interest_epoch.value > before
+
+
+class TestInterposeInterest:
+    def test_uninterested_tesla_hook_filtered_out(self):
+        runtime = _runtime_watching(name="interpose_cls")
+        translator = EventTranslator(runtime)
+        hook = tesla_method_hook(translator)
+        interposition_table.install("unobservedSelector", hook)
+
+        interest_stats.reset()
+        assert interposition_table.hooks_for("unobservedSelector") is None
+        assert interest_stats.interpose_short_circuits == 1
+        # Cached: a second lookup counts the short-circuit again but does
+        # not recompute.
+        assert interposition_table.hooks_for("unobservedSelector") is None
+        assert interest_stats.interpose_short_circuits == 2
+        assert interest_stats.interpose_refreshes == 1
+
+    def test_interested_and_raw_hooks_pass_through(self):
+        runtime = _runtime_watching(
+            check="observedSelector", name="interpose_obs_cls"
+        )
+        translator = EventTranslator(runtime)
+        hook = tesla_method_hook(translator)
+        interposition_table.install("observedSelector", hook)
+        interposition_table.install("anySelector", trivial_hook)
+        assert interposition_table.hooks_for("observedSelector") == [hook]
+        # Raw hooks carry no sink and are always interested.
+        assert interposition_table.hooks_for("anySelector") == [trivial_hook]
+
+    def test_remove_invalidates_cached_hooks(self):
+        interposition_table.install("removedSelector", trivial_hook)
+        assert interposition_table.hooks_for("removedSelector") == [
+            trivial_hook
+        ]
+        interposition_table.remove("removedSelector", trivial_hook)
+        # Without the epoch bump in remove() this would return the stale
+        # cached list and keep firing the removed hook.
+        assert interposition_table.hooks_for("removedSelector") is None
+
+    def test_wildcard_install_invalidates_cache(self):
+        assert interposition_table.hooks_for("wildSelector") is None
+        interposition_table.install_wildcard(trivial_hook)
+        assert interposition_table.hooks_for("wildSelector") == [trivial_hook]
+        interposition_table.clear()
+        assert interposition_table.hooks_for("wildSelector") is None
+
+
+class TestTranslatorInterest:
+    def test_interested_in_probes_chains(self):
+        from repro.core.events import EventKind
+
+        runtime = _runtime_watching(name="probe_cls")
+        translator = EventTranslator(runtime)
+        assert translator.interested_in(
+            [(EventKind.RETURN, "interest_watched")]
+        )
+        assert translator.interested_in(
+            [(EventKind.CALL, "interest_bound")]
+        )
+        assert not translator.interested_in(
+            [(EventKind.CALL, "never_mentioned")]
+        )
