@@ -22,8 +22,31 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 from ..core.ast import AssignOp
 from ..core.events import RuntimeEvent, field_assign_event
-from ..errors import InstrumentationError
-from .hooks import EventSink
+from ..errors import InstrumentationError, TemporalAssertionError
+from ..runtime import faultinject as _fi
+from ..runtime.faultinject import fault_site
+from .hooks import EventSink, contain_sink_fault
+
+_FP_FIELD = fault_site("fields.dispatch")
+
+
+def _deliver_field_event(sinks: List[EventSink], event: RuntimeEvent) -> None:
+    """Fan a field-assign event out to its sinks, containing monitor faults.
+
+    Shared by plain ``__setattr__`` stores and the compound-assignment
+    helpers so the application's store always completes even when a sink's
+    runtime misbehaves (fail-open supervisors swallow; others propagate).
+    """
+    for sink in sinks:
+        try:
+            if _fi._active is not None:
+                _fi.fault_point(_FP_FIELD)
+            sink(event)
+        except TemporalAssertionError:
+            raise
+        except Exception as exc:
+            if not contain_sink_fault(sink, "field", exc):
+                raise
 
 
 class TeslaStruct:
@@ -50,8 +73,7 @@ class TeslaStruct:
                     value=value,
                     op=AssignOp.SET,
                 )
-                for sink in sinks:
-                    sink(event)
+                _deliver_field_event(sinks, event)
         object.__setattr__(self, name, value)
 
 
@@ -148,8 +170,7 @@ def _emit_compound(obj: TeslaStruct, field_name: str, value: Any, op: AssignOp) 
                 value=value,
                 op=op,
             )
-            for sink in sinks:
-                sink(event)
+            _deliver_field_event(sinks, event)
     object.__setattr__(obj, field_name, value)
 
 

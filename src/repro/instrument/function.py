@@ -21,8 +21,12 @@ from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence
 
 from ..core.events import call_event, return_event
-from ..errors import InstrumentationError
-from .hooks import EventSink
+from ..errors import InstrumentationError, TemporalAssertionError
+from ..runtime import faultinject as _fi
+from ..runtime.faultinject import fault_site
+from .hooks import EventSink, contain_sink_fault
+
+_FP_CALLER = fault_site("function.dispatch")
 
 
 def make_call_wrapper(
@@ -40,11 +44,27 @@ def make_call_wrapper(
         event_args = args if not kwargs else args + tuple(kwargs.values())
         call = call_event(event_name, event_args)
         for sink in sinks:
-            sink(call)
+            try:
+                if _fi._active is not None:
+                    _fi.fault_point(_FP_CALLER)
+                sink(call)
+            except TemporalAssertionError:
+                raise
+            except Exception as exc:
+                if not contain_sink_fault(sink, "caller", exc):
+                    raise
         result = fn(*args, **kwargs)
         ret = return_event(event_name, event_args, result)
         for sink in sinks:
-            sink(ret)
+            try:
+                if _fi._active is not None:
+                    _fi.fault_point(_FP_CALLER)
+                sink(ret)
+            except TemporalAssertionError:
+                raise
+            except Exception as exc:
+                if not contain_sink_fault(sink, "caller", exc):
+                    raise
         return result
 
     wrapper.__tesla_caller_wrapped__ = fn  # type: ignore[attr-defined]

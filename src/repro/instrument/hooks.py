@@ -28,11 +28,34 @@ from ..core.events import (
     call_event,
     return_event,
 )
-from ..errors import InstrumentationError
+from ..errors import InstrumentationError, TemporalAssertionError
+from ..runtime import faultinject as _fi
 from ..runtime.epoch import interest_epoch, interest_stats
+from ..runtime.faultinject import fault_site
+
+_FP_DISPATCH = fault_site("hooks.dispatch")
+_FP_SITE = fault_site("hooks.site")
 
 #: Anything that consumes concrete events (usually ``TeslaRuntime.handle_event``).
 EventSink = Callable[[RuntimeEvent], None]
+
+
+def contain_sink_fault(sink: EventSink, stage: str, exc: Exception) -> bool:
+    """The outermost containment boundary, shared by every hook flavour.
+
+    A fault that escaped the sink (translator chains, dispatch planning —
+    anything the per-class boundary inside the runtime did not attribute)
+    is routed to the sink's supervisor when it has one (event translators
+    carry their runtime's).  Returns True when the caller must swallow
+    ``exc`` instead of letting it cross into application frames; sinks
+    without a supervisor keep the raw propagate-everything behaviour.
+    ``TemporalAssertionError`` must be re-raised *before* calling this —
+    fail-stop violations are deliberate, not monitor faults.
+    """
+    supervisor = getattr(sink, "supervisor", None)
+    if supervisor is None:
+        return False
+    return supervisor.contain(f"({stage})", stage, exc)
 
 
 class HookPoint:
@@ -177,11 +200,27 @@ def instrumentable(
             event_args = args if not kwargs else args + tuple(kwargs.values())
             call = call_event(event_name, event_args)
             for sink in sinks:
-                sink(call)
+                try:
+                    if _fi._active is not None:
+                        _fi.fault_point(_FP_DISPATCH)
+                    sink(call)
+                except TemporalAssertionError:
+                    raise
+                except Exception as exc:
+                    if not contain_sink_fault(sink, "dispatch", exc):
+                        raise
             result = fn(*args, **kwargs)
             ret = return_event(event_name, event_args, result)
             for sink in sinks:
-                sink(ret)
+                try:
+                    if _fi._active is not None:
+                        _fi.fault_point(_FP_DISPATCH)
+                    sink(ret)
+                except TemporalAssertionError:
+                    raise
+                except Exception as exc:
+                    if not contain_sink_fault(sink, "dispatch", exc):
+                        raise
             return result
 
         wrapper.__tesla_hook__ = point  # type: ignore[attr-defined]
@@ -231,4 +270,12 @@ def tesla_site(assertion_name: str, **scope: Any) -> None:
         return
     event = assertion_site_event(assertion_name, scope)
     for sink in sinks:
-        sink(event)
+        try:
+            if _fi._active is not None:
+                _fi.fault_point(_FP_SITE)
+            sink(event)
+        except TemporalAssertionError:
+            raise
+        except Exception as exc:
+            if not contain_sink_fault(sink, "site", exc):
+                raise

@@ -22,8 +22,13 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.events import EventKind, call_event, return_event
+from ..errors import TemporalAssertionError
+from ..runtime import faultinject as _fi
 from ..runtime.epoch import interest_epoch, interest_stats
-from .hooks import EventSink
+from ..runtime.faultinject import fault_site
+from .hooks import EventSink, contain_sink_fault
+
+_FP_INTERPOSE = fault_site("interpose.dispatch")
 
 #: A raw interposition hook: (phase, receiver, selector, args, result).
 #: ``phase`` is "send" before the method body runs and "return" after.
@@ -152,10 +157,18 @@ def tesla_method_hook(sink: EventSink) -> RawHook:
     def hook(
         phase: str, receiver: Any, selector: str, args: Tuple[Any, ...], result: Any
     ) -> None:
-        if phase == "send":
-            sink(call_event(selector, (receiver,) + args))
-        else:
-            sink(return_event(selector, (receiver,) + args, result))
+        try:
+            if _fi._active is not None:
+                _fi.fault_point(_FP_INTERPOSE)
+            if phase == "send":
+                sink(call_event(selector, (receiver,) + args))
+            else:
+                sink(return_event(selector, (receiver,) + args, result))
+        except TemporalAssertionError:
+            raise
+        except Exception as exc:
+            if not contain_sink_fault(sink, "interpose", exc):
+                raise
 
     # Expose the sink so the table's interest filter can consult it.
     hook.__tesla_sink__ = sink  # type: ignore[attr-defined]

@@ -190,6 +190,9 @@ class EventTranslator:
 
     def __init__(self, runtime: TeslaRuntime) -> None:
         self.runtime = runtime
+        #: The runtime's supervisor, exposed so hook-layer containment
+        #: boundaries can route faults that escape this sink to it.
+        self.supervisor = getattr(runtime, "supervisor", None)
         #: dispatch key -> symbols whose static checks gate forwarding.
         self._chains: Dict[DispatchKey, List[EventSymbol]] = {}
         #: dispatch key -> compiled static checks; ``None`` means some
@@ -203,12 +206,21 @@ class EventTranslator:
         #: Events dropped by static checks (visible to benchmarks/tests).
         self.dropped = 0
         self.forwarded = 0
+        register = getattr(runtime, "register_translator", None)
+        if register is not None:
+            register(self)
 
     def _rebuild(self) -> None:
         self._chains.clear()
         self._compiled.clear()
         self._strict_keys.clear()
+        supervisor = self.supervisor
+        shed = supervisor.shed_classes if supervisor is not None else ()
         for automaton in self.runtime.automata.values():
+            if automaton.name in shed:
+                # Quarantined classes drop out of the static chains, so a
+                # key only they observed short-circuits at the hook layer.
+                continue
             for t in automaton.transitions:
                 if t.symbol is None:
                     continue

@@ -17,6 +17,7 @@ from .aggregate import (
     shard_contention,
 )
 from .coverage import AssertionCoverage, CoverageReport, coverage_report
+from .health import HealthReport, format_health, health_report
 from .trace import TraceRecord, TraceRecorder, sequence_histogram
 from .weights import WeightedEdge, WeightedGraph, to_dot, weighted_graph
 
@@ -32,6 +33,9 @@ __all__ = [
     "AssertionCoverage",
     "CoverageReport",
     "coverage_report",
+    "HealthReport",
+    "format_health",
+    "health_report",
     "TraceRecord",
     "TraceRecorder",
     "sequence_histogram",

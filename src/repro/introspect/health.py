@@ -1,0 +1,146 @@
+"""Monitor health: fault accounting, quarantine state, degraded-mode flags.
+
+The supervision layer (:mod:`repro.runtime.supervisor`) contains faults in
+TESLA's own machinery so the monitored program never sees them — which
+means the *only* way to learn the monitor lost coverage is to ask.  This
+module is that question: :func:`health_report` snapshots a runtime's
+supervisor, its notification hub's handler-fault counters and (when armed)
+the fault injector into one :class:`HealthReport`, and
+:func:`format_health` renders it in the same fixed-width table style as
+``format_dispatch_stats`` / ``format_shard_contention``.
+
+The report is the operational complement to the paper's overflow reports
+(§4.4.1): overflows say "size the pools bigger next run"; a degraded
+health report says "trust this run's coverage less, and here is exactly
+which classes and boundaries faulted".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..runtime.faultinject import active_injector
+from ..runtime.supervisor import MonitorFault, QuarantineRecord
+
+
+@dataclass
+class HealthReport:
+    """One runtime's monitor-health snapshot."""
+
+    #: Logical dispatch tick at snapshot time (one tick per event).
+    tick: int
+    #: Class name of the active :class:`~repro.runtime.supervisor.FailurePolicy`.
+    policy: str
+    #: Faults swallowed at a containment boundary.
+    contained: int
+    #: Faults the policy let propagate into the application.
+    propagated: int
+    #: Contained faults that were injected by the chaos harness.
+    injected_recorded: int
+    #: Notification-handler faults contained at the hub boundary.
+    handler_faults: int
+    #: automaton label -> fault count (pseudo-labels in parentheses).
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    #: containment stage -> fault count.
+    stage_counts: Dict[str, int] = field(default_factory=dict)
+    #: Most recent faults, oldest first (bounded ring).
+    last_faults: List[MonitorFault] = field(default_factory=list)
+    #: Every class that ever tripped quarantine, with lifecycle state.
+    quarantine: List[QuarantineRecord] = field(default_factory=list)
+    #: Classes currently shed from dispatch.
+    shed: Tuple[str, ...] = ()
+    #: True when any fault was contained or any class is shed: the run's
+    #: verdicts are still sound, but coverage may have gaps.
+    degraded: bool = False
+    #: Fault-injector accounting when armed (seed, checks, fired per site).
+    injector: Optional[dict] = None
+
+    @property
+    def total_faults(self) -> int:
+        return self.contained + self.propagated
+
+
+def health_report(runtime) -> HealthReport:
+    """Snapshot ``runtime``'s supervision state.
+
+    Duck-typed like :func:`~repro.introspect.aggregate.dispatch_stats`:
+    anything with a ``supervisor`` (and optionally a ``hub``) works.
+    """
+    supervisor = runtime.supervisor
+    hub = getattr(runtime, "hub", None)
+    handler_faults = supervisor.handler_faults
+    if hub is not None:
+        # The hub counts all raising handlers, even before a fault sink
+        # was attached; take the larger of the two views.
+        handler_faults = max(handler_faults, hub.handler_faults)
+    injector = active_injector()
+    return HealthReport(
+        tick=supervisor.tick,
+        policy=type(supervisor.policy).__name__,
+        contained=supervisor.contained,
+        propagated=supervisor.propagated,
+        injected_recorded=supervisor.injected_recorded,
+        handler_faults=handler_faults,
+        fault_counts=dict(supervisor.fault_counts),
+        stage_counts=dict(supervisor.stage_counts),
+        last_faults=list(supervisor.last_faults),
+        quarantine=supervisor.quarantine_rows(),
+        shed=tuple(sorted(supervisor.shed_classes)),
+        degraded=supervisor.degraded,
+        injector=None if injector is None else injector.stats(),
+    )
+
+
+def format_health(report: HealthReport) -> str:
+    """Render a health report as fixed-width text."""
+    lines: List[str] = []
+    status = "DEGRADED" if report.degraded else "healthy"
+    lines.append(
+        f"monitor health: {status}  policy={report.policy}  "
+        f"tick={report.tick}"
+    )
+    lines.append(
+        f"  faults: contained={report.contained} "
+        f"propagated={report.propagated} "
+        f"handler={report.handler_faults} "
+        f"injected={report.injected_recorded}"
+    )
+    if report.stage_counts:
+        stages = "  ".join(
+            f"{stage}={count}"
+            for stage, count in sorted(report.stage_counts.items())
+        )
+        lines.append(f"  by stage: {stages}")
+    if report.fault_counts:
+        lines.append(f"  {'automaton':<32} {'faults':>7}")
+        for name, count in sorted(
+            report.fault_counts.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            lines.append(f"  {name:<32} {count:>7}")
+    if report.quarantine:
+        lines.append(
+            f"  {'quarantine':<32} {'state':<12} {'trips':>5} "
+            f"{'until':>8} {'probation':>9}"
+        )
+        for row in sorted(report.quarantine, key=lambda r: r.automaton):
+            lines.append(
+                f"  {row.automaton:<32} {row.state.value:<12} "
+                f"{row.trips:>5} {row.until_tick:>8} "
+                f"{row.probation_until:>9}"
+            )
+    if report.shed:
+        lines.append(f"  shed: {', '.join(report.shed)}")
+    if report.injector is not None:
+        inj = report.injector
+        lines.append(
+            f"  injector: seed={inj.get('seed')} rate={inj.get('rate')} "
+            f"fired={inj.get('total_fired')}/{inj.get('total_checks')}"
+        )
+        for site, fired in sorted(inj.get("fired", {}).items()):
+            lines.append(f"    {site:<30} {fired:>7}")
+    if report.last_faults:
+        lines.append("  recent faults:")
+        for fault in report.last_faults[-8:]:
+            lines.append(f"    {fault.describe()}")
+    return "\n".join(lines)

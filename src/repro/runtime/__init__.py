@@ -6,6 +6,17 @@ stores, bounded preallocated instance pools, the lazy-initialisation
 optimisation of section 5.2.2, and a pluggable notification framework.
 """
 
+from .faultinject import (
+    FaultInjector,
+    InjectedFault,
+    active_injector,
+    arm,
+    declared_fault_sites,
+    disarm,
+    fault_point,
+    fault_site,
+    injection,
+)
 from .instance import AutomatonInstance
 from .manager import BoundTracker, TeslaRuntime, live_runtimes, reset_all_runtimes
 from .notify import (
@@ -35,9 +46,38 @@ from .store import (
     default_shard_count,
     shard_index_for,
 )
+from .supervisor import (
+    CallbackPolicy,
+    FailOpen,
+    FailStopFaults,
+    FailurePolicy,
+    MonitorFault,
+    QuarantinePolicy,
+    QuarantineRecord,
+    QuarantineState,
+    Supervisor,
+)
 from .update import handle_cleanup, handle_init, lazy_join_bound, tesla_update_state
 
 __all__ = [
+    "FaultInjector",
+    "InjectedFault",
+    "active_injector",
+    "arm",
+    "declared_fault_sites",
+    "disarm",
+    "fault_point",
+    "fault_site",
+    "injection",
+    "CallbackPolicy",
+    "FailOpen",
+    "FailStopFaults",
+    "FailurePolicy",
+    "MonitorFault",
+    "QuarantinePolicy",
+    "QuarantineRecord",
+    "QuarantineState",
+    "Supervisor",
     "AutomatonInstance",
     "BoundTracker",
     "TeslaRuntime",

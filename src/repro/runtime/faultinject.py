@@ -1,0 +1,221 @@
+"""Deterministic, seedable fault injection for the monitor's own internals.
+
+The supervision layer (:mod:`repro.runtime.supervisor`) promises that a
+fault *inside* TESLA — a broken matcher, a handler that raises, an
+allocator hiccup — never escapes into application frames under a fail-open
+policy.  A promise like that is only worth what its tests can exercise, so
+this module plants named **fault points** at every internal boundary the
+supervisor guards: store updates, plan compilation, instance allocation,
+hook dispatch and notification fan-out.
+
+A fault point is free when disarmed: the call sites guard with
+``if _active is not None`` (one module-attribute load and an identity
+check) before ever calling :func:`fault_point`, so the PR-2 compiled
+dispatch numbers survive (``benchmarks/bench_fault_overhead.py`` pins the
+regression at ≤3%).  When armed, a process-wide :class:`FaultInjector`
+decides — from a seeded PRNG, deterministically given the seed and the
+sequence of checks — whether each visit raises :class:`InjectedFault`.
+
+The chaos-differential harness (``tests/differential/
+test_chaos_containment.py``) arms an injector over every declared site and
+asserts the supervision contract: application results byte-identical to
+uninstrumented runs, no exception across the hook boundary, and every
+injected fault accounted for in :func:`repro.introspect.health_report`.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Dict, Iterable, Iterator, Optional, Set
+
+__all__ = [
+    "InjectedFault",
+    "FaultInjector",
+    "fault_site",
+    "fault_point",
+    "arm",
+    "disarm",
+    "active_injector",
+    "declared_fault_sites",
+    "injection",
+]
+
+
+class InjectedFault(Exception):
+    """The synthetic monitor-internal failure raised by an armed fault point.
+
+    Deliberately *not* a :class:`~repro.errors.TeslaError`: nothing in the
+    monitor may rely on catching library error types to survive chaos —
+    the supervisor's containment must hold for arbitrary exceptions.
+    """
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"injected fault at {site!r}")
+        self.site = site
+
+
+#: Every fault site declared anywhere in the process, populated at import
+#: time by :func:`fault_site` — the chaos harness iterates this to prove
+#: each boundary is actually exercised.
+_declared: Set[str] = set()
+
+
+def fault_site(name: str) -> str:
+    """Declare a fault point's name at module import time.
+
+    Returns the name so call sites write
+    ``_FP_INSERT = fault_site("prealloc.insert")`` and keep a module-level
+    constant for the hot path.
+    """
+    _declared.add(name)
+    return name
+
+
+def declared_fault_sites() -> Set[str]:
+    """Every fault-site name declared so far (import-time complete)."""
+    return set(_declared)
+
+
+class FaultInjector:
+    """A seeded source of go/no-go decisions for fault points.
+
+    ``rate`` is the per-visit firing probability; ``only`` restricts
+    injection to a subset of sites (others are counted but never fire);
+    ``max_faults`` caps total injections so long traces stay mostly
+    healthy.  All decisions come from ``random.Random(seed)`` in visit
+    order, so a (seed, trace) pair replays identically — quarantine
+    determinism tests depend on this.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        rate: float = 1.0,
+        only: Optional[Iterable[str]] = None,
+        max_faults: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        self.seed = seed
+        self.rate = rate
+        self.only = None if only is None else frozenset(only)
+        self.max_faults = max_faults
+        self._random = random.Random(seed)
+        self._lock = threading.Lock()
+        #: site -> times a fault point was visited while armed.
+        self.checks: Dict[str, int] = {}
+        #: site -> times a visit actually raised.
+        self.fired: Dict[str, int] = {}
+
+    @property
+    def total_fired(self) -> int:
+        return sum(self.fired.values())
+
+    @property
+    def total_checks(self) -> int:
+        return sum(self.checks.values())
+
+    def should_fire(self, site: str) -> bool:
+        """Record one visit and decide whether it faults.
+
+        The PRNG is consumed for *every* visit — the ``only`` filter and
+        the fault cap veto *after* the draw — so restricting ``only`` does
+        not shift the decision stream of the remaining sites between runs
+        with the same seed and trace.
+        """
+        with self._lock:
+            self.checks[site] = self.checks.get(site, 0) + 1
+            if self.rate >= 1.0:
+                fire = True
+            else:
+                fire = self._random.random() < self.rate
+            if self.only is not None and site not in self.only:
+                return False
+            if (
+                self.max_faults is not None
+                and self.total_fired >= self.max_faults
+            ):
+                return False
+            if fire:
+                self.fired[site] = self.fired.get(site, 0) + 1
+            return fire
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "rate": self.rate,
+            "only": None if self.only is None else sorted(self.only),
+            "checks": dict(self.checks),
+            "fired": dict(self.fired),
+            "total_fired": self.total_fired,
+            "total_checks": self.total_checks,
+        }
+
+
+#: The armed injector, or ``None`` (the free fast path).  Call sites read
+#: this attribute directly — ``if faultinject._active is not None`` — so a
+#: disarmed fault point costs no function call.
+_active: Optional[FaultInjector] = None
+
+
+def arm(injector: FaultInjector) -> FaultInjector:
+    """Arm ``injector`` process-wide; returns it for chaining."""
+    global _active
+    _active = injector
+    return injector
+
+
+def disarm() -> None:
+    """Return every fault point to its no-op fast path."""
+    global _active
+    _active = None
+
+
+def active_injector() -> Optional[FaultInjector]:
+    """The armed :class:`FaultInjector`, or ``None`` when disarmed."""
+    return _active
+
+
+def fault_point(site: str) -> None:
+    """One named internal checkpoint; raises :class:`InjectedFault` when an
+    armed injector decides this visit faults.
+
+    Hot call sites pre-check ``_active`` themselves and only call this
+    when armed; calling it disarmed is still correct (and free enough for
+    cold paths).
+    """
+    injector = _active
+    if injector is None:
+        return
+    if injector.should_fire(site):
+        raise InjectedFault(site)
+
+
+class injection:
+    """Context manager: arm a fresh injector for the ``with`` block.
+
+    ::
+
+        with injection(seed=7, rate=0.05) as injector:
+            run_workload()
+        assert injector.total_fired == report.injected_recorded
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        rate: float = 1.0,
+        only: Optional[Iterable[str]] = None,
+        max_faults: Optional[int] = None,
+    ) -> None:
+        self.injector = FaultInjector(
+            seed, rate=rate, only=only, max_faults=max_faults
+        )
+
+    def __enter__(self) -> FaultInjector:
+        arm(self.injector)
+        return self.injector
+
+    def __exit__(self, *exc_info) -> None:
+        disarm()

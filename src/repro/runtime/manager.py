@@ -41,10 +41,11 @@ from ..core.ast import Context, TemporalAssertion
 from ..core.automaton import Automaton, TransitionKind
 from ..core.events import EventKind, RuntimeEvent
 from ..core.translate import translate_all
-from ..errors import ContextError
+from ..errors import ContextError, TemporalAssertionError
 from .epoch import interest_epoch
 from .notify import ErrorPolicy, NotificationHub
 from .prealloc import DEFAULT_CAPACITY
+from .supervisor import FailurePolicy, Supervisor
 from .store import (
     BoundId,
     BoundTracker,
@@ -166,6 +167,7 @@ class TeslaRuntime:
         policy: Optional[ErrorPolicy] = None,
         shards: Optional[int] = None,
         compile: bool = True,
+        failure_policy: Optional[FailurePolicy] = None,
     ) -> None:
         self.lazy = lazy
         #: Whether dispatch uses compiled per-(class, key) transition plans
@@ -174,6 +176,19 @@ class TeslaRuntime:
         #: paper-faithful baseline the benchmarks compare against.
         self.compiled = compile
         self.hub = NotificationHub(policy)
+        #: The containment boundary for faults in the monitor itself:
+        #: ``failure_policy`` selects fail-stop (default), fail-open,
+        #: callback, or quarantine — the internal-fault counterpart of the
+        #: violation ``policy``.  Quarantine state changes clear dispatch
+        #: plans and rebuild translator chains via ``_on_supervisor_change``.
+        self.supervisor = Supervisor(
+            failure_policy, on_change=self._on_supervisor_change
+        )
+        self.hub.fault_sink = self.supervisor.record_handler_fault
+        #: Event translators feeding this runtime, re-filtered when the
+        #: supervisor sheds or re-arms a class (weak: translators die with
+        #: their instrumentation session).
+        self._translators: "weakref.WeakSet" = weakref.WeakSet()
         #: Lock-striped global store; ``shards=1`` gives the paper's exact
         #: single-lock semantics, ``None`` picks min(32, 4×cpu_count).
         self.global_store = ShardedGlobalStore(capacity, shards)
@@ -194,6 +209,21 @@ class TeslaRuntime:
     @property
     def shard_count(self) -> int:
         return self.global_store.shard_count
+
+    # -- supervision -----------------------------------------------------------
+
+    def register_translator(self, translator) -> None:
+        """Track a translator so quarantine changes re-filter its chains."""
+        self._translators.add(translator)
+
+    def _on_supervisor_change(self) -> None:
+        """A class was quarantined or re-armed: rebuild every derived
+        dispatch structure, then bump the interest epoch so hook-point and
+        interposition caches (and per-class plan caches) follow."""
+        self._key_plans.clear()
+        for translator in list(self._translators):
+            translator._rebuild()
+        interest_epoch.bump()
 
     # -- installation ----------------------------------------------------------
 
@@ -283,6 +313,10 @@ class TeslaRuntime:
     def _build_plan(self, key: DispatchKey) -> _KeyPlan:
         shard_plans: Dict[int, _ContextPlan] = {}
         local = _ContextPlan()
+        # Quarantined classes are shed at plan-build time: the supervisor's
+        # change hook clears ``_key_plans``, so a trip or re-arm takes
+        # effect on the very next event.
+        shed = self.supervisor.shed_classes
 
         def context_plan(name: str) -> _ContextPlan:
             if self.contexts[name] is Context.GLOBAL:
@@ -293,7 +327,11 @@ class TeslaRuntime:
                 return plan
             return local
 
-        init_names = self._init_index.get(key, ())
+        init_names = [
+            name
+            for name in self._init_index.get(key, ())
+            if name not in shed
+        ]
         for name in init_names:
             plan = context_plan(name)
             plan.init_names.append(name)
@@ -301,8 +339,12 @@ class TeslaRuntime:
             if bound not in plan.init_bounds:
                 plan.init_bounds.append(bound)
         for name in self._body_index.get(key, ()):
+            if name in shed:
+                continue
             context_plan(name).body.append((name, self.bounds[name]))
         for name in self._cleanup_index.get(key, ()):
+            if name in shed:
+                continue
             plan = context_plan(name)
             plan.cleanup_names.append(name)
             bound = self.bounds[name]
@@ -322,6 +364,7 @@ class TeslaRuntime:
     def handle_event(self, event: RuntimeEvent) -> None:
         """Route one concrete event to every automaton that observes it."""
         self.events_processed += 1
+        self.supervisor.begin_dispatch()
         key = (event.kind, event.name)
         plan = self._plan_for(key)
         for index, work in plan.shard_work:
@@ -353,6 +396,7 @@ class TeslaRuntime:
         """
         events = list(events)
         self.events_processed += len(events)
+        self.supervisor.advance(len(events))
         per_shard: Dict[
             int, List[Tuple[_ContextPlan, RuntimeEvent, frozenset, DispatchKey]]
         ] = {}
@@ -392,8 +436,18 @@ class TeslaRuntime:
         key: DispatchKey,
     ) -> None:
         """One context's share of one event (caller holds the shard lock
-        for global contexts; thread-local contexts need none)."""
+        for global contexts; thread-local contexts need none).
+
+        Every per-class unit of work runs inside a containment boundary:
+        a fault in one class's matchers, plans or pool is routed through
+        the supervisor's :class:`~repro.runtime.supervisor.FailurePolicy`
+        (attributed to that class, which is what lets quarantine find the
+        faulty one) without disturbing the other classes on this event.
+        ``TemporalAssertionError`` always propagates — it is the fail-stop
+        *violation* policy speaking, not a monitor fault.
+        """
         compiled = self.compiled
+        supervisor = self.supervisor
         if compiled:
             # One epoch read per (event, context); each class's plan_for
             # is a dict probe plus an integer compare.
@@ -406,40 +460,64 @@ class TeslaRuntime:
                 tracker.begin(bound)
         else:
             for name in work.init_names:
-                cr = store.get(name)
-                handle_init(
-                    cr, event, self.hub, lazy=False,
-                    plan=cr.plan_for(key, epoch) if compiled else None,
-                )
+                try:
+                    cr = store.get(name)
+                    handle_init(
+                        cr, event, self.hub, lazy=False,
+                        plan=cr.plan_for(key, epoch) if compiled else None,
+                    )
+                except TemporalAssertionError:
+                    raise
+                except Exception as exc:
+                    if not supervisor.contain(name, "init", exc):
+                        raise
         for name, bound in work.body:
             if name in initiated:
                 # An event that opens a class's bound is not also one of its
                 # body events for the same occurrence.
                 continue
-            cr = store.get(name)
-            if self.lazy:
-                lazy_join_bound(cr, bound, tracker)
-            tesla_update_state(
-                cr, event, self.hub, self.lazy,
-                plan=cr.plan_for(key, epoch) if compiled else None,
-            )
+            try:
+                cr = store.get(name)
+                if self.lazy:
+                    lazy_join_bound(cr, bound, tracker)
+                tesla_update_state(
+                    cr, event, self.hub, self.lazy,
+                    plan=cr.plan_for(key, epoch) if compiled else None,
+                )
+            except TemporalAssertionError:
+                raise
+            except Exception as exc:
+                if not supervisor.contain(name, "body", exc):
+                    raise
         if self.lazy:
             # Cleanup visits only the classes actually touched during the
             # bound, not every class sharing it.
             for bound in work.cleanup_bounds:
                 for name in sorted(tracker.end(bound)):
+                    try:
+                        cr = store.get(name)
+                        handle_cleanup(
+                            cr, event, self.hub,
+                            plan=cr.plan_for(key, epoch) if compiled else None,
+                        )
+                    except TemporalAssertionError:
+                        raise
+                    except Exception as exc:
+                        if not supervisor.contain(name, "cleanup", exc):
+                            raise
+        else:
+            for name in work.cleanup_names:
+                try:
                     cr = store.get(name)
                     handle_cleanup(
                         cr, event, self.hub,
                         plan=cr.plan_for(key, epoch) if compiled else None,
                     )
-        else:
-            for name in work.cleanup_names:
-                cr = store.get(name)
-                handle_cleanup(
-                    cr, event, self.hub,
-                    plan=cr.plan_for(key, epoch) if compiled else None,
-                )
+                except TemporalAssertionError:
+                    raise
+                except Exception as exc:
+                    if not supervisor.contain(name, "cleanup", exc):
+                        raise
 
     # -- maintenance --------------------------------------------------------------
 
@@ -450,6 +528,7 @@ class TeslaRuntime:
         self._thread_trackers = threading.local()
         self.events_processed = 0
         self.hub.reset_counts()
+        self.supervisor.reset()
 
     def observes(self, key: DispatchKey) -> bool:
         """Whether any installed automaton cares about this dispatch key."""

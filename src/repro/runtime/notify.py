@@ -15,10 +15,16 @@ from __future__ import annotations
 import enum
 import os
 import sys
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from ..errors import TemporalAssertionError, TemporalViolation
+from . import faultinject as _fi
+from .faultinject import fault_site
+
+_FP_EMIT = fault_site("notify.emit")
+_FP_HANDLER = fault_site("notify.handler")
 
 
 class NotificationKind(enum.Enum):
@@ -59,7 +65,11 @@ class Notification:
         return " ".join(parts)
 
 
-#: A handler receives every notification; it must not raise.
+#: A handler receives every notification; it must not raise.  The hub
+#: *enforces* the contract: a handler that does raise is contained at the
+#: fan-out boundary (recorded, reported to the runtime's supervisor when
+#: one is attached) so it can neither break dispatch nor starve the
+#: handlers after it in the list.
 Handler = Callable[[Notification], None]
 
 
@@ -143,6 +153,16 @@ class NotificationHub:
         self.policy: ErrorPolicy = policy or FailStop()
         self.counts: Dict[NotificationKind, int] = {k: 0 for k in NotificationKind}
         self.detailed = self._compute_detailed()
+        #: Handler invocations that raised (contained at the boundary).
+        self.handler_faults = 0
+        #: (handler repr, exception repr) for the most recent faults.
+        self.last_handler_errors: Deque[Tuple[str, str]] = deque(maxlen=16)
+        #: Optional ``(automaton, handler, exc)`` callback — the runtime
+        #: points this at its supervisor so contained handler faults show
+        #: up in :func:`repro.introspect.health_report`.
+        self.fault_sink: Optional[
+            Callable[[str, Handler, BaseException], None]
+        ] = None
 
     def _compute_detailed(self) -> bool:
         if len(self.handlers) > 1:
@@ -161,10 +181,27 @@ class NotificationHub:
 
     def emit(self, notification: Notification) -> None:
         self.counts[notification.kind] += 1
+        if _fi._active is not None:
+            _fi.fault_point(_FP_EMIT)
         for handler in self.handlers:
-            handler(notification)
+            try:
+                if _fi._active is not None:
+                    _fi.fault_point(_FP_HANDLER)
+                handler(notification)
+            except Exception as exc:
+                # The Handler contract says "must not raise"; enforce it
+                # here so one bad handler cannot break dispatch or starve
+                # the handlers after it.  The violation policy below still
+                # runs — containment never downgrades fail-stop.
+                self.handler_faults += 1
+                self.last_handler_errors.append((repr(handler), repr(exc)))
+                sink = self.fault_sink
+                if sink is not None:
+                    sink(notification.automaton, handler, exc)
         if notification.kind is NotificationKind.ERROR and notification.violation:
             self.policy.on_violation(notification.violation)
 
     def reset_counts(self) -> None:
         self.counts = {k: 0 for k in NotificationKind}
+        self.handler_faults = 0
+        self.last_handler_errors.clear()

@@ -24,8 +24,9 @@ tautological.  Plans are cached on each
 process-wide :data:`~repro.runtime.epoch.interest_epoch`, so attaching a
 class mid-trace rebuilds stale plans before the next event is processed.
 
-This module deliberately imports only :mod:`repro.core` — the store
-imports *it*, never the reverse.
+This module deliberately imports only :mod:`repro.core` (plus the
+dependency-free fault-injection checkpoints) — the store imports *it*,
+never the reverse.
 """
 
 from __future__ import annotations
@@ -40,6 +41,9 @@ from ..core.automaton import (
 )
 from ..core.events import EventKind, RuntimeEvent
 from ..core.patterns import Binding
+from .faultinject import fault_point, fault_site
+
+_FP_BUILD = fault_site("plans.build")
 
 #: An event's routing identity, duplicated from ``runtime.store`` to keep
 #: this module free of store imports (the dependency runs store → plans).
@@ -125,6 +129,7 @@ def build_transition_plan(automaton: Automaton, key: PlanKey) -> TransitionPlan:
     names assertion-site events after the assertion), mirroring
     ``Automaton.dispatch_keys``.
     """
+    fault_point(_FP_BUILD)
     init: List[Tuple[Transition, EventMatcher]] = []
     cleanup: List[Tuple[Transition, EventMatcher]] = []
     body: List[Tuple[int, Transition, EventMatcher]] = []

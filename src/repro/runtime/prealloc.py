@@ -16,7 +16,11 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional
 
+from . import faultinject as _fi
+from .faultinject import fault_site
 from .instance import AutomatonInstance
+
+_FP_INSERT = fault_site("prealloc.insert")
 
 #: Matches libtesla's modest default; kernel configurations override it.
 DEFAULT_CAPACITY = 128
@@ -45,6 +49,8 @@ class InstancePool:
 
     def add(self, instance: AutomatonInstance) -> bool:
         """Insert; returns False (and counts an overflow) when full."""
+        if _fi._active is not None:
+            _fi.fault_point(_FP_INSERT)
         if len(self._instances) >= self.capacity:
             self.overflows += 1
             return False

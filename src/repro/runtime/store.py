@@ -26,9 +26,13 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 from ..core.automaton import Automaton, Transition
 from ..core.events import EventKind
 from ..errors import ContextError
+from . import faultinject as _fi
+from .faultinject import fault_site
 from .instance import AutomatonInstance
 from .plans import TransitionPlan, build_transition_plan
 from .prealloc import DEFAULT_CAPACITY, InstancePool
+
+_FP_PLAN_FOR = fault_site("store.plan_for")
 
 #: An event's routing identity: (event kind, dispatch name).
 DispatchKey = Tuple[EventKind, str]
@@ -77,6 +81,7 @@ class ClassRuntime:
         "seen_epoch",
         "lazy_binding",
         "overflow_mark",
+        "overflow_reported",
         "transition_counts",
         "errors",
         "accepts",
@@ -101,6 +106,10 @@ class ClassRuntime:
         #: after further overflows is suppressed (the dropped instance may
         #: have been the one that would have matched).
         self.overflow_mark = 0
+        #: Whether the current bound already emitted its (single) OVERFLOW
+        #: notification — a saturated pool reports once per bound, with
+        #: exact drop counts kept in ``pool.stats()``.
+        self.overflow_reported = False
         #: Transition → times taken; drives figure 9's weighted graphs.
         self.transition_counts: Dict[Transition, int] = {}
         self.errors = 0
@@ -127,6 +136,8 @@ class ClassRuntime:
         must hold whatever lock serialises this class — the cache is
         per-class state like the pool.
         """
+        if _fi._active is not None:
+            _fi.fault_point(_FP_PLAN_FOR)
         if self._plan_epoch != epoch:
             if self._plans:
                 self.plan_invalidations += 1
@@ -152,6 +163,7 @@ class ClassRuntime:
         self.seen_epoch = -1
         self.lazy_binding = {}
         self.overflow_mark = 0
+        self.overflow_reported = False
         # Plans survive a reset (the automaton is unchanged); only the
         # effectiveness counters restart.
         self.plan_hits = 0

@@ -40,10 +40,16 @@ from ..core.automaton import Transition, TransitionKind
 from ..core.events import EventKind, RuntimeEvent
 from ..core.patterns import EMPTY_BINDING
 from ..errors import TemporalViolation
+from . import faultinject as _fi
+from .faultinject import fault_site
 from .instance import AutomatonInstance
 from .notify import Notification, NotificationHub, NotificationKind
 from .plans import TransitionPlan
 from .store import BoundId, BoundTracker, ClassRuntime
+
+_FP_INIT = fault_site("update.init")
+_FP_STEP = fault_site("update.step")
+_FP_CLEANUP = fault_site("update.cleanup")
 
 
 def _match_static(cr: ClassRuntime, event: RuntimeEvent, kind: TransitionKind):
@@ -100,7 +106,12 @@ def _materialise(cr: ClassRuntime, hub: NotificationHub, binding: Dict[str, Any]
                     states=tuple(sorted(instance.states)),
                 )
             )
-    else:
+    elif not cr.overflow_reported:
+        # One OVERFLOW report per bound, not one per dropped instance: a
+        # saturated pool would otherwise flood the hub with a notification
+        # for every event in the rest of the bound.  Raw drop counts stay
+        # exact in ``cr.pool.stats()`` (§4.4.1's resize-next-run numbers).
+        cr.overflow_reported = True
         hub.emit(
             Notification(
                 kind=NotificationKind.OVERFLOW,
@@ -122,12 +133,15 @@ def handle_init(
         # Re-entrant bound (recursive entry): libtesla ignores events until
         # the next init *after* cleanup; a nested init is a no-op.
         return
+    if _fi._active is not None:
+        _fi.fault_point(_FP_INIT)
     if plan is not None:
         transition, binding = _match_plan_entries(plan.init, event)
     else:
         transition, binding = _match_static(cr, event, TransitionKind.INIT)
     cr.active = True
     cr.overflow_mark = cr.pool.overflows
+    cr.overflow_reported = False
     cr.count_transition(transition)
     if lazy:
         cr.pending = True
@@ -145,6 +159,8 @@ def handle_cleanup(
     """Close the temporal bound: finalise every instance and reset."""
     if not cr.active:
         return
+    if _fi._active is not None:
+        _fi.fault_point(_FP_CLEANUP)
     if plan is not None:
         transition, _ = _match_plan_entries(plan.cleanup, event)
     else:
@@ -266,6 +282,7 @@ def lazy_join_bound(
             cr.pending = True
             cr.lazy_binding = {}
             cr.overflow_mark = cr.pool.overflows
+            cr.overflow_reported = False
             # The bound entry happened when the epoch opened; account
             # for the «init» transition now that this class joins it.
             for transition in cr.automaton.init_transitions:
@@ -293,6 +310,8 @@ def tesla_update_state(
     uses its precompiled matchers; the verdicts are identical either way,
     which ``tests/differential`` pins down over randomized traces.
     """
+    if _fi._active is not None:
+        _fi.fault_point(_FP_STEP)
     automaton = cr.automaton
     is_site_event = (
         event.kind is EventKind.ASSERTION_SITE and event.name == automaton.name
@@ -380,13 +399,17 @@ def tesla_update_state(
             clones.append(clone)
     for clone in clones:
         if not cr.pool.add(clone):
-            hub.emit(
-                Notification(
-                    kind=NotificationKind.OVERFLOW,
-                    automaton=automaton.name,
-                    instance_name=clone.name,
+            # Same dedupe as _materialise: one OVERFLOW report per bound;
+            # the pool's own counters keep the exact drop totals.
+            if not cr.overflow_reported:
+                cr.overflow_reported = True
+                hub.emit(
+                    Notification(
+                        kind=NotificationKind.OVERFLOW,
+                        automaton=automaton.name,
+                        instance_name=clone.name,
+                    )
                 )
-            )
 
     if is_site_event and not site_taken and _already_satisfied(cr, event):
         # The assertion site can execute several times within one bound

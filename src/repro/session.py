@@ -24,6 +24,7 @@ from .core.manifest import ProgramManifest
 from .instrument.module import Instrumenter
 from .runtime.manager import TeslaRuntime
 from .runtime.notify import ErrorPolicy
+from .runtime.supervisor import FailurePolicy
 
 
 @contextlib.contextmanager
@@ -35,6 +36,8 @@ def monitoring(
     lazy: bool = True,
     capacity: Optional[int] = None,
     compile: Optional[bool] = None,
+    failure_policy: Optional[FailurePolicy] = None,
+    shards: Optional[int] = None,
 ) -> Iterator[TeslaRuntime]:
     """Instrument ``assertions`` for the duration of the ``with`` block.
 
@@ -46,13 +49,21 @@ def monitoring(
     runtime (the figure 13 ablation); ``capacity`` bounds instance pools;
     ``compile=False`` disables the compiled transition-plan fast path
     (the dispatch-cost ablation measured by
-    ``benchmarks/bench_dispatch_fastpath.py``).
+    ``benchmarks/bench_dispatch_fastpath.py``); ``failure_policy`` selects
+    how faults *inside the monitor* are handled (fail-stop default,
+    fail-open, callback, or quarantine — see
+    :mod:`repro.runtime.supervisor`); ``shards`` sets the global store's
+    lock-stripe count.
     """
     kwargs = {"lazy": lazy, "policy": policy}
     if capacity is not None:
         kwargs["capacity"] = capacity
     if compile is not None:
         kwargs["compile"] = compile
+    if failure_policy is not None:
+        kwargs["failure_policy"] = failure_policy
+    if shards is not None:
+        kwargs["shards"] = shards
     runtime = TeslaRuntime(**kwargs)
     session = Instrumenter(
         runtime,

@@ -18,6 +18,7 @@ from repro.kernel.bugs import bugs
 from repro.kernel.mac.framework import mac_framework
 from repro.kernel.procfs import procfs_unmount
 from repro.runtime.epoch import interest_stats
+from repro.runtime.faultinject import disarm
 from repro.runtime.manager import TeslaRuntime, reset_all_runtimes
 
 
@@ -47,6 +48,8 @@ def clean_global_state():
     # store keeps instances, per-shard bound-tracker epochs and contention
     # counters; expunge them all so no automata state crosses tests.
     reset_all_runtimes()
+    # A leaked armed fault injector would make every later test chaotic.
+    disarm()
     # Interest-cache counters are process-global; zero them so tests that
     # assert on deltas start clean.  (The interest *epoch* is never reset —
     # caches key on its value, not on zero.)

@@ -78,6 +78,53 @@ class TestPolicies:
         hub.emit(Notification(kind=NotificationKind.FINALISE, automaton="a"))
 
 
+class TestHandlerContainment:
+    """The §4.4.2 contract: a handler "must not itself raise"."""
+
+    def raising_handler(self, notification):
+        raise RuntimeError("buggy handler")
+
+    def test_raising_handler_does_not_escape_emit(self):
+        hub = NotificationHub(policy=LogAndContinue())
+        hub.add_handler(self.raising_handler)
+        hub.emit(Notification(kind=NotificationKind.UPDATE, automaton="a"))
+        assert hub.handler_faults == 1
+        assert hub.last_handler_errors  # (handler repr, error repr) pairs
+
+    def test_later_handlers_still_run_after_a_raise(self):
+        hub = NotificationHub(policy=LogAndContinue())
+        collector = CollectingHandler()
+        hub.add_handler(self.raising_handler)
+        hub.add_handler(collector)
+        hub.emit(Notification(kind=NotificationKind.UPDATE, automaton="a"))
+        assert len(collector.notifications) == 1
+
+    def test_raising_handler_does_not_suppress_failstop(self):
+        hub = NotificationHub(policy=FailStop())
+        hub.add_handler(self.raising_handler)
+        with pytest.raises(TemporalAssertionError):
+            hub.emit(violation_notification())
+        assert hub.handler_faults == 1
+
+    def test_fault_sink_receives_handler_faults(self):
+        sunk = []
+        hub = NotificationHub(policy=LogAndContinue())
+        hub.fault_sink = lambda automaton, handler, exc: sunk.append(
+            (automaton, type(exc).__name__)
+        )
+        hub.add_handler(self.raising_handler)
+        hub.emit(Notification(kind=NotificationKind.UPDATE, automaton="a"))
+        assert sunk == [("a", "RuntimeError")]
+
+    def test_reset_counts_clears_handler_faults(self):
+        hub = NotificationHub(policy=LogAndContinue())
+        hub.add_handler(self.raising_handler)
+        hub.emit(Notification(kind=NotificationKind.UPDATE, automaton="a"))
+        hub.reset_counts()
+        assert hub.handler_faults == 0
+        assert not hub.last_handler_errors
+
+
 class TestStderrHandler:
     def test_silent_without_tesla_debug(self, monkeypatch):
         monkeypatch.delenv("TESLA_DEBUG", raising=False)

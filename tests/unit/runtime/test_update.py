@@ -222,3 +222,39 @@ class TestOverflow:
             )
         assert collector.of_kind(NotificationKind.OVERFLOW)
         assert len(cr.pool) <= 2
+
+    def test_overflow_reported_once_per_bound(self):
+        # Raw drop counts live in pool.stats(); the notification stream
+        # gets ONE report per bound, not one per dropped clone.
+        assertion = mac_assertion("o2")
+        automaton = translate(assertion)
+        cr = ClassRuntime(automaton, capacity=2)
+        hub = NotificationHub()
+        collector = CollectingHandler()
+        hub.add_handler(collector)
+        handle_init(cr, ENTER, hub, lazy=False)
+        for index in range(6):
+            tesla_update_state(
+                cr, return_event("mac_check", ("c", f"vp{index}"), 0), hub, lazy=False
+            )
+        assert len(collector.of_kind(NotificationKind.OVERFLOW)) == 1
+        assert cr.pool.overflows == 5  # raw counts stay complete
+
+    def test_overflow_reported_again_next_bound(self):
+        assertion = mac_assertion("o3")
+        automaton = translate(assertion)
+        cr = ClassRuntime(automaton, capacity=2)
+        hub = NotificationHub(LogAndContinue())
+        collector = CollectingHandler()
+        hub.add_handler(collector)
+        for _ in range(2):
+            handle_init(cr, ENTER, hub, lazy=False)
+            for index in range(4):
+                tesla_update_state(
+                    cr,
+                    return_event("mac_check", ("c", f"vp{index}"), 0),
+                    hub,
+                    lazy=False,
+                )
+            handle_cleanup(cr, EXIT, hub)
+        assert len(collector.of_kind(NotificationKind.OVERFLOW)) == 2
