@@ -14,6 +14,18 @@ Assertion sites are planted with :func:`tesla_site`, the stand-in for the
 replaces with an event-translator invocation (section 4.2): disabled sites
 are near-free; enabled ones emit an assertion-site event carrying the
 site's local variable values.
+
+When the runtime behind a sink runs the deferred pipeline (DESIGN §5.4),
+``sink(event)`` *is* the enqueue fast path: the interest filter and the
+translator's static checks run here as usual, and everything that
+survives them is stamped into the calling thread's ring instead of being
+dispatched inline.  Assertion-site events are synchronization points, so
+a ``tesla_site`` call flushes the rings and a fail-stop
+:class:`~repro.errors.TemporalAssertionError` raises through the same
+re-raise branch synchronous dispatch uses — instrumented code cannot
+tell the modes apart by where violations surface.  Faults injected at
+the drain boundary (``drain.enqueue``) are contained here exactly like
+``hooks.dispatch`` faults, via the sink's supervisor.
 """
 
 from __future__ import annotations

@@ -13,6 +13,12 @@ dynamic variables) decides whether the event reaches the runtime at all.
 An event that fails every static check is dropped at the translator — the
 "only conditional control flow" fast path — without touching any automaton
 instance.
+
+Static filtering happens *before* capture in the deferred pipeline: an
+event the chains drop never reaches the runtime, so it is never stamped
+into a ring — deferred mode pays ring slots only for events some
+installed automaton could consume, and the replay oracle's merged
+sequence contains exactly the post-filter stream.
 """
 
 from __future__ import annotations

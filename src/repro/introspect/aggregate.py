@@ -206,6 +206,20 @@ class DispatchStats:
     plan_misses: int
     plan_invalidations: int
     cached_plans: int
+    #: Deferred-pipeline counters (all zero for synchronous runtimes).
+    #: ``queue_depth`` is sampled live — ``dispatch_stats`` deliberately
+    #: does *not* flush, so a non-zero depth is the backlog right now.
+    deferred: bool = False
+    queue_depth: int = 0
+    drains: int = 0
+    flushes: int = 0
+    sync_flushes: int = 0
+    inline_flushes: int = 0
+    events_enqueued: int = 0
+    events_drained: int = 0
+    max_batch: int = 0
+    flush_seconds: float = 0.0
+    last_flush_seconds: float = 0.0
 
     @property
     def plan_hit_ratio(self) -> float:
@@ -229,6 +243,23 @@ def dispatch_stats(runtime) -> DispatchStats:
             plan_misses += cr.plan_misses
             plan_invalidations += cr.plan_invalidations
             cached_plans += cr.plan_cache_size
+    drain = getattr(runtime, "drain", None)
+    deferred_kwargs = {}
+    if drain is not None:
+        drain_stats = drain.stats()
+        deferred_kwargs = dict(
+            deferred=True,
+            queue_depth=drain_stats["queue_depth"],
+            drains=drain_stats["drains"],
+            flushes=drain_stats["flushes"],
+            sync_flushes=drain_stats["sync_flushes"],
+            inline_flushes=drain_stats["inline_flushes"],
+            events_enqueued=drain_stats["events_enqueued"],
+            events_drained=drain_stats["events_drained"],
+            max_batch=drain_stats["max_batch"],
+            flush_seconds=drain_stats["flush_seconds"],
+            last_flush_seconds=drain_stats["last_flush_seconds"],
+        )
     return DispatchStats(
         compiled=getattr(runtime, "compiled", False),
         epoch=interest_epoch.value,
@@ -240,6 +271,7 @@ def dispatch_stats(runtime) -> DispatchStats:
         plan_misses=plan_misses,
         plan_invalidations=plan_invalidations,
         cached_plans=cached_plans,
+        **deferred_kwargs,
     )
 
 
@@ -257,4 +289,17 @@ def format_dispatch_stats(stats: DispatchStats) -> str:
         f"ratio), {stats.plan_invalidations} epoch invalidations, "
         f"{stats.cached_plans} plans resident",
     ]
+    if stats.deferred:
+        lines.append(
+            f"deferred pipeline    depth={stats.queue_depth} "
+            f"enqueued={stats.events_enqueued} "
+            f"drained={stats.events_drained} "
+            f"drains={stats.drains} max_batch={stats.max_batch}"
+        )
+        lines.append(
+            f"flush latency        {stats.flushes} flushes "
+            f"(sync={stats.sync_flushes} inline={stats.inline_flushes}), "
+            f"last={stats.last_flush_seconds * 1e6:.1f}us "
+            f"total={stats.flush_seconds * 1e3:.2f}ms"
+        )
     return "\n".join(lines)

@@ -80,7 +80,12 @@ def coverage_report(
     runtime: TeslaRuntime,
     assertions: Optional[Sequence[TemporalAssertion]] = None,
 ) -> CoverageReport:
-    """Collect per-assertion coverage from the runtime's store counters."""
+    """Collect per-assertion coverage from the runtime's store counters.
+
+    A synchronization point: a deferred runtime is flushed first so the
+    counters include everything captured before the read.
+    """
+    runtime.flush_deferred()
     tags_by_name: Dict[str, Tuple[str, ...]] = {}
     if assertions is not None:
         tags_by_name = {a.name: a.tags for a in assertions}

@@ -55,6 +55,10 @@ class HealthReport:
     degraded: bool = False
     #: Fault-injector accounting when armed (seed, checks, fired per site).
     injector: Optional[dict] = None
+    #: Deferred-pipeline accounting when the runtime defers (queue depth,
+    #: drains, flush counts/latency, events lost to contained faults);
+    #: ``None`` for synchronous runtimes.
+    deferred: Optional[dict] = None
 
     @property
     def total_faults(self) -> int:
@@ -66,7 +70,16 @@ def health_report(runtime) -> HealthReport:
 
     Duck-typed like :func:`~repro.introspect.aggregate.dispatch_stats`:
     anything with a ``supervisor`` (and optionally a ``hub``) works.
+
+    Reading health is a synchronization point (DESIGN §5.4): a deferred
+    runtime is flushed first, so the snapshot never describes a store
+    that lags capture — and an error parked by the background drainer
+    surfaces here rather than going stale.
     """
+    flush = getattr(runtime, "flush_deferred", None)
+    if flush is not None:
+        flush()
+    drain = getattr(runtime, "drain", None)
     supervisor = runtime.supervisor
     hub = getattr(runtime, "hub", None)
     handler_faults = supervisor.handler_faults
@@ -89,6 +102,7 @@ def health_report(runtime) -> HealthReport:
         shed=tuple(sorted(supervisor.shed_classes)),
         degraded=supervisor.degraded,
         injector=None if injector is None else injector.stats(),
+        deferred=None if drain is None else drain.stats(),
     )
 
 
@@ -139,6 +153,17 @@ def format_health(report: HealthReport) -> str:
         )
         for site, fired in sorted(inj.get("fired", {}).items()):
             lines.append(f"    {site:<30} {fired:>7}")
+    if report.deferred is not None:
+        d = report.deferred
+        lines.append(
+            f"  deferred: depth={d.get('queue_depth')} "
+            f"enqueued={d.get('events_enqueued')} "
+            f"drained={d.get('events_drained')} "
+            f"lost={d.get('events_lost_to_faults')} "
+            f"flushes={d.get('flushes')} "
+            f"(sync={d.get('sync_flushes')} inline={d.get('inline_flushes')}) "
+            f"last_flush={d.get('last_flush_seconds', 0.0) * 1e6:.1f}us"
+        )
     if report.last_faults:
         lines.append("  recent faults:")
         for fault in report.last_faults[-8:]:

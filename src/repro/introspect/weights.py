@@ -76,7 +76,12 @@ def _merge_counts(runtimes: List[ClassRuntime]) -> Dict[Transition, int]:
 
 def weighted_graph(runtime: TeslaRuntime, automaton_name: str) -> WeightedGraph:
     """Build the figure-9 weighted graph for one installed automaton,
-    merging transition counters across every store context."""
+    merging transition counters across every store context.
+
+    A synchronization point: a deferred runtime is flushed first so the
+    weights include everything captured before the read.
+    """
+    runtime.flush_deferred()
     automaton = runtime.automata[automaton_name]
     counts = _merge_counts(runtime.all_class_runtimes(automaton_name))
     graph = WeightedGraph(

@@ -4,8 +4,15 @@ Accepts streams of concrete program events and uses them to manage automata
 instances (create, clone, update, finalise), with global and per-thread
 stores, bounded preallocated instance pools, the lazy-initialisation
 optimisation of section 5.2.2, and a pluggable notification framework.
+
+Ingestion runs in one of two modes: synchronous (the paper's semantics —
+an event is fully evaluated before the instrumented call returns) or
+*deferred* (DESIGN §5.4 — capture into per-thread ring buffers via
+:mod:`.ringbuf`, evaluation in seqno-merged batches via :mod:`.drain`,
+with flushes at synchronization points keeping verdicts exact).
 """
 
+from .drain import DRAINER_THREAD_NAME, OVERFLOW_POLICIES, DrainController
 from .faultinject import (
     FaultInjector,
     InjectedFault,
@@ -35,6 +42,7 @@ from .perobject import (
     instrument_object_assertion,
 )
 from .prealloc import DEFAULT_CAPACITY, InstancePool
+from .ringbuf import DEFAULT_RING_CAPACITY, EventRing, SeqnoSource
 from .store import (
     ClassRuntime,
     GlobalShard,
@@ -60,6 +68,12 @@ from .supervisor import (
 from .update import handle_cleanup, handle_init, lazy_join_bound, tesla_update_state
 
 __all__ = [
+    "DRAINER_THREAD_NAME",
+    "OVERFLOW_POLICIES",
+    "DrainController",
+    "DEFAULT_RING_CAPACITY",
+    "EventRing",
+    "SeqnoSource",
     "FaultInjector",
     "InjectedFault",
     "active_injector",

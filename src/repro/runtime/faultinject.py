@@ -6,7 +6,9 @@ allocator hiccup — never escapes into application frames under a fail-open
 policy.  A promise like that is only worth what its tests can exercise, so
 this module plants named **fault points** at every internal boundary the
 supervisor guards: store updates, plan compilation, instance allocation,
-hook dispatch and notification fan-out.
+hook dispatch, notification fan-out and the deferred pipeline's capture /
+merge / flush stages (``drain.enqueue`` / ``drain.merge`` /
+``drain.flush`` — see :mod:`repro.runtime.drain`).
 
 A fault point is free when disarmed: the call sites guard with
 ``if _active is not None`` (one module-attribute load and an identity

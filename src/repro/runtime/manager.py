@@ -42,9 +42,11 @@ from ..core.automaton import Automaton, TransitionKind
 from ..core.events import EventKind, RuntimeEvent
 from ..core.translate import translate_all
 from ..errors import ContextError, TemporalAssertionError
+from .drain import DrainController
 from .epoch import interest_epoch
 from .notify import ErrorPolicy, NotificationHub
 from .prealloc import DEFAULT_CAPACITY
+from .ringbuf import DEFAULT_RING_CAPACITY
 from .supervisor import FailurePolicy, Supervisor
 from .store import (
     BoundId,
@@ -168,7 +170,16 @@ class TeslaRuntime:
         shards: Optional[int] = None,
         compile: bool = True,
         failure_policy: Optional[FailurePolicy] = None,
+        deferred: object = False,
+        overflow_policy: str = "flush",
+        ring_capacity: int = DEFAULT_RING_CAPACITY,
+        drain_interval: float = 0.002,
     ) -> None:
+        if deferred not in (False, True, "manual"):
+            raise ValueError(
+                "deferred must be False (synchronous), True (background "
+                f"drainer) or 'manual' (explicit drain), got {deferred!r}"
+            )
         self.lazy = lazy
         #: Whether dispatch uses compiled per-(class, key) transition plans
         #: (the §5.2-style fast path) or the interpreted engine.  Both
@@ -204,6 +215,36 @@ class TeslaRuntime:
         self._thread_trackers = threading.local()
         #: Event counter, for the benchmarks' sanity reporting.
         self.events_processed = 0
+        #: Deferred pipeline (DESIGN §5.4).  ``deferred=False`` keeps the
+        #: paper's synchronous hot path; ``True`` captures events into
+        #: per-thread rings drained by a background thread; ``"manual"``
+        #: defers with no thread (tests drive ``drain()``/``flush``
+        #: explicitly for deterministic schedules).
+        self.deferred = deferred
+        self.drain: Optional[DrainController] = (
+            DrainController(
+                self,
+                ring_capacity=ring_capacity,
+                overflow_policy=overflow_policy,
+                background=(deferred is True),
+                drain_interval=drain_interval,
+            )
+            if deferred
+            else None
+        )
+        #: Dispatch keys whose events may themselves produce a verdict —
+        #: bound entry/exit, assertion sites, and any event a ``strict``
+        #: automaton references.  In deferred mode these are the
+        #: synchronization points: capturing one forces a flush so
+        #: violations are raised exactly where synchronous dispatch would
+        #: raise them.
+        self._sync_keys: frozenset = frozenset()
+        #: Keys observed by a thread-local (perthread) automaton.  Their
+        #: local share is always evaluated inline on the capturing thread
+        #: — a per-thread automaton's serialisation *is* that thread, and
+        #: its state lives in the capturing thread's store, which a drain
+        #: running on another thread could never reach.
+        self._local_keys: frozenset = frozenset()
         _live_runtimes.add(self)
 
     @property
@@ -265,7 +306,31 @@ class TeslaRuntime:
         # interest epoch bump invalidates every hook-point interest cache
         # and per-class transition-plan cache in the process.
         self._key_plans.clear()
+        self._rebuild_deferred_keys()
         interest_epoch.bump()
+
+    def _rebuild_deferred_keys(self) -> None:
+        """Recompute the sync-point and thread-local key sets (see
+        ``_sync_keys``/``_local_keys``) from every installed automaton."""
+        sync = set()
+        local = set()
+        for name, automaton in self.automata.items():
+            keys = _dispatch_keys_of(automaton)
+            sync |= keys["init"]
+            sync |= keys["cleanup"]
+            for key in keys["body"]:
+                if key[0] is EventKind.ASSERTION_SITE:
+                    sync.add(key)
+            if automaton.strict:
+                # A strict automaton can raise on any referenced body
+                # event it cannot consume, so each is a sync point.
+                sync |= keys["body"]
+            if self.contexts[name] is not Context.GLOBAL:
+                local |= keys["init"]
+                local |= keys["cleanup"]
+                local |= keys["body"]
+        self._sync_keys = frozenset(sync)
+        self._local_keys = frozenset(local)
 
     # -- store access ------------------------------------------------------------
 
@@ -362,7 +427,21 @@ class TeslaRuntime:
     # -- dispatch ---------------------------------------------------------------
 
     def handle_event(self, event: RuntimeEvent) -> None:
-        """Route one concrete event to every automaton that observes it."""
+        """Route one concrete event to every automaton that observes it.
+
+        In deferred mode this is the *capture* path: the event is stamped
+        and appended to the calling thread's ring (thread-local automata
+        are still evaluated inline — see ``_local_keys``), and only a
+        synchronization-point key forces evaluation before returning.
+        """
+        if self.drain is not None:
+            key = (event.kind, event.name)
+            if key in self._local_keys:
+                self._dispatch_local(event, key)
+            self.drain.enqueue(event)
+            if key in self._sync_keys:
+                self.drain.flush(sync=True)
+            return
         self.events_processed += 1
         self.supervisor.begin_dispatch()
         key = (event.kind, event.name)
@@ -376,7 +455,23 @@ class TeslaRuntime:
             self._run_plan(plan.local, self.thread_stores.current(),
                            self._thread_tracker(), event, plan.initiated, key)
 
-    def dispatch_batch(self, events: Iterable[RuntimeEvent]) -> int:
+    def _dispatch_local(self, event: RuntimeEvent, key: DispatchKey) -> None:
+        """Evaluate one event's thread-local share inline (deferred mode).
+
+        Per-thread automata never ride the rings: their state lives in the
+        capturing thread's store and their event order *is* that thread's
+        program order, so inline evaluation is both required and already
+        verdict-exact.  The drain side skips local work
+        (``include_local=False``) so nothing runs twice.
+        """
+        plan = self._plan_for(key)
+        if plan.local is not None:
+            self._run_plan(plan.local, self.thread_stores.current(),
+                           self._thread_tracker(), event, plan.initiated, key)
+
+    def dispatch_batch(
+        self, events: Iterable[RuntimeEvent], include_local: bool = True
+    ) -> int:
         """Batched event ingestion: each shard lock is taken once.
 
         Events are grouped by the shards they affect; each shard then
@@ -393,7 +488,15 @@ class TeslaRuntime:
         remaining events are not processed, exactly as if the same events
         had been dispatched one at a time.  Returns the number of events
         ingested.
+
+        ``include_local=False`` is the drain pass calling: thread-local
+        work was already evaluated inline at capture time on the owning
+        thread, so only the shard (global-context) share runs here.  An
+        external caller in deferred mode first flushes the rings so the
+        explicit batch cannot overtake events captured before it.
         """
+        if self.drain is not None and include_local:
+            self.drain.flush()
         events = list(events)
         self.events_processed += len(events)
         self.supervisor.advance(len(events))
@@ -410,7 +513,7 @@ class TeslaRuntime:
                 per_shard.setdefault(index, []).append(
                     (work, event, plan.initiated, key)
                 )
-            if plan.local is not None:
+            if include_local and plan.local is not None:
                 local_work.append((plan.local, event, plan.initiated, key))
         for index in sorted(per_shard):
             shard = self.global_store.shards[index]
@@ -521,8 +624,37 @@ class TeslaRuntime:
 
     # -- maintenance --------------------------------------------------------------
 
+    def flush_deferred(self) -> None:
+        """Evaluate everything captured so far (no-op when synchronous).
+
+        Introspection readers (``health_report``/``coverage_report``/…)
+        call this so reads never observe a store that lags capture.
+        """
+        if self.drain is not None:
+            self.drain.flush()
+
+    def discard_deferred(self) -> int:
+        """Drop captured-but-unevaluated events (teardown after an
+        application failure).  Returns how many were dropped."""
+        if self.drain is not None:
+            return self.drain.discard_pending()
+        return 0
+
+    def deferred_queue_depth(self) -> int:
+        if self.drain is not None:
+            return self.drain.queue_depth()
+        return 0
+
     def reset(self) -> None:
-        """Expunge all instances and close all bounds (e.g. between runs)."""
+        """Expunge all instances and close all bounds (e.g. between runs).
+
+        In deferred mode the background drainer is stopped and pending
+        captures discarded *first*, so nothing can repopulate the stores
+        mid-reset; the ring objects themselves survive (threads may hold
+        references) but come back empty with zeroed accounting.
+        """
+        if self.drain is not None:
+            self.drain.reset()
         self.global_store.reset()
         self.thread_stores.reset()
         self._thread_trackers = threading.local()

@@ -38,6 +38,10 @@ def monitoring(
     compile: Optional[bool] = None,
     failure_policy: Optional[FailurePolicy] = None,
     shards: Optional[int] = None,
+    deferred: object = False,
+    overflow_policy: Optional[str] = None,
+    ring_capacity: Optional[int] = None,
+    drain_interval: Optional[float] = None,
 ) -> Iterator[TeslaRuntime]:
     """Instrument ``assertions`` for the duration of the ``with`` block.
 
@@ -54,6 +58,21 @@ def monitoring(
     fail-open, callback, or quarantine — see
     :mod:`repro.runtime.supervisor`); ``shards`` sets the global store's
     lock-stripe count.
+
+    ``deferred`` moves evaluation off the instrumented threads (DESIGN
+    §5.4): ``True`` captures events into per-thread ring buffers drained
+    by a background thread, ``"manual"`` defers with explicit
+    ``runtime.drain.drain()``/``flush_deferred()`` calls (deterministic,
+    for tests).  ``overflow_policy`` picks the ring-full backpressure:
+    ``"flush"`` (inline flush by the producer, the default) or
+    ``"block"`` (park the producer for the background drainer);
+    ``ring_capacity`` sizes each thread's preallocated ring and
+    ``drain_interval`` the background drainer's poll period.  On clean
+    exit the block flushes pending events first, so deferred verdicts —
+    including a fail-stop :class:`~repro.errors.TemporalAssertionError` —
+    are delivered no later than the ``with`` block's exit; if the block
+    body itself raised, pending events are discarded instead so the
+    application's error is never masked by a monitor verdict.
     """
     kwargs = {"lazy": lazy, "policy": policy}
     if capacity is not None:
@@ -64,6 +83,14 @@ def monitoring(
         kwargs["failure_policy"] = failure_policy
     if shards is not None:
         kwargs["shards"] = shards
+    if deferred:
+        kwargs["deferred"] = deferred
+    if overflow_policy is not None:
+        kwargs["overflow_policy"] = overflow_policy
+    if ring_capacity is not None:
+        kwargs["ring_capacity"] = ring_capacity
+    if drain_interval is not None:
+        kwargs["drain_interval"] = drain_interval
     runtime = TeslaRuntime(**kwargs)
     session = Instrumenter(
         runtime,
@@ -73,5 +100,23 @@ def monitoring(
     session.instrument(assertions)
     try:
         yield runtime
+    except BaseException:
+        # The block body (or a flush inside it) raised: drop pending
+        # captures so teardown evaluation cannot mask the original error,
+        # then stop the drainer before uninstrumenting.
+        if runtime.drain is not None:
+            runtime.drain.stop()
+            runtime.discard_deferred()
+        raise
+    else:
+        # Clean exit is a synchronization point: evaluate everything the
+        # block captured.  A deferred fail-stop violation (or an error
+        # parked by the background drainer) surfaces here, exactly at the
+        # block boundary.
+        if runtime.drain is not None:
+            try:
+                runtime.flush_deferred()
+            finally:
+                runtime.drain.stop()
     finally:
         session.uninstrument()

@@ -8,6 +8,8 @@ state, the cursor stack).  Every test runs against a clean slate.
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.gui.cursor import NSCursor
@@ -17,9 +19,21 @@ from repro.instrument.interpose import interposition_table
 from repro.kernel.bugs import bugs
 from repro.kernel.mac.framework import mac_framework
 from repro.kernel.procfs import procfs_unmount
+from repro.runtime.drain import DRAINER_THREAD_NAME
 from repro.runtime.epoch import interest_stats
 from repro.runtime.faultinject import disarm
-from repro.runtime.manager import TeslaRuntime, reset_all_runtimes
+from repro.runtime.manager import (
+    TeslaRuntime,
+    live_runtimes,
+    reset_all_runtimes,
+)
+
+
+def _drainer_threads():
+    return [
+        t for t in threading.enumerate()
+        if t.name == DRAINER_THREAD_NAME and t.is_alive()
+    ]
 
 
 @pytest.fixture(autouse=True)
@@ -35,6 +49,18 @@ def clean_global_state():
         "interposition table not empty at test start — a previous test "
         "leaked wildcard hooks"
     )
+    assert not _drainer_threads(), (
+        "a previous test leaked a live tesla-drainer thread — deferred "
+        "runtimes must be stopped (monitoring() exit, runtime.reset() or "
+        "runtime.drain.stop()) before the test ends"
+    )
+    for stale in live_runtimes():
+        if stale.drain is not None:
+            assert stale.drain.queue_depth() == 0, (
+                "a previous test leaked captured-but-unevaluated events "
+                f"({stale.drain.queue_depth()} pending) in a deferred "
+                "runtime's rings"
+            )
     yield
     hook_registry.detach_all()
     site_registry.detach_all()

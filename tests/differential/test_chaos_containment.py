@@ -9,15 +9,24 @@ never correctness.  This module is that experiment:
 * a small deterministic application built on real instrumentation hooks
   (:func:`instrumentable` bounds/checks plus :func:`tesla_site` sites);
 * a baseline pass with no monitoring and no injection;
-* monitored passes across the naive / sharded / compiled runtime
-  configurations with a seeded :class:`FaultInjector` armed — per-site at
-  rate 1.0 for boundary coverage, then a combined ~10k-event trace;
+* monitored passes across the naive / sharded / compiled / deferred
+  runtime configurations with a seeded :class:`FaultInjector` armed —
+  per-site at rate 1.0 for boundary coverage, then a combined ~10k-event
+  trace;
 * byte-identical application results, zero escaped exceptions, and
   ``injected == recorded`` accounting through :func:`health_report`,
   every time — including under 8 application threads.
 
 Quarantine determinism rides along: the tick at which a noisy class is
 shed is a pure function of (seed, trace), replayed twice to prove it.
+
+The deferred pipeline adds its own boundaries (``drain.enqueue`` /
+``drain.merge`` / ``drain.flush``): a fault at capture is contained at
+the hook layer before the application sees it, a fault mid-merge loses
+at most that batch (counted in ``events_lost_to_faults``, never an
+exception), and a fault at flush abandons the flush but leaves the
+captured events in their rings.  :class:`TestDeferredChaos` proves that
+accounting is a pure function of the injection seed.
 """
 
 from __future__ import annotations
@@ -133,11 +142,14 @@ CONFIGS = [
     ("naive", dict(lazy=False, shards=1, compile=False)),
     ("sharded", dict(lazy=True, shards=5, compile=False)),
     ("compiled", dict(lazy=True, shards=5, compile=True)),
+    ("deferred", dict(lazy=True, shards=5, compile=True, deferred="manual")),
+    ("deferred-bg", dict(lazy=True, shards=5, compile=True, deferred=True)),
 ]
 
 #: Fault sites this application's event flow can visit, per configuration
-#: family.  Sites owned by uninvoked layers (fields / caller-side /
-#: interposition) have dedicated boundary tests below.
+#: family (the ``drain.*`` boundaries only exist in the deferred
+#: configurations).  Sites owned by uninvoked layers (fields /
+#: caller-side / interposition) have dedicated boundary tests below.
 REACHABLE_SITES = {
     "hooks.dispatch",
     "hooks.site",
@@ -149,6 +161,9 @@ REACHABLE_SITES = {
     "update.cleanup",
     "store.plan_for",
     "plans.build",
+    "drain.enqueue",
+    "drain.merge",
+    "drain.flush",
 }
 
 
@@ -163,7 +178,11 @@ def monitored_run(ops, config_kwargs, failure_policy, with_handler=True):
             # A real handler on the hub so ``notify.handler`` is reachable.
             runtime.hub.add_handler(CollectingHandler())
         result = run_app(ops)
-        report = health_report(runtime)
+    # Snapshot *after* teardown: a deferred runtime's exit flush can fire
+    # (and contain) further drain faults, and the accounting assertions
+    # need those inside the report.  Reading health re-flushes, so even a
+    # flush abandoned by a contained fault at teardown is retried here.
+    report = health_report(runtime)
     return result, report
 
 
@@ -313,6 +332,95 @@ class TestThreadedChaos:
         assert [results[i] for i in range(n_threads)] == baselines
         assert report.propagated == 0
         assert report.injected_recorded == injector.total_fired
+
+
+class TestDeferredChaos:
+    """Faults inside the deferred pipeline itself: contained, loss-bounded
+    and — because both the PRNG and the manual drain schedule are
+    deterministic — reproducible from the seed alone."""
+
+    DRAIN_SITES = ["drain.enqueue", "drain.merge", "drain.flush"]
+
+    def test_drain_fault_accounting_is_seed_deterministic(self):
+        ops = make_ops(seed=606, count=2000)
+        baseline = run_app(ops)
+
+        def accounting(inject_seed):
+            with injection(
+                seed=inject_seed, rate=0.2, only=self.DRAIN_SITES
+            ) as injector:
+                with monitoring(
+                    chaos_assertions(),
+                    policy=LogAndContinue(),
+                    failure_policy=FailOpen(),
+                    lazy=True,
+                    shards=5,
+                    deferred="manual",
+                ) as runtime:
+                    result = run_app(ops)
+                report = health_report(runtime)
+            stats = runtime.drain.stats()
+            return (
+                result,
+                dict(report.stage_counts),
+                dict(injector.fired),
+                stats["events_lost_to_faults"],
+                report.propagated,
+            )
+
+        first = accounting(909 + CHAOS_SEED)
+        second = accounting(909 + CHAOS_SEED)
+        assert first == second, "drain-fault accounting is not seed-pure"
+        result, stages, fired, lost, propagated = first
+        assert result == baseline
+        assert propagated == 0
+        assert sum(fired.values()) > 0, "no drain faults ever fired"
+        # A lost merge batch is bounded loss, never an exception; the
+        # counter is part of the deterministic replay.
+        assert lost >= 0
+        assert set(fired) <= set(self.DRAIN_SITES)
+
+    def test_eight_threads_deferred_background_fail_open(self):
+        n_threads = 8
+        per_thread_ops = [
+            make_ops(seed=700 + index, count=300) for index in range(n_threads)
+        ]
+        baselines = [run_app(ops) for ops in per_thread_ops]
+        results: Dict[int, int] = {}
+        errors: List[BaseException] = []
+
+        def worker(index: int) -> None:
+            try:
+                results[index] = run_app(per_thread_ops[index])
+            except BaseException as exc:  # noqa: BLE001 - the assertion
+                errors.append(exc)
+
+        with injection(seed=88 + CHAOS_SEED, rate=0.05) as injector:
+            with monitoring(
+                chaos_assertions(),
+                policy=LogAndContinue(),
+                failure_policy=FailOpen(),
+                lazy=True,
+                shards=5,
+                compile=True,
+                deferred=True,
+            ) as runtime:
+                threads = [
+                    threading.Thread(target=worker, args=(index,))
+                    for index in range(n_threads)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+            report = health_report(runtime)
+        assert not errors, f"exceptions escaped the hook boundary: {errors!r}"
+        assert [results[i] for i in range(n_threads)] == baselines
+        assert report.propagated == 0
+        assert report.injected_recorded == injector.total_fired
+        assert report.deferred is not None
+        assert report.deferred["queue_depth"] == 0
+        assert not runtime.drain.drainer_alive
 
 
 class TestUninvokedBoundaries:

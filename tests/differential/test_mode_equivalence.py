@@ -23,10 +23,21 @@ semantics ("an event cannot complete until its instrumentation hook has
 finished running") say these are pure functions of the per-class event
 order, which every configuration claims to preserve — this harness is the
 check that the claim survives lock striping and batching.
+
+Two deferred-pipeline configurations ride the same sweep (**deferred**:
+per-thread ring capture with explicit drains; **deferred-compiled-
+sharded**: the same over the striped store with compiled plans), and a
+*replay oracle* extends the check to real concurrency: randomized
+8-thread traces are captured through the rings, the merged (seqno-sorted)
+dispatch sequence is recorded, and that exact sequence is replayed
+through the naive synchronous interpreter — the deferred verdicts must
+equal the reference's, proving deferral changed *when* evaluation ran but
+not *what* it computed.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Tuple
 
 import pytest
@@ -94,10 +105,11 @@ def _automaton_for(index: int, bound: int, context: str):
 
 def build_runtime(
     specs: Tuple[ClassSpec, ...], lazy: bool, shards: int,
-    compile: bool = False,
+    compile: bool = False, deferred: object = False,
 ):
     runtime = TeslaRuntime(
-        lazy=lazy, shards=shards, policy=LogAndContinue(), compile=compile
+        lazy=lazy, shards=shards, policy=LogAndContinue(), compile=compile,
+        deferred=deferred,
     )
     for index, (bound, context) in enumerate(specs):
         automaton, ast_context = _automaton_for(index, bound, context)
@@ -105,7 +117,7 @@ def build_runtime(
     return runtime
 
 
-def events_of(ops: List[Op]) -> List[RuntimeEvent]:
+def events_of(ops: List[Op], close: bool = True) -> List[RuntimeEvent]:
     events: List[RuntimeEvent] = []
     for op in ops:
         if op[0] == "init":
@@ -125,8 +137,11 @@ def events_of(ops: List[Op]) -> List[RuntimeEvent]:
     # Drain: close every bound so all configurations reach the same
     # quiescent state (lazy mode defers pool work to bound boundaries, so
     # only quiescent states are comparable instance-by-instance).
-    for bound in range(N_BOUNDS):
-        events.append(return_event(f"diff_bound{bound}", (), 0))
+    # ``close=False`` skips this for per-thread slices of a multi-thread
+    # trace, whose bounds are closed once after all threads join.
+    if close:
+        for bound in range(N_BOUNDS):
+            events.append(return_event(f"diff_bound{bound}", (), 0))
     return events
 
 
@@ -180,6 +195,10 @@ CONFIGS = [
     ("batched", dict(lazy=True, shards=5, compile=False)),
     ("compiled", dict(lazy=True, shards=5, compile=True)),
     ("compiled-naive", dict(lazy=False, shards=1, compile=True)),
+    ("deferred", dict(lazy=True, shards=1, compile=False,
+                      deferred="manual")),
+    ("deferred-compiled-sharded", dict(lazy=True, shards=5, compile=True,
+                                       deferred="manual")),
 ]
 
 
@@ -193,6 +212,10 @@ def replay(name: str, runtime: TeslaRuntime, events: List[RuntimeEvent]):
     else:
         for event in events:
             runtime.handle_event(event)
+        if runtime.drain is not None:
+            # Deferred capture: evaluate whatever the trace's sync points
+            # didn't already force before reading verdicts.
+            runtime.flush_deferred()
 
 
 @settings(
@@ -271,3 +294,146 @@ def test_known_interleaving_regression():
     assert (accepts0, errors0) == (1, 0)
     assert verdicts["naive"][1][1] == 1  # class 1's site had no check
     assert verdicts["naive"][2][:2] == (1, 0)
+
+
+# -- the replay oracle: real concurrency vs the naive interpreter --------------
+
+#: Deferred flavours the multi-thread oracle sweeps: deterministic manual
+#: drains, the compiled+sharded fast path, and the background drainer
+#: racing the producers for real.
+MT_DEFERRED_CONFIGS = [
+    ("mt-deferred", dict(lazy=True, shards=1, compile=False,
+                         deferred="manual")),
+    ("mt-deferred-compiled-sharded", dict(lazy=True, shards=5, compile=True,
+                                          deferred="manual")),
+    ("mt-deferred-background", dict(lazy=True, shards=5, compile=True,
+                                    deferred=True)),
+]
+
+N_THREADS = 8
+
+
+@st.composite
+def mt_scenarios(draw):
+    """Global-context classes only: per-thread contexts never ride the
+    rings (they are evaluated inline on the capturing thread), so the
+    merged-sequence oracle is defined for global automata."""
+    n_classes = draw(st.integers(min_value=2, max_value=4))
+    specs = tuple(
+        (draw(st.integers(0, N_BOUNDS - 1)), "global")
+        for _ in range(n_classes)
+    )
+    op = st.one_of(
+        st.tuples(st.just("init"), st.integers(0, N_BOUNDS - 1)),
+        st.tuples(st.just("cleanup"), st.integers(0, N_BOUNDS - 1)),
+        st.tuples(
+            st.just("check"),
+            st.integers(0, n_classes - 1),
+            st.integers(0, N_VALUES - 1),
+        ),
+        st.tuples(
+            st.just("site"),
+            st.integers(0, n_classes - 1),
+            st.integers(0, N_VALUES - 1),
+        ),
+    )
+    thread_ops = [
+        draw(st.lists(op, min_size=1, max_size=10))
+        for _ in range(N_THREADS)
+    ]
+    return specs, thread_ops
+
+
+def capture_concurrently(runtime: TeslaRuntime, thread_ops):
+    """Run each op slice on its own thread; returns the merged dispatch
+    log the controller recorded."""
+    log = runtime.drain.record_sequence()
+    barrier = threading.Barrier(len(thread_ops))
+
+    def worker(ops):
+        events = events_of(ops, close=False)
+        barrier.wait()
+        for event in events:
+            runtime.handle_event(event)
+
+    threads = [
+        threading.Thread(target=worker, args=(ops,)) for ops in thread_ops
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    # Quiesce from the main thread: close every bound, then evaluate
+    # everything that was still sitting in the rings.
+    for bound in range(N_BOUNDS):
+        runtime.handle_event(return_event(f"diff_bound{bound}", (), 0))
+    runtime.flush_deferred()
+    if runtime.drain.drainer_alive:
+        runtime.drain.stop()
+    return log
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(mt_scenarios())
+def test_deferred_multithread_matches_naive_replay_of_merged_trace(scenario):
+    """The oracle proper: whatever interleaving the 8 threads actually
+    produced, replaying the recorded merged sequence through the naive
+    synchronous interpreter must reproduce the deferred verdicts —
+    verdicts are a function of the merged order alone."""
+    specs, thread_ops = scenario
+    for name, kwargs in MT_DEFERRED_CONFIGS:
+        runtime = build_runtime(specs, **kwargs)
+        log = capture_concurrently(runtime, thread_ops)
+        got = verdict(runtime, len(specs))
+        stats = runtime.drain.stats()
+        assert stats["events_lost_to_faults"] == 0
+        assert stats["events_enqueued"] == stats["events_drained"], (
+            f"{name} lost or duplicated events: {stats}"
+        )
+        # The log is the merged sequence: seqno-sorted, every capture once.
+        seqnos = [seqno for seqno, _ in log]
+        assert seqnos == sorted(seqnos)
+        assert len(seqnos) == len(set(seqnos)) == stats["events_drained"]
+        reference = build_runtime(specs, lazy=False, shards=1, compile=False)
+        for _, event in log:
+            reference.handle_event(event)
+        expected = verdict(reference, len(specs))
+        assert got == expected, (
+            f"{name} diverged from naive replay of its own merged trace: "
+            f"{got} != {expected} (specs={specs})"
+        )
+        # Quiescent traces leave no live instances anywhere.
+        assert all(live == 0 for (_, _, _, live) in got)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(mt_scenarios())
+def test_deferred_multithread_violation_streams_match_replay(scenario):
+    """Stronger than counts: the violation *reason sequences* per class
+    must match the naive replay of the merged trace."""
+    specs, thread_ops = scenario
+    runtime = build_runtime(
+        specs, lazy=True, shards=5, compile=True, deferred="manual"
+    )
+    log = capture_concurrently(runtime, thread_ops)
+    reference = build_runtime(specs, lazy=False, shards=1, compile=False)
+    for _, event in log:
+        reference.handle_event(event)
+
+    def stream(rt):
+        per_class: Dict[str, List[str]] = {}
+        for violation in rt.hub.policy.violations:
+            per_class.setdefault(violation.automaton, []).append(
+                violation.reason
+            )
+        return per_class
+
+    assert stream(runtime) == stream(reference)

@@ -1,0 +1,134 @@
+"""Introspection over the deferred pipeline.
+
+Reads are synchronization points (DESIGN §5.4): ``health_report``,
+``coverage_report`` and ``weighted_graph`` flush the rings before
+snapshotting, so the counters they return never lag capture.
+``dispatch_stats`` is the deliberate exception — it samples the live
+queue depth without flushing, so operators can see the backlog itself.
+"""
+
+from repro.core.dsl import (
+    ANY,
+    call,
+    fn,
+    previously,
+    returnfrom,
+    tesla_global,
+    var,
+)
+from repro.core.events import (
+    assertion_site_event,
+    call_event,
+    return_event,
+)
+from repro.introspect.aggregate import dispatch_stats, format_dispatch_stats
+from repro.introspect.coverage import coverage_report
+from repro.introspect.health import format_health, health_report
+from repro.introspect.weights import weighted_graph
+from repro.runtime.manager import TeslaRuntime
+from repro.runtime.notify import LogAndContinue
+
+
+def intro_assertion():
+    return tesla_global(
+        call("intro_sys"),
+        returnfrom("intro_sys"),
+        previously(fn("intro_check", ANY("c"), var("v")) == 0),
+        name="intro_cls",
+    )
+
+
+def make_runtime():
+    runtime = TeslaRuntime(deferred="manual", policy=LogAndContinue())
+    runtime.install_assertion(intro_assertion())
+    return runtime
+
+
+def capture_pending_body_events(runtime, count=3):
+    runtime.handle_event(call_event("intro_sys", ()))  # sync key: flushes
+    for i in range(count):
+        runtime.handle_event(return_event("intro_check", ("c", f"v{i}"), 0))
+    assert runtime.drain.queue_depth() == count
+    return count
+
+
+class TestHealthReport:
+    def test_health_read_flushes_deferred_runtime(self):
+        runtime = make_runtime()
+        capture_pending_body_events(runtime)
+        report = health_report(runtime)
+        assert runtime.drain.queue_depth() == 0
+        assert report.deferred is not None
+        assert report.deferred["queue_depth"] == 0
+        assert report.deferred["events_enqueued"] == 4
+        assert report.deferred["events_drained"] == 4
+
+    def test_synchronous_runtime_reports_no_deferred_section(self):
+        runtime = TeslaRuntime(policy=LogAndContinue())
+        report = health_report(runtime)
+        assert report.deferred is None
+        assert "deferred:" not in format_health(report)
+
+    def test_format_health_renders_deferred_line(self):
+        runtime = make_runtime()
+        capture_pending_body_events(runtime)
+        text = format_health(health_report(runtime))
+        assert "deferred: depth=0" in text
+        assert "enqueued=4" in text
+
+
+class TestDispatchStats:
+    def test_dispatch_stats_samples_live_depth_without_flushing(self):
+        runtime = make_runtime()
+        pending = capture_pending_body_events(runtime)
+        stats = dispatch_stats(runtime)
+        assert stats.deferred
+        assert stats.queue_depth == pending
+        # The read did not flush: the backlog is still there.
+        assert runtime.drain.queue_depth() == pending
+        runtime.flush_deferred()
+        assert dispatch_stats(runtime).queue_depth == 0
+
+    def test_dispatch_stats_counts_flushes(self):
+        runtime = make_runtime()
+        capture_pending_body_events(runtime)
+        runtime.flush_deferred()
+        stats = dispatch_stats(runtime)
+        assert stats.events_enqueued == stats.events_drained == 4
+        assert stats.flushes >= 1
+        assert stats.max_batch >= 1
+
+    def test_format_includes_deferred_lines_only_when_deferred(self):
+        runtime = make_runtime()
+        capture_pending_body_events(runtime)
+        text = format_dispatch_stats(dispatch_stats(runtime))
+        assert "deferred pipeline" in text
+        assert "flush latency" in text
+        sync_text = format_dispatch_stats(
+            dispatch_stats(TeslaRuntime(policy=LogAndContinue()))
+        )
+        assert "deferred pipeline" not in sync_text
+
+
+class TestCoverageAndWeights:
+    def test_coverage_read_is_a_sync_point(self):
+        runtime = make_runtime()
+        runtime.handle_event(call_event("intro_sys", ()))
+        runtime.handle_event(return_event("intro_check", ("c", "v1"), 0))
+        runtime.handle_event(
+            assertion_site_event("intro_cls", {"v": "v1"})
+        )
+        runtime.handle_event(return_event("intro_sys", (), 0))
+        report = coverage_report(runtime)
+        assert runtime.drain.queue_depth() == 0
+        row = {a.name: a for a in report.assertions}["intro_cls"]
+        assert row.exercised
+        assert row.sites_reached == 1
+
+    def test_weighted_graph_read_is_a_sync_point(self):
+        runtime = make_runtime()
+        capture_pending_body_events(runtime)
+        graph = weighted_graph(runtime, "intro_cls")
+        assert runtime.drain.queue_depth() == 0
+        # The deferred check events became transition weight.
+        assert graph.total_weight > 0
