@@ -1,0 +1,165 @@
+"""tesla-lint cost and payoff (DESIGN §5.5).
+
+Static verification only earns its place in the build if it is cheap at
+build time and pays at run time.  This bench measures both sides:
+
+* **corpus wall-clock** — `lint_corpus()` over every in-repo suite
+  (examples, kernel, sslx, gui: the full 99-assertion corpus), reported
+  per suite and in aggregate as ms and assertions/s.  The corpus must
+  lint clean — a finding here is a regression, not a timing artefact.
+
+* **lint-clean elision delta** — the same instrumented workload driven
+  with ``lint="warn"`` (the translator proves hook arities against the
+  lint-clean manifest and drops its dynamic argument-count guards) and
+  with ``lint="off"`` (every guard retained), in µs per bound iteration.
+  Verdicts must be identical; the elided configuration must not be
+  slower beyond noise.
+
+Smoke mode (``TESLA_BENCH_SMOKE=1``, used by CI) shrinks iteration
+counts and skips the timing-ratio assertion while keeping every
+correctness assertion.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import Instrumenter, tesla_site
+from repro.bench import median_time
+from repro.core.dsl import ANY, fn, previously, tesla_within
+from repro.instrument.hooks import instrumentable
+from repro.runtime.manager import TeslaRuntime
+
+from conftest import emit
+
+SMOKE = os.environ.get("TESLA_BENCH_SMOKE") == "1"
+REPEATS = 1 if SMOKE else 5
+BOUND_CALLS = 200 if SMOKE else 20_000
+
+# -- part A: corpus lint wall-clock -------------------------------------------
+
+
+def test_corpus_lint_walltime(benchmark, results_dir):
+    from repro.analysis.lint import available_suites, lint_corpus, lint_suite
+
+    suites = available_suites()
+
+    def measure():
+        per_suite = {}
+        for suite in suites:
+            seconds = median_time(lambda s=suite: lint_suite(s), repeats=REPEATS)
+            report = lint_suite(suite)
+            per_suite[suite] = (report, seconds)
+        total_seconds = median_time(lambda: lint_corpus(), repeats=REPEATS)
+        return per_suite, lint_corpus(), total_seconds
+
+    per_suite, corpus, total_seconds = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    lines = [
+        "tesla-lint (a): corpus wall-clock",
+        "---------------------------------",
+        f"{'suite':<16}{'assertions':>11}{'ms':>9}{'arity-safe':>11}",
+    ]
+    for suite, (report, seconds) in per_suite.items():
+        lines.append(
+            f"{suite:<16}{report.assertions_checked:>11}"
+            f"{seconds * 1e3:>9.1f}{len(report.arity_safe):>11}"
+        )
+    lines.append(
+        f"{'(all)':<16}{corpus.assertions_checked:>11}"
+        f"{total_seconds * 1e3:>9.1f}{len(corpus.arity_safe):>11}"
+    )
+    lines.append(
+        f"{'throughput (assertions/s)':<34}"
+        f"{corpus.assertions_checked / total_seconds:>9.0f}"
+    )
+    emit(results_dir, "lint_corpus", "\n".join(lines))
+
+    # The corpus is the zero-false-positive contract: any finding on the
+    # in-repo suites fails the bench outright.
+    assert corpus.clean, corpus.format()
+    assert corpus.assertions_checked == sum(
+        report.assertions_checked for report, _ in per_suite.values()
+    )
+
+
+# -- part B: lint-clean arity-guard elision -----------------------------------
+
+
+@instrumentable()
+def bl_check(cred, v):
+    return 0
+
+
+@instrumentable()
+def bl_bound(v):
+    bl_check("cred", v)
+    tesla_site("bl_cls")
+    return v
+
+
+def _assertion():
+    return tesla_within(
+        "bl_bound",
+        previously(fn("bl_check", ANY("cred"), ANY("v")) == 0),
+        name="bl_cls",
+    )
+
+
+def _timed_run(lint_mode):
+    runtime = TeslaRuntime(lint=lint_mode)
+    instrumenter = Instrumenter(runtime)
+    instrumenter.instrument([_assertion()])
+
+    def workload():
+        for _ in range(BOUND_CALLS):
+            bl_bound("x")
+
+    try:
+        seconds = median_time(workload, repeats=REPEATS)
+    finally:
+        instrumenter.uninstrument()
+    accepts = runtime.class_runtime("bl_cls").accepts
+    return seconds, instrumenter.translator.arity_elided, accepts
+
+
+def test_lint_clean_elision_delta(benchmark, results_dir):
+    def measure():
+        full_s, full_elided, full_accepts = _timed_run("off")
+        lean_s, lean_elided, lean_accepts = _timed_run("warn")
+        return full_s, full_elided, full_accepts, lean_s, lean_elided, lean_accepts
+
+    (
+        full_s,
+        full_elided,
+        full_accepts,
+        lean_s,
+        lean_elided,
+        lean_accepts,
+    ) = benchmark.pedantic(measure, rounds=1, iterations=1)
+    full_us = full_s * 1e6 / BOUND_CALLS
+    lean_us = lean_s * 1e6 / BOUND_CALLS
+    lines = [
+        "tesla-lint (b): lint-clean arity-guard elision",
+        "----------------------------------------------",
+        f"({BOUND_CALLS} bound iterations, 1 check + 1 site each)",
+        f"{'configuration':<28}{'us/iter':>9}{'guards elided':>15}",
+        f"{'dynamic checks (lint off)':<28}{full_us:>9.3f}{full_elided:>15d}",
+        f"{'elided (lint-clean)':<28}{lean_us:>9.3f}{lean_elided:>15d}",
+        f"{'delta (us/iter)':<28}{full_us - lean_us:>9.3f}",
+    ]
+    emit(results_dir, "lint_elision", "\n".join(lines))
+
+    # Correctness before speed: identical verdicts, and the handoff
+    # actually happened — guards elided only under a lint-clean report.
+    assert full_accepts == lean_accepts
+    # Each timed run is warmup + REPEATS measurements; every bound
+    # iteration must have accepted.
+    assert full_accepts == BOUND_CALLS * (REPEATS + 1)
+    assert full_elided == 0
+    assert lean_elided > 0
+    if not SMOKE:
+        # The elided configuration drops work; it must not be slower
+        # beyond measurement noise.
+        assert lean_us <= full_us * 1.10, (lean_us, full_us)

@@ -1,5 +1,30 @@
-"""Static analysis extensions (the paper's section 7 future work)."""
+"""Static analysis: elision (section 7 future work) and tesla-lint.
 
+Two tools share this package.  The must-check elision analysis
+(:mod:`repro.analysis.static`) removes instrumentation that a dominating
+check makes redundant; the tesla-lint verifier (:mod:`repro.analysis.lint`
+and friends) proves assertions sane *before* instrumentation, reporting
+stable ``TESLA0xx`` diagnostics (DESIGN §5.5).
+"""
+
+from .diagnostics import (
+    CODES,
+    SCHEMA_VERSION,
+    Diagnostic,
+    LintReport,
+    Severity,
+    diagnostic,
+)
+from .lint import (
+    available_suites,
+    lint_assertions,
+    lint_automata,
+    lint_corpus,
+    lint_suite,
+    load_suite,
+)
+from .machine import MACHINE_PASSES, lint_automaton
+from .program import ProgramModel, fixed_arity, lint_program, signature_arity
 from .static import (
     ElisionReport,
     MustCheckAnalysis,
@@ -10,10 +35,28 @@ from .static import (
 )
 
 __all__ = [
+    "CODES",
+    "SCHEMA_VERSION",
+    "Diagnostic",
     "ElisionReport",
+    "LintReport",
+    "MACHINE_PASSES",
     "MustCheckAnalysis",
+    "ProgramModel",
+    "Severity",
     "StaticModel",
     "apply_static_elision",
+    "available_suites",
+    "diagnostic",
+    "fixed_arity",
+    "lint_assertions",
+    "lint_automata",
+    "lint_automaton",
+    "lint_corpus",
+    "lint_program",
+    "lint_suite",
+    "load_suite",
     "must_check_before_site",
     "never_satisfiable",
+    "signature_arity",
 ]

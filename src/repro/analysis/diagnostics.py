@@ -1,0 +1,232 @@
+"""Diagnostic codes and reports for the tesla-lint static verifier.
+
+The paper's analyser "rejects assertions that cannot be implemented"
+before any hook is woven (section 3.1); a Clang-based tool reports such
+rejections as stable, numbered diagnostics.  This module is the Python
+reproduction's diagnostic vocabulary: every lint pass emits
+:class:`Diagnostic` values tagged with a stable ``TESLA0xx`` code, and a
+whole lint run is summarised by a :class:`LintReport` whose JSON shape is
+a schema-versioned contract (``tests/unit/test_cli.py`` pins it).
+
+The code table is append-only: codes are never renumbered or reused, so
+CI configuration (``--fail-on``, per-code suppressions in user tooling)
+stays valid across releases.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+#: JSON schema version for :meth:`LintReport.to_json`.  Bump only on
+#: incompatible shape changes; adding codes does not bump it.
+SCHEMA_VERSION = 1
+
+
+class Severity(enum.Enum):
+    """How bad a finding is: ``error`` findings gate instrumentation."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        """Numeric ordering: info < warning < error."""
+        return _SEVERITY_RANK[self]
+
+
+_SEVERITY_RANK = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
+
+#: The stable diagnostic-code table: code -> (default severity, title).
+#: Machine-layer codes (001-006) come from automaton structure; program
+#: codes (007-010) from AST/inspect cross-checks; batch codes (011-012)
+#: from translation itself.
+CODES: Dict[str, Tuple[Severity, str]] = {
+    "TESLA001": (Severity.WARNING, "unreachable state"),
+    "TESLA002": (Severity.WARNING, "dead transition"),
+    "TESLA003": (Severity.ERROR, "unsatisfiable assertion"),
+    "TESLA004": (Severity.WARNING, "vacuous assertion"),
+    "TESLA005": (Severity.ERROR, "conflicting modifiers"),
+    "TESLA006": (Severity.ERROR, "assertion site unreachable"),
+    "TESLA007": (Severity.ERROR, "unknown function"),
+    "TESLA008": (Severity.ERROR, "signature mismatch"),
+    "TESLA009": (Severity.ERROR, "unknown field"),
+    "TESLA010": (Severity.WARNING, "event can never fire"),
+    "TESLA011": (Severity.ERROR, "duplicate assertion name"),
+    "TESLA012": (Severity.ERROR, "untranslatable assertion"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding, attributed to one assertion.
+
+    ``location`` carries the assertion's declared source location when it
+    has one; ``detail`` carries pass-specific extras (the offending state
+    numbers, the real signature, the expression repr) kept out of the
+    one-line message.
+    """
+
+    code: str
+    severity: Severity
+    assertion: str
+    message: str
+    location: str = ""
+    detail: str = ""
+
+    @property
+    def title(self) -> str:
+        """The code table's short title for this diagnostic's code."""
+        return CODES[self.code][1]
+
+    def format(self) -> str:
+        """One fixed-shape text line: ``CODE severity assertion: message``."""
+        where = f" (at {self.location})" if self.location else ""
+        extra = f" [{self.detail}]" if self.detail else ""
+        return (
+            f"{self.code} {self.severity.value:<7} "
+            f"{self.assertion}: {self.message}{where}{extra}"
+        )
+
+    def to_json(self) -> Dict[str, str]:
+        """The stable per-finding JSON shape."""
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "assertion": self.assertion,
+            "message": self.message,
+            "location": self.location,
+            "detail": self.detail,
+        }
+
+
+def diagnostic(
+    code: str,
+    assertion: str,
+    message: str,
+    location: str = "",
+    detail: str = "",
+    severity: Optional[Severity] = None,
+) -> Diagnostic:
+    """Build a :class:`Diagnostic`, defaulting severity from the code table."""
+    if code not in CODES:
+        raise ValueError(f"unknown diagnostic code {code!r}")
+    return Diagnostic(
+        code=code,
+        severity=severity if severity is not None else CODES[code][0],
+        assertion=assertion,
+        message=message,
+        location=location,
+        detail=detail,
+    )
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run over a batch of assertions.
+
+    Besides findings, the report carries the *positive* facts downstream
+    consumers act on: ``arity_safe`` names the ``(function, arity)`` pairs
+    whose hooked signature provably fixes the event arity, so a lint-clean
+    instrumentation session can elide the translator's dynamic arity
+    checks (the runtime handoff of DESIGN §5.5).
+    """
+
+    findings: List[Diagnostic] = field(default_factory=list)
+    assertions_checked: int = 0
+    #: ``(function name, pattern arity)`` pairs proven arity-safe by the
+    #: program layer; empty when lint ran without a program model.
+    arity_safe: FrozenSet[Tuple[str, int]] = frozenset()
+    elapsed_seconds: float = 0.0
+
+    # -- aggregation ---------------------------------------------------------
+
+    def add(self, findings: Iterable[Diagnostic]) -> None:
+        """Append findings from one pass."""
+        self.findings.extend(findings)
+
+    def extend(self, other: "LintReport") -> None:
+        """Merge another report (a later ``install_assertions`` batch)."""
+        self.findings.extend(other.findings)
+        self.assertions_checked += other.assertions_checked
+        self.arity_safe = self.arity_safe | other.arity_safe
+        self.elapsed_seconds += other.elapsed_seconds
+
+    # -- verdicts ------------------------------------------------------------
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def clean(self) -> bool:
+        """No errors and no warnings (info findings do not spoil a report)."""
+        return not self.errors and not self.warnings
+
+    def codes(self) -> List[str]:
+        """The distinct codes present, sorted."""
+        return sorted({f.code for f in self.findings})
+
+    def exit_code(self, fail_on: str = "error") -> int:
+        """The CLI exit-status contract: 2 on errors, 1 on warnings when
+        ``--fail-on warning``, else 0 (``fail_on="never"`` always 0)."""
+        if fail_on == "never":
+            return 0
+        if self.errors:
+            return 2
+        if fail_on == "warning" and self.warnings:
+            return 1
+        return 0
+
+    # -- rendering -----------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        """The stable JSON ``summary`` object (also shown in health reports)."""
+        return {
+            "assertions": self.assertions_checked,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "infos": len(
+                [f for f in self.findings if f.severity is Severity.INFO]
+            ),
+            "clean": self.clean,
+            "codes": self.codes(),
+            "arity_safe": len(self.arity_safe),
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    def to_json(self) -> Dict[str, object]:
+        """The schema-versioned JSON document (``--json`` output)."""
+        return {
+            "version": SCHEMA_VERSION,
+            "summary": self.summary(),
+            "findings": [f.to_json() for f in self.findings],
+        }
+
+    def dumps(self, indent: int = 2) -> str:
+        """Serialise :meth:`to_json` deterministically."""
+        return json.dumps(self.to_json(), indent=indent, sort_keys=True)
+
+    def format(self, min_severity: Severity = Severity.INFO) -> str:
+        """Fixed-width text: one line per finding plus a summary line."""
+        lines = [
+            f.format()
+            for f in sorted(
+                self.findings,
+                key=lambda f: (-f.severity.rank, f.code, f.assertion),
+            )
+            if f.severity.rank >= min_severity.rank
+        ]
+        lines.append(
+            f"linted {self.assertions_checked} assertion(s) in "
+            f"{self.elapsed_seconds * 1e3:.1f} ms: "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        )
+        return "\n".join(lines)

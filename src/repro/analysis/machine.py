@@ -1,0 +1,384 @@
+"""Automaton-layer lint passes: structural sanity of translated automata.
+
+These passes operate on the analyser's output (:class:`~repro.core.automaton.Automaton`)
+under the same stepping rule the runtime uses (:mod:`repro.core.determinize`),
+so their verdicts describe what the *runtime* can and cannot do, not just
+graph reachability:
+
+* TESLA001/TESLA002 — unreachable states and dead transitions: artefacts a
+  correct translation pipeline prunes, so their presence means a hand-built
+  or post-processed automaton is carrying baggage the runtime will never
+  exercise.
+* TESLA003 — emptiness: the accept state is unreachable, so no trace can
+  ever satisfy the assertion (the paper's "cannot be implemented" case).
+* TESLA004 — vacuity: no trace can ever *violate* the assertion.  The
+  check is conservative: it claims vacuity only when, under the runtime's
+  move-or-stay stepping with arbitrary pattern-match outcomes, every
+  reachable configuration keeps the assertion site enabled and every
+  post-site configuration keeps cleanup accepting — the exact conditions
+  under which :mod:`repro.runtime.update` can never report.  The GNUstep
+  tracing idiom (``ATLEAST(0, …)``, figure 8) is vacuous *by design* and
+  is suppressed when the assertion AST is available.
+* TESLA005 — conflicting modifiers: ``strict`` wrapped around an
+  optional-only body, and ``ATLEAST`` bounds that the runtime's
+  bound-event handling makes unmeetable.
+* TESLA006 — NOW-site reachability: the assertion-site transition cannot
+  be reached from any bound-entry state.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Set
+
+from ..core.ast import (
+    AtLeast,
+    FieldAssign,
+    FunctionCall,
+    FunctionReturn,
+    Optional_,
+    TemporalAssertion,
+    walk,
+)
+from ..core.automaton import Automaton, EventSymbol, TransitionKind
+from .diagnostics import Diagnostic, diagnostic
+
+#: Transition kinds an instance can take while the bound is open.
+_BODY_KINDS = (TransitionKind.EVENT, TransitionKind.SITE)
+
+
+def _location(assertion: Optional[TemporalAssertion]) -> str:
+    return assertion.location if assertion is not None else ""
+
+
+def _forward_reachable(
+    automaton: Automaton,
+    starts: Iterable[int],
+    kinds: Optional[tuple] = None,
+) -> FrozenSet[int]:
+    """States reachable from ``starts``, optionally restricted to ``kinds``."""
+    seen: Set[int] = set()
+    frontier = list(starts)
+    while frontier:
+        state = frontier.pop()
+        if state in seen:
+            continue
+        seen.add(state)
+        for t in automaton.outgoing(state):
+            if kinds is None or t.kind in kinds:
+                frontier.append(t.dst)
+    return frozenset(seen)
+
+
+def _co_reachable(automaton: Automaton) -> FrozenSet[int]:
+    """States from which the accept state is reachable."""
+    incoming: dict = {}
+    for t in automaton.transitions:
+        incoming.setdefault(t.dst, []).append(t.src)
+    seen: Set[int] = set()
+    frontier = [automaton.accept]
+    while frontier:
+        state = frontier.pop()
+        if state in seen:
+            continue
+        seen.add(state)
+        frontier.extend(incoming.get(state, ()))
+    return frozenset(seen)
+
+
+def _has_outgoing(automaton: Automaton, state: int, kind: TransitionKind) -> bool:
+    return any(t.kind is kind for t in automaton.outgoing(state))
+
+
+# ---------------------------------------------------------------------------
+# passes
+# ---------------------------------------------------------------------------
+
+
+def check_unreachable_states(
+    automaton: Automaton, assertion: Optional[TemporalAssertion] = None
+) -> List[Diagnostic]:
+    """TESLA001: states no trace can ever enter."""
+    reachable = _forward_reachable(automaton, [automaton.start])
+    dead = sorted(set(range(automaton.n_states)) - set(reachable))
+    if not dead:
+        return []
+    return [
+        diagnostic(
+            "TESLA001",
+            automaton.name,
+            f"{len(dead)} state(s) unreachable from the start state",
+            location=_location(assertion),
+            detail=f"states {dead}",
+        )
+    ]
+
+
+def check_dead_transitions(
+    automaton: Automaton, assertion: Optional[TemporalAssertion] = None
+) -> List[Diagnostic]:
+    """TESLA002: transitions on no start-to-accept path.
+
+    Reported only when the automaton is satisfiable at all — an empty
+    automaton makes every transition dead, and TESLA003 is the real story.
+    """
+    reachable = _forward_reachable(automaton, [automaton.start])
+    if automaton.accept not in reachable:
+        return []
+    alive = _co_reachable(automaton)
+    dead = [
+        t
+        for t in automaton.transitions
+        if t.src in reachable and t.dst not in alive
+    ]
+    if not dead:
+        return []
+    shown = ", ".join(t.describe(automaton) for t in dead[:4])
+    if len(dead) > 4:
+        shown += f", … ({len(dead) - 4} more)"
+    return [
+        diagnostic(
+            "TESLA002",
+            automaton.name,
+            f"{len(dead)} transition(s) lead into states that can never "
+            f"reach the accept state",
+            location=_location(assertion),
+            detail=shown,
+        )
+    ]
+
+
+def check_satisfiable(
+    automaton: Automaton, assertion: Optional[TemporalAssertion] = None
+) -> List[Diagnostic]:
+    """TESLA003: emptiness — no trace can drive start to accept."""
+    reachable = _forward_reachable(automaton, [automaton.start])
+    if automaton.accept in reachable:
+        return []
+    return [
+        diagnostic(
+            "TESLA003",
+            automaton.name,
+            "assertion is unsatisfiable: the accept state is unreachable, "
+            "so every completed bound ends in a violation or a discard",
+            location=_location(assertion),
+        )
+    ]
+
+
+def check_site_reachable(
+    automaton: Automaton, assertion: Optional[TemporalAssertion] = None
+) -> List[Diagnostic]:
+    """TESLA006: the NOW/assertion-site transition must be reachable from
+    the bound's entry states, else the assertion can never be evaluated."""
+    site_srcs = {
+        t.src
+        for t in automaton.transitions
+        if t.kind is TransitionKind.SITE
+    }
+    if not site_srcs:
+        return [
+            diagnostic(
+                "TESLA006",
+                automaton.name,
+                "automaton has no assertion-site transition at all",
+                location=_location(assertion),
+            )
+        ]
+    live = _forward_reachable(automaton, automaton.entry_states, _BODY_KINDS)
+    if site_srcs & set(live):
+        return []
+    return [
+        diagnostic(
+            "TESLA006",
+            automaton.name,
+            "no assertion-site transition is reachable from the bound's "
+            "entry states: the site can never fire inside the bound",
+            location=_location(assertion),
+        )
+    ]
+
+
+def _split_optionality(expression) -> tuple:
+    """``(required, optional_only)`` descriptions of the concrete events in
+    ``expression``: an event is optional when every path to it passes
+    through ``optional(…)`` or ``ATLEAST(0, …)``."""
+    required: List[str] = []
+    optional_only: List[str] = []
+
+    def scan(expr, optional: bool) -> None:
+        if isinstance(expr, Optional_):
+            scan(expr.inner, True)
+            return
+        if isinstance(expr, AtLeast):
+            for event in expr.events:
+                scan(event, optional or expr.minimum == 0)
+            return
+        if isinstance(expr, (FunctionCall, FunctionReturn, FieldAssign)):
+            (optional_only if optional else required).append(expr.describe())
+            return
+        for child in expr.children():
+            scan(child, optional)
+
+    scan(expression, False)
+    return required, optional_only
+
+
+def _uses_tracing_idiom(assertion: TemporalAssertion) -> bool:
+    """The instrumentation-tracing idioms: a body whose every concrete
+    event is optional (``ATLEAST(0, …)`` per figure 8, or
+    ``optionally(…)`` as in the kernel infrastructure set) is vacuous *by
+    design* — it exists to drive hooks, not to be falsifiable."""
+    required, optional_only = _split_optionality(assertion.expression)
+    return bool(optional_only) and not required
+
+
+def check_vacuous(
+    automaton: Automaton, assertion: Optional[TemporalAssertion] = None
+) -> List[Diagnostic]:
+    """TESLA004: the assertion can never be violated.
+
+    Sound under the runtime's semantics (:mod:`repro.runtime.update`):
+
+    * a site event only violates when *no* instance can take a site
+      transition and none already passed the site — impossible if every
+      state reachable from entry over body events has a site edge and the
+      site symbol binds no dynamic variables (so it can never mismatch);
+    * a cleanup only violates an instance that ``saw_site`` but cannot
+      accept — impossible if every state reachable from a site target has
+      a cleanup edge;
+    * strict automata can always be violated by an unconsumable referenced
+      event, so they are never flagged.
+
+    Both conditions quantify over *individual* states, so they hold under
+    any combination of pattern-match failures (move-or-stay leaves each
+    instance on some reachable state either way).
+    """
+    if automaton.strict:
+        return []
+    if automaton.site_variables:
+        # The site can mismatch on a bound variable, which is a violation.
+        return []
+    if assertion is not None and _uses_tracing_idiom(assertion):
+        # Vacuous by design (figure 8 tracing): not a defect.
+        return []
+    pre_site = _forward_reachable(
+        automaton, automaton.entry_states, (TransitionKind.EVENT,)
+    )
+    if not all(
+        _has_outgoing(automaton, s, TransitionKind.SITE) for s in pre_site
+    ):
+        return []
+    site_dsts = [
+        t.dst
+        for t in automaton.transitions
+        if t.kind is TransitionKind.SITE
+    ]
+    post_site = _forward_reachable(
+        automaton, site_dsts, (TransitionKind.EVENT,)
+    )
+    if not all(
+        _has_outgoing(automaton, s, TransitionKind.CLEANUP) for s in post_site
+    ):
+        return []
+    return [
+        diagnostic(
+            "TESLA004",
+            automaton.name,
+            "assertion is vacuous: the assertion site is enabled in every "
+            "reachable configuration and cleanup always accepts, so no "
+            "trace can ever violate it",
+            location=_location(assertion),
+        )
+    ]
+
+
+def _event_key(expr) -> tuple:
+    return EventSymbol(expr).dispatch_key
+
+
+def check_conflicting_modifiers(
+    automaton: Automaton, assertion: Optional[TemporalAssertion] = None
+) -> List[Diagnostic]:
+    """TESLA005: modifier combinations the runtime can never satisfy.
+
+    * ``strict`` + optional-only body: strictness punishes stray events,
+      but a body whose every event is under ``optional``/``ATLEAST(0)``
+      requires nothing — the two modifiers contradict each other.
+    * ``ATLEAST(n >= 1)`` counting only the bound's *entry* event: the
+      dispatch plan never feeds an automaton's own bound-entry event to
+      its body (``initiated`` short-circuit), so the count stays 0.
+    * ``ATLEAST(n >= 2)`` counting only the bound's *exit* event: the
+      first occurrence closes the bound, so the count can never reach 2.
+    """
+    if assertion is None:
+        return []
+    out: List[Diagnostic] = []
+    location = _location(assertion)
+
+    if automaton.strict:
+        required, optional_only = _split_optionality(assertion.expression)
+        if optional_only and not required:
+            out.append(
+                diagnostic(
+                    "TESLA005",
+                    automaton.name,
+                    "strict modifier over an optional-only body: nothing "
+                    "is required, yet every referenced event that cannot "
+                    "step becomes a violation",
+                    location=location,
+                    detail=f"optional events: {', '.join(optional_only[:4])}",
+                )
+            )
+
+    entry_key = _event_key(assertion.bound.entry)
+    exit_key = _event_key(assertion.bound.exit)
+    for node in walk(assertion.expression):
+        if not isinstance(node, AtLeast) or node.minimum < 1 or not node.events:
+            continue
+        keys = {_event_key(e) for e in node.events}
+        if keys == {entry_key}:
+            out.append(
+                diagnostic(
+                    "TESLA005",
+                    automaton.name,
+                    f"ATLEAST({node.minimum}) counts only the bound's entry "
+                    "event, which the runtime never replays into the body — "
+                    "the bound can never be met",
+                    location=location,
+                    detail=assertion.bound.entry.describe(),
+                )
+            )
+        elif keys == {exit_key} and node.minimum >= 2:
+            out.append(
+                diagnostic(
+                    "TESLA005",
+                    automaton.name,
+                    f"ATLEAST({node.minimum}) counts only the bound's exit "
+                    "event, whose first occurrence closes the bound — the "
+                    "bound can never be met",
+                    location=location,
+                    detail=assertion.bound.exit.describe(),
+                )
+            )
+    return out
+
+
+#: Every machine-layer pass, in reporting order.
+MACHINE_PASSES = (
+    check_satisfiable,
+    check_site_reachable,
+    check_unreachable_states,
+    check_dead_transitions,
+    check_vacuous,
+    check_conflicting_modifiers,
+)
+
+
+def lint_automaton(
+    automaton: Automaton, assertion: Optional[TemporalAssertion] = None
+) -> List[Diagnostic]:
+    """Run every automaton-layer pass over one automaton."""
+    findings: List[Diagnostic] = []
+    for check in MACHINE_PASSES:
+        findings.extend(check(automaton, assertion))
+    return findings

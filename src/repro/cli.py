@@ -21,6 +21,11 @@ Commands
 ``elide <set>``
     Run the static must-check analysis over a kernel set and report what
     could be discharged, doomed, or must stay monitored.
+``lint [suite …]``
+    Run tesla-lint over the in-repo assertion corpus (``examples``,
+    ``kernel``, ``sslx``, ``gui`` — default all), with text or ``--json``
+    output, ``--min-severity`` filtering and a ``--fail-on`` exit-code
+    contract (0 clean, 1 warnings under ``--fail-on warning``, 2 errors).
 ``bugs``
     List the injectable kernel bugs and their paper provenance.
 """
@@ -192,6 +197,28 @@ def cmd_elide(args: argparse.Namespace) -> int:
     return 1 if report.doomed else 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run tesla-lint over assertion suites; exit per ``--fail-on``."""
+    from .analysis import Severity
+    from .analysis.lint import available_suites, lint_corpus
+
+    known = available_suites()
+    names = list(args.suites) or list(known)
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        print(
+            f"unknown suite(s) {', '.join(map(repr, unknown))}; "
+            f"known: {', '.join(known)}"
+        )
+        return 2
+    report = lint_corpus(names)
+    if args.json:
+        print(report.dumps())
+    else:
+        print(report.format(min_severity=Severity(args.min_severity)))
+    return report.exit_code(args.fail_on)
+
+
 def cmd_bugs(args: argparse.Namespace) -> int:
     """List the injectable kernel bugs and their paper provenance."""
     from .kernel.bugs import KNOWN_BUGS, bugs
@@ -247,6 +274,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     elide_parser.add_argument("set")
     elide_parser.set_defaults(func=cmd_elide)
+
+    lint_parser = sub.add_parser(
+        "lint", help="statically verify assertion suites (tesla-lint)"
+    )
+    lint_parser.add_argument(
+        "suites",
+        nargs="*",
+        metavar="suite",
+        help="suites to lint (default: all of examples, kernel, sslx, gui)",
+    )
+    lint_parser.add_argument(
+        "--json", action="store_true", help="emit the schema-versioned JSON"
+    )
+    lint_parser.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "never"),
+        default="error",
+        dest="fail_on",
+        help="exit non-zero on: errors (default), also warnings, or never",
+    )
+    lint_parser.add_argument(
+        "--min-severity",
+        choices=("info", "warning", "error"),
+        default="info",
+        dest="min_severity",
+        help="hide text findings below this severity",
+    )
+    lint_parser.set_defaults(func=cmd_lint)
 
     sub.add_parser("bugs", help="list injectable kernel bugs").set_defaults(
         func=cmd_bugs

@@ -57,6 +57,19 @@ class Translator:
         self._site_variables = referenced_variables(assertion)
 
     def translate(self) -> Automaton:
+        try:
+            return self._translate()
+        except AssertionParseError as error:
+            if error.assertion:
+                raise  # already attributed by a nested translation
+            raise AssertionParseError(
+                error.plain_message,
+                assertion=self.assertion.name,
+                location=self.assertion.location,
+                expression=self.assertion.expression.describe(),
+            ) from None
+
+    def _translate(self) -> Automaton:
         body = self._descend(self.assertion.expression)
         init_symbol = self._bound_symbol(self.assertion.bound.entry)
         cleanup_symbol = self._bound_symbol(self.assertion.bound.exit)
@@ -148,7 +161,10 @@ def translate_all(assertions: List[TemporalAssertion]) -> List[Automaton]:
         if assertion.name in seen:
             raise AssertionParseError(
                 f"duplicate assertion name {assertion.name!r} "
-                f"(also declared as {seen[assertion.name].describe()})"
+                f"(also declared as {seen[assertion.name].describe()})",
+                assertion=assertion.name,
+                location=assertion.location,
+                expression=assertion.expression.describe(),
             )
         seen[assertion.name] = assertion
         automata.append(translate(assertion))

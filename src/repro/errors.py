@@ -22,12 +22,55 @@ class AssertionParseError(TeslaError):
     """An assertion expression is structurally invalid.
 
     Raised by the analyser during translation, mirroring a Clang-side
-    diagnostic in the original tool.
+    diagnostic in the original tool.  When the analyser knows which
+    assertion it was translating it attaches the attribution — the
+    assertion's name, declared source ``location`` and DSL expression —
+    and prefixes the message with it, so a rejection deep inside a batch
+    install names its culprit.
     """
+
+    def __init__(
+        self,
+        message: str,
+        assertion: str = "",
+        location: str = "",
+        expression: str = "",
+    ) -> None:
+        self.assertion = assertion
+        self.location = location
+        self.expression = expression
+        #: The diagnosis alone, without the attribution prefix.
+        self.plain_message = message
+        if assertion:
+            where = f" (at {location})" if location else ""
+            message = f"in assertion {assertion!r}{where}: {message}"
+            if expression:
+                message = f"{message} [{expression}]"
+        super().__init__(message)
 
 
 class ManifestError(TeslaError):
     """A ``.tesla`` manifest could not be read, written or combined."""
+
+
+class LintError(TeslaError):
+    """tesla-lint found errors and the caller asked for them to be fatal.
+
+    Raised by ``TeslaRuntime(lint="error")`` and
+    ``BuildSystem(..., lint="error")`` when a batch of assertions fails
+    static verification; ``report`` carries the full
+    :class:`~repro.analysis.diagnostics.LintReport`.
+    """
+
+    def __init__(self, report: Any) -> None:
+        findings = "; ".join(f.format() for f in report.errors[:3])
+        more = len(report.errors) - 3
+        if more > 0:
+            findings += f"; … ({more} more)"
+        super().__init__(
+            f"tesla-lint found {len(report.errors)} error(s): {findings}"
+        )
+        self.report = report
 
 
 class InstrumentationError(TeslaError):

@@ -110,13 +110,25 @@ class BuildSystem:
         units: Sequence[CompileUnit],
         workdir: Union[str, Path],
         cache_automata: bool = False,
+        lint: str = "off",
     ) -> None:
+        if lint not in ("error", "warn", "off"):
+            raise InstrumentationError(
+                f"lint must be 'error', 'warn' or 'off', got {lint!r}"
+            )
         self.units = list(units)
         self.workdir = Path(workdir)
         self.workdir.mkdir(parents=True, exist_ok=True)
         self._built: Dict[str, bool] = {}
         self._instrumented: Dict[str, bool] = {}
         self._combined: Optional[ProgramManifest] = None
+        #: tesla-lint stage for TESLA builds (DESIGN §5.5): ``"warn"``
+        #: records findings on :attr:`lint_report`, ``"error"`` also
+        #: fails the build on any TESLA error, ``"off"`` skips the stage.
+        self.lint = lint
+        #: The last TESLA build's lint results (``None`` when ``lint="off"``
+        #: or no TESLA build ran yet).
+        self.lint_report = None
         #: Section 7's build-time fix: "our tool re-loading, re-parsing,
         #: and re-interpreting the same TESLA automaton description for
         #: every LLVM IR file" — with caching on, the combined manifest is
@@ -154,6 +166,22 @@ class BuildSystem:
         combined = combine(manifests)
         combined.save(self.workdir / "program.tesla.json")
         return combined
+
+    def _lint(self, combined: ProgramManifest, report: BuildReport) -> None:
+        """The tesla-lint build stage: verify the combined manifest before
+        any unit is instrumented, so a doomed assertion fails the build at
+        analysis time — the paper's compile-time rejection — rather than
+        surfacing as a runtime dispatch failure."""
+        if self.lint == "off":
+            return
+        from ..analysis.lint import lint_assertions
+
+        with _Timer(report, "lint"):
+            self.lint_report = lint_assertions(combined.assertions)
+        if self.lint == "error" and self.lint_report.errors:
+            from ..errors import LintError
+
+            raise LintError(self.lint_report)
 
     def _load_automata(self):
         """Load, parse and translate the combined manifest.
@@ -212,6 +240,7 @@ class BuildSystem:
         if tesla:
             with _Timer(report, "combine"):
                 combined = self._combine(manifests)
+            self._lint(combined, report)
             for unit in self.units:
                 with _Timer(report, "instrument"):
                     self._instrument(unit, combined)
@@ -256,6 +285,7 @@ class BuildSystem:
                     for u in self.units
                 ]
                 combined = self._combine(manifests)
+            self._lint(combined, report)
             for other in self.units:
                 with _Timer(report, "instrument"):
                     self._instrument(other, combined)

@@ -47,6 +47,19 @@ from .interpose import interposition_table, tesla_method_hook
 from .translator import EventTranslator
 
 
+def _attribution(referrers: Sequence[TemporalAssertion]) -> str:
+    """``(referenced by assertion 'x' at loc, …)`` — the lint-style source
+    attribution appended to weaving errors so a failure inside a large
+    manifest names its culprit assertions."""
+    parts = []
+    for assertion in referrers[:3]:
+        where = f" at {assertion.location}" if assertion.location else ""
+        parts.append(f"assertion {assertion.name!r}{where}")
+    if len(referrers) > 3:
+        parts.append(f"… ({len(referrers) - 3} more)")
+    return f"(referenced by {', '.join(parts)})"
+
+
 def _caller_side_functions(assertions: Sequence[TemporalAssertion]) -> Set[str]:
     """Function names whose events explicitly request caller-side hooks."""
     names: Set[str] = set()
@@ -103,18 +116,28 @@ class Instrumenter:
         self.translator.refresh()
         caller_requested = _caller_side_functions(assertions)
 
-        functions: Dict[str, None] = {}
+        functions: Dict[str, List[TemporalAssertion]] = {}
         for assertion in assertions:
             for name in referenced_functions(assertion):
-                functions.setdefault(name)
-        for name in functions:
-            self._hook_function(name, caller_side=name in caller_requested)
+                functions.setdefault(name, []).append(assertion)
+        for name, referrers in functions.items():
+            try:
+                self._hook_function(name, caller_side=name in caller_requested)
+            except InstrumentationError as error:
+                raise InstrumentationError(
+                    f"{error} {_attribution(referrers)}"
+                ) from None
 
         for assertion in assertions:
             site_registry.attach(assertion.name, self.translator)
             self._attached_sites.append(assertion.name)
             for struct, field_name in referenced_fields(assertion):
-                cls = field_registry.require(struct)
+                try:
+                    cls = field_registry.require(struct)
+                except InstrumentationError as error:
+                    raise InstrumentationError(
+                        f"{error} {_attribution([assertion])}"
+                    ) from None
                 attach_field_hook(cls, field_name, self.translator)
                 self._attached_fields.append((cls, field_name))
 

@@ -86,13 +86,21 @@ def static_match(symbol: EventSymbol, event: RuntimeEvent) -> bool:
 StaticCheck = Callable[[RuntimeEvent], bool]
 
 
-def _compile_static_symbol(symbol: EventSymbol) -> Optional[StaticCheck]:
+def _compile_static_symbol(
+    symbol: EventSymbol, elide_arity: bool = False
+) -> Optional[StaticCheck]:
     """Compile :func:`static_match` for one symbol, or ``None`` when the
     symbol imposes no static constraint (it always forwards).
 
     The per-pattern work collapses to precompiled predicates over the
     argument positions that actually carry static patterns; fully dynamic
     positions (``Var``/``Any_``) cost nothing per event.
+
+    ``elide_arity`` is the lint handoff (DESIGN §5.5): when tesla-lint has
+    proven the hooked signature fixes the event arity at exactly the
+    pattern arity, the ``len(event.args)`` guard is redundant — the hook
+    wrapper flattens every bound argument, so a fixed-signature function
+    cannot produce any other arity — and is compiled out.
     """
     expr = symbol.expr
     if isinstance(expr, FunctionCall):
@@ -105,11 +113,24 @@ def _compile_static_symbol(symbol: EventSymbol) -> Optional[StaticCheck]:
             if c is not None
         )
         if not checks:
+            if elide_arity:
+                return None
 
             def check_arity(event: RuntimeEvent, _n=arity) -> bool:
                 return len(event.args) == _n
 
             return check_arity
+
+        if elide_arity:
+
+            def check_call_elided(event: RuntimeEvent, _cs=checks) -> bool:
+                args = event.args
+                for i, c in _cs:
+                    if not c(args[i]):
+                        return False
+                return True
+
+            return check_call_elided
 
         def check_call(event: RuntimeEvent, _n=arity, _cs=checks) -> bool:
             args = event.args
@@ -139,13 +160,21 @@ def _compile_static_symbol(symbol: EventSymbol) -> Optional[StaticCheck]:
         )
         if arity is None and ret_check is None:
             return None
+        if elide_arity:
+            arity = None  # the proven-fixed arity can never mismatch
+        if arity is None and not arg_checks and ret_check is None:
+            return None
 
         def check_return(
-            event: RuntimeEvent, _n=arity, _cs=arg_checks, _rc=ret_check
+            event: RuntimeEvent,
+            _n=arity,
+            _cs=arg_checks,
+            _rc=ret_check,
+            _elide=elide_arity,
         ) -> bool:
-            if _n is not None:
+            if _n is not None or _cs:
                 args = event.args
-                if len(args) != _n:
+                if _n is not None and len(args) != _n:
                     return False
                 for i, c in _cs:
                     if not c(args[i]):
@@ -208,6 +237,9 @@ class EventTranslator:
         #: keys observed by ``strict`` automata, which must see every
         #: referenced event even if its static parameters mismatch.
         self._strict_keys: set = set()
+        #: Arity guards compiled out under a clean lint report (the
+        #: DESIGN §5.5 handoff); counted for benchmarks and health.
+        self.arity_elided = 0
         self._rebuild()
         #: Events dropped by static checks (visible to benchmarks/tests).
         self.dropped = 0
@@ -241,12 +273,45 @@ class EventTranslator:
                     chain.append(symbol)
                 if automaton.strict:
                     self._strict_keys.add(key)
+        self.arity_elided = 0
+        lint_clean = self._lint_clean()
         for key, chain in self._chains.items():
-            checks = [_compile_static_symbol(symbol) for symbol in chain]
+            checks = []
+            for symbol in chain:
+                elide = lint_clean and self._arity_proven(symbol)
+                if elide:
+                    self.arity_elided += 1
+                checks.append(_compile_static_symbol(symbol, elide_arity=elide))
             if any(c is None for c in checks):
                 self._compiled[key] = None
             else:
                 self._compiled[key] = tuple(checks)
+
+    def _lint_clean(self) -> bool:
+        """Whether the runtime carries a clean tesla-lint report — the
+        precondition for compiling out provably redundant dynamic checks."""
+        report = getattr(self.runtime, "lint_report", None)
+        return report is not None and report.clean
+
+    @staticmethod
+    def _arity_proven(symbol: EventSymbol) -> bool:
+        """Whether the hooked signature fixes the event arity at exactly
+        this symbol's pattern arity (the arity guard is then redundant:
+        the hook wrapper flattens every bound argument, so a function
+        with no defaults and no variadics always emits one arity)."""
+        expr = symbol.expr
+        if not isinstance(expr, (FunctionCall, FunctionReturn)):
+            return False
+        if expr.args is None:
+            return False
+        from .hooks import hook_registry
+
+        point = hook_registry.get(expr.function)
+        if point is None:
+            return False
+        from ..analysis.program import fixed_arity
+
+        return fixed_arity(point.function) == len(expr.args)
 
     def refresh(self) -> None:
         """Rebuild chains after more automata are installed."""

@@ -59,6 +59,9 @@ class HealthReport:
     #: drains, flush counts/latency, events lost to contained faults);
     #: ``None`` for synchronous runtimes.
     deferred: Optional[dict] = None
+    #: tesla-lint summary of every installed batch (DESIGN §5.5);
+    #: ``None`` when the runtime installed nothing or lints with ``"off"``.
+    lint: Optional[dict] = None
 
     @property
     def total_faults(self) -> int:
@@ -88,6 +91,7 @@ def health_report(runtime) -> HealthReport:
         # was attached; take the larger of the two views.
         handler_faults = max(handler_faults, hub.handler_faults)
     injector = active_injector()
+    lint_report = getattr(runtime, "lint_report", None)
     return HealthReport(
         tick=supervisor.tick,
         policy=type(supervisor.policy).__name__,
@@ -103,6 +107,7 @@ def health_report(runtime) -> HealthReport:
         degraded=supervisor.degraded,
         injector=None if injector is None else injector.stats(),
         deferred=None if drain is None else drain.stats(),
+        lint=None if lint_report is None else lint_report.summary(),
     )
 
 
@@ -163,6 +168,15 @@ def format_health(report: HealthReport) -> str:
             f"flushes={d.get('flushes')} "
             f"(sync={d.get('sync_flushes')} inline={d.get('inline_flushes')}) "
             f"last_flush={d.get('last_flush_seconds', 0.0) * 1e6:.1f}us"
+        )
+    if report.lint is not None:
+        lint = report.lint
+        verdict = "clean" if lint.get("clean") else "findings"
+        codes = ",".join(lint.get("codes", ())) or "-"
+        lines.append(
+            f"  lint: {verdict}  assertions={lint.get('assertions')} "
+            f"errors={lint.get('errors')} warnings={lint.get('warnings')} "
+            f"codes={codes} arity_safe={lint.get('arity_safe')}"
         )
     if report.last_faults:
         lines.append("  recent faults:")

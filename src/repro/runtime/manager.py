@@ -174,11 +174,16 @@ class TeslaRuntime:
         overflow_policy: str = "flush",
         ring_capacity: int = DEFAULT_RING_CAPACITY,
         drain_interval: float = 0.002,
+        lint: str = "warn",
     ) -> None:
         if deferred not in (False, True, "manual"):
             raise ValueError(
                 "deferred must be False (synchronous), True (background "
                 f"drainer) or 'manual' (explicit drain), got {deferred!r}"
+            )
+        if lint not in ("error", "warn", "off"):
+            raise ValueError(
+                f"lint must be 'error', 'warn' or 'off', got {lint!r}"
             )
         self.lazy = lazy
         #: Whether dispatch uses compiled per-(class, key) transition plans
@@ -245,6 +250,17 @@ class TeslaRuntime:
         #: its state lives in the capturing thread's store, which a drain
         #: running on another thread could never reach.
         self._local_keys: frozenset = frozenset()
+        #: tesla-lint gate for installs (DESIGN §5.5): ``"warn"`` (default)
+        #: lints every installed batch and routes findings to stderr;
+        #: ``"error"`` refuses to install a batch with lint errors
+        #: (:class:`~repro.errors.LintError`); ``"off"`` skips the passes.
+        #: Only the automaton layer runs here — the runtime cannot know
+        #: which caller modules or selectors an instrumenter supplies.
+        self.lint = lint
+        #: Accumulated lint results across installed batches (``None``
+        #: until the first lint-enabled install).  Consumed by the event
+        #: translator's check-elision fast path and by ``health_report``.
+        self.lint_report = None
         _live_runtimes.add(self)
 
     @property
@@ -269,17 +285,46 @@ class TeslaRuntime:
     # -- installation ----------------------------------------------------------
 
     def install_assertion(self, assertion: TemporalAssertion) -> Automaton:
-        automaton = translate_all([assertion])[0]
-        self.install_automaton(automaton, assertion.context)
-        return automaton
+        return self.install_assertions([assertion])[0]
 
     def install_assertions(
         self, assertions: Sequence[TemporalAssertion]
     ) -> List[Automaton]:
-        automata = translate_all(list(assertions))
-        for automaton, assertion in zip(automata, assertions):
+        batch = list(assertions)
+        self._lint_batch(batch)
+        automata = translate_all(batch)
+        for automaton, assertion in zip(automata, batch):
             self.install_automaton(automaton, assertion.context)
         return automata
+
+    def _lint_batch(self, assertions: Sequence[TemporalAssertion]) -> None:
+        """The install-time tesla-lint gate (mode per ``self.lint``).
+
+        Runs the batch and automaton layers only; accumulates results on
+        ``self.lint_report`` so the translators' check-elision fast path
+        and ``health_report`` can consume them.
+        """
+        if self.lint == "off" or not assertions:
+            return
+        from ..analysis.lint import lint_assertions
+
+        report = lint_assertions(assertions)
+        if self.lint_report is None:
+            self.lint_report = report
+        else:
+            self.lint_report.extend(report)
+        if report.errors and self.lint == "error":
+            from ..errors import LintError
+
+            raise LintError(report)
+        if report.findings:
+            import warnings
+
+            warnings.warn(
+                "tesla-lint findings on installed assertions:\n"
+                + "\n".join(f.format() for f in report.findings),
+                stacklevel=3,
+            )
 
     def install_automaton(self, automaton: Automaton, context: Context) -> None:
         if automaton.name in self.automata:

@@ -42,6 +42,7 @@ def monitoring(
     overflow_policy: Optional[str] = None,
     ring_capacity: Optional[int] = None,
     drain_interval: Optional[float] = None,
+    lint: Optional[str] = None,
 ) -> Iterator[TeslaRuntime]:
     """Instrument ``assertions`` for the duration of the ``with`` block.
 
@@ -67,7 +68,10 @@ def monitoring(
     ``"flush"`` (inline flush by the producer, the default) or
     ``"block"`` (park the producer for the background drainer);
     ``ring_capacity`` sizes each thread's preallocated ring and
-    ``drain_interval`` the background drainer's poll period.  On clean
+    ``drain_interval`` the background drainer's poll period.  ``lint``
+    selects the install-time tesla-lint gate (``"warn"`` default,
+    ``"error"`` refuses assertions with lint errors, ``"off"`` skips the
+    passes — see DESIGN §5.5).  On clean
     exit the block flushes pending events first, so deferred verdicts —
     including a fail-stop :class:`~repro.errors.TemporalAssertionError` —
     are delivered no later than the ``with`` block's exit; if the block
@@ -91,6 +95,8 @@ def monitoring(
         kwargs["ring_capacity"] = ring_capacity
     if drain_interval is not None:
         kwargs["drain_interval"] = drain_interval
+    if lint is not None:
+        kwargs["lint"] = lint
     runtime = TeslaRuntime(**kwargs)
     session = Instrumenter(
         runtime,

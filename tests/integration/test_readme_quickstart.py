@@ -24,10 +24,14 @@ def quickstart_block() -> str:
 
 @pytest.fixture
 def unregister_quickstart_hooks():
-    """The block registers hook points by name; a second execution in the
-    same process must start from a clean registry."""
+    """The block registers hook points by name; it must start from a clean
+    registry even if another test (e.g. the lint corpus, which imports
+    ``examples/quickstart.py``) already registered these names — and leave
+    it clean for the next execution."""
     from repro.instrument.hooks import hook_registry
 
+    hook_registry._unregister("security_check")
+    hook_registry._unregister("enclosing_fn")
     yield
     hook_registry._unregister("security_check")
     hook_registry._unregister("enclosing_fn")

@@ -1,0 +1,105 @@
+"""Lint soundness property (DESIGN §5.5): a lint-clean random DSL
+assertion must instrument and run without raising on a random trace.
+
+tesla-lint's promise is one-sided — it may pass assertions that never
+fire usefully, but anything it passes must at least weave into the
+program and survive arbitrary event interleavings without an internal
+error.  Hypothesis builds random bodies from the full combinator grammar
+(calls, returns, ``optionally``, ``atleast``), lints them, and drives the
+surviving assertions end-to-end through real instrumentation.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro import Instrumenter, LogAndContinue, TeslaRuntime, instrumentable, tesla_site
+from repro.analysis import lint_assertions
+from repro.core.dsl import atleast, call, optionally, previously, returnfrom, tesla_within
+
+# --- a tiny instrumentable program -----------------------------------------
+
+
+@instrumentable()
+def lp_f0():
+    return 0
+
+
+@instrumentable()
+def lp_f1():
+    return 1
+
+
+@instrumentable()
+def lp_f2():
+    return 2
+
+
+FNS = {"lp_f0": lp_f0, "lp_f1": lp_f1, "lp_f2": lp_f2}
+
+
+@instrumentable()
+def lp_host(name, trace, site_at):
+    """The bound: replay ``trace`` with the assertion site at ``site_at``."""
+    for position, fn_name in enumerate(trace):
+        if position == site_at:
+            tesla_site(name)
+        FNS[fn_name]()
+    if site_at >= len(trace):
+        tesla_site(name)
+
+
+# --- strategies --------------------------------------------------------------
+
+_events = st.tuples(
+    st.sampled_from(sorted(FNS)), st.booleans()
+).map(lambda pair: call(pair[0]) if pair[1] else returnfrom(pair[0]))
+
+_parts = st.one_of(
+    _events,
+    _events.map(optionally),
+    st.tuples(st.integers(min_value=0, max_value=2), _events).map(
+        lambda pair: atleast(pair[0], pair[1])
+    ),
+)
+
+bodies = st.lists(_parts, min_size=1, max_size=3)
+traces = st.lists(st.sampled_from(sorted(FNS)), max_size=8)
+
+_counter = [0]
+
+
+class TestLintSoundness:
+    @settings(max_examples=60, deadline=None)
+    @given(body=bodies, trace=traces, site_at=st.integers(min_value=0, max_value=8))
+    def test_lint_clean_assertions_instrument_and_run(self, body, trace, site_at):
+        _counter[0] += 1
+        assertion = tesla_within(
+            "lp_host", previously(*body), name=f"lintprop-{_counter[0]}"
+        )
+        report = lint_assertions([assertion])
+        assume(not report.errors)
+
+        runtime = TeslaRuntime(policy=LogAndContinue(), lint="off")
+        instrumenter = Instrumenter(runtime)
+        instrumenter.instrument([assertion])
+        try:
+            # Any interleaving must be absorbed: violations are verdicts
+            # (recorded under LogAndContinue), never crashes.
+            lp_host(assertion.name, trace, site_at)
+        finally:
+            instrumenter.uninstrument()
+        total = sum(
+            cr.errors + cr.accepts
+            for cr in runtime.all_class_runtimes(assertion.name)
+        )
+        assert total >= 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(body=bodies)
+    def test_lint_is_deterministic(self, body):
+        _counter[0] += 1
+        assertion = tesla_within(
+            "lp_host", previously(*body), name=f"lintprop-{_counter[0]}"
+        )
+        first = {f.code for f in lint_assertions([assertion]).findings}
+        second = {f.code for f in lint_assertions([assertion]).findings}
+        assert first == second

@@ -62,6 +62,67 @@ class TestElide:
         assert main(["elide", "NO"]) == 2
 
 
+class TestLint:
+    def test_clean_corpus_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_unknown_suite_exits_two(self, capsys):
+        assert main(["lint", "bogus"]) == 2
+        assert "unknown suite(s)" in capsys.readouterr().out
+
+    def test_json_schema_is_stable(self, capsys):
+        import json
+
+        assert main(["lint", "examples", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"version", "summary", "findings"}
+        assert payload["version"] == 1
+        assert set(payload["summary"]) == {
+            "assertions", "errors", "warnings", "infos", "clean",
+            "codes", "arity_safe", "elapsed_seconds",
+        }
+        assert payload["summary"]["clean"] is True
+        assert payload["findings"] == []
+
+    def _stub_report(self, code):
+        from repro.analysis import LintReport, diagnostic
+
+        return LintReport(
+            findings=[diagnostic(code, "stub", "seeded finding")],
+            assertions_checked=1,
+        )
+
+    def test_warnings_exit_one_under_fail_on_warning(self, monkeypatch, capsys):
+        import repro.analysis.lint as lint_module
+
+        report = self._stub_report("TESLA004")
+        monkeypatch.setattr(lint_module, "lint_corpus", lambda names: report)
+        assert main(["lint", "examples"]) == 0
+        assert main(["lint", "examples", "--fail-on", "warning"]) == 1
+        assert "TESLA004" in capsys.readouterr().out
+
+    def test_errors_exit_two(self, monkeypatch, capsys):
+        import repro.analysis.lint as lint_module
+
+        report = self._stub_report("TESLA003")
+        monkeypatch.setattr(lint_module, "lint_corpus", lambda names: report)
+        assert main(["lint", "examples"]) == 2
+        assert main(["lint", "examples", "--fail-on", "never"]) == 0
+        assert "TESLA003" in capsys.readouterr().out
+
+    def test_min_severity_filters_text(self, monkeypatch, capsys):
+        import repro.analysis.lint as lint_module
+
+        report = self._stub_report("TESLA004")
+        monkeypatch.setattr(lint_module, "lint_corpus", lambda names: report)
+        main(["lint", "examples", "--min-severity", "error"])
+        out = capsys.readouterr().out
+        assert "TESLA004" not in out
+        assert "1 warning(s)" in out  # the summary line still counts it
+
+
 class TestBugs:
     def test_bugs_lists_all_known(self, capsys):
         from repro.kernel.bugs import KNOWN_BUGS
