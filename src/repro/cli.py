@@ -26,6 +26,11 @@ Commands
     ``kernel``, ``sslx``, ``gui`` — default all), with text or ``--json``
     output, ``--min-severity`` filtering and a ``--fail-on`` exit-code
     contract (0 clean, 1 warnings under ``--fail-on warning``, 2 errors).
+``replay <journal> [--config …] [--at-seqno N] [--json]``
+    Replay a recorded trace journal offline through any runtime
+    configuration, cross-checked against the independent LTL oracle
+    (0 clean, 1 violations reproduced or oracle disagreement, 2 unusable
+    input).  ``--at-seqno`` dumps automaton state mid-window instead.
 ``bugs``
     List the injectable kernel bugs and their paper provenance.
 """
@@ -219,6 +224,172 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code(args.fail_on)
 
 
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Replay a recorded trace journal offline (DESIGN §5.6).
+
+    Exit codes: 0 — clean replay (or an empty journal: a no-op), 1 —
+    violations reproduced or the LTL oracle disagreed with the replay,
+    2 — unusable input (corrupt journal, unknown config, no assertions).
+    """
+    import json as json_module
+
+    from .errors import JournalError
+    from .replay import LTLUnsupported, ReplayEngine, ltl_verdicts
+    from .runtime.journal import read_journal
+
+    try:
+        journal = read_journal(args.path, tolerate_tail=args.tolerate_tail)
+    except (JournalError, OSError) as exc:
+        print(f"error: {exc}")
+        return 2
+
+    assertions = None
+    if args.manifest is not None:
+        try:
+            assertions = ProgramManifest.load(args.manifest).assertions
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot load manifest {args.manifest}: {exc}")
+            return 2
+
+    try:
+        engine = ReplayEngine(journal, assertions=assertions)
+    except JournalError as exc:
+        print(f"error: {exc}")
+        return 2
+
+    if args.at_seqno is not None:
+        try:
+            state = engine.state_at(args.at_seqno, config=args.config)
+        except JournalError as exc:
+            print(f"error: {exc}")
+            return 2
+        if args.json:
+            print(json_module.dumps(state, indent=2, sort_keys=True))
+        else:
+            print(
+                f"state at seqno {state['seqno']} "
+                f"({state['events_replayed']} event(s) replayed, "
+                f"config {state['config']}):"
+            )
+            for cls in state["classes"]:
+                print(
+                    f"  {cls['automaton']} [{cls['context']}] "
+                    f"active={cls['active']} accepts={cls['accepts']} "
+                    f"errors={cls['errors']} sites={cls['sites_reached']}"
+                )
+                for instance in cls["instances"]:
+                    binding = ", ".join(
+                        f"{key}={value}"
+                        for key, value in instance["binding"].items()
+                    )
+                    print(
+                        f"    {instance['name']}: states={instance['states']} "
+                        f"saw_site={instance['saw_site']} "
+                        f"binding={{{binding}}}"
+                    )
+        return 0
+
+    try:
+        result = engine.run(config=args.config)
+    except JournalError as exc:
+        print(f"error: {exc}")
+        return 2
+
+    oracle_report: Optional[dict] = None
+    agree = True
+    if not args.no_oracle and engine.assertions:
+        oracle_report = {}
+        try:
+            verdicts = ltl_verdicts(engine.assertions, engine.slots)
+        except LTLUnsupported as exc:
+            oracle_report = {"skipped": str(exc)}
+        else:
+            for name, verdict in verdicts.items():
+                replayed = result.classes.get(name)
+                matches = (
+                    replayed is not None
+                    and replayed.accepts == verdict.accepts
+                    and replayed.errors == verdict.errors
+                    and result.violations.get(name, [])
+                    == verdict.reason_stream()
+                )
+                agree = agree and matches
+                oracle_report[name] = {
+                    "accepts": verdict.accepts,
+                    "errors": verdict.errors,
+                    "satisfied_sites": verdict.satisfied_sites,
+                    "violations": [
+                        {"seqno": v.seqno, "kind": v.kind}
+                        for v in verdict.violations
+                    ],
+                    "agrees_with_replay": matches,
+                }
+
+    status = 0
+    if not result.clean:
+        status = 1
+    if not agree:
+        status = 1
+
+    if args.json:
+        payload = {
+            "journal": {
+                "version": journal.version,
+                "events": len(journal.slots),
+                "assertions": len(engine.assertions),
+                "clean_close": journal.clean_close,
+                "tail_error": journal.tail_error,
+                "bytes": journal.byte_size,
+            },
+            "replay": result.to_json(),
+            "oracle": oracle_report,
+            "oracle_agrees": agree,
+            "status": status,
+        }
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+        return status
+
+    close = "clean close" if journal.clean_close else "NO clean close"
+    print(
+        f"journal: {len(journal.slots)} event(s), "
+        f"{len(engine.assertions)} assertion(s), "
+        f"version {journal.version}, {close}"
+    )
+    if journal.tail_error:
+        print(f"  tail: {journal.tail_error}")
+    if not journal.slots:
+        print("empty journal: nothing to replay")
+        return 0
+    print(f"replay [{result.config}]: {result.events} event(s), "
+          f"{result.threads} thread(s)")
+    for name, verdict in sorted(result.classes.items()):
+        print(
+            f"  {name}: accepts={verdict.accepts} errors={verdict.errors} "
+            f"sites={verdict.sites_reached} live={verdict.live}"
+        )
+        for reason in result.violations.get(name, []):
+            print(f"    violation: {reason}")
+    if oracle_report is not None:
+        if "skipped" in oracle_report:
+            print(f"oracle: skipped ({oracle_report['skipped']})")
+        else:
+            for name, entry in sorted(oracle_report.items()):
+                mark = "agrees" if entry["agrees_with_replay"] else "DISAGREES"
+                print(
+                    f"oracle: {name} accepts={entry['accepts']} "
+                    f"errors={entry['errors']} -> {mark}"
+                )
+    if status == 0:
+        print("verdict: clean")
+    elif not agree:
+        print("verdict: ORACLE DISAGREEMENT (replay and LTL reading differ)")
+    else:
+        total = sum(len(v) for v in result.violations.values())
+        errors = sum(v.errors for v in result.classes.values())
+        print(f"verdict: {max(total, errors)} violation(s) reproduced")
+    return status
+
+
 def cmd_bugs(args: argparse.Namespace) -> int:
     """List the injectable kernel bugs and their paper provenance."""
     from .kernel.bugs import KNOWN_BUGS, bugs
@@ -302,6 +473,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="hide text findings below this severity",
     )
     lint_parser.set_defaults(func=cmd_lint)
+
+    replay_parser = sub.add_parser(
+        "replay", help="replay a recorded trace journal offline"
+    )
+    replay_parser.add_argument("path", type=Path, help="journal file")
+    replay_parser.add_argument(
+        "--config",
+        default="naive",
+        help="replay configuration: naive (default), lazy, compiled, deferred",
+    )
+    replay_parser.add_argument(
+        "--manifest",
+        type=Path,
+        default=None,
+        help="load assertions from a .tesla manifest instead of the journal",
+    )
+    replay_parser.add_argument(
+        "--at-seqno",
+        type=int,
+        default=None,
+        dest="at_seqno",
+        help="stop at this seqno and dump automaton state instead of verdicts",
+    )
+    replay_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    replay_parser.add_argument(
+        "--no-oracle",
+        action="store_true",
+        dest="no_oracle",
+        help="skip the independent LTL-oracle cross-check",
+    )
+    replay_parser.add_argument(
+        "--tolerate-tail",
+        action="store_true",
+        dest="tolerate_tail",
+        help="recover the valid prefix of a truncated/corrupt journal",
+    )
+    replay_parser.set_defaults(func=cmd_replay)
 
     sub.add_parser("bugs", help="list injectable kernel bugs").set_defaults(
         func=cmd_bugs

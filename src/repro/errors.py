@@ -90,6 +90,32 @@ class ContextError(TeslaError):
     """
 
 
+class JournalError(TeslaError):
+    """A trace journal could not be written or read.
+
+    Covers usage errors (journalling a synchronous runtime, an unsupported
+    schema version) — anything wrong with how a journal is *used* rather
+    than with its bytes.
+    """
+
+
+class JournalCorruption(JournalError):
+    """A trace journal's bytes are damaged: bad magic, a CRC mismatch, or
+    a record frame truncated mid-write.
+
+    ``recovered`` counts the records decoded before the damage and
+    ``offset`` is where in the byte stream it was found, so offline replay
+    can report exactly how much of a crashed run's trace survives.
+    """
+
+    def __init__(self, message: str, recovered: int = 0, offset: int = 0) -> None:
+        super().__init__(
+            f"{message} (at byte {offset}; {recovered} record(s) recovered)"
+        )
+        self.recovered = recovered
+        self.offset = offset
+
+
 class BoundsOverflowError(TeslaError):
     """A preallocated instance pool overflowed.
 

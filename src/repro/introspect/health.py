@@ -56,7 +56,8 @@ class HealthReport:
     #: Fault-injector accounting when armed (seed, checks, fired per site).
     injector: Optional[dict] = None
     #: Deferred-pipeline accounting when the runtime defers (queue depth,
-    #: drains, flush counts/latency, events lost to contained faults);
+    #: drains, flush counts/latency, events lost to contained faults, and
+    #: — when a trace journal is installed — its record/byte counters);
     #: ``None`` for synchronous runtimes.
     deferred: Optional[dict] = None
     #: tesla-lint summary of every installed batch (DESIGN §5.5);
@@ -169,6 +170,16 @@ def format_health(report: HealthReport) -> str:
             f"(sync={d.get('sync_flushes')} inline={d.get('inline_flushes')}) "
             f"last_flush={d.get('last_flush_seconds', 0.0) * 1e6:.1f}us"
         )
+        j = d.get("journal")
+        if j is not None:
+            lines.append(
+                f"  journal: events={j.get('events')} "
+                f"records={j.get('records')} "
+                f"bytes={j.get('bytes')} "
+                f"opaque={j.get('opaque_values')} "
+                f"errors={j.get('errors')} "
+                f"path={j.get('path') or '(stream)'}"
+            )
     if report.lint is not None:
         lint = report.lint
         verdict = "clean" if lint.get("clean") else "findings"

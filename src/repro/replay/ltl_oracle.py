@@ -1,0 +1,550 @@
+"""An independent LTL semantics for TESLA assertions over recorded traces.
+
+The ``tesla_ltl_map`` translation (SNIPPETS.md) reads a TESLA assertion
+as a linear-temporal formula over a finite trace: within each temporal
+bound, ``previously(e₁, …, eₙ)`` means *the sequence e₁…eₙ occurred
+before the assertion site* and ``eventually(…)`` means *it occurs after*.
+This module evaluates that reading **directly over journal slots** —
+sequence search with backtracking over concrete events — sharing none of
+the automaton machinery (no translation, no NFA, no instance pools, no
+transition plans).  Agreement between a replay's verdicts and this
+oracle is therefore evidence about the *semantics*, not about two copies
+of the same code.
+
+Scope: the oracle covers the non-``strict`` assertion grammar with a
+single assertion site — sequences, ``||``/``^`` alternation,
+``optional``, ``ATLEAST`` — under the same per-bound/per-binding
+obligation semantics the runtime implements (repeated sites within one
+bound re-use a satisfied binding; bounds that never reach a site produce
+no verdict).  ``strict`` automata and ``eventually`` obligations whose
+variables are unbound at the site have no faithful linear reading here
+and raise :class:`LTLUnsupported` rather than guessing.
+
+Verdict vocabulary (mapped onto the runtime's violation reasons by the
+differential suite):
+
+* ``"site"``     — no prior sequence matches the site's scope values
+  (runtime: "no automaton instance could accept the assertion site").
+* ``"cleanup"``  — a satisfied site's remaining obligations were not
+  discharged before the bound closed (runtime: "temporal bound closed
+  before the automaton accepted").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence as Seq, Tuple
+
+from ..core.ast import (
+    AssertionSite,
+    AtLeast,
+    BooleanOr,
+    BooleanXor,
+    Conditional,
+    Context,
+    Expression,
+    FieldAssign,
+    FunctionCall,
+    FunctionReturn,
+    InCallStack,
+    Optional_,
+    Sequence,
+    Strict,
+    TemporalAssertion,
+    referenced_variables,
+)
+from ..core.events import EventKind, RuntimeEvent
+from ..core.patterns import match_all
+from ..errors import TeslaError
+
+__all__ = [
+    "LTLUnsupported",
+    "OracleVerdict",
+    "OracleViolation",
+    "ltl_verdict",
+    "ltl_verdicts",
+]
+
+Binding = Dict[str, Any]
+Slot = Tuple[int, RuntimeEvent]
+
+
+class LTLUnsupported(TeslaError):
+    """The assertion has no faithful linear-trace reading here."""
+
+
+#: How oracle violation kinds read in the runtime's vocabulary — the
+#: mapping the differential suite uses to compare violation *streams*,
+#: not just counts.
+RUNTIME_REASONS: Dict[str, str] = {
+    "site": (
+        "no automaton instance could accept the assertion site "
+        "(the expected prior events never occurred with these values)"
+    ),
+    "cleanup": (
+        "temporal bound closed before the automaton accepted "
+        "(an 'eventually' obligation was never discharged)"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class OracleViolation:
+    """One violation the oracle detected, at the given journal seqno."""
+
+    seqno: int
+    kind: str  # "site" | "cleanup"
+
+
+@dataclass
+class OracleVerdict:
+    """One assertion's verdict over one recorded trace."""
+
+    automaton: str
+    satisfied_sites: int = 0
+    accepts: int = 0
+    violations: List[OracleViolation] = field(default_factory=list)
+
+    @property
+    def errors(self) -> int:
+        return len(self.violations)
+
+    @property
+    def kinds(self) -> List[str]:
+        return [violation.kind for violation in self.violations]
+
+    def reason_stream(self) -> List[str]:
+        """The violations as the runtime's reason strings, in order."""
+        return [
+            RUNTIME_REASONS[violation.kind] for violation in self.violations
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Formula decomposition
+# ---------------------------------------------------------------------------
+
+
+def _contains_site(expr: Expression) -> bool:
+    if isinstance(expr, AssertionSite):
+        return True
+    return any(_contains_site(child) for child in expr.children())
+
+
+def _flatten(expr: Expression) -> List[Expression]:
+    """Top-level sequence parts, with nested Sequences spliced in order
+    and ``conditional`` wrappers (the default semantics) peeled."""
+    if isinstance(expr, Conditional):
+        return _flatten(expr.inner)
+    if isinstance(expr, Sequence):
+        parts: List[Expression] = []
+        for part in expr.parts:
+            parts.extend(_flatten(part))
+        return parts
+    return [expr]
+
+
+def split_at_site(
+    expr: Expression,
+) -> Tuple[List[Expression], List[Expression]]:
+    """Split the assertion body at its (single) assertion site.
+
+    Returns ``(pre, post)``: the sub-sequences that must occur before and
+    after the site.  ``previously(…)`` yields ``(parts, [])``;
+    ``eventually(…)`` yields ``([], parts)``.
+    """
+    parts = _flatten(expr)
+    site_indexes = [
+        index
+        for index, part in enumerate(parts)
+        if isinstance(part, AssertionSite)
+    ]
+    if len(site_indexes) != 1:
+        raise LTLUnsupported(
+            f"LTL oracle needs exactly one top-level assertion site, "
+            f"found {len(site_indexes)} in {expr.describe()}"
+        )
+    index = site_indexes[0]
+    pre, post = parts[:index], parts[index + 1 :]
+    for part in pre + post:
+        if _contains_site(part):
+            raise LTLUnsupported(
+                "LTL oracle does not support nested assertion sites"
+            )
+        if any(isinstance(node, InCallStack) for node in _walk(part)):
+            raise LTLUnsupported(
+                "incallstack has revocable (non-sequence) semantics the "
+                "LTL oracle does not model"
+            )
+    return pre, post
+
+
+def _walk(expr: Expression) -> Iterator[Expression]:
+    yield expr
+    for child in expr.children():
+        yield from _walk(child)
+
+
+# ---------------------------------------------------------------------------
+# Concrete-event matching (mirrors the symbol-match semantics, but written
+# against the AST directly — no EventSymbol, no compiled matchers)
+# ---------------------------------------------------------------------------
+
+
+def _match_event(
+    part: Expression, event: RuntimeEvent, binding: Binding
+) -> Optional[Binding]:
+    """None on mismatch, else the *new* bindings the match learned."""
+    if isinstance(part, FunctionCall):
+        if event.kind is not EventKind.CALL or event.name != part.function:
+            return None
+        if part.args is None:
+            return {}
+        return match_all(part.args, event.args, binding)
+    if isinstance(part, FunctionReturn):
+        if event.kind is not EventKind.RETURN or event.name != part.function:
+            return None
+        new: Binding = {}
+        if part.args is not None:
+            got = match_all(part.args, event.args, binding)
+            if got is None:
+                return None
+            new.update(got)
+        if part.retval is not None:
+            scratch = dict(binding)
+            scratch.update(new)
+            got = part.retval.match(event.retval, scratch)
+            if got is None:
+                return None
+            new.update(got)
+        return new
+    if isinstance(part, FieldAssign):
+        if event.kind is not EventKind.FIELD_ASSIGN:
+            return None
+        if event.name != f"{part.struct}.{part.field_name}":
+            return None
+        if part.op is not None and event.op is not part.op:
+            return None
+        new = {}
+        if part.target is not None:
+            got = part.target.match(event.target, binding)
+            if got is None:
+                return None
+            new.update(got)
+        if part.value is not None:
+            scratch = dict(binding)
+            scratch.update(new)
+            got = part.value.match(event.retval, scratch)
+            if got is None:
+                return None
+            new.update(got)
+        return new
+    return None
+
+
+def _binding_key(index: int, binding: Binding) -> Tuple:
+    return (index, tuple(sorted((k, repr(v)) for k, v in binding.items())))
+
+
+def _match_parts(
+    parts: Seq[Expression],
+    events: List[Slot],
+    lo: int,
+    hi: int,
+    binding: Binding,
+) -> Iterator[Tuple[int, Binding]]:
+    """All ways ``parts`` can match, in order, within ``events[lo:hi]``.
+
+    Yields ``(next_index, binding)`` — the position after the last
+    consumed event and the (possibly extended) variable binding.  This is
+    the sequence-search core of the LTL reading: ``◇(e₁ ∧ ◇(e₂ ∧ …))``
+    over a finite window.
+    """
+    if not parts:
+        yield lo, binding
+        return
+    head, rest = parts[0], parts[1:]
+    seen = set()
+    for nxt, extended in _match_one(head, events, lo, hi, binding):
+        key = _binding_key(nxt, extended)
+        if key in seen:
+            continue
+        seen.add(key)
+        yield from _match_parts(rest, events, nxt, hi, extended)
+
+
+def _match_one(
+    part: Expression,
+    events: List[Slot],
+    lo: int,
+    hi: int,
+    binding: Binding,
+) -> Iterator[Tuple[int, Binding]]:
+    if isinstance(part, Conditional):
+        yield from _match_one(part.inner, events, lo, hi, binding)
+    elif isinstance(part, Sequence):
+        yield from _match_parts(list(part.parts), events, lo, hi, binding)
+    elif isinstance(part, (BooleanOr, BooleanXor)):
+        # Over a linear trace both reduce to branch alternation: some
+        # branch occurred.  (XOR's "taking one branch abandons the other"
+        # is a *strict*-mode distinction; non-strict automata ignore the
+        # other branch's events either way.)
+        for branch in part.branches:
+            yield from _match_one(branch, events, lo, hi, binding)
+    elif isinstance(part, Optional_):
+        yield lo, binding
+        yield from _match_one(part.inner, events, lo, hi, binding)
+    elif isinstance(part, AtLeast):
+        yield from _match_atleast(
+            part.minimum, part.events, events, lo, hi, binding
+        )
+    elif isinstance(part, (FunctionCall, FunctionReturn, FieldAssign)):
+        for index in range(lo, hi):
+            new = _match_event(part, events[index][1], binding)
+            if new is not None:
+                merged = binding if not new else {**binding, **new}
+                yield index + 1, merged
+    elif isinstance(part, Strict):
+        raise LTLUnsupported(
+            "strict sub-expressions have no linear-trace reading here"
+        )
+    else:
+        raise LTLUnsupported(
+            f"LTL oracle cannot evaluate {type(part).__name__}"
+        )
+
+
+def _match_atleast(
+    minimum: int,
+    alternatives: Tuple[Expression, ...],
+    events: List[Slot],
+    lo: int,
+    hi: int,
+    binding: Binding,
+) -> Iterator[Tuple[int, Binding]]:
+    """``ATLEAST(n, …)``: n occurrences of any listed event, in order of
+    occurrence (any mix)."""
+    if minimum <= 0:
+        yield lo, binding
+        return
+    for index in range(lo, hi):
+        for alternative in alternatives:
+            new = _match_event(alternative, events[index][1], binding)
+            if new is not None:
+                merged = binding if not new else {**binding, **new}
+                yield from _match_atleast(
+                    minimum - 1, alternatives, events, index + 1, hi, merged
+                )
+
+
+# ---------------------------------------------------------------------------
+# Trace evaluation
+# ---------------------------------------------------------------------------
+
+
+def _scope_compatible(binding: Binding, scope: Binding) -> Optional[Binding]:
+    """Merge a candidate prefix binding with the site's scope values;
+    None when any shared variable disagrees."""
+    merged = dict(binding)
+    for name, value in scope.items():
+        if name in merged:
+            bound = merged[name]
+            if not (bound is value or bound == value):
+                return None
+        else:
+            merged[name] = value
+    return merged
+
+
+def _record_compatible(
+    record_binding: Binding, scope: Binding, variables: Tuple[str, ...]
+) -> bool:
+    """The runtime's ``_already_satisfied`` compatibility rule: every
+    site-scope variable must be present *and equal* in the satisfied
+    binding (missing means a different obligation, not a match)."""
+    for name in variables:
+        if name not in scope:
+            continue
+        if name not in record_binding:
+            return False
+        bound = record_binding[name]
+        value = scope[name]
+        if not (bound is value or bound == value):
+            return False
+    return True
+
+
+@dataclass
+class _Obligation:
+    """One satisfied site binding within the current bound."""
+
+    binding: Binding
+    position: int  # window index of the site event
+    seqno: int
+
+
+def _eval_window(
+    assertion: TemporalAssertion,
+    pre: List[Expression],
+    post: List[Expression],
+    variables: Tuple[str, ...],
+    window: List[Slot],
+    obligations: List[_Obligation],
+    close_seqno: int,
+    verdict: OracleVerdict,
+) -> None:
+    """Close one bound: discharge every satisfied site's obligations."""
+    for obligation in obligations:
+        if not post:
+            verdict.accepts += 1
+            continue
+        accepted = False
+        extension_only = False
+        for end, binding in _match_parts(
+            post, window, obligation.position + 1, len(window),
+            dict(obligation.binding),
+        ):
+            if set(binding) <= set(obligation.binding):
+                accepted = True
+                break
+            extension_only = True
+        if accepted:
+            verdict.accepts += 1
+        elif extension_only:
+            raise LTLUnsupported(
+                f"{assertion.name}: an 'eventually' obligation binds "
+                "variables that were free at the assertion site; the "
+                "linear reading cannot mirror the runtime's wildcard "
+                "semantics for it"
+            )
+        else:
+            verdict.violations.append(
+                OracleViolation(close_seqno, "cleanup")
+            )
+
+
+def _eval_trace(
+    assertion: TemporalAssertion,
+    pre: List[Expression],
+    post: List[Expression],
+    variables: Tuple[str, ...],
+    slots: List[Slot],
+    verdict: OracleVerdict,
+) -> None:
+    window: Optional[List[Slot]] = None
+    obligations: List[_Obligation] = []
+    entry = assertion.bound.entry
+    exit_ = assertion.bound.exit
+    for seqno, event in slots:
+        if window is None:
+            if _match_event(entry, event, {}) is not None:
+                window = []
+                obligations = []
+            continue
+        if _match_event(exit_, event, {}) is not None:
+            _eval_window(
+                assertion, pre, post, variables, window, obligations,
+                seqno, verdict,
+            )
+            window = None
+            obligations = []
+            continue
+        if _match_event(entry, event, {}) is not None:
+            # Re-entrant bound entry: the runtime ignores it entirely (a
+            # nested «init» is a no-op and the event is excluded from the
+            # class's body work), so it is not part of the window either.
+            continue
+        if (
+            event.kind is EventKind.ASSERTION_SITE
+            and event.name == assertion.name
+        ):
+            scope = {
+                name: value
+                for name, value in event.scope.items()
+                if name in variables
+            }
+            position = len(window)
+            matched: List[Binding] = []
+            for _, binding in _match_parts(pre, window, 0, position, {}):
+                merged = _scope_compatible(binding, scope)
+                if merged is not None and not any(
+                    _same_binding(merged, existing) for existing in matched
+                ):
+                    matched.append(merged)
+            if matched:
+                verdict.satisfied_sites += 1
+                for merged in matched:
+                    if not any(
+                        _same_binding(merged, o.binding)
+                        for o in obligations
+                    ):
+                        obligations.append(
+                            _Obligation(merged, position, seqno)
+                        )
+            elif any(
+                _record_compatible(o.binding, scope, variables)
+                for o in obligations
+            ):
+                verdict.satisfied_sites += 1
+            else:
+                verdict.violations.append(OracleViolation(seqno, "site"))
+        window.append((seqno, event))
+    # A still-open window at end of trace produces no verdicts: the
+    # runtime only finalises instances at the cleanup event.
+
+
+def _same_binding(a: Binding, b: Binding) -> bool:
+    if set(a) != set(b):
+        return False
+    for key, value in a.items():
+        other = b[key]
+        if not (other is value or other == value):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def ltl_verdict(
+    assertion: TemporalAssertion, slots: List[Slot]
+) -> OracleVerdict:
+    """Evaluate one assertion's LTL reading over recorded slots.
+
+    Global-context assertions read the merged (seqno-sorted) stream;
+    per-thread assertions read each recorded thread's subsequence, and
+    the verdict sums over threads (violations ordered by seqno).
+    """
+    if assertion.strict:
+        raise LTLUnsupported(
+            f"{assertion.name}: strict automata reject unconsumable "
+            "events, which a pure sequence reading cannot express"
+        )
+    pre, post = split_at_site(assertion.expression)
+    variables = referenced_variables(assertion)
+    ordered = sorted(slots, key=lambda slot: slot[0])
+    verdict = OracleVerdict(assertion.name)
+    if assertion.context is Context.GLOBAL:
+        _eval_trace(assertion, pre, post, variables, ordered, verdict)
+    else:
+        by_thread: Dict[int, List[Slot]] = {}
+        for slot in ordered:
+            by_thread.setdefault(slot[1].thread_id, []).append(slot)
+        for tid in sorted(by_thread):
+            _eval_trace(
+                assertion, pre, post, variables, by_thread[tid], verdict
+            )
+        verdict.violations.sort(key=lambda violation: violation.seqno)
+    return verdict
+
+
+def ltl_verdicts(
+    assertions: Seq[TemporalAssertion], slots: List[Slot]
+) -> Dict[str, OracleVerdict]:
+    """:func:`ltl_verdict` for a batch, keyed by assertion name."""
+    return {
+        assertion.name: ltl_verdict(assertion, slots)
+        for assertion in assertions
+    }

@@ -84,6 +84,7 @@ class DrainController:
         overflow_policy: str = "flush",
         background: bool = True,
         drain_interval: float = 0.002,
+        journal=None,
     ) -> None:
         if overflow_policy not in OVERFLOW_POLICIES:
             raise ValueError(
@@ -120,6 +121,11 @@ class DrainController:
         #: Optional recorder: every drained (seqno, event) in dispatch
         #: order — the differential replay oracle's merged sequence.
         self.dispatch_log: Optional[List[Slot]] = None
+        #: Optional durable sink (DESIGN §5.6): every drained slot is
+        #: appended to the journal *before* the batch is evaluated, so the
+        #: log always covers the event that produced a verdict.
+        self.journal = journal
+        self.journal_errors = 0
         # -- accounting (surfaced via repro.introspect.dispatch_stats) --
         self.events_enqueued = 0
         self.events_drained = 0
@@ -254,6 +260,17 @@ class DrainController:
             merged.sort(key=_slot_seqno)
             if self.dispatch_log is not None:
                 self.dispatch_log.extend(merged)
+            if self.journal is not None:
+                # Journal before dispatch: a fail-stop verdict mid-batch
+                # still leaves every event up to (and past) the violation
+                # on disk.  A journal fault is contained like any other
+                # monitor fault — it costs durability, never verdicts.
+                try:
+                    self.journal.append_batch(merged)
+                except Exception as exc:
+                    self.journal_errors += 1
+                    if not self._contain("journal", exc):
+                        raise
             self.runtime.dispatch_batch(
                 [slot[1] for slot in merged], include_local=False
             )
@@ -403,6 +420,7 @@ class DrainController:
             ring.overflows = 0
             ring.max_depth = 0
         self.dispatch_log = None
+        self.journal_errors = 0
         self.events_enqueued = 0
         self.events_drained = 0
         self.events_discarded = 0
@@ -419,7 +437,12 @@ class DrainController:
     def stats(self) -> dict:
         with self._rings_lock:
             ring_rows = [ring.stats() for ring in self._rings]
+        journal = None
+        if self.journal is not None:
+            journal = dict(self.journal.stats())
+            journal["errors"] = self.journal_errors
         return {
+            "journal": journal,
             "background": self.background,
             "overflow_policy": self.overflow_policy,
             "drainer_alive": self.drainer_alive,

@@ -44,6 +44,7 @@ from ..core.translate import translate_all
 from ..errors import ContextError, TemporalAssertionError
 from .drain import DrainController
 from .epoch import interest_epoch
+from .journal import JournalWriter
 from .notify import ErrorPolicy, NotificationHub
 from .prealloc import DEFAULT_CAPACITY
 from .ringbuf import DEFAULT_RING_CAPACITY
@@ -175,11 +176,17 @@ class TeslaRuntime:
         ring_capacity: int = DEFAULT_RING_CAPACITY,
         drain_interval: float = 0.002,
         lint: str = "warn",
+        journal: object = None,
     ) -> None:
         if deferred not in (False, True, "manual"):
             raise ValueError(
                 "deferred must be False (synchronous), True (background "
                 f"drainer) or 'manual' (explicit drain), got {deferred!r}"
+            )
+        if journal is not None and not deferred:
+            raise ValueError(
+                "journal= records at the drain boundary (DESIGN §5.6); it "
+                "requires deferred=True or deferred='manual'"
             )
         if lint not in ("error", "warn", "off"):
             raise ValueError(
@@ -226,6 +233,19 @@ class TeslaRuntime:
         #: defers with no thread (tests drive ``drain()``/``flush``
         #: explicitly for deterministic schedules).
         self.deferred = deferred
+        #: Durable trace journal (DESIGN §5.6): a path, binary file-like
+        #: or prebuilt :class:`~repro.runtime.journal.JournalWriter`; the
+        #: drain appends every merged slot before evaluating it.
+        self.journal: Optional[JournalWriter] = None
+        if journal is not None:
+            # Anything already quacking like a journal sink (JournalWriter
+            # or a custom append_batch/close object) is used as-is; paths
+            # and binary streams get wrapped.
+            self.journal = (
+                journal
+                if hasattr(journal, "append_batch")
+                else JournalWriter(journal)
+            )
         self.drain: Optional[DrainController] = (
             DrainController(
                 self,
@@ -233,6 +253,7 @@ class TeslaRuntime:
                 overflow_policy=overflow_policy,
                 background=(deferred is True),
                 drain_interval=drain_interval,
+                journal=self.journal,
             )
             if deferred
             else None
@@ -292,6 +313,10 @@ class TeslaRuntime:
     ) -> List[Automaton]:
         batch = list(assertions)
         self._lint_batch(batch)
+        if self.journal is not None:
+            # Embed the source assertions so the journal is self-contained:
+            # offline replay re-derives the automata from the log alone.
+            self.journal.record_assertions(batch)
         automata = translate_all(batch)
         for automaton, assertion in zip(automata, batch):
             self.install_automaton(automaton, assertion.context)
@@ -689,6 +714,16 @@ class TeslaRuntime:
         if self.drain is not None:
             return self.drain.queue_depth()
         return 0
+
+    def close_journal(self) -> None:
+        """Footer-close the trace journal (idempotent).
+
+        Does *not* flush the rings first: teardown decides whether pending
+        captures are evaluated (clean exit) or discarded (the block body
+        raised), and the journal must mirror that choice.
+        """
+        if self.journal is not None and not self.journal.closed:
+            self.journal.close()
 
     def reset(self) -> None:
         """Expunge all instances and close all bounds (e.g. between runs).

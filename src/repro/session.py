@@ -43,6 +43,7 @@ def monitoring(
     ring_capacity: Optional[int] = None,
     drain_interval: Optional[float] = None,
     lint: Optional[str] = None,
+    journal: object = None,
 ) -> Iterator[TeslaRuntime]:
     """Instrument ``assertions`` for the duration of the ``with`` block.
 
@@ -71,7 +72,11 @@ def monitoring(
     ``drain_interval`` the background drainer's poll period.  ``lint``
     selects the install-time tesla-lint gate (``"warn"`` default,
     ``"error"`` refuses assertions with lint errors, ``"off"`` skips the
-    passes — see DESIGN §5.5).  On clean
+    passes — see DESIGN §5.5).  ``journal`` installs a durable trace
+    journal at the drain boundary (DESIGN §5.6): a path or binary
+    file-like object every drained event is appended to, replayable
+    offline with ``python -m repro.cli replay``; it requires ``deferred``
+    and is footer-closed when the block exits.  On clean
     exit the block flushes pending events first, so deferred verdicts —
     including a fail-stop :class:`~repro.errors.TemporalAssertionError` —
     are delivered no later than the ``with`` block's exit; if the block
@@ -97,6 +102,8 @@ def monitoring(
         kwargs["drain_interval"] = drain_interval
     if lint is not None:
         kwargs["lint"] = lint
+    if journal is not None:
+        kwargs["journal"] = journal
     runtime = TeslaRuntime(**kwargs)
     session = Instrumenter(
         runtime,
@@ -113,6 +120,7 @@ def monitoring(
         if runtime.drain is not None:
             runtime.drain.stop()
             runtime.discard_deferred()
+        runtime.close_journal()
         raise
     else:
         # Clean exit is a synchronization point: evaluate everything the
@@ -124,5 +132,6 @@ def monitoring(
                 runtime.flush_deferred()
             finally:
                 runtime.drain.stop()
+                runtime.close_journal()
     finally:
         session.uninstrument()

@@ -1,0 +1,172 @@
+"""Golden-journal schema pin for the trace-journal binary format.
+
+``tests/fixtures/golden.tjournal`` is a committed journal written by a
+fixed, fully deterministic recording (pinned thread ids, no timestamps).
+This test re-generates those bytes with the *current* encoder and
+byte-compares; it also re-reads the committed file with the current
+decoder.  If either check fails, the binary encoding changed — which is
+allowed, but only deliberately:
+
+1. bump ``JOURNAL_VERSION`` in ``src/repro/runtime/journal.py``,
+2. keep (or add) a read path for the old version, or document in the
+   error message that old journals must be re-recorded,
+3. regenerate the fixture:
+   ``PYTHONPATH=src python -m tests.unit.runtime.test_journal_schema``
+4. mention the bump in CHANGES.md.
+
+A silent encoding drift would make every previously recorded journal
+unreadable (or worse, misread) — hence the byte-for-byte pin.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.core.ast import AssignOp
+from repro.core.dsl import (
+    ANY,
+    call,
+    fn,
+    previously,
+    returnfrom,
+    tesla_global,
+    var,
+)
+from repro.core.events import EventKind, RuntimeEvent
+from repro.runtime.journal import (
+    JOURNAL_MAGIC,
+    JOURNAL_VERSION,
+    JournalWriter,
+    read_journal,
+)
+
+FIXTURE = Path(__file__).resolve().parents[2] / "fixtures" / "golden.tjournal"
+
+UPGRADE_INSTRUCTIONS = (
+    "The journal binary encoding changed. If this was intentional: bump "
+    "JOURNAL_VERSION in src/repro/runtime/journal.py, keep a read path "
+    "for old journals (or document re-recording), regenerate the fixture "
+    "with `PYTHONPATH=src python -m tests.unit.runtime.test_journal_schema`, "
+    "and note the bump in CHANGES.md. If it was NOT intentional, revert "
+    "the encoding change — committed journals in the wild would become "
+    "unreadable."
+)
+
+
+def golden_assertion():
+    return tesla_global(
+        call("golden_bound"),
+        returnfrom("golden_bound"),
+        previously(fn("golden_check", ANY("c"), var("v")) == 0),
+        name="golden.assertion",
+    )
+
+
+def golden_slots():
+    """A fixed trace touching every event kind, op byte and value tag."""
+
+    def event(kind, name, **kwargs):
+        return RuntimeEvent(kind=kind, name=name, thread_id=0, **kwargs)
+
+    return [
+        (0, event(EventKind.CALL, "golden_bound", args=())),
+        (
+            1,
+            event(
+                EventKind.RETURN,
+                "golden_check",
+                args=("c", 4),
+                retval=0,
+                stack=("caller", "callee"),
+            ),
+        ),
+        (
+            2,
+            event(
+                EventKind.FIELD_ASSIGN,
+                "GoldenStruct.field",
+                retval=9,
+                op=AssignOp.SET,
+                target="obj-1",
+            ),
+        ),
+        (
+            3,
+            event(
+                EventKind.ASSERTION_SITE,
+                "golden.assertion",
+                scope={"v": 4},
+            ),
+        ),
+        (
+            4,
+            event(
+                EventKind.RETURN,
+                "golden_values",
+                args=(
+                    None,
+                    True,
+                    False,
+                    -17,
+                    2**80,
+                    3.5,
+                    "text",
+                    b"\x00\xff",
+                    (1, (2, 3)),
+                    [1, [2]],
+                    {"k": 1, 2: "v"},
+                ),
+                retval=0,
+            ),
+        ),
+        (5, event(EventKind.RETURN, "golden_bound", args=(), retval=0)),
+    ]
+
+
+def generate_golden_bytes() -> bytes:
+    buf = io.BytesIO()
+    writer = JournalWriter(buf, meta={"fixture": "golden", "pinned": True})
+    writer.record_assertions([golden_assertion()])
+    writer.append_batch(golden_slots())
+    writer.close()
+    return buf.getvalue()
+
+
+def test_version_byte_is_pinned():
+    data = FIXTURE.read_bytes()
+    assert data[: len(JOURNAL_MAGIC)] == JOURNAL_MAGIC
+    assert data[len(JOURNAL_MAGIC)] == JOURNAL_VERSION == 1, (
+        "JOURNAL_VERSION changed without regenerating the golden fixture. "
+        + UPGRADE_INSTRUCTIONS
+    )
+
+
+def test_current_encoder_reproduces_golden_bytes():
+    assert generate_golden_bytes() == FIXTURE.read_bytes(), (
+        UPGRADE_INSTRUCTIONS
+    )
+
+
+def test_current_decoder_reads_golden_fixture():
+    journal = read_journal(FIXTURE)
+    assert journal.clean_close, UPGRADE_INSTRUCTIONS
+    assert journal.version == JOURNAL_VERSION
+    assert journal.meta["fixture"] == "golden"
+    assert [a.name for a in journal.assertions] == ["golden.assertion"]
+    assert journal.slots == golden_slots(), UPGRADE_INSTRUCTIONS
+
+
+def test_golden_journal_replays():
+    from repro.replay import ReplayEngine
+
+    result = ReplayEngine(read_journal(FIXTURE)).run("naive")
+    verdict = result.classes["golden.assertion"]
+    assert verdict.as_tuple() == (1, 0, 1, 0)
+    assert result.clean
+
+
+if __name__ == "__main__":  # regenerate the fixture (see module docstring)
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE.write_bytes(generate_golden_bytes())
+    print(f"wrote {FIXTURE} ({FIXTURE.stat().st_size} bytes)")
