@@ -38,7 +38,7 @@ from repro.runtime.manager import TeslaRuntime
 from repro.runtime.notify import LogAndContinue
 from repro.runtime.supervisor import FailOpen
 
-from conftest import emit
+from conftest import emit, interleaved_best
 
 SMOKE = os.environ.get("TESLA_BENCH_SMOKE") == "1"
 ROUNDS = 2 if SMOKE else 40
@@ -124,21 +124,14 @@ def _build_runtime(events, failure_policy=None):
     return runtime, replay
 
 
-def _best(samples):
-    """Minimum over samples: scheduler/GC noise only ever adds time, so
-    the minimum is the robust estimator for a same-code-path comparison
-    pinned to a few percent."""
-    return min(samples)
-
-
 def test_fault_plumbing_overhead(benchmark, results_dir):
     events = _trace(ROUNDS)
 
     def measure():
-        # The three configurations are sampled *interleaved* (A/B/C,
-        # A/B/C, …) rather than back-to-back so ramp-up, frequency
-        # scaling and allocator drift land evenly on all of them — the
-        # 3% bar is tighter than sequential-run noise.
+        # Interleaved GC-controlled min-of-samples (see conftest): the
+        # 3% bar is tighter than sequential-run noise, so the three
+        # configurations must sample A/B/C, A/B/C, … with the best
+        # observed run as each side's estimate.
         default, replay_default = _build_runtime(events)
         failopen, replay_failopen = _build_runtime(
             events, failure_policy=FailOpen()
@@ -149,26 +142,29 @@ def test_fault_plumbing_overhead(benchmark, results_dir):
         injector = FaultInjector(seed=1, rate=0.0)
 
         def sample_armed():
+            # Arm/disarm outside the timed region: the tax under test is
+            # the per-fault-point consultation, not injector setup.
             arm(injector)
             try:
                 return time_once(replay_armed)
             finally:
                 disarm()
 
-        for replay in (replay_default, replay_failopen, replay_armed):
-            replay()  # warmup: plans compiled, pools materialised
-        samples = {"default": [], "failopen": [], "armed": []}
-        for _ in range(REPEATS * 3):
-            samples["default"].append(time_once(replay_default))
-            samples["failopen"].append(time_once(replay_failopen))
-            samples["armed"].append(sample_armed())
+        best = interleaved_best(
+            {
+                "default": lambda: time_once(replay_default),
+                "failopen": lambda: time_once(replay_failopen),
+                "armed": sample_armed,
+            },
+            repeats=REPEATS * 3,
+        )
         return (
             default,
-            _best(samples["default"]),
+            best["default"],
             failopen,
-            _best(samples["failopen"]),
+            best["failopen"],
             armed,
-            _best(samples["armed"]),
+            best["armed"],
         )
 
     default, default_s, failopen, failopen_s, armed, armed_s = (

@@ -10,6 +10,12 @@ Here "Pre" is the eager runtime (``lazy=False``) and "Post" the optimised
 one (``lazy=True``), measured over the MAC and PROC assertion sets
 (figure 13a's microbenchmark columns) and the OLTP and build
 macrobenchmarks under the full set (figure 13b).
+
+The shape test doubles as the repo's optimisation scoreboard: a third
+"jit" series stacks every later optimisation (compiled transition plans
++ tesla-jit generated dispatch, DESIGN §5.5/§5.7) on the lazy runtime,
+so each PR's effect on the paper's headline workloads stays visible in
+one table.
 """
 
 from __future__ import annotations
@@ -32,9 +38,9 @@ from conftest import emit
 MICRO_ITERS = 100
 
 
-def run_micro(set_name, lazy):
+def run_micro(set_name, **kwargs):
     sets = assertion_sets()
-    session = Instrumenter(TeslaRuntime(lazy=lazy))
+    session = Instrumenter(TeslaRuntime(**kwargs))
     session.instrument(sets[set_name])
     kernel = KernelSystem()
     td = kernel.boot()
@@ -46,9 +52,9 @@ def run_micro(set_name, lazy):
         session.uninstrument()
 
 
-def run_macro(workload_name, lazy):
+def run_macro(workload_name, **kwargs):
     sets = assertion_sets()
-    session = Instrumenter(TeslaRuntime(lazy=lazy))
+    session = Instrumenter(TeslaRuntime(**kwargs))
     session.instrument(sets["All"])
     kernel = KernelSystem()
     td = kernel.boot()
@@ -104,17 +110,23 @@ def test_fig13b_macro(benchmark, workload, lazy):
 
 
 def test_fig13_shape(benchmark, results_dir):
+    JIT = dict(lazy=True, compile=True, codegen=True)
+
     def run():
         baseline = run_baseline_micro()
         rows = {
             "MAC micro (pre)": run_micro("M", lazy=False),
             "MAC micro (post)": run_micro("M", lazy=True),
+            "MAC micro (jit)": run_micro("M", **JIT),
             "PROC micro (pre)": run_micro("P", lazy=False),
             "PROC micro (post)": run_micro("P", lazy=True),
+            "PROC micro (jit)": run_micro("P", **JIT),
             "OLTP (pre)": run_macro("oltp", lazy=False),
             "OLTP (post)": run_macro("oltp", lazy=True),
+            "OLTP (jit)": run_macro("oltp", **JIT),
             "Build (pre)": run_macro("build", lazy=False),
             "Build (post)": run_macro("build", lazy=True),
+            "Build (jit)": run_macro("build", **JIT),
         }
         return baseline, rows
 
@@ -122,21 +134,26 @@ def test_fig13_shape(benchmark, results_dir):
     lines = [
         "Figure 13: performance improvements with the lazy optimisation",
         "--------------------------------------------------------------",
+        "(jit = lazy + compiled plans + tesla-jit generated dispatch)",
         f"{'configuration':<20}{'seconds':>10}{'improvement':>13}",
     ]
     for prefix in ("MAC micro", "PROC micro", "OLTP", "Build"):
         pre = rows[f"{prefix} (pre)"]
-        post = rows[f"{prefix} (post)"]
         lines.append(f"{prefix + ' (pre)':<20}{pre:>10.4f}")
-        lines.append(
-            f"{prefix + ' (post)':<20}{post:>10.4f}{pre / post:>12.2f}x"
-        )
+        for tag in ("post", "jit"):
+            value = rows[f"{prefix} ({tag})"]
+            lines.append(
+                f"{prefix + f' ({tag})':<20}{value:>10.4f}"
+                f"{pre / value:>12.2f}x"
+            )
     lines.append(f"{'(uninstrumented micro':<20}{baseline:>10.4f})")
     emit(results_dir, "fig13_optimisation", "\n".join(lines))
 
-    # Shape: the optimisation helps everywhere...
+    # Shape: the optimisation helps everywhere, and stacking the compiled
+    # + generated dispatch path on top never gives the gain back...
     for prefix in ("MAC micro", "PROC micro", "OLTP", "Build"):
         assert rows[f"{prefix} (post)"] < rows[f"{prefix} (pre)"], prefix
+        assert rows[f"{prefix} (jit)"] < rows[f"{prefix} (pre)"], prefix
     # ...and helps the P-set microbenchmark dramatically: its 37 automata
     # share the syscall bound but are never touched by open/close, exactly
     # the common case the per-context bound record optimises away.

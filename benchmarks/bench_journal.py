@@ -24,7 +24,6 @@ assertion.
 
 from __future__ import annotations
 
-import gc
 import os
 import time
 
@@ -48,7 +47,7 @@ from repro.runtime.journal import read_journal
 from repro.runtime.manager import TeslaRuntime
 from repro.runtime.notify import LogAndContinue
 
-from conftest import emit
+from conftest import emit, interleaved_best
 
 SMOKE = os.environ.get("TESLA_BENCH_SMOKE") == "1"
 N_EVENTS = 400 if SMOKE else 20_000
@@ -143,29 +142,22 @@ def test_journal_record_and_replay(benchmark, results_dir, tmp_path):
             journal_path["last"] = path
             return runtime
 
-        # Interleave the two sides pair-by-pair: measuring one side's
-        # repeats in a block, then the other's, lets clock drift (thermal,
-        # noisy neighbours, allocator warm-up) land entirely on whichever
-        # side ran second and swamp the ratio under test.  Each side's
-        # estimate is its best observed run — for a ratio of two
-        # deterministic workloads, min-of-samples is the noise-robust
-        # estimator (noise only ever adds time).  GC is paused during
-        # samples (collected between them): the journal side allocates
-        # ~40 bytes/event of record frames, so collector pauses would
-        # otherwise land disproportionately on the side under test.
-        plain_run(), journal_run()  # warm both paths
-        plain_samples, journal_samples = [], []
-        gc.disable()
-        try:
-            for _ in range(REPEATS):
-                gc.collect()
-                plain_samples.append(median_time(plain_run, repeats=1))
-                gc.collect()
-                journal_samples.append(median_time(journal_run, repeats=1))
-        finally:
-            gc.enable()
-        plain_us = min(plain_samples) * 1e6 / len(trace)
-        journal_us = min(journal_samples) * 1e6 / len(trace)
+        # Interleaved GC-controlled min-of-samples (see conftest): the
+        # journal side allocates ~40 bytes/event of record frames, so
+        # sequential blocks would let collector pauses and clock drift
+        # land disproportionately on the side under test.  Each sample
+        # times the second of two back-to-back runs (median_time's
+        # repeats=1 warms once untimed): the bar pins the steady-state
+        # encode+append cost, not per-run setup like file creation.
+        best = interleaved_best(
+            {
+                "plain": lambda: median_time(plain_run, repeats=1),
+                "journal": lambda: median_time(journal_run, repeats=1),
+            },
+            repeats=REPEATS,
+        )
+        plain_us = best["plain"] * 1e6 / len(trace)
+        journal_us = best["journal"] * 1e6 / len(trace)
         path = journal_path["last"]
 
         # -- replay throughput --------------------------------------------

@@ -48,6 +48,43 @@ def results_dir() -> pathlib.Path:
     return RESULTS_DIR
 
 
+def interleaved_best(samplers, repeats: int, warmup: int = 1) -> dict:
+    """GC-controlled, interleaved min-of-samples timing for ratio benches.
+
+    Measuring one configuration's repeats in a block and then the next's
+    lets clock drift (thermal, noisy neighbours, allocator warm-up) land
+    entirely on whichever side ran later and swamp the ratio under test,
+    so samples are taken interleaved (A/B/C, A/B/C, …).  Each side's
+    estimate is its best observed sample: for a ratio of deterministic
+    workloads, noise only ever adds time, making min-of-samples the
+    noise-robust estimator.  The collector is paused across the whole
+    interleaved phase (each ``time_once`` sample still collects before
+    it starts), so collection pauses triggered by one side's garbage
+    never land on another side's sample.
+
+    ``samplers`` maps label -> a zero-argument callable returning one
+    wall-clock sample in seconds — typically ``lambda: time_once(fn)``,
+    or a wrapper that arms/tears down state outside the timed region.
+    Each sampler runs ``warmup`` times untimed first.  Returns
+    ``{label: best_seconds}``.
+    """
+    import gc
+
+    items = list(samplers.items())
+    for _ in range(warmup):
+        for _, sample in items:
+            sample()
+    samples: dict = {label: [] for label, _ in items}
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            for label, sample in items:
+                samples[label].append(sample())
+    finally:
+        gc.enable()
+    return {label: min(values) for label, values in samples.items()}
+
+
 def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
     """Print a figure's table and persist it for EXPERIMENTS.md.
 

@@ -26,6 +26,11 @@ Commands
     ``kernel``, ``sslx``, ``gui`` — default all), with text or ``--json``
     output, ``--min-severity`` filtering and a ``--fail-on`` exit-code
     contract (0 clean, 1 warnings under ``--fail-on warning``, 2 errors).
+``codegen <suite> [--assertion NAME] [--dump]``
+    Show what tesla-jit generates for a suite: a summary row per
+    (assertion, dispatch key) — generated vs fallback with the reason —
+    or, with ``--dump``, the full generated Python source (0 ok, 2
+    unknown suite/assertion).
 ``replay <journal> [--config …] [--at-seqno N] [--json]``
     Replay a recorded trace journal offline through any runtime
     configuration, cross-checked against the independent LTL oracle
@@ -222,6 +227,70 @@ def cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(report.format(min_severity=Severity(args.min_severity)))
     return report.exit_code(args.fail_on)
+
+
+def cmd_codegen(args: argparse.Namespace) -> int:
+    """Show what tesla-jit generates for an assertion suite.
+
+    Default output is one summary row per (assertion, dispatch key):
+    generated or fallback (with the generator's reason) plus elision
+    counts.  ``--dump`` prints the full generated source — the
+    debuggability surface for "what does my assertion actually run".
+    Exit codes: 0 ok, 2 unknown suite or assertion.
+    """
+    from .analysis.lint import available_suites, lint_assertions, load_suite
+    from .core.translate import translate_all
+    from .runtime.codegen import CODEGEN_VERSION, CodegenFacts, dump_sources
+
+    known = available_suites()
+    if args.suite not in known:
+        print(f"unknown suite {args.suite!r}; known: {', '.join(known)}")
+        return 2
+    assertions, model = load_suite(args.suite)
+    if args.assertion is not None:
+        assertions = [a for a in assertions if a.name == args.assertion]
+        if not assertions:
+            print(
+                f"no assertion named {args.assertion!r} in suite "
+                f"{args.suite!r} (try 'lint {args.suite}')"
+            )
+            return 2
+    # The same lint handoff the runtime uses: suite-wide facts decide
+    # which guards the generator may elide.
+    facts = CodegenFacts.from_report(
+        lint_assertions(assertions, program=model)
+    )
+    if not args.dump:
+        print(
+            f"{'assertion':<36} {'dispatch key':<30} "
+            f"{'status':<10} {'elided':>7}"
+        )
+    for automaton in translate_all(assertions):
+        for key, gen in dump_sources(automaton, facts):
+            label = f"{key[0].value}:{key[1]}"
+            if gen.fallback_reason is not None:
+                if args.dump:
+                    print(
+                        f"# tesla-jit v{CODEGEN_VERSION} "
+                        f"automaton={automaton.name} key={label} "
+                        f"FALLBACK: {gen.fallback_reason}"
+                    )
+                else:
+                    print(
+                        f"{automaton.name:<36} {label:<30} "
+                        f"{'fallback':<10} {gen.fallback_reason}"
+                    )
+                continue
+            if args.dump:
+                print(gen.source)
+                print()
+            else:
+                elided = gen.elided_guards + gen.elided_transitions
+                print(
+                    f"{automaton.name:<36} {label:<30} "
+                    f"{'generated':<10} {elided:>7}"
+                )
+    return 0
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
@@ -473,6 +542,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="hide text findings below this severity",
     )
     lint_parser.set_defaults(func=cmd_lint)
+
+    codegen_parser = sub.add_parser(
+        "codegen", help="show tesla-jit generated code for a suite"
+    )
+    codegen_parser.add_argument(
+        "suite",
+        help="assertion suite (examples, kernel, sslx, gui)",
+    )
+    codegen_parser.add_argument(
+        "--assertion",
+        default=None,
+        help="restrict to one assertion by name",
+    )
+    codegen_parser.add_argument(
+        "--dump",
+        action="store_true",
+        help="print full generated source instead of the summary table",
+    )
+    codegen_parser.set_defaults(func=cmd_codegen)
 
     replay_parser = sub.add_parser(
         "replay", help="replay a recorded trace journal offline"

@@ -11,6 +11,7 @@ from .aggregate import (
     DispatchStats,
     ShardContentionRow,
     StackAggregator,
+    codegen_report,
     dispatch_stats,
     format_dispatch_stats,
     format_shard_contention,
@@ -26,6 +27,7 @@ __all__ = [
     "DispatchStats",
     "ShardContentionRow",
     "StackAggregator",
+    "codegen_report",
     "dispatch_stats",
     "format_dispatch_stats",
     "format_shard_contention",

@@ -220,6 +220,20 @@ class DispatchStats:
     max_batch: int = 0
     flush_seconds: float = 0.0
     last_flush_seconds: float = 0.0
+    #: tesla-jit counters (all zero unless the runtime was built with
+    #: ``codegen=True``).  ``gen_fallback_plans`` counts *plans* the
+    #: generator declined (cached as fallbacks), ``gen_fallback_hits``
+    #: counts events those plans carried through the interpreter.
+    codegen: bool = False
+    gen_hits: int = 0
+    gen_misses: int = 0
+    gen_fallback_plans: int = 0
+    gen_fallback_hits: int = 0
+    gen_invalidations: int = 0
+    cached_steps: int = 0
+    gen_elided_guards: int = 0
+    gen_elided_transitions: int = 0
+    gen_seconds: float = 0.0
 
     @property
     def plan_hit_ratio(self) -> float:
@@ -228,6 +242,13 @@ class DispatchStats:
             return 0.0
         return self.plan_hits / total
 
+    @property
+    def gen_hit_ratio(self) -> float:
+        total = self.gen_hits + self.gen_misses
+        if not total:
+            return 0.0
+        return self.gen_hits / total
+
 
 def dispatch_stats(runtime) -> DispatchStats:
     """Fast-path counters for a :class:`TeslaRuntime` (duck-typed, like
@@ -235,6 +256,10 @@ def dispatch_stats(runtime) -> DispatchStats:
     from ..runtime.epoch import interest_epoch, interest_stats
 
     plan_hits = plan_misses = plan_invalidations = cached_plans = 0
+    gen_hits = gen_misses = gen_fallback_plans = gen_fallback_hits = 0
+    gen_invalidations = cached_steps = 0
+    gen_elided_guards = gen_elided_transitions = 0
+    gen_seconds = 0.0
     stores = list(runtime.global_store.all_stores())
     stores.extend(runtime.thread_stores.all_stores())
     for store in stores:
@@ -243,6 +268,15 @@ def dispatch_stats(runtime) -> DispatchStats:
             plan_misses += cr.plan_misses
             plan_invalidations += cr.plan_invalidations
             cached_plans += cr.plan_cache_size
+            gen_hits += cr.gen_hits
+            gen_misses += cr.gen_misses
+            gen_fallback_plans += cr.gen_fallback_plans
+            gen_fallback_hits += cr.gen_fallback_hits
+            gen_invalidations += cr.gen_invalidations
+            cached_steps += cr.gen_cache_size
+            gen_elided_guards += cr.gen_elided_guards
+            gen_elided_transitions += cr.gen_elided_transitions
+            gen_seconds += cr.gen_seconds
     drain = getattr(runtime, "drain", None)
     deferred_kwargs = {}
     if drain is not None:
@@ -271,13 +305,66 @@ def dispatch_stats(runtime) -> DispatchStats:
         plan_misses=plan_misses,
         plan_invalidations=plan_invalidations,
         cached_plans=cached_plans,
+        codegen=getattr(runtime, "codegen", False),
+        gen_hits=gen_hits,
+        gen_misses=gen_misses,
+        gen_fallback_plans=gen_fallback_plans,
+        gen_fallback_hits=gen_fallback_hits,
+        gen_invalidations=gen_invalidations,
+        cached_steps=cached_steps,
+        gen_elided_guards=gen_elided_guards,
+        gen_elided_transitions=gen_elided_transitions,
+        gen_seconds=gen_seconds,
         **deferred_kwargs,
     )
+
+
+def codegen_report(runtime) -> Optional[dict]:
+    """tesla-jit effectiveness: which dispatch keys generated, which fell
+    back (and why), what elision bought, and what generation cost.
+
+    Returns ``None`` for runtimes built without ``codegen=True``.  Counts
+    are per *key label* (``kind:name``) aggregated over every class
+    runtime holding a cached step for that key — a key observed by three
+    classes that all generated shows ``3``.
+    """
+    if not getattr(runtime, "codegen", False):
+        return None
+    generated: Dict[str, int] = {}
+    fallbacks: Dict[str, dict] = {}
+    gen_seconds = 0.0
+    elided_guards = elided_transitions = fallback_hits = 0
+    stores = list(runtime.global_store.all_stores())
+    stores.extend(runtime.thread_stores.all_stores())
+    for store in stores:
+        for cr in store:
+            summary = cr.gen_summary()
+            for label in summary["generated_keys"]:
+                generated[label] = generated.get(label, 0) + 1
+            for label, reason in summary["fallback_keys"]:
+                row = fallbacks.setdefault(
+                    label, {"classes": 0, "reason": reason}
+                )
+                row["classes"] += 1
+            gen_seconds += cr.gen_seconds
+            elided_guards += cr.gen_elided_guards
+            elided_transitions += cr.gen_elided_transitions
+            fallback_hits += cr.gen_fallback_hits
+    return {
+        "generated": dict(sorted(generated.items())),
+        "fallbacks": dict(sorted(fallbacks.items())),
+        "elided_guards": elided_guards,
+        "elided_transitions": elided_transitions,
+        "fallback_hits": fallback_hits,
+        "gen_seconds": gen_seconds,
+    }
 
 
 def format_dispatch_stats(stats: DispatchStats) -> str:
     """A printable summary of how well the dispatch caches are working."""
     mode = "compiled" if stats.compiled else "interpreted"
+    if stats.codegen:
+        mode = "codegen (tesla-jit)"
     lines = [
         f"dispatch mode        {mode} (interest epoch {stats.epoch})",
         f"hook interest        {stats.hook_short_circuits} short-circuits, "
@@ -289,6 +376,20 @@ def format_dispatch_stats(stats: DispatchStats) -> str:
         f"ratio), {stats.plan_invalidations} epoch invalidations, "
         f"{stats.cached_plans} plans resident",
     ]
+    if stats.codegen:
+        lines.append(
+            f"generated steps      {stats.gen_hits} hits / "
+            f"{stats.gen_misses} misses ({stats.gen_hit_ratio:.1%} hit "
+            f"ratio), {stats.gen_invalidations} epoch invalidations, "
+            f"{stats.cached_steps} steps resident"
+        )
+        lines.append(
+            f"codegen              {stats.gen_fallback_plans} fallback "
+            f"plans ({stats.gen_fallback_hits} interpreter events), "
+            f"{stats.gen_elided_guards} guards elided, "
+            f"{stats.gen_elided_transitions} transitions elided, "
+            f"{stats.gen_seconds * 1e3:.2f}ms generating"
+        )
     if stats.deferred:
         lines.append(
             f"deferred pipeline    depth={stats.queue_depth} "

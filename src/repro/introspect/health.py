@@ -63,6 +63,9 @@ class HealthReport:
     #: tesla-lint summary of every installed batch (DESIGN §5.5);
     #: ``None`` when the runtime installed nothing or lints with ``"off"``.
     lint: Optional[dict] = None
+    #: tesla-jit summary (DESIGN §5.7): per-key generated/fallback counts,
+    #: elision totals and generation cost; ``None`` unless ``codegen=True``.
+    codegen: Optional[dict] = None
 
     @property
     def total_faults(self) -> int:
@@ -91,6 +94,8 @@ def health_report(runtime) -> HealthReport:
         # The hub counts all raising handlers, even before a fault sink
         # was attached; take the larger of the two views.
         handler_faults = max(handler_faults, hub.handler_faults)
+    from .aggregate import codegen_report
+
     injector = active_injector()
     lint_report = getattr(runtime, "lint_report", None)
     return HealthReport(
@@ -109,6 +114,7 @@ def health_report(runtime) -> HealthReport:
         injector=None if injector is None else injector.stats(),
         deferred=None if drain is None else drain.stats(),
         lint=None if lint_report is None else lint_report.summary(),
+        codegen=codegen_report(runtime),
     )
 
 
@@ -189,6 +195,20 @@ def format_health(report: HealthReport) -> str:
             f"errors={lint.get('errors')} warnings={lint.get('warnings')} "
             f"codes={codes} arity_safe={lint.get('arity_safe')}"
         )
+    if report.codegen is not None:
+        cg = report.codegen
+        lines.append(
+            f"  codegen: generated={sum(cg['generated'].values())} "
+            f"fallback={sum(r['classes'] for r in cg['fallbacks'].values())} "
+            f"elided_guards={cg['elided_guards']} "
+            f"elided_transitions={cg['elided_transitions']} "
+            f"gen_time={cg['gen_seconds'] * 1e3:.2f}ms"
+        )
+        for label, row in cg["fallbacks"].items():
+            lines.append(
+                f"    fallback {label:<28} x{row['classes']} "
+                f"({row['reason']})"
+            )
     if report.last_faults:
         lines.append("  recent faults:")
         for fault in report.last_faults[-8:]:

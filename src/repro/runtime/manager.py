@@ -42,6 +42,7 @@ from ..core.automaton import Automaton, TransitionKind
 from ..core.events import EventKind, RuntimeEvent
 from ..core.translate import translate_all
 from ..errors import ContextError, TemporalAssertionError
+from . import faultinject as _fi
 from .drain import DrainController
 from .epoch import interest_epoch
 from .journal import JournalWriter
@@ -170,6 +171,7 @@ class TeslaRuntime:
         policy: Optional[ErrorPolicy] = None,
         shards: Optional[int] = None,
         compile: bool = True,
+        codegen: bool = False,
         failure_policy: Optional[FailurePolicy] = None,
         deferred: object = False,
         overflow_policy: str = "flush",
@@ -192,12 +194,27 @@ class TeslaRuntime:
             raise ValueError(
                 f"lint must be 'error', 'warn' or 'off', got {lint!r}"
             )
+        if codegen and not compile:
+            raise ValueError(
+                "codegen=True generates specialized code from compiled "
+                "transition plans; it requires compile=True"
+            )
         self.lazy = lazy
         #: Whether dispatch uses compiled per-(class, key) transition plans
         #: (the §5.2-style fast path) or the interpreted engine.  Both
         #: produce identical verdicts; ``compile=False`` is the
         #: paper-faithful baseline the benchmarks compare against.
         self.compiled = compile
+        #: tesla-jit (DESIGN §5.7): body dispatch runs exec-generated
+        #: per-(class, key) step functions instead of the interpreted
+        #: plan walk, falling back (loudly, counted) to the compiled
+        #: interpreter for any plan the generator can't specialize.
+        self.codegen = codegen
+        #: Memoized :class:`~repro.runtime.codegen.CodegenFacts` snapshot,
+        #: keyed by interest epoch (installs both change lint facts and
+        #: bump the epoch, so staleness rides the same invalidation).
+        self._facts_epoch = -1
+        self._facts = None
         self.hub = NotificationHub(policy)
         #: The containment boundary for faults in the monitor itself:
         #: ``failure_policy`` selects fail-stop (default), fail-open,
@@ -438,6 +455,17 @@ class TeslaRuntime:
 
     # -- dispatch planning --------------------------------------------------------
 
+    def _codegen_facts(self, epoch: int):
+        """The lint-facts snapshot the generator may rely on, memoized per
+        interest epoch (every install bumps the epoch after updating
+        ``lint_report``, so a stale snapshot is impossible)."""
+        if self._facts_epoch != epoch:
+            from .codegen import CodegenFacts
+
+            self._facts = CodegenFacts.from_report(self.lint_report)
+            self._facts_epoch = epoch
+        return self._facts
+
     def _plan_for(self, key: DispatchKey) -> _KeyPlan:
         plan = self._key_plans.get(key)
         if plan is None:
@@ -585,13 +613,50 @@ class TeslaRuntime:
                 )
             if include_local and plan.local is not None:
                 local_work.append((plan.local, event, plan.initiated, key))
+        # Batch-per-key fast path (tesla-jit): consecutive entries in a
+        # shard's sub-sequence that share a dispatch key, touch exactly one
+        # class and carry no init/cleanup work can be evaluated by that
+        # class's generated ``step_batch`` in ONE call, amortising the
+        # per-event dispatch overhead of the drain.  Restricting runs to
+        # single-class pure-body work keeps every observable stream exact:
+        # with one class there is no cross-class interleaving to reorder,
+        # and with no init/cleanup the tracker state is constant across the
+        # run, so one lazy join covers it.  Armed fault injection falls
+        # back to per-event dispatch so fault streams are byte-identical.
+        batching = self.codegen and _fi._active is None
         for index in sorted(per_shard):
             shard = self.global_store.shards[index]
+            entries = per_shard[index]
             with shard.lock:
                 shard.batches += 1
-                for work, event, initiated, key in per_shard[index]:
-                    self._run_plan(work, shard.store, shard.tracker, event,
-                                   initiated, key)
+                if not batching:
+                    for work, event, initiated, key in entries:
+                        self._run_plan(work, shard.store, shard.tracker,
+                                       event, initiated, key)
+                    continue
+                i, n = 0, len(entries)
+                while i < n:
+                    work, event, initiated, key = entries[i]
+                    if (work.init_names or work.cleanup_names
+                            or len(work.body) != 1):
+                        self._run_plan(work, shard.store, shard.tracker,
+                                       event, initiated, key)
+                        i += 1
+                        continue
+                    j = i + 1
+                    while (j < n and entries[j][3] == key
+                           and entries[j][0] is work
+                           and entries[j][2] == initiated):
+                        j += 1
+                    if j - i > 1:
+                        self._run_body_batch(
+                            work, shard.store, shard.tracker,
+                            [e[1] for e in entries[i:j]], initiated, key,
+                        )
+                    else:
+                        self._run_plan(work, shard.store, shard.tracker,
+                                       event, initiated, key)
+                    i = j
         if local_work:
             store = self.thread_stores.current()
             tracker = self._thread_tracker()
@@ -620,11 +685,14 @@ class TeslaRuntime:
         *violation* policy speaking, not a monitor fault.
         """
         compiled = self.compiled
+        codegen = self.codegen
         supervisor = self.supervisor
         if compiled:
             # One epoch read per (event, context); each class's plan_for
             # is a dict probe plus an integer compare.
             epoch = interest_epoch.value
+        if codegen:
+            facts = self._codegen_facts(epoch)
         if self.lazy:
             # One epoch bump per distinct bound — "a per-context record of
             # common initialisation events" — independent of how many
@@ -653,10 +721,23 @@ class TeslaRuntime:
                 cr = store.get(name)
                 if self.lazy:
                     lazy_join_bound(cr, bound, tracker)
-                tesla_update_state(
-                    cr, event, self.hub, self.lazy,
-                    plan=cr.plan_for(key, epoch) if compiled else None,
-                )
+                if codegen:
+                    entry = cr.step_for(key, epoch, facts)
+                    if entry is not None:
+                        entry.step(cr, event, self.hub)
+                    else:
+                        # Loud fallback: the generator declined this plan
+                        # (counted in gen_fallback_*); the compiled
+                        # interpreter carries the event instead.
+                        tesla_update_state(
+                            cr, event, self.hub, self.lazy,
+                            plan=cr.plan_for(key, epoch),
+                        )
+                else:
+                    tesla_update_state(
+                        cr, event, self.hub, self.lazy,
+                        plan=cr.plan_for(key, epoch) if compiled else None,
+                    )
             except TemporalAssertionError:
                 raise
             except Exception as exc:
@@ -691,6 +772,50 @@ class TeslaRuntime:
                 except Exception as exc:
                     if not supervisor.contain(name, "cleanup", exc):
                         raise
+
+    def _run_body_batch(
+        self,
+        work: _ContextPlan,
+        store: Store,
+        tracker: BoundTracker,
+        events: List[RuntimeEvent],
+        initiated: frozenset,
+        key: DispatchKey,
+    ) -> None:
+        """One class's pure-body share of a run of same-key events, in one
+        generated ``step_batch`` call (caller holds the shard lock).
+
+        Only reached for runs with no init/cleanup work and exactly one
+        body class (``dispatch_batch`` enforces this), so the tracker's
+        bound state is constant across the run and a single lazy join
+        covers every event.  Containment granularity widens from per-event
+        to per-run: a monitor fault mid-batch forfeits the rest of the run
+        for this class, which the supervisor attributes exactly as before.
+        """
+        epoch = interest_epoch.value
+        facts = self._codegen_facts(epoch)
+        supervisor = self.supervisor
+        for name, bound in work.body:
+            if name in initiated:
+                continue
+            try:
+                cr = store.get(name)
+                if self.lazy:
+                    lazy_join_bound(cr, bound, tracker)
+                entry = cr.step_for(key, epoch, facts)
+                if entry is not None:
+                    entry.step_batch(cr, events, self.hub)
+                else:
+                    plan = cr.plan_for(key, epoch)
+                    for event in events:
+                        tesla_update_state(
+                            cr, event, self.hub, self.lazy, plan=plan
+                        )
+            except TemporalAssertionError:
+                raise
+            except Exception as exc:
+                if not supervisor.contain(name, "body", exc):
+                    raise
 
     # -- maintenance --------------------------------------------------------------
 

@@ -91,6 +91,16 @@ class ClassRuntime:
         "plan_hits",
         "plan_misses",
         "plan_invalidations",
+        "_gen",
+        "_gen_epoch",
+        "gen_hits",
+        "gen_misses",
+        "gen_fallback_plans",
+        "gen_fallback_hits",
+        "gen_invalidations",
+        "gen_elided_guards",
+        "gen_elided_transitions",
+        "gen_seconds",
     )
 
     def __init__(self, automaton: Automaton, capacity: int = DEFAULT_CAPACITY) -> None:
@@ -122,6 +132,20 @@ class ClassRuntime:
         self.plan_hits = 0
         self.plan_misses = 0
         self.plan_invalidations = 0
+        #: tesla-jit generated step functions (DESIGN §5.7), keyed like
+        #: plans; an entry is a ``CompiledStep`` or a ``GenerationFallback``
+        #: (the "can't specialize" decision is cached too, so the compiled
+        #: interpreter fallback costs one dict probe, not a regeneration).
+        self._gen: Dict[DispatchKey, object] = {}
+        self._gen_epoch = -1
+        self.gen_hits = 0
+        self.gen_misses = 0
+        self.gen_fallback_plans = 0
+        self.gen_fallback_hits = 0
+        self.gen_invalidations = 0
+        self.gen_elided_guards = 0
+        self.gen_elided_transitions = 0
+        self.gen_seconds = 0.0
 
     def count_transition(self, transition: Transition) -> None:
         self.transition_counts[transition] = (
@@ -152,9 +176,69 @@ class ClassRuntime:
             self.plan_hits += 1
         return plan
 
+    def step_for(self, key: DispatchKey, epoch: int, facts):
+        """The tesla-jit generated step for ``key``, or ``None`` when the
+        generator declined this plan (the caller then runs the compiled
+        interpreter via :meth:`plan_for`).
+
+        Same caching discipline as :meth:`plan_for`: valid while
+        ``_gen_epoch`` matches the caller's interest-epoch snapshot, and
+        the caller must hold whatever lock serialises this class.
+        ``facts`` is the runtime's :class:`~repro.runtime.codegen.
+        CodegenFacts` snapshot — it only changes on installs, which bump
+        the epoch, so facts-staleness rides the same invalidation.
+        """
+        if self._gen_epoch != epoch:
+            if self._gen:
+                self.gen_invalidations += 1
+                self._gen.clear()
+            self._gen_epoch = epoch
+        entry = self._gen.get(key)
+        if entry is None:
+            from time import perf_counter
+
+            from .codegen import compile_plan_step
+
+            self.gen_misses += 1
+            plan = self.plan_for(key, epoch)
+            start = perf_counter()
+            entry = compile_plan_step(self.automaton, plan, facts)
+            self.gen_seconds += perf_counter() - start
+            self._gen[key] = entry
+            if entry.step is None:
+                self.gen_fallback_plans += 1
+                return None
+            self.gen_elided_guards += entry.elided_guards
+            self.gen_elided_transitions += entry.elided_transitions
+            return entry
+        if entry.step is None:
+            self.gen_fallback_hits += 1
+            return None
+        self.gen_hits += 1
+        return entry
+
+    def gen_summary(self) -> Dict[str, object]:
+        """Per-key generated/fallback split for the codegen report."""
+        generated = []
+        fallback = []
+        for key, entry in self._gen.items():
+            label = f"{key[0].value}:{key[1]}"
+            if entry.step is None:
+                fallback.append((label, entry.reason))
+            else:
+                generated.append(label)
+        return {
+            "generated_keys": sorted(generated),
+            "fallback_keys": sorted(fallback),
+        }
+
     @property
     def plan_cache_size(self) -> int:
         return len(self._plans)
+
+    @property
+    def gen_cache_size(self) -> int:
+        return len(self._gen)
 
     def reset(self) -> None:
         self.pool.expunge()
@@ -164,11 +248,17 @@ class ClassRuntime:
         self.lazy_binding = {}
         self.overflow_mark = 0
         self.overflow_reported = False
-        # Plans survive a reset (the automaton is unchanged); only the
-        # effectiveness counters restart.
+        # Plans and generated steps survive a reset (the automaton is
+        # unchanged); only the effectiveness counters restart.
         self.plan_hits = 0
         self.plan_misses = 0
         self.plan_invalidations = 0
+        self.gen_hits = 0
+        self.gen_misses = 0
+        self.gen_fallback_hits = 0
+        self.gen_invalidations = 0
+        # gen_fallback_plans / gen_elided_* / gen_seconds describe the
+        # cache's *contents* (which survive the reset), not traffic.
 
 
 class Store:

@@ -36,6 +36,7 @@ def monitoring(
     lazy: bool = True,
     capacity: Optional[int] = None,
     compile: Optional[bool] = None,
+    codegen: Optional[bool] = None,
     failure_policy: Optional[FailurePolicy] = None,
     shards: Optional[int] = None,
     deferred: object = False,
@@ -55,7 +56,11 @@ def monitoring(
     runtime (the figure 13 ablation); ``capacity`` bounds instance pools;
     ``compile=False`` disables the compiled transition-plan fast path
     (the dispatch-cost ablation measured by
-    ``benchmarks/bench_dispatch_fastpath.py``); ``failure_policy`` selects
+    ``benchmarks/bench_dispatch_fastpath.py``); ``codegen=True`` layers
+    tesla-jit on top of the compiled path — each transition plan is
+    specialized into generated Python (DESIGN §5.7), falling back to the
+    compiled interpreter per plan when specialization is unsupported;
+    ``failure_policy`` selects
     how faults *inside the monitor* are handled (fail-stop default,
     fail-open, callback, or quarantine — see
     :mod:`repro.runtime.supervisor`); ``shards`` sets the global store's
@@ -88,6 +93,8 @@ def monitoring(
         kwargs["capacity"] = capacity
     if compile is not None:
         kwargs["compile"] = compile
+    if codegen is not None:
+        kwargs["codegen"] = codegen
     if failure_policy is not None:
         kwargs["failure_policy"] = failure_policy
     if shards is not None:

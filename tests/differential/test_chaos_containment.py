@@ -144,6 +144,12 @@ CONFIGS = [
     ("compiled", dict(lazy=True, shards=5, compile=True)),
     ("deferred", dict(lazy=True, shards=5, compile=True, deferred="manual")),
     ("deferred-bg", dict(lazy=True, shards=5, compile=True, deferred=True)),
+    # tesla-jit: an armed injector bypasses the generated fast path (the
+    # ``_fi._active`` top guard), so every fault site stays reachable and
+    # the verdict/containment contract is unchanged.
+    ("codegen", dict(lazy=True, shards=5, compile=True, codegen=True)),
+    ("deferred-codegen", dict(lazy=True, shards=5, compile=True,
+                              codegen=True, deferred="manual")),
 ]
 
 #: Fault sites this application's event flow can visit, per configuration

@@ -24,6 +24,13 @@ finished running") say these are pure functions of the per-class event
 order, which every configuration claims to preserve — this harness is the
 check that the claim survives lock striping and batching.
 
+Four tesla-jit configurations (**codegen**, **codegen-naive**,
+**codegen-batched**, **deferred-codegen**) extend the sweep to the
+generated-code dispatch path (DESIGN §5.7): specialized step functions,
+the per-plan interpreter fallback, and — via ``codegen-batched``'s
+odd-sized ``dispatch_batch`` chunks — the batch-per-key drain evaluation
+must all be observationally identical to the naive interpreter.
+
 Two deferred-pipeline configurations ride the same sweep (**deferred**:
 per-thread ring capture with explicit drains; **deferred-compiled-
 sharded**: the same over the striped store with compiled plans), and a
@@ -105,11 +112,11 @@ def _automaton_for(index: int, bound: int, context: str):
 
 def build_runtime(
     specs: Tuple[ClassSpec, ...], lazy: bool, shards: int,
-    compile: bool = False, deferred: object = False,
+    compile: bool = False, deferred: object = False, codegen: bool = False,
 ):
     runtime = TeslaRuntime(
         lazy=lazy, shards=shards, policy=LogAndContinue(), compile=compile,
-        deferred=deferred,
+        deferred=deferred, codegen=codegen,
     )
     for index, (bound, context) in enumerate(specs):
         automaton, ast_context = _automaton_for(index, bound, context)
@@ -199,11 +206,18 @@ CONFIGS = [
                       deferred="manual")),
     ("deferred-compiled-sharded", dict(lazy=True, shards=5, compile=True,
                                        deferred="manual")),
+    ("codegen", dict(lazy=True, shards=5, compile=True, codegen=True)),
+    ("codegen-naive", dict(lazy=False, shards=1, compile=True,
+                           codegen=True)),
+    ("codegen-batched", dict(lazy=True, shards=5, compile=True,
+                             codegen=True)),
+    ("deferred-codegen", dict(lazy=True, shards=5, compile=True,
+                              codegen=True, deferred="manual")),
 ]
 
 
 def replay(name: str, runtime: TeslaRuntime, events: List[RuntimeEvent]):
-    if name == "batched":
+    if name.endswith("batched"):
         # Odd chunk size so batch boundaries fall mid-bound, mid-clone,
         # everywhere — any state leaked across a batch edge shows up as a
         # divergence from the per-event configurations.
@@ -308,6 +322,8 @@ MT_DEFERRED_CONFIGS = [
                                           deferred="manual")),
     ("mt-deferred-background", dict(lazy=True, shards=5, compile=True,
                                     deferred=True)),
+    ("mt-deferred-codegen", dict(lazy=True, shards=5, compile=True,
+                                 codegen=True, deferred="manual")),
 ]
 
 N_THREADS = 8

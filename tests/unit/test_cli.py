@@ -123,6 +123,34 @@ class TestLint:
         assert "1 warning(s)" in out  # the summary line still counts it
 
 
+class TestCodegen:
+    def test_summary_table_exits_zero(self, capsys):
+        assert main(["codegen", "examples"]) == 0
+        out = capsys.readouterr().out
+        assert "dispatch key" in out
+        assert "generated" in out
+
+    def test_dump_prints_generated_source(self, capsys):
+        assert main(["codegen", "examples", "--dump"]) == 0
+        out = capsys.readouterr().out
+        assert "# tesla-jit v" in out
+        assert "def step(cr, event, hub):" in out
+        assert "def step_batch(cr, events, hub):" in out
+
+    def test_assertion_filter(self, capsys):
+        assert main(["codegen", "examples", "--assertion", "figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out
+
+    def test_unknown_suite_exits_two(self, capsys):
+        assert main(["codegen", "bogus"]) == 2
+        assert "unknown suite" in capsys.readouterr().out
+
+    def test_unknown_assertion_exits_two(self, capsys):
+        assert main(["codegen", "examples", "--assertion", "nope"]) == 2
+        assert "no assertion named" in capsys.readouterr().out
+
+
 class TestBugs:
     def test_bugs_lists_all_known(self, capsys):
         from repro.kernel.bugs import KNOWN_BUGS
