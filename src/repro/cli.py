@@ -293,6 +293,71 @@ def cmd_codegen(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_governor(args: argparse.Namespace) -> int:
+    """Demo the adaptive overhead governor on a synthetic workload.
+
+    Installs a handful of assertion classes with deliberately skewed
+    evaluation cost, drives direct dispatch under ``--budget``, and dumps
+    the governor's status: measured spend, the per-assertion cost ranking
+    with each class's shedding-ladder rung, and the decision history.
+    Exit codes: 0 ok, 2 unusable ``--budget``.
+    """
+    import json as _json
+
+    from .core.dsl import ANY, fn, previously, tesla_within
+    from .core.events import assertion_site_event, call_event, return_event
+    from .introspect import format_health, health_report
+    from .runtime.manager import TeslaRuntime
+    from .runtime.notify import LogAndContinue
+
+    try:
+        runtime = TeslaRuntime(
+            policy=LogAndContinue(), overhead_budget=args.budget
+        )
+    except ValueError as exc:
+        print(f"governor: {exc}")
+        return 2
+    classes = 4
+    runtime.install_assertions(
+        [
+            tesla_within(
+                "gov_bound",
+                previously(fn(f"gov_chk{i}", ANY("c")) == 0),
+                name=f"gov_cls{i}",
+            )
+            for i in range(classes)
+        ]
+    )
+    # Skewed load: class 0 sees 8 body events per bound occurrence, the
+    # rest see one — the governor should find and degrade the hot one
+    # first when the budget is tight.
+    for op in range(args.ops):
+        runtime.handle_event(call_event("gov_bound", ()))
+        for _ in range(8):
+            runtime.handle_event(return_event("gov_chk0", ("c",), 0))
+        for i in range(1, classes):
+            runtime.handle_event(return_event(f"gov_chk{i}", ("c",), 0))
+        if op % 16 == 0:
+            runtime.handle_event(
+                assertion_site_event("gov_cls0", {})
+            )
+        runtime.handle_event(return_event("gov_bound", (), None))
+    report = runtime.governor.report()
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"governor demo: {args.ops} ops, {runtime.events_processed} "
+        f"events, budget {args.budget:.1%}"
+    )
+    print(format_health(health_report(runtime)))
+    if report["transitions"]:
+        print("  decisions (decision#, class, from, to):")
+        for row in report["transitions"]:
+            print(f"    #{row[0]:<6} {row[1]:<12} {row[2]} -> {row[3]}")
+    return 0
+
+
 def cmd_replay(args: argparse.Namespace) -> int:
     """Replay a recorded trace journal offline (DESIGN §5.6).
 
@@ -600,6 +665,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="recover the valid prefix of a truncated/corrupt journal",
     )
     replay_parser.set_defaults(func=cmd_replay)
+
+    governor_parser = sub.add_parser(
+        "governor",
+        help="demo the adaptive overhead governor and dump its status",
+    )
+    governor_parser.add_argument(
+        "--budget",
+        type=float,
+        default=0.05,
+        help="monitoring budget as a fraction of wall time (default 0.05)",
+    )
+    governor_parser.add_argument(
+        "--ops",
+        type=int,
+        default=3000,
+        help="synthetic workload size in operations (default 3000)",
+    )
+    governor_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw governor report as JSON",
+    )
+    governor_parser.set_defaults(func=cmd_governor)
 
     sub.add_parser("bugs", help="list injectable kernel bugs").set_defaults(
         func=cmd_bugs

@@ -147,6 +147,13 @@ class TemporalViolation:
     event: Optional[Any] = None
     binding: Tuple[Tuple[str, Any], ...] = field(default=())
     location: str = ""
+    #: Honesty annotation for the overhead governor (DESIGN §5.8): the
+    #: 1-in-N instantiation rate the automaton was running under when the
+    #: violation was found.  1 means full coverage; a rate > 1 means the
+    #: finding came from a sampled automaton and must never be read as
+    #: exhaustive.  Defaults to 1 so unsampled findings — including every
+    #: pre-governor caller — are byte-identical to before.
+    sampling_rate: int = 1
 
     def describe(self) -> str:
         bind = ", ".join(f"{k}={v!r}" for k, v in self.binding)
@@ -158,6 +165,11 @@ class TemporalViolation:
             parts.append(f"on event {described() if described else self.event}")
         if self.location:
             parts.append(f"at {self.location}")
+        if self.sampling_rate > 1:
+            parts.append(
+                f"found under 1-in-{self.sampling_rate} sampling "
+                "(coverage is partial)"
+            )
         return "; ".join(parts)
 
 

@@ -15,6 +15,7 @@ from .aggregate import (
     dispatch_stats,
     format_dispatch_stats,
     format_shard_contention,
+    governor_report,
     shard_contention,
 )
 from .coverage import AssertionCoverage, CoverageReport, coverage_report
@@ -31,6 +32,7 @@ __all__ = [
     "dispatch_stats",
     "format_dispatch_stats",
     "format_shard_contention",
+    "governor_report",
     "shard_contention",
     "AssertionCoverage",
     "CoverageReport",

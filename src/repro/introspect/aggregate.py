@@ -360,6 +360,20 @@ def codegen_report(runtime) -> Optional[dict]:
     }
 
 
+def governor_report(runtime) -> Optional[dict]:
+    """Overhead-governor state (DESIGN §5.8): budget, measured spend,
+    the per-class cost ranking with each class's shedding-ladder position,
+    and the recent decision history.
+
+    Returns ``None`` for runtimes built without ``overhead_budget=``.
+    Duck-typed like :func:`codegen_report`.
+    """
+    gov = getattr(runtime, "governor", None)
+    if gov is None:
+        return None
+    return gov.report()
+
+
 def format_dispatch_stats(stats: DispatchStats) -> str:
     """A printable summary of how well the dispatch caches are working."""
     mode = "compiled" if stats.compiled else "interpreted"

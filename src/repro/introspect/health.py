@@ -66,6 +66,10 @@ class HealthReport:
     #: tesla-jit summary (DESIGN §5.7): per-key generated/fallback counts,
     #: elision totals and generation cost; ``None`` unless ``codegen=True``.
     codegen: Optional[dict] = None
+    #: Overhead-governor summary (DESIGN §5.8): budget, measured spend
+    #: ratios, per-class cost ranking with shedding-ladder state, recent
+    #: decisions; ``None`` unless the runtime set ``overhead_budget=``.
+    governor: Optional[dict] = None
 
     @property
     def total_faults(self) -> int:
@@ -94,7 +98,7 @@ def health_report(runtime) -> HealthReport:
         # The hub counts all raising handlers, even before a fault sink
         # was attached; take the larger of the two views.
         handler_faults = max(handler_faults, hub.handler_faults)
-    from .aggregate import codegen_report
+    from .aggregate import codegen_report, governor_report
 
     injector = active_injector()
     lint_report = getattr(runtime, "lint_report", None)
@@ -115,6 +119,7 @@ def health_report(runtime) -> HealthReport:
         deferred=None if drain is None else drain.stats(),
         lint=None if lint_report is None else lint_report.summary(),
         codegen=codegen_report(runtime),
+        governor=governor_report(runtime),
     )
 
 
@@ -209,6 +214,46 @@ def format_health(report: HealthReport) -> str:
                 f"    fallback {label:<28} x{row['classes']} "
                 f"({row['reason']})"
             )
+    if report.governor is not None:
+        g = report.governor
+        state = "TRIPPED" if g.get("tripped") else "active"
+        lines.append(
+            f"  governor: {state}  budget={g.get('budget'):.1%} "
+            f"window={g.get('window_ratio', 0.0):.2%} "
+            f"total={g.get('total_ratio', 0.0):.2%} "
+            f"spend={g.get('spend_seconds', 0.0) * 1e3:.2f}ms "
+            f"decisions={g.get('decisions')} "
+            f"(escalate={g.get('escalations')} relax={g.get('relaxations')})"
+        )
+        if g.get("sampled"):
+            sampled = "  ".join(
+                f"{name}=1/{rate}"
+                for name, rate in sorted(g["sampled"].items())
+            )
+            lines.append(f"    sampled: {sampled}")
+        if g.get("demoted"):
+            lines.append(
+                "    demoted (journal-only): "
+                + ", ".join(sorted(g["demoted"]))
+            )
+        if g.get("shed"):
+            lines.append(
+                "    shed for overhead: " + ", ".join(sorted(g["shed"]))
+            )
+        rows = g.get("classes", ())
+        if rows:
+            lines.append(
+                f"    {'automaton':<30} {'state':<8} {'rate':>5} "
+                f"{'window':>9} {'total':>9} {'events':>8}"
+            )
+            for row in rows[:8]:
+                lines.append(
+                    f"    {row['automaton']:<30} {row['state']:<8} "
+                    f"1/{row['rate']:<3} "
+                    f"{row['window_seconds'] * 1e3:>7.2f}ms "
+                    f"{row['total_seconds'] * 1e3:>7.2f}ms "
+                    f"{row['total_events']:>8}"
+                )
     if report.last_faults:
         lines.append("  recent faults:")
         for fault in report.last_faults[-8:]:

@@ -1,0 +1,91 @@
+"""Injectable time for the overhead governor (DESIGN §5.8).
+
+The governor's decisions — when to sample, demote or shed an assertion —
+are functions of *measured time*.  Reading the platform clock directly
+would make every decision unreplayable: two runs of the same event trace
+would shed different classes at different points, and a test could only
+assert "something was eventually shed".  So time is a dependency, not an
+ambient: the runtime threads one clock object through cost accounting and
+the control loop, and tests substitute a :class:`FakeClock` whose reading
+only moves when the test says so.  Given the same (clock trace, stats
+stream) the governor's shed/sample/demote sequence is identical — the
+Hypothesis property in ``tests/property/test_governor_props.py`` pins
+this down.
+
+Production uses :class:`MonotonicClock` (``time.perf_counter``: monotonic,
+high resolution, unaffected by wall-clock steps).  The ``clock=`` knob on
+:class:`~repro.runtime.manager.TeslaRuntime` accepts any object with a
+``now() -> float`` method, or a bare ``() -> float`` callable.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "MonotonicClock", "FakeClock", "as_clock"]
+
+
+class Clock:
+    """The protocol: anything with ``now() -> float`` (seconds)."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """The production clock: ``time.perf_counter`` seconds."""
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class FakeClock(Clock):
+    """A clock that only moves when told to — deterministic tests.
+
+    Reading never advances it; :meth:`advance` is the only mutation, so a
+    test's sequence of advances *is* the clock trace the governor saw.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; a fake clock is still monotonic."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance a clock backwards ({seconds})")
+        self._now += seconds
+        return self._now
+
+
+class _CallableClock(Clock):
+    """Adapter wrapping a bare ``() -> float`` callable."""
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, fn) -> None:
+        self._fn = fn
+
+    def now(self) -> float:
+        return self._fn()
+
+
+def as_clock(source: object) -> Clock:
+    """Normalise the ``clock=`` knob: ``None`` → the production clock, a
+    ``now()``-bearing object is used as-is, a bare callable is wrapped."""
+    if source is None:
+        return MonotonicClock()
+    if hasattr(source, "now"):
+        return source  # type: ignore[return-value]
+    if callable(source):
+        return _CallableClock(source)
+    raise TypeError(
+        "clock= must be None, an object with a now() method, or a "
+        f"() -> float callable, got {source!r}"
+    )

@@ -294,6 +294,7 @@ def _site_error(cr, event, hub) -> None:
         ),
         event=event,
         binding=tuple(sorted(event.scope.items())),
+        sampling_rate=cr.sample_rate,
     )
     hub.emit(
         Notification(
@@ -310,6 +311,7 @@ def _strict_error(cr, event, hub) -> None:
         automaton=cr.automaton.name,
         reason="strict automaton observed an event it cannot consume",
         event=event,
+        sampling_rate=cr.sample_rate,
     )
     hub.emit(
         Notification(

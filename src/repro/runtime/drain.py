@@ -245,6 +245,9 @@ class DrainController:
 
     def _drain_pass_body(self) -> int:
         """The pass itself; caller holds ``_drain_lock``."""
+        gov = getattr(self.runtime, "governor", None)
+        t0 = gov.now() if gov is not None else 0.0
+        t1 = t0
         merged: List[Slot] = []
         with self._rings_lock:
             rings = list(self._rings)
@@ -271,6 +274,8 @@ class DrainController:
                     self.journal_errors += 1
                     if not self._contain("journal", exc):
                         raise
+            if gov is not None:
+                t1 = gov.now()
             self.runtime.dispatch_batch(
                 [slot[1] for slot in merged], include_local=False
             )
@@ -293,6 +298,20 @@ class DrainController:
             self.events_drained += taken
             if taken > self.max_batch:
                 self.max_batch = taken
+            if gov is not None:
+                # Merge/sort/journal time is monitoring cost too: charge it
+                # to the non-sheddable pseudo-label ``(drain)`` (events=0 —
+                # dispatch already counted them) so the budget accounting
+                # stays honest about pipeline overhead.  Fail-safe like
+                # every governor touch: a fault trips the governor and is
+                # contained; it never costs the batch its verdicts.
+                try:
+                    gov.charge("(drain)", t1 - t0, 0)
+                except Exception as exc:
+                    gov.trip()
+                    if not self._contain("governor", exc):
+                        self._notify_space()
+                        raise
         self._notify_space()
         return taken
 

@@ -1,0 +1,557 @@
+"""The adaptive overhead governor: bounded monitoring cost under load.
+
+TESLA accepts up to ~16× slowdowns (figure 11); a production runtime
+cannot.  This module is the feedback controller that makes monitoring
+cost a *budget* instead of a consequence: the ``overhead_budget=`` knob
+declares what fraction of wall time monitoring may spend (e.g. 0.05 —
+"≤5%"), dispatch charges each automaton class's measured evaluation time
+here, and whenever a control window closes over budget the governor
+pushes the most expensive class one rung down a graduated shedding
+ladder:
+
+``FULL → SAMPLED(1-in-N) → DEMOTED (journal-only) → SHED``
+
+* **SAMPLED** — only 1-in-N of the class's bound occurrences instantiate
+  automata (:meth:`admit_bound` gates the bound join in
+  ``update.lazy_join_bound`` / the manager's eager init loop).  Findings
+  stay honest: every instance carries the rate it was admitted under, and
+  the resulting :class:`~repro.errors.TemporalViolation` is annotated
+  with it (``sampling_rate``), so a sampled finding can never masquerade
+  as full coverage.
+* **DEMOTED** — the class is excluded from dispatch plans but its events
+  are still captured and journalled (PR 6's drain sink records *before*
+  dispatch), so the evidence survives for offline replay.  Plans are
+  cleared through the manager's change hook without bumping the interest
+  epoch — hooks must keep capturing.
+* **SHED** — full detachment through the supervisor's existing
+  interest-epoch bump (``Supervisor.governor_shed``): translator chains
+  re-filter and hook interest caches drop the class, exactly like
+  quarantine.
+
+When spend falls well under budget the ladder unwinds one rung at a time,
+and the restored class is **on probation**: a re-escalation while on
+probation counts as a strike — the class re-degrades immediately and its
+hold before the next restore grows exponentially, mirroring quarantine's
+probation/backoff lifecycle.
+
+Decisions are *replayable*: the controller reads time only through the
+injected :class:`~repro.runtime.clock.Clock`, so the shed/sample/demote
+sequence is a pure function of (clock trace, stats stream) — no hidden
+``time.time()`` anywhere.  A faulting governor fails safe: the manager
+contains any exception out of :meth:`charge`/:meth:`maybe_control` and
+calls :meth:`trip`, which restores full coverage and disables further
+decisions — monitoring degrades to "no shedding", never to silently
+dropped verdicts.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from . import faultinject as _fi
+from .clock import Clock, as_clock
+from .faultinject import fault_site
+
+__all__ = ["GovernorState", "GovernorRecord", "OverheadGovernor"]
+
+_FP_CHARGE = fault_site("governor.charge")
+_FP_CONTROL = fault_site("governor.control")
+
+#: Labels that are cost-accounted but never shed: overhead attributed to
+#: shared machinery (e.g. ``"(drain)"``), following the supervisor's
+#: pseudo-label convention.
+_PSEUDO_PREFIX = "("
+
+
+class GovernorState(enum.Enum):
+    """One automaton class's rung on the shedding ladder."""
+
+    FULL = "full"
+    SAMPLED = "sampled"
+    DEMOTED = "demoted"
+    SHED = "shed"
+
+
+@dataclass
+class GovernorRecord:
+    """Per-class cost ledger and ladder position."""
+
+    automaton: str
+    #: Ladder rung: 0 = FULL, 1..len(rates) = SAMPLED at rates[level-1],
+    #: len(rates)+1 = DEMOTED, len(rates)+2 = SHED.
+    level: int = 0
+    #: Probation strikes: re-escalations while on probation.  Each strike
+    #: lengthens the hold before the next restore (exponential backoff).
+    trips: int = 0
+    #: Decision index before which this class may not be relaxed.
+    hold_until: int = 0
+    #: Decision index until which a relaxed class is on probation.
+    probation_until: int = 0
+    #: Monotone bound-occurrence counter driving 1-in-N admission.
+    counter: int = 0
+    admitted: int = 0
+    skipped: int = 0
+    window_seconds: float = 0.0
+    window_events: int = 0
+    total_seconds: float = 0.0
+    total_events: int = 0
+
+
+class OverheadGovernor:
+    """Feedback controller holding monitoring spend under a budget.
+
+    Hot-path entry points (:meth:`charge`, :meth:`admit_bound`,
+    :meth:`maybe_control`) are plain attribute/dict work safe under the
+    GIL; :meth:`control` — the rare decision step — takes the lock.
+
+    ``shed``/``unshed`` are the supervisor's ``governor_shed`` /
+    ``governor_unshed`` bound methods; ``on_demote_change`` is the
+    manager hook clearing dispatch plans when the demoted set changes.
+    """
+
+    def __init__(
+        self,
+        budget: float,
+        clock: object = None,
+        interval: float = 0.01,
+        check_every: int = 32,
+        sample_rates: Tuple[int, ...] = (2, 8, 32),
+        relax_ratio: float = 0.5,
+        relax_after: int = 4,
+        relax_hold: int = 4,
+        probation_decisions: int = 8,
+        backoff: float = 2.0,
+        history: int = 256,
+        shed: Optional[Callable[[str], None]] = None,
+        unshed: Optional[Callable[[str], None]] = None,
+        on_demote_change: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if not 0.0 < budget <= 1.0:
+            raise ValueError(
+                "overhead_budget is a fraction of wall time; it must be in "
+                f"(0.0, 1.0], got {budget!r}"
+            )
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval!r}")
+        if any(r < 2 for r in sample_rates):
+            raise ValueError(f"sample rates must be >= 2, got {sample_rates}")
+        self.budget = budget
+        self.clock: Clock = as_clock(clock)
+        #: Bound method — the hot path's cheap time read.
+        self.now = self.clock.now
+        self.interval = interval
+        self.check_every = check_every
+        self.sample_rates = tuple(sample_rates)
+        self.relax_ratio = relax_ratio
+        self.relax_after = relax_after
+        self.relax_hold = relax_hold
+        self.probation_decisions = probation_decisions
+        self.backoff = backoff
+        self._shed_cb = shed
+        self._unshed_cb = unshed
+        self._on_demote_change = on_demote_change
+        #: Ladder geometry: FULL + one rung per sampling rate + DEMOTED +
+        #: SHED.
+        self._demote_level = len(self.sample_rates) + 1
+        self._shed_level = self._demote_level + 1
+        self._ledger: Dict[str, GovernorRecord] = {}
+        #: class name -> current 1-in-N rate (SAMPLED rung only).
+        self._sample: Dict[str, int] = {}
+        self._demoted: set = set()
+        #: Failed safe: all restrictions lifted, no further decisions.
+        self.tripped = False
+        self.decisions = 0
+        self.escalations = 0
+        self.relaxations = 0
+        #: (decision index, class, from-state, to-state) — the replayable
+        #: decision log the determinism property compares.
+        self.transitions: List[Tuple[int, str, str, str]] = []
+        self._history = history
+        self.last_ratio = 0.0
+        self._calm = 0
+        now = self.now()
+        self._started = now
+        self._window_start = now
+        self._window_spend = 0.0
+        self._total_spend = 0.0
+        self._total_wall = 0.0
+        self._next_decision_at = now + interval
+        self._events_since = 0
+        self._mark_spend = 0.0
+        self._mark_time = now
+        self._lock = threading.Lock()
+
+    # -- hot path --------------------------------------------------------------
+
+    def charge(self, name: str, seconds: float, events: int = 1) -> None:
+        """Account one unit of monitoring work to ``name``.
+
+        Called by the manager around each class's dispatch share and by
+        the drain controller for its merge overhead (``"(drain)"``).
+        Plain accumulation, GIL-safe like the supervisor's counters.
+        """
+        if self.tripped:
+            return
+        if _fi._active is not None:
+            _fi.fault_point(_FP_CHARGE)
+        self._window_spend += seconds
+        led = self._ledger.get(name)
+        if led is None:
+            led = self._ledger[name] = GovernorRecord(name)
+        led.window_seconds += seconds
+        led.window_events += events
+        led.total_seconds += seconds
+        led.total_events += events
+
+    def admit_bound(self, name: str) -> bool:
+        """The 1-in-N sampling gate, consulted once per bound occurrence.
+
+        Classes not on the SAMPLED rung are always admitted (one dict
+        probe).  The counter is monotone per class, so the admit pattern
+        is deterministic given the decision sequence.
+        """
+        rate = self._sample.get(name)
+        if rate is None or self.tripped:
+            return True
+        led = self._ledger.get(name)
+        if led is None:
+            led = self._ledger[name] = GovernorRecord(name)
+        count = led.counter
+        led.counter = count + 1
+        if count % rate == 0:
+            led.admitted += 1
+            return True
+        led.skipped += 1
+        return False
+
+    def sample_rate(self, name: str) -> int:
+        """The honesty annotation: current 1-in-N rate (1 = unsampled)."""
+        return self._sample.get(name, 1)
+
+    def maybe_control(self, events: int = 1) -> None:
+        """The per-dispatch tick: cheap counter bump, and a control step
+        when a full interval has elapsed on the injected clock."""
+        if self.tripped:
+            return
+        self._events_since += events
+        if self._events_since < self.check_every:
+            return
+        self._events_since = 0
+        now = self.now()
+        if now >= self._next_decision_at:
+            self.control(now)
+
+    # -- the control loop ------------------------------------------------------
+
+    def control(self, now: Optional[float] = None) -> None:
+        """Close the current window and decide: escalate when spend ran
+        over budget, relax (onto probation) when it stayed well under."""
+        if self.tripped:
+            return
+        with self._lock:
+            if _fi._active is not None:
+                _fi.fault_point(_FP_CONTROL)
+            if now is None:
+                now = self.now()
+            wall = now - self._window_start
+            if wall <= 0.0:
+                self._next_decision_at = now + self.interval
+                return
+            spend = self._window_spend
+            ratio = spend / wall
+            self.decisions += 1
+            self.last_ratio = ratio
+            if ratio > self.budget:
+                self._calm = 0
+                self._escalate(ratio)
+            elif ratio < self.budget * self.relax_ratio:
+                self._calm += 1
+                if self._calm >= self.relax_after:
+                    self._relax()
+            else:
+                self._calm = 0
+            # Rotate the window: per-class costs feed the *next* ranking.
+            for led in self._ledger.values():
+                led.window_seconds = 0.0
+                led.window_events = 0
+            self._total_spend += spend
+            self._total_wall += wall
+            self._window_spend = 0.0
+            self._window_start = now
+            self._next_decision_at = now + self.interval
+
+    def _escalate(self, ratio: float) -> None:
+        """Push the hottest sheddable class down the ladder.  Caller
+        holds the lock."""
+        candidates = [
+            led
+            for name, led in self._ledger.items()
+            if not name.startswith(_PSEUDO_PREFIX)
+            and led.level < self._shed_level
+        ]
+        if not candidates:
+            return
+        led = max(
+            candidates,
+            key=lambda l: (l.window_seconds, l.total_seconds, l.automaton),
+        )
+        if led.window_seconds <= 0.0 and led.total_seconds <= 0.0:
+            # Nothing measured for any candidate: the overage came from
+            # unattributable overhead; shedding an idle class won't help.
+            return
+        # Larger overshoots jump further down the ladder, so convergence
+        # is a handful of windows even from a cold start.
+        step = 1
+        overshoot = ratio / self.budget
+        if overshoot > 2.0:
+            step = 2
+        if overshoot > 8.0:
+            step = 3
+        on_probation = self.decisions <= led.probation_until
+        if on_probation:
+            # One strike on probation: re-degrade with an exponentially
+            # longer hold — the quarantine lifecycle, re-spoken in
+            # decision indices.
+            led.trips += 1
+        self._set_level(led, led.level + step)
+        led.hold_until = self.decisions + int(
+            self.relax_hold * (self.backoff ** led.trips)
+        )
+        self.escalations += 1
+
+    def _relax(self) -> None:
+        """Restore the least expensive degraded class one rung, on
+        probation.  Caller holds the lock."""
+        candidates = [
+            led
+            for led in self._ledger.values()
+            if led.level > 0 and self.decisions >= led.hold_until
+        ]
+        if not candidates:
+            return
+        led = min(
+            candidates,
+            key=lambda l: (l.window_seconds, l.total_seconds, l.automaton),
+        )
+        self._set_level(led, led.level - 1)
+        led.probation_until = self.decisions + self.probation_decisions
+        self.relaxations += 1
+        self._calm = 0
+
+    def _state_of(self, level: int) -> Tuple[GovernorState, int]:
+        if level <= 0:
+            return GovernorState.FULL, 1
+        if level < self._demote_level:
+            return GovernorState.SAMPLED, self.sample_rates[level - 1]
+        if level == self._demote_level:
+            return GovernorState.DEMOTED, 0
+        return GovernorState.SHED, 0
+
+    def _set_level(self, led: GovernorRecord, level: int) -> None:
+        """Move one class to ``level``, applying the rung's side effects
+        (sampling table, demoted set, supervisor shed).  Caller holds the
+        lock; the supervisor callbacks take its lock nested inside ours —
+        the one ordering used everywhere (governor → supervisor)."""
+        level = max(0, min(level, self._shed_level))
+        old = led.level
+        if level == old:
+            return
+        old_state, _ = self._state_of(old)
+        new_state, rate = self._state_of(level)
+        led.level = level
+        if new_state is GovernorState.SAMPLED:
+            self._sample[led.automaton] = rate
+        else:
+            self._sample.pop(led.automaton, None)
+        demote_changed = False
+        if new_state is GovernorState.DEMOTED:
+            if led.automaton not in self._demoted:
+                self._demoted.add(led.automaton)
+                demote_changed = True
+        elif led.automaton in self._demoted:
+            self._demoted.discard(led.automaton)
+            demote_changed = True
+        if new_state is GovernorState.SHED and old_state is not GovernorState.SHED:
+            if self._shed_cb is not None:
+                self._shed_cb(led.automaton)
+        elif old_state is GovernorState.SHED and new_state is not GovernorState.SHED:
+            if self._unshed_cb is not None:
+                self._unshed_cb(led.automaton)
+        if demote_changed and self._on_demote_change is not None:
+            self._on_demote_change()
+        self.transitions.append(
+            (self.decisions, led.automaton, old_state.value, new_state.value)
+        )
+        if len(self.transitions) > self._history:
+            del self.transitions[: -self._history]
+
+    # -- manual ladder control (tests, CLI demo) -------------------------------
+
+    def escalate_class(self, name: str, rungs: int = 1) -> None:
+        """Force one class down the ladder (tests and the CLI demo)."""
+        with self._lock:
+            led = self._ledger.get(name)
+            if led is None:
+                led = self._ledger[name] = GovernorRecord(name)
+            self._set_level(led, led.level + rungs)
+
+    def relax_class(self, name: str, rungs: int = 1) -> None:
+        with self._lock:
+            led = self._ledger.get(name)
+            if led is not None:
+                self._set_level(led, led.level - rungs)
+
+    def state_of(self, name: str) -> GovernorState:
+        led = self._ledger.get(name)
+        return GovernorState.FULL if led is None else self._state_of(led.level)[0]
+
+    @property
+    def demoted(self) -> frozenset:
+        """Classes on the journal-only rung (consulted at plan build)."""
+        return frozenset(self._demoted)
+
+    # -- fail-safe -------------------------------------------------------------
+
+    def trip(self) -> None:
+        """A governor fault was contained: restore full coverage and stop
+        making decisions.  A broken controller must cost headroom, never
+        verdicts — so every restriction is lifted, defensively."""
+        with self._lock:
+            if self.tripped:
+                return
+            self.tripped = True
+            self._sample.clear()
+            demote_changed = bool(self._demoted)
+            self._demoted.clear()
+            for led in self._ledger.values():
+                if led.level >= self._shed_level and self._unshed_cb is not None:
+                    try:
+                        self._unshed_cb(led.automaton)
+                    except Exception:
+                        pass
+                led.level = 0
+        if demote_changed and self._on_demote_change is not None:
+            try:
+                self._on_demote_change()
+            except Exception:
+                pass
+
+    # -- accounting views ------------------------------------------------------
+
+    @property
+    def spend_seconds(self) -> float:
+        """Lifetime monitoring spend (closed windows + the open one)."""
+        return self._total_spend + self._window_spend
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.now() - self._started
+
+    @property
+    def total_ratio(self) -> float:
+        wall = self.wall_seconds
+        return self.spend_seconds / wall if wall > 0 else 0.0
+
+    def begin_measurement(self) -> None:
+        """Mark the start of a measurement phase (``bench_governor``
+        samples the steady state after the controller converges)."""
+        self._mark_spend = self.spend_seconds
+        self._mark_time = self.now()
+
+    def measured_ratio(self) -> float:
+        """Spend fraction since :meth:`begin_measurement`."""
+        wall = self.now() - self._mark_time
+        if wall <= 0:
+            return 0.0
+        return (self.spend_seconds - self._mark_spend) / wall
+
+    def cost_ranking(self) -> List[GovernorRecord]:
+        """Per-assertion lifetime cost, most expensive first."""
+        return sorted(
+            self._ledger.values(),
+            key=lambda l: (-l.total_seconds, l.automaton),
+        )
+
+    def report(self) -> dict:
+        """The introspection snapshot ``health_report`` embeds."""
+        with self._lock:
+            shed = sorted(
+                led.automaton
+                for led in self._ledger.values()
+                if led.level >= self._shed_level
+            )
+            classes = []
+            for led in self.cost_ranking():
+                state, rate = self._state_of(led.level)
+                classes.append(
+                    {
+                        "automaton": led.automaton,
+                        "state": state.value,
+                        "rate": rate if state is GovernorState.SAMPLED else 1,
+                        "level": led.level,
+                        "trips": led.trips,
+                        "window_seconds": led.window_seconds,
+                        "total_seconds": led.total_seconds,
+                        "total_events": led.total_events,
+                        "admitted": led.admitted,
+                        "skipped": led.skipped,
+                    }
+                )
+            return {
+                "budget": self.budget,
+                "interval": self.interval,
+                "tripped": self.tripped,
+                "decisions": self.decisions,
+                "escalations": self.escalations,
+                "relaxations": self.relaxations,
+                "window_ratio": self.last_ratio,
+                "total_ratio": self.total_ratio,
+                "spend_seconds": self.spend_seconds,
+                "wall_seconds": self.wall_seconds,
+                "sampled": dict(sorted(self._sample.items())),
+                "demoted": sorted(self._demoted),
+                "shed": shed,
+                "classes": classes,
+                "transitions": list(self.transitions[-16:]),
+            }
+
+    # -- maintenance -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Lift every restriction and zero accounting (between runs).
+
+        The supervisor's own reset already clears governor-shed classes;
+        the ``unshed`` calls here are idempotent no-ops in that case."""
+        with self._lock:
+            for led in self._ledger.values():
+                if led.level >= self._shed_level and self._unshed_cb is not None:
+                    try:
+                        self._unshed_cb(led.automaton)
+                    except Exception:
+                        pass
+            had_demoted = bool(self._demoted)
+            self._ledger.clear()
+            self._sample.clear()
+            self._demoted.clear()
+            self.tripped = False
+            self.decisions = 0
+            self.escalations = 0
+            self.relaxations = 0
+            self.transitions.clear()
+            self.last_ratio = 0.0
+            self._calm = 0
+            now = self.now()
+            self._started = now
+            self._window_start = now
+            self._window_spend = 0.0
+            self._total_spend = 0.0
+            self._total_wall = 0.0
+            self._next_decision_at = now + self.interval
+            self._events_since = 0
+            self._mark_spend = 0.0
+            self._mark_time = now
+        if had_demoted and self._on_demote_change is not None:
+            self._on_demote_change()

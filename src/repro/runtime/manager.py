@@ -43,8 +43,9 @@ from ..core.events import EventKind, RuntimeEvent
 from ..core.translate import translate_all
 from ..errors import ContextError, TemporalAssertionError
 from . import faultinject as _fi
-from .drain import DrainController
+from .drain import OVERFLOW_POLICIES, DrainController
 from .epoch import interest_epoch
+from .governor import OverheadGovernor
 from .journal import JournalWriter
 from .notify import ErrorPolicy, NotificationHub
 from .prealloc import DEFAULT_CAPACITY
@@ -179,11 +180,52 @@ class TeslaRuntime:
         drain_interval: float = 0.002,
         lint: str = "warn",
         journal: object = None,
+        overhead_budget: Optional[float] = None,
+        clock: object = None,
     ) -> None:
         if deferred not in (False, True, "manual"):
             raise ValueError(
                 "deferred must be False (synchronous), True (background "
                 f"drainer) or 'manual' (explicit drain), got {deferred!r}"
+            )
+        # Numeric knobs are range-checked up front: a nonsense value used
+        # to surface (if at all) as a confusing failure deep inside pool
+        # or ring construction, long after the misconfigured call site.
+        if capacity < 1:
+            raise ValueError(
+                f"capacity is the per-class instance pool size; it must be "
+                f">= 1, got {capacity!r}"
+            )
+        if shards is not None and shards < 1:
+            raise ValueError(
+                f"shards must be >= 1 (or None to auto-size), got {shards!r}"
+            )
+        if ring_capacity < 1:
+            raise ValueError(
+                f"ring_capacity is the per-thread capture ring size; it "
+                f"must be >= 1, got {ring_capacity!r}"
+            )
+        if drain_interval <= 0:
+            raise ValueError(
+                f"drain_interval is the background drainer's period in "
+                f"seconds; it must be > 0, got {drain_interval!r}"
+            )
+        if overflow_policy not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"overflow_policy must be one of {OVERFLOW_POLICIES}, "
+                f"got {overflow_policy!r}"
+            )
+        if overhead_budget is not None and not (
+            0.0 < overhead_budget <= 1.0
+        ):
+            raise ValueError(
+                "overhead_budget is a fraction of wall time; it must be "
+                f"in (0.0, 1.0], got {overhead_budget!r}"
+            )
+        if clock is not None and overhead_budget is None:
+            raise ValueError(
+                "clock= replaces the overhead governor's time source; it "
+                "requires overhead_budget="
             )
         if journal is not None and not deferred:
             raise ValueError(
@@ -225,6 +267,22 @@ class TeslaRuntime:
             failure_policy, on_change=self._on_supervisor_change
         )
         self.hub.fault_sink = self.supervisor.record_handler_fault
+        #: Adaptive overhead governor (DESIGN §5.8): feedback controller
+        #: bounding monitoring cost to ``overhead_budget`` (a fraction of
+        #: wall time) by graduated shedding — sample instantiation, demote
+        #: to journal-only recording, shed via the supervisor.  ``None``
+        #: (the default) keeps the hot path completely un-instrumented.
+        self.governor: Optional[OverheadGovernor] = (
+            OverheadGovernor(
+                overhead_budget,
+                clock=clock,
+                shed=self.supervisor.governor_shed,
+                unshed=self.supervisor.governor_unshed,
+                on_demote_change=self._on_governor_change,
+            )
+            if overhead_budget is not None
+            else None
+        )
         #: Event translators feeding this runtime, re-filtered when the
         #: supervisor sheds or re-arms a class (weak: translators die with
         #: their instrumentation session).
@@ -319,6 +377,44 @@ class TeslaRuntime:
         for translator in list(self._translators):
             translator._rebuild()
         interest_epoch.bump()
+
+    def _on_governor_change(self) -> None:
+        """The governor demoted or restored a class: rebuild dispatch plans
+        only.  Deliberately *not* ``_on_supervisor_change`` — a demoted
+        class must keep capturing events (the journal is its evidence
+        trail), so hook interest and translator chains stay untouched; the
+        class merely disappears from evaluation plans."""
+        self._key_plans.clear()
+
+    def _govern(self, events: int) -> None:
+        """One governor control tick, fail-safe: any governor fault trips
+        it (all restrictions lift, decisions stop) and is contained under
+        the pseudo-label ``(governor)`` — a broken controller degrades to
+        "no shedding", never to dropped verdicts."""
+        gov = self.governor
+        try:
+            gov.maybe_control(events)
+        except TemporalAssertionError:
+            raise
+        except Exception as exc:
+            gov.trip()
+            if not self.supervisor.contain("(governor)", "governor", exc):
+                raise
+
+    def _charge(
+        self, gov: OverheadGovernor, name: str, seconds: float,
+        events: int = 1,
+    ) -> None:
+        """Attribute measured evaluation time to a class's cost ledger,
+        with the same trip-and-contain fail-safety as ``_govern``."""
+        try:
+            gov.charge(name, seconds, events)
+        except TemporalAssertionError:
+            raise
+        except Exception as exc:
+            gov.trip()
+            if not self.supervisor.contain("(governor)", "governor", exc):
+                raise
 
     # -- installation ----------------------------------------------------------
 
@@ -478,8 +574,14 @@ class TeslaRuntime:
         local = _ContextPlan()
         # Quarantined classes are shed at plan-build time: the supervisor's
         # change hook clears ``_key_plans``, so a trip or re-arm takes
-        # effect on the very next event.
+        # effect on the very next event.  Governor-demoted classes are
+        # excluded from evaluation the same way, but their hooks stay
+        # attached (``_on_governor_change`` skips the epoch bump) so the
+        # journal keeps recording their events.
         shed = self.supervisor.shed_classes
+        gov = self.governor
+        if gov is not None and gov.demoted:
+            shed = shed | gov.demoted
 
         def context_plan(name: str) -> _ContextPlan:
             if self.contexts[name] is Context.GLOBAL:
@@ -542,6 +644,8 @@ class TeslaRuntime:
             return
         self.events_processed += 1
         self.supervisor.begin_dispatch()
+        if self.governor is not None:
+            self._govern(1)
         key = (event.kind, event.name)
         plan = self._plan_for(key)
         for index, work in plan.shard_work:
@@ -598,6 +702,8 @@ class TeslaRuntime:
         events = list(events)
         self.events_processed += len(events)
         self.supervisor.advance(len(events))
+        if self.governor is not None and events:
+            self._govern(len(events))
         per_shard: Dict[
             int, List[Tuple[_ContextPlan, RuntimeEvent, frozenset, DispatchKey]]
         ] = {}
@@ -687,6 +793,7 @@ class TeslaRuntime:
         compiled = self.compiled
         codegen = self.codegen
         supervisor = self.supervisor
+        gov = self.governor
         if compiled:
             # One epoch read per (event, context); each class's plan_for
             # is a dict probe plus an integer compare.
@@ -701,8 +808,18 @@ class TeslaRuntime:
                 tracker.begin(bound)
         else:
             for name in work.init_names:
+                t0 = gov.now() if gov is not None else 0.0
                 try:
                     cr = store.get(name)
+                    if gov is not None and not cr.active:
+                        # Rung-1 shedding: 1-in-N bound instantiation.  A
+                        # skipped occurrence never materialises (the class
+                        # stays inactive, so its events take the ignore
+                        # path); an admitted one stamps its rate so any
+                        # violation it finds carries the honesty annotation.
+                        if not gov.admit_bound(name):
+                            continue
+                        cr.sample_rate = gov.sample_rate(name)
                     handle_init(
                         cr, event, self.hub, lazy=False,
                         plan=cr.plan_for(key, epoch) if compiled else None,
@@ -712,15 +829,19 @@ class TeslaRuntime:
                 except Exception as exc:
                     if not supervisor.contain(name, "init", exc):
                         raise
+                finally:
+                    if gov is not None:
+                        self._charge(gov, name, gov.now() - t0)
         for name, bound in work.body:
             if name in initiated:
                 # An event that opens a class's bound is not also one of its
                 # body events for the same occurrence.
                 continue
+            t0 = gov.now() if gov is not None else 0.0
             try:
                 cr = store.get(name)
                 if self.lazy:
-                    lazy_join_bound(cr, bound, tracker)
+                    lazy_join_bound(cr, bound, tracker, governor=gov)
                 if codegen:
                     entry = cr.step_for(key, epoch, facts)
                     if entry is not None:
@@ -743,11 +864,15 @@ class TeslaRuntime:
             except Exception as exc:
                 if not supervisor.contain(name, "body", exc):
                     raise
+            finally:
+                if gov is not None:
+                    self._charge(gov, name, gov.now() - t0)
         if self.lazy:
             # Cleanup visits only the classes actually touched during the
             # bound, not every class sharing it.
             for bound in work.cleanup_bounds:
                 for name in sorted(tracker.end(bound)):
+                    t0 = gov.now() if gov is not None else 0.0
                     try:
                         cr = store.get(name)
                         handle_cleanup(
@@ -759,8 +884,12 @@ class TeslaRuntime:
                     except Exception as exc:
                         if not supervisor.contain(name, "cleanup", exc):
                             raise
+                    finally:
+                        if gov is not None:
+                            self._charge(gov, name, gov.now() - t0)
         else:
             for name in work.cleanup_names:
+                t0 = gov.now() if gov is not None else 0.0
                 try:
                     cr = store.get(name)
                     handle_cleanup(
@@ -772,6 +901,9 @@ class TeslaRuntime:
                 except Exception as exc:
                     if not supervisor.contain(name, "cleanup", exc):
                         raise
+                finally:
+                    if gov is not None:
+                        self._charge(gov, name, gov.now() - t0)
 
     def _run_body_batch(
         self,
@@ -795,13 +927,15 @@ class TeslaRuntime:
         epoch = interest_epoch.value
         facts = self._codegen_facts(epoch)
         supervisor = self.supervisor
+        gov = self.governor
         for name, bound in work.body:
             if name in initiated:
                 continue
+            t0 = gov.now() if gov is not None else 0.0
             try:
                 cr = store.get(name)
                 if self.lazy:
-                    lazy_join_bound(cr, bound, tracker)
+                    lazy_join_bound(cr, bound, tracker, governor=gov)
                 entry = cr.step_for(key, epoch, facts)
                 if entry is not None:
                     entry.step_batch(cr, events, self.hub)
@@ -816,6 +950,9 @@ class TeslaRuntime:
             except Exception as exc:
                 if not supervisor.contain(name, "body", exc):
                     raise
+            finally:
+                if gov is not None:
+                    self._charge(gov, name, gov.now() - t0, len(events))
 
     # -- maintenance --------------------------------------------------------------
 
@@ -866,6 +1003,8 @@ class TeslaRuntime:
         self.events_processed = 0
         self.hub.reset_counts()
         self.supervisor.reset()
+        if self.governor is not None:
+            self.governor.reset()
 
     def observes(self, key: DispatchKey) -> bool:
         """Whether any installed automaton cares about this dispatch key."""

@@ -52,6 +52,14 @@ class Notification:
     violation: Optional[TemporalViolation] = None
     transition: Optional[Any] = None
 
+    @property
+    def sampling_rate(self) -> int:
+        """The overhead governor's honesty annotation (DESIGN §5.8): the
+        1-in-N instantiation rate the finding was made under.  1 for
+        routine notifications and unsampled findings — consumers can rely
+        on ``rate > 1`` meaning "this verdict extrapolates"."""
+        return 1 if self.violation is None else self.violation.sampling_rate
+
     def describe(self) -> str:
         parts = [f"[{self.kind.value}] {self.automaton}"]
         if self.instance_name:

@@ -82,6 +82,7 @@ class ClassRuntime:
         "lazy_binding",
         "overflow_mark",
         "overflow_reported",
+        "sample_rate",
         "transition_counts",
         "errors",
         "accepts",
@@ -120,6 +121,11 @@ class ClassRuntime:
         #: notification — a saturated pool reports once per bound, with
         #: exact drop counts kept in ``pool.stats()``.
         self.overflow_reported = False
+        #: The overhead governor's honesty annotation (DESIGN §5.8): the
+        #: 1-in-N instantiation rate in force when the current bound was
+        #: admitted.  1 = unsampled; violations carry this value so a
+        #: sampled finding can never report as full coverage.
+        self.sample_rate = 1
         #: Transition → times taken; drives figure 9's weighted graphs.
         self.transition_counts: Dict[Transition, int] = {}
         self.errors = 0
@@ -248,6 +254,7 @@ class ClassRuntime:
         self.lazy_binding = {}
         self.overflow_mark = 0
         self.overflow_reported = False
+        self.sample_rate = 1
         # Plans and generated steps survive a reset (the automaton is
         # unchanged); only the effectiveness counters restart.
         self.plan_hits = 0

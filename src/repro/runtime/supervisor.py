@@ -238,8 +238,14 @@ class Supervisor:
         self.last_faults: Deque[MonitorFault] = deque(maxlen=last_errors)
         self._windows: Dict[str, Deque[int]] = {}
         self._records: Dict[str, QuarantineRecord] = {}
-        #: Classes currently shed from dispatch (quarantined/permanent).
+        #: Classes currently shed from dispatch (quarantined/permanent,
+        #: plus any the overhead governor detached for cost).
         self._shed: set = set()
+        #: The subset of ``_shed`` owned by the overhead governor (DESIGN
+        #: §5.8) — shed for cost, not for faults.  Kept separate so
+        #: quarantine's probation poll never un-sheds a class the
+        #: governor still holds, and vice versa.
+        self._governor_shed: set = set()
         #: Cheap guard for the per-dispatch probation poll.
         self._has_records = False
         self._listeners: List[Callable[[], None]] = []
@@ -288,7 +294,11 @@ class Supervisor:
                     ):
                         record.state = QuarantineState.PROBATION
                         record.probation_until = now + policy.probation_ticks
-                        self._shed.discard(record.automaton)
+                        if record.automaton not in self._governor_shed:
+                            # The governor may still be shedding this
+                            # class for cost; probation only lifts the
+                            # quarantine's claim on it.
+                            self._shed.discard(record.automaton)
                         changed = True
                     else:
                         record.state = QuarantineState.PERMANENT
@@ -424,6 +434,46 @@ class Supervisor:
         self._shed.add(record.automaton)
         return True
 
+    # -- governor shedding -------------------------------------------------------
+
+    def governor_shed(self, name: str) -> None:
+        """Detach one class for overhead (the governor's final rung,
+        DESIGN §5.8).
+
+        Rides the quarantine shed set and the same change hook, so
+        dispatch plans, translator chains and the interest epoch all
+        follow through ``_on_supervisor_change`` exactly as a quarantine
+        trip would — shedding for cost and shedding for faults are one
+        mechanism with two policies."""
+        with self._lock:
+            if name in self._governor_shed:
+                return
+            self._governor_shed.add(name)
+            already = name in self._shed
+            self._shed.add(name)
+        if not already:
+            self._fire_change()
+
+    def governor_unshed(self, name: str) -> None:
+        """Release the governor's claim on one class (probation restore
+        or governor trip).  A class quarantine still holds stays shed."""
+        with self._lock:
+            if name not in self._governor_shed:
+                return
+            self._governor_shed.discard(name)
+            record = self._records.get(name)
+            if record is not None and record.state in (
+                QuarantineState.QUARANTINED,
+                QuarantineState.PERMANENT,
+            ):
+                return
+            self._shed.discard(name)
+        self._fire_change()
+
+    @property
+    def governor_shed_classes(self) -> frozenset:
+        return frozenset(self._governor_shed)
+
     def is_shed(self, name: str) -> bool:
         """Whether this class is currently detached from dispatch."""
         return name in self._shed
@@ -477,6 +527,7 @@ class Supervisor:
             self._windows.clear()
             self._records.clear()
             self._shed.clear()
+            self._governor_shed.clear()
             self._has_records = False
         if had_shed:
             self._fire_change()

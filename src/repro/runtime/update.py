@@ -192,6 +192,7 @@ def handle_cleanup(
                 ),
                 event=event,
                 binding=instance.binding_items(),
+                sampling_rate=cr.sample_rate,
             )
             hub.emit(
                 Notification(
@@ -263,7 +264,10 @@ def _step(
 
 
 def lazy_join_bound(
-    cr: ClassRuntime, bound: BoundId, tracker: BoundTracker
+    cr: ClassRuntime,
+    bound: BoundId,
+    tracker: BoundTracker,
+    governor=None,
 ) -> None:
     """Join an open bound's current epoch (lazy mode, section 5.2.2).
 
@@ -272,10 +276,27 @@ def lazy_join_bound(
     epoch.  The caller must hold whatever lock serialises ``cr`` (the
     owning shard's lock for global classes; nothing for thread-local
     ones) — ``tracker`` is always the same context's as ``cr``.
+
+    ``governor`` is the overhead governor's 1-in-N sampling gate (DESIGN
+    §5.8): a class on the SAMPLED rung admits only every Nth bound
+    occurrence.  A skipped occurrence marks the epoch as seen and leaves
+    the class inactive, so every event inside it — including the
+    assertion site — takes the ordinary "outside the bound" ignore path,
+    and cleanup never visits the class (it is not recorded as touched).
     """
     if tracker.open.get(bound):
         epoch = tracker.epoch[bound]
         if cr.seen_epoch != epoch:
+            if governor is not None:
+                if not governor.admit_bound(cr.automaton.name):
+                    cr.seen_epoch = epoch
+                    cr.pool.expunge()
+                    cr.active = False
+                    cr.pending = False
+                    return
+                # The honesty annotation rides the bound: violations found
+                # inside it report the rate it was admitted under.
+                cr.sample_rate = governor.sample_rate(cr.automaton.name)
             cr.seen_epoch = epoch
             cr.pool.expunge()
             cr.active = True
@@ -441,6 +462,7 @@ def tesla_update_state(
             ),
             event=event,
             binding=tuple(sorted(event.scope.items())),
+            sampling_rate=cr.sample_rate,
         )
         hub.emit(
             Notification(
@@ -456,6 +478,7 @@ def tesla_update_state(
             automaton=automaton.name,
             reason="strict automaton observed an event it cannot consume",
             event=event,
+            sampling_rate=cr.sample_rate,
         )
         hub.emit(
             Notification(

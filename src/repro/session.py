@@ -45,6 +45,8 @@ def monitoring(
     drain_interval: Optional[float] = None,
     lint: Optional[str] = None,
     journal: object = None,
+    overhead_budget: Optional[float] = None,
+    clock: object = None,
 ) -> Iterator[TeslaRuntime]:
     """Instrument ``assertions`` for the duration of the ``with`` block.
 
@@ -81,7 +83,16 @@ def monitoring(
     journal at the drain boundary (DESIGN §5.6): a path or binary
     file-like object every drained event is appended to, replayable
     offline with ``python -m repro.cli replay``; it requires ``deferred``
-    and is footer-closed when the block exits.  On clean
+    and is footer-closed when the block exits.  ``overhead_budget``
+    arms the adaptive overhead governor (DESIGN §5.8): monitoring may
+    spend at most that fraction of wall time (e.g. ``0.05`` — "≤5%"),
+    enforced by graduated shedding (sample instantiation → journal-only
+    demotion → shed via the supervisor) of the most expensive assertion
+    classes, with sampled findings annotated with their sampling rate;
+    ``clock`` replaces the governor's time source (an object with
+    ``now()`` or a plain callable returning seconds — inject a
+    :class:`~repro.runtime.clock.FakeClock` for replayable decision
+    sequences in tests).  On clean
     exit the block flushes pending events first, so deferred verdicts —
     including a fail-stop :class:`~repro.errors.TemporalAssertionError` —
     are delivered no later than the ``with`` block's exit; if the block
@@ -111,6 +122,10 @@ def monitoring(
         kwargs["lint"] = lint
     if journal is not None:
         kwargs["journal"] = journal
+    if overhead_budget is not None:
+        kwargs["overhead_budget"] = overhead_budget
+    if clock is not None:
+        kwargs["clock"] = clock
     runtime = TeslaRuntime(**kwargs)
     session = Instrumenter(
         runtime,

@@ -150,6 +150,13 @@ CONFIGS = [
     ("codegen", dict(lazy=True, shards=5, compile=True, codegen=True)),
     ("deferred-codegen", dict(lazy=True, shards=5, compile=True,
                               codegen=True, deferred="manual")),
+    # Overhead governor armed (DESIGN §5.8).  The generous budget keeps
+    # the ladder mostly quiet; what matters here is that the governor's
+    # charge path runs on every dispatched class so its fault site is
+    # reachable — and that a faulting governor trips (fail-safe) without
+    # ever perturbing the application or the containment accounting.
+    ("governed", dict(lazy=True, shards=5, compile=True,
+                      overhead_budget=0.9)),
 ]
 
 #: Fault sites this application's event flow can visit, per configuration
@@ -170,6 +177,10 @@ REACHABLE_SITES = {
     "drain.enqueue",
     "drain.merge",
     "drain.flush",
+    # Only the governed configuration charges the governor; its control
+    # boundary has a dedicated forcing test in TestGovernorChaos (the
+    # decision interval makes natural visits timing-dependent).
+    "governor.charge",
 }
 
 
@@ -427,6 +438,109 @@ class TestDeferredChaos:
         assert report.deferred is not None
         assert report.deferred["queue_depth"] == 0
         assert not runtime.drain.drainer_alive
+
+
+class TestGovernorChaos:
+    """A faulting governor degrades to "no shedding" — never to dropped
+    verdicts, never into the application.
+
+    The manager wraps every governor touch in a trip-and-contain
+    boundary: the first fault out of ``charge``/``control`` trips the
+    governor (all restrictions lifted, decisions disabled) and is
+    contained under the ``(governor)`` pseudo-label.  So a run whose
+    governor is broken from the first event must produce the exact
+    verdict stream of a run with no governor at all."""
+
+    GOVERNOR_SITES = ["governor.charge", "governor.control"]
+
+    def _run(self, ops, **kwargs):
+        with monitoring(
+            chaos_assertions(),
+            policy=LogAndContinue(),
+            failure_policy=FailOpen(),
+            lazy=True,
+            shards=5,
+            compile=True,
+            **kwargs,
+        ) as runtime:
+            result = run_app(ops)
+            verdicts = tuple(
+                (v.automaton, v.reason, v.sampling_rate)
+                for v in runtime.hub.policy.violations
+            )
+        return result, verdicts, runtime, health_report(runtime)
+
+    def test_faulting_governor_never_sheds_and_never_drops_verdicts(self):
+        ops = make_ops(seed=808, count=800)
+        baseline = run_app(ops)
+        _, ungoverned_verdicts, _, _ = self._run(ops)
+        # An aggressive 1% budget would certainly shed classes on this
+        # monitoring-dominated workload — but the injected charge fault
+        # trips the governor before its first decision.
+        with injection(
+            seed=21 + CHAOS_SEED, rate=1.0, only=self.GOVERNOR_SITES
+        ) as injector:
+            result, verdicts, runtime, report = self._run(
+                ops, overhead_budget=0.01
+            )
+        assert result == baseline
+        assert verdicts == ungoverned_verdicts, (
+            "a faulting governor changed the verdict stream"
+        )
+        assert injector.total_fired >= 1
+        assert report.propagated == 0
+        assert report.injected_recorded == injector.total_fired
+        gov = report.governor
+        assert gov["tripped"]
+        assert not gov["sampled"] and not gov["demoted"] and not gov["shed"]
+        assert report.stage_counts.get("governor", 0) >= 1
+        assert report.fault_counts.get("(governor)", 0) >= 1
+
+    def test_control_fault_is_contained_at_the_decision_boundary(self):
+        ops = make_ops(seed=809, count=800)
+        baseline = run_app(ops)
+        _, ungoverned_verdicts, _, _ = self._run(ops)
+        with injection(
+            seed=23 + CHAOS_SEED, rate=1.0, only=["governor.control"]
+        ) as injector:
+            with monitoring(
+                chaos_assertions(),
+                policy=LogAndContinue(),
+                failure_policy=FailOpen(),
+                lazy=True,
+                shards=5,
+                compile=True,
+                overhead_budget=0.01,
+            ) as runtime:
+                # Force the next tick to take a decision: the injected
+                # fault must come out of the *control* boundary.
+                runtime.governor._next_decision_at = 0.0
+                result = run_app(ops)
+                verdicts = tuple(
+                    (v.automaton, v.reason, v.sampling_rate)
+                    for v in runtime.hub.policy.violations
+                )
+            report = health_report(runtime)
+        assert result == baseline
+        assert verdicts == ungoverned_verdicts
+        assert injector.fired.get("governor.control", 0) == 1
+        assert report.propagated == 0
+        assert report.injected_recorded == injector.total_fired
+        assert report.governor["tripped"]
+        assert report.governor["decisions"] == 0
+
+    def test_governed_chaos_matrix_accounting_still_balances(self):
+        """The full chaos sweep of the governed configuration: faults
+        everywhere at once, the governor trips or survives, and either
+        way nothing escapes and the books balance."""
+        ops = make_ops(seed=810, count=1500)
+        baseline = run_app(ops)
+        with injection(seed=37 + CHAOS_SEED, rate=0.02) as injector:
+            result, _, _, report = self._run(ops, overhead_budget=0.5)
+        assert result == baseline
+        assert injector.total_fired > 0
+        assert report.propagated == 0
+        assert report.injected_recorded == injector.total_fired
 
 
 class TestUninvokedBoundaries:

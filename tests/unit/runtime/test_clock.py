@@ -1,0 +1,71 @@
+"""Unit tests for the governor's injectable clock (DESIGN §5.8).
+
+The controller reads time only through this seam, so a fake clock makes
+every shed/sample/demote decision replayable.
+"""
+
+import time
+
+import pytest
+
+from repro.runtime.clock import Clock, FakeClock, MonotonicClock, as_clock
+
+
+class TestFakeClock:
+    def test_starts_where_told(self):
+        assert FakeClock().now() == 0.0
+        assert FakeClock(start=41.5).now() == 41.5
+
+    def test_advance_accumulates(self):
+        clk = FakeClock()
+        clk.advance(1.25)
+        clk.advance(0.75)
+        assert clk.now() == 2.0
+
+    def test_advance_rejects_negative(self):
+        clk = FakeClock(start=10.0)
+        with pytest.raises(ValueError):
+            clk.advance(-0.1)
+        assert clk.now() == 10.0
+
+    def test_zero_advance_is_allowed(self):
+        clk = FakeClock()
+        clk.advance(0.0)
+        assert clk.now() == 0.0
+
+
+class TestMonotonicClock:
+    def test_tracks_perf_counter(self):
+        clk = MonotonicClock()
+        before = time.perf_counter()
+        sample = clk.now()
+        after = time.perf_counter()
+        assert before <= sample <= after
+
+    def test_never_goes_backwards(self):
+        clk = MonotonicClock()
+        samples = [clk.now() for _ in range(100)]
+        assert samples == sorted(samples)
+
+
+class TestAsClock:
+    def test_none_gives_monotonic(self):
+        assert isinstance(as_clock(None), MonotonicClock)
+
+    def test_clock_object_passes_through(self):
+        clk = FakeClock()
+        assert as_clock(clk) is clk
+
+    def test_plain_callable_is_wrapped(self):
+        ticks = iter([1.0, 2.0, 3.0])
+        clk = as_clock(lambda: next(ticks))
+        assert clk.now() == 1.0
+        assert clk.now() == 2.0
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeError):
+            as_clock(42)
+
+    def test_protocol_base_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Clock().now()

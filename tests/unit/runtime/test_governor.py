@@ -1,0 +1,365 @@
+"""Unit tests for the adaptive overhead governor (DESIGN §5.8).
+
+Every decision-making test drives the controller on a :class:`FakeClock`
+with explicit ``charge``/``control`` calls, so the expected ladder
+positions are exact, not eventual.
+"""
+
+import io
+
+import pytest
+
+from repro.core.dsl import ANY, fn, previously, tesla_within
+from repro.core.events import (
+    assertion_site_event,
+    call_event,
+    return_event,
+)
+from repro.runtime.clock import FakeClock
+from repro.runtime.epoch import interest_epoch
+from repro.runtime.governor import GovernorState, OverheadGovernor
+from repro.runtime.manager import TeslaRuntime
+from repro.runtime.notify import LogAndContinue
+
+
+def make_governor(budget=0.05, **kwargs):
+    """A standalone governor on a fake clock with recording callbacks."""
+    clk = FakeClock()
+    shed_log = []
+    gov = OverheadGovernor(
+        budget,
+        clock=clk,
+        **dict(
+            dict(
+                shed=lambda name: shed_log.append(("shed", name)),
+                unshed=lambda name: shed_log.append(("unshed", name)),
+            ),
+            **kwargs,
+        ),
+    )
+    return gov, clk, shed_log
+
+
+def hot_window(gov, clk, name="hot", spend=0.10, wall=1.0):
+    """One over-budget control window attributing ``spend`` to ``name``."""
+    gov.charge(name, spend)
+    clk.advance(wall)
+    gov.control()
+
+
+def calm_window(gov, clk, wall=1.0):
+    """One well-under-budget window (no spend at all)."""
+    clk.advance(wall)
+    gov.control()
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("budget", [0.0, -0.2, 1.0001, 17])
+    def test_budget_out_of_range_rejected(self, budget):
+        with pytest.raises(ValueError, match="overhead_budget"):
+            OverheadGovernor(budget)
+
+    def test_budget_of_exactly_one_is_observe_only(self):
+        gov, clk, _ = make_governor(budget=1.0)
+        # Spend can never exceed wall, so 1.0 never escalates: the
+        # accounting-armed baseline the bench compares against.
+        hot_window(gov, clk, spend=0.99)
+        assert gov.escalations == 0
+
+    def test_interval_and_rates_validated(self):
+        with pytest.raises(ValueError, match="interval"):
+            OverheadGovernor(0.05, interval=0.0)
+        with pytest.raises(ValueError, match="rates"):
+            OverheadGovernor(0.05, sample_rates=(2, 1))
+
+
+class TestLadder:
+    def test_escalation_order_is_graduated(self):
+        gov, clk, shed_log = make_governor()
+        states = []
+        for _ in range(5):
+            hot_window(gov, clk, spend=0.06)  # 1.2x budget: one rung/window
+            states.append(gov.state_of("hot"))
+        assert states == [
+            GovernorState.SAMPLED,  # rate 2
+            GovernorState.SAMPLED,  # rate 8
+            GovernorState.SAMPLED,  # rate 32
+            GovernorState.DEMOTED,
+            GovernorState.SHED,
+        ]
+        assert gov.sample_rate("hot") == 1  # past SAMPLED: rate cleared
+        assert shed_log == [("shed", "hot")]
+
+    def test_overshoot_scales_the_step(self):
+        gov, clk, _ = make_governor()
+        hot_window(gov, clk, spend=0.15)  # 3x budget: two rungs
+        assert gov.state_of("hot") is GovernorState.SAMPLED
+        assert gov.sample_rate("hot") == 8
+        hot_window(gov, clk, spend=0.45)  # 9x budget: three rungs
+        assert gov.state_of("hot") is GovernorState.SHED
+
+    def test_hottest_class_is_degraded_first(self):
+        gov, clk, _ = make_governor()
+        gov.charge("cool", 0.01)
+        gov.charge("hot", 0.09)
+        clk.advance(1.0)
+        gov.control()
+        assert gov.state_of("hot") is GovernorState.SAMPLED
+        assert gov.state_of("cool") is GovernorState.FULL
+
+    def test_pseudo_labels_are_never_shed(self):
+        gov, clk, _ = make_governor()
+        # All spend attributed to shared machinery: nothing to shed.
+        gov.charge("(drain)", 0.5, 0)
+        clk.advance(1.0)
+        gov.control()
+        assert gov.escalations == 0
+        assert gov.state_of("(drain)") is GovernorState.FULL
+
+    def test_idle_candidates_are_not_scapegoats(self):
+        gov, clk, _ = make_governor()
+        gov.admit_bound("idle")  # known to the ledger, zero cost
+        gov._window_spend = 0.5  # unattributable overage
+        clk.advance(1.0)
+        gov.control()
+        assert gov.state_of("idle") is GovernorState.FULL
+
+
+class TestAdmission:
+    def test_full_class_always_admitted(self):
+        gov, _, _ = make_governor()
+        assert all(gov.admit_bound("x") for _ in range(10))
+
+    def test_one_in_n_pattern(self):
+        gov, _, _ = make_governor()
+        gov.escalate_class("x", 1)  # SAMPLED rate 2
+        pattern = [gov.admit_bound("x") for _ in range(6)]
+        assert pattern == [True, False, True, False, True, False]
+        led = gov._ledger["x"]
+        assert (led.admitted, led.skipped) == (3, 3)
+
+    def test_rate_follows_the_rung(self):
+        gov, _, _ = make_governor()
+        gov.escalate_class("x", 2)  # SAMPLED rate 8
+        admitted = sum(gov.admit_bound("x") for _ in range(16))
+        assert admitted == 2
+        assert gov.sample_rate("x") == 8
+
+
+class TestRelaxAndProbation:
+    def test_calm_windows_unwind_one_rung_onto_probation(self):
+        gov, clk, _ = make_governor()
+        hot_window(gov, clk, spend=0.06)
+        assert gov.state_of("hot") is GovernorState.SAMPLED
+        hold = gov._ledger["hot"].hold_until
+        # Calm windows: the hold must elapse first, then relax_after
+        # consecutive calm windows restore one rung.
+        while gov.decisions < hold:
+            calm_window(gov, clk)
+        for _ in range(gov.relax_after):
+            calm_window(gov, clk)
+        assert gov.state_of("hot") is GovernorState.FULL
+        assert gov.relaxations == 1
+        led = gov._ledger["hot"]
+        assert led.probation_until > gov.decisions
+
+    def test_probation_strike_backs_off_exponentially(self):
+        gov, clk, _ = make_governor()
+        hot_window(gov, clk, spend=0.06)
+        hold0 = gov._ledger["hot"].hold_until - gov.decisions
+        while gov.decisions < gov._ledger["hot"].hold_until:
+            calm_window(gov, clk)
+        for _ in range(gov.relax_after):
+            calm_window(gov, clk)
+        assert gov.state_of("hot") is GovernorState.FULL
+        # Re-offend while on probation: a strike.
+        hot_window(gov, clk, spend=0.06)
+        led = gov._ledger["hot"]
+        assert led.trips == 1
+        assert gov.state_of("hot") is GovernorState.SAMPLED
+        assert led.hold_until - gov.decisions > hold0
+
+    def test_coolest_class_is_restored_first(self):
+        gov, clk, _ = make_governor(relax_after=1)
+        gov.escalate_class("a", 1)
+        gov.escalate_class("b", 1)
+        # 'b' is the cheaper of the two degraded classes this window.
+        gov.charge("a", 0.002)
+        calm_window(gov, clk)
+        assert gov.state_of("b") is GovernorState.FULL
+        assert gov.state_of("a") is GovernorState.SAMPLED
+
+
+class TestTrip:
+    def test_trip_lifts_everything_and_stops_decisions(self):
+        gov, clk, shed_log = make_governor()
+        for _ in range(5):
+            hot_window(gov, clk, spend=0.06)
+        assert gov.state_of("hot") is GovernorState.SHED
+        gov.trip()
+        assert gov.tripped
+        assert gov.state_of("hot") is GovernorState.FULL
+        assert gov.sample_rate("hot") == 1
+        assert not gov.demoted
+        assert shed_log[-1] == ("unshed", "hot")
+        # Decisions are over: further windows change nothing.
+        before = gov.decisions
+        hot_window(gov, clk, spend=0.5)
+        assert gov.decisions == before
+        assert gov.admit_bound("hot")
+
+    def test_trip_is_idempotent(self):
+        gov, _, shed_log = make_governor()
+        gov.trip()
+        gov.trip()
+        assert shed_log == []
+
+
+class TestRuntimeIntegration:
+    def _runtime(self, **kwargs):
+        clk = FakeClock()
+        policy = LogAndContinue()
+        runtime = TeslaRuntime(
+            policy=policy, overhead_budget=0.05, clock=clk, **kwargs
+        )
+        runtime.install_assertions(
+            [
+                tesla_within(
+                    "gv_bound",
+                    previously(fn("gv_chk", ANY("c")) == 0),
+                    name="gv_cls",
+                )
+            ]
+        )
+        return runtime, policy, clk
+
+    def _violating_occurrence(self, runtime):
+        runtime.handle_event(call_event("gv_bound", ()))
+        runtime.handle_event(return_event("gv_chk", ("c",), 1))
+        runtime.handle_event(assertion_site_event("gv_cls", {}))
+        runtime.handle_event(return_event("gv_bound", (), None))
+
+    def test_demotion_skips_evaluation_without_detaching(self):
+        runtime, policy, _ = self._runtime()
+        epoch_before = interest_epoch.value
+        runtime.governor.escalate_class("gv_cls", 4)  # DEMOTED
+        assert runtime.governor.state_of("gv_cls") is GovernorState.DEMOTED
+        # Demotion clears plans but must NOT bump the interest epoch:
+        # hooks keep capturing so the journal keeps its evidence.
+        assert interest_epoch.value == epoch_before
+        self._violating_occurrence(runtime)
+        assert policy.violations == []
+        assert "gv_cls" not in runtime.supervisor.shed_classes
+
+    def test_shed_rung_detaches_via_the_supervisor(self):
+        runtime, policy, _ = self._runtime()
+        epoch_before = interest_epoch.value
+        runtime.governor.escalate_class("gv_cls", 5)  # SHED
+        assert "gv_cls" in runtime.supervisor.shed_classes
+        assert "gv_cls" in runtime.supervisor.governor_shed_classes
+        assert interest_epoch.value > epoch_before
+        self._violating_occurrence(runtime)
+        assert policy.violations == []
+
+    def test_relaxing_a_shed_class_restores_verdicts(self):
+        runtime, policy, _ = self._runtime()
+        runtime.governor.escalate_class("gv_cls", 5)
+        runtime.governor.relax_class("gv_cls", 5)
+        assert "gv_cls" not in runtime.supervisor.shed_classes
+        self._violating_occurrence(runtime)
+        assert len(policy.violations) == 1
+        assert policy.violations[0].sampling_rate == 1
+
+    def test_governor_shed_survives_quarantine_poll(self):
+        runtime, _, _ = self._runtime()
+        runtime.governor.escalate_class("gv_cls", 5)
+        # The supervisor's probation poll must not silently re-arm a
+        # class the governor shed for overhead.
+        runtime.supervisor.advance(10_000)
+        assert "gv_cls" in runtime.supervisor.shed_classes
+
+    def test_demoted_class_events_still_reach_the_journal(self):
+        clk = FakeClock()
+        buf = io.BytesIO()
+        policy = LogAndContinue()
+        runtime = TeslaRuntime(
+            policy=policy,
+            overhead_budget=0.05,
+            clock=clk,
+            deferred="manual",
+            journal=buf,
+        )
+        runtime.install_assertions(
+            [
+                tesla_within(
+                    "gv_bound",
+                    previously(fn("gv_chk", ANY("c")) == 0),
+                    name="gv_cls",
+                )
+            ]
+        )
+        runtime.governor.escalate_class("gv_cls", 4)  # DEMOTED
+        self._violating_occurrence(runtime)
+        runtime.flush_deferred()
+        # No verdict (the class is demoted) — but every event of the
+        # occurrence is on the journal: evidence for offline replay.
+        assert policy.violations == []
+        assert runtime.journal.events >= 4
+        runtime.drain.stop()
+
+    def test_reset_restores_full_coverage(self):
+        runtime, policy, _ = self._runtime()
+        runtime.governor.escalate_class("gv_cls", 5)
+        runtime.reset()
+        assert runtime.governor.state_of("gv_cls") is GovernorState.FULL
+        assert runtime.governor.decisions == 0
+        assert "gv_cls" not in runtime.supervisor.shed_classes
+        self._violating_occurrence(runtime)
+        assert len(policy.violations) == 1
+
+    def test_health_report_carries_the_governor_section(self):
+        from repro.introspect import format_health, health_report
+
+        runtime, _, _ = self._runtime()
+        runtime.governor.escalate_class("gv_cls", 1)
+        self._violating_occurrence(runtime)
+        report = health_report(runtime)
+        assert report.governor is not None
+        assert report.governor["budget"] == 0.05
+        assert report.governor["sampled"] == {"gv_cls": 2}
+        rows = report.governor["classes"]
+        assert rows and rows[0]["automaton"] == "gv_cls"
+        text = format_health(report)
+        assert "governor:" in text
+        assert "sampled: gv_cls=1/2" in text
+
+    def test_ungoverned_runtime_has_no_governor_section(self):
+        from repro.introspect import governor_report, health_report
+
+        runtime = TeslaRuntime()
+        assert runtime.governor is None
+        assert governor_report(runtime) is None
+        assert health_report(runtime).governor is None
+
+
+class TestReport:
+    def test_report_shape(self):
+        gov, clk, _ = make_governor()
+        for _ in range(4):
+            hot_window(gov, clk, spend=0.06)
+        report = gov.report()
+        assert report["budget"] == 0.05
+        assert report["decisions"] == 4
+        assert report["escalations"] == 4
+        assert report["demoted"] == ["hot"]
+        row = report["classes"][0]
+        assert row["automaton"] == "hot"
+        assert row["state"] == "demoted"
+        assert row["total_seconds"] == pytest.approx(0.24)
+        assert len(report["transitions"]) == 4
+
+    def test_transitions_are_bounded_by_history(self):
+        gov, _, _ = make_governor(history=4)
+        for i in range(10):
+            gov.escalate_class(f"c{i}", 1)
+        assert len(gov.transitions) == 4

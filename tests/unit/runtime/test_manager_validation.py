@@ -82,6 +82,66 @@ class TestInstallValidation:
         assert len(runtime.all_class_runtimes("fresh")) <= 1
 
 
+class TestNumericKnobValidation:
+    """Nonsense numeric knobs must fail loudly at construction, not as a
+    confusing crash deep inside pool/ring construction (or silently)."""
+
+    BAD_KNOBS = [
+        (dict(capacity=0), "capacity"),
+        (dict(capacity=-3), "capacity"),
+        (dict(shards=0), "shards"),
+        (dict(shards=-1), "shards"),
+        (dict(ring_capacity=0), "ring_capacity"),
+        (dict(ring_capacity=-8), "ring_capacity"),
+        (dict(drain_interval=0.0), "drain_interval"),
+        (dict(drain_interval=-0.5), "drain_interval"),
+        (dict(overflow_policy="bogus"), "overflow_policy"),
+        (dict(overhead_budget=0.0), "overhead_budget"),
+        (dict(overhead_budget=-0.1), "overhead_budget"),
+        (dict(overhead_budget=1.5), "overhead_budget"),
+    ]
+
+    @pytest.mark.parametrize(
+        "kwargs, knob", BAD_KNOBS, ids=[k for _, k in BAD_KNOBS]
+    )
+    def test_runtime_rejects(self, kwargs, knob):
+        with pytest.raises(ValueError, match=knob):
+            TeslaRuntime(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs, knob", BAD_KNOBS, ids=[k for _, k in BAD_KNOBS]
+    )
+    def test_monitoring_mirrors_rejection(self, kwargs, knob):
+        from repro.session import monitoring
+
+        with pytest.raises(ValueError, match=knob):
+            with monitoring(
+                [tesla_within("m", previously(call("f")), name="knob-test")],
+                **kwargs,
+            ):
+                pass  # pragma: no cover - construction must raise
+
+    def test_clock_requires_budget(self):
+        from repro.runtime.clock import FakeClock
+
+        with pytest.raises(ValueError, match="overhead_budget"):
+            TeslaRuntime(clock=FakeClock())
+
+    def test_valid_edge_values_accepted(self):
+        runtime = TeslaRuntime(
+            capacity=1,
+            shards=1,
+            ring_capacity=1,
+            drain_interval=1e-6,
+            overflow_policy="flush",
+            overhead_budget=1.0,
+            deferred="manual",
+        )
+        assert runtime.governor is not None
+        assert runtime.governor.budget == 1.0
+        runtime.drain.stop()
+
+
 class TestDslErrorBranches:
     def test_caller_side_rejects_non_events(self):
         with pytest.raises(AssertionParseError):

@@ -1,0 +1,156 @@
+"""The governor's honesty rule (DESIGN §5.8): sampled findings say so.
+
+When the governor drops an assertion class to 1-in-N instantiation
+sampling, a violation it still manages to find is real — but the
+*absence* of violations no longer means full coverage.  The rule:
+
+* every violation found under sampling carries the rate its instance was
+  admitted at (``TemporalViolation.sampling_rate``), surfaced through
+  ``describe()``, ``TemporalAssertionError`` and the notification stream;
+* an unsampled (rate-1) finding is **byte-identical** to what the same
+  events produced before the governor existed — arming the knob must not
+  perturb clean-path output.
+"""
+
+import pytest
+
+from repro.core.dsl import ANY, fn, previously, tesla_within
+from repro.core.events import (
+    assertion_site_event,
+    call_event,
+    return_event,
+)
+from repro.errors import TemporalAssertionError, TemporalViolation
+from repro.runtime.clock import FakeClock
+from repro.runtime.manager import TeslaRuntime
+from repro.runtime.notify import (
+    CollectingHandler,
+    LogAndContinue,
+    NotificationKind,
+)
+
+BOUND = "sh_bound"
+CHECK = "sh_chk"
+NAME = "sh_cls"
+
+
+def _install(runtime):
+    runtime.install_assertions(
+        [
+            tesla_within(
+                BOUND,
+                previously(fn(CHECK, ANY("c")) == 0),
+                name=NAME,
+            )
+        ]
+    )
+
+
+def _violating_occurrence(runtime):
+    runtime.handle_event(call_event(BOUND, ()))
+    runtime.handle_event(return_event(CHECK, ("c",), 1))
+    runtime.handle_event(assertion_site_event(NAME, {}))
+    runtime.handle_event(return_event(BOUND, (), None))
+
+
+def _governed(rate_rungs, policy=None):
+    runtime = TeslaRuntime(
+        policy=policy or LogAndContinue(),
+        overhead_budget=0.05,
+        clock=FakeClock(),
+    )
+    _install(runtime)
+    if rate_rungs:
+        runtime.governor.escalate_class(NAME, rate_rungs)
+    return runtime
+
+
+class TestSampledFindingsCarryTheirRate:
+    @pytest.mark.parametrize("rungs, rate", [(1, 2), (2, 8), (3, 32)])
+    def test_violation_carries_the_admission_rate(self, rungs, rate):
+        runtime = _governed(rungs)
+        # Occurrence 0 is always admitted (counter starts at 0).
+        _violating_occurrence(runtime)
+        violations = runtime.hub.policy.violations
+        assert len(violations) == 1
+        assert violations[0].sampling_rate == rate
+        assert f"1-in-{rate} sampling" in violations[0].describe()
+
+    def test_fail_stop_error_carries_the_rate(self):
+        from repro.runtime.notify import FailStop
+
+        runtime = _governed(1, policy=FailStop())
+        with pytest.raises(TemporalAssertionError) as excinfo:
+            _violating_occurrence(runtime)
+        assert excinfo.value.violation.sampling_rate == 2
+
+    def test_notification_stream_carries_the_rate(self):
+        runtime = _governed(1)
+        collector = runtime.hub.add_handler(CollectingHandler())
+        _violating_occurrence(runtime)
+        errors = collector.of_kind(NotificationKind.ERROR)
+        assert errors and errors[0].sampling_rate == 2
+
+    def test_rate_is_stamped_at_admission_time(self):
+        """A rate change *after* instantiation must not retro-label an
+        instance admitted under the old rate."""
+        runtime = _governed(1)  # rate 2
+        runtime.handle_event(call_event(BOUND, ()))
+        runtime.handle_event(return_event(CHECK, ("c",), 1))
+        # Mid-occurrence escalation to rate 8; the live instance was
+        # admitted under rate 2 and must keep saying so.
+        runtime.governor.escalate_class(NAME, 1)
+        runtime.handle_event(assertion_site_event(NAME, {}))
+        runtime.handle_event(return_event(BOUND, (), None))
+        violations = runtime.hub.policy.violations
+        assert len(violations) == 1
+        assert violations[0].sampling_rate == 2
+
+
+class TestUnsampledFindingsAreUnchanged:
+    def _finding(self, runtime):
+        _violating_occurrence(runtime)
+        violations = runtime.hub.policy.violations
+        assert len(violations) == 1
+        return violations[0]
+
+    def test_rate_one_finding_is_byte_identical_to_ungoverned(self):
+        plain = TeslaRuntime(policy=LogAndContinue())
+        _install(plain)
+        governed = _governed(0)  # armed, class still FULL
+        v_plain = self._finding(plain)
+        v_governed = self._finding(governed)
+        assert v_governed.sampling_rate == 1
+        assert v_governed.describe() == v_plain.describe()
+        assert "sampling" not in v_governed.describe()
+
+    def test_default_violation_has_rate_one(self):
+        violation = TemporalViolation(automaton="x", reason="r")
+        assert violation.sampling_rate == 1
+        assert "sampling" not in violation.describe()
+
+    def test_notification_without_violation_reports_rate_one(self):
+        runtime = TeslaRuntime(policy=LogAndContinue())
+        _install(runtime)
+        collector = runtime.hub.add_handler(CollectingHandler())
+        runtime.handle_event(call_event(BOUND, ()))
+        runtime.handle_event(return_event(CHECK, ("c",), 0))
+        runtime.handle_event(assertion_site_event(NAME, {}))
+        runtime.handle_event(return_event(BOUND, (), None))
+        assert collector.notifications
+        assert all(n.sampling_rate == 1 for n in collector.notifications)
+
+
+class TestSkippedOccurrences:
+    def test_skipped_occurrence_produces_no_verdict_and_no_cleanup_error(self):
+        runtime = _governed(1)  # rate 2: occurrences 0,2,4 admitted
+        for _ in range(4):
+            _violating_occurrence(runtime)
+        violations = runtime.hub.policy.violations
+        # Occurrences 0 and 2 were admitted and found the violation;
+        # 1 and 3 were skipped entirely — no verdict, no bound-closed
+        # error from a half-tracked instance.
+        assert len(violations) == 2
+        assert all(v.sampling_rate == 2 for v in violations)
+        led = runtime.governor._ledger[NAME]
+        assert (led.admitted, led.skipped) == (2, 2)
