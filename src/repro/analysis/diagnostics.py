@@ -41,9 +41,9 @@ class Severity(enum.Enum):
 _SEVERITY_RANK = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
 
 #: The stable diagnostic-code table: code -> (default severity, title).
-#: Machine-layer codes (001-006) come from automaton structure; program
-#: codes (007-010) from AST/inspect cross-checks; batch codes (011-012)
-#: from translation itself.
+#: Machine-layer codes (001-006, 013) come from automaton structure;
+#: program codes (007-010) from AST/inspect cross-checks; batch codes
+#: (011-012) from translation itself.
 CODES: Dict[str, Tuple[Severity, str]] = {
     "TESLA001": (Severity.WARNING, "unreachable state"),
     "TESLA002": (Severity.WARNING, "dead transition"),
@@ -57,6 +57,7 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "TESLA010": (Severity.WARNING, "event can never fire"),
     "TESLA011": (Severity.ERROR, "duplicate assertion name"),
     "TESLA012": (Severity.ERROR, "untranslatable assertion"),
+    "TESLA013": (Severity.WARNING, "unsatisfiable clock constraint"),
 }
 
 

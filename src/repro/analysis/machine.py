@@ -255,6 +255,11 @@ def check_vacuous(
     """
     if automaton.strict:
         return []
+    if automaton.timed:
+        # Clock guards violate on *time*, not structure: a deadline can
+        # expire with no successor event, a rate window can block an
+        # occurrence.  The structural argument below is unsound for them.
+        return []
     if automaton.site_variables:
         # The site can mismatch on a bound variable, which is a violation.
         return []
@@ -363,6 +368,59 @@ def check_conflicting_modifiers(
     return out
 
 
+def check_timed_satisfiable(
+    automaton: Automaton, assertion: Optional[TemporalAssertion] = None
+) -> List[Diagnostic]:
+    """TESLA013: statically unsatisfiable (or degenerate) clock constraints.
+
+    * ``rate_atmost(0, …)``: the window admits no occurrence at all, so
+      every matching event inside the bound is a violation — almost
+      certainly a mis-typed bound, flagged before it floods production.
+    * a ``0 ms`` guard on a transition whose source is not a bound-entry
+      state: a required intermediate event was consumed before it, so the
+      guarded event can only match if it was captured on the *same* clock
+      reading — satisfiable only inside a single stamped batch, never
+      across genuine time.
+    """
+    out: List[Diagnostic] = []
+    location = _location(assertion)
+    entry = set(automaton.entry_states)
+    seen: Set[object] = set()
+    for t in automaton.transitions:
+        guard = t.guard
+        if guard is None or guard in seen:
+            continue
+        if guard.kind == "rate":
+            if guard.count == 0:
+                seen.add(guard)
+                out.append(
+                    diagnostic(
+                        "TESLA013",
+                        automaton.name,
+                        "rate_atmost(0, …) admits no matching event at "
+                        "all: every occurrence inside the bound becomes "
+                        "a violation",
+                        location=location,
+                        detail=t.describe(automaton),
+                    )
+                )
+        elif guard.limit_s == 0 and t.src not in entry:
+            seen.add(guard)
+            out.append(
+                diagnostic(
+                    "TESLA013",
+                    automaton.name,
+                    "0 ms clock guard after a required intermediate "
+                    "event: the guarded event must share its "
+                    "predecessor's capture stamp, which never happens "
+                    "across genuine time",
+                    location=location,
+                    detail=t.describe(automaton),
+                )
+            )
+    return out
+
+
 #: Every machine-layer pass, in reporting order.
 MACHINE_PASSES = (
     check_satisfiable,
@@ -371,6 +429,7 @@ MACHINE_PASSES = (
     check_dead_transitions,
     check_vacuous,
     check_conflicting_modifiers,
+    check_timed_satisfiable,
 )
 
 

@@ -317,6 +317,113 @@ class Conditional(Expression):
 
 
 # ---------------------------------------------------------------------------
+# Timed modifiers (DESIGN §5.9)
+# ---------------------------------------------------------------------------
+#
+# TESLA's published grammar is purely ordinal; these nodes are the timed
+# extension (TeSSLa / Dawes & Reger show the same automaton machinery
+# extends cleanly with clock guards).  Each wraps ordinary sub-expressions
+# and is translated to the same NFA fragments with
+# :class:`~repro.core.automaton.ClockGuard` values attached to the
+# fragment's transitions, evaluated against the monotonic capture
+# timestamp every :class:`~repro.core.events.RuntimeEvent` carries.
+
+
+@dataclass(frozen=True, repr=False)
+class WithinMs(Expression):
+    """``within_ms(ms, e1, e2, …)`` — each step of the inner sequence must
+    occur within ``ms`` milliseconds of the automaton's previous advance
+    (or of bound entry, for the first advance)."""
+
+    ms: float
+    parts: Tuple[Expression, ...]
+
+    def __post_init__(self) -> None:
+        if self.ms < 0:
+            raise AssertionParseError(
+                f"within_ms budget must be >= 0 ms, got {self.ms}"
+            )
+        if not self.parts:
+            raise AssertionParseError(
+                "within_ms requires at least one inner expression"
+            )
+
+    def children(self) -> Tuple[Expression, ...]:
+        return self.parts
+
+    def describe(self) -> str:
+        inner = ", ".join(p.describe() for p in self.parts)
+        return f"within_ms({self.ms:g}, {inner})"
+
+
+@dataclass(frozen=True, repr=False)
+class Deadline(Expression):
+    """``deadline(ms, e1, e2, …)`` — the inner sequence must be fully
+    discharged within ``ms`` milliseconds of bound entry.
+
+    Unlike :class:`WithinMs` this is an *obligation with an expiry*: an
+    automaton instance that reached its assertion site but has not
+    discharged the deadlined events when the clock passes
+    ``entry + ms`` is a violation even if no further event ever arrives
+    (the runtime checks pending timer obligations at every
+    synchronization flush)."""
+
+    ms: float
+    parts: Tuple[Expression, ...]
+
+    def __post_init__(self) -> None:
+        if self.ms < 0:
+            raise AssertionParseError(
+                f"deadline budget must be >= 0 ms, got {self.ms}"
+            )
+        if not self.parts:
+            raise AssertionParseError(
+                "deadline requires at least one inner expression"
+            )
+
+    def children(self) -> Tuple[Expression, ...]:
+        return self.parts
+
+    def describe(self) -> str:
+        inner = ", ".join(p.describe() for p in self.parts)
+        return f"deadline({self.ms:g}, {inner})"
+
+
+@dataclass(frozen=True, repr=False)
+class RateAtMost(Expression):
+    """``rate_atmost(count, event, per_ms)`` — at most ``count``
+    occurrences of ``event`` within any sliding ``per_ms``-millisecond
+    window while the automaton is at this point of the sequence.
+
+    An occurrence beyond the budget is an immediate violation (like a
+    ``strict`` mismatch, it cannot be diagnosed retroactively), and the
+    offending event does not advance the automaton."""
+
+    count: int
+    event: Expression
+    per_ms: float
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise AssertionParseError(
+                f"rate_atmost count must be >= 0, got {self.count}"
+            )
+        if self.per_ms <= 0:
+            raise AssertionParseError(
+                f"rate_atmost window must be > 0 ms, got {self.per_ms}"
+            )
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.event,)
+
+    def describe(self) -> str:
+        return (
+            f"rate_atmost({self.count}, {self.event.describe()}, "
+            f"{self.per_ms:g}ms)"
+        )
+
+
+# ---------------------------------------------------------------------------
 # Assertion containers
 # ---------------------------------------------------------------------------
 

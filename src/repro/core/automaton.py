@@ -315,12 +315,48 @@ class EventSymbol:
 
 
 @dataclass(frozen=True)
+class ClockGuard:
+    """A clock constraint on a transition (DESIGN §5.9).
+
+    ``kind`` selects the reference point the elapsed time is measured
+    from: ``"since_entry"`` (the instance's bound-entry timestamp, used by
+    ``deadline(...)``), ``"since_prev"`` (the timestamp of the previous
+    transition this instance took, used by ``within_ms(...)``), or
+    ``"rate"`` (a sliding window: at most ``count`` matching events in any
+    ``limit_s`` span, used by ``rate_atmost(...)``).  ``limit_s`` is in
+    seconds — the same unit the capture clock stamps events in.
+    """
+
+    kind: str
+    limit_s: float
+    count: int = 0
+
+    def sort_key(self) -> Tuple[str, float, int]:
+        return (self.kind, self.limit_s, self.count)
+
+    def describe(self) -> str:
+        ms = self.limit_s * 1000.0
+        if self.kind == "rate":
+            return f"≤{self.count}/{ms:g}ms"
+        if self.kind == "since_entry":
+            return f"≤{ms:g}ms from entry"
+        return f"≤{ms:g}ms"
+
+
+#: Sort key for a transition's (possibly absent) guard.
+_NO_GUARD_KEY = ("", -1.0, -1)
+
+
+@dataclass(frozen=True)
 class Transition:
     src: int
     dst: int
     kind: TransitionKind
     #: Index into :attr:`Automaton.symbols` for EVENT/SITE transitions.
     symbol: Optional[int] = None
+    #: Clock constraint the event must satisfy for the transition to be
+    #: enabled; ``None`` for ordinary (ordinal) transitions.
+    guard: Optional[ClockGuard] = None
 
     def __post_init__(self) -> None:
         # Transitions are hashed on every ``count_transition`` (once per
@@ -328,7 +364,9 @@ class Transition:
         # a field tuple each call, so cache it once.  Equality is still
         # field-based, matching the generated hash's equivalence classes.
         object.__setattr__(
-            self, "_hash", hash((self.src, self.dst, self.kind, self.symbol))
+            self,
+            "_hash",
+            hash((self.src, self.dst, self.kind, self.symbol, self.guard)),
         )
 
     def __hash__(self) -> int:
@@ -339,6 +377,8 @@ class Transition:
             label = automaton.symbols[self.symbol].describe()
         else:
             label = f"«{self.kind.value}»"
+        if self.guard is not None:
+            label = f"{label} [{self.guard.describe()}]"
         return f"{self.src} --{label}--> {self.dst}"
 
 
@@ -360,6 +400,7 @@ class Automaton:
         n_states: int,
         strict: bool = False,
         description: str = "",
+        deadline_s: Optional[float] = None,
     ) -> None:
         self.name = name
         self.symbols = list(symbols)
@@ -369,6 +410,17 @@ class Automaton:
         self.n_states = n_states
         self.strict = strict
         self.description = description
+        #: ``deadline(ms, ...)`` obligation: seconds after bound entry by
+        #: which a live, site-touched instance must be able to accept.
+        #: ``None`` for untimed assertions (the overwhelmingly common case).
+        self.deadline_s = deadline_s
+        #: True when any transition carries a clock guard or a deadline is
+        #: set.  The runtime's timed machinery (guard filtering, per-event
+        #: expiry, timer checks) is gated on this so untimed assertions pay
+        #: nothing; codegen refuses timed automata and falls back loudly.
+        self.timed = deadline_s is not None or any(
+            t.guard is not None for t in self.transitions
+        )
         self._outgoing: Dict[int, List[Transition]] = {}
         for t in self.transitions:
             self._outgoing.setdefault(t.src, []).append(t)
@@ -612,6 +664,7 @@ def assemble(
     cleanup_symbol: EventSymbol,
     strict: bool = False,
     description: str = "",
+    deadline_s: Optional[float] = None,
 ) -> Automaton:
     """Wrap a body fragment with init/cleanup bound transitions, eliminate
     epsilon transitions and renumber states reachable from start."""
@@ -628,7 +681,7 @@ def assemble(
     )
     return _eliminate_epsilon(
         name, builder.symbols, transitions, start, accept, builder.n_states,
-        strict, description,
+        strict, description, deadline_s,
     )
 
 
@@ -641,6 +694,7 @@ def _eliminate_epsilon(
     n_states: int,
     strict: bool,
     description: str,
+    deadline_s: Optional[float] = None,
 ) -> Automaton:
     """Standard epsilon elimination followed by dead-state pruning.
 
@@ -679,7 +733,7 @@ def _eliminate_epsilon(
                 # epsilon *successor* of ``t.dst`` as well would duplicate
                 # states that, under the runtime's move-or-stay stepping,
                 # could never be revoked (breaking ``incallstack``).
-                lifted.add(Transition(s, t.dst, t.kind, t.symbol))
+                lifted.add(Transition(s, t.dst, t.kind, t.symbol, t.guard))
 
     # Reachability from start over lifted transitions.
     out: Dict[int, List[Transition]] = {}
@@ -709,11 +763,20 @@ def _eliminate_epsilon(
         order.append(accept)
     renumber = {old: new for new, old in enumerate(order)}
     final = [
-        Transition(renumber[t.src], renumber[t.dst], t.kind, t.symbol)
+        Transition(renumber[t.src], renumber[t.dst], t.kind, t.symbol, t.guard)
         for t in keep
     ]
     # Deduplicate after renumbering.
-    final = sorted(set(final), key=lambda t: (t.src, t.dst, t.kind.value, t.symbol if t.symbol is not None else -1))
+    final = sorted(
+        set(final),
+        key=lambda t: (
+            t.src,
+            t.dst,
+            t.kind.value,
+            t.symbol if t.symbol is not None else -1,
+            t.guard.sort_key() if t.guard is not None else _NO_GUARD_KEY,
+        ),
+    )
     return Automaton(
         name=name,
         symbols=symbols,
@@ -723,6 +786,7 @@ def _eliminate_epsilon(
         n_states=len(order),
         strict=strict,
         description=description,
+        deadline_s=deadline_s,
     )
 
 
@@ -741,12 +805,14 @@ def _merge_equivalent(
     bisimulation merge, which preserves the recognised language.
     """
     while True:
-        outgoing: Dict[int, FrozenSet[Tuple[str, Optional[int], int]]] = {
+        outgoing: Dict[int, FrozenSet[Tuple[Any, ...]]] = {
             s: frozenset() for s in states
         }
-        grouped: Dict[int, Set[Tuple[str, Optional[int], int]]] = {}
+        grouped: Dict[int, Set[Tuple[Any, ...]]] = {}
         for t in transitions:
-            grouped.setdefault(t.src, set()).add((t.kind.value, t.symbol, t.dst))
+            grouped.setdefault(t.src, set()).add(
+                (t.kind.value, t.symbol, t.dst, t.guard)
+            )
         for s, out in grouped.items():
             outgoing[s] = frozenset(out)
         representative: Dict[int, int] = {}
@@ -763,7 +829,11 @@ def _merge_equivalent(
         transitions = list(
             {
                 Transition(
-                    representative[t.src], representative[t.dst], t.kind, t.symbol
+                    representative[t.src],
+                    representative[t.dst],
+                    t.kind,
+                    t.symbol,
+                    t.guard,
                 )
                 for t in transitions
             }

@@ -38,15 +38,18 @@ from .ast import (
     BooleanXor,
     Bound,
     Context,
+    Deadline,
     Expression,
     FieldAssign,
     FunctionCall,
     FunctionReturn,
     InstrumentationSide,
     Optional_,
+    RateAtMost,
     Sequence,
     Strict,
     TemporalAssertion,
+    WithinMs,
     walk,
 )
 from .patterns import (
@@ -83,6 +86,9 @@ __all__ = [
     "atleast",
     "incallstack",
     "strictly",
+    "within_ms",
+    "deadline",
+    "rate_atmost",
     "tesla_within",
     "tesla_assert",
     "tesla_global",
@@ -308,6 +314,36 @@ def incallstack(function: str) -> InCallStack:
 def strictly(part: Any) -> Strict:
     """``strict(expr)`` — unconsumable referenced events are violations."""
     return Strict(_as_expr(part))
+
+
+# ---------------------------------------------------------------------------
+# Timed combinators (DESIGN §5.9)
+# ---------------------------------------------------------------------------
+
+
+def within_ms(ms: float, *parts: Any) -> WithinMs:
+    """``within_ms(ms, e…)`` — each step of the inner sequence within
+    ``ms`` milliseconds of the automaton's previous advance.
+
+    The GUI redraw budget of figure 14b, first class::
+
+        within_ms(54, fn("redraw_view", var("view")) == 0)
+    """
+    return WithinMs(float(ms), tuple(_as_expr(p) for p in parts))
+
+
+def deadline(ms: float, *parts: Any) -> Deadline:
+    """``deadline(ms, e…)`` — the inner sequence fully discharged within
+    ``ms`` milliseconds of bound entry; expiry is itself a violation,
+    reported at the next synchronization flush even with no successor
+    event."""
+    return Deadline(float(ms), tuple(_as_expr(p) for p in parts))
+
+
+def rate_atmost(count: int, event: Any, per_ms: float) -> RateAtMost:
+    """``rate_atmost(n, event, per_ms)`` — at most ``n`` occurrences of
+    ``event`` in any sliding ``per_ms``-millisecond window."""
+    return RateAtMost(int(count), _as_expr(event), float(per_ms))
 
 
 # ---------------------------------------------------------------------------

@@ -44,6 +44,14 @@ class RuntimeEvent:
     (``{"so": <socket>}``) — the values "taken from the local scope and
     passed to the event translator" when the pseudo-function call at the
     site is replaced (section 4.2).
+
+    ``timestamp`` is the monotonic capture time in seconds, stamped by
+    the runtime's clock the moment the event enters ``handle_event`` —
+    before any deferral — so clock guards (DESIGN §5.9) evaluate against
+    when the program *did* the thing, not when the drain got around to
+    evaluating it.  ``0.0`` means "never stamped" (events built by hand
+    or by a runtime with stamping disabled, e.g. replay, which preserves
+    the journalled stamps instead).
     """
 
     kind: EventKind
@@ -55,6 +63,7 @@ class RuntimeEvent:
     scope: Dict[str, Any] = field(default_factory=dict)
     thread_id: int = 0
     stack: Tuple[str, ...] = ()
+    timestamp: float = 0.0
 
     def describe(self) -> str:
         if self.kind is EventKind.CALL:

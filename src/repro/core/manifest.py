@@ -31,15 +31,18 @@ from .ast import (
     Bound,
     Conditional,
     Context,
+    Deadline,
     Expression,
     FieldAssign,
     FunctionCall,
     FunctionReturn,
     InstrumentationSide,
     Optional_,
+    RateAtMost,
     Sequence,
     Strict,
     TemporalAssertion,
+    WithinMs,
     referenced_fields,
     referenced_functions,
 )
@@ -153,6 +156,25 @@ def expression_to_json(expr: Expression) -> Dict[str, Any]:
         return {"e": "strict", "inner": expression_to_json(expr.inner)}
     if isinstance(expr, Conditional):
         return {"e": "conditional", "inner": expression_to_json(expr.inner)}
+    if isinstance(expr, WithinMs):
+        return {
+            "e": "within_ms",
+            "ms": expr.ms,
+            "parts": [expression_to_json(p) for p in expr.parts],
+        }
+    if isinstance(expr, Deadline):
+        return {
+            "e": "deadline",
+            "ms": expr.ms,
+            "parts": [expression_to_json(p) for p in expr.parts],
+        }
+    if isinstance(expr, RateAtMost):
+        return {
+            "e": "rate_atmost",
+            "count": expr.count,
+            "event": expression_to_json(expr.event),
+            "per_ms": expr.per_ms,
+        }
     raise ManifestError(f"unserialisable expression {expr!r}")
 
 
@@ -204,6 +226,18 @@ def expression_from_json(data: Dict[str, Any]) -> Expression:
         return Strict(expression_from_json(data["inner"]))
     if kind == "conditional":
         return Conditional(expression_from_json(data["inner"]))
+    if kind == "within_ms":
+        return WithinMs(
+            data["ms"], tuple(expression_from_json(p) for p in data["parts"])
+        )
+    if kind == "deadline":
+        return Deadline(
+            data["ms"], tuple(expression_from_json(p) for p in data["parts"])
+        )
+    if kind == "rate_atmost":
+        return RateAtMost(
+            data["count"], expression_from_json(data["event"]), data["per_ms"]
+        )
     raise ManifestError(f"unknown expression kind {kind!r}")
 
 

@@ -27,21 +27,26 @@ from .ast import (
     BooleanOr,
     BooleanXor,
     Conditional,
+    Deadline,
     Expression,
     FieldAssign,
     FunctionCall,
     FunctionReturn,
     Optional_,
+    RateAtMost,
     Sequence,
     Strict,
     TemporalAssertion,
+    WithinMs,
     referenced_variables,
 )
 from .automaton import (
     Automaton,
+    ClockGuard,
     EventSymbol,
     Fragment,
     FragmentBuilder,
+    Transition,
     TransitionKind,
     assemble,
 )
@@ -55,6 +60,12 @@ class Translator:
         self.assertion = assertion
         self.builder = FragmentBuilder()
         self._site_variables = referenced_variables(assertion)
+        # Timed translation state: the tightest deadline(...) budget seen
+        # (seconds, becomes Automaton.deadline_s) and a nesting latch —
+        # a guard has exactly one reference clock, so a timed node inside
+        # another timed node has no coherent semantics and is rejected.
+        self._deadline_s: "float | None" = None
+        self._in_timed = False
 
     def translate(self) -> Automaton:
         try:
@@ -81,6 +92,7 @@ class Translator:
             cleanup_symbol=cleanup_symbol,
             strict=self.assertion.strict,
             description=self.assertion.describe(),
+            deadline_s=self._deadline_s,
         )
 
     # -- helpers -------------------------------------------------------------
@@ -121,8 +133,6 @@ class Translator:
             return_symbol = builder.symbol(
                 EventSymbol(FunctionReturn(expr.function, None, None))
             )
-            from .automaton import Transition
-
             return Fragment(
                 entry=out_state,
                 exit=in_state,
@@ -145,7 +155,71 @@ class Translator:
             # Strictness is an automaton-level property recorded on the
             # assertion by the DSL; mid-expression occurrences are inert.
             return self._descend(expr.inner)
+        if isinstance(expr, (WithinMs, Deadline, RateAtMost)):
+            if self._in_timed:
+                raise AssertionParseError(
+                    "nested clock guards are not supported: "
+                    + expr.describe()
+                )
+            if isinstance(expr, WithinMs):
+                frag = self._timed_inner(expr.parts)
+                return self._apply_guard(
+                    frag, ClockGuard("since_prev", expr.ms / 1000.0)
+                )
+            if isinstance(expr, Deadline):
+                frag = self._timed_inner(expr.parts)
+                limit = expr.ms / 1000.0
+                self._deadline_s = (
+                    limit
+                    if self._deadline_s is None
+                    else min(self._deadline_s, limit)
+                )
+                return self._apply_guard(
+                    frag, ClockGuard("since_entry", limit)
+                )
+            if not isinstance(
+                expr.event, (FunctionCall, FunctionReturn, FieldAssign)
+            ):
+                raise AssertionParseError(
+                    "rate_atmost event must be a concrete event, got "
+                    + expr.event.describe()
+                )
+            # A single state self-looping on the rated event, mirroring
+            # ATLEAST(0, e): occurrences are always permitted structurally;
+            # the sliding-window guard is what the runtime enforces.
+            idx = builder.symbol(EventSymbol(expr.event))
+            state = builder.state()
+            guard = ClockGuard("rate", expr.per_ms / 1000.0, expr.count)
+            return Fragment(
+                state,
+                state,
+                [Transition(state, state, TransitionKind.EVENT, idx, guard)],
+            )
         raise AssertionParseError(f"unhandled expression: {expr!r}")
+
+    def _timed_inner(self, parts) -> Fragment:
+        """Descend a timed node's body with the nesting latch held."""
+        self._in_timed = True
+        try:
+            return self.builder.concat([self._descend(p) for p in parts])
+        finally:
+            self._in_timed = False
+
+    @staticmethod
+    def _apply_guard(frag: Fragment, guard: ClockGuard) -> Fragment:
+        """Attach ``guard`` to every observable transition of ``frag``.
+
+        Epsilons are left alone (they are eliminated during assembly and
+        carry no event to time); EVENT and SITE transitions each pick up
+        the clock constraint.
+        """
+        guarded = [
+            Transition(t.src, t.dst, t.kind, t.symbol, guard)
+            if t.kind in (TransitionKind.EVENT, TransitionKind.SITE)
+            else t
+            for t in frag.transitions
+        ]
+        return Fragment(frag.entry, frag.exit, guarded, frag.n_states)
 
 
 def translate(assertion: TemporalAssertion) -> Automaton:

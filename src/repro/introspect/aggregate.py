@@ -234,6 +234,12 @@ class DispatchStats:
     gen_elided_guards: int = 0
     gen_elided_transitions: int = 0
     gen_seconds: float = 0.0
+    #: Timed-assertion counters (zero unless an installed automaton
+    #: carries a deadline).  ``timer_checks`` counts sync-point timer
+    #: sweeps, ``timer_expiries`` the deadline violations those sweeps
+    #: surfaced *without* a successor event.
+    timer_checks: int = 0
+    timer_expiries: int = 0
 
     @property
     def plan_hit_ratio(self) -> float:
@@ -315,6 +321,8 @@ def dispatch_stats(runtime) -> DispatchStats:
         gen_elided_guards=gen_elided_guards,
         gen_elided_transitions=gen_elided_transitions,
         gen_seconds=gen_seconds,
+        timer_checks=getattr(runtime, "timer_checks", 0),
+        timer_expiries=getattr(runtime, "timer_expiries", 0),
         **deferred_kwargs,
     )
 
@@ -403,6 +411,12 @@ def format_dispatch_stats(stats: DispatchStats) -> str:
             f"{stats.gen_elided_guards} guards elided, "
             f"{stats.gen_elided_transitions} transitions elided, "
             f"{stats.gen_seconds * 1e3:.2f}ms generating"
+        )
+    if stats.timer_checks:
+        lines.append(
+            f"timed assertions     {stats.timer_checks} timer sweeps, "
+            f"{stats.timer_expiries} deadline expiries without a "
+            f"successor event"
         )
     if stats.deferred:
         lines.append(

@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from ..core.ast import Context, TemporalAssertion
 from ..core.translate import translate
 from ..errors import JournalError
+from ..runtime.clock import FakeClock
 from ..runtime.journal import Journal, read_journal
 from ..runtime.manager import TeslaRuntime
 from ..runtime.notify import LogAndContinue
@@ -164,6 +165,15 @@ class ReplayEngine:
         return "custom", kwargs
 
     def _build_runtime(self, kwargs: Dict[str, Any], automata) -> TeslaRuntime:
+        # Journalled events carry their capture timestamps; the replay
+        # runtime must judge clock guards against *those*, not against
+        # its own platform clock (which is a different epoch entirely).
+        # stamp_capture=False keeps the recorded stamps, and a FakeClock
+        # advanced along the trace makes timer expiry a pure function of
+        # the journal.
+        kwargs = dict(kwargs)
+        kwargs.setdefault("stamp_capture", False)
+        kwargs.setdefault("clock", FakeClock())
         runtime = TeslaRuntime(policy=LogAndContinue(), **kwargs)
         for automaton, assertion in automata:
             runtime.install_automaton(automaton, assertion.context)
@@ -204,12 +214,21 @@ class ReplayEngine:
             )
         return plans
 
-    @staticmethod
-    def _feed(runtime: TeslaRuntime, slots) -> None:
+    def _feed(self, runtime: TeslaRuntime, slots, end_ts: float) -> None:
+        clock = runtime.clock
+        advance = getattr(clock, "advance", None)
         for _, event in slots:
+            if advance is not None and event.timestamp > clock.now():
+                # Clamp, don't set: a fake clock is still monotonic, and
+                # merged multi-thread traces can interleave stamps.
+                advance(event.timestamp - clock.now())
             runtime.handle_event(event)
-        if runtime.drain is not None:
-            runtime.flush_deferred()
+        if advance is not None and end_ts > clock.now():
+            # Per-thread slices may end before the global trace does;
+            # the live flush happened at the *global* end of capture, so
+            # deadline expiry is judged there for every runtime.
+            advance(end_ts - clock.now())
+        runtime.flush_deferred()
 
     # -- replay ------------------------------------------------------------
 
@@ -222,8 +241,9 @@ class ReplayEngine:
         name, kwargs = self._resolve_config(config)
         slots = self._window(upto_seqno)
         plans = self._plan_runtimes(kwargs, slots)
+        end_ts = max((event.timestamp for _, event in slots), default=0.0)
         for runtime, slice_ in plans:
-            self._feed(runtime, slice_)
+            self._feed(runtime, slice_, end_ts)
         thread_ids = {event.thread_id for _, event in slots}
         result = ReplayResult(
             config=name,
@@ -259,13 +279,17 @@ class ReplayEngine:
         """Automaton-state introspection after replaying up to ``seqno``.
 
         Bounds are left open: the dump shows the monitor *mid-flight*,
-        with every live instance's binding and NFA state set.
+        with every live instance's binding and NFA state set.  Timed
+        automata additionally see a timer check at the window's last
+        capture timestamp, so instances whose deadline already expired
+        within the window show up as errors, not as live state.
         """
         name, kwargs = self._resolve_config(config)
         slots = self._window(seqno)
         plans = self._plan_runtimes(kwargs, slots)
+        end_ts = max((event.timestamp for _, event in slots), default=0.0)
         for runtime, slice_ in plans:
-            self._feed(runtime, slice_)
+            self._feed(runtime, slice_, end_ts)
         classes = []
         for automaton, assertion in self.automata:
             instances = []

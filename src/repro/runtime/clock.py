@@ -1,21 +1,34 @@
-"""Injectable time for the overhead governor (DESIGN §5.8).
+"""Injectable time: one clock drives everything time-shaped (DESIGN §5.8–§5.9).
 
-The governor's decisions — when to sample, demote or shed an assertion —
-are functions of *measured time*.  Reading the platform clock directly
-would make every decision unreplayable: two runs of the same event trace
-would shed different classes at different points, and a test could only
-assert "something was eventually shed".  So time is a dependency, not an
-ambient: the runtime threads one clock object through cost accounting and
-the control loop, and tests substitute a :class:`FakeClock` whose reading
-only moves when the test says so.  Given the same (clock trace, stats
-stream) the governor's shed/sample/demote sequence is identical — the
-Hypothesis property in ``tests/property/test_governor_props.py`` pins
-this down.
+Three subsystems read time, and they all read *the same* clock object:
+
+* the overhead governor — when to sample, demote or shed an assertion is
+  a function of measured time (§5.8);
+* capture timestamping — every :class:`~repro.core.events.RuntimeEvent`
+  is stamped at capture with ``clock.now()``, and the timed combinators
+  (``within_ms`` / ``deadline`` / ``rate_atmost``, §5.9) judge their
+  clock guards against those stamps;
+* timer expiry — the sync-point flush asks the same clock "what time is
+  it now?" to surface deadlines that expired with no successor event.
+
+Reading the platform clock directly from any of these would make every
+decision unreplayable: two runs of the same event trace would shed
+different classes, or report a deadline in one run and not the other,
+and a test could only assert "something eventually happened".  So time
+is a dependency, not an ambient: the runtime threads one clock object
+through cost accounting, event stamping and timer checks, and tests
+substitute a :class:`FakeClock` whose reading only moves when the test
+says so.  Given the same (clock trace, event stream) the governor's
+shed/sample/demote sequence and the timed verdicts are identical — the
+Hypothesis properties in ``tests/property/test_governor_props.py`` and
+``tests/property/test_timed_props.py`` pin this down.
 
 Production uses :class:`MonotonicClock` (``time.perf_counter``: monotonic,
 high resolution, unaffected by wall-clock steps).  The ``clock=`` knob on
 :class:`~repro.runtime.manager.TeslaRuntime` accepts any object with a
-``now() -> float`` method, or a bare ``() -> float`` callable.
+``now() -> float`` method, or a bare ``() -> float`` callable; replay
+pairs ``clock=FakeClock()`` with ``stamp_capture=False`` so journalled
+timestamps are judged on the clock they were recorded against.
 """
 
 from __future__ import annotations

@@ -791,6 +791,13 @@ def generate_source(
     key = plan.key
     em = _Emitter()
     try:
+        if automaton.timed:
+            # Timed automata (DESIGN §5.9) need per-event deadline expiry
+            # and clock-guard filtering, which live in the interpreter's
+            # tesla_update_state; a generated step would bypass both.
+            # Refuse every plan of a timed automaton — the loud, counted
+            # fallback keeps verdicts exact at interpreter speed.
+            raise _Unsupported("timed-automaton:clock-guards")
         occupiable = _occupiable_states(automaton)
         body: List[Tuple[int, Transition, int]] = []
         elided_transitions = 0

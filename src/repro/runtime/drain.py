@@ -62,6 +62,7 @@ __all__ = ["DRAINER_THREAD_NAME", "DrainController", "OVERFLOW_POLICIES"]
 _FP_ENQUEUE = fault_site("drain.enqueue")
 _FP_MERGE = fault_site("drain.merge")
 _FP_FLUSH = fault_site("drain.flush")
+_FP_TIMER = fault_site("drain.timer")
 
 #: Name every background drainer thread carries, so test hygiene can spot
 #: a leaked one by inspecting ``threading.enumerate()``.
@@ -343,6 +344,26 @@ class DrainController:
         # pass, and the drainer parks errors before releasing the drain
         # lock — so an error from a concurrent pass is visible here.
         self._raise_pending()
+        # Sync-point timer check (DESIGN §5.9): every captured event has
+        # now been evaluated, so any deadline still pending with no
+        # successor event is overdue — this is where it surfaces.  A
+        # faulting timer path is contained like any other drain-stage
+        # fault: the class degrades to ordinal semantics (the obligation
+        # still reports at cleanup), never to a dropped verdict.
+        # getattr, not attribute access: the controller is duck-typed
+        # over anything with handle_event/dispatch_batch (property-test
+        # stubs included), and only the real runtime keeps timers.
+        check_timers = getattr(self.runtime, "check_timers", None)
+        if check_timers is not None:
+            try:
+                if _fi._active is not None:
+                    _fi.fault_point(_FP_TIMER)
+                check_timers()
+            except TemporalAssertionError:
+                raise
+            except Exception as exc:
+                if not self._contain("timer", exc):
+                    raise
         elapsed = time.perf_counter() - started
         self.flushes += 1
         if sync:

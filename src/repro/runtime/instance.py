@@ -24,7 +24,16 @@ _instance_ids = itertools.count(1)
 class AutomatonInstance:
     """One live instance of an automaton class."""
 
-    __slots__ = ("automaton", "binding", "states", "saw_site", "instance_id")
+    __slots__ = (
+        "automaton",
+        "binding",
+        "states",
+        "saw_site",
+        "instance_id",
+        "entry_ts",
+        "last_ts",
+        "rate_marks",
+    )
 
     def __init__(
         self,
@@ -32,12 +41,21 @@ class AutomatonInstance:
         states: FrozenSet[int],
         binding: Optional[Dict[str, Any]] = None,
         saw_site: bool = False,
+        entry_ts: float = 0.0,
     ) -> None:
         self.automaton = automaton
         self.states = states
         self.binding: Dict[str, Any] = dict(binding or {})
         self.saw_site = saw_site
         self.instance_id = next(_instance_ids)
+        # Timed state (DESIGN §5.9); only consulted when automaton.timed.
+        # ``entry_ts`` is the capture timestamp of the bound-entry event,
+        # ``last_ts`` the timestamp of the last transition this instance
+        # took (guards of kind "since_prev" measure from it), and
+        # ``rate_marks`` the per-guard sliding windows of match timestamps.
+        self.entry_ts = entry_ts
+        self.last_ts = entry_ts
+        self.rate_marks: Optional[Dict[Any, list]] = None
 
     # -- naming ---------------------------------------------------------------
 
@@ -68,12 +86,17 @@ class AutomatonInstance:
         """Clone with an extended binding (the «clone» transition)."""
         merged = dict(self.binding)
         merged.update(extension)
-        return AutomatonInstance(
+        child = AutomatonInstance(
             automaton=self.automaton,
             states=self.states,
             binding=merged,
             saw_site=self.saw_site,
+            entry_ts=self.entry_ts,
         )
+        child.last_ts = self.last_ts
+        if self.rate_marks is not None:
+            child.rate_marks = {g: list(m) for g, m in self.rate_marks.items()}
+        return child
 
     def accepting_at_cleanup(self) -> bool:
         """Whether the instance accepts when the temporal bound closes."""

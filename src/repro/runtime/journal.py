@@ -24,16 +24,21 @@ byte is the record type:
        self-contained: replay needs no other input.
 ``E``  one drained event: varint seqno, zigzag-varint thread id, kind and
        assign-op bytes, the dispatch name, then the payload (args,
-       retval, target, scope, stack) as tagged values.
+       retval, target, scope, stack) as tagged values, then the capture
+       timestamp as a little-endian f64 (seconds on the runtime's
+       monotonic clock — what the timed combinators judge against).
 ``B``  one drain pass's batch: a varint event count, the varint base
        seqno, then that many events — zigzag-varint thread id, kind and
-       assign-op bytes, name, payload — with each event's seqno implicit
-       (base + position; a drain batch is always a contiguous ascending
-       seqno range).  Batching amortises the frame (length prefix + CRC)
-       and the seqnos across the whole drain pass — per-record framing
-       dominates record-mode overhead otherwise — at the cost of coarser
-       recovery: a damaged batch loses the batch, not one event.
-       Writers fall back to ``E`` records for non-contiguous slots.
+       assign-op bytes, name, payload, trailing f64 capture timestamp —
+       with each event's seqno implicit (base + position; a drain batch
+       is always a contiguous ascending seqno range).  Batching
+       amortises the frame (length prefix + CRC) and the seqnos across
+       the whole drain pass — per-record framing dominates record-mode
+       overhead otherwise — at the cost of coarser recovery: a damaged
+       batch loses the batch, not one event.  Writers fall back to
+       ``E`` records for non-contiguous slots.  The timestamp sits
+       outside the cached payload blobs: two events differing only in
+       capture time still share one cache entry.
 ``C``  the closing footer with final record/event counts.  Its absence
        marks a journal that was never cleanly closed (a crashed run) —
        reported, never silently dropped.
@@ -78,7 +83,7 @@ JOURNAL_MAGIC = b"TSLAJRNL"
 
 #: Bump this whenever the binary encoding below changes shape.  The golden
 #: fixture test fails loudly if the bytes change without a bump.
-JOURNAL_VERSION = 1
+JOURNAL_VERSION = 2
 
 _U32 = struct.Struct("<I")
 _F64 = struct.Struct("<d")
@@ -353,7 +358,7 @@ def encode_event(seqno: int, event: RuntimeEvent) -> Tuple[bytes, int]:
     inner, opaque = _encode_unseq(event)
     head = bytearray((_REC_EVENT,))
     _write_uvarint(head, seqno)
-    return bytes(head) + inner, opaque
+    return bytes(head) + inner + _F64.pack(event.timestamp), opaque
 
 
 def _encode_fallback(
@@ -482,6 +487,9 @@ def encode_batch(
             body += inner
         else:
             body += blob
+        # Capture timestamp travels outside the cached blob so the blob
+        # stays valid across events that differ only in capture time.
+        body += _F64.pack(d["timestamp"])
     frame = _U32.pack(len(body)) + body + _U32.pack(zlib.crc32(body))
     return frame, count, 1, opaques
 
@@ -573,6 +581,7 @@ def _decode_unseq(dec: _Decoder) -> RuntimeEvent:
     target = dec.value()
     scope = dec.value()
     stack = dec.value()
+    timestamp = _F64.unpack(dec.take(8))[0]
     event = RuntimeEvent(
         kind=_KINDS[kind_index],
         name=name,
@@ -583,6 +592,7 @@ def _decode_unseq(dec: _Decoder) -> RuntimeEvent:
         scope=scope,
         thread_id=thread_id,
         stack=stack,
+        timestamp=timestamp,
     )
     return event
 

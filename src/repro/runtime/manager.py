@@ -43,6 +43,7 @@ from ..core.events import EventKind, RuntimeEvent
 from ..core.translate import translate_all
 from ..errors import ContextError, TemporalAssertionError
 from . import faultinject as _fi
+from .clock import as_clock
 from .drain import OVERFLOW_POLICIES, DrainController
 from .epoch import interest_epoch
 from .governor import OverheadGovernor
@@ -61,6 +62,7 @@ from .store import (
     Store,
 )
 from .update import (
+    expire_deadlines,
     handle_cleanup,
     handle_init,
     lazy_join_bound,
@@ -182,6 +184,7 @@ class TeslaRuntime:
         journal: object = None,
         overhead_budget: Optional[float] = None,
         clock: object = None,
+        stamp_capture: bool = True,
     ) -> None:
         if deferred not in (False, True, "manual"):
             raise ValueError(
@@ -222,10 +225,12 @@ class TeslaRuntime:
                 "overhead_budget is a fraction of wall time; it must be "
                 f"in (0.0, 1.0], got {overhead_budget!r}"
             )
-        if clock is not None and overhead_budget is None:
+        if not stamp_capture and clock is None:
             raise ValueError(
-                "clock= replaces the overhead governor's time source; it "
-                "requires overhead_budget="
+                "stamp_capture=False means events arrive pre-stamped by "
+                "some external clock; timer expiry would then read an "
+                "unrelated monotonic epoch — pass the clock= those "
+                "timestamps came from (conflicting clock sources)"
             )
         if journal is not None and not deferred:
             raise ValueError(
@@ -257,6 +262,27 @@ class TeslaRuntime:
         #: bump the epoch, so staleness rides the same invalidation).
         self._facts_epoch = -1
         self._facts = None
+        #: The runtime's one time source (DESIGN §5.9): drives capture
+        #: timestamping, timer (deadline) expiry and the overhead
+        #: governor's cost accounting alike.  Inject a
+        #: :class:`~repro.runtime.clock.FakeClock` for deterministic timed
+        #: tests; the default is the process monotonic clock.
+        self.clock = as_clock(clock)
+        #: Whether ``handle_event``/``dispatch_batch`` stamp each event's
+        #: capture timestamp from ``self.clock``.  ``False`` is the replay
+        #: posture: events arrive pre-stamped (e.g. from a journal) and
+        #: must keep their recorded timestamps.
+        self.stamp_capture = stamp_capture
+        #: Largest event timestamp observed, for timer expiry when events
+        #: arrive pre-stamped: "now" is then defined by the trace itself,
+        #: not by this process's clock.
+        self._max_event_ts = 0.0
+        #: Classes carrying a ``deadline(...)`` obligation — the only ones
+        #: the sync-point timer check must visit.
+        self._timed_classes: List[str] = []
+        #: Timer-check accounting, surfaced via dispatch_stats.
+        self.timer_checks = 0
+        self.timer_expiries = 0
         self.hub = NotificationHub(policy)
         #: The containment boundary for faults in the monitor itself:
         #: ``failure_policy`` selects fail-stop (default), fail-open,
@@ -275,7 +301,7 @@ class TeslaRuntime:
         self.governor: Optional[OverheadGovernor] = (
             OverheadGovernor(
                 overhead_budget,
-                clock=clock,
+                clock=self.clock,
                 shed=self.supervisor.governor_shed,
                 unshed=self.supervisor.governor_unshed,
                 on_demote_change=self._on_governor_change,
@@ -481,6 +507,8 @@ class TeslaRuntime:
         self._cleanup_index.setdefault(bound[1], []).append(automaton.name)
         for key in keys["body"]:
             self._body_index.setdefault(key, []).append(automaton.name)
+        if automaton.deadline_s is not None:
+            self._timed_classes.append(automaton.name)
         if context is Context.GLOBAL:
             self.global_store.register(automaton)
         else:
@@ -634,6 +662,13 @@ class TeslaRuntime:
         are still evaluated inline — see ``_local_keys``), and only a
         synchronization-point key forces evaluation before returning.
         """
+        if self.stamp_capture:
+            # Capture timestamping (DESIGN §5.9): the monotonic stamp is
+            # taken *here*, before any deferral, so clock guards measure
+            # when the program did the thing, not when the drain ran.
+            object.__setattr__(event, "timestamp", self.clock.now())
+        elif event.timestamp > self._max_event_ts:
+            self._max_event_ts = event.timestamp
         if self.drain is not None:
             key = (event.kind, event.name)
             if key in self._local_keys:
@@ -700,6 +735,19 @@ class TeslaRuntime:
         if self.drain is not None and include_local:
             self.drain.flush()
         events = list(events)
+        if include_local:
+            # External batch entry: same capture-stamping contract as
+            # handle_event.  The drain's internal passes come through with
+            # include_local=False and never re-stamp — their events were
+            # stamped when the capturing thread enqueued them.
+            if self.stamp_capture:
+                now = self.clock.now()
+                for event in events:
+                    object.__setattr__(event, "timestamp", now)
+            else:
+                for event in events:
+                    if event.timestamp > self._max_event_ts:
+                        self._max_event_ts = event.timestamp
         self.events_processed += len(events)
         self.supervisor.advance(len(events))
         if self.governor is not None and events:
@@ -803,9 +851,10 @@ class TeslaRuntime:
         if self.lazy:
             # One epoch bump per distinct bound — "a per-context record of
             # common initialisation events" — independent of how many
-            # classes share that bound.
+            # classes share that bound.  The entry timestamp rides along so
+            # lazily-joining timed classes know when the bound opened.
             for bound in work.init_bounds:
-                tracker.begin(bound)
+                tracker.begin(bound, event.timestamp)
         else:
             for name in work.init_names:
                 t0 = gov.now() if gov is not None else 0.0
@@ -956,14 +1005,73 @@ class TeslaRuntime:
 
     # -- maintenance --------------------------------------------------------------
 
+    def check_timers(self) -> int:
+        """Expire overdue deadline obligations with no successor event.
+
+        This is the sync-point half of the timed semantics (DESIGN §5.9):
+        per-event expiry inside ``tesla_update_state`` catches deadlines
+        that pass *before a later event*, while this check catches the
+        case where no further event ever arrives — the drain controller
+        and ``flush_deferred`` call it so a missed deadline surfaces as a
+        violation at the next flush rather than never.
+
+        "Now" is the later of the runtime clock and the largest event
+        timestamp seen, so pre-stamped (replayed) traces expire by trace
+        time, not this process's clock.  Per-class faults are contained
+        through the supervisor: a faulting timer path degrades that class
+        to ordinal semantics (the obligation still reports at cleanup),
+        never to a dropped verdict.  Returns the number of instances
+        expired.
+        """
+        if not self._timed_classes:
+            return 0
+        self.timer_checks += 1
+        now = self.clock.now()
+        if self._max_event_ts > now:
+            now = self._max_event_ts
+        expired = 0
+        supervisor = self.supervisor
+        for name in self._timed_classes:
+            if self.contexts[name] is Context.GLOBAL:
+                shard = self.global_store.shard_for(name)
+                with shard.lock:
+                    cr = shard.store.get(name)
+                    if cr is None:
+                        continue
+                    try:
+                        expired += expire_deadlines(cr, now, self.hub)
+                    except TemporalAssertionError:
+                        raise
+                    except Exception as exc:
+                        if not supervisor.contain(name, "timer", exc):
+                            raise
+            else:
+                for store in self.thread_stores.all_stores():
+                    cr = store.get(name)
+                    if cr is None:
+                        continue
+                    try:
+                        expired += expire_deadlines(cr, now, self.hub)
+                    except TemporalAssertionError:
+                        raise
+                    except Exception as exc:
+                        if not supervisor.contain(name, "timer", exc):
+                            raise
+        self.timer_expiries += expired
+        return expired
+
     def flush_deferred(self) -> None:
-        """Evaluate everything captured so far (no-op when synchronous).
+        """Evaluate everything captured so far and expire overdue timers
+        (the sync-point contract; a synchronous runtime only has the timer
+        half).
 
         Introspection readers (``health_report``/``coverage_report``/…)
         call this so reads never observe a store that lags capture.
         """
         if self.drain is not None:
             self.drain.flush()
+        else:
+            self.check_timers()
 
     def discard_deferred(self) -> int:
         """Drop captured-but-unevaluated events (teardown after an
@@ -1001,6 +1109,9 @@ class TeslaRuntime:
         self.thread_stores.reset()
         self._thread_trackers = threading.local()
         self.events_processed = 0
+        self._max_event_ts = 0.0
+        self.timer_checks = 0
+        self.timer_expiries = 0
         self.hub.reset_counts()
         self.supervisor.reset()
         if self.governor is not None:

@@ -66,6 +66,21 @@ class InstancePool:
                 return instance
         return None
 
+    def prune(self, predicate) -> List[AutomatonInstance]:
+        """Remove and return every instance ``predicate`` selects.
+
+        Used by deadline expiry (DESIGN §5.9): expired instances leave the
+        pool immediately so the population numbers stay honest and a later
+        cleanup does not double-report the same obligation.
+        """
+        kept: List[AutomatonInstance] = []
+        removed: List[AutomatonInstance] = []
+        for instance in self._instances:
+            (removed if predicate(instance) else kept).append(instance)
+        if removed:
+            self._instances = kept
+        return removed
+
     def expunge(self) -> List[AutomatonInstance]:
         """Remove and return every instance (the «cleanup» reset)."""
         out = self._instances

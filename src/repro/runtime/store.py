@@ -43,19 +43,24 @@ BoundId = Tuple[DispatchKey, DispatchKey]
 class BoundTracker:
     """Per-context record of open temporal bounds (lazy mode, §5.2.2)."""
 
-    __slots__ = ("open", "epoch", "touched")
+    __slots__ = ("open", "epoch", "touched", "entry_ts")
 
     def __init__(self) -> None:
         self.open: Dict[BoundId, bool] = {}
         self.epoch: Dict[BoundId, int] = {}
         self.touched: Dict[BoundId, Set[str]] = {}
+        #: Capture timestamp of the event that opened each bound — the
+        #: reference point lazily-joined timed instances measure deadlines
+        #: and ``since_entry`` guards from (DESIGN §5.9).
+        self.entry_ts: Dict[BoundId, float] = {}
 
-    def begin(self, bound: BoundId) -> None:
+    def begin(self, bound: BoundId, ts: float = 0.0) -> None:
         if self.open.get(bound):
             return  # re-entrant bound: ignore until cleanup
         self.open[bound] = True
         self.epoch[bound] = self.epoch.get(bound, 0) + 1
         self.touched[bound] = set()
+        self.entry_ts[bound] = ts
 
     def end(self, bound: BoundId) -> Set[str]:
         if not self.open.get(bound):
@@ -80,6 +85,7 @@ class ClassRuntime:
         "pending",
         "seen_epoch",
         "lazy_binding",
+        "lazy_entry_ts",
         "overflow_mark",
         "overflow_reported",
         "sample_rate",
@@ -113,6 +119,10 @@ class ClassRuntime:
         self.seen_epoch = -1
         #: Binding captured from the bound's entry event (eager mode).
         self.lazy_binding: Dict[str, object] = {}
+        #: Capture timestamp of the bound's entry event, threaded to
+        #: instances materialised later (pending/lazy joins) so timed
+        #: guards measure from when the bound actually opened.
+        self.lazy_entry_ts = 0.0
         #: Pool overflow count when the current bound opened; a site miss
         #: after further overflows is suppressed (the dropped instance may
         #: have been the one that would have matched).
@@ -252,6 +262,7 @@ class ClassRuntime:
         self.pending = False
         self.seen_epoch = -1
         self.lazy_binding = {}
+        self.lazy_entry_ts = 0.0
         self.overflow_mark = 0
         self.overflow_reported = False
         self.sample_rate = 1

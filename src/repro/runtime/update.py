@@ -51,6 +51,19 @@ _FP_INIT = fault_site("update.init")
 _FP_STEP = fault_site("update.step")
 _FP_CLEANUP = fault_site("update.cleanup")
 
+#: Violation reason strings for the timed semantics (DESIGN §5.9).  These
+#: are part of the three-way contract between the runtime, the journal
+#: replay oracle (``repro.replay.ltl_oracle.RUNTIME_REASONS``) and the
+#: differential tests — change them in lockstep or not at all.
+DEADLINE_REASON = (
+    "deadline expired before the automaton discharged its obligations "
+    "(no permitted successor event arrived in time)"
+)
+RATE_REASON = (
+    "rate limit exceeded: more matching events than allowed within the "
+    "sliding window"
+)
+
 
 def _match_static(cr: ClassRuntime, event: RuntimeEvent, kind: TransitionKind):
     """Match ``event`` against the class's init or cleanup symbol.
@@ -89,11 +102,67 @@ def matches_cleanup(cr: ClassRuntime, event: RuntimeEvent) -> bool:
     return t is not None
 
 
-def _materialise(cr: ClassRuntime, hub: NotificationHub, binding: Dict[str, Any]) -> None:
+def expire_deadlines(
+    cr: ClassRuntime,
+    now: float,
+    hub: NotificationHub,
+    event: Optional[RuntimeEvent] = None,
+) -> int:
+    """Expire instances whose ``deadline(...)`` budget has run out.
+
+    An instance is expired when it has opened an obligation (took the
+    assertion site), cannot yet accept, and more than ``deadline_s``
+    seconds of capture time have passed since its bound entry.  Expired
+    instances are pruned and reported as violations immediately — this is
+    what makes a missed deadline surface *without* a successor event.
+    Called from two places with identical semantics: per-class before each
+    event (so the verdict stream is a pure function of the timestamped
+    trace in every dispatch configuration), and from the manager's timer
+    check at sync-point flushes (the no-successor-event path).
+
+    Returns the number of instances expired.
+    """
+    deadline = cr.automaton.deadline_s
+    if deadline is None or not cr.active:
+        return 0
+    expired = cr.pool.prune(
+        lambda i: i.saw_site
+        and not i.accepting_at_cleanup()
+        and now - i.entry_ts > deadline
+    )
+    for instance in expired:
+        cr.errors += 1
+        violation = TemporalViolation(
+            automaton=cr.automaton.name,
+            reason=DEADLINE_REASON,
+            event=event,
+            binding=instance.binding_items(),
+            sampling_rate=cr.sample_rate,
+        )
+        hub.emit(
+            Notification(
+                kind=NotificationKind.ERROR,
+                automaton=cr.automaton.name,
+                instance_name=instance.name,
+                binding=instance.binding_items(),
+                event=event,
+                violation=violation,
+            )
+        )
+    return len(expired)
+
+
+def _materialise(
+    cr: ClassRuntime,
+    hub: NotificationHub,
+    binding: Dict[str, Any],
+    entry_ts: float = 0.0,
+) -> None:
     instance = AutomatonInstance(
         automaton=cr.automaton,
         states=cr.automaton.entry_states,
         binding=binding,
+        entry_ts=entry_ts,
     )
     if cr.pool.add(instance):
         if hub.detailed:
@@ -146,8 +215,9 @@ def handle_init(
     if lazy:
         cr.pending = True
         cr.lazy_binding = dict(binding)
+        cr.lazy_entry_ts = event.timestamp
     else:
-        _materialise(cr, hub, dict(binding))
+        _materialise(cr, hub, dict(binding), event.timestamp)
 
 
 def handle_cleanup(
@@ -161,6 +231,11 @@ def handle_cleanup(
         return
     if _fi._active is not None:
         _fi.fault_point(_FP_CLEANUP)
+    if cr.automaton.deadline_s is not None:
+        # A late cleanup is a *deadline* violation, not a cleanup one:
+        # expire first so the verdict names the budget that was missed,
+        # identically in sync, deferred and batched configurations.
+        expire_deadlines(cr, event.timestamp, hub, event)
     if plan is not None:
         transition, _ = _match_plan_entries(plan.cleanup, event)
     else:
@@ -246,6 +321,8 @@ def _step(
         for t in matched:
             cr.count_transition(t)
     instance.states = new_states
+    if cr.automaton.timed:
+        instance.last_ts = event.timestamp
     if took_site:
         instance.saw_site = True
         cr.sites_reached += 1
@@ -302,6 +379,7 @@ def lazy_join_bound(
             cr.active = True
             cr.pending = True
             cr.lazy_binding = {}
+            cr.lazy_entry_ts = tracker.entry_ts.get(bound, 0.0)
             cr.overflow_mark = cr.pool.overflows
             cr.overflow_reported = False
             # The bound entry happened when the epoch opened; account
@@ -352,22 +430,41 @@ def tesla_update_state(
             )
         return
 
+    timed = automaton.timed
+    if timed and automaton.deadline_s is not None:
+        # Pre-event expiry: any instance whose deadline passed before this
+        # event's capture time has already failed — report it before the
+        # event is processed so the violation stream is a pure function of
+        # the timestamped trace, whatever the dispatch configuration.
+        expire_deadlines(cr, event.timestamp, hub, event)
+
     if cr.pending:
         # Lazy initialisation (section 5.2.2): the first relevant event
         # after the bound opened materialises the wildcard instance.
         cr.pending = False
-        _materialise(cr, hub, dict(cr.lazy_binding))
+        _materialise(cr, hub, dict(cr.lazy_binding), cr.lazy_entry_ts)
 
     site_taken = False
     any_progress = False
     clones: List[AutomatonInstance] = []
     enabled = automaton.enabled if plan is None else plan.enabled
+    rate_blocked: Optional[set] = None
     # pool.live() is the list itself: clones are accumulated aside and
     # added after the walk, so nothing mutates it under iteration.
     for instance in cr.pool.live():
         matches = enabled(instance.states, event, instance.binding)
         if not matches:
             continue
+        if timed:
+            if rate_blocked is None:
+                rate_blocked = set()
+            matches = _filter_guards(instance, matches, event, rate_blocked)
+            if not matches:
+                # Every enabled transition was clock-blocked: the event is
+                # too late (or too frequent) for this instance, which under
+                # move-or-stay semantics simply does not advance.  Missed
+                # obligations then surface as site/deadline violations.
+                continue
         if len(matches) == 1 and not matches[0][1]:
             # Fast path for the overwhelmingly common case: exactly one
             # enabled transition, learning nothing — the instance steps in
@@ -412,6 +509,10 @@ def tesla_update_state(
                 )
             # The clone, fully bound, now steps on this event.
             clone_matches = enabled(clone.states, event, clone.binding)
+            if timed and clone_matches:
+                clone_matches = _filter_guards(
+                    clone, clone_matches, event, rate_blocked
+                )
             complete = [t for t, new in clone_matches if not new]
             if complete:
                 any_progress = True
@@ -431,6 +532,27 @@ def tesla_update_state(
                         instance_name=clone.name,
                     )
                 )
+
+    if rate_blocked:
+        # One violation per exceeded rate guard per event — not one per
+        # blocked instance, so configurations with different instance
+        # populations (lazy vs eager) report identical counts.
+        for guard in sorted(rate_blocked, key=lambda g: g.sort_key()):
+            cr.errors += 1
+            violation = TemporalViolation(
+                automaton=automaton.name,
+                reason=RATE_REASON,
+                event=event,
+                sampling_rate=cr.sample_rate,
+            )
+            hub.emit(
+                Notification(
+                    kind=NotificationKind.ERROR,
+                    automaton=automaton.name,
+                    event=event,
+                    violation=violation,
+                )
+            )
 
     if is_site_event and not site_taken and _already_satisfied(cr, event):
         # The assertion site can execute several times within one bound
@@ -496,6 +618,53 @@ def tesla_update_state(
                 event=event,
             )
         )
+
+
+def _filter_guards(
+    instance: AutomatonInstance,
+    matches,
+    event: RuntimeEvent,
+    rate_blocked: set,
+):
+    """Drop enabled transitions whose clock guard the event fails.
+
+    ``since_entry`` measures from the instance's bound-entry timestamp,
+    ``since_prev`` from its last taken transition, and ``rate`` maintains
+    a per-instance sliding window of match timestamps: an over-budget
+    occurrence blocks the transition, records the guard in
+    ``rate_blocked`` (for a once-per-event violation) and does *not* join
+    the window — the window holds only permitted occurrences.
+    """
+    ts = event.timestamp
+    allowed = []
+    for pair in matches:
+        guard = pair[0].guard
+        if guard is None:
+            allowed.append(pair)
+            continue
+        kind = guard.kind
+        if kind == "since_prev":
+            if ts - instance.last_ts <= guard.limit_s:
+                allowed.append(pair)
+        elif kind == "since_entry":
+            if ts - instance.entry_ts <= guard.limit_s:
+                allowed.append(pair)
+        else:  # rate
+            marks = instance.rate_marks
+            if marks is None:
+                marks = instance.rate_marks = {}
+            window = marks.get(guard)
+            if window is None:
+                window = marks[guard] = []
+            cutoff = ts - guard.limit_s
+            while window and window[0] < cutoff:
+                window.pop(0)
+            if len(window) >= guard.count:
+                rate_blocked.add(guard)
+            else:
+                window.append(ts)
+                allowed.append(pair)
+    return allowed if len(allowed) != len(matches) else matches
 
 
 def _already_satisfied(cr: ClassRuntime, event: RuntimeEvent) -> bool:

@@ -47,6 +47,7 @@ def monitoring(
     journal: object = None,
     overhead_budget: Optional[float] = None,
     clock: object = None,
+    stamp_capture: Optional[bool] = None,
 ) -> Iterator[TeslaRuntime]:
     """Instrument ``assertions`` for the duration of the ``with`` block.
 
@@ -89,10 +90,17 @@ def monitoring(
     enforced by graduated shedding (sample instantiation → journal-only
     demotion → shed via the supervisor) of the most expensive assertion
     classes, with sampled findings annotated with their sampling rate;
-    ``clock`` replaces the governor's time source (an object with
-    ``now()`` or a plain callable returning seconds — inject a
-    :class:`~repro.runtime.clock.FakeClock` for replayable decision
-    sequences in tests).  On clean
+    ``clock`` replaces the runtime's single time source — the one
+    monotonic clock driving the governor, capture timestamping *and*
+    timed-assertion expiry (DESIGN §5.9; an object with ``now()`` or a
+    plain callable returning seconds — inject a
+    :class:`~repro.runtime.clock.FakeClock` for replayable governor
+    decisions and deterministic timed verdicts in tests);
+    ``stamp_capture=False`` disables capture-time stamping for event
+    streams that arrive pre-stamped (replay from a journal) — it then
+    *requires* ``clock=`` naming the clock those stamps came from, since
+    judging recorded stamps against an unrelated monotonic epoch would
+    be meaningless (conflicting clock sources).  On clean
     exit the block flushes pending events first, so deferred verdicts —
     including a fail-stop :class:`~repro.errors.TemporalAssertionError` —
     are delivered no later than the ``with`` block's exit; if the block
@@ -126,6 +134,8 @@ def monitoring(
         kwargs["overhead_budget"] = overhead_budget
     if clock is not None:
         kwargs["clock"] = clock
+    if stamp_capture is not None:
+        kwargs["stamp_capture"] = stamp_capture
     runtime = TeslaRuntime(**kwargs)
     session = Instrumenter(
         runtime,

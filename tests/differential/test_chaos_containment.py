@@ -38,7 +38,16 @@ from typing import Dict, List, Tuple
 
 import pytest
 
-from repro.core.dsl import ANY, fn, previously, tesla_within, var
+from repro.core.dsl import (
+    ANY,
+    call,
+    deadline,
+    eventually,
+    fn,
+    previously,
+    tesla_within,
+    var,
+)
 from repro.errors import TeslaError
 from repro.instrument.hooks import instrumentable, tesla_site
 from repro.introspect import health_report
@@ -177,6 +186,11 @@ REACHABLE_SITES = {
     "drain.enqueue",
     "drain.merge",
     "drain.flush",
+    # The flush-time timer sweep (timed assertions, DESIGN §5.9) runs on
+    # every deferred flush even when no installed automaton is timed, so
+    # its boundary is reachable from this untimed application too; the
+    # timed degradation semantics have a dedicated class below.
+    "drain.timer",
     # Only the governed configuration charges the governor; its control
     # boundary has a dedicated forcing test in TestGovernorChaos (the
     # decision interval makes natural visits timing-dependent).
@@ -608,3 +622,151 @@ class TestUninvokedBoundaries:
         wrapper = make_call_wrapper(lambda x: x, "chaos_plain", [plain_sink])
         with pytest.raises(RuntimeError):
             wrapper(1)
+
+
+class TestTimerChaos:
+    """Faults at the timer-expiry boundary (``drain.timer``, DESIGN §5.9):
+    contained, and the degradation is *exactly* the loss of flush-time
+    deadline expiry.  The timed class falls back to its ordinal reading
+    for that flush — a missed deadline goes unreported, never a dropped
+    or altered verdict anywhere else, never an exception out of the
+    flush.  (Application preservation for this boundary rides in the
+    per-site matrix above; this class drives the drain directly with a
+    pre-stamped trace so the degradation semantics are deterministic.)"""
+
+    def _run(self, inject_seed=None):
+        from repro.core.events import assertion_site_event, call_event
+        from repro.runtime.clock import FakeClock
+        from repro.runtime.manager import TeslaRuntime
+
+        def stamped(event, ts):
+            object.__setattr__(event, "timestamp", ts)
+            return event
+
+        assertions = [
+            # Timed: once the site is reached, ``t_done`` must occur
+            # within 5ms of bound entry.  It never occurs, so the only
+            # discharge path is expiry — and the trace is arranged so the
+            # *only* expiry opportunity is the sync-point flush (nothing
+            # the timed class observes arrives after its site).
+            tesla_within(
+                "t_bound",
+                eventually(deadline(5.0, call("t_done"))),
+                name="chaos_timed",
+            ),
+            # An untimed class on the same bound, satisfied by the trace:
+            # its verdicts must be identical with and without the fault.
+            tesla_within(
+                "t_bound",
+                previously(call("t_prep")),
+                name="chaos_untimed",
+            ),
+        ]
+        events = [
+            stamped(call_event("t_bound", ()), 0.0),
+            stamped(call_event("t_prep", ()), 0.001),
+            stamped(assertion_site_event("chaos_timed", {}), 0.002),
+            stamped(assertion_site_event("chaos_untimed", {}), 0.002),
+            # Capture time runs 200ms past the 5ms budget; the noise
+            # event reaches no installed class, so no pre-event sweep
+            # can report the expiry early.
+            stamped(call_event("t_noise", ()), 0.203125),
+        ]
+
+        def go():
+            runtime = TeslaRuntime(
+                policy=LogAndContinue(),
+                failure_policy=FailOpen(),
+                stamp_capture=False,
+                clock=FakeClock(),
+                deferred="manual",
+            )
+            runtime.install_assertions(assertions)
+            for event in events:
+                runtime.handle_event(event)
+            runtime.flush_deferred()
+            report = health_report(runtime)
+            return runtime, report
+
+        if inject_seed is None:
+            runtime, report = go()
+            return runtime, report, None
+        with injection(seed=inject_seed, only=["drain.timer"]) as injector:
+            runtime, report = go()
+        return runtime, report, injector
+
+    @staticmethod
+    def _streams(runtime):
+        per_class = {}
+        for violation in runtime.hub.policy.violations:
+            per_class.setdefault(violation.automaton, []).append(
+                violation.reason
+            )
+        return per_class
+
+    @staticmethod
+    def _counts(runtime, name):
+        return [
+            (cr.accepts, cr.errors, cr.sites_reached)
+            for cr in runtime.all_class_runtimes(name)
+        ]
+
+    def test_faulting_timer_degrades_to_ordinal_never_drops_verdicts(self):
+        from repro.runtime.update import DEADLINE_REASON
+
+        clean_rt, clean_report, _ = self._run()
+        fault_rt, fault_report, injector = self._run(
+            inject_seed=31 + CHAOS_SEED
+        )
+
+        # Nothing escapes the flush boundary either way.
+        assert clean_report.propagated == 0
+        assert fault_report.propagated == 0
+
+        # Clean run: the flush-time sweep reports the missed deadline.
+        clean_streams = self._streams(clean_rt)
+        assert clean_streams.get("chaos_timed") == [DEADLINE_REASON]
+        assert clean_rt.timer_expiries == 1
+
+        # Faulted run: the sweep is contained before it can judge, so
+        # the timed class degrades to its ordinal reading — the deadline
+        # goes unreported and the obligation simply stays pending.
+        fault_streams = self._streams(fault_rt)
+        assert "chaos_timed" not in fault_streams
+        assert fault_rt.timer_expiries == 0
+        assert injector.total_fired >= 1
+        assert set(injector.fired) == {"drain.timer"}
+        assert fault_report.injected_recorded == injector.total_fired
+
+        # Degradation is surgical: the untimed class and every
+        # non-expiry verdict of the timed class are identical.
+        assert fault_streams.get("chaos_untimed") == clean_streams.get(
+            "chaos_untimed"
+        )
+        assert self._counts(fault_rt, "chaos_untimed") == self._counts(
+            clean_rt, "chaos_untimed"
+        )
+        assert sum(
+            sites
+            for _, _, sites in self._counts(fault_rt, "chaos_timed")
+        ) == 1
+
+    def test_timer_fault_accounting_is_seed_deterministic(self):
+        def accounting(seed):
+            runtime, report, injector = self._run(inject_seed=seed)
+            return (
+                dict(report.stage_counts),
+                dict(injector.fired),
+                report.propagated,
+                tuple(
+                    (v.automaton, v.reason)
+                    for v in runtime.hub.policy.violations
+                ),
+            )
+
+        first = accounting(404 + CHAOS_SEED)
+        second = accounting(404 + CHAOS_SEED)
+        assert first == second, "timer-fault accounting is not seed-pure"
+        stages, fired, propagated, _ = first
+        assert propagated == 0
+        assert stages.get("timer", 0) == sum(fired.values()) > 0

@@ -1,0 +1,232 @@
+"""Property: timed verdicts are a pure function of the timestamped trace.
+
+The timed semantics (DESIGN §5.9) are defined over *capture* timestamps —
+the monotonic stamp each event receives when it enters the monitor — not
+over when the monitor happens to get around to evaluating it.  On a
+:class:`~repro.runtime.clock.FakeClock` that is a testable purity claim:
+
+* feeding the identical pre-stamped trace twice yields identical
+  verdicts, violation streams and timer accounting — no hidden wall
+  clock leaks in;
+* permuting *wall-clock arrival* — the real time at which events reach
+  the runtime, modelled by advancing the capture clock arbitrarily
+  between dispatches while the stamps stay fixed — never changes a
+  single verdict.  Evaluation lag, drain scheduling and batch timing are
+  invisible to timed semantics as long as the stamps are preserved;
+* the simplest deadline obligation admits a closed-form model: the
+  violation fires iff no discharging event is stamped inside
+  ``entry + budget``, regardless of everything else in the schedule.
+
+The trace generator is deliberately Hypothesis-native (tuples of small
+draws): failing examples shrink to minimal timed traces — fewer events,
+smaller gaps, fewer classes — rather than opaque blobs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dsl import call, deadline, eventually, tesla_within
+from repro.core.events import (
+    RuntimeEvent,
+    assertion_site_event,
+    call_event,
+    return_event,
+)
+from repro.runtime.clock import FakeClock
+from repro.runtime.manager import TeslaRuntime
+from repro.runtime.notify import LogAndContinue
+from repro.runtime.update import DEADLINE_REASON
+
+from tests.differential.test_timed_equivalence import (
+    assertions_of,
+    class_name,
+    events_of,
+    stamped,
+    timed_scenarios,
+)
+
+
+def run_trace(
+    events: List[RuntimeEvent],
+    specs,
+    advances: Tuple[float, ...] = (),
+    deferred: object = False,
+):
+    """Feed a pre-stamped trace, advancing the wall clock by
+    ``advances[i]`` before dispatching event ``i`` (missing entries
+    advance nothing), then flush at the sync point."""
+    clock = FakeClock()
+    runtime = TeslaRuntime(
+        policy=LogAndContinue(),
+        stamp_capture=False,
+        clock=clock,
+        deferred=deferred,
+    )
+    runtime.install_assertions(assertions_of(specs))
+    for index, event in enumerate(events):
+        if index < len(advances):
+            # Wall-clock arrival jitter, bounded by causality: capture
+            # stamps and arrivals come from the same monotonic clock, so
+            # the clock can lag behind evaluation arbitrarily but can
+            # never have passed the stamp of an event that has not been
+            # captured yet.
+            budget = event.timestamp - clock.now()
+            if budget > 0:
+                clock.advance(min(advances[index], budget))
+        runtime.handle_event(event)
+    runtime.flush_deferred()
+    verdicts = []
+    for index in range(len(specs)):
+        accepts = errors = sites = 0
+        for cr in runtime.all_class_runtimes(class_name(index)):
+            accepts += cr.accepts
+            errors += cr.errors
+            sites += cr.sites_reached
+        verdicts.append((accepts, errors, sites))
+    streams: Dict[str, List[str]] = {}
+    for violation in runtime.hub.policy.violations:
+        streams.setdefault(violation.automaton, []).append(violation.reason)
+    return verdicts, {k: sorted(v) for k, v in streams.items()}
+
+
+@settings(
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(timed_scenarios())
+def test_verdicts_are_a_pure_function_of_the_stamped_trace(scenario):
+    """Same stamps in, same verdicts out — twice."""
+    specs, steps, trailing, close = scenario
+    events = events_of(steps, trailing, close, len(specs))
+    assert run_trace(events, specs) == run_trace(events, specs)
+
+
+@settings(
+    max_examples=75,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    timed_scenarios(),
+    st.lists(st.sampled_from([0.0, 0.002, 0.01, 0.05]), max_size=45),
+)
+def test_wall_clock_arrival_never_changes_verdicts(scenario, advances):
+    """Permuting wall-clock arrival while preserving capture stamps is
+    invisible: a monitor that falls behind (the clock running ahead of
+    the stamps it is still evaluating) reaches the same verdicts as one
+    that keeps up perfectly."""
+    specs, steps, trailing, close = scenario
+    events = events_of(steps, trailing, close, len(specs))
+    prompt = run_trace(events, specs)
+    lagged = run_trace(events, specs, advances=tuple(advances))
+    assert lagged == prompt, (
+        f"arrival schedule changed timed verdicts (specs={specs}, "
+        f"steps={steps}, advances={advances})"
+    )
+    # The deferred pipeline adds drain scheduling on top — still
+    # invisible.
+    assert run_trace(
+        events, specs, advances=tuple(advances), deferred="manual"
+    ) == prompt
+
+
+@settings(
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    budget_ms=st.sampled_from([5.0, 20.0, 80.0]),
+    site_dt=st.sampled_from([0.0, 0.001, 0.01]),
+    done_dt=st.sampled_from([None, 0.0, 0.001, 0.004, 0.03, 0.1]),
+    tail_dt=st.sampled_from([0.0, 0.001, 0.03, 0.25]),
+)
+def test_single_deadline_matches_closed_form(
+    budget_ms, site_dt, done_dt, tail_dt
+):
+    """One bound, one site, at most one discharging event: the deadline
+    verdict has a closed form over the stamps alone.  ``deadline(ms, e)``
+    violates iff ``e`` is not stamped within ``entry + ms`` *and* capture
+    extends past the boundary (otherwise the obligation is still live at
+    flush, not yet overdue)."""
+    specs = (("deadline", budget_ms),)
+    ts = 0.0
+    events = [stamped(call_event("t_bound", ()), ts)]
+    ts += site_dt
+    events.append(stamped(assertion_site_event(class_name(0), {}), ts))
+    if done_dt is not None:
+        ts += done_dt
+        events.append(stamped(call_event("t_done", ()), ts))
+    end_ts = ts + tail_dt
+    events.append(stamped(call_event("t_noise", ()), end_ts))
+
+    budget_s = budget_ms / 1000.0
+    discharged = done_dt is not None and (site_dt + done_dt) <= budget_s
+    overdue = end_ts > budget_s  # entry is stamped at 0.0
+    expect_violation = not discharged and overdue
+
+    verdicts, streams = run_trace(events, specs)
+    reasons = streams.get(class_name(0), [])
+    if expect_violation:
+        assert reasons == [DEADLINE_REASON], (
+            f"expected a deadline violation: budget={budget_ms}ms "
+            f"site_dt={site_dt} done_dt={done_dt} tail_dt={tail_dt}"
+        )
+    else:
+        assert DEADLINE_REASON not in reasons, (
+            f"spurious deadline violation: budget={budget_ms}ms "
+            f"site_dt={site_dt} done_dt={done_dt} tail_dt={tail_dt}"
+        )
+    # The site itself is always reached — timing never blocks an
+    # unguarded site transition.
+    assert verdicts[0][2] == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.sampled_from([0.0, 0.001, 0.004, 0.02, 0.06]),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_rate_window_matches_sliding_model(gaps):
+    """``rate_atmost(2, tick, 50ms)`` against a reference sliding-window
+    simulation over the stamps: blocked ticks are exactly those arriving
+    with two un-expired marks in the window; blocked ticks never join
+    the window themselves."""
+    specs = (("rate", 50.0),)
+    events = [
+        stamped(call_event("t_bound", ()), 0.0),
+        stamped(assertion_site_event(class_name(0), {}), 0.0),
+    ]
+    ts = 0.0
+    tick_stamps = []
+    for gap in gaps:
+        ts += gap
+        tick_stamps.append(ts)
+        events.append(stamped(call_event("t_tick", ()), ts))
+    events.append(stamped(return_event("t_bound", (), 0), ts))
+    events.append(stamped(call_event("t_noise", ()), ts))
+
+    marks: List[float] = []
+    expected_blocked = 0
+    for tick in tick_stamps:
+        while marks and marks[0] < tick - 0.05:
+            marks.pop(0)
+        if len(marks) >= 2:
+            expected_blocked += 1
+        else:
+            marks.append(tick)
+
+    _, streams = run_trace(events, specs)
+    got = streams.get(class_name(0), [])
+    assert len(got) == expected_blocked, (
+        f"sliding-window model disagrees: gaps={gaps} expected "
+        f"{expected_blocked} blocked ticks, runtime reported {got}"
+    )

@@ -74,7 +74,7 @@ class TestDiagnostics:
         assert set(CODES) == {
             "TESLA001", "TESLA002", "TESLA003", "TESLA004", "TESLA005",
             "TESLA006", "TESLA007", "TESLA008", "TESLA009", "TESLA010",
-            "TESLA011", "TESLA012",
+            "TESLA011", "TESLA012", "TESLA013",
         }
         assert CODES["TESLA003"][0] is Severity.ERROR
         assert CODES["TESLA004"][0] is Severity.WARNING

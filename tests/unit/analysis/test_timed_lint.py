@@ -1,0 +1,163 @@
+"""tesla-lint coverage for timed assertions: TESLA013 (unsatisfiable or
+degenerate clock constraints) and the TESLA004 vacuity early-out for
+guarded automata (DESIGN §5.9)."""
+
+from repro.analysis import lint_assertions, lint_automata
+from repro.analysis.machine import check_timed_satisfiable, check_vacuous
+from repro.core.ast import AssertionSite, FunctionCall
+from repro.core.automaton import (
+    Automaton,
+    ClockGuard,
+    EventSymbol,
+    Transition,
+    TransitionKind,
+)
+from repro.core.dsl import (
+    call,
+    deadline,
+    eventually,
+    previously,
+    rate_atmost,
+    tesla_within,
+    within_ms,
+)
+from repro.core.translate import translate
+
+K = TransitionKind
+
+
+def codes_of(report):
+    return {f.code for f in report.findings}
+
+
+def assertion(expression, name):
+    return tesla_within("enclosing_fn", expression, name=name)
+
+
+class TestTesla013:
+    def test_rate_zero_count_flagged(self):
+        report = lint_assertions(
+            [
+                assertion(
+                    eventually(rate_atmost(0, call("tick"), 50.0)),
+                    "tl.rate0",
+                )
+            ]
+        )
+        assert "TESLA013" in codes_of(report)
+        (finding,) = [
+            f for f in report.findings if f.code == "TESLA013"
+        ]
+        assert "rate_atmost(0" in finding.message
+
+    def test_zero_ms_after_intermediate_event_flagged(self):
+        # within_ms(0, a, b): the guard on `a` fires from bound entry
+        # (one clock reading can legitimately cover it), but `b` is
+        # guarded *after* `a` was consumed — satisfiable only if both
+        # share a capture stamp, never across genuine time.
+        report = lint_assertions(
+            [
+                assertion(
+                    previously(within_ms(0.0, call("a"), call("b"))),
+                    "tl.zero",
+                )
+            ]
+        )
+        findings = [f for f in report.findings if f.code == "TESLA013"]
+        assert len(findings) == 1
+        assert "0 ms clock guard" in findings[0].message
+
+    def test_zero_ms_first_step_not_flagged(self):
+        # A single 0ms step from bound entry is degenerate but
+        # *satisfiable* inside one stamped batch — lint stays quiet.
+        report = lint_assertions(
+            [
+                assertion(
+                    previously(within_ms(0.0, call("a"))),
+                    "tl.zero1",
+                )
+            ]
+        )
+        assert "TESLA013" not in codes_of(report)
+
+    def test_ordinary_timed_shapes_not_flagged(self):
+        report = lint_assertions(
+            [
+                assertion(
+                    previously(within_ms(20.0, call("a"), call("b"))),
+                    "tl.wm",
+                ),
+                assertion(
+                    eventually(deadline(50.0, call("done"))), "tl.dl"
+                ),
+                assertion(
+                    eventually(rate_atmost(2, call("tick"), 100.0)),
+                    "tl.rate",
+                ),
+            ]
+        )
+        assert "TESLA013" not in codes_of(report)
+
+    def test_repeated_guard_reported_once(self):
+        automaton = translate(
+            assertion(
+                previously(within_ms(0.0, call("a"), call("b"), call("c"))),
+                "tl.dedup",
+            )
+        )
+        # b and c share the same (interned) 0ms guard object; the pass
+        # dedups on guard identity so the report stays readable.
+        findings = check_timed_satisfiable(automaton)
+        assert len(findings) == 1
+
+
+class TestVacuityEarlyOut:
+    def vacuous_shape(self, name, guard=None):
+        """The canonical TESLA004-positive automaton — self-loop event,
+        site and cleanup always enabled — optionally with the loop
+        guarded."""
+        symbols = [
+            EventSymbol(FunctionCall("f")),
+            EventSymbol(AssertionSite()),
+        ]
+        return Automaton(
+            name=name,
+            symbols=symbols,
+            transitions=[
+                Transition(0, 1, K.INIT),
+                Transition(1, 1, K.EVENT, 0, guard=guard),
+                Transition(1, 2, K.SITE, 1),
+                Transition(2, 3, K.CLEANUP),
+            ],
+            start=0,
+            accept=3,
+            n_states=4,
+        )
+
+    def test_untimed_twin_is_vacuous(self):
+        report = lint_automata([self.vacuous_shape("tl.vac")])
+        assert "TESLA004" in codes_of(report)
+
+    def test_guarded_twin_is_not_vacuous(self):
+        # Identical structure, but the loop is rate-guarded: time alone
+        # can violate it, so the structural vacuity argument is unsound
+        # and the pass must stand down.
+        guarded = self.vacuous_shape(
+            "tl.vacguard", guard=ClockGuard("rate", 0.05, count=2)
+        )
+        assert guarded.timed
+        assert check_vacuous(guarded) == []
+        assert "TESLA004" not in codes_of(lint_automata([guarded]))
+
+    def test_rate_assertion_not_flagged_vacuous(self):
+        # End-to-end through the translator: a rate-only body compiles
+        # to exactly the guarded-self-loop shape above.
+        report = lint_assertions(
+            [
+                assertion(
+                    eventually(rate_atmost(2, call("tick"), 100.0)),
+                    "tl.ratevac",
+                )
+            ]
+        )
+        assert "TESLA004" not in codes_of(report)

@@ -1,0 +1,203 @@
+"""Unit coverage for the timed DSL, AST validation, translation and the
+guard-bearing automaton model (DESIGN §5.9)."""
+
+import pytest
+
+from repro.core.automaton import ClockGuard
+from repro.core.dsl import (
+    call,
+    deadline,
+    eventually,
+    previously,
+    rate_atmost,
+    tesla_within,
+    within_ms,
+)
+from repro.core.manifest import assertion_from_json, assertion_to_json
+from repro.core.translate import translate
+from repro.errors import AssertionParseError
+
+
+class TestTimedAstValidation:
+    def test_negative_within_budget_rejected(self):
+        with pytest.raises(AssertionParseError, match=">= 0"):
+            within_ms(-1.0, call("f"))
+
+    def test_zero_within_budget_allowed(self):
+        # 0ms is legal (simultaneous capture stamps exist); whether it is
+        # *satisfiable* is tesla-lint's business (TESLA013), not a parse
+        # error.
+        assert within_ms(0.0, call("f")).ms == 0.0
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(AssertionParseError, match=">= 0"):
+            deadline(-5.0, call("f"))
+
+    def test_empty_timed_bodies_rejected(self):
+        with pytest.raises(AssertionParseError, match="at least one"):
+            within_ms(5.0)
+        with pytest.raises(AssertionParseError, match="at least one"):
+            deadline(5.0)
+
+    def test_negative_rate_count_rejected(self):
+        with pytest.raises(AssertionParseError, match=">= 0"):
+            rate_atmost(-1, call("f"), 10.0)
+
+    def test_nonpositive_rate_window_rejected(self):
+        with pytest.raises(AssertionParseError, match="> 0"):
+            rate_atmost(2, call("f"), 0.0)
+        with pytest.raises(AssertionParseError, match="> 0"):
+            rate_atmost(2, call("f"), -10.0)
+
+    def test_rate_zero_count_parses(self):
+        # Legal but unsatisfiable — surfaced by lint, not by the parser.
+        assert rate_atmost(0, call("f"), 10.0).count == 0
+
+
+class TestTimedManifestRoundTrip:
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            eventually(deadline(50.0, call("done"))),
+            previously(within_ms(12.5, call("a"), call("b"))),
+            eventually(rate_atmost(3, call("tick"), 100.0)),
+        ],
+        ids=["deadline", "within_ms", "rate_atmost"],
+    )
+    def test_round_trip(self, expression):
+        assertion = tesla_within("m", expression, name="timed-rt")
+        data = assertion_to_json(assertion)
+        back = assertion_from_json(data)
+        assert back == assertion
+        # The budget survives as an exact float, not a formatted string.
+        assert back.expression == assertion.expression
+
+
+class TestTimedTranslation:
+    def test_deadline_sets_budget_and_entry_guards(self):
+        automaton = translate(
+            tesla_within(
+                "m", eventually(deadline(50.0, call("done"))), name="t-dl"
+            )
+        )
+        assert automaton.timed
+        assert automaton.deadline_s == pytest.approx(0.05)
+        guards = [t.guard for t in automaton.transitions if t.guard]
+        assert guards == [ClockGuard("since_entry", 0.05)]
+
+    def test_within_guards_each_step_since_prev(self):
+        automaton = translate(
+            tesla_within(
+                "m",
+                previously(within_ms(20.0, call("a"), call("b"))),
+                name="t-wm",
+            )
+        )
+        assert automaton.timed
+        # No obligation-with-expiry: nothing for the timer sweep to do.
+        assert automaton.deadline_s is None
+        guards = [t.guard for t in automaton.transitions if t.guard]
+        assert guards == [ClockGuard("since_prev", 0.02)] * 2
+
+    def test_rate_is_a_guarded_self_loop(self):
+        automaton = translate(
+            tesla_within(
+                "m",
+                eventually(rate_atmost(2, call("tick"), 100.0)),
+                name="t-rt",
+            )
+        )
+        assert automaton.timed
+        guarded = [t for t in automaton.transitions if t.guard]
+        assert len(guarded) == 1
+        (loop,) = guarded
+        assert loop.src == loop.dst
+        assert loop.guard == ClockGuard("rate", 0.1, count=2)
+
+    def test_multiple_deadlines_take_the_minimum(self):
+        automaton = translate(
+            tesla_within(
+                "m",
+                eventually(
+                    deadline(80.0, call("x")), deadline(30.0, call("y"))
+                ),
+                name="t-min",
+            )
+        )
+        assert automaton.deadline_s == pytest.approx(0.03)
+
+    def test_nested_clock_guards_rejected(self):
+        with pytest.raises(AssertionParseError, match="nested clock"):
+            translate(
+                tesla_within(
+                    "m",
+                    eventually(deadline(80.0, within_ms(10.0, call("x")))),
+                    name="t-nest",
+                )
+            )
+
+    def test_rate_event_must_be_concrete(self):
+        with pytest.raises(AssertionParseError, match="concrete event"):
+            translate(
+                tesla_within(
+                    "m",
+                    eventually(
+                        rate_atmost(1, within_ms(5.0, call("x")), 10.0)
+                    ),
+                    name="t-rconc",
+                )
+            )
+
+    def test_untimed_automaton_is_untimed(self):
+        automaton = translate(
+            tesla_within("m", previously(call("f")), name="t-plain")
+        )
+        assert not automaton.timed
+        assert automaton.deadline_s is None
+        assert all(t.guard is None for t in automaton.transitions)
+
+
+class TestGuardModel:
+    def test_guard_describe(self):
+        assert ClockGuard("since_entry", 0.05).describe() == (
+            "≤50ms from entry"
+        )
+        assert ClockGuard("since_prev", 0.02).describe() == "≤20ms"
+        assert ClockGuard("rate", 0.1, count=2).describe() == "≤2/100ms"
+
+    def test_guard_appears_in_transition_describe(self):
+        automaton = translate(
+            tesla_within(
+                "m", eventually(deadline(50.0, call("done"))), name="t-desc"
+            )
+        )
+        described = "\n".join(
+            t.describe(automaton) for t in automaton.transitions
+        )
+        assert "≤50ms from entry" in described
+
+    def test_guards_distinguish_otherwise_equal_transitions(self):
+        # Structural dedup must never merge a guarded transition with an
+        # unguarded twin: the guard is part of transition identity.
+        fast = translate(
+            tesla_within(
+                "m", eventually(deadline(10.0, call("done"))), name="t-a"
+            )
+        )
+        slow = translate(
+            tesla_within(
+                "m", eventually(deadline(90.0, call("done"))), name="t-b"
+            )
+        )
+        plain = translate(
+            tesla_within("m", eventually(call("done")), name="t-c")
+        )
+        assert fast.n_states == slow.n_states == plain.n_states
+        fast_g = sorted(
+            t.guard.sort_key() for t in fast.transitions if t.guard
+        )
+        slow_g = sorted(
+            t.guard.sort_key() for t in slow.transitions if t.guard
+        )
+        assert fast_g != slow_g
+        assert all(t.guard is None for t in plain.transitions)

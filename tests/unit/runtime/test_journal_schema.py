@@ -1,7 +1,8 @@
 """Golden-journal schema pin for the trace-journal binary format.
 
 ``tests/fixtures/golden.tjournal`` is a committed journal written by a
-fixed, fully deterministic recording (pinned thread ids, no timestamps).
+fixed, fully deterministic recording (pinned thread ids, pinned capture
+timestamps on exact binary fractions so the f64 bytes never drift).
 This test re-generates those bytes with the *current* encoder and
 byte-compares; it also re-reads the committed file with the current
 decoder.  If either check fails, the binary encoding changed — which is
@@ -64,13 +65,17 @@ def golden_assertion():
 
 
 def golden_slots():
-    """A fixed trace touching every event kind, op byte and value tag."""
+    """A fixed trace touching every event kind, op byte and value tag.
+
+    Capture timestamps are pinned to exact binary fractions (multiples
+    of 1/64 s) so their f64 encodings are byte-stable.
+    """
 
     def event(kind, name, **kwargs):
         return RuntimeEvent(kind=kind, name=name, thread_id=0, **kwargs)
 
     return [
-        (0, event(EventKind.CALL, "golden_bound", args=())),
+        (0, event(EventKind.CALL, "golden_bound", args=(), timestamp=0.015625)),
         (
             1,
             event(
@@ -79,6 +84,7 @@ def golden_slots():
                 args=("c", 4),
                 retval=0,
                 stack=("caller", "callee"),
+                timestamp=0.03125,
             ),
         ),
         (
@@ -89,6 +95,7 @@ def golden_slots():
                 retval=9,
                 op=AssignOp.SET,
                 target="obj-1",
+                timestamp=0.046875,
             ),
         ),
         (
@@ -97,6 +104,7 @@ def golden_slots():
                 EventKind.ASSERTION_SITE,
                 "golden.assertion",
                 scope={"v": 4},
+                timestamp=0.0625,
             ),
         ),
         (
@@ -118,9 +126,19 @@ def golden_slots():
                     {"k": 1, 2: "v"},
                 ),
                 retval=0,
+                timestamp=0.078125,
             ),
         ),
-        (5, event(EventKind.RETURN, "golden_bound", args=(), retval=0)),
+        (
+            5,
+            event(
+                EventKind.RETURN,
+                "golden_bound",
+                args=(),
+                retval=0,
+                timestamp=0.09375,
+            ),
+        ),
     ]
 
 
@@ -136,7 +154,7 @@ def generate_golden_bytes() -> bytes:
 def test_version_byte_is_pinned():
     data = FIXTURE.read_bytes()
     assert data[: len(JOURNAL_MAGIC)] == JOURNAL_MAGIC
-    assert data[len(JOURNAL_MAGIC)] == JOURNAL_VERSION == 1, (
+    assert data[len(JOURNAL_MAGIC)] == JOURNAL_VERSION == 2, (
         "JOURNAL_VERSION changed without regenerating the golden fixture. "
         + UPGRADE_INSTRUCTIONS
     )

@@ -121,11 +121,38 @@ class TestNumericKnobValidation:
             ):
                 pass  # pragma: no cover - construction must raise
 
-    def test_clock_requires_budget(self):
+    def test_clock_alone_is_legal(self):
+        # clock= drives capture stamping and timer expiry even without
+        # the governor, so it no longer requires overhead_budget=.
         from repro.runtime.clock import FakeClock
 
-        with pytest.raises(ValueError, match="overhead_budget"):
-            TeslaRuntime(clock=FakeClock())
+        clock = FakeClock()
+        runtime = TeslaRuntime(clock=clock)
+        assert runtime.clock is clock
+        assert runtime.governor is None
+
+    def test_unstamped_capture_requires_a_clock(self):
+        # stamp_capture=False means events arrive pre-stamped by some
+        # external clock; timer expiry would then be judged against an
+        # unrelated monotonic epoch unless that clock is passed in.
+        with pytest.raises(ValueError, match="clock"):
+            TeslaRuntime(stamp_capture=False)
+
+    def test_unstamped_capture_with_clock_accepted(self):
+        from repro.runtime.clock import FakeClock
+
+        runtime = TeslaRuntime(stamp_capture=False, clock=FakeClock())
+        assert runtime.stamp_capture is False
+
+    def test_monitoring_mirrors_unstamped_rejection(self):
+        from repro.session import monitoring
+
+        with pytest.raises(ValueError, match="clock"):
+            with monitoring(
+                [tesla_within("m", previously(call("f")), name="stamp-test")],
+                stamp_capture=False,
+            ):
+                pass  # pragma: no cover - construction must raise
 
     def test_valid_edge_values_accepted(self):
         runtime = TeslaRuntime(
