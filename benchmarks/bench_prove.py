@@ -1,0 +1,138 @@
+"""tesla-prove: what a PROVED verdict buys at runtime (DESIGN §5.10).
+
+The prover's pitch is that statically discharged assertions cost
+*nothing* at runtime: ``prove="prune"`` elides the automaton and every
+hook the instrumenter would have woven for it.  This bench pins the
+claim on the Infrastructure assertion set — all eleven of its assertions
+are PROVED on the automaton basis — against the lmbench open/close
+workload from Figure 11a:
+
+* **uninstrumented** — no TESLA session at all, the Release baseline;
+* **monitored** — ``prove="off"``: all eleven automata installed, every
+  hook attached, the PR-1 status quo;
+* **proved-pruned** — ``prove="prune"``: the install gate elides all
+  eleven, the instrumenter attaches no hooks.
+
+The structural claims are asserted exactly (zero hooks, zero events
+processed in the pruned session, eleven elisions) alongside the timing
+claim (pruned tracks the uninstrumented baseline; full monitoring does
+not).  A second test reports the analysis cost itself: proving the
+whole assertion corpus is a few milliseconds of one-off work.
+
+Smoke mode (``TESLA_BENCH_SMOKE=1``) shrinks iteration counts and skips
+the timing-ratio assertions while keeping every structural assertion.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.lint import prove_corpus
+from repro.bench import time_once
+from repro.instrument.module import Instrumenter
+from repro.kernel import KernelSystem, assertion_sets, lmbench_open_close
+from repro.runtime.manager import TeslaRuntime
+
+from conftest import emit
+
+SMOKE = os.environ.get("TESLA_BENCH_SMOKE") == "1"
+ITERATIONS = 20 if SMOKE else 200
+REPEATS = 1 if SMOKE else 5
+
+
+def infrastructure_set():
+    return assertion_sets()["Infrastructure"]
+
+
+def test_prune_elides_every_infrastructure_hook():
+    """The structural half of "measurably elided": the prover discharges
+    every Infrastructure assertion, so the pruned session weaves
+    nothing — no automata, no hook attachments, no site attachments."""
+    runtime = TeslaRuntime(prove="prune")
+    session = Instrumenter(runtime)
+    session.instrument(infrastructure_set())
+    try:
+        assert len(runtime.prove_elided) == len(infrastructure_set())
+        assert not runtime.automata
+        assert not session._attached_points
+        assert not session._attached_sites
+    finally:
+        session.uninstrument()
+
+
+def _measure(prove):
+    """Best-of-samples workload time under one session configuration,
+    plus how many events that configuration's runtime ever saw."""
+    runtime = session = None
+    if prove is not None:
+        runtime = TeslaRuntime(prove=prove)
+        session = Instrumenter(runtime)
+        session.instrument(infrastructure_set())
+    kernel = KernelSystem()
+    td = kernel.boot()
+    try:
+        samples = [
+            time_once(lambda: lmbench_open_close(kernel, td, ITERATIONS))
+            for _ in range(REPEATS + 1)
+        ]
+        events = runtime.events_processed if runtime is not None else 0
+        return min(samples), events
+    finally:
+        if session is not None:
+            session.uninstrument()
+
+
+def test_prove_prune_overhead(benchmark, results_dir):
+    def measure():
+        return {
+            "uninstrumented": _measure(None),
+            "monitored": _measure("off"),
+            "proved-pruned": _measure("prune"),
+        }
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    per_op = lambda s: s / (2 * ITERATIONS) * 1e6
+    lines = [
+        "tesla-prove: hook elision for statically discharged assertions",
+        "--------------------------------------------------------------",
+        f"{'configuration':<20}{'us/syscall':>12}{'events':>10}",
+    ]
+    for label, (seconds, events) in rows.items():
+        lines.append(
+            f"{label:<20}{per_op(seconds):>12.2f}{events:>10}"
+        )
+    emit(results_dir, "prove_prune", "\n".join(lines))
+
+    # Monitoring observed the workload; the pruned session observed
+    # literally nothing — the hooks are gone, not just quiet.
+    assert rows["monitored"][1] > 0
+    assert rows["proved-pruned"][1] == 0
+
+    if not SMOKE:
+        # Full monitoring costs real time over the pruned configuration,
+        # and pruning tracks the uninstrumented baseline (generous noise
+        # margin: both run the identical uninstrumented code path).
+        assert rows["monitored"][0] > rows["proved-pruned"][0]
+        assert (
+            rows["proved-pruned"][0] <= rows["uninstrumented"][0] * 1.25
+        )
+
+
+def test_prove_corpus_analysis_cost(results_dir):
+    """The one-off static-analysis price, and the CI job's corpus facts:
+    nonzero PROVED, zero false VIOLATED."""
+    elapsed = time_once(prove_corpus)
+    report = prove_corpus()
+    lines = [
+        "tesla-prove: corpus analysis cost",
+        "---------------------------------",
+        f"{'assertions':<20}{report.assertions_checked:>10}",
+        f"{'proved':<20}{len(report.proved):>10}",
+        f"{'violated':<20}{len(report.violated):>10}",
+        f"{'unknown':<20}{len(report.unknown):>10}",
+        f"{'analysis time (ms)':<20}{elapsed * 1e3:>10.1f}",
+    ]
+    emit(results_dir, "prove_corpus", "\n".join(lines))
+    assert len(report.proved) >= 10
+    assert not report.violated

@@ -5,8 +5,16 @@ Two tools share this package.  The must-check elision analysis
 check makes redundant; the tesla-lint verifier (:mod:`repro.analysis.lint`
 and friends) proves assertions sane *before* instrumentation, reporting
 stable ``TESLA0xx`` diagnostics (DESIGN §5.5).
+
+A third tool joined in DESIGN §5.10: tesla-prove
+(:mod:`repro.analysis.cfg` + :mod:`repro.analysis.prove`) model-checks
+each assertion against the product of its scope-bounded program CFG and
+translated automaton, discharging assertions entirely (PROVED), refuting
+them with a concrete counterexample path (VIOLATED, ``TESLA014``), or
+leaving them to runtime monitoring (UNKNOWN, ``TESLA015``).
 """
 
+from .cfg import FunctionCFG, ProgramCFG
 from .diagnostics import (
     CODES,
     SCHEMA_VERSION,
@@ -22,8 +30,21 @@ from .lint import (
     lint_corpus,
     lint_suite,
     load_suite,
+    prove_corpus,
+    prove_suite,
+    suite_program_cfg,
 )
 from .machine import MACHINE_PASSES, lint_automaton
+from .prove import (
+    PROVED,
+    UNKNOWN,
+    VIOLATED,
+    ProveReport,
+    ProveResult,
+    automaton_safety,
+    prove_assertion,
+    prove_assertions,
+)
 from .program import ProgramModel, fixed_arity, lint_program, signature_arity
 from .static import (
     ElisionReport,
@@ -39,13 +60,21 @@ __all__ = [
     "SCHEMA_VERSION",
     "Diagnostic",
     "ElisionReport",
+    "FunctionCFG",
     "LintReport",
     "MACHINE_PASSES",
     "MustCheckAnalysis",
+    "PROVED",
+    "ProgramCFG",
     "ProgramModel",
+    "ProveReport",
+    "ProveResult",
     "Severity",
     "StaticModel",
+    "UNKNOWN",
+    "VIOLATED",
     "apply_static_elision",
+    "automaton_safety",
     "available_suites",
     "diagnostic",
     "fixed_arity",
@@ -58,5 +87,10 @@ __all__ = [
     "load_suite",
     "must_check_before_site",
     "never_satisfiable",
+    "prove_assertion",
+    "prove_assertions",
+    "prove_corpus",
+    "prove_suite",
     "signature_arity",
+    "suite_program_cfg",
 ]

@@ -20,9 +20,11 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
-#: JSON schema version for :meth:`LintReport.to_json`.  Bump only on
-#: incompatible shape changes; adding codes does not bump it.
-SCHEMA_VERSION = 1
+#: JSON schema version for :meth:`LintReport.to_json` (and the prove
+#: report, which shares the envelope).  Bump only on incompatible shape
+#: changes; adding codes does not bump it.  v2: per-finding ``title``
+#: field; ``--fail-on``/``--min-severity`` accept TESLA codes.
+SCHEMA_VERSION = 2
 
 
 class Severity(enum.Enum):
@@ -58,6 +60,8 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "TESLA011": (Severity.ERROR, "duplicate assertion name"),
     "TESLA012": (Severity.ERROR, "untranslatable assertion"),
     "TESLA013": (Severity.WARNING, "unsatisfiable clock constraint"),
+    "TESLA014": (Severity.ERROR, "assertion violated on a static path"),
+    "TESLA015": (Severity.INFO, "assertion not statically dischargeable"),
 }
 
 
@@ -93,9 +97,10 @@ class Diagnostic:
         )
 
     def to_json(self) -> Dict[str, str]:
-        """The stable per-finding JSON shape."""
+        """The stable per-finding JSON shape (schema v2 added ``title``)."""
         return {
             "code": self.code,
+            "title": self.title,
             "severity": self.severity.value,
             "assertion": self.assertion,
             "message": self.message,
@@ -177,10 +182,20 @@ class LintReport:
 
     def exit_code(self, fail_on: str = "error") -> int:
         """The CLI exit-status contract: 2 on errors, 1 on warnings when
-        ``--fail-on warning``, else 0 (``fail_on="never"`` always 0)."""
+        ``--fail-on warning``, else 0 (``fail_on="never"`` always 0).
+
+        ``fail_on`` may also be a TESLA code: the run then additionally
+        fails (2) whenever that specific code fired, whatever its
+        severity.  Unknown codes are the *caller's* contract violation —
+        the CLI validates before calling here.
+        """
         if fail_on == "never":
             return 0
         if self.errors:
+            return 2
+        if fail_on in CODES and any(
+            f.code == fail_on for f in self.findings
+        ):
             return 2
         if fail_on == "warning" and self.warnings:
             return 1

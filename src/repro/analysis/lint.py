@@ -29,9 +29,11 @@ from ..core.ast import TemporalAssertion
 from ..core.automaton import Automaton
 from ..core.translate import translate
 from ..errors import AssertionParseError
+from .cfg import ProgramCFG
 from .diagnostics import LintReport, diagnostic
 from .machine import lint_automaton
 from .program import ProgramModel, lint_program
+from .prove import ProveReport, prove_assertions
 from .static import StaticModel
 
 
@@ -187,11 +189,24 @@ def _suite_gui() -> Tuple[List[TemporalAssertion], ProgramModel]:
     return [tracing_assertion()], model
 
 
+def _suite_slo() -> Tuple[List[TemporalAssertion], ProgramModel]:
+    """The timed SLO assertions over the VFS workload — a suite of their
+    own so the pinned 99-assertion corpus counts stay untouched."""
+    from ..kernel.slo import slo_assertions
+
+    modules = [importlib.import_module(name) for name in _KERNEL_MODULES]
+    model = ProgramModel.from_registries(
+        static=StaticModel.from_modules(modules)
+    )
+    return list(slo_assertions()), model
+
+
 _SUITES = {
     "examples": _suite_examples,
     "kernel": _suite_kernel,
     "sslx": _suite_sslx,
     "gui": _suite_gui,
+    "slo": _suite_slo,
 }
 
 
@@ -222,4 +237,48 @@ def lint_corpus(names: Optional[Sequence[str]] = None) -> LintReport:
     report = LintReport()
     for name in names if names is not None else available_suites():
         report.extend(lint_suite(name))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# the prove drivers (tesla-prove over the same corpus)
+# ---------------------------------------------------------------------------
+
+
+def _suite_modules(name: str):
+    """The source modules a suite's :class:`ProgramCFG` is built from —
+    the same discovery the suite's :class:`StaticModel` uses.  Empty for
+    suites with only dynamic selectors (gui), whose product basis is
+    simply unavailable."""
+    if name == "examples":
+        return [_load_quickstart()]
+    if name in ("kernel", "slo"):
+        return [importlib.import_module(m) for m in _KERNEL_MODULES]
+    if name == "sslx":
+        from ..sslx import crypto, fetch, libssl
+
+        return [fetch, libssl, crypto]
+    return []
+
+
+def suite_program_cfg(name: str) -> Optional[ProgramCFG]:
+    """One suite's control-flow model, or ``None`` when it has no
+    modelled sources (the automaton proof basis still applies)."""
+    modules = _suite_modules(name)
+    if not modules:
+        return None
+    return ProgramCFG.from_modules(modules)
+
+
+def prove_suite(name: str) -> ProveReport:
+    """Prove one corpus suite against its control-flow model."""
+    assertions, _model = load_suite(name)
+    return prove_assertions(assertions, cfg=suite_program_cfg(name))
+
+
+def prove_corpus(names: Optional[Sequence[str]] = None) -> ProveReport:
+    """Prove several suites (default: all) into one merged report."""
+    report = ProveReport()
+    for name in names if names is not None else available_suites():
+        report.extend(prove_suite(name))
     return report

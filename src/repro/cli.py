@@ -207,13 +207,12 @@ def cmd_elide(args: argparse.Namespace) -> int:
     return 1 if report.doomed else 0
 
 
-def cmd_lint(args: argparse.Namespace) -> int:
-    """Run tesla-lint over assertion suites; exit per ``--fail-on``."""
-    from .analysis import Severity
-    from .analysis.lint import available_suites, lint_corpus
+def _check_suites(suites) -> "Union[List[str], int]":
+    """Validate suite names against the corpus; 2 (exit code) if unknown."""
+    from .analysis.lint import available_suites
 
     known = available_suites()
-    names = list(args.suites) or list(known)
+    names = list(suites) or list(known)
     unknown = [name for name in names if name not in known]
     if unknown:
         print(
@@ -221,11 +220,89 @@ def cmd_lint(args: argparse.Namespace) -> int:
             f"known: {', '.join(known)}"
         )
         return 2
+    return names
+
+
+def _check_fail_on(value: str) -> Optional[str]:
+    """Validate ``--fail-on``: a severity word, ``never``, or a TESLA
+    code from the table.  Returns an error message, or ``None`` if ok."""
+    from .analysis import CODES
+
+    if value in ("error", "warning", "never") or value in CODES:
+        return None
+    return (
+        f"--fail-on must be 'error', 'warning', 'never' or a known "
+        f"TESLA code (TESLA001..TESLA{len(CODES):03d}), got {value!r}"
+    )
+
+
+def _check_min_severity(value: str) -> "Union[str, Tuple[None, str]]":
+    """Resolve ``--min-severity``: a severity word or a TESLA code (the
+    code's default severity).  Returns the severity value, or a
+    ``(None, message)`` pair on an unknown value."""
+    from .analysis import CODES
+
+    if value in ("info", "warning", "error"):
+        return value
+    if value in CODES:
+        return CODES[value][0].value
+    return (
+        None,
+        f"--min-severity must be 'info', 'warning', 'error' or a known "
+        f"TESLA code, got {value!r}",
+    )
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run tesla-lint over assertion suites; exit per ``--fail-on``."""
+    from .analysis import Severity
+    from .analysis.lint import lint_corpus
+
+    names = _check_suites(args.suites)
+    if isinstance(names, int):
+        return names
+    problem = _check_fail_on(args.fail_on)
+    if problem is not None:
+        print(problem)
+        return 2
+    min_severity = _check_min_severity(args.min_severity)
+    if isinstance(min_severity, tuple):
+        print(min_severity[1])
+        return 2
     report = lint_corpus(names)
     if args.json:
         print(report.dumps())
     else:
-        print(report.format(min_severity=Severity(args.min_severity)))
+        print(report.format(min_severity=Severity(min_severity)))
+    return report.exit_code(args.fail_on)
+
+
+def cmd_prove(args: argparse.Namespace) -> int:
+    """Run tesla-prove over assertion suites; exit per ``--fail-on``.
+
+    Mirrors ``lint``'s contract: text or ``--json`` (same schema
+    version), exit 0 when clean, 2 on VIOLATED results (TESLA014) or on
+    a requested ``--fail-on`` code, 2 on bad arguments.
+    """
+    from .analysis import Severity
+    from .analysis.lint import prove_corpus
+
+    names = _check_suites(args.suites)
+    if isinstance(names, int):
+        return names
+    problem = _check_fail_on(args.fail_on)
+    if problem is not None:
+        print(problem)
+        return 2
+    min_severity = _check_min_severity(args.min_severity)
+    if isinstance(min_severity, tuple):
+        print(min_severity[1])
+        return 2
+    report = prove_corpus(names)
+    if args.json:
+        print(report.dumps())
+    else:
+        print(report.format(min_severity=Severity(min_severity)))
     return report.exit_code(args.fail_on)
 
 
@@ -594,19 +671,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_parser.add_argument(
         "--fail-on",
-        choices=("error", "warning", "never"),
         default="error",
         dest="fail_on",
-        help="exit non-zero on: errors (default), also warnings, or never",
+        help="exit non-zero on: errors (default), also warnings, never, "
+        "or whenever a specific TESLA code fires (e.g. TESLA014)",
     )
     lint_parser.add_argument(
         "--min-severity",
-        choices=("info", "warning", "error"),
         default="info",
         dest="min_severity",
-        help="hide text findings below this severity",
+        help="hide text findings below this severity (a severity word or "
+        "a TESLA code, meaning that code's default severity)",
     )
     lint_parser.set_defaults(func=cmd_lint)
+
+    prove_parser = sub.add_parser(
+        "prove", help="statically discharge assertion suites (tesla-prove)"
+    )
+    prove_parser.add_argument(
+        "suites",
+        nargs="*",
+        metavar="suite",
+        help="suites to prove (default: the whole corpus)",
+    )
+    prove_parser.add_argument(
+        "--json", action="store_true", help="emit the schema-versioned JSON"
+    )
+    prove_parser.add_argument(
+        "--fail-on",
+        default="error",
+        dest="fail_on",
+        help="exit non-zero on: errors/VIOLATED (default), also warnings, "
+        "never, or whenever a specific TESLA code fires",
+    )
+    prove_parser.add_argument(
+        "--min-severity",
+        default="info",
+        dest="min_severity",
+        help="hide text findings below this severity (word or TESLA code)",
+    )
+    prove_parser.set_defaults(func=cmd_prove)
 
     codegen_parser = sub.add_parser(
         "codegen", help="show tesla-jit generated code for a suite"

@@ -114,6 +114,14 @@ class Instrumenter:
             assertions = list(source)
         self.runtime.install_assertions(assertions)
         self.translator.refresh()
+        # tesla-prove handoff: assertions the runtime statically
+        # discharged (prove="prune") were never installed, so weaving
+        # their hooks would only tax the hot path for events nobody
+        # dispatches on.  Skip them entirely — including their sites and
+        # field hooks below.
+        elided = getattr(self.runtime, "prove_elided", frozenset())
+        if elided:
+            assertions = [a for a in assertions if a.name not in elided]
         caller_requested = _caller_side_functions(assertions)
 
         functions: Dict[str, List[TemporalAssertion]] = {}

@@ -63,6 +63,10 @@ class HealthReport:
     #: tesla-lint summary of every installed batch (DESIGN §5.5);
     #: ``None`` when the runtime installed nothing or lints with ``"off"``.
     lint: Optional[dict] = None
+    #: tesla-prove summary (DESIGN §5.10): verdict counts plus how many
+    #: assertions were elided at install under ``prove="prune"``;
+    #: ``None`` unless the runtime proves installed batches.
+    prove: Optional[dict] = None
     #: tesla-jit summary (DESIGN §5.7): per-key generated/fallback counts,
     #: elision totals and generation cost; ``None`` unless ``codegen=True``.
     codegen: Optional[dict] = None
@@ -102,6 +106,11 @@ def health_report(runtime) -> HealthReport:
 
     injector = active_injector()
     lint_report = getattr(runtime, "lint_report", None)
+    prove_report = getattr(runtime, "prove_report", None)
+    prove = None
+    if prove_report is not None:
+        prove = prove_report.summary()
+        prove["elided"] = len(getattr(runtime, "prove_elided", ()))
     return HealthReport(
         tick=supervisor.tick,
         policy=type(supervisor.policy).__name__,
@@ -118,6 +127,7 @@ def health_report(runtime) -> HealthReport:
         injector=None if injector is None else injector.stats(),
         deferred=None if drain is None else drain.stats(),
         lint=None if lint_report is None else lint_report.summary(),
+        prove=prove,
         codegen=codegen_report(runtime),
         governor=governor_report(runtime),
     )
@@ -199,6 +209,14 @@ def format_health(report: HealthReport) -> str:
             f"  lint: {verdict}  assertions={lint.get('assertions')} "
             f"errors={lint.get('errors')} warnings={lint.get('warnings')} "
             f"codes={codes} arity_safe={lint.get('arity_safe')}"
+        )
+    if report.prove is not None:
+        pv = report.prove
+        verdict = "clean" if pv.get("clean") else "violated"
+        lines.append(
+            f"  prove: {verdict}  assertions={pv.get('assertions')} "
+            f"proved={pv.get('proved')} violated={pv.get('violated')} "
+            f"unknown={pv.get('unknown')} elided={pv.get('elided')}"
         )
     if report.codegen is not None:
         cg = report.codegen

@@ -1,0 +1,73 @@
+"""Timed SLO assertions for the VFS workload (ROADMAP open item).
+
+PR 9 gave the runtime clock guards (``within_ms``/``deadline``); these
+assertions put them to paper-shaped work on the kernel model's hottest
+path — name resolution.  They live in their own ``slo`` corpus suite so
+the pinned 99-assertion Table-1 counts stay untouched.
+
+Two shapes:
+
+* ``T.slo.vop_lookup.within1ms`` — within a ``namei`` activation, the
+  first ``VOP_LOOKUP`` completes within 1 ms of its call.  A late lookup
+  leaves the automaton before its site state, so the ``tesla_site`` at
+  the end of :func:`~repro.kernel.vfs.vfs_ops.namei` reports the latency
+  violation at the point the path resolution finished.
+* ``T.slo.namei.deadline5ms`` — a ``vn_open`` activation must see
+  ``namei`` return within 5 ms of entering the open path; expiry is
+  reported even when no successor event ever arrives (the deadline
+  semantics of DESIGN §5.9).
+
+``VOP_LOOKUP`` dispatches through the vnode op vector and is not
+``@instrumentable``, so its events need caller-side weaving: instrument
+with ``Instrumenter(runtime, caller_modules=[vfs_ops])``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.ast import TemporalAssertion
+from ..core.dsl import (
+    call,
+    deadline,
+    eventually,
+    previously,
+    returnfrom,
+    tesla_within,
+    within_ms,
+)
+
+#: The lookup-latency budget: "every ``VOP_LOOKUP`` completes within 1 ms".
+VOP_LOOKUP_BUDGET_MS = 1.0
+#: The end-to-end resolution deadline inside ``vn_open``.
+NAMEI_DEADLINE_MS = 5.0
+
+
+def vop_lookup_slo() -> TemporalAssertion:
+    """Within ``namei``, ``VOP_LOOKUP`` completes within 1 ms of its call."""
+    return tesla_within(
+        "namei",
+        previously(
+            call("VOP_LOOKUP"),
+            within_ms(VOP_LOOKUP_BUDGET_MS, returnfrom("VOP_LOOKUP")),
+        ),
+        name="T.slo.vop_lookup.within1ms",
+        location="kernel/vfs/vfs_ops.py:namei",
+        tags=("slo", "timed", "vfs"),
+    )
+
+
+def namei_deadline_slo() -> TemporalAssertion:
+    """Within ``vn_open``, ``namei`` returns within 5 ms of bound entry."""
+    return tesla_within(
+        "vn_open",
+        eventually(deadline(NAMEI_DEADLINE_MS, returnfrom("namei"))),
+        name="T.slo.namei.deadline5ms",
+        location="kernel/vfs/vfs_ops.py:vn_open",
+        tags=("slo", "timed", "vfs"),
+    )
+
+
+def slo_assertions() -> List[TemporalAssertion]:
+    """The full timed SLO set, in declaration order."""
+    return [vop_lookup_slo(), namei_deadline_slo()]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from ...instrument.hooks import instrumentable
+from ...instrument.hooks import instrumentable, tesla_site
 from ..bugs import bugs
 from ..mac import checks as mac
 from ..types import (
@@ -68,6 +68,7 @@ def namei(td: Thread, path: str, _link_budget: int = MAXSYMLINKS) -> Tuple[int, 
             if error != 0:
                 return error, None
         vp = nxt
+    tesla_site("T.slo.vop_lookup.within1ms")
     return 0, vp
 
 
@@ -82,6 +83,7 @@ def vn_open(
     ``mac_kld_check_load`` — "different checks handled other open-like
     operations".
     """
+    tesla_site("T.slo.namei.deadline5ms")
     error, vp = namei(td, path)
     if error != 0:
         return error, None

@@ -105,9 +105,16 @@ class CodegenFacts:
     translator uses for its dynamic-guard elision).  ``arity_safe`` holds
     ``(function-name, arity)`` pairs statically proven against the hook
     registry by TESLA010's analysis.
+
+    ``occupancy`` carries tesla-prove's per-automaton occupiable-state
+    sets (DESIGN §5.10): the union of states over every configuration its
+    subset-stepping fixpoint explored.  Unlike the lint facts it needs no
+    ``clean`` gate — the fixpoint itself is the proof that a state outside
+    the set is never occupied, whatever else lint had to say — so a prove
+    report *widens* dead-transition elision to batches lint left dirty.
     """
 
-    __slots__ = ("clean", "arity_safe")
+    __slots__ = ("clean", "arity_safe", "occupancy")
 
     NONE: "CodegenFacts"
 
@@ -115,19 +122,30 @@ class CodegenFacts:
         self,
         clean: bool = False,
         arity_safe: FrozenSet[Tuple[str, int]] = frozenset(),
+        occupancy: object = (),
     ) -> None:
         self.clean = clean
         self.arity_safe = frozenset(arity_safe)
+        #: automaton name -> frozenset of prove-occupiable states.
+        self.occupancy: Dict[str, FrozenSet[int]] = dict(occupancy)
 
     @classmethod
-    def from_report(cls, report) -> "CodegenFacts":
+    def from_report(cls, report, prove=None) -> "CodegenFacts":
         """Facts from a :class:`~repro.analysis.diagnostics.LintReport`
-        (or ``None``: no report means no facts, never an error)."""
-        if report is None:
+        and optionally a :class:`~repro.analysis.prove.ProveReport`
+        (``None``: no report means no facts, never an error)."""
+        if report is None and prove is None:
             return cls.NONE
         return cls(
-            clean=bool(report.clean),
-            arity_safe=frozenset(getattr(report, "arity_safe", ())),
+            clean=bool(report.clean) if report is not None else False,
+            arity_safe=(
+                frozenset(getattr(report, "arity_safe", ()))
+                if report is not None
+                else frozenset()
+            ),
+            occupancy=(
+                prove.occupiable_states() if prove is not None else ()
+            ),
         )
 
     def __eq__(self, other: object) -> bool:
@@ -135,15 +153,23 @@ class CodegenFacts:
             isinstance(other, CodegenFacts)
             and self.clean == other.clean
             and self.arity_safe == other.arity_safe
+            and self.occupancy == other.occupancy
         )
 
     def __hash__(self) -> int:
-        return hash((self.clean, self.arity_safe))
+        return hash(
+            (
+                self.clean,
+                self.arity_safe,
+                frozenset(self.occupancy.items()),
+            )
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - repr convenience
         return (
             f"<CodegenFacts clean={self.clean} "
-            f"arity_safe={len(self.arity_safe)}>"
+            f"arity_safe={len(self.arity_safe)} "
+            f"occupancy={len(self.occupancy)}>"
         )
 
 
@@ -799,10 +825,17 @@ def generate_source(
             # fallback keeps verdicts exact at interpreter speed.
             raise _Unsupported("timed-automaton:clock-guards")
         occupiable = _occupiable_states(automaton)
+        # tesla-prove widening: an occupancy fact intersects the forward
+        # closure with the prove fixpoint's occupied-state union and —
+        # being a proof in its own right — lifts the lint-clean gate.
+        proved_occ = facts.occupancy.get(automaton.name)
+        if proved_occ is not None:
+            occupiable = occupiable & proved_occ
+        may_elide = facts.clean or proved_occ is not None
         body: List[Tuple[int, Transition, int]] = []
         elided_transitions = 0
         for src, transition, _matcher in plan.body:
-            if facts.clean and src not in occupiable:
+            if may_elide and src not in occupiable:
                 elided_transitions += 1
                 continue
             body.append((src, transition, transition.symbol))

@@ -181,6 +181,7 @@ class TeslaRuntime:
         ring_capacity: int = DEFAULT_RING_CAPACITY,
         drain_interval: float = 0.002,
         lint: str = "warn",
+        prove: str = "off",
         journal: object = None,
         overhead_budget: Optional[float] = None,
         clock: object = None,
@@ -240,6 +241,10 @@ class TeslaRuntime:
         if lint not in ("error", "warn", "off"):
             raise ValueError(
                 f"lint must be 'error', 'warn' or 'off', got {lint!r}"
+            )
+        if prove not in ("off", "report", "prune"):
+            raise ValueError(
+                f"prove must be 'off', 'report' or 'prune', got {prove!r}"
             )
         if codegen and not compile:
             raise ValueError(
@@ -383,6 +388,20 @@ class TeslaRuntime:
         #: until the first lint-enabled install).  Consumed by the event
         #: translator's check-elision fast path and by ``health_report``.
         self.lint_report = None
+        #: tesla-prove gate for installs (DESIGN §5.10): ``"off"``
+        #: (default) skips proving; ``"report"`` proves every batch on
+        #: the automaton basis and accumulates the report; ``"prune"``
+        #: additionally *skips installing* PROVED assertions — their
+        #: hooks are never referenced, so instrumentation sessions skip
+        #: weaving them and monitoring cost drops to zero.
+        self.prove = prove
+        #: Accumulated prove results across installed batches (``None``
+        #: until the first prove-enabled install).
+        self.prove_report = None
+        #: Assertion names statically discharged and elided at install
+        #: (only under ``prove="prune"``); instrumenters consult this to
+        #: skip hook weaving and site attachment.
+        self.prove_elided: Set[str] = set()
         _live_runtimes.add(self)
 
     @property
@@ -452,12 +471,18 @@ class TeslaRuntime:
     ) -> List[Automaton]:
         batch = list(assertions)
         self._lint_batch(batch)
+        self._prove_batch(batch)
         if self.journal is not None:
             # Embed the source assertions so the journal is self-contained:
             # offline replay re-derives the automata from the log alone.
             self.journal.record_assertions(batch)
         automata = translate_all(batch)
         for automaton, assertion in zip(automata, batch):
+            if automaton.name in self.prove_elided:
+                # Statically discharged under prove="prune": the class is
+                # never registered, so no dispatch index references its
+                # events and instrumenters skip its hooks entirely.
+                continue
             self.install_automaton(automaton, assertion.context)
         return automata
 
@@ -489,6 +514,28 @@ class TeslaRuntime:
                 + "\n".join(f.format() for f in report.findings),
                 stacklevel=3,
             )
+
+    def _prove_batch(self, assertions: Sequence[TemporalAssertion]) -> None:
+        """The install-time tesla-prove gate (mode per ``self.prove``).
+
+        Only the automaton proof basis runs here — the runtime has no
+        program CFG (instrumenters know the sources; ``repro.cli prove``
+        runs the product basis offline).  That basis is strictly weaker,
+        so anything it discharges the full engine would too.
+        """
+        if self.prove == "off" or not assertions:
+            return
+        from ..analysis.prove import PROVED, prove_assertions
+
+        report = prove_assertions(assertions)
+        if self.prove == "prune":
+            self.prove_elided |= {
+                r.assertion for r in report.results if r.verdict == PROVED
+            }
+        if self.prove_report is None:
+            self.prove_report = report
+        else:
+            self.prove_report.extend(report)
 
     def install_automaton(self, automaton: Automaton, context: Context) -> None:
         if automaton.name in self.automata:
@@ -586,7 +633,9 @@ class TeslaRuntime:
         if self._facts_epoch != epoch:
             from .codegen import CodegenFacts
 
-            self._facts = CodegenFacts.from_report(self.lint_report)
+            self._facts = CodegenFacts.from_report(
+                self.lint_report, prove=self.prove_report
+            )
             self._facts_epoch = epoch
         return self._facts
 

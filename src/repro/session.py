@@ -44,6 +44,7 @@ def monitoring(
     ring_capacity: Optional[int] = None,
     drain_interval: Optional[float] = None,
     lint: Optional[str] = None,
+    prove: Optional[str] = None,
     journal: object = None,
     overhead_budget: Optional[float] = None,
     clock: object = None,
@@ -80,7 +81,12 @@ def monitoring(
     ``drain_interval`` the background drainer's poll period.  ``lint``
     selects the install-time tesla-lint gate (``"warn"`` default,
     ``"error"`` refuses assertions with lint errors, ``"off"`` skips the
-    passes — see DESIGN §5.5).  ``journal`` installs a durable trace
+    passes — see DESIGN §5.5).  ``prove`` selects the install-time
+    tesla-prove gate (DESIGN §5.10): ``"off"`` default, ``"report"``
+    proves each batch on the automaton basis and accumulates
+    ``runtime.prove_report``, ``"prune"`` additionally elides PROVED
+    assertions at install — their hooks are never woven, so their
+    monitoring cost is zero.  ``journal`` installs a durable trace
     journal at the drain boundary (DESIGN §5.6): a path or binary
     file-like object every drained event is appended to, replayable
     offline with ``python -m repro.cli replay``; it requires ``deferred``
@@ -128,6 +134,8 @@ def monitoring(
         kwargs["drain_interval"] = drain_interval
     if lint is not None:
         kwargs["lint"] = lint
+    if prove is not None:
+        kwargs["prove"] = prove
     if journal is not None:
         kwargs["journal"] = journal
     if overhead_budget is not None:

@@ -74,7 +74,7 @@ class TestDiagnostics:
         assert set(CODES) == {
             "TESLA001", "TESLA002", "TESLA003", "TESLA004", "TESLA005",
             "TESLA006", "TESLA007", "TESLA008", "TESLA009", "TESLA010",
-            "TESLA011", "TESLA012", "TESLA013",
+            "TESLA011", "TESLA012", "TESLA013", "TESLA014", "TESLA015",
         }
         assert CODES["TESLA003"][0] is Severity.ERROR
         assert CODES["TESLA004"][0] is Severity.WARNING
@@ -446,7 +446,7 @@ class TestCorpus:
         assert len(report.arity_safe) > 0
 
     def test_available_suites(self):
-        assert available_suites() == ("examples", "kernel", "sslx", "gui")
+        assert available_suites() == ("examples", "kernel", "sslx", "gui", "slo")
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,147 @@
+"""Golden JSON pin for the tesla-lint / tesla-prove ``--json`` contract.
+
+``tests/fixtures/golden_lint.json`` is the committed ``--json`` output
+for a fixed assertion batch that exercises the three diagnostics added
+by the timed and prove layers:
+
+* **TESLA013** — unsatisfiable clock constraint (``rate_atmost(0, …)``),
+* **TESLA014** — assertion violated on a static path, with the
+  counterexample path in the finding detail,
+* **TESLA015** — assertion not statically dischargeable (a timed
+  automaton and a variable-binding site).
+
+The pin is a *compatibility contract*: CI consumers parse this JSON, so
+any field rename, code renumbering or schema change must be deliberate:
+
+1. bump ``SCHEMA_VERSION`` in ``src/repro/analysis/diagnostics.py``,
+2. regenerate the fixture:
+   ``PYTHONPATH=src python -m tests.unit.analysis.test_lint_golden``
+3. mention the bump in CHANGES.md.
+
+``elapsed_seconds`` is zeroed before comparison — it is the only
+non-deterministic field in either report.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis.cfg import ProgramCFG
+from repro.analysis.diagnostics import SCHEMA_VERSION
+from repro.analysis.lint import lint_assertions
+from repro.analysis.prove import prove_assertions
+from repro.core.dsl import (
+    call,
+    eventually,
+    fn,
+    previously,
+    rate_atmost,
+    tesla_within,
+    var,
+)
+
+FIXTURE = (
+    Path(__file__).resolve().parents[2] / "fixtures" / "golden_lint.json"
+)
+
+UPGRADE_INSTRUCTIONS = (
+    "The lint/prove JSON contract changed. If this was intentional: bump "
+    "SCHEMA_VERSION in src/repro/analysis/diagnostics.py, regenerate the "
+    "fixture with `PYTHONPATH=src python -m "
+    "tests.unit.analysis.test_lint_golden`, and note the bump in "
+    "CHANGES.md. If it was NOT intentional, revert — CI consumers parse "
+    "this document and silent drift breaks them downstream."
+)
+
+#: The TESLA014 fixture function: one branch skips the required check.
+GOLDEN_SOURCE = """
+def golden_op(td, flag):
+    if flag:
+        golden_check(td)
+    tesla_site("golden.t14")
+    return 0
+"""
+
+
+def golden_assertions():
+    return [
+        # TESLA013: a zero-count rate window admits no occurrence at all.
+        tesla_within(
+            "golden_bound",
+            eventually(rate_atmost(0, call("golden_tick"), 50.0)),
+            name="golden.t13",
+        ),
+        # TESLA014: the check is skipped on the flag=False path.
+        tesla_within(
+            "golden_op",
+            previously(call("golden_check")),
+            name="golden.t14",
+        ),
+        # TESLA015: site-bound variables are runtime data; prove refuses.
+        tesla_within(
+            "golden_bound",
+            previously(fn("golden_probe", var("so")) == 0),
+            name="golden.t15",
+        ),
+    ]
+
+
+def generate_golden_payload() -> dict:
+    assertions = golden_assertions()
+    cfg = ProgramCFG()
+    cfg.add_source(textwrap.dedent(GOLDEN_SOURCE))
+    lint = lint_assertions(assertions).to_json()
+    prove = prove_assertions(assertions, cfg=cfg).to_json()
+    lint["summary"]["elapsed_seconds"] = 0.0
+    prove["summary"]["elapsed_seconds"] = 0.0
+    return {"lint": lint, "prove": prove}
+
+
+def generate_golden_text() -> str:
+    return (
+        json.dumps(generate_golden_payload(), indent=2, sort_keys=True)
+        + "\n"
+    )
+
+
+def test_fixture_pins_schema_version():
+    payload = json.loads(FIXTURE.read_text())
+    assert payload["lint"]["version"] == SCHEMA_VERSION, (
+        UPGRADE_INSTRUCTIONS
+    )
+    assert payload["prove"]["version"] == SCHEMA_VERSION, (
+        UPGRADE_INSTRUCTIONS
+    )
+
+
+def test_fixture_covers_the_new_codes():
+    payload = json.loads(FIXTURE.read_text())
+    lint_codes = {f["code"] for f in payload["lint"]["findings"]}
+    prove_codes = {f["code"] for f in payload["prove"]["findings"]}
+    assert "TESLA013" in lint_codes
+    assert {"TESLA014", "TESLA015"} <= prove_codes
+
+
+def test_violated_finding_carries_counterexample():
+    payload = json.loads(FIXTURE.read_text())
+    finding = next(
+        f
+        for f in payload["prove"]["findings"]
+        if f["code"] == "TESLA014"
+    )
+    assert finding["assertion"] == "golden.t14"
+    assert "->" in finding["detail"]
+
+
+def test_current_analysers_reproduce_golden_json():
+    assert generate_golden_text() == FIXTURE.read_text(), (
+        UPGRADE_INSTRUCTIONS
+    )
+
+
+if __name__ == "__main__":  # regenerate the fixture (see module docstring)
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE.write_text(generate_golden_text())
+    print(f"wrote {FIXTURE} ({FIXTURE.stat().st_size} bytes)")

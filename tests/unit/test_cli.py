@@ -78,7 +78,7 @@ class TestLint:
         assert main(["lint", "examples", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert set(payload) == {"version", "summary", "findings"}
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert set(payload["summary"]) == {
             "assertions", "errors", "warnings", "infos", "clean",
             "codes", "arity_safe", "elapsed_seconds",
